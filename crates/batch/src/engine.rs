@@ -1,0 +1,535 @@
+//! Phase execution, shuffling, combining, and IO/memory accounting.
+
+use inferturbo_cluster::{ClusterSpec, RunReport, WorkerPhase};
+use inferturbo_common::codec::{varint_len, Decode, Encode};
+use inferturbo_common::hash::partition_of;
+use inferturbo_common::{FxHashMap, Result};
+
+/// Sender-side fold for same-key values (must be commutative/associative —
+/// the annotation contract). Returns `None` when the value was absorbed, or
+/// `Some(overflow)` when the pair is not combinable (mixed record kinds —
+/// e.g. a self-state record meeting an in-edge message); the engine spools
+/// the overflow as its own record. Implementations may swap contents so the
+/// held anchor ends up being the combinable variant.
+pub type CombineFn<'a, V> = &'a dyn Fn(&mut V, V) -> Option<V>;
+
+/// Keyed records routed to their destination worker, waiting to be grouped
+/// by the next phase. Byte sizes were charged to the *producing* phase as
+/// output; the consuming phase charges them as input.
+pub struct KeyedData<V> {
+    per_worker: Vec<Vec<(u64, V)>>,
+    pending_bytes: Vec<u64>,
+}
+
+impl<V> std::fmt::Debug for KeyedData<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyedData")
+            .field("records", &self.len())
+            .field("workers", &self.per_worker.len())
+            .field("pending_bytes", &self.pending_bytes.iter().sum::<u64>())
+            .finish()
+    }
+}
+
+impl<V> KeyedData<V> {
+    /// Total records across all workers.
+    pub fn len(&self) -> usize {
+        self.per_worker.iter().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records destined for `worker`.
+    pub fn worker_records(&self, worker: usize) -> &[(u64, V)] {
+        &self.per_worker[worker]
+    }
+
+    /// Consume into the final per-key map (used after the last round to
+    /// read out results). Keys are unique only if the last phase emitted
+    /// them uniquely — GNN pipelines do.
+    pub fn into_map(self) -> FxHashMap<u64, V> {
+        let mut out = FxHashMap::default();
+        for bucket in self.per_worker {
+            for (k, v) in bucket {
+                out.insert(k, v);
+            }
+        }
+        out
+    }
+}
+
+/// Per-record context passed to map/reduce kernels for cost reporting.
+#[derive(Default)]
+pub struct PhaseCtx {
+    /// Floating-point operations performed by the kernel on this record.
+    pub flops: f64,
+}
+
+impl PhaseCtx {
+    pub fn add_flops(&mut self, f: f64) {
+        self.flops += f;
+    }
+}
+
+/// The batch engine. Owns the cluster spec and accumulates a [`RunReport`]
+/// across phases; one engine instance = one job chain.
+pub struct BatchEngine {
+    spec: ClusterSpec,
+    partition_fn: fn(u64, usize) -> usize,
+    /// Bounded combiner buffer size (records); 0 = unbounded. When the
+    /// buffer is full it spills: all held pairs are flushed to the shuffle
+    /// and combining restarts — Hadoop-style in-mapper combining.
+    pub combiner_capacity: usize,
+    /// Fixed per-record overhead bytes modelling shuffle framing.
+    record_overhead: u64,
+    report: RunReport,
+}
+
+impl BatchEngine {
+    pub fn new(spec: ClusterSpec) -> Self {
+        BatchEngine {
+            spec,
+            partition_fn: partition_of,
+            combiner_capacity: 0,
+            record_overhead: 2,
+            report: RunReport::new(spec),
+        }
+    }
+
+    pub fn with_partition_fn(mut self, f: fn(u64, usize) -> usize) -> Self {
+        self.partition_fn = f;
+        self
+    }
+
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    pub fn into_report(self) -> RunReport {
+        self.report
+    }
+
+    fn wire_len<V: Encode>(&self, key: u64, value: &V) -> u64 {
+        (varint_len(key) + value.encoded_len()) as u64 + self.record_overhead
+    }
+
+    /// Distribute raw input records round-robin across mapper workers —
+    /// models HDFS splits, which are oblivious to record keys.
+    pub fn scatter_inputs<I>(&self, inputs: Vec<I>) -> Vec<Vec<I>> {
+        let n = self.spec.workers;
+        let mut per_worker: Vec<Vec<I>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, rec) in inputs.into_iter().enumerate() {
+            per_worker[i % n].push(rec);
+        }
+        per_worker
+    }
+
+    /// Map phase: per-worker input records → routed keyed pairs.
+    ///
+    /// Input bytes are charged per record (reading the split); emitted pairs
+    /// are combined (optionally) and charged as shuffle output.
+    pub fn map_phase<I: Encode, V: Encode + Decode + Clone>(
+        &mut self,
+        name: impl Into<String>,
+        inputs: &[Vec<I>],
+        mut map: impl FnMut(&mut PhaseCtx, &I) -> Vec<(u64, V)>,
+        combiner: Option<CombineFn<'_, V>>,
+    ) -> Result<KeyedData<V>> {
+        assert_eq!(inputs.len(), self.spec.workers, "inputs must be pre-partitioned");
+        let name = name.into();
+        let n = self.spec.workers;
+        let mut metrics = vec![WorkerPhase::default(); n];
+        let mut routed: Vec<Vec<(u64, V)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut routed_bytes = vec![0u64; n];
+
+        for (w, recs) in inputs.iter().enumerate() {
+            let mut out = OutBuffer::new(self, combiner);
+            for rec in recs {
+                metrics[w].recv(rec.encoded_len() as u64 + self.record_overhead);
+                let mut ctx = PhaseCtx::default();
+                for (k, v) in map(&mut ctx, rec) {
+                    out.push(k, v);
+                }
+                metrics[w].flops += ctx.flops;
+            }
+            out.flush_into(w, &mut metrics, &mut routed, &mut routed_bytes);
+            // Mapper memory: one record + combiner buffer.
+            let peak = out.peak_bytes;
+            metrics[w].touch_mem(peak);
+            self.spec
+                .check_memory(w, peak)
+                .map_err(|e| e.in_phase(&name))?;
+        }
+        self.report.push_phase(name, metrics);
+        Ok(KeyedData {
+            per_worker: routed,
+            pending_bytes: routed_bytes,
+        })
+    }
+
+    /// Reduce phase: group each worker's pairs by key, run `reduce` per
+    /// group, and route the emitted pairs onward.
+    ///
+    /// Groups are processed in ascending key order (external-sort
+    /// semantics), so output is deterministic. The modelled reducer memory
+    /// peak is the largest single group plus the combiner buffer —
+    /// streaming reducers never hold their whole partition.
+    pub fn reduce_phase<V: Encode + Decode + Clone, O: Encode + Decode + Clone>(
+        &mut self,
+        name: impl Into<String>,
+        data: KeyedData<V>,
+        mut reduce: impl FnMut(&mut PhaseCtx, u64, Vec<V>) -> Vec<(u64, O)>,
+        combiner: Option<CombineFn<'_, O>>,
+    ) -> Result<KeyedData<O>> {
+        let name = name.into();
+        let n = self.spec.workers;
+        assert_eq!(data.per_worker.len(), n, "keyed data shape");
+        let mut metrics = vec![WorkerPhase::default(); n];
+        let mut routed: Vec<Vec<(u64, O)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut routed_bytes = vec![0u64; n];
+
+        for (w, bucket) in data.per_worker.into_iter().enumerate() {
+            // Input accounting: the fetch of this worker's shuffle partition.
+            for (k, v) in &bucket {
+                metrics[w].recv(self.wire_len(*k, v));
+            }
+            // Group by key, then sort keys for deterministic streaming order.
+            let mut groups: FxHashMap<u64, Vec<V>> = FxHashMap::default();
+            for (k, v) in bucket {
+                groups.entry(k).or_default().push(v);
+            }
+            let mut keys: Vec<u64> = groups.keys().copied().collect();
+            keys.sort_unstable();
+
+            let mut out = OutBuffer::new(self, combiner);
+            let mut max_group_bytes = 0u64;
+            for k in keys {
+                let values = groups.remove(&k).unwrap();
+                let group_bytes: u64 =
+                    values.iter().map(|v| self.wire_len(k, v)).sum();
+                max_group_bytes = max_group_bytes.max(group_bytes);
+                let mut ctx = PhaseCtx::default();
+                for (k2, v2) in reduce(&mut ctx, k, values) {
+                    out.push(k2, v2);
+                }
+                metrics[w].flops += ctx.flops;
+            }
+            out.flush_into(w, &mut metrics, &mut routed, &mut routed_bytes);
+            let peak = max_group_bytes + out.peak_bytes;
+            metrics[w].touch_mem(peak);
+            self.spec
+                .check_memory(w, peak)
+                .map_err(|e| e.in_phase(&name))?;
+        }
+        let _ = data.pending_bytes; // consumed; bytes were charged above
+        self.report.push_phase(name, metrics);
+        Ok(KeyedData {
+            per_worker: routed,
+            pending_bytes: routed_bytes,
+        })
+    }
+}
+
+/// Emission buffer with optional bounded combining.
+struct OutBuffer<'e, V: Encode + Clone> {
+    engine: &'e BatchEngine,
+    combiner: Option<CombineFn<'e, V>>,
+    /// Combined pairs when combining; plain spool otherwise.
+    held: Vec<(u64, V)>,
+    held_idx: FxHashMap<u64, usize>,
+    spilled: Vec<(u64, V)>,
+    peak_bytes: u64,
+}
+
+impl<'e, V: Encode + Clone> OutBuffer<'e, V> {
+    fn new(engine: &'e BatchEngine, combiner: Option<CombineFn<'e, V>>) -> Self {
+        OutBuffer {
+            engine,
+            combiner,
+            held: Vec::new(),
+            held_idx: FxHashMap::default(),
+            spilled: Vec::new(),
+            peak_bytes: 0,
+        }
+    }
+
+    fn push(&mut self, k: u64, v: V) {
+        match self.combiner {
+            None => self.spilled.push((k, v)),
+            Some(f) => {
+                match self.held_idx.get(&k) {
+                    Some(&i) => {
+                        if let Some(overflow) = f(&mut self.held[i].1, v) {
+                            self.spilled.push((k, overflow));
+                        }
+                    }
+                    None => {
+                        self.held_idx.insert(k, self.held.len());
+                        self.held.push((k, v));
+                    }
+                }
+                let cap = self.engine.combiner_capacity;
+                if cap > 0 && self.held.len() >= cap {
+                    self.track_buffer_peak();
+                    self.spilled.append(&mut self.held);
+                    self.held_idx.clear();
+                }
+            }
+        }
+    }
+
+    fn track_buffer_peak(&mut self) {
+        let bytes: u64 = self
+            .held
+            .iter()
+            .map(|(k, v)| self.engine.wire_len(*k, v))
+            .sum();
+        self.peak_bytes = self.peak_bytes.max(bytes);
+    }
+
+    /// Charge output bytes to worker `w` and route pairs to their
+    /// destination workers.
+    fn flush_into(
+        &mut self,
+        w: usize,
+        metrics: &mut [WorkerPhase],
+        routed: &mut [Vec<(u64, V)>],
+        routed_bytes: &mut [u64],
+    ) {
+        self.track_buffer_peak();
+        let held = std::mem::take(&mut self.held);
+        self.held_idx.clear();
+        let spilled = std::mem::take(&mut self.spilled);
+        for (k, v) in spilled.into_iter().chain(held) {
+            let len = self.engine.wire_len(k, &v);
+            metrics[w].send(len);
+            let dst = (self.engine.partition_fn)(k, routed.len());
+            routed_bytes[dst] += len;
+            routed[dst].push((k, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(workers: usize) -> BatchEngine {
+        BatchEngine::new(ClusterSpec::test_spec(workers))
+    }
+
+    /// Word-count style pipeline: map words → (hash, 1), reduce sums.
+    #[test]
+    fn map_reduce_counts_keys() {
+        let mut eng = engine(4);
+        let inputs: Vec<u64> = vec![1, 2, 1, 3, 1, 2];
+        let parts = eng.scatter_inputs(inputs);
+        let keyed = eng
+            .map_phase("map", &parts, |_ctx, &rec| vec![(rec, 1.0f32)], None)
+            .unwrap();
+        assert_eq!(keyed.len(), 6);
+        let reduced = eng
+            .reduce_phase(
+                "reduce",
+                keyed,
+                |_ctx, k, vals| vec![(k, vals.iter().sum::<f32>())],
+                None,
+            )
+            .unwrap();
+        let m = reduced.into_map();
+        assert_eq!(m[&1], 3.0);
+        assert_eq!(m[&2], 2.0);
+        assert_eq!(m[&3], 1.0);
+    }
+
+    #[test]
+    fn chained_rounds_propagate() {
+        // Round 1 doubles values, round 2 negates; chain through reduce.
+        let mut eng = engine(2);
+        let parts = eng.scatter_inputs(vec![5u64, 6]);
+        let keyed = eng
+            .map_phase("m", &parts, |_c, &r| vec![(r, r as f32)], None)
+            .unwrap();
+        let r1 = eng
+            .reduce_phase("r1", keyed, |_c, k, v| vec![(k, v[0] * 2.0)], None)
+            .unwrap();
+        let r2 = eng
+            .reduce_phase("r2", r1, |_c, k, v| vec![(k, -v[0])], None)
+            .unwrap();
+        let m = r2.into_map();
+        assert_eq!(m[&5], -10.0);
+        assert_eq!(m[&6], -12.0);
+        assert_eq!(eng.report().phases.len(), 3);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_bytes_not_results() {
+        let inputs: Vec<u64> = (0..100).map(|i| i % 5).collect();
+        let run = |combine: bool| {
+            let mut eng = engine(3);
+            let parts = eng.scatter_inputs(inputs.clone());
+            let fold = |a: &mut f32, b: f32| {
+                *a += b;
+                None
+            };
+            let comb: Option<CombineFn<'_, f32>> = if combine { Some(&fold) } else { None };
+            let keyed = eng
+                .map_phase("m", &parts, |_c, &r| vec![(r, 1.0f32)], comb)
+                .unwrap();
+            let out = eng
+                .reduce_phase(
+                    "r",
+                    keyed,
+                    |_c, k, v| vec![(k, v.iter().sum::<f32>())],
+                    None,
+                )
+                .unwrap();
+            (eng.report().phases[0].bytes_out_total(), out.into_map())
+        };
+        let (bytes_plain, m_plain) = run(false);
+        let (bytes_comb, m_comb) = run(true);
+        assert!(bytes_comb < bytes_plain / 3, "{bytes_comb} vs {bytes_plain}");
+        for k in 0..5u64 {
+            assert_eq!(m_plain[&k], 20.0);
+            assert_eq!(m_comb[&k], 20.0);
+        }
+    }
+
+    #[test]
+    fn bounded_combiner_spills_but_stays_correct() {
+        let inputs: Vec<u64> = (0..1000).map(|i| i % 7).collect();
+        let mut eng = engine(2);
+        eng.combiner_capacity = 3; // absurdly small: force many spills
+        let parts = eng.scatter_inputs(inputs);
+        let keyed = eng
+            .map_phase(
+                "m",
+                &parts,
+                |_c, &r| vec![(r, 1.0f32)],
+                Some(&|a: &mut f32, b| {
+                    *a += b;
+                    None
+                }),
+            )
+            .unwrap();
+        let out = eng
+            .reduce_phase("r", keyed, |_c, k, v| vec![(k, v.iter().sum::<f32>())], None)
+            .unwrap();
+        let m = out.into_map();
+        let total: f32 = (0..7u64).map(|k| m[&k]).sum();
+        assert_eq!(total, 1000.0);
+    }
+
+    #[test]
+    fn reducer_memory_is_largest_group_not_partition() {
+        // One giant key group and many tiny ones on the same worker: the
+        // peak must track the giant group only.
+        let mut eng = BatchEngine::new(ClusterSpec::test_spec(1));
+        let parts = eng.scatter_inputs((0..100u64).collect());
+        let keyed = eng
+            .map_phase(
+                "m",
+                &parts,
+                |_c, &r| {
+                    if r < 50 {
+                        vec![(7u64, vec![0.0f32; 100])] // giant group at key 7
+                    } else {
+                        vec![(r, vec![0.0f32; 1])]
+                    }
+                },
+                None,
+            )
+            .unwrap();
+        let out = eng
+            .reduce_phase("r", keyed, |_c, k, _v| vec![(k, 0u32)], None)
+            .unwrap();
+        drop(out);
+        let peak = eng.report().phases[1].per_worker[0].mem_peak;
+        // giant group: 50 records × ~405 bytes ≈ 20 KB; whole partition
+        // would be ≈ 20.4 KB; tiny groups ≈ 9 bytes. Peak must be within
+        // the giant group's size, not the sum of all groups.
+        let giant = 50 * (varint_len(7) as u64 + vec![0.0f32; 100].encoded_len() as u64 + 2);
+        assert_eq!(peak, giant);
+    }
+
+    #[test]
+    fn oversized_group_triggers_oom() {
+        let spec = ClusterSpec::test_spec(1).with_memory(64);
+        let mut eng = BatchEngine::new(spec);
+        let parts = eng.scatter_inputs(vec![0u64; 10]);
+        let keyed = eng
+            .map_phase("m", &parts, |_c, _| vec![(1u64, vec![1.0f32; 8])], None)
+            .unwrap();
+        let err = eng
+            .reduce_phase("r", keyed, |_c, k, _v| vec![(k, 0u32)], None)
+            .unwrap_err();
+        assert!(err.is_oom());
+        assert!(err.to_string().contains("phase `r`"));
+    }
+
+    #[test]
+    fn phases_are_deterministic() {
+        let run = || {
+            let mut eng = engine(4);
+            let parts = eng.scatter_inputs((0..200u64).collect());
+            let keyed = eng
+                .map_phase("m", &parts, |_c, &r| vec![(r % 13, r as f32)], None)
+                .unwrap();
+            let out = eng
+                .reduce_phase(
+                    "r",
+                    keyed,
+                    |_c, k, v| vec![(k, v.iter().sum::<f32>())],
+                    None,
+                )
+                .unwrap();
+            let mut pairs: Vec<(u64, f32)> = out.into_map().into_iter().collect();
+            pairs.sort_by_key(|&(k, _)| k);
+            (pairs, eng.report().total_bytes())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn flops_feed_cost_model() {
+        let mut eng = engine(1);
+        let parts = eng.scatter_inputs(vec![0u64]);
+        let keyed = eng
+            .map_phase(
+                "m",
+                &parts,
+                |ctx, &r| {
+                    ctx.add_flops(2.0e6); // 2 s at 1e6 flops/s
+                    vec![(r, 0.0f32)]
+                },
+                None,
+            )
+            .unwrap();
+        drop(keyed);
+        let p = &eng.report().phases[0];
+        assert!(p.worker_secs[0] >= 2.0);
+    }
+
+    #[test]
+    fn input_bytes_charged_on_consuming_phase() {
+        let mut eng = engine(2);
+        let parts = eng.scatter_inputs(vec![1u64, 2]);
+        let keyed = eng
+            .map_phase("m", &parts, |_c, &r| vec![(r, vec![1.0f32; 16])], None)
+            .unwrap();
+        let map_out: u64 = eng.report().phases[0].bytes_out_total();
+        let out = eng
+            .reduce_phase("r", keyed, |_c, k, _| vec![(k, 0u32)], None)
+            .unwrap();
+        drop(out);
+        let reduce_in: u64 = eng.report().phases[1].bytes_in_total();
+        assert_eq!(map_out, reduce_in, "shuffle bytes conserved");
+        assert!(map_out > 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Criterion benchmarks of whole-engine paths: full-graph inference on
+//! both backends, k-hop extraction, and the shadow-node graph transform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inferturbo_cluster::ClusterSpec;
+use inferturbo_common::Xoshiro256;
+use inferturbo_core::infer::{infer_mapreduce, infer_pregel};
+use inferturbo_core::models::{GnnModel, PoolOp};
+use inferturbo_core::strategy::{build_node_records, StrategyConfig};
+use inferturbo_graph::gen::{generate, DegreeSkew, GenConfig};
+use inferturbo_graph::{Csr, Graph, Subgraph};
+use std::hint::black_box;
+
+fn bench_graph() -> Graph {
+    generate(&GenConfig {
+        n_nodes: 3_000,
+        n_edges: 30_000,
+        feat_dim: 16,
+        classes: 4,
+        skew: DegreeSkew::In,
+        seed: 99,
+        ..GenConfig::default()
+    })
+}
+
+fn scaled_spec(workers: usize, pregel: bool) -> ClusterSpec {
+    let mut s = if pregel {
+        ClusterSpec::pregel_cluster(workers)
+    } else {
+        ClusterSpec::mapreduce_cluster(workers)
+    };
+    s.phase_overhead_secs = 0.0;
+    s
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let g = bench_graph();
+    let model = GnnModel::sage(16, 32, 2, 4, false, PoolOp::Mean, 1);
+    let mut grp = c.benchmark_group("backends_3k_nodes_30k_edges");
+    grp.sample_size(10);
+    grp.bench_function("pregel_sage2", |b| {
+        b.iter(|| {
+            black_box(
+                infer_pregel(&model, &g, scaled_spec(16, true), StrategyConfig::all())
+                    .unwrap(),
+            )
+        });
+    });
+    grp.bench_function("mapreduce_sage2", |b| {
+        b.iter(|| {
+            black_box(
+                infer_mapreduce(&model, &g, scaled_spec(16, false), StrategyConfig::all())
+                    .unwrap(),
+            )
+        });
+    });
+    grp.bench_function("pregel_sage2_no_strategies", |b| {
+        b.iter(|| {
+            black_box(
+                infer_pregel(&model, &g, scaled_spec(16, true), StrategyConfig::none())
+                    .unwrap(),
+            )
+        });
+    });
+    grp.finish();
+}
+
+fn bench_khop(c: &mut Criterion) {
+    let g = bench_graph();
+    let in_csr = Csr::in_of(&g);
+    let roots: Vec<u32> = (0..64).collect();
+    let mut grp = c.benchmark_group("khop");
+    grp.sample_size(20);
+    grp.bench_function("extract_2hop_full_64roots", |b| {
+        b.iter(|| black_box(Subgraph::extract(&in_csr, &roots, 2, None, None)));
+    });
+    grp.bench_function("extract_2hop_fanout10_64roots", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256::seed_from_u64(5);
+            black_box(Subgraph::extract(&in_csr, &roots, 2, Some(10), Some(&mut rng)))
+        });
+    });
+    grp.finish();
+}
+
+fn bench_shadow_transform(c: &mut Criterion) {
+    let g = generate(&GenConfig {
+        n_nodes: 3_000,
+        n_edges: 30_000,
+        feat_dim: 16,
+        classes: 4,
+        skew: DegreeSkew::Out,
+        seed: 100,
+        ..GenConfig::default()
+    });
+    let mut grp = c.benchmark_group("transform");
+    grp.sample_size(20);
+    let strat = StrategyConfig::none().with_shadow_nodes(true).with_threshold(30);
+    grp.bench_function("shadow_records_3k_nodes", |b| {
+        b.iter(|| black_box(build_node_records(&g, &strat, 16)));
+    });
+    grp.bench_function("plain_records_3k_nodes", |b| {
+        b.iter(|| black_box(build_node_records(&g, &StrategyConfig::none(), 16)));
+    });
+    grp.finish();
+}
+
+criterion_group!(engines, bench_backends, bench_khop, bench_shadow_transform);
+criterion_main!(engines);

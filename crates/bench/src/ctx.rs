@@ -1,0 +1,99 @@
+//! Shared experiment context: output directory, scale factor, model cache.
+
+use inferturbo_cluster::ClusterSpec;
+use inferturbo_core::models::GnnModel;
+use inferturbo_core::signature;
+use inferturbo_core::train::{train, TrainConfig};
+use inferturbo_graph::Dataset;
+use std::path::{Path, PathBuf};
+
+/// Experiment context threaded through every table/figure module.
+pub struct ExpCtx {
+    /// Directory for CSV dumps and cached trained models.
+    pub out_dir: PathBuf,
+    /// Quick mode shrinks workloads ~10× for smoke runs.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExpCtx {
+    pub fn new(out_dir: impl Into<PathBuf>, quick: bool) -> Self {
+        let out_dir = out_dir.into();
+        std::fs::create_dir_all(&out_dir).ok();
+        std::fs::create_dir_all(out_dir.join("csv")).ok();
+        std::fs::create_dir_all(out_dir.join("models")).ok();
+        ExpCtx {
+            out_dir,
+            quick,
+            seed: 42,
+        }
+    }
+
+    /// Scale a node/edge count down in quick mode.
+    pub fn scaled(&self, n: usize) -> usize {
+        if self.quick {
+            (n / 10).max(1000)
+        } else {
+            n
+        }
+    }
+
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join("csv").join(name)
+    }
+
+    /// The Pregel cluster spec used by "ours" runs, with per-phase
+    /// overheads shrunk to match the graph scale-down (see lib.rs docs).
+    pub fn pregel_spec(&self, workers: usize) -> ClusterSpec {
+        let mut s = ClusterSpec::pregel_cluster(workers);
+        s.phase_overhead_secs = 0.1;
+        s
+    }
+
+    /// The MapReduce cluster spec, scaled like [`ExpCtx::pregel_spec`].
+    pub fn mr_spec(&self, workers: usize) -> ClusterSpec {
+        let mut s = ClusterSpec::mapreduce_cluster(workers);
+        s.phase_overhead_secs = 1.0;
+        s
+    }
+
+    /// Train a model once and cache its signature under `models/`; later
+    /// calls (and later experiments) reload the exact same weights.
+    pub fn trained_model(
+        &self,
+        tag: &str,
+        dataset: &Dataset,
+        build: impl FnOnce() -> GnnModel,
+        cfg: &TrainConfig,
+    ) -> GnnModel {
+        let path = self.out_dir.join("models").join(format!("{tag}.itsig"));
+        if path.exists() {
+            if let Ok(m) = signature::load(&path) {
+                return m;
+            }
+        }
+        let mut model = build();
+        let stats = train(&mut model, dataset, cfg).expect("training failed");
+        eprintln!(
+            "  [train {tag}] loss {:.4} -> {:.4} over {} steps",
+            stats.initial_loss(),
+            stats.final_loss(),
+            cfg.steps
+        );
+        signature::save(&model, &path).expect("signature save failed");
+        model
+    }
+}
+
+/// Write a CSV file (header + rows) and return its path for the printout.
+pub fn write_csv(path: &Path, header: &str, rows: &[String]) {
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    std::fs::write(path, body).expect("csv write failed");
+}

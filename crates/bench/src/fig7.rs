@@ -1,0 +1,71 @@
+//! Fig. 7 — consistency: number of distinct classes a node is predicted
+//! into over 10 runs of the sampled pipeline, per fanout; InferTurbo's
+//! full-graph inference is perfectly stable.
+
+use crate::ctx::write_csv;
+use crate::report::Table;
+use crate::table2::models_for;
+use crate::ExpCtx;
+use inferturbo_core::consistency::{audit_full_graph, audit_sampling};
+use inferturbo_core::infer::infer_reference;
+use inferturbo_core::models::GnnModel;
+use inferturbo_graph::Split;
+
+pub fn run(ctx: &ExpCtx) {
+    let d = crate::table2::mag_like(ctx);
+    // Reuse the Table II trained SAGE (same cache tag).
+    let (_, model) = models_for(ctx, &d, &d.name).swap_remove(0);
+    let mut targets = d.nodes_in(Split::Test);
+    targets.truncate(if ctx.quick { 150 } else { 600 });
+    let runs = 10;
+
+    let mut t = Table::new(
+        "Fig 7: nodes by number of distinct predicted classes over 10 runs",
+        &["pipeline", "1 class", "2", "3", "4", "5+", "unstable %"],
+    );
+    let mut csv_rows = Vec::new();
+    for fanout in [10usize, 50, 100, 1000] {
+        let rep = audit_sampling(&model, &d.graph, &targets, fanout, runs, ctx.seed)
+            .expect("sampling audit");
+        t.rowv(vec![
+            format!("sampled nbr{fanout}"),
+            rep.hist[0].to_string(),
+            rep.hist[1].to_string(),
+            rep.hist[2].to_string(),
+            rep.hist[3].to_string(),
+            rep.hist[4].to_string(),
+            format!("{:.2}%", rep.unstable_fraction() * 100.0),
+        ]);
+        csv_rows.push(format!(
+            "nbr{fanout},{},{},{},{},{}",
+            rep.hist[0], rep.hist[1], rep.hist[2], rep.hist[3], rep.hist[4]
+        ));
+    }
+    // Ours: rerun full-graph inference; the histogram must collapse to
+    // the 1-class bucket.
+    let full = audit_full_graph(3, targets.len(), |_| {
+        let logits = infer_reference(&model, &d.graph);
+        Ok(targets
+            .iter()
+            .map(|&v| GnnModel::predict_class(&logits[v as usize]))
+            .collect())
+    })
+    .expect("full-graph audit");
+    assert!(full.is_consistent(), "full-graph inference must be stable");
+    t.rowv(vec![
+        "ours (full-graph)".into(),
+        full.hist[0].to_string(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        "0.00%".into(),
+    ]);
+    csv_rows.push(format!("ours,{},0,0,0,0", full.hist[0]));
+    t.print();
+    write_csv(
+        &ctx.csv_path("fig7_consistency.csv"),
+        "pipeline,classes1,classes2,classes3,classes4,classes5plus",
+        &csv_rows,
+    );
+}

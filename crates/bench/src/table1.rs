@@ -1,0 +1,45 @@
+//! Table I — dataset summary (paper sizes vs scaled stand-ins).
+
+use crate::report::Table;
+use crate::ExpCtx;
+use inferturbo_graph::gen::DegreeSkew;
+use inferturbo_graph::{Dataset, Split};
+
+pub fn run(ctx: &ExpCtx) {
+    let datasets = vec![
+        Dataset::ppi_like(ctx.seed),
+        Dataset::products_like(ctx.seed),
+        Dataset::mag240m_like(ctx.seed),
+        Dataset::power_law(
+            ctx.scaled(100_000),
+            ctx.scaled(1_000_000),
+            DegreeSkew::In,
+            ctx.seed,
+        ),
+    ];
+    let mut t = Table::new(
+        "Table I: datasets (ours / paper)",
+        &[
+            "dataset", "nodes", "edges", "feat", "classes", "train", "paper-nodes",
+            "paper-edges",
+        ],
+    );
+    for d in &datasets {
+        let (max_in, max_out) = d.graph.max_degrees();
+        t.rowv(vec![
+            d.name.clone(),
+            d.graph.n_nodes().to_string(),
+            d.graph.n_edges().to_string(),
+            d.graph.node_feat_dim().to_string(),
+            d.graph.labels().num_classes().to_string(),
+            d.nodes_in(Split::Train).len().to_string(),
+            d.paper_nodes.to_string(),
+            d.paper_edges.to_string(),
+        ]);
+        eprintln!(
+            "  [{}] max in-degree {max_in}, max out-degree {max_out}",
+            d.name
+        );
+    }
+    t.print();
+}

@@ -1,0 +1,145 @@
+//! Table II — effectiveness: accuracy/micro-F1 parity between the
+//! traditional sampled pipeline ("PyG"/"DGL" stand-ins) and InferTurbo.
+//!
+//! The PyG and DGL columns run the k-hop pipeline with fanout-50 sampling
+//! under two different seeds (two independent deployments of the same
+//! stochastic method). The Ours column is full-graph inference; for the
+//! small/medium datasets it is produced by the actual Pregel backend, for
+//! the large one by the single-machine reference (same kernels; the
+//! backend-equivalence tests in `inferturbo-core` cover the identity).
+
+use crate::report::Table;
+use crate::ExpCtx;
+use inferturbo_core::baseline::predict_with_sampling;
+use inferturbo_core::infer::{infer_pregel, infer_reference};
+use inferturbo_core::models::{GnnModel, PoolOp};
+use inferturbo_core::strategy::StrategyConfig;
+use inferturbo_core::train::TrainConfig;
+use inferturbo_graph::{Dataset, Split};
+use inferturbo_tensor::Matrix;
+
+struct EvalSet {
+    targets: Vec<u32>,
+}
+
+impl EvalSet {
+    fn new(ctx: &ExpCtx, d: &Dataset) -> EvalSet {
+        let mut targets = d.nodes_in(Split::Test);
+        targets.truncate(if ctx.quick { 400 } else { 2000 });
+        EvalSet { targets }
+    }
+
+    /// Accuracy (single-label) or micro-F1 (multi-label) of per-target
+    /// logits.
+    fn score(&self, d: &Dataset, logits: &[Vec<f32>]) -> f64 {
+        let labels = d.graph.labels();
+        if labels.is_multilabel() {
+            let c = labels.num_classes() as usize;
+            let mut flat = Matrix::zeros(self.targets.len(), c);
+            let mut truth = Matrix::zeros(self.targets.len(), c);
+            for (i, &t) in self.targets.iter().enumerate() {
+                flat.row_mut(i).copy_from_slice(&logits[i]);
+                truth.row_mut(i).copy_from_slice(&labels.multilabel_row(t));
+            }
+            inferturbo_tensor::loss::micro_f1(&flat, &truth, &vec![true; self.targets.len()])
+        } else {
+            let correct = self
+                .targets
+                .iter()
+                .enumerate()
+                .filter(|(i, &t)| GnnModel::predict_class(&logits[*i]) == labels.class_of(t))
+                .count();
+            correct as f64 / self.targets.len().max(1) as f64
+        }
+    }
+}
+
+fn train_cfg(ctx: &ExpCtx) -> TrainConfig {
+    TrainConfig {
+        steps: if ctx.quick { 40 } else { 150 },
+        batch_size: 64,
+        fanout: Some(10),
+        lr: 5e-3,
+        weight_decay: 1e-5,
+        clip_norm: 5.0,
+        seed: ctx.seed,
+    }
+}
+
+pub fn models_for(ctx: &ExpCtx, d: &Dataset, tag_prefix: &str) -> Vec<(String, GnnModel)> {
+    let feat = d.graph.node_feat_dim();
+    let classes = d.graph.labels().num_classes() as usize;
+    let ml = d.graph.labels().is_multilabel();
+    let cfg = train_cfg(ctx);
+    vec![
+        (
+            "SAGE".into(),
+            ctx.trained_model(
+                &format!("{tag_prefix}-sage"),
+                d,
+                || GnnModel::sage(feat, 64, 2, classes, ml, PoolOp::Mean, 1),
+                &cfg,
+            ),
+        ),
+        (
+            "GAT".into(),
+            ctx.trained_model(
+                &format!("{tag_prefix}-gat"),
+                d,
+                || GnnModel::gat(feat, 64, 4, 2, classes, ml, 2),
+                &cfg,
+            ),
+        ),
+    ]
+}
+
+/// The mag240m-like graph, shrunk 10x in quick mode.
+pub fn mag_like(ctx: &ExpCtx) -> Dataset {
+    Dataset::mag240m_like_scaled(ctx.seed, if ctx.quick { 10 } else { 1 })
+}
+
+pub fn run(ctx: &ExpCtx) {
+    let datasets: Vec<(Dataset, bool)> = vec![
+        (Dataset::ppi_like(ctx.seed), true), // true = run real Pregel backend
+        (Dataset::products_like(ctx.seed), true),
+        (mag_like(ctx), false),
+    ];
+    let mut t = Table::new(
+        "Table II: prediction performance (accuracy / micro-F1)",
+        &["model", "dataset", "PyG-like", "DGL-like", "Ours"],
+    );
+    for (d, use_backend) in &datasets {
+        let eval = EvalSet::new(ctx, d);
+        for (mname, model) in models_for(ctx, d, &d.name) {
+            let pyg = predict_with_sampling(&model, &d.graph, &eval.targets, Some(50), 512, 101)
+                .expect("baseline run");
+            let dgl = predict_with_sampling(&model, &d.graph, &eval.targets, Some(50), 512, 202)
+                .expect("baseline run");
+            let ours_all = if *use_backend {
+                infer_pregel(
+                    &model,
+                    &d.graph,
+                    ctx.pregel_spec(100),
+                    StrategyConfig::all(),
+                )
+                .expect("pregel inference")
+                .logits
+            } else {
+                infer_reference(&model, &d.graph)
+            };
+            let ours: Vec<Vec<f32>> = eval
+                .targets
+                .iter()
+                .map(|&v| ours_all[v as usize].clone())
+                .collect();
+            t.rowv(vec![
+                mname.clone(),
+                d.name.clone(),
+                format!("{:.3}", eval.score(d, &pyg)),
+                format!("{:.3}", eval.score(d, &dgl)),
+                format!("{:.3}", eval.score(d, &ours)),
+            ]);
+        }
+    }
+    t.print();
+}

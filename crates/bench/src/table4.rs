@@ -1,0 +1,63 @@
+//! Table IV — time & resource vs hop count (1/2/3): fanout-sampled
+//! traditional pipelines grow exponentially (nbr10000 eventually OOMs),
+//! InferTurbo grows linearly.
+
+use crate::report::{f, Table};
+use crate::ExpCtx;
+use crate::table3::{scaled_baseline, OURS_WORKERS};
+use inferturbo_core::baseline::estimate_full_inference;
+use inferturbo_core::infer::infer_mapreduce;
+use inferturbo_core::models::{GnnModel, PoolOp};
+use inferturbo_core::strategy::StrategyConfig;
+
+pub fn run(ctx: &ExpCtx) {
+    let d = crate::table2::mag_like(ctx);
+    let feat = d.graph.node_feat_dim();
+    let classes = d.graph.labels().num_classes() as usize;
+    let mut t = Table::new(
+        "Table IV: time (s) and resource (cpu*min) vs hops — SAGE",
+        &["pipeline", "hops", "time (s)", "resource (cpu*min)", "note"],
+    );
+    for hops in 1..=3usize {
+        // Cost profiles do not depend on trained weight values, so fresh
+        // models with the right dimensions suffice here.
+        let model = GnnModel::sage(feat, 64, hops, classes, false, PoolOp::Mean, 1);
+        for (name, fanout) in [("nbr50", Some(50usize)), ("nbr10000", Some(10_000))] {
+            let est = estimate_full_inference(&model, &d.graph, &scaled_baseline(hops, fanout));
+            let note = if est.oom {
+                format!("OOM (peak batch {})", f(est.peak_batch_bytes as f64))
+            } else {
+                format!("visits {:.2e}", est.total_node_visits)
+            };
+            t.rowv(vec![
+                name.into(),
+                hops.to_string(),
+                if est.oom { "-".into() } else { f(est.wall_secs) },
+                if est.oom {
+                    "-".into()
+                } else {
+                    f(est.resource_cpu_min)
+                },
+                note,
+            ]);
+        }
+        let mut mr_spec = ctx.mr_spec(OURS_WORKERS);
+        mr_spec.phase_overhead_secs = 0.5;
+        let ours = infer_mapreduce(&model, &d.graph, mr_spec, StrategyConfig::all())
+        .expect("mr inference");
+        t.rowv(vec![
+            "ours (On-MR)".into(),
+            hops.to_string(),
+            f(ours.report.total_wall_secs()),
+            f(ours.report.resource_cpu_min()),
+            format!(
+                "visits {:.2e}",
+                (d.graph.n_nodes() * hops) as f64
+            ),
+        ]);
+    }
+    t.print();
+    println!(
+        "shape check: baseline time grows ~exponentially in hops; ours grows linearly.\n"
+    );
+}

@@ -1,0 +1,33 @@
+//! Shared workload builders for the strategy/scalability experiments.
+
+use crate::ExpCtx;
+use inferturbo_core::models::{GnnModel, PoolOp};
+use inferturbo_graph::gen::DegreeSkew;
+use inferturbo_graph::Dataset;
+
+/// Worker fleet for the strategy figures (9–13).
+pub const STRATEGY_WORKERS: usize = 100;
+
+/// The Fig. 9–13 power-law graph: paper uses ~100M nodes / 1.4B edges;
+/// ours is scaled 10³× to 100k / 1.4M (quick mode: 10k / 140k).
+pub fn strategy_graph(ctx: &ExpCtx, skew: DegreeSkew) -> Dataset {
+    let n = ctx.scaled(100_000);
+    let e = ctx.scaled(1_400_000);
+    Dataset::power_law(n, e, skew, ctx.seed)
+}
+
+/// The 2-layer GraphSAGE used by the strategy figures (embedding 64, as in
+/// the paper's strategy analysis). Weights untrained: cost profiles do not
+/// depend on weight values.
+pub fn strategy_model(feat_dim: usize) -> GnnModel {
+    GnnModel::sage(feat_dim, 64, 2, 2, false, PoolOp::Mean, 7)
+}
+
+/// Per-worker busy seconds of the whole run, from a run report.
+pub fn worker_busy_secs(report: &inferturbo_cluster::RunReport) -> Vec<f64> {
+    report
+        .worker_totals()
+        .iter()
+        .map(|t| t.busy_secs)
+        .collect()
+}

@@ -1,0 +1,28 @@
+//! Simulated distributed runtime.
+//!
+//! The paper evaluates on Ant Group production clusters (≈1000 Pregel
+//! instances with 2 CPU / 10 GB each, ≈5000 MapReduce instances with
+//! 2 CPU / 2 GB, 20 Gb/s network). A laptop-scale reproduction cannot rent
+//! that hardware, so this crate substitutes a **deterministic simulated
+//! cluster**: engines execute the real dataflow in-process, partitioned
+//! exactly as they would be across workers, while every phase records *real*
+//! per-worker byte counts (serialized frames) and FLOP counts. A calibrated
+//! cost model then converts those counts into per-worker time, phase
+//! wall-clock (max over workers — stragglers emerge naturally), total
+//! runtime, and `cpu·min` resource usage.
+//!
+//! What is measured vs. modelled:
+//! - **measured**: message bytes, record counts, arithmetic operation
+//!   counts, per-worker memory residency, prediction values;
+//! - **modelled**: FLOP/s per core, network bandwidth, per-phase scheduling
+//!   overhead, per-worker memory caps (OOM).
+//!
+//! The paper's tables are about relative shapes (who wins, where stragglers
+//! appear, linearity in scale); those are functions of the measured
+//! distributions, not of the modelled constants.
+
+pub mod metrics;
+pub mod spec;
+
+pub use metrics::{PhaseReport, RunReport, WorkerPhase};
+pub use spec::ClusterSpec;

@@ -1,0 +1,339 @@
+//! Per-worker accounting and the cost model.
+//!
+//! Engines fill a [`WorkerPhase`] per worker per phase with *measured*
+//! quantities (bytes, records, FLOPs, peak memory); [`PhaseReport::seal`]
+//! applies the cost model to produce per-worker times and the straggler-
+//! dominated wall clock. [`RunReport`] aggregates phases into the quantities
+//! the paper's tables report: total time, `cpu·min` resource usage, and the
+//! per-worker IO distributions behind Figs. 9–13.
+
+use crate::spec::ClusterSpec;
+
+/// Measured activity of one worker during one phase.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct WorkerPhase {
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub records_in: u64,
+    pub records_out: u64,
+    /// Floating-point operations executed by the worker's compute stages.
+    pub flops: f64,
+    /// Peak resident bytes (graph state + message buffers).
+    pub mem_peak: u64,
+}
+
+impl WorkerPhase {
+    /// Record an outgoing message of `bytes` on the sender side.
+    pub fn send(&mut self, bytes: u64) {
+        self.bytes_out += bytes;
+        self.records_out += 1;
+    }
+
+    /// Record an incoming message of `bytes` on the receiver side.
+    pub fn recv(&mut self, bytes: u64) {
+        self.bytes_in += bytes;
+        self.records_in += 1;
+    }
+
+    /// Track a new resident-size high-water mark.
+    pub fn touch_mem(&mut self, resident: u64) {
+        if resident > self.mem_peak {
+            self.mem_peak = resident;
+        }
+    }
+}
+
+/// One engine phase (a Pregel superstep, a Map wave, a Reduce wave) after
+/// cost-model evaluation.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    pub name: String,
+    pub per_worker: Vec<WorkerPhase>,
+    /// Modelled busy time per worker, seconds.
+    pub worker_secs: Vec<f64>,
+    /// Wall-clock of the phase: slowest worker + phase overhead.
+    pub wall_secs: f64,
+}
+
+impl PhaseReport {
+    /// Apply the cost model to raw per-worker measurements.
+    ///
+    /// Worker time = compute + communication, where compute parallelises
+    /// across the worker's cores and communication is bounded by the larger
+    /// of ingress/egress (full-duplex NIC).
+    pub fn seal(name: impl Into<String>, spec: &ClusterSpec, per_worker: Vec<WorkerPhase>) -> Self {
+        let worker_secs: Vec<f64> = per_worker
+            .iter()
+            .map(|wp| {
+                let compute =
+                    wp.flops / (spec.cpus_per_worker as f64 * spec.flops_per_cpu);
+                let comm = wp.bytes_in.max(wp.bytes_out) as f64 / spec.bandwidth_bytes;
+                compute + comm
+            })
+            .collect();
+        let slowest = worker_secs.iter().cloned().fold(0.0f64, f64::max);
+        PhaseReport {
+            name: name.into(),
+            per_worker,
+            worker_secs,
+            wall_secs: slowest + spec.phase_overhead_secs,
+        }
+    }
+
+    /// Total bytes sent by all workers in this phase.
+    pub fn bytes_out_total(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.bytes_out).sum()
+    }
+
+    /// Total bytes received by all workers in this phase.
+    pub fn bytes_in_total(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.bytes_in).sum()
+    }
+}
+
+/// A complete engine run: a sequence of phases on one cluster spec.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub spec: ClusterSpec,
+    pub phases: Vec<PhaseReport>,
+}
+
+impl RunReport {
+    pub fn new(spec: ClusterSpec) -> Self {
+        RunReport {
+            spec,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Seal and append a phase.
+    pub fn push_phase(&mut self, name: impl Into<String>, per_worker: Vec<WorkerPhase>) {
+        self.phases
+            .push(PhaseReport::seal(name, &self.spec, per_worker));
+    }
+
+    /// End-to-end modelled wall clock, seconds.
+    pub fn total_wall_secs(&self) -> f64 {
+        self.phases.iter().map(|p| p.wall_secs).sum()
+    }
+
+    /// Resource usage in `cpu·min`, honouring the spec's accounting mode:
+    /// reserved gangs bill every worker for the phase wall time, elastic
+    /// pools bill busy time only (plus the scheduling overhead each busy
+    /// worker observes).
+    pub fn resource_cpu_min(&self) -> f64 {
+        let cpus = self.spec.cpus_per_worker as f64;
+        let total_secs: f64 = self
+            .phases
+            .iter()
+            .map(|p| {
+                if self.spec.elastic {
+                    let busy: f64 = p
+                        .worker_secs
+                        .iter()
+                        .map(|&s| {
+                            if s > 0.0 {
+                                s + self.spec.phase_overhead_secs
+                            } else {
+                                0.0
+                            }
+                        })
+                        .sum();
+                    busy * cpus
+                } else {
+                    p.wall_secs * self.spec.workers as f64 * cpus
+                }
+            })
+            .sum();
+        total_secs / 60.0
+    }
+
+    /// Total bytes shuffled across the whole run.
+    pub fn total_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.bytes_out_total()).sum()
+    }
+
+    /// Per-worker totals across phases — the distributions of Figs. 9–13.
+    /// Returns `(bytes_in, bytes_out, records_in, records_out, busy_secs)`
+    /// per worker.
+    pub fn worker_totals(&self) -> Vec<WorkerTotals> {
+        let n = self.spec.workers;
+        let mut out = vec![WorkerTotals::default(); n];
+        for p in &self.phases {
+            for (w, wp) in p.per_worker.iter().enumerate() {
+                out[w].bytes_in += wp.bytes_in;
+                out[w].bytes_out += wp.bytes_out;
+                out[w].records_in += wp.records_in;
+                out[w].records_out += wp.records_out;
+                out[w].busy_secs += p.worker_secs[w];
+                out[w].mem_peak = out[w].mem_peak.max(wp.mem_peak);
+            }
+        }
+        out
+    }
+
+    /// Largest per-worker memory peak across all phases (OOM diagnostics).
+    pub fn max_mem_peak(&self) -> u64 {
+        self.phases
+            .iter()
+            .flat_map(|p| p.per_worker.iter().map(|w| w.mem_peak))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Whole-run per-worker aggregate.
+#[derive(Debug, Default, Clone)]
+pub struct WorkerTotals {
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub records_in: u64,
+    pub records_out: u64,
+    pub busy_secs: f64,
+    pub mem_peak: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(spec: &ClusterSpec, loads: &[(f64, u64, u64)]) -> PhaseReport {
+        let per_worker = loads
+            .iter()
+            .map(|&(flops, bin, bout)| WorkerPhase {
+                flops,
+                bytes_in: bin,
+                bytes_out: bout,
+                ..Default::default()
+            })
+            .collect();
+        PhaseReport::seal("t", spec, per_worker)
+    }
+
+    #[test]
+    fn worker_time_is_compute_plus_comm() {
+        let spec = ClusterSpec::test_spec(2); // 1e6 flops/s, 1e6 B/s
+        let p = phase(&spec, &[(2.0e6, 500_000, 0), (0.0, 0, 0)]);
+        // 2 s compute + 0.5 s comm
+        assert!((p.worker_secs[0] - 2.5).abs() < 1e-9);
+        assert_eq!(p.worker_secs[1], 0.0);
+        assert!((p.wall_secs - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_clock_is_straggler_bound() {
+        let spec = ClusterSpec::test_spec(3);
+        let p = phase(&spec, &[(1.0e6, 0, 0), (5.0e6, 0, 0), (2.0e6, 0, 0)]);
+        assert!((p.wall_secs - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_duplex_comm_takes_max_direction() {
+        let spec = ClusterSpec::test_spec(1);
+        let p = phase(&spec, &[(0.0, 300_000, 800_000)]);
+        assert!((p.worker_secs[0] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_overhead_charged_once_per_phase() {
+        let mut spec = ClusterSpec::test_spec(2);
+        spec.phase_overhead_secs = 3.0;
+        let p = phase(&spec, &[(1.0e6, 0, 0), (0.0, 0, 0)]);
+        assert!((p.wall_secs - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reserved_resource_bills_all_workers() {
+        let spec = ClusterSpec::test_spec(4); // 1 cpu each, reserved
+        let mut run = RunReport::new(spec);
+        run.push_phase(
+            "p",
+            vec![
+                WorkerPhase {
+                    flops: 60.0e6, // 60 s
+                    ..Default::default()
+                },
+                WorkerPhase::default(),
+                WorkerPhase::default(),
+                WorkerPhase::default(),
+            ],
+        );
+        // wall = 60 s; resource = 60 s * 4 workers * 1 cpu = 4 cpu·min
+        assert!((run.total_wall_secs() - 60.0).abs() < 1e-9);
+        assert!((run.resource_cpu_min() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elastic_resource_bills_busy_time_only() {
+        let mut spec = ClusterSpec::test_spec(4);
+        spec.elastic = true;
+        let mut run = RunReport::new(spec);
+        run.push_phase(
+            "p",
+            vec![
+                WorkerPhase {
+                    flops: 60.0e6,
+                    ..Default::default()
+                },
+                WorkerPhase::default(),
+                WorkerPhase::default(),
+                WorkerPhase::default(),
+            ],
+        );
+        // only worker 0 is billed: 1 cpu·min
+        assert!((run.resource_cpu_min() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_recv_bookkeeping() {
+        let mut wp = WorkerPhase::default();
+        wp.send(100);
+        wp.send(50);
+        wp.recv(30);
+        wp.touch_mem(1000);
+        wp.touch_mem(500);
+        assert_eq!(wp.bytes_out, 150);
+        assert_eq!(wp.records_out, 2);
+        assert_eq!(wp.bytes_in, 30);
+        assert_eq!(wp.records_in, 1);
+        assert_eq!(wp.mem_peak, 1000);
+    }
+
+    #[test]
+    fn worker_totals_accumulate_across_phases() {
+        let spec = ClusterSpec::test_spec(2);
+        let mut run = RunReport::new(spec);
+        for _ in 0..3 {
+            let mut a = WorkerPhase::default();
+            a.send(10);
+            let mut b = WorkerPhase::default();
+            b.recv(10);
+            run.push_phase("s", vec![a, b]);
+        }
+        let totals = run.worker_totals();
+        assert_eq!(totals[0].bytes_out, 30);
+        assert_eq!(totals[1].bytes_in, 30);
+        assert_eq!(run.total_bytes(), 30);
+    }
+
+    #[test]
+    fn total_wall_sums_phases() {
+        let spec = ClusterSpec::test_spec(1);
+        let mut run = RunReport::new(spec);
+        run.push_phase(
+            "a",
+            vec![WorkerPhase {
+                flops: 1.0e6,
+                ..Default::default()
+            }],
+        );
+        run.push_phase(
+            "b",
+            vec![WorkerPhase {
+                flops: 2.0e6,
+                ..Default::default()
+            }],
+        );
+        assert!((run.total_wall_secs() - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,463 @@
+//! Wire format for inter-worker messages.
+//!
+//! The paper's IO figures (Figs. 11–13) report *bytes* moved between workers,
+//! so the simulated cluster ships real serialized frames rather than Rust
+//! values: every message is encoded with this codec, counted, and decoded on
+//! the receiving worker. The format is little-endian with LEB128 varints for
+//! lengths and ids — close to what a production shuffle (e.g. Spark's
+//! UnsafeRow or a protobuf stream) would pay per record.
+
+use crate::error::{Error, Result};
+use bytes::{Buf, BufMut};
+
+/// Serialize `self` into a growing byte buffer.
+pub trait Encode {
+    fn encode(&self, w: &mut WireWriter);
+
+    /// Convenience: encode into a fresh `Vec<u8>`.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Exact encoded size in bytes (computed by encoding; override if a
+    /// cheaper closed form exists for a hot type).
+    fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+/// Deserialize `Self` from a byte cursor.
+pub trait Decode: Sized {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self>;
+
+    /// Convenience: decode from a complete byte slice, requiring full
+    /// consumption (catches framing bugs early).
+    fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(Error::Codec(format!(
+                "{} trailing bytes after decode",
+                r.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+/// Append-only byte sink with varint helpers.
+#[derive(Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    pub fn new() -> Self {
+        WireWriter { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// LEB128 unsigned varint: 1 byte for values < 128, which covers almost
+    /// all lengths and small ids in practice.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                return;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_f32_le(v);
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Length-prefixed f32 slice — the dominant payload (embeddings).
+    pub fn put_f32_slice(&mut self, v: &[f32]) {
+        self.put_varint(v.len() as u64);
+        for &x in v {
+            self.buf.put_f32_le(x);
+        }
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_varint(v.len() as u64);
+        self.buf.put_slice(v);
+    }
+
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Cursor over a received frame.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn need(&self, n: usize) -> Result<()> {
+        if self.buf.remaining() < n {
+            Err(Error::Codec(format!(
+                "need {n} bytes, only {} remain",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn get_varint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            self.need(1)?;
+            let byte = self.buf.get_u8();
+            if shift >= 64 {
+                return Err(Error::Codec("varint overflow".into()));
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    pub fn get_f32(&mut self) -> Result<f32> {
+        self.need(4)?;
+        Ok(self.buf.get_f32_le())
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    pub fn get_f32_vec(&mut self) -> Result<Vec<f32>> {
+        let n = self.get_varint()? as usize;
+        let byte_len = n
+            .checked_mul(4)
+            .ok_or_else(|| Error::Codec(format!("f32 vec length {n} overflows")))?;
+        self.need(byte_len)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.buf.get_f32_le());
+        }
+        Ok(out)
+    }
+
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.get_varint()? as usize;
+        self.need(n)?;
+        let mut out = vec![0u8; n];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    pub fn get_string(&mut self) -> Result<String> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b).map_err(|e| Error::Codec(format!("invalid utf8: {e}")))
+    }
+}
+
+// ---- blanket implementations for common payload shapes -------------------
+
+impl Encode for u64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        r.get_varint()
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(*self as u64);
+    }
+}
+
+impl Decode for u32 {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let v = r.get_varint()?;
+        u32::try_from(v).map_err(|_| Error::Codec("u32 overflow".into()))
+    }
+}
+
+impl Encode for f32 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_f32(*self);
+    }
+}
+
+impl Decode for f32 {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        r.get_f32()
+    }
+}
+
+impl Encode for Vec<f32> {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_f32_slice(self);
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len() * 4
+    }
+}
+
+impl Decode for Vec<f32> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        r.get_f32_vec()
+    }
+}
+
+impl Encode for Vec<u64> {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.len() as u64);
+        for &x in self {
+            w.put_varint(x);
+        }
+    }
+}
+
+impl Decode for Vec<u64> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let n = r.get_varint()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(r.get_varint()?);
+        }
+        Ok(out)
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(self);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        r.get_string()
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut WireWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(Error::Codec(format!("invalid Option tag {tag}"))),
+        }
+    }
+}
+
+/// Number of bytes a varint encoding of `v` occupies.
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    (64 - v.leading_zeros() as usize).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut w = WireWriter::new();
+            w.put_varint(v);
+            let bytes = w.into_bytes();
+            assert_eq!(bytes.len(), varint_len(v), "len mismatch for {v}");
+            let mut r = WireReader::new(&bytes);
+            assert_eq!(r.get_varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_panic() {
+        let v = vec![1.0f32, 2.0, 3.0];
+        let bytes = v.to_bytes();
+        for cut in 0..bytes.len() {
+            let res = Vec::<f32>::from_bytes(&bytes[..cut]);
+            assert!(res.is_err(), "cut at {cut} should fail");
+        }
+        assert_eq!(Vec::<f32>::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 5u64.to_bytes();
+        bytes.push(0);
+        assert!(u64::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<Vec<f32>> = Some(vec![1.5, -2.5]);
+        let none: Option<Vec<f32>> = None;
+        assert_eq!(Option::<Vec<f32>>::from_bytes(&some.to_bytes()).unwrap(), some);
+        assert_eq!(Option::<Vec<f32>>::from_bytes(&none.to_bytes()).unwrap(), none);
+        assert!(Option::<Vec<f32>>::from_bytes(&[7u8]).is_err());
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_for_f32_vec() {
+        for n in [0usize, 1, 10, 200] {
+            let v: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            assert_eq!(v.encoded_len(), v.to_bytes().len());
+        }
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        let p: (u64, Vec<f32>) = (99, vec![0.25, 0.5]);
+        let got = <(u64, Vec<f32>)>::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(got, p);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_varint_roundtrip(v in any::<u64>()) {
+            let mut w = WireWriter::new();
+            w.put_varint(v);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            prop_assert_eq!(r.get_varint().unwrap(), v);
+            prop_assert!(r.is_empty());
+        }
+
+        #[test]
+        fn prop_f32_vec_roundtrip(v in proptest::collection::vec(any::<f32>(), 0..256)) {
+            let bytes = v.to_bytes();
+            let got = Vec::<f32>::from_bytes(&bytes).unwrap();
+            // NaN-safe bitwise comparison
+            prop_assert_eq!(got.len(), v.len());
+            for (a, b) in got.iter().zip(v.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_u64_vec_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..256)) {
+            let got = Vec::<u64>::from_bytes(&v.to_bytes()).unwrap();
+            prop_assert_eq!(got, v);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".{0,64}") {
+            let got = String::from_bytes(&s.to_bytes()).unwrap();
+            prop_assert_eq!(got, s);
+        }
+
+        #[test]
+        fn prop_random_bytes_never_panic(b in proptest::collection::vec(any::<u8>(), 0..128)) {
+            // Decoding arbitrary garbage must fail gracefully, never panic.
+            let _ = Vec::<f32>::from_bytes(&b);
+            let _ = Vec::<u64>::from_bytes(&b);
+            let _ = String::from_bytes(&b);
+            let _ = Option::<Vec<f32>>::from_bytes(&b);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Workspace-wide error type.
+//!
+//! The simulated cluster can fail in ways a real cluster fails (out of
+//! memory, missing partitions, corrupt messages), and those failures must be
+//! values — the paper's Table IV reports an OOM cell, so the harness needs to
+//! catch it rather than abort the process.
+
+use std::fmt;
+
+/// Convenience alias used across all InferTurbo crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Unified error for the InferTurbo workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A simulated worker exceeded its memory budget.
+    ///
+    /// Carries the worker id, the attempted resident size, and the cap so the
+    /// experiment harness can report *where* the pipeline fell over.
+    OutOfMemory {
+        worker: usize,
+        attempted_bytes: u64,
+        cap_bytes: u64,
+    },
+    /// Wire-format decoding failed (truncated or corrupt frame).
+    Codec(String),
+    /// A model signature or configuration was internally inconsistent.
+    InvalidConfig(String),
+    /// A graph operation referenced a node or edge that does not exist.
+    InvalidGraph(String),
+    /// A layer violated its own annotation contract
+    /// (e.g. `partial_gather = true` with a non-associative aggregate).
+    AnnotationViolation(String),
+    /// Shape mismatch in a tensor operation.
+    ShapeMismatch(String),
+    /// An engine phase failed; wraps the phase name and inner error.
+    Phase {
+        phase: String,
+        source: Box<Error>,
+    },
+    /// Catch-all for I/O style failures in the harness.
+    Io(String),
+}
+
+impl Error {
+    /// Wrap `self` with the name of the engine phase that produced it.
+    pub fn in_phase(self, phase: impl Into<String>) -> Error {
+        Error::Phase {
+            phase: phase.into(),
+            source: Box::new(self),
+        }
+    }
+
+    /// True if this error (or its cause chain) is an out-of-memory failure.
+    ///
+    /// Table IV needs to distinguish "crashed with OOM" from other failures.
+    pub fn is_oom(&self) -> bool {
+        match self {
+            Error::OutOfMemory { .. } => true,
+            Error::Phase { source, .. } => source.is_oom(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfMemory {
+                worker,
+                attempted_bytes,
+                cap_bytes,
+            } => write!(
+                f,
+                "worker {worker} out of memory: needed {attempted_bytes} bytes, cap {cap_bytes}"
+            ),
+            Error::Codec(msg) => write!(f, "codec error: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::InvalidGraph(msg) => write!(f, "invalid graph: {msg}"),
+            Error::AnnotationViolation(msg) => write!(f, "annotation violation: {msg}"),
+            Error::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            Error::Phase { phase, source } => write!(f, "phase `{phase}` failed: {source}"),
+            Error::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_is_detected_through_phase_wrapper() {
+        let e = Error::OutOfMemory {
+            worker: 3,
+            attempted_bytes: 1024,
+            cap_bytes: 512,
+        }
+        .in_phase("reduce-1");
+        assert!(e.is_oom());
+        let msg = e.to_string();
+        assert!(msg.contains("reduce-1"));
+        assert!(msg.contains("worker 3"));
+    }
+
+    #[test]
+    fn non_oom_errors_are_not_oom() {
+        assert!(!Error::Codec("bad".into()).is_oom());
+        assert!(!Error::InvalidConfig("x".into()).in_phase("map").is_oom());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::ShapeMismatch("2x3 vs 4x5".into());
+        assert!(e.to_string().contains("2x3 vs 4x5"));
+    }
+}

@@ -1,0 +1,376 @@
+//! The traditional k-hop inference pipeline (paper §V-B's PyG/DGL rows).
+//!
+//! Current graph-learning systems run inference the way they train: pull
+//! each target's k-hop neighbourhood from a distributed graph store and
+//! forward the GNN over it, batch by batch. Two faithful costs follow:
+//!
+//! - **redundant computation** — overlapping neighbourhoods are processed
+//!   once per target (exponential in hops);
+//! - **store traffic** — every neighbourhood is fetched over the network.
+//!
+//! Two modes:
+//!
+//! - [`predict_with_sampling`] executes the pipeline for a target subset
+//!   (Table II accuracy, Fig. 7 consistency) with optional fan-out
+//!   sampling — the source of run-to-run instability;
+//! - [`estimate_full_inference`] accounts the *whole-graph* job without
+//!   executing it (Tables III & IV): exact expected node-visit counts per
+//!   hop, FLOPs, fetched bytes, straggler spread, and the per-batch memory
+//!   peak that decides OOM.
+
+use crate::models::tape::SubgraphBatch;
+use crate::models::GnnModel;
+use inferturbo_cluster::{ClusterSpec, RunReport, WorkerPhase};
+use inferturbo_common::{Result, Xoshiro256};
+use inferturbo_graph::{Csr, Graph, Subgraph};
+use inferturbo_tensor::Tape;
+
+/// Configuration of the traditional pipeline.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Neighbourhood depth; usually the model's layer count.
+    pub hops: usize,
+    /// Fan-out cap per hop; `None` = full neighbourhoods.
+    pub fanout: Option<usize>,
+    /// Roots per mini-batch on each inference worker.
+    pub batch_size: usize,
+    /// Inference worker fleet (the paper uses 200 × 10-CPU workers).
+    pub spec: ClusterSpec,
+    /// Distributed graph-store fleet serving neighbourhood queries.
+    pub store_workers: usize,
+    pub seed: u64,
+}
+
+impl BaselineConfig {
+    pub fn traditional(hops: usize, fanout: Option<usize>) -> Self {
+        BaselineConfig {
+            hops,
+            fanout,
+            batch_size: 512,
+            spec: ClusterSpec::traditional_cluster(),
+            store_workers: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// Execute the pipeline for `targets`, returning their logits in order.
+///
+/// Every batch extracts a fresh (sampled) neighbourhood — rerunning with a
+/// different `seed` yields different predictions whenever `fanout` bites,
+/// which is precisely the inconsistency Fig. 7 quantifies.
+pub fn predict_with_sampling(
+    model: &GnnModel,
+    graph: &Graph,
+    targets: &[u32],
+    fanout: Option<usize>,
+    batch_size: usize,
+    seed: u64,
+) -> Result<Vec<Vec<f32>>> {
+    let in_csr = Csr::in_of(graph);
+    let in_deg = graph.in_degrees();
+    let out_deg = graph.out_degrees();
+    let k = model.n_layers();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(targets.len());
+    for chunk in targets.chunks(batch_size.max(1)) {
+        let mut sample_rng = rng.fork(chunk[0] as u64 + 1);
+        let sub = Subgraph::extract(
+            &in_csr,
+            chunk,
+            k,
+            fanout,
+            fanout.map(|_| &mut sample_rng),
+        );
+        let batch = SubgraphBatch::from_subgraph(graph, &sub, &in_deg, &out_deg);
+        let mut tape = Tape::new();
+        let fwd = model.forward_tape(&mut tape, &batch, false);
+        let logits = tape.value(fwd.logits);
+        for i in 0..sub.n_roots {
+            out.push(logits.row(i).to_vec());
+        }
+    }
+    Ok(out)
+}
+
+/// Whole-graph cost estimate of the traditional pipeline.
+#[derive(Debug)]
+pub struct BaselineEstimate {
+    /// Cost-model report (single inference phase; store fetch folded into
+    /// per-worker ingress bytes).
+    pub report: RunReport,
+    /// Wall clock including the graph-store egress bottleneck.
+    pub wall_secs: f64,
+    /// Reserved-fleet resource usage.
+    pub resource_cpu_min: f64,
+    /// Expected node-forward count summed over all targets and hops — the
+    /// redundancy measure (ours would be `n_nodes · layers`).
+    pub total_node_visits: f64,
+    /// Largest single-batch subgraph footprint on any worker.
+    pub peak_batch_bytes: u64,
+    /// Whether that footprint exceeds the worker memory cap.
+    pub oom: bool,
+}
+
+/// Estimate the full-graph traditional inference job over every node.
+pub fn estimate_full_inference(
+    model: &GnnModel,
+    graph: &Graph,
+    cfg: &BaselineConfig,
+) -> BaselineEstimate {
+    let n = graph.n_nodes();
+    let in_csr = Csr::in_of(graph);
+    let in_deg = graph.in_degrees();
+    let k = cfg.hops;
+    let cap = |d: u32| -> f64 {
+        match cfg.fanout {
+            Some(f) => (d as f64).min(f as f64),
+            None => d as f64,
+        }
+    };
+
+    // a_h[v]: expected tree-width at depth h of root v (multiplicity counts
+    // — that is what redundant computation costs). One O(E) pass per hop.
+    let mut a_prev: Vec<f64> = vec![1.0; n]; // depth 0
+    let mut visits_per_root: Vec<f64> = vec![1.0; n];
+    let mut per_depth_totals: Vec<f64> = vec![n as f64];
+    // per-root expansion keep-ratio
+    let ratio: Vec<f64> = (0..n)
+        .map(|v| {
+            let d = in_deg[v];
+            if d == 0 {
+                0.0
+            } else {
+                cap(d) / d as f64
+            }
+        })
+        .collect();
+    let mut depth_layers: Vec<Vec<f64>> = vec![a_prev.clone()];
+    for _h in 1..=k {
+        // a_{h+1}[v] = ratio[v] · Σ_{u ∈ N_in(v)} a_h[u]: expanding v's
+        // depth-h frontier keeps a `ratio[v]` share of each subtree and
+        // recurses into v's in-neighbours.
+        let mut a_next = vec![0.0f64; n];
+        for v in 0..n as u32 {
+            if ratio[v as usize] == 0.0 {
+                continue;
+            }
+            let mut s = 0.0;
+            for &u in in_csr.neighbors(v) {
+                s += a_prev[u as usize];
+            }
+            a_next[v as usize] = ratio[v as usize] * s;
+        }
+        for v in 0..n {
+            visits_per_root[v] += a_next[v];
+        }
+        per_depth_totals.push(a_next.iter().sum());
+        depth_layers.push(a_next.clone());
+        a_prev = a_next;
+    }
+    let total_node_visits: f64 = visits_per_root.iter().sum();
+
+    // FLOPs per root: a node at depth h participates in layers 1..k-h.
+    // Use each layer's apply cost with the mean capped degree as message
+    // count (GAT's per-message work).
+    let mean_cap_deg = {
+        let s: f64 = (0..n).map(|v| cap(in_deg[v])).sum();
+        s / n as f64
+    };
+    let layer_flops: Vec<f64> = (0..model.n_layers().min(k).max(1))
+        .map(|l| {
+            if l < model.n_layers() {
+                let view = model.layer_view(l);
+                use crate::gas::GasLayer;
+                view.flops_apply_node(mean_cap_deg as usize)
+                    + mean_cap_deg * view.flops_aggregate_per_message()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    // cumulative: node at depth h costs Σ_{l=1..k-h} layer_flops[l-1]
+    let cum_from_depth: Vec<f64> = (0..=k)
+        .map(|h| layer_flops.iter().take(k - h).sum::<f64>())
+        .collect();
+    let flops_per_root: Vec<f64> = (0..n)
+        .map(|v| {
+            (0..=k)
+                .map(|h| depth_layers[h][v] * cum_from_depth[h])
+                .sum::<f64>()
+                + model.flops_head()
+        })
+        .collect();
+
+    // Fetched bytes per root: node records (features + framing) plus edge
+    // records for each expansion.
+    let feat_bytes = (graph.node_feat_dim() * 4 + 24) as f64;
+    let edge_bytes = 16.0;
+    let bytes_per_root: Vec<f64> = (0..n)
+        .map(|v| {
+            let nodes: f64 = visits_per_root[v];
+            let edges: f64 = (1..=k).map(|h| depth_layers[h][v]).sum::<f64>();
+            nodes * feat_bytes + edges * edge_bytes
+        })
+        .collect();
+
+    // Distribute targets round-robin over the inference fleet; track the
+    // largest batch footprint for the OOM check. A batch materialises its
+    // subgraph plus intermediate activations (~2x the fetched footprint).
+    let workers = cfg.spec.workers;
+    let mut per_worker = vec![WorkerPhase::default(); workers];
+    let mut batch_bytes = vec![0.0f64; workers];
+    let mut batch_fill = vec![0usize; workers];
+    let mut peak_batch = 0.0f64;
+    let activation_factor = 2.0;
+    for v in 0..n {
+        let w = v % workers;
+        per_worker[w].flops += flops_per_root[v];
+        per_worker[w].bytes_in += bytes_per_root[v] as u64;
+        per_worker[w].records_in += visits_per_root[v] as u64;
+        batch_bytes[w] += bytes_per_root[v] * activation_factor;
+        batch_fill[w] += 1;
+        if batch_fill[w] == cfg.batch_size {
+            peak_batch = peak_batch.max(batch_bytes[w]);
+            batch_bytes[w] = 0.0;
+            batch_fill[w] = 0;
+        }
+    }
+    for w in 0..workers {
+        peak_batch = peak_batch.max(batch_bytes[w]);
+        per_worker[w].touch_mem(peak_batch as u64);
+    }
+
+    let mut report = RunReport::new(cfg.spec);
+    report.push_phase("khop-inference", per_worker);
+    let phase_wall = report.phases[0].wall_secs;
+    // Graph-store egress bottleneck: all fetched bytes leave the store
+    // fleet's NICs.
+    let total_bytes: f64 = bytes_per_root.iter().sum();
+    let store_secs =
+        total_bytes / (cfg.store_workers.max(1) as f64 * cfg.spec.bandwidth_bytes);
+    let wall_secs = phase_wall.max(store_secs);
+    let resource_cpu_min =
+        wall_secs * cfg.spec.total_cpus() as f64 / 60.0;
+    let oom = (peak_batch as u64) > cfg.spec.memory_bytes;
+
+    BaselineEstimate {
+        report,
+        wall_secs,
+        resource_cpu_min,
+        total_node_visits,
+        peak_batch_bytes: peak_batch as u64,
+        oom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer_reference;
+    use crate::models::PoolOp;
+    use inferturbo_graph::gen::{generate, DegreeSkew, GenConfig};
+
+    fn graph() -> Graph {
+        generate(&GenConfig {
+            n_nodes: 300,
+            n_edges: 1800,
+            feat_dim: 6,
+            classes: 3,
+            skew: DegreeSkew::In,
+            seed: 21,
+            ..GenConfig::default()
+        })
+    }
+
+    #[test]
+    fn full_neighbourhood_prediction_matches_reference() {
+        // Without sampling, the traditional pipeline and full-graph
+        // inference agree — the difference is cost, not math.
+        let g = graph();
+        let m = GnnModel::sage(6, 8, 2, 3, false, PoolOp::Mean, 1);
+        let want = infer_reference(&m, &g);
+        let targets: Vec<u32> = (0..40).collect();
+        let got = predict_with_sampling(&m, &g, &targets, None, 16, 0).unwrap();
+        for (i, &t) in targets.iter().enumerate() {
+            for c in 0..3 {
+                assert!(
+                    (got[i][c] - want[t as usize][c]).abs() < 2e-3,
+                    "target {t} class {c}: {} vs {}",
+                    got[i][c],
+                    want[t as usize][c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_prediction_depends_on_seed() {
+        let g = graph();
+        let m = GnnModel::sage(6, 8, 2, 3, false, PoolOp::Mean, 1);
+        let targets: Vec<u32> = (0..60).collect();
+        let a = predict_with_sampling(&m, &g, &targets, Some(2), 16, 1).unwrap();
+        let b = predict_with_sampling(&m, &g, &targets, Some(2), 16, 2).unwrap();
+        assert_ne!(a, b, "different seeds must sample differently");
+        let a2 = predict_with_sampling(&m, &g, &targets, Some(2), 16, 1).unwrap();
+        assert_eq!(a, a2, "same seed must reproduce");
+    }
+
+    #[test]
+    fn estimate_visits_grow_with_hops() {
+        let g = graph();
+        let m = GnnModel::sage(6, 8, 3, 3, false, PoolOp::Mean, 1);
+        let mut last = 0.0;
+        for hops in 1..=3 {
+            let est = estimate_full_inference(
+                &m,
+                &g,
+                &BaselineConfig::traditional(hops, None),
+            );
+            assert!(
+                est.total_node_visits > last,
+                "visits must grow with hops: {last} -> {}",
+                est.total_node_visits
+            );
+            last = est.total_node_visits;
+        }
+        // 1-hop visits = n + Σ in_deg = n + E
+        let est1 = estimate_full_inference(&m, &g, &BaselineConfig::traditional(1, None));
+        let want = (g.n_nodes() + g.n_edges()) as f64;
+        assert!((est1.total_node_visits - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fanout_caps_visits() {
+        let g = graph();
+        let m = GnnModel::sage(6, 8, 2, 3, false, PoolOp::Mean, 1);
+        let full = estimate_full_inference(&m, &g, &BaselineConfig::traditional(2, None));
+        let capped =
+            estimate_full_inference(&m, &g, &BaselineConfig::traditional(2, Some(3)));
+        assert!(capped.total_node_visits < full.total_node_visits);
+    }
+
+    #[test]
+    fn oom_detected_with_tiny_memory() {
+        let g = graph();
+        let m = GnnModel::sage(6, 8, 2, 3, false, PoolOp::Mean, 1);
+        let mut cfg = BaselineConfig::traditional(2, None);
+        cfg.spec = cfg.spec.with_memory(1 << 10); // 1 KB workers
+        let est = estimate_full_inference(&m, &g, &cfg);
+        assert!(est.oom);
+        let mut roomy = BaselineConfig::traditional(2, None);
+        roomy.spec = roomy.spec.with_memory(1 << 40);
+        assert!(!estimate_full_inference(&m, &g, &roomy).oom);
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let g = graph();
+        let m = GnnModel::sage(6, 8, 2, 3, false, PoolOp::Mean, 1);
+        let cfg = BaselineConfig::traditional(2, Some(5));
+        let a = estimate_full_inference(&m, &g, &cfg);
+        let b = estimate_full_inference(&m, &g, &cfg);
+        assert_eq!(a.total_node_visits, b.total_node_visits);
+        assert_eq!(a.wall_secs, b.wall_secs);
+    }
+}

@@ -1,0 +1,482 @@
+//! The MapReduce backend (paper §IV-C-2).
+//!
+//! No state lives in worker memory between rounds: the Map phase computes
+//! initial embeddings and fans them out, and each Reduce round `r`
+//! performs layer `r-1` for every node, re-emitting the node's own updated
+//! state as a **self-message** alongside the messages for its out-edge
+//! neighbours. The shuffle therefore carries three record kinds per key
+//! (self state, in-messages, broadcast-table entries), mirroring the
+//! paper's "three kinds of information for each node".
+//!
+//! Broadcast tables ride reserved low keys (one per worker, routed by a
+//! custom partition function); because reducers stream keys in ascending
+//! order and node wire-ids carry the high [`NODE_FLAG`] bit, each worker's
+//! table group arrives before any of its node groups in the same round.
+
+use crate::gas::{EdgeCtx, GasLayer, GnnMessage, NodeCtx};
+use crate::models::gas_impl::combine_wire;
+use crate::models::{GnnModel, PoolOp};
+use crate::strategy::{base_of, build_node_records, mirror_of, StrategyConfig, NODE_FLAG};
+use inferturbo_batch::{BatchEngine, KeyedData, PhaseCtx};
+use inferturbo_cluster::ClusterSpec;
+use inferturbo_common::codec::{Decode, Encode, WireReader, WireWriter};
+use inferturbo_common::hash::partition_of;
+use inferturbo_common::{Error, FxHashMap, Result};
+use inferturbo_graph::Graph;
+
+use super::InferenceOutput;
+
+/// Shuffle record kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MrRecord {
+    /// The node's own state travelling to the next round.
+    SelfState {
+        h: Vec<f32>,
+        out_targets: Vec<u64>,
+        in_deg: u32,
+        out_deg: u32,
+    },
+    /// A message arriving via an in-edge.
+    InMsg(GnnMessage),
+    /// A broadcast-table entry for the destination worker.
+    Bcast { src: u64, msg: GnnMessage },
+    /// Final prediction logits (last round only).
+    Output(Vec<f32>),
+}
+
+const TAG_SELF: u8 = 1;
+const TAG_INMSG: u8 = 2;
+const TAG_BCAST: u8 = 3;
+const TAG_OUTPUT: u8 = 4;
+
+impl Encode for MrRecord {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            MrRecord::SelfState {
+                h,
+                out_targets,
+                in_deg,
+                out_deg,
+            } => {
+                w.put_u8(TAG_SELF);
+                w.put_f32_slice(h);
+                w.put_varint(out_targets.len() as u64);
+                for &t in out_targets {
+                    w.put_varint(t);
+                }
+                w.put_varint(*in_deg as u64);
+                w.put_varint(*out_deg as u64);
+            }
+            MrRecord::InMsg(m) => {
+                w.put_u8(TAG_INMSG);
+                m.encode(w);
+            }
+            MrRecord::Bcast { src, msg } => {
+                w.put_u8(TAG_BCAST);
+                w.put_varint(*src);
+                msg.encode(w);
+            }
+            MrRecord::Output(l) => {
+                w.put_u8(TAG_OUTPUT);
+                w.put_f32_slice(l);
+            }
+        }
+    }
+}
+
+impl Decode for MrRecord {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            TAG_SELF => {
+                let h = r.get_f32_vec()?;
+                let n = r.get_varint()? as usize;
+                let mut out_targets = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    out_targets.push(r.get_varint()?);
+                }
+                let in_deg = r.get_varint()? as u32;
+                let out_deg = r.get_varint()? as u32;
+                Ok(MrRecord::SelfState {
+                    h,
+                    out_targets,
+                    in_deg,
+                    out_deg,
+                })
+            }
+            TAG_INMSG => Ok(MrRecord::InMsg(GnnMessage::decode(r)?)),
+            TAG_BCAST => Ok(MrRecord::Bcast {
+                src: r.get_varint()?,
+                msg: GnnMessage::decode(r)?,
+            }),
+            TAG_OUTPUT => Ok(MrRecord::Output(r.get_f32_vec()?)),
+            tag => Err(Error::Codec(format!("unknown MrRecord tag {tag}"))),
+        }
+    }
+}
+
+/// Route reserved broadcast keys (no [`NODE_FLAG`]) to their literal
+/// worker; hash everything else.
+fn mr_partition(key: u64, n: usize) -> usize {
+    if key & NODE_FLAG == 0 {
+        (key as usize) % n
+    } else {
+        partition_of(key, n)
+    }
+}
+
+/// Emit the scatter records of `wire` for the layer `layer_idx` gather.
+#[allow(clippy::too_many_arguments)]
+fn scatter_records(
+    model: &GnnModel,
+    strategy: &StrategyConfig,
+    bc_threshold: u32,
+    workers: usize,
+    layer_idx: usize,
+    wire: u64,
+    h: &[f32],
+    out_targets: &[u64],
+    out_deg: u32,
+    ctx: &mut PhaseCtx,
+    emit: &mut Vec<(u64, MrRecord)>,
+) {
+    if out_targets.is_empty() {
+        return;
+    }
+    let layer = model.layer_view(layer_idx);
+    let raw = layer.apply_edge(
+        h,
+        &EdgeCtx {
+            src_out_degree: out_deg,
+            edge_feat: &[],
+        },
+    );
+    ctx.add_flops(layer.flops_apply_edge());
+    let msg = layer.make_wire(raw, strategy.partial_gather);
+    let ann = layer.annotations();
+    if strategy.broadcast && ann.uniform_message && out_deg > bc_threshold {
+        for w in 0..workers {
+            emit.push((
+                w as u64,
+                MrRecord::Bcast {
+                    src: wire,
+                    msg: msg.clone(),
+                },
+            ));
+        }
+        for &t in out_targets {
+            emit.push((t, MrRecord::InMsg(GnnMessage::Ref(wire))));
+        }
+    } else {
+        for &t in out_targets {
+            emit.push((t, MrRecord::InMsg(msg.clone())));
+        }
+    }
+}
+
+/// Combiner over [`MrRecord`]s: folds `InMsg(Partial)` pairs, swaps the
+/// anchor when needed, and passes everything else through.
+fn combine_records(op: PoolOp, acc: &mut MrRecord, msg: MrRecord) -> Option<MrRecord> {
+    match (&mut *acc, msg) {
+        (MrRecord::InMsg(a), MrRecord::InMsg(b)) => {
+            combine_wire(op, a, b).map(MrRecord::InMsg)
+        }
+        (anchor, msg @ MrRecord::InMsg(GnnMessage::Partial { .. })) => {
+            Some(std::mem::replace(anchor, msg))
+        }
+        (_, other) => Some(other),
+    }
+}
+
+/// Run full-graph inference on the MapReduce backend.
+pub fn infer_mapreduce(
+    model: &GnnModel,
+    graph: &Graph,
+    spec: ClusterSpec,
+    strategy: StrategyConfig,
+) -> Result<InferenceOutput> {
+    if graph.node_feat_dim() != model.in_dim() {
+        return Err(Error::InvalidConfig(format!(
+            "graph features ({}) do not match model input ({})",
+            graph.node_feat_dim(),
+            model.in_dim()
+        )));
+    }
+    let k = model.n_layers();
+    let workers = spec.workers;
+    // Same worker-count guard as the Pregel driver: W broadcast-table
+    // records only beat per-edge payloads when out-degree exceeds W.
+    let bc_threshold = strategy
+        .threshold(graph.n_edges(), workers)
+        .max(workers as u32);
+    let mut eng = BatchEngine::new(spec).with_partition_fn(mr_partition);
+    let records = build_node_records(graph, &strategy, workers);
+    let inputs = eng.scatter_inputs(records);
+
+    // --- Map: initial embeddings + layer-0 scatter ------------------------
+    let combiner_for = |layer_idx: usize| -> Option<PoolOp> {
+        if !strategy.partial_gather || layer_idx >= k {
+            return None;
+        }
+        model.layer_view(layer_idx).pool_op()
+    };
+
+    let map_op = combiner_for(0);
+    let map_combine = move |acc: &mut MrRecord, msg: MrRecord| -> Option<MrRecord> {
+        combine_records(map_op.expect("combiner only offered with op"), acc, msg)
+    };
+    let keyed = eng.map_phase(
+        "map-init",
+        &inputs,
+        |ctx, rec| {
+            let mut emit = Vec::with_capacity(rec.out_targets.len() + 1);
+            // h⁰ = raw features (initialisation step)
+            let h0 = rec.raw.clone();
+            scatter_records(
+                model,
+                &strategy,
+                bc_threshold,
+                workers,
+                0,
+                rec.wire,
+                &h0,
+                &rec.out_targets,
+                rec.out_deg,
+                ctx,
+                &mut emit,
+            );
+            emit.push((
+                rec.wire,
+                MrRecord::SelfState {
+                    h: h0,
+                    out_targets: rec.out_targets.clone(),
+                    in_deg: rec.in_deg,
+                    out_deg: rec.out_deg,
+                },
+            ));
+            emit
+        },
+        if map_op.is_some() {
+            Some(&map_combine)
+        } else {
+            None
+        },
+    )?;
+
+    // --- k reduce rounds ----------------------------------------------------
+    let mut data: KeyedData<MrRecord> = keyed;
+    for r in 1..=k {
+        let layer_idx = r - 1;
+        let out_op = combiner_for(r); // messages emitted this round feed layer r
+        let out_combine = move |acc: &mut MrRecord, msg: MrRecord| -> Option<MrRecord> {
+            combine_records(out_op.expect("combiner only offered with op"), acc, msg)
+        };
+        // Per-worker broadcast table for refs arriving THIS round; reducers
+        // stream keys ascending, and bcast keys sort before node keys.
+        let mut table: FxHashMap<u64, GnnMessage> = FxHashMap::default();
+        let mut failure: Option<Error> = None;
+        let reduce = |ctx: &mut PhaseCtx, key: u64, values: Vec<MrRecord>| -> Vec<(u64, MrRecord)> {
+            if failure.is_some() {
+                return Vec::new();
+            }
+            if key & NODE_FLAG == 0 {
+                // broadcast-table group for this worker
+                table.clear();
+                for v in values {
+                    if let MrRecord::Bcast { src, msg } = v {
+                        table.insert(src, msg);
+                    }
+                }
+                return Vec::new();
+            }
+            let layer = model.layer_view(layer_idx);
+            let mut agg = layer.init_agg();
+            let mut self_state: Option<(Vec<f32>, Vec<u64>, u32, u32)> = None;
+            let mut n_msgs = 0usize;
+            for v in values {
+                match v {
+                    MrRecord::SelfState {
+                        h,
+                        out_targets,
+                        in_deg,
+                        out_deg,
+                    } => self_state = Some((h, out_targets, in_deg, out_deg)),
+                    MrRecord::InMsg(m) => {
+                        n_msgs += 1;
+                        let lookup = |src: u64| table.get(&src).cloned();
+                        if let Err(e) = layer.gather_wire(&mut agg, m, &lookup) {
+                            failure = Some(e.in_phase(format!("reduce-{r}")));
+                            return Vec::new();
+                        }
+                    }
+                    other => {
+                        failure = Some(Error::InvalidGraph(format!(
+                            "unexpected record {other:?} at key {key}"
+                        )));
+                        return Vec::new();
+                    }
+                }
+            }
+            let Some((h, out_targets, in_deg, out_deg)) = self_state else {
+                failure = Some(Error::InvalidGraph(format!(
+                    "node {key} lost its self-state record"
+                )));
+                return Vec::new();
+            };
+            let gathered = agg.count() as usize;
+            let ctx_node = NodeCtx {
+                id: key,
+                state: &h,
+                in_degree: in_deg,
+                out_degree: out_deg,
+            };
+            let h_new = layer.apply_node(&ctx_node, agg);
+            ctx.add_flops(
+                layer.flops_apply_node(gathered)
+                    + n_msgs as f64 * layer.flops_aggregate_per_message(),
+            );
+            let mut emit = Vec::with_capacity(out_targets.len() + 1);
+            if r == k {
+                ctx.add_flops(model.flops_head());
+                emit.push((key, MrRecord::Output(model.apply_head(&h_new))));
+            } else {
+                scatter_records(
+                    model,
+                    &strategy,
+                    bc_threshold,
+                    workers,
+                    r,
+                    key,
+                    &h_new,
+                    &out_targets,
+                    out_deg,
+                    ctx,
+                    &mut emit,
+                );
+                emit.push((
+                    key,
+                    MrRecord::SelfState {
+                        h: h_new,
+                        out_targets,
+                        in_deg,
+                        out_deg,
+                    },
+                ));
+            }
+            emit
+        };
+        data = eng.reduce_phase(
+            format!("reduce-{r}"),
+            data,
+            reduce,
+            if out_op.is_some() {
+                Some(&out_combine)
+            } else {
+                None
+            },
+        )?;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+    }
+
+    // --- harvest -------------------------------------------------------------
+    let mut logits: Vec<Option<Vec<f32>>> = vec![None; graph.n_nodes()];
+    for (key, rec) in data.into_map() {
+        if key & NODE_FLAG == 0 || mirror_of(key) != 0 {
+            continue;
+        }
+        match rec {
+            MrRecord::Output(l) => logits[base_of(key) as usize] = Some(l),
+            other => {
+                return Err(Error::InvalidGraph(format!(
+                    "expected Output at {key}, got {other:?}"
+                )))
+            }
+        }
+    }
+    let logits: Vec<Vec<f32>> = logits
+        .into_iter()
+        .enumerate()
+        .map(|(v, l)| l.ok_or_else(|| Error::InvalidGraph(format!("node {v} missing logits"))))
+        .collect::<Result<_>>()?;
+    Ok(InferenceOutput {
+        logits,
+        report: eng.into_report(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mr_record_codec_roundtrip() {
+        let records = vec![
+            MrRecord::SelfState {
+                h: vec![1.0, 2.0],
+                out_targets: vec![NODE_FLAG | 5, NODE_FLAG | 9],
+                in_deg: 3,
+                out_deg: 2,
+            },
+            MrRecord::InMsg(GnnMessage::Embedding(vec![0.5])),
+            MrRecord::Bcast {
+                src: NODE_FLAG | 1,
+                msg: GnnMessage::Partial {
+                    acc: vec![1.0],
+                    count: 4,
+                },
+            },
+            MrRecord::Output(vec![0.1, 0.9]),
+        ];
+        for r in records {
+            assert_eq!(MrRecord::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+        assert!(MrRecord::from_bytes(&[99]).is_err());
+    }
+
+    #[test]
+    fn partition_routes_bcast_keys_literally() {
+        for w in 0..8u64 {
+            assert_eq!(mr_partition(w, 8), w as usize);
+        }
+        // node keys use the hash route
+        let k = NODE_FLAG | 12345;
+        assert_eq!(mr_partition(k, 8), partition_of(k, 8));
+    }
+
+    #[test]
+    fn combine_records_folds_partials_only() {
+        let mut acc = MrRecord::InMsg(GnnMessage::Partial {
+            acc: vec![1.0],
+            count: 1,
+        });
+        let out = combine_records(
+            PoolOp::Sum,
+            &mut acc,
+            MrRecord::InMsg(GnnMessage::Partial {
+                acc: vec![2.0],
+                count: 1,
+            }),
+        );
+        assert!(out.is_none());
+        assert_eq!(
+            acc,
+            MrRecord::InMsg(GnnMessage::Partial {
+                acc: vec![3.0],
+                count: 2
+            })
+        );
+        // SelfState anchors swap out
+        let mut acc = MrRecord::Output(vec![]);
+        let out = combine_records(
+            PoolOp::Sum,
+            &mut acc,
+            MrRecord::InMsg(GnnMessage::Partial {
+                acc: vec![2.0],
+                count: 1,
+            }),
+        );
+        assert_eq!(out, Some(MrRecord::Output(vec![])));
+        assert!(matches!(acc, MrRecord::InMsg(_)));
+    }
+}

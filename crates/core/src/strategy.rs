@@ -1,0 +1,376 @@
+//! Power-law mitigation strategies (paper §IV-D) and the graph-loading
+//! transform that applies them.
+//!
+//! Three strategies, all information-preserving (no sampling, bit-stable
+//! predictions):
+//!
+//! - **partial-gather** — fold messages sender-side per destination; legal
+//!   exactly when the layer's `aggregate` is annotated
+//!   commutative/associative. Implemented by the engines' combiners; this
+//!   module only carries the toggle.
+//! - **broadcast** — a node with many out-edges and a uniform message
+//!   publishes one payload per worker plus an 8-byte reference per edge.
+//! - **shadow-nodes** — a node with many out-edges is split into mirrors,
+//!   each holding *all* in-edges and an even share of out-edges. Mirrors
+//!   hash to different workers, spreading the scatter load; every sender to
+//!   a mirrored node duplicates its message to each mirror (the documented
+//!   memory overhead).
+//!
+//! The activation threshold follows the paper's heuristic
+//! `threshold = λ · |E| / workers` with λ = 0.1.
+
+use inferturbo_common::codec::{Decode, Encode, WireReader, WireWriter};
+use inferturbo_common::Result;
+use inferturbo_graph::{Csr, Graph};
+
+/// Strategy toggles + threshold policy. The default enables nothing —
+/// every experiment states its configuration explicitly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyConfig {
+    pub partial_gather: bool,
+    pub broadcast: bool,
+    pub shadow_nodes: bool,
+    /// The paper's λ (fraction of per-worker edges above which a node is a
+    /// "hub").
+    pub lambda: f64,
+    /// Fixed threshold overriding the heuristic (used by the Fig. 12/13
+    /// threshold sweeps).
+    pub threshold_override: Option<u32>,
+}
+
+impl Default for StrategyConfig {
+    fn default() -> Self {
+        StrategyConfig::none()
+    }
+}
+
+impl StrategyConfig {
+    /// All strategies off (the experiments' "Base").
+    pub fn none() -> Self {
+        StrategyConfig {
+            partial_gather: false,
+            broadcast: false,
+            shadow_nodes: false,
+            lambda: 0.1,
+            threshold_override: None,
+        }
+    }
+
+    /// All strategies on — the production configuration.
+    pub fn all() -> Self {
+        StrategyConfig {
+            partial_gather: true,
+            broadcast: true,
+            shadow_nodes: true,
+            lambda: 0.1,
+            threshold_override: None,
+        }
+    }
+
+    pub fn with_partial_gather(mut self, on: bool) -> Self {
+        self.partial_gather = on;
+        self
+    }
+
+    pub fn with_broadcast(mut self, on: bool) -> Self {
+        self.broadcast = on;
+        self
+    }
+
+    pub fn with_shadow_nodes(mut self, on: bool) -> Self {
+        self.shadow_nodes = on;
+        self
+    }
+
+    pub fn with_threshold(mut self, t: u32) -> Self {
+        self.threshold_override = Some(t);
+        self
+    }
+
+    /// The hub threshold: `max(1, λ·|E|/workers)` or the override.
+    /// With 10⁹ edges on 1000 workers and λ = 0.1 this is the paper's
+    /// 100,000.
+    pub fn threshold(&self, n_edges: usize, workers: usize) -> u32 {
+        if let Some(t) = self.threshold_override {
+            return t.max(1);
+        }
+        let t = (self.lambda * n_edges as f64 / workers.max(1) as f64) as u32;
+        t.max(1)
+    }
+}
+
+// --- wire-id scheme ---------------------------------------------------------
+//
+// Vertex ids on the wire are u64 with the top bit set, so that the
+// MapReduce backend can reserve small ids for per-worker broadcast tables.
+// Bits [32..63) carry the shadow-mirror index, bits [0..32) the original
+// node id.
+
+/// Flag bit distinguishing node ids from reserved control keys.
+pub const NODE_FLAG: u64 = 1 << 63;
+
+/// Wire id of mirror `mirror` of node `node`.
+#[inline]
+pub fn wire_id(node: u32, mirror: u32) -> u64 {
+    debug_assert!(mirror < (1 << 31));
+    NODE_FLAG | ((mirror as u64) << 32) | node as u64
+}
+
+/// Original node id of a wire id.
+#[inline]
+pub fn base_of(wire: u64) -> u32 {
+    (wire & 0xFFFF_FFFF) as u32
+}
+
+/// Mirror index of a wire id.
+#[inline]
+pub fn mirror_of(wire: u64) -> u32 {
+    ((wire >> 32) & 0x7FFF_FFFF) as u32
+}
+
+/// One loadable vertex record: the unit both backends ingest. Produced by
+/// [`build_node_records`], which applies the shadow-nodes transform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRecord {
+    pub wire: u64,
+    /// Original node id (mirrors share it).
+    pub base: u32,
+    /// Raw input features (replicated across mirrors).
+    pub raw: Vec<f32>,
+    /// Wire ids this record scatters to (its share of out-edges, expanded
+    /// to every mirror of each destination).
+    pub out_targets: Vec<u64>,
+    /// Logical (whole-graph) degrees — normalisations read these, never
+    /// the physical adjacency.
+    pub in_deg: u32,
+    pub out_deg: u32,
+}
+
+impl Encode for NodeRecord {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.wire);
+        w.put_varint(self.base as u64);
+        w.put_f32_slice(&self.raw);
+        w.put_varint(self.out_targets.len() as u64);
+        for &t in &self.out_targets {
+            w.put_varint(t);
+        }
+        w.put_varint(self.in_deg as u64);
+        w.put_varint(self.out_deg as u64);
+    }
+}
+
+impl Decode for NodeRecord {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let wire = r.get_varint()?;
+        let base = r.get_varint()? as u32;
+        let raw = r.get_f32_vec()?;
+        let n = r.get_varint()? as usize;
+        let mut out_targets = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out_targets.push(r.get_varint()?);
+        }
+        let in_deg = r.get_varint()? as u32;
+        let out_deg = r.get_varint()? as u32;
+        Ok(NodeRecord {
+            wire,
+            base,
+            raw,
+            out_targets,
+            in_deg,
+            out_deg,
+        })
+    }
+}
+
+/// Build the loadable vertex records for `graph`, applying the
+/// shadow-nodes transform when enabled.
+///
+/// A node whose out-degree exceeds the threshold is split into
+/// `ceil(out_deg / threshold)` mirrors; out-edges are dealt round-robin so
+/// groups are even (paper: "divided into n groups evenly"). Every scatter
+/// target expands to all mirrors of the destination, because each mirror
+/// must hold all in-edges.
+pub fn build_node_records(
+    graph: &Graph,
+    strategy: &StrategyConfig,
+    workers: usize,
+) -> Vec<NodeRecord> {
+    let n = graph.n_nodes();
+    let in_deg = graph.in_degrees();
+    let out_deg = graph.out_degrees();
+    let threshold = strategy.threshold(graph.n_edges(), workers);
+
+    let groups: Vec<u32> = (0..n)
+        .map(|v| {
+            if strategy.shadow_nodes && out_deg[v] > threshold {
+                out_deg[v].div_ceil(threshold)
+            } else {
+                1
+            }
+        })
+        .collect();
+
+    // Record offsets: mirrors of node v occupy rec[offset[v] .. offset[v]+groups[v]].
+    let mut offset = vec![0usize; n + 1];
+    for v in 0..n {
+        offset[v + 1] = offset[v] + groups[v] as usize;
+    }
+
+    let mut records: Vec<NodeRecord> = Vec::with_capacity(offset[n]);
+    for v in 0..n as u32 {
+        for m in 0..groups[v as usize] {
+            records.push(NodeRecord {
+                wire: wire_id(v, m),
+                base: v,
+                raw: graph.node_feat(v).to_vec(),
+                out_targets: Vec::new(),
+                in_deg: in_deg[v as usize],
+                out_deg: out_deg[v as usize],
+            });
+        }
+    }
+
+    let out_csr = Csr::out_of(graph);
+    for v in 0..n as u32 {
+        let g = groups[v as usize];
+        for (j, &u) in out_csr.neighbors(v).iter().enumerate() {
+            let mirror = (j as u32) % g;
+            let rec = &mut records[offset[v as usize] + mirror as usize];
+            for mu in 0..groups[u as usize] {
+                rec.out_targets.push(wire_id(u, mu));
+            }
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferturbo_graph::types::GraphBuilder;
+
+    #[test]
+    fn threshold_matches_paper_example() {
+        let s = StrategyConfig::all();
+        // 1 billion edges, 1000 workers, λ=0.1 → 100,000 (paper §V-B-2)
+        assert_eq!(s.threshold(1_000_000_000, 1000), 100_000);
+        // override wins
+        assert_eq!(s.with_threshold(7).threshold(1_000_000_000, 1000), 7);
+        // floor at 1
+        assert_eq!(s.threshold(5, 1000), 1);
+    }
+
+    #[test]
+    fn wire_id_roundtrip() {
+        for (node, mirror) in [(0u32, 0u32), (42, 3), (u32::MAX, 7), (9, 0)] {
+            let w = wire_id(node, mirror);
+            assert_eq!(base_of(w), node);
+            assert_eq!(mirror_of(w), mirror);
+            assert!(w & NODE_FLAG != 0);
+        }
+    }
+
+    #[test]
+    fn node_record_codec_roundtrip() {
+        let rec = NodeRecord {
+            wire: wire_id(5, 1),
+            base: 5,
+            raw: vec![0.5, -1.5],
+            out_targets: vec![wire_id(1, 0), wire_id(2, 0), wire_id(2, 1)],
+            in_deg: 3,
+            out_deg: 9,
+        };
+        let got = NodeRecord::from_bytes(&rec.to_bytes()).unwrap();
+        assert_eq!(got, rec);
+    }
+
+    /// hub (node 0) has 6 out-edges to nodes 1..=6; node 1 also points at
+    /// the hub so the hub has an in-edge.
+    fn hub_graph() -> Graph {
+        let mut b = GraphBuilder::new(7, 1);
+        for u in 1..=6u32 {
+            b.add_edge(0, u);
+        }
+        b.add_edge(1, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn no_shadow_when_disabled() {
+        let g = hub_graph();
+        let recs = build_node_records(&g, &StrategyConfig::none().with_threshold(2), 2);
+        assert_eq!(recs.len(), 7); // one record per node
+        let hub = recs.iter().find(|r| r.base == 0).unwrap();
+        assert_eq!(hub.out_targets.len(), 6);
+    }
+
+    #[test]
+    fn shadow_splits_hub_evenly() {
+        let g = hub_graph();
+        let strat = StrategyConfig::none()
+            .with_shadow_nodes(true)
+            .with_threshold(2);
+        let recs = build_node_records(&g, &strat, 2);
+        // hub out_deg 6 > 2 → ceil(6/2)=3 mirrors; others 1 each → 9 records
+        assert_eq!(recs.len(), 9);
+        let mirrors: Vec<&NodeRecord> = recs.iter().filter(|r| r.base == 0).collect();
+        assert_eq!(mirrors.len(), 3);
+        for m in &mirrors {
+            assert_eq!(m.out_targets.len(), 2, "round-robin even split");
+            assert_eq!(m.out_deg, 6, "logical degree preserved");
+            assert_eq!(m.in_deg, 1);
+            assert_eq!(m.raw, vec![0.0]);
+        }
+        // union of mirror targets == original out-edges
+        let mut all: Vec<u32> = mirrors
+            .iter()
+            .flat_map(|m| m.out_targets.iter().map(|&t| base_of(t)))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn senders_duplicate_to_every_mirror() {
+        let g = hub_graph();
+        let strat = StrategyConfig::none()
+            .with_shadow_nodes(true)
+            .with_threshold(2);
+        let recs = build_node_records(&g, &strat, 2);
+        // node 1 points at the hub, which has 3 mirrors → its single
+        // out-edge expands to 3 targets
+        let n1 = recs.iter().find(|r| r.base == 1).unwrap();
+        assert_eq!(n1.out_targets.len(), 3);
+        let mirrors: Vec<u32> = n1.out_targets.iter().map(|&t| mirror_of(t)).collect();
+        assert_eq!(mirrors, vec![0, 1, 2]);
+        assert!(n1.out_targets.iter().all(|&t| base_of(t) == 0));
+    }
+
+    #[test]
+    fn total_scatter_targets_account_for_duplication() {
+        let g = hub_graph();
+        let strat = StrategyConfig::none()
+            .with_shadow_nodes(true)
+            .with_threshold(2);
+        let recs = build_node_records(&g, &strat, 2);
+        let total: usize = recs.iter().map(|r| r.out_targets.len()).sum();
+        // 6 hub out-edges (targets unmirrored) + 1 edge into hub × 3 mirrors
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn exact_multiple_of_threshold_is_not_split() {
+        // out_deg == threshold must NOT trigger (strictly greater).
+        let mut b = GraphBuilder::new(4, 0);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        let g = b.build().unwrap();
+        let strat = StrategyConfig::none()
+            .with_shadow_nodes(true)
+            .with_threshold(3);
+        let recs = build_node_records(&g, &strat, 1);
+        assert_eq!(recs.len(), 4);
+    }
+}

@@ -1,0 +1,176 @@
+//! Compressed sparse row adjacency over a [`crate::types::Graph`].
+//!
+//! Both orientations matter: the Gather stage walks **in**-edges, the
+//! Scatter stage walks **out**-edges. `Csr::out_of` groups by source;
+//! `Csr::in_of` groups by destination. Each adjacency slot also records the
+//! originating edge index so edge features stay reachable after the
+//! regrouping.
+
+use crate::types::Graph;
+
+/// One adjacency orientation in CSR form.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    /// Neighbour node id per slot.
+    targets: Vec<u32>,
+    /// Original edge index per slot (for edge-feature lookup).
+    edge_ids: Vec<u32>,
+}
+
+impl Csr {
+    fn group_by(n_nodes: usize, keys: &[u32], values: &[u32]) -> Csr {
+        debug_assert_eq!(keys.len(), values.len());
+        let mut counts = vec![0u64; n_nodes + 1];
+        for &k in keys {
+            counts[k as usize + 1] += 1;
+        }
+        for i in 0..n_nodes {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; keys.len()];
+        let mut edge_ids = vec![0u32; keys.len()];
+        for (e, (&k, &v)) in keys.iter().zip(values).enumerate() {
+            let slot = cursor[k as usize] as usize;
+            targets[slot] = v;
+            edge_ids[slot] = e as u32;
+            cursor[k as usize] += 1;
+        }
+        Csr {
+            offsets,
+            targets,
+            edge_ids,
+        }
+    }
+
+    /// Group by source: `neighbors(v)` are the heads of `v`'s out-edges.
+    pub fn out_of(g: &Graph) -> Csr {
+        Csr::group_by(g.n_nodes(), g.src(), g.dst())
+    }
+
+    /// Group by destination: `neighbors(v)` are the tails of `v`'s in-edges.
+    pub fn in_of(g: &Graph) -> Csr {
+        Csr::group_by(g.n_nodes(), g.dst(), g.src())
+    }
+
+    /// Number of nodes indexed.
+    pub fn n_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total adjacency slots (== edge count of the underlying graph).
+    pub fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v` in this orientation.
+    #[inline]
+    pub fn degree(&self, v: u32) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// Neighbour ids of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Original edge indexes of `v`'s adjacency (parallel to
+    /// [`Csr::neighbors`]).
+    #[inline]
+    pub fn edge_ids(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.edge_ids[lo..hi]
+    }
+
+    /// Iterate `(neighbor, edge_id)` pairs of `v`.
+    pub fn neighbors_with_edges(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.edge_ids(v).iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::GraphBuilder;
+
+    fn sample() -> Graph {
+        // edges: 0->1 (e0), 0->2 (e1), 2->1 (e2), 1->0 (e3), 2->0 (e4)
+        let mut b = GraphBuilder::new(3, 0);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(2, 1);
+        b.add_edge(1, 0);
+        b.add_edge(2, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn out_adjacency() {
+        let g = sample();
+        let out = Csr::out_of(&g);
+        assert_eq!(out.n_nodes(), 3);
+        assert_eq!(out.n_edges(), 5);
+        assert_eq!(out.neighbors(0), &[1, 2]);
+        assert_eq!(out.neighbors(1), &[0]);
+        assert_eq!(out.neighbors(2), &[1, 0]);
+        assert_eq!(out.degree(0), 2);
+        assert_eq!(out.edge_ids(0), &[0, 1]);
+        assert_eq!(out.edge_ids(2), &[2, 4]);
+    }
+
+    #[test]
+    fn in_adjacency() {
+        let g = sample();
+        let inc = Csr::in_of(&g);
+        assert_eq!(inc.neighbors(0), &[1, 2]); // from edges e3, e4
+        assert_eq!(inc.edge_ids(0), &[3, 4]);
+        assert_eq!(inc.neighbors(1), &[0, 2]); // e0, e2
+        assert_eq!(inc.neighbors(2), &[0]); // e1
+        assert_eq!(inc.degree(1), 2);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_adjacency() {
+        let b = GraphBuilder::new(3, 0);
+        let g = b.build().unwrap();
+        let out = Csr::out_of(&g);
+        for v in 0..3 {
+            assert_eq!(out.neighbors(v), &[] as &[u32]);
+            assert_eq!(out.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn neighbors_with_edges_pairs_match() {
+        let g = sample();
+        let out = Csr::out_of(&g);
+        let pairs: Vec<_> = out.neighbors_with_edges(2).collect();
+        assert_eq!(pairs, vec![(1, 2), (0, 4)]);
+        // cross-check against the graph's edge store
+        for (nbr, e) in pairs {
+            let (s, d) = g.edge(e as usize);
+            assert_eq!(s, 2);
+            assert_eq!(d, nbr);
+        }
+    }
+
+    #[test]
+    fn csr_conserves_edges() {
+        let g = sample();
+        let out = Csr::out_of(&g);
+        let inc = Csr::in_of(&g);
+        let total_out: u32 = (0..3).map(|v| out.degree(v)).sum();
+        let total_in: u32 = (0..3).map(|v| inc.degree(v)).sum();
+        assert_eq!(total_out as usize, g.n_edges());
+        assert_eq!(total_in as usize, g.n_edges());
+    }
+}

@@ -1,0 +1,337 @@
+//! K-hop neighbourhood extraction — the training-side data flow.
+//!
+//! The paper trains mini-batch on k-hop neighbourhoods (§II-A): the k-hop
+//! subgraph of a root set contains every node within distance `k` along
+//! **in**-edges and every edge `(u → v)` whose head `v` lies within distance
+//! `k-1`. That edge set is information-complete for a k-layer GNN (AGL's
+//! theorem, cited by the paper), so running all `k` layers over the union
+//! subgraph yields exactly the full-graph embeddings for the roots.
+//!
+//! With `fanout = Some(f)` each discovered node keeps at most `f` sampled
+//! in-edges — the neighbour-sampling acceleration whose run-to-run
+//! instability the paper's Fig. 7 quantifies (and which InferTurbo's
+//! full-graph inference eliminates).
+
+use crate::csr::Csr;
+use crate::types::Graph;
+use inferturbo_common::{FxHashMap, Xoshiro256};
+
+/// An extracted k-hop subgraph with local (dense) node indexing.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// Global node ids; the first `n_roots` entries are the roots in their
+    /// original order.
+    pub nodes: Vec<u32>,
+    pub n_roots: usize,
+    /// Edge list in local indices (`src → dst` message direction).
+    pub edges_src: Vec<u32>,
+    pub edges_dst: Vec<u32>,
+    /// Global edge ids parallel to the local edge list (for edge features).
+    pub edge_ids: Vec<u32>,
+}
+
+impl Subgraph {
+    /// Extract the (optionally fanout-sampled) k-hop subgraph of `roots`.
+    ///
+    /// `in_csr` must be [`Csr::in_of`] the same graph. When `fanout` is
+    /// `Some(f)`, a node's in-edges are subsampled to `f` using `rng`
+    /// (required in that case).
+    pub fn extract(
+        in_csr: &Csr,
+        roots: &[u32],
+        k: usize,
+        fanout: Option<usize>,
+        mut rng: Option<&mut Xoshiro256>,
+    ) -> Subgraph {
+        assert!(
+            fanout.is_none() || rng.is_some(),
+            "sampling requires an RNG"
+        );
+        let mut local: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut nodes: Vec<u32> = Vec::with_capacity(roots.len() * 4);
+        for &r in roots {
+            if let std::collections::hash_map::Entry::Vacant(slot) = local.entry(r) {
+                slot.insert(nodes.len() as u32);
+                nodes.push(r);
+            }
+        }
+        let n_roots = nodes.len();
+
+        let mut edges_src = Vec::new();
+        let mut edges_dst = Vec::new();
+        let mut edge_ids = Vec::new();
+
+        // Frontier of locally-new nodes discovered in the previous hop.
+        let mut frontier: Vec<u32> = nodes.clone();
+        let mut scratch: Vec<usize> = Vec::new();
+        for _hop in 0..k {
+            let mut next: Vec<u32> = Vec::new();
+            for &v in &frontier {
+                let v_local = local[&v];
+                let nbrs = in_csr.neighbors(v);
+                let eids = in_csr.edge_ids(v);
+                let take: &[usize] = match fanout {
+                    Some(f) if nbrs.len() > f => {
+                        let r = rng.as_deref_mut().expect("rng");
+                        scratch = r.sample_indices(nbrs.len(), f);
+                        &scratch
+                    }
+                    _ => {
+                        scratch.clear();
+                        scratch.extend(0..nbrs.len());
+                        &scratch
+                    }
+                };
+                for &slot in take {
+                    let u = nbrs[slot];
+                    let e = eids[slot];
+                    let u_local = *local.entry(u).or_insert_with(|| {
+                        nodes.push(u);
+                        next.push(u);
+                        (nodes.len() - 1) as u32
+                    });
+                    edges_src.push(u_local);
+                    edges_dst.push(v_local);
+                    edge_ids.push(e);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+
+        Subgraph {
+            nodes,
+            n_roots,
+            edges_src,
+            edges_dst,
+            edge_ids,
+        }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn n_edges(&self) -> usize {
+        self.edges_src.len()
+    }
+
+    /// Gather node features into a dense row-major buffer
+    /// (`n_nodes x feat_dim`) in local node order.
+    pub fn gather_features(&self, g: &Graph) -> Vec<f32> {
+        let d = g.node_feat_dim();
+        let mut out = Vec::with_capacity(self.nodes.len() * d);
+        for &v in &self.nodes {
+            out.extend_from_slice(g.node_feat(v));
+        }
+        out
+    }
+
+    /// Gather edge features in local edge order (empty when the graph has
+    /// none).
+    pub fn gather_edge_features(&self, g: &Graph) -> Vec<f32> {
+        let d = g.edge_feat_dim();
+        if d == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.edge_ids.len() * d);
+        for &e in &self.edge_ids {
+            out.extend_from_slice(g.edge_feat(e as usize));
+        }
+        out
+    }
+}
+
+/// Exact redundant-computation accounting for the traditional pipeline.
+///
+/// `node_visits[k]` counts, summed over every root, how many node-forwards a
+/// k-layer GNN performs when each root's k-hop neighbourhood is processed
+/// independently (the paper's "serious redundant computation issue"). With
+/// `fanout = Some(f)` the count uses the expected sampled neighbourhood size
+/// `min(deg, f)` per expansion, which matches fixed-fanout samplers in
+/// expectation.
+pub fn khop_visit_counts(in_csr: &Csr, roots: &[u32], k: usize, fanout: Option<usize>) -> Vec<f64> {
+    let n = in_csr.n_nodes();
+    // visits[v] = expected number of tree nodes at the current hop rooted in v
+    // (with multiplicity — this is what redundant computation costs).
+    // Iterate: next[v] = sum over in-neighbors u of v ... careful with
+    // direction: expanding v's in-edges yields |N_in(v)| children (capped by
+    // fanout), each child u contributing its own expansion next hop.
+    //
+    // We propagate a per-node "tree width" w_h(v): number of hop-h tree
+    // vertices labelled v across all roots. w_0 = multiplicity in roots.
+    let mut w = vec![0.0f64; n];
+    for &r in roots {
+        w[r as usize] += 1.0;
+    }
+    let mut totals = Vec::with_capacity(k + 1);
+    let mut total_visits: f64 = w.iter().sum();
+    totals.push(total_visits);
+    for _hop in 0..k {
+        let mut next = vec![0.0f64; n];
+        for v in 0..n as u32 {
+            if w[v as usize] == 0.0 {
+                continue;
+            }
+            let deg = in_csr.degree(v) as usize;
+            if deg == 0 {
+                continue;
+            }
+            let keep = match fanout {
+                Some(f) if deg > f => f as f64 / deg as f64,
+                _ => 1.0,
+            };
+            let weight = w[v as usize] * keep;
+            for &u in in_csr.neighbors(v) {
+                next[u as usize] += weight;
+            }
+        }
+        total_visits = next.iter().sum();
+        totals.push(total_visits);
+        w = next;
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::GraphBuilder;
+
+    /// chain: 0 -> 1 -> 2 -> 3 (messages flow toward 3)
+    fn chain() -> Graph {
+        let mut b = GraphBuilder::new(4, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        for v in 0..4u32 {
+            b.set_node_feat(v, &[v as f32]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn two_hop_of_chain_tail() {
+        let g = chain();
+        let in_csr = Csr::in_of(&g);
+        let sub = Subgraph::extract(&in_csr, &[3], 2, None, None);
+        // distance ≤ 2 along in-edges from 3: {3, 2, 1}
+        assert_eq!(sub.nodes, vec![3, 2, 1]);
+        assert_eq!(sub.n_roots, 1);
+        // edges into nodes at distance ≤ 1: (2->3), (1->2)
+        assert_eq!(sub.n_edges(), 2);
+        let pairs: Vec<(u32, u32)> = sub
+            .edges_src
+            .iter()
+            .zip(&sub.edges_dst)
+            .map(|(&s, &d)| (sub.nodes[s as usize], sub.nodes[d as usize]))
+            .collect();
+        assert!(pairs.contains(&(2, 3)));
+        assert!(pairs.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn roots_are_deduplicated_but_order_preserved() {
+        let g = chain();
+        let in_csr = Csr::in_of(&g);
+        let sub = Subgraph::extract(&in_csr, &[2, 3, 2], 1, None, None);
+        assert_eq!(&sub.nodes[..2], &[2, 3]);
+        assert_eq!(sub.n_roots, 2);
+    }
+
+    #[test]
+    fn zero_hop_is_just_roots() {
+        let g = chain();
+        let in_csr = Csr::in_of(&g);
+        let sub = Subgraph::extract(&in_csr, &[1, 3], 0, None, None);
+        assert_eq!(sub.nodes, vec![1, 3]);
+        assert_eq!(sub.n_edges(), 0);
+    }
+
+    #[test]
+    fn features_gathered_in_local_order() {
+        let g = chain();
+        let in_csr = Csr::in_of(&g);
+        let sub = Subgraph::extract(&in_csr, &[3], 2, None, None);
+        assert_eq!(sub.gather_features(&g), vec![3.0, 2.0, 1.0]);
+    }
+
+    /// star: many spokes -> hub (node 0)
+    fn star(spokes: usize) -> Graph {
+        let mut b = GraphBuilder::new(spokes + 1, 0);
+        for s in 1..=spokes as u32 {
+            b.add_edge(s, 0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fanout_caps_neighbours() {
+        let g = star(100);
+        let in_csr = Csr::in_of(&g);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let sub = Subgraph::extract(&in_csr, &[0], 1, Some(10), Some(&mut rng));
+        assert_eq!(sub.n_edges(), 10);
+        assert_eq!(sub.n_nodes(), 11);
+        // full extraction grabs everything
+        let full = Subgraph::extract(&in_csr, &[0], 1, None, None);
+        assert_eq!(full.n_edges(), 100);
+    }
+
+    #[test]
+    fn sampling_is_seed_dependent() {
+        let g = star(100);
+        let in_csr = Csr::in_of(&g);
+        let mut r1 = Xoshiro256::seed_from_u64(1);
+        let mut r2 = Xoshiro256::seed_from_u64(2);
+        let s1 = Subgraph::extract(&in_csr, &[0], 1, Some(5), Some(&mut r1));
+        let s2 = Subgraph::extract(&in_csr, &[0], 1, Some(5), Some(&mut r2));
+        let mut n1 = s1.nodes.clone();
+        let mut n2 = s2.nodes.clone();
+        n1.sort_unstable();
+        n2.sort_unstable();
+        assert_ne!(n1, n2, "different seeds should sample different spokes");
+        // same seed reproduces exactly
+        let mut r1b = Xoshiro256::seed_from_u64(1);
+        let s1b = Subgraph::extract(&in_csr, &[0], 1, Some(5), Some(&mut r1b));
+        assert_eq!(s1.nodes, s1b.nodes);
+    }
+
+    #[test]
+    fn visit_counts_grow_exponentially_on_a_tree() {
+        // Perfect binary in-tree of depth 3 toward the root: root 0 has
+        // in-degree 2, each internal node in-degree 2.
+        let mut b = GraphBuilder::new(15, 0);
+        for parent in 0..7u32 {
+            b.add_edge(2 * parent + 1, parent);
+            b.add_edge(2 * parent + 2, parent);
+        }
+        let g = b.build().unwrap();
+        let in_csr = Csr::in_of(&g);
+        let counts = khop_visit_counts(&in_csr, &[0], 3, None);
+        assert_eq!(counts, vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn visit_counts_respect_fanout_expectation() {
+        let g = star(100);
+        let in_csr = Csr::in_of(&g);
+        let full = khop_visit_counts(&in_csr, &[0], 1, None);
+        let capped = khop_visit_counts(&in_csr, &[0], 1, Some(10));
+        assert_eq!(full[1], 100.0);
+        assert!((capped[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn visit_counts_count_overlap_multiply() {
+        // Two roots sharing the same neighbourhood double-count — that IS
+        // the redundancy the paper eliminates.
+        let g = chain();
+        let in_csr = Csr::in_of(&g);
+        let counts = khop_visit_counts(&in_csr, &[3, 3], 1, None);
+        assert_eq!(counts[0], 2.0);
+        assert_eq!(counts[1], 2.0); // node 2 visited twice
+    }
+}

@@ -1,0 +1,122 @@
+//! Node → worker assignment.
+//!
+//! Pregel (and the paper, §IV-C-1) partitions "according to node ids by a
+//! partitioning function (like, mod N)"; each partition holds its nodes'
+//! state and **out**-edges. We provide the literal `mod N` partitioner for
+//! fidelity and a hashed variant as the default, because sequential
+//! synthetic ids make `mod N` pathologically regular (every worker gets a
+//! perfect arithmetic progression, which misrepresents skew).
+
+use inferturbo_common::hash::hash_u64;
+
+/// Maps a node id to one of `n_workers` partitions.
+pub trait Partitioner: Send + Sync {
+    fn n_workers(&self) -> usize;
+
+    /// Worker index of node `id`.
+    fn worker_of(&self, id: u64) -> usize;
+
+    /// Histogram of node counts per worker, for balance diagnostics.
+    fn balance(&self, ids: impl Iterator<Item = u64>) -> Vec<usize>
+    where
+        Self: Sized,
+    {
+        let mut counts = vec![0usize; self.n_workers()];
+        for id in ids {
+            counts[self.worker_of(id)] += 1;
+        }
+        counts
+    }
+}
+
+/// The paper's literal `id mod N` partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct ModPartitioner {
+    pub n: usize,
+}
+
+impl ModPartitioner {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one worker");
+        ModPartitioner { n }
+    }
+}
+
+impl Partitioner for ModPartitioner {
+    fn n_workers(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn worker_of(&self, id: u64) -> usize {
+        (id % self.n as u64) as usize
+    }
+}
+
+/// Hash partitioner — default for all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct HashPartitioner {
+    pub n: usize,
+}
+
+impl HashPartitioner {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one worker");
+        HashPartitioner { n }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn n_workers(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn worker_of(&self, id: u64) -> usize {
+        (hash_u64(id) % self.n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_partitioner_is_literal() {
+        let p = ModPartitioner::new(4);
+        assert_eq!(p.worker_of(0), 0);
+        assert_eq!(p.worker_of(5), 1);
+        assert_eq!(p.worker_of(7), 3);
+        assert_eq!(p.n_workers(), 4);
+    }
+
+    #[test]
+    fn hash_partitioner_covers_all_workers() {
+        let p = HashPartitioner::new(8);
+        let counts = p.balance(0..8_000u64);
+        assert_eq!(counts.len(), 8);
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_is_deterministic() {
+        let p = HashPartitioner::new(16);
+        let a: Vec<usize> = (0..100u64).map(|i| p.worker_of(i)).collect();
+        let b: Vec<usize> = (0..100u64).map(|i| p.worker_of(i)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_worker_gets_everything() {
+        let p = HashPartitioner::new(1);
+        assert!((0..1000u64).all(|i| p.worker_of(i) == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = HashPartitioner::new(0);
+    }
+}

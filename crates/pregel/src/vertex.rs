@@ -1,0 +1,103 @@
+//! Vertex-program traits and the per-compute outbox.
+
+use inferturbo_common::codec::{Decode, Encode};
+
+/// Sender-side message combiner: folds messages heading to the same
+/// destination vertex, Pregel-style. The fold must be commutative and
+/// associative — the engine applies it in arbitrary grouping, and the
+/// paper's annotation rule exists precisely to license this.
+pub trait Combiner<M>: Send + Sync {
+    /// Try to fold `msg` into `acc`.
+    ///
+    /// Return `None` when `msg` was absorbed. Return `Some(overflow)` when
+    /// the pair cannot be combined (e.g. a broadcast reference meeting a
+    /// partial aggregate); the engine delivers the overflow message
+    /// separately. Implementations may swap contents so that `acc` ends up
+    /// holding the combinable variant.
+    fn combine(&self, acc: &mut M, msg: M) -> Option<M>;
+}
+
+/// Controls which vertices run `compute` each superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationPolicy {
+    /// Classic Pregel: a vertex runs at superstep 0 and thereafter only
+    /// when it has incoming messages.
+    MessageDriven,
+    /// Every vertex runs every superstep — the layer-wise GNN pattern,
+    /// where `apply_node` must fire even for nodes without in-edges.
+    AlwaysActive,
+}
+
+/// Per-compute output collector handed to [`VertexProgram::compute`].
+pub struct Outbox<M> {
+    pub(crate) messages: Vec<(u64, M)>,
+    pub(crate) broadcasts: Vec<M>,
+    pub(crate) flops: f64,
+}
+
+impl<M> Outbox<M> {
+    pub(crate) fn new() -> Self {
+        Outbox {
+            messages: Vec::new(),
+            broadcasts: Vec::new(),
+            flops: 0.0,
+        }
+    }
+
+    /// Send `msg` to vertex `dst` for delivery next superstep.
+    pub fn send(&mut self, dst: u64, msg: M) {
+        self.messages.push((dst, msg));
+    }
+
+    /// Publish a payload to every worker's broadcast table for the next
+    /// superstep, keyed by the sending vertex id. Costs one network copy
+    /// per remote worker instead of one per out-edge — the engine-level
+    /// primitive behind the paper's broadcast strategy.
+    pub fn broadcast(&mut self, payload: M) {
+        self.broadcasts.push(payload);
+    }
+
+    /// Report floating-point work done by this compute call; feeds the
+    /// cost model.
+    pub fn add_flops(&mut self, flops: f64) {
+        self.flops += flops;
+    }
+}
+
+/// A vertex program: per-vertex state, a message type, and the superstep
+/// kernel.
+pub trait VertexProgram {
+    /// Per-vertex state held in worker memory between supersteps.
+    type State;
+    /// Message type; must round-trip the wire codec so byte accounting is
+    /// exact and serialized-delivery tests can verify framing.
+    type Msg: Encode + Decode + Clone;
+
+    /// The superstep kernel for one vertex.
+    ///
+    /// `broadcast_lookup` resolves a broadcast payload published last
+    /// superstep by vertex `src` (on any worker), if one exists.
+    fn compute(
+        &self,
+        step: usize,
+        vertex: u64,
+        state: &mut Self::State,
+        messages: Vec<Self::Msg>,
+        broadcast_lookup: &dyn Fn(u64) -> Option<Self::Msg>,
+        out: &mut Outbox<Self::Msg>,
+    );
+
+    /// Optional sender-side combiner for messages emitted during superstep
+    /// `step` (layer-wise programs switch combiners per step: a layer whose
+    /// aggregate is not commutative/associative must return `None` for the
+    /// step that feeds it).
+    fn combiner(&self, _step: usize) -> Option<&dyn Combiner<Self::Msg>> {
+        None
+    }
+
+    /// Resident size of a vertex state in bytes, for the memory model.
+    /// The default charges nothing; GNN states override this.
+    fn state_bytes(&self, _state: &Self::State) -> u64 {
+        0
+    }
+}

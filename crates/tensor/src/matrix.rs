@@ -1,0 +1,565 @@
+//! Row-major `f32` matrix and the kernels GNN layers are made of.
+//!
+//! Shapes are validated eagerly with panics in debug-style constructors and
+//! `Result`-returning variants where the caller may feed untrusted data.
+//! The segment kernels (`segment_sum` and friends) are the vectorised form of
+//! the paper's Gather stage: `index[i]` assigns edge-row `i` to its
+//! destination node, exactly like the `dst_index` of Fig. 3.
+
+use inferturbo_common::{Error, Result};
+
+/// Dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 36 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
+    }
+
+    /// Build from a flat row-major vector. Panics on size mismatch — this is
+    /// the constructor used with compile-time-known shapes in tests/layers.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: {} elements for {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Fallible variant of [`Matrix::from_vec`] for untrusted input.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::ShapeMismatch(format!(
+                "{} elements for {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Build element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Single-row matrix from a slice.
+    pub fn row_vector(v: &[f32]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self @ other` — the workhorse GEMM. i-k-j loop order keeps the inner
+    /// loop streaming over contiguous rows of `other`, which the compiler
+    /// auto-vectorises; adequate for the layer sizes GNNs use.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T @ other` without materialising the transpose
+    /// (needed by GEMM backward).
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T` without materialising the transpose
+    /// (the other half of GEMM backward).
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += a_row[k] * b_row[k];
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Materialised transpose (rarely needed; the `_tn`/`_nt` GEMM variants
+    /// cover the hot paths).
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise in-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Add a `1 x cols` bias row to every row.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            for (x, b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn concat_cols(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "concat_cols rows");
+        let cols = self.cols + other.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Row gather: `out[i] = self[idx[i]]` — the vectorised edge lookup.
+    pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (i, &src) in idx.iter().enumerate() {
+            let src = src as usize;
+            assert!(src < self.rows, "gather_rows: index {src} out of {}", self.rows);
+            out.row_mut(i).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Segment sum: `out[seg[i]] += self[i]`, `out` has `n_segments` rows.
+    /// This is the vectorised commutative/associative Gather of the paper.
+    pub fn segment_sum(&self, seg: &[u32], n_segments: usize) -> Matrix {
+        assert_eq!(seg.len(), self.rows, "segment_sum index length");
+        let mut out = Matrix::zeros(n_segments, self.cols);
+        for (i, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            assert!(s < n_segments, "segment_sum: segment {s} out of {n_segments}");
+            let row = self.row(i);
+            let out_row = &mut out.data[s * self.cols..(s + 1) * self.cols];
+            for (o, x) in out_row.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Segment mean; empty segments yield zero rows.
+    pub fn segment_mean(&self, seg: &[u32], n_segments: usize) -> Matrix {
+        let mut out = self.segment_sum(seg, n_segments);
+        let counts = segment_counts(seg, n_segments);
+        for (s, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                let inv = 1.0 / c as f32;
+                for x in out.row_mut(s) {
+                    *x *= inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Segment max; empty segments yield zero rows (matching the paper's
+    /// behaviour of emitting a zero aggregate for isolated nodes). Also
+    /// returns the winning input-row index per (segment, column) for
+    /// backward.
+    pub fn segment_max(&self, seg: &[u32], n_segments: usize) -> (Matrix, Vec<u32>) {
+        assert_eq!(seg.len(), self.rows, "segment_max index length");
+        let mut out = Matrix::full(n_segments, self.cols, f32::NEG_INFINITY);
+        let mut argmax = vec![u32::MAX; n_segments * self.cols];
+        for (i, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            assert!(s < n_segments);
+            let row = self.row(i);
+            for (c, &x) in row.iter().enumerate() {
+                let o = &mut out.data[s * self.cols + c];
+                if x > *o {
+                    *o = x;
+                    argmax[s * self.cols + c] = i as u32;
+                }
+            }
+        }
+        // Empty segments: replace -inf with 0.
+        for v in &mut out.data {
+            if *v == f32::NEG_INFINITY {
+                *v = 0.0;
+            }
+        }
+        (out, argmax)
+    }
+
+    /// Per-segment softmax along rows: for every segment `s` and column `c`,
+    /// `out[i][c] = exp(x[i][c]) / Σ_{j: seg[j]=s} exp(x[j][c])`.
+    /// This is GAT's attention normalisation over each node's in-edges.
+    pub fn segment_softmax(&self, seg: &[u32], n_segments: usize) -> Matrix {
+        assert_eq!(seg.len(), self.rows, "segment_softmax index length");
+        // max per (segment, col) for numerical stability
+        let mut seg_max = vec![f32::NEG_INFINITY; n_segments * self.cols];
+        for (i, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            for (c, &x) in self.row(i).iter().enumerate() {
+                let m = &mut seg_max[s * self.cols + c];
+                if x > *m {
+                    *m = x;
+                }
+            }
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        let mut seg_sum = vec![0.0f32; n_segments * self.cols];
+        for (i, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            for (c, &x) in self.row(i).iter().enumerate() {
+                let e = (x - seg_max[s * self.cols + c]).exp();
+                out.data[i * self.cols + c] = e;
+                seg_sum[s * self.cols + c] += e;
+            }
+        }
+        for (i, &s) in seg.iter().enumerate() {
+            let s = s as usize;
+            for c in 0..self.cols {
+                let denom = seg_sum[s * self.cols + c];
+                if denom > 0.0 {
+                    out.data[i * self.cols + c] /= denom;
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius-norm squared (used by gradient-clipping and tests).
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Row-wise argmax — prediction extraction for single-label tasks.
+    pub fn argmax_rows(&self) -> Vec<u32> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0usize;
+                for (c, &x) in row.iter().enumerate() {
+                    if x > row[best] {
+                        best = c;
+                    }
+                }
+                best as u32
+            })
+            .collect()
+    }
+}
+
+/// Number of rows assigned to each segment.
+pub fn segment_counts(seg: &[u32], n_segments: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; n_segments];
+    for &s in seg {
+        counts[s as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i).data(), a.data());
+        assert_eq!(i.matmul(&a).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 4, &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        let got = a.matmul_tn(&b);
+        let want = a.transpose().matmul(&b);
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(4, 3, &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        let got = a.matmul_nt(&b);
+        let want = a.matmul(&b.transpose());
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn try_from_vec_rejects_bad_len() {
+        assert!(Matrix::try_from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::try_from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn bias_broadcast() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = Matrix::row_vector(&[10., 20.]);
+        assert_eq!(a.add_row_broadcast(&b).data(), &[11., 22., 13., 24.]);
+    }
+
+    #[test]
+    fn concat_cols_layout() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = m(2, 1, &[9., 8.]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.data(), &[1., 2., 9., 3., 4., 8.]);
+    }
+
+    #[test]
+    fn gather_rows_basic() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.data(), &[5., 6., 1., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn segment_sum_and_counts() {
+        let a = m(4, 2, &[1., 1., 2., 2., 3., 3., 4., 4.]);
+        let seg = [0u32, 1, 0, 1];
+        let s = a.segment_sum(&seg, 3);
+        assert_eq!(s.data(), &[4., 4., 6., 6., 0., 0.]);
+        assert_eq!(segment_counts(&seg, 3), vec![2, 2, 0]);
+    }
+
+    #[test]
+    fn segment_mean_handles_empty_segment() {
+        let a = m(2, 1, &[4., 8.]);
+        let seg = [1u32, 1];
+        let s = a.segment_mean(&seg, 2);
+        assert_eq!(s.data(), &[0., 6.]);
+    }
+
+    #[test]
+    fn segment_max_with_argmax() {
+        let a = m(3, 2, &[1., 9., 5., 2., 3., 4.]);
+        let seg = [0u32, 0, 1];
+        let (mx, arg) = a.segment_max(&seg, 2);
+        assert_eq!(mx.data(), &[5., 9., 3., 4.]);
+        assert_eq!(arg, vec![1, 0, 2, 2]);
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment() {
+        let a = m(4, 1, &[0.1, 2.0, -1.0, 0.5]);
+        let seg = [0u32, 0, 0, 1];
+        let sm = a.segment_softmax(&seg, 2);
+        let s0: f32 = (0..3).map(|i| sm.get(i, 0)).sum();
+        assert!((s0 - 1.0).abs() < 1e-6);
+        assert!((sm.get(3, 0) - 1.0).abs() < 1e-6);
+        // Larger logits get larger probabilities.
+        assert!(sm.get(1, 0) > sm.get(0, 0));
+        assert!(sm.get(0, 0) > sm.get(2, 0));
+    }
+
+    #[test]
+    fn segment_softmax_is_stable_for_large_logits() {
+        let a = m(2, 1, &[1000.0, 1001.0]);
+        let sm = a.segment_softmax(&[0, 0], 1);
+        assert!(sm.data().iter().all(|x| x.is_finite()));
+        assert!((sm.get(0, 0) + sm.get(1, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let a = m(2, 3, &[1., 5., 2., 9., 0., 3.]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = m(1, 3, &[1., 2., 3.]);
+        let b = m(1, 3, &[1., 1., 1.]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[3., 4., 5.]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1.5, 2., 2.5]);
+    }
+}

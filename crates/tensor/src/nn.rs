@@ -1,0 +1,210 @@
+//! Parameter initialisation and activation functions.
+
+use crate::matrix::Matrix;
+use inferturbo_common::Xoshiro256;
+
+/// Activation functions used by the GNN layers.
+///
+/// `derivative(x, y)` receives both the input `x` and the output `y = f(x)`
+/// so each variant can use whichever is cheaper (sigmoid/tanh use `y`,
+/// relu-family use `x`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    Identity,
+    Relu,
+    /// Leaky ReLU with the given negative slope (GAT uses 0.2 for attention
+    /// logits).
+    LeakyRelu(f32),
+    Sigmoid,
+    Tanh,
+}
+
+impl Activation {
+    #[inline]
+    pub fn forward(&self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu(s) => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    s * x
+                }
+            }
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    #[inline]
+    pub fn derivative(&self, x: f32, y: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu(s) => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    *s
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+
+    /// Apply element-wise to a matrix (inference path, no tape).
+    pub fn apply(&self, m: &Matrix) -> Matrix {
+        m.map(|x| self.forward(x))
+    }
+
+    /// Apply element-wise to a raw slice in place (per-node inference path).
+    pub fn apply_slice(&self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.forward(*x);
+        }
+    }
+
+    /// Stable string tag for model signatures.
+    pub fn tag(&self) -> String {
+        match self {
+            Activation::Identity => "identity".into(),
+            Activation::Relu => "relu".into(),
+            Activation::LeakyRelu(s) => format!("leaky_relu:{s}"),
+            Activation::Sigmoid => "sigmoid".into(),
+            Activation::Tanh => "tanh".into(),
+        }
+    }
+
+    /// Parse a tag produced by [`Activation::tag`].
+    pub fn from_tag(tag: &str) -> Option<Activation> {
+        match tag {
+            "identity" => Some(Activation::Identity),
+            "relu" => Some(Activation::Relu),
+            "sigmoid" => Some(Activation::Sigmoid),
+            "tanh" => Some(Activation::Tanh),
+            other => other
+                .strip_prefix("leaky_relu:")
+                .and_then(|s| s.parse().ok())
+                .map(Activation::LeakyRelu),
+        }
+    }
+}
+
+/// Weight initialisation schemes.
+#[derive(Debug, Clone, Copy)]
+pub enum Init {
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming normal: `N(0, sqrt(2 / fan_in))` — pairs with ReLU.
+    HeNormal,
+    /// All zeros (biases).
+    Zeros,
+}
+
+impl Init {
+    /// Materialise a `rows x cols` parameter matrix. `rows` is treated as
+    /// fan-in and `cols` as fan-out, matching `x @ W` layer convention.
+    pub fn init(&self, rows: usize, cols: usize, rng: &mut Xoshiro256) -> Matrix {
+        match self {
+            Init::XavierUniform => {
+                let a = (6.0 / (rows + cols) as f64).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| {
+                    ((rng.next_f64() * 2.0 - 1.0) * a) as f32
+                })
+            }
+            Init::HeNormal => {
+                let std = (2.0 / rows as f64).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| (rng.gaussian() * std) as f32)
+            }
+            Init::Zeros => Matrix::zeros(rows, cols),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_forward_values() {
+        assert_eq!(Activation::Relu.forward(-1.0), 0.0);
+        assert_eq!(Activation::Relu.forward(2.0), 2.0);
+        assert_eq!(Activation::LeakyRelu(0.1).forward(-2.0), -0.2);
+        assert!((Activation::Sigmoid.forward(0.0) - 0.5).abs() < 1e-7);
+        assert_eq!(Activation::Identity.forward(7.0), 7.0);
+        assert!((Activation::Tanh.forward(0.0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let eps = 1e-3f32;
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::LeakyRelu(0.2),
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ] {
+            for &x in &[-1.7f32, -0.4, 0.3, 1.9] {
+                let y = act.forward(x);
+                let num = (act.forward(x + eps) - act.forward(x - eps)) / (2.0 * eps);
+                let ana = act.derivative(x, y);
+                assert!(
+                    (num - ana).abs() < 1e-2,
+                    "{act:?} at {x}: numeric {num} analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::LeakyRelu(0.25),
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ] {
+            assert_eq!(Activation::from_tag(&act.tag()), Some(act));
+        }
+        assert_eq!(Activation::from_tag("nonsense"), None);
+    }
+
+    #[test]
+    fn xavier_bounds_and_determinism() {
+        let mut r1 = Xoshiro256::seed_from_u64(1);
+        let mut r2 = Xoshiro256::seed_from_u64(1);
+        let m1 = Init::XavierUniform.init(64, 32, &mut r1);
+        let m2 = Init::XavierUniform.init(64, 32, &mut r2);
+        assert_eq!(m1.data(), m2.data());
+        let a = (6.0f64 / 96.0).sqrt() as f32;
+        assert!(m1.data().iter().all(|&x| x.abs() <= a));
+        // not all zero
+        assert!(m1.norm_sq() > 0.0);
+    }
+
+    #[test]
+    fn he_normal_std_is_plausible() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let m = Init::HeNormal.init(256, 64, &mut rng);
+        let var = m.norm_sq() / (m.rows() * m.cols()) as f32;
+        let expect = 2.0 / 256.0;
+        assert!((var - expect).abs() / expect < 0.2, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let m = Init::Zeros.init(3, 3, &mut rng);
+        assert!(m.data().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end integration: train mini-batch → export signature →
+//! full-graph inference on both backends → identical, stable predictions.
+//! This is the paper's C1 (unified training/inference) exercised across
+//! every crate in the workspace.
+
+use inferturbo::cluster::ClusterSpec;
+use inferturbo::core::models::{GnnModel, PoolOp};
+use inferturbo::core::signature;
+use inferturbo::core::strategy::StrategyConfig;
+use inferturbo::core::train::{evaluate, train, TrainConfig};
+use inferturbo::core::{infer_mapreduce, infer_pregel, infer_reference};
+use inferturbo::graph::gen::DegreeSkew;
+use inferturbo::graph::{Dataset, Split};
+
+fn small_dataset() -> Dataset {
+    let mut d = Dataset::power_law(800, 4800, DegreeSkew::In, 17);
+    // power-law datasets label only a millesimal of nodes — far too few at
+    // this test scale, so widen the train split
+    d.split = (0..800)
+        .map(|i| if i % 3 == 0 { Split::Train } else { Split::Test })
+        .collect();
+    d
+}
+
+fn train_small(dataset: &Dataset) -> GnnModel {
+    let feat = dataset.graph.node_feat_dim();
+    let classes = dataset.graph.labels().num_classes() as usize;
+    let mut model = GnnModel::sage(feat, 16, 2, classes, false, PoolOp::Mean, 4);
+    // power-law datasets label only a millesimal; take what's there
+    let cfg = TrainConfig {
+        steps: 30,
+        batch_size: 16,
+        fanout: Some(8),
+        lr: 1e-2,
+        ..TrainConfig::default()
+    };
+    train(&mut model, dataset, &cfg).expect("training");
+    model
+}
+
+#[test]
+fn train_export_infer_pipeline() {
+    let dataset = small_dataset();
+    let model = train_small(&dataset);
+    let acc = evaluate(&model, &dataset, Split::Test);
+    assert!(acc > 0.5, "2-class accuracy should beat chance: {acc}");
+
+    // signature roundtrip through disk
+    let path = std::env::temp_dir().join("inferturbo-e2e.itsig");
+    signature::save(&model, &path).unwrap();
+    let reloaded = signature::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // the reloaded model must produce byte-identical logits
+    let a = infer_reference(&model, &dataset.graph);
+    let b = infer_reference(&reloaded, &dataset.graph);
+    assert_eq!(a, b, "signature must preserve the model exactly");
+}
+
+#[test]
+fn backends_agree_with_reference_after_training() {
+    let dataset = small_dataset();
+    let model = train_small(&dataset);
+    let want = infer_reference(&model, &dataset.graph);
+
+    let pregel = infer_pregel(
+        &model,
+        &dataset.graph,
+        ClusterSpec::pregel_cluster(6),
+        StrategyConfig::all().with_threshold(20),
+    )
+    .unwrap();
+    let mr = infer_mapreduce(
+        &model,
+        &dataset.graph,
+        ClusterSpec::mapreduce_cluster(6),
+        StrategyConfig::all().with_threshold(20),
+    )
+    .unwrap();
+    for v in 0..dataset.graph.n_nodes() {
+        for c in 0..model.classes() {
+            assert!(
+                (pregel.logits[v][c] - want[v][c]).abs() < 1e-3,
+                "pregel node {v} class {c}"
+            );
+            assert!(
+                (mr.logits[v][c] - want[v][c]).abs() < 1e-3,
+                "mr node {v} class {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn predictions_invariant_to_worker_count() {
+    // Re-partitioning the graph must not change the math — only the cost
+    // profile. (Float tolerance: combiner fold order differs per layout.)
+    let dataset = small_dataset();
+    let model = train_small(&dataset);
+    let a = infer_pregel(
+        &model,
+        &dataset.graph,
+        ClusterSpec::pregel_cluster(3),
+        StrategyConfig::all().with_threshold(20),
+    )
+    .unwrap();
+    let b = infer_pregel(
+        &model,
+        &dataset.graph,
+        ClusterSpec::pregel_cluster(17),
+        StrategyConfig::all().with_threshold(20),
+    )
+    .unwrap();
+    let mut diffs = 0usize;
+    for v in 0..dataset.graph.n_nodes() {
+        for c in 0..model.classes() {
+            if (a.logits[v][c] - b.logits[v][c]).abs() > 1e-3 {
+                diffs += 1;
+            }
+        }
+    }
+    assert_eq!(diffs, 0, "worker count changed {diffs} logits");
+}
+
+#[test]
+fn repeated_runs_bit_identical_across_backends() {
+    let dataset = small_dataset();
+    let model = train_small(&dataset);
+    let strat = StrategyConfig::all().with_threshold(15);
+    let p1 = infer_pregel(&model, &dataset.graph, ClusterSpec::pregel_cluster(5), strat).unwrap();
+    let p2 = infer_pregel(&model, &dataset.graph, ClusterSpec::pregel_cluster(5), strat).unwrap();
+    assert_eq!(p1.logits, p2.logits);
+    let m1 =
+        infer_mapreduce(&model, &dataset.graph, ClusterSpec::mapreduce_cluster(5), strat).unwrap();
+    let m2 =
+        infer_mapreduce(&model, &dataset.graph, ClusterSpec::mapreduce_cluster(5), strat).unwrap();
+    assert_eq!(m1.logits, m2.logits);
+}
+
+#[test]
+fn multilabel_end_to_end() {
+    // PPI-style multi-label task through the whole pipeline.
+    use inferturbo::graph::gen::{generate, GenConfig};
+    let graph = generate(&GenConfig {
+        n_nodes: 400,
+        n_edges: 2400,
+        feat_dim: 12,
+        classes: 4,
+        multilabel: Some(10),
+        homophily: 0.7,
+        noise: 0.6,
+        seed: 5,
+        ..GenConfig::default()
+    });
+    let split = (0..400)
+        .map(|i| if i % 2 == 0 { Split::Train } else { Split::Test })
+        .collect();
+    let dataset = Dataset {
+        name: "ml".into(),
+        graph,
+        split,
+        paper_nodes: 0,
+        paper_edges: 0,
+    };
+    let mut model = GnnModel::sage(12, 16, 2, 10, true, PoolOp::Mean, 2);
+    let stats = train(
+        &mut model,
+        &dataset,
+        &TrainConfig {
+            steps: 100,
+            batch_size: 32,
+            fanout: Some(8),
+            lr: 1e-2,
+            ..TrainConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        stats.final_loss() < stats.initial_loss() * 0.8,
+        "BCE loss should drop: {} -> {}",
+        stats.initial_loss(),
+        stats.final_loss()
+    );
+    // Learnability is asserted more strongly in inferturbo-core's unit
+    // tests (micro-F1 > 0.5 on an easier config); here the claim is the
+    // multilabel plumbing end to end.
+    let f1 = evaluate(&model, &dataset, Split::Test);
+    assert!(f1 > 0.25, "micro-F1 {f1}");
+    // multilabel logits flow through the backends unchanged
+    let out = infer_mapreduce(
+        &model,
+        &dataset.graph,
+        ClusterSpec::mapreduce_cluster(4),
+        StrategyConfig::all(),
+    )
+    .unwrap();
+    assert!(out.logits.iter().all(|l| l.len() == 10));
+}

@@ -1,0 +1,159 @@
+//! Failure-path integration: OOM boundaries, configuration mismatches,
+//! and corrupted signatures must surface as typed errors, never panics —
+//! Table IV's "OOM" cell is a *result* in this system.
+
+use inferturbo::cluster::ClusterSpec;
+use inferturbo::core::baseline::{estimate_full_inference, BaselineConfig};
+use inferturbo::core::models::{GnnModel, PoolOp};
+use inferturbo::core::signature;
+use inferturbo::core::strategy::StrategyConfig;
+use inferturbo::core::{infer_mapreduce, infer_pregel};
+use inferturbo::graph::gen::DegreeSkew;
+use inferturbo::graph::Dataset;
+
+fn dataset() -> Dataset {
+    Dataset::power_law(600, 3600, DegreeSkew::In, 5)
+}
+
+fn model(feat: usize) -> GnnModel {
+    GnnModel::sage(feat, 16, 2, 2, false, PoolOp::Mean, 1)
+}
+
+#[test]
+fn pregel_oom_reports_worker_and_phase() {
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    let spec = ClusterSpec::pregel_cluster(4).with_memory(1 << 10); // 1 KB
+    let err = infer_pregel(&m, &d.graph, spec, StrategyConfig::none()).unwrap_err();
+    assert!(err.is_oom(), "expected OOM, got {err}");
+    assert!(err.to_string().contains("superstep"), "{err}");
+}
+
+#[test]
+fn mapreduce_survives_memory_that_kills_pregel() {
+    // The batch backend streams per-key groups, so its peak residency sits
+    // far below the state-resident Pregel backend's — the paper's
+    // scalability argument for the MR backend. Measure both peaks, then
+    // verify behaviour at a cap between them.
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    let pregel_ok = infer_pregel(
+        &m,
+        &d.graph,
+        ClusterSpec::pregel_cluster(4),
+        StrategyConfig::none(),
+    )
+    .unwrap();
+    let mr_ok = infer_mapreduce(
+        &m,
+        &d.graph,
+        ClusterSpec::mapreduce_cluster(4),
+        StrategyConfig::none(),
+    )
+    .unwrap();
+    let pregel_peak = pregel_ok.report.max_mem_peak();
+    let mr_peak = mr_ok.report.max_mem_peak();
+    assert!(
+        mr_peak * 2 < pregel_peak,
+        "streaming reducers should need far less memory: mr {mr_peak} vs pregel {pregel_peak}"
+    );
+    let cap = (mr_peak + pregel_peak) / 2;
+    let pregel = infer_pregel(
+        &m,
+        &d.graph,
+        ClusterSpec::pregel_cluster(4).with_memory(cap),
+        StrategyConfig::none(),
+    );
+    let mr = infer_mapreduce(
+        &m,
+        &d.graph,
+        ClusterSpec::mapreduce_cluster(4).with_memory(cap),
+        StrategyConfig::none(),
+    );
+    assert!(pregel.is_err() && pregel.unwrap_err().is_oom());
+    assert!(mr.is_ok(), "MR should stream through the same cap");
+}
+
+#[test]
+fn mapreduce_oom_on_truly_tiny_memory() {
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    let err = infer_mapreduce(
+        &m,
+        &d.graph,
+        ClusterSpec::mapreduce_cluster(4).with_memory(256),
+        StrategyConfig::none(),
+    )
+    .unwrap_err();
+    assert!(err.is_oom(), "expected OOM, got {err}");
+}
+
+#[test]
+fn feature_dimension_mismatch_is_config_error() {
+    let d = dataset();
+    let wrong = model(d.graph.node_feat_dim() + 3);
+    for result in [
+        infer_pregel(
+            &wrong,
+            &d.graph,
+            ClusterSpec::pregel_cluster(2),
+            StrategyConfig::none(),
+        ),
+        infer_mapreduce(
+            &wrong,
+            &d.graph,
+            ClusterSpec::mapreduce_cluster(2),
+            StrategyConfig::none(),
+        ),
+    ] {
+        let err = result.unwrap_err();
+        assert!(
+            err.to_string().contains("do not match"),
+            "unexpected error: {err}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_signature_rejected_not_loaded() {
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    let path = std::env::temp_dir().join("inferturbo-corrupt.itsig");
+    signature::save(&m, &path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // flip bytes in the middle of the parameter block
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    bytes.truncate(bytes.len() - 7);
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(signature::load(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn baseline_oom_flag_tracks_memory_cap() {
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    let mut cfg = BaselineConfig::traditional(3, Some(10_000));
+    cfg.spec = cfg.spec.with_memory(1 << 14);
+    assert!(estimate_full_inference(&m, &d.graph, &cfg).oom);
+    cfg.spec = cfg.spec.with_memory(1 << 42);
+    assert!(!estimate_full_inference(&m, &d.graph, &cfg).oom);
+}
+
+#[test]
+fn strategies_do_not_mask_oom_errors() {
+    // Shadow-nodes duplicates in-edges; with a hostile memory cap the OOM
+    // must still be typed, not a panic.
+    let d = Dataset::power_law(600, 3600, DegreeSkew::Out, 5);
+    let m = model(d.graph.node_feat_dim());
+    let spec = ClusterSpec::pregel_cluster(4).with_memory(1 << 10);
+    let err = infer_pregel(
+        &m,
+        &d.graph,
+        spec,
+        StrategyConfig::all().with_threshold(8),
+    )
+    .unwrap_err();
+    assert!(err.is_oom());
+}
