@@ -1,8 +1,25 @@
 //! Phase execution, shuffling, combining, and IO/memory accounting.
+//!
+//! # Execution model
+//!
+//! Both phases fork-join across workers under the global
+//! [`inferturbo_common::Parallelism`] budget: each worker runs its own
+//! kernel instance (built by a per-worker factory, so kernels may hold
+//! per-worker mutable state such as a broadcast table) and spools its
+//! routed output into worker-local shards. The barrier merges shards into
+//! the destination partitions in ascending mapper order — exactly the
+//! order the serial loop produced — so results and byte accounting are
+//! identical for every thread count. The shuffle's hash partitioning is
+//! what makes this safe: each worker *is* a disjoint key range.
+//!
+//! Grouping inside a reducer is sort-based (stable sort by key, then a
+//! single grouped sweep), mirroring external-sort shuffle semantics and
+//! preserving arrival order within each key group.
 
 use inferturbo_cluster::{ClusterSpec, RunReport, WorkerPhase};
 use inferturbo_common::codec::{varint_len, Decode, Encode};
 use inferturbo_common::hash::partition_of;
+use inferturbo_common::par::{par_map, par_map_workers};
 use inferturbo_common::{FxHashMap, Result};
 
 /// Sender-side fold for same-key values (must be commutative/associative —
@@ -10,8 +27,9 @@ use inferturbo_common::{FxHashMap, Result};
 /// `Some(overflow)` when the pair is not combinable (mixed record kinds —
 /// e.g. a self-state record meeting an in-edge message); the engine spools
 /// the overflow as its own record. Implementations may swap contents so the
-/// held anchor ends up being the combinable variant.
-pub type CombineFn<'a, V> = &'a dyn Fn(&mut V, V) -> Option<V>;
+/// held anchor ends up being the combinable variant. `Sync` because every
+/// worker's spool applies it concurrently.
+pub type CombineFn<'a, V> = &'a (dyn Fn(&mut V, V) -> Option<V> + Sync);
 
 /// Keyed records routed to their destination worker, waiting to be grouped
 /// by the next phase. Byte sizes were charged to the *producing* phase as
@@ -73,6 +91,30 @@ impl PhaseCtx {
     }
 }
 
+/// The plain-data subset of the engine a worker task needs; `Copy` so the
+/// fork-join closures can capture it without borrowing the engine.
+#[derive(Clone, Copy)]
+struct PhaseParams {
+    partition_fn: fn(u64, usize) -> usize,
+    combiner_capacity: usize,
+    record_overhead: u64,
+}
+
+impl PhaseParams {
+    fn wire_len<V: Encode>(&self, key: u64, value: &V) -> u64 {
+        (varint_len(key) + value.encoded_len()) as u64 + self.record_overhead
+    }
+}
+
+/// One worker's phase output, merged at the barrier in worker order.
+struct PhaseOut<V> {
+    metrics: WorkerPhase,
+    routed: Vec<Vec<(u64, V)>>,
+    routed_bytes: Vec<u64>,
+    /// Modelled peak resident bytes, checked against the spec at the merge.
+    peak: u64,
+}
+
 /// The batch engine. Owns the cluster spec and accumulates a [`RunReport`]
 /// across phases; one engine instance = one job chain.
 pub struct BatchEngine {
@@ -115,8 +157,12 @@ impl BatchEngine {
         self.report
     }
 
-    fn wire_len<V: Encode>(&self, key: u64, value: &V) -> u64 {
-        (varint_len(key) + value.encoded_len()) as u64 + self.record_overhead
+    fn params(&self) -> PhaseParams {
+        PhaseParams {
+            partition_fn: self.partition_fn,
+            combiner_capacity: self.combiner_capacity,
+            record_overhead: self.record_overhead,
+        }
     }
 
     /// Distribute raw input records round-robin across mapper workers —
@@ -132,102 +178,154 @@ impl BatchEngine {
 
     /// Map phase: per-worker input records → routed keyed pairs.
     ///
-    /// Input bytes are charged per record (reading the split); emitted pairs
-    /// are combined (optionally) and charged as shuffle output.
-    pub fn map_phase<I: Encode, V: Encode + Decode + Clone>(
+    /// `make_map(worker)` builds the kernel each worker runs — one instance
+    /// per worker, so kernels may carry per-worker mutable state. Workers
+    /// execute in parallel; input bytes are charged per record (reading the
+    /// split); emitted pairs are combined (optionally) and charged as
+    /// shuffle output. The first failure in ascending worker order is
+    /// surfaced, like the serial loop.
+    pub fn map_phase<I, V, M, F>(
         &mut self,
         name: impl Into<String>,
         inputs: &[Vec<I>],
-        mut map: impl FnMut(&mut PhaseCtx, &I) -> Vec<(u64, V)>,
+        make_map: F,
         combiner: Option<CombineFn<'_, V>>,
-    ) -> Result<KeyedData<V>> {
+    ) -> Result<KeyedData<V>>
+    where
+        I: Encode + Sync,
+        V: Encode + Decode + Clone + Send,
+        M: FnMut(&mut PhaseCtx, &I) -> Result<Vec<(u64, V)>>,
+        F: Fn(usize) -> M + Sync,
+    {
         assert_eq!(inputs.len(), self.spec.workers, "inputs must be pre-partitioned");
         let name = name.into();
         let n = self.spec.workers;
-        let mut metrics = vec![WorkerPhase::default(); n];
-        let mut routed: Vec<Vec<(u64, V)>> = (0..n).map(|_| Vec::new()).collect();
-        let mut routed_bytes = vec![0u64; n];
+        let params = self.params();
 
-        for (w, recs) in inputs.iter().enumerate() {
-            let mut out = OutBuffer::new(self, combiner);
+        let results: Vec<Result<PhaseOut<V>>> = par_map_workers(n, |w| {
+            let recs = &inputs[w];
+            let mut metrics = WorkerPhase::default();
+            let mut kernel = make_map(w);
+            let mut out = OutBuffer::new(params, combiner);
             for rec in recs {
-                metrics[w].recv(rec.encoded_len() as u64 + self.record_overhead);
+                metrics.recv(rec.encoded_len() as u64 + params.record_overhead);
                 let mut ctx = PhaseCtx::default();
-                for (k, v) in map(&mut ctx, rec) {
+                for (k, v) in kernel(&mut ctx, rec)? {
                     out.push(k, v);
                 }
-                metrics[w].flops += ctx.flops;
+                metrics.flops += ctx.flops;
             }
-            out.flush_into(w, &mut metrics, &mut routed, &mut routed_bytes);
+            let mut routed: Vec<Vec<(u64, V)>> = (0..n).map(|_| Vec::new()).collect();
+            let mut routed_bytes = vec![0u64; n];
+            out.flush_into(&mut metrics, &mut routed, &mut routed_bytes);
             // Mapper memory: one record + combiner buffer.
             let peak = out.peak_bytes;
-            metrics[w].touch_mem(peak);
-            self.spec
-                .check_memory(w, peak)
-                .map_err(|e| e.in_phase(&name))?;
-        }
-        self.report.push_phase(name, metrics);
-        Ok(KeyedData {
-            per_worker: routed,
-            pending_bytes: routed_bytes,
-        })
+            metrics.touch_mem(peak);
+            Ok(PhaseOut {
+                metrics,
+                routed,
+                routed_bytes,
+                peak,
+            })
+        });
+        self.merge_phase(name, results)
     }
 
-    /// Reduce phase: group each worker's pairs by key, run `reduce` per
-    /// group, and route the emitted pairs onward.
+    /// Reduce phase: group each worker's shuffle partition by key, run its
+    /// kernel per group, and route the emitted pairs onward.
     ///
-    /// Groups are processed in ascending key order (external-sort
-    /// semantics), so output is deterministic. The modelled reducer memory
-    /// peak is the largest single group plus the combiner buffer —
-    /// streaming reducers never hold their whole partition.
-    pub fn reduce_phase<V: Encode + Decode + Clone, O: Encode + Decode + Clone>(
+    /// Workers run in parallel — each worker's partition is a disjoint key
+    /// range by construction of the shuffle. Within a worker, records are
+    /// stable-sorted by key (external-sort semantics: ascending keys,
+    /// arrival order preserved inside a group) and reduced in one grouped
+    /// sweep. `make_reduce(worker)` builds one kernel per worker, which may
+    /// hold per-worker state across its key stream (e.g. the broadcast
+    /// table riding reserved low keys). The modelled reducer memory peak is
+    /// the largest single group plus the combiner buffer — streaming
+    /// reducers never hold their whole partition.
+    pub fn reduce_phase<V, O, R, F>(
         &mut self,
         name: impl Into<String>,
         data: KeyedData<V>,
-        mut reduce: impl FnMut(&mut PhaseCtx, u64, Vec<V>) -> Vec<(u64, O)>,
+        make_reduce: F,
         combiner: Option<CombineFn<'_, O>>,
-    ) -> Result<KeyedData<O>> {
+    ) -> Result<KeyedData<O>>
+    where
+        V: Encode + Decode + Clone + Send,
+        O: Encode + Decode + Clone + Send,
+        R: FnMut(&mut PhaseCtx, u64, Vec<V>) -> Result<Vec<(u64, O)>>,
+        F: Fn(usize) -> R + Sync,
+    {
         let name = name.into();
         let n = self.spec.workers;
         assert_eq!(data.per_worker.len(), n, "keyed data shape");
-        let mut metrics = vec![WorkerPhase::default(); n];
-        let mut routed: Vec<Vec<(u64, O)>> = (0..n).map(|_| Vec::new()).collect();
-        let mut routed_bytes = vec![0u64; n];
+        let params = self.params();
 
-        for (w, bucket) in data.per_worker.into_iter().enumerate() {
+        let results: Vec<Result<PhaseOut<O>>> = par_map(data.per_worker, |w, mut bucket| {
+            let mut metrics = WorkerPhase::default();
             // Input accounting: the fetch of this worker's shuffle partition.
             for (k, v) in &bucket {
-                metrics[w].recv(self.wire_len(*k, v));
+                metrics.recv(params.wire_len(*k, v));
             }
-            // Group by key, then sort keys for deterministic streaming order.
-            let mut groups: FxHashMap<u64, Vec<V>> = FxHashMap::default();
-            for (k, v) in bucket {
-                groups.entry(k).or_default().push(v);
-            }
-            let mut keys: Vec<u64> = groups.keys().copied().collect();
-            keys.sort_unstable();
+            // Shuffle sort: stable, so same-key values keep arrival order.
+            bucket.sort_by_key(|&(k, _)| k);
 
-            let mut out = OutBuffer::new(self, combiner);
+            let mut kernel = make_reduce(w);
+            let mut out = OutBuffer::new(params, combiner);
             let mut max_group_bytes = 0u64;
-            for k in keys {
-                let values = groups.remove(&k).unwrap();
-                let group_bytes: u64 =
-                    values.iter().map(|v| self.wire_len(k, v)).sum();
+            let mut it = bucket.into_iter().peekable();
+            while let Some((k, v)) = it.next() {
+                let mut values = vec![v];
+                while it.peek().map(|(k2, _)| *k2) == Some(k) {
+                    values.push(it.next().expect("peeked").1);
+                }
+                let group_bytes: u64 = values.iter().map(|v| params.wire_len(k, v)).sum();
                 max_group_bytes = max_group_bytes.max(group_bytes);
                 let mut ctx = PhaseCtx::default();
-                for (k2, v2) in reduce(&mut ctx, k, values) {
+                for (k2, v2) in kernel(&mut ctx, k, values)? {
                     out.push(k2, v2);
                 }
-                metrics[w].flops += ctx.flops;
+                metrics.flops += ctx.flops;
             }
-            out.flush_into(w, &mut metrics, &mut routed, &mut routed_bytes);
+            let mut routed: Vec<Vec<(u64, O)>> = (0..n).map(|_| Vec::new()).collect();
+            let mut routed_bytes = vec![0u64; n];
+            out.flush_into(&mut metrics, &mut routed, &mut routed_bytes);
             let peak = max_group_bytes + out.peak_bytes;
-            metrics[w].touch_mem(peak);
-            self.spec
-                .check_memory(w, peak)
-                .map_err(|e| e.in_phase(&name))?;
-        }
+            metrics.touch_mem(peak);
+            Ok(PhaseOut {
+                metrics,
+                routed,
+                routed_bytes,
+                peak,
+            })
+        });
         let _ = data.pending_bytes; // consumed; bytes were charged above
+        self.merge_phase(name, results)
+    }
+
+    /// Barrier: surface the first failure in ascending worker order, check
+    /// the memory model, and concatenate routed shards per destination in
+    /// mapper order (the serial delivery order).
+    fn merge_phase<V>(
+        &mut self,
+        name: String,
+        results: Vec<Result<PhaseOut<V>>>,
+    ) -> Result<KeyedData<V>> {
+        let n = self.spec.workers;
+        let mut metrics = Vec::with_capacity(n);
+        let mut routed: Vec<Vec<(u64, V)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut routed_bytes = vec![0u64; n];
+        for (w, r) in results.into_iter().enumerate() {
+            let o = r.map_err(|e| e.in_phase(&name))?;
+            self.spec
+                .check_memory(w, o.peak)
+                .map_err(|e| e.in_phase(&name))?;
+            metrics.push(o.metrics);
+            for (dst, mut recs) in o.routed.into_iter().enumerate() {
+                routed[dst].append(&mut recs);
+                routed_bytes[dst] += o.routed_bytes[dst];
+            }
+        }
         self.report.push_phase(name, metrics);
         Ok(KeyedData {
             per_worker: routed,
@@ -236,9 +334,10 @@ impl BatchEngine {
     }
 }
 
-/// Emission buffer with optional bounded combining.
+/// Emission buffer with optional bounded combining. Worker-local: it routes
+/// into per-worker shards that the barrier later concatenates.
 struct OutBuffer<'e, V: Encode + Clone> {
-    engine: &'e BatchEngine,
+    params: PhaseParams,
     combiner: Option<CombineFn<'e, V>>,
     /// Combined pairs when combining; plain spool otherwise.
     held: Vec<(u64, V)>,
@@ -248,9 +347,9 @@ struct OutBuffer<'e, V: Encode + Clone> {
 }
 
 impl<'e, V: Encode + Clone> OutBuffer<'e, V> {
-    fn new(engine: &'e BatchEngine, combiner: Option<CombineFn<'e, V>>) -> Self {
+    fn new(params: PhaseParams, combiner: Option<CombineFn<'e, V>>) -> Self {
         OutBuffer {
-            engine,
+            params,
             combiner,
             held: Vec::new(),
             held_idx: FxHashMap::default(),
@@ -274,7 +373,7 @@ impl<'e, V: Encode + Clone> OutBuffer<'e, V> {
                         self.held.push((k, v));
                     }
                 }
-                let cap = self.engine.combiner_capacity;
+                let cap = self.params.combiner_capacity;
                 if cap > 0 && self.held.len() >= cap {
                     self.track_buffer_peak();
                     self.spilled.append(&mut self.held);
@@ -288,17 +387,16 @@ impl<'e, V: Encode + Clone> OutBuffer<'e, V> {
         let bytes: u64 = self
             .held
             .iter()
-            .map(|(k, v)| self.engine.wire_len(*k, v))
+            .map(|(k, v)| self.params.wire_len(*k, v))
             .sum();
         self.peak_bytes = self.peak_bytes.max(bytes);
     }
 
-    /// Charge output bytes to worker `w` and route pairs to their
-    /// destination workers.
+    /// Charge output bytes to this worker's metrics and route pairs to
+    /// their destination shards.
     fn flush_into(
         &mut self,
-        w: usize,
-        metrics: &mut [WorkerPhase],
+        metrics: &mut WorkerPhase,
         routed: &mut [Vec<(u64, V)>],
         routed_bytes: &mut [u64],
     ) {
@@ -307,9 +405,9 @@ impl<'e, V: Encode + Clone> OutBuffer<'e, V> {
         self.held_idx.clear();
         let spilled = std::mem::take(&mut self.spilled);
         for (k, v) in spilled.into_iter().chain(held) {
-            let len = self.engine.wire_len(k, &v);
-            metrics[w].send(len);
-            let dst = (self.engine.partition_fn)(k, routed.len());
+            let len = self.params.wire_len(k, &v);
+            metrics.send(len);
+            let dst = (self.params.partition_fn)(k, routed.len());
             routed_bytes[dst] += len;
             routed[dst].push((k, v));
         }
@@ -331,14 +429,14 @@ mod tests {
         let inputs: Vec<u64> = vec![1, 2, 1, 3, 1, 2];
         let parts = eng.scatter_inputs(inputs);
         let keyed = eng
-            .map_phase("map", &parts, |_ctx, &rec| vec![(rec, 1.0f32)], None)
+            .map_phase("map", &parts, |_w| |_ctx: &mut PhaseCtx, &rec: &u64| Ok(vec![(rec, 1.0f32)]), None)
             .unwrap();
         assert_eq!(keyed.len(), 6);
         let reduced = eng
             .reduce_phase(
                 "reduce",
                 keyed,
-                |_ctx, k, vals| vec![(k, vals.iter().sum::<f32>())],
+                |_w| |_ctx: &mut PhaseCtx, k, vals: Vec<f32>| Ok(vec![(k, vals.iter().sum::<f32>())]),
                 None,
             )
             .unwrap();
@@ -354,13 +452,13 @@ mod tests {
         let mut eng = engine(2);
         let parts = eng.scatter_inputs(vec![5u64, 6]);
         let keyed = eng
-            .map_phase("m", &parts, |_c, &r| vec![(r, r as f32)], None)
+            .map_phase("m", &parts, |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r, r as f32)]), None)
             .unwrap();
         let r1 = eng
-            .reduce_phase("r1", keyed, |_c, k, v| vec![(k, v[0] * 2.0)], None)
+            .reduce_phase("r1", keyed, |_w| |_c: &mut PhaseCtx, k, v: Vec<f32>| Ok(vec![(k, v[0] * 2.0)]), None)
             .unwrap();
         let r2 = eng
-            .reduce_phase("r2", r1, |_c, k, v| vec![(k, -v[0])], None)
+            .reduce_phase("r2", r1, |_w| |_c: &mut PhaseCtx, k, v: Vec<f32>| Ok(vec![(k, -v[0])]), None)
             .unwrap();
         let m = r2.into_map();
         assert_eq!(m[&5], -10.0);
@@ -380,13 +478,13 @@ mod tests {
             };
             let comb: Option<CombineFn<'_, f32>> = if combine { Some(&fold) } else { None };
             let keyed = eng
-                .map_phase("m", &parts, |_c, &r| vec![(r, 1.0f32)], comb)
+                .map_phase("m", &parts, |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r, 1.0f32)]), comb)
                 .unwrap();
             let out = eng
                 .reduce_phase(
                     "r",
                     keyed,
-                    |_c, k, v| vec![(k, v.iter().sum::<f32>())],
+                    |_w| |_c: &mut PhaseCtx, k, v: Vec<f32>| Ok(vec![(k, v.iter().sum::<f32>())]),
                     None,
                 )
                 .unwrap();
@@ -411,7 +509,7 @@ mod tests {
             .map_phase(
                 "m",
                 &parts,
-                |_c, &r| vec![(r, 1.0f32)],
+                |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r, 1.0f32)]),
                 Some(&|a: &mut f32, b| {
                     *a += b;
                     None
@@ -419,7 +517,12 @@ mod tests {
             )
             .unwrap();
         let out = eng
-            .reduce_phase("r", keyed, |_c, k, v| vec![(k, v.iter().sum::<f32>())], None)
+            .reduce_phase(
+                "r",
+                keyed,
+                |_w| |_c: &mut PhaseCtx, k, v: Vec<f32>| Ok(vec![(k, v.iter().sum::<f32>())]),
+                None,
+            )
             .unwrap();
         let m = out.into_map();
         let total: f32 = (0..7u64).map(|k| m[&k]).sum();
@@ -436,18 +539,25 @@ mod tests {
             .map_phase(
                 "m",
                 &parts,
-                |_c, &r| {
-                    if r < 50 {
-                        vec![(7u64, vec![0.0f32; 100])] // giant group at key 7
-                    } else {
-                        vec![(r, vec![0.0f32; 1])]
+                |_w| {
+                    |_c: &mut PhaseCtx, &r: &u64| {
+                        Ok(if r < 50 {
+                            vec![(7u64, vec![0.0f32; 100])] // giant group at key 7
+                        } else {
+                            vec![(r, vec![0.0f32; 1])]
+                        })
                     }
                 },
                 None,
             )
             .unwrap();
         let out = eng
-            .reduce_phase("r", keyed, |_c, k, _v| vec![(k, 0u32)], None)
+            .reduce_phase(
+                "r",
+                keyed,
+                |_w| |_c: &mut PhaseCtx, k, _v: Vec<Vec<f32>>| Ok(vec![(k, 0u32)]),
+                None,
+            )
             .unwrap();
         drop(out);
         let peak = eng.report().phases[1].per_worker[0].mem_peak;
@@ -464,10 +574,20 @@ mod tests {
         let mut eng = BatchEngine::new(spec);
         let parts = eng.scatter_inputs(vec![0u64; 10]);
         let keyed = eng
-            .map_phase("m", &parts, |_c, _| vec![(1u64, vec![1.0f32; 8])], None)
+            .map_phase(
+                "m",
+                &parts,
+                |_w| |_c: &mut PhaseCtx, _: &u64| Ok(vec![(1u64, vec![1.0f32; 8])]),
+                None,
+            )
             .unwrap();
         let err = eng
-            .reduce_phase("r", keyed, |_c, k, _v| vec![(k, 0u32)], None)
+            .reduce_phase(
+                "r",
+                keyed,
+                |_w| |_c: &mut PhaseCtx, k, _v: Vec<Vec<f32>>| Ok(vec![(k, 0u32)]),
+                None,
+            )
             .unwrap_err();
         assert!(err.is_oom());
         assert!(err.to_string().contains("phase `r`"));
@@ -479,13 +599,13 @@ mod tests {
             let mut eng = engine(4);
             let parts = eng.scatter_inputs((0..200u64).collect());
             let keyed = eng
-                .map_phase("m", &parts, |_c, &r| vec![(r % 13, r as f32)], None)
+                .map_phase("m", &parts, |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r % 13, r as f32)]), None)
                 .unwrap();
             let out = eng
                 .reduce_phase(
                     "r",
                     keyed,
-                    |_c, k, v| vec![(k, v.iter().sum::<f32>())],
+                    |_w| |_c: &mut PhaseCtx, k, v: Vec<f32>| Ok(vec![(k, v.iter().sum::<f32>())]),
                     None,
                 )
                 .unwrap();
@@ -504,9 +624,11 @@ mod tests {
             .map_phase(
                 "m",
                 &parts,
-                |ctx, &r| {
-                    ctx.add_flops(2.0e6); // 2 s at 1e6 flops/s
-                    vec![(r, 0.0f32)]
+                |_w| {
+                    |ctx: &mut PhaseCtx, &r: &u64| {
+                        ctx.add_flops(2.0e6); // 2 s at 1e6 flops/s
+                        Ok(vec![(r, 0.0f32)])
+                    }
                 },
                 None,
             )
@@ -521,15 +643,69 @@ mod tests {
         let mut eng = engine(2);
         let parts = eng.scatter_inputs(vec![1u64, 2]);
         let keyed = eng
-            .map_phase("m", &parts, |_c, &r| vec![(r, vec![1.0f32; 16])], None)
+            .map_phase("m", &parts, |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r, vec![1.0f32; 16])]), None)
             .unwrap();
         let map_out: u64 = eng.report().phases[0].bytes_out_total();
         let out = eng
-            .reduce_phase("r", keyed, |_c, k, _| vec![(k, 0u32)], None)
+            .reduce_phase(
+                "r",
+                keyed,
+                |_w| |_c: &mut PhaseCtx, k, _: Vec<Vec<f32>>| Ok(vec![(k, 0u32)]),
+                None,
+            )
             .unwrap();
         drop(out);
         let reduce_in: u64 = eng.report().phases[1].bytes_in_total();
         assert_eq!(map_out, reduce_in, "shuffle bytes conserved");
         assert!(map_out > 0);
+    }
+
+    #[test]
+    fn kernel_errors_surface_from_lowest_worker() {
+        let mut eng = engine(3);
+        let parts = eng.scatter_inputs((0..9u64).collect());
+        let err = eng
+            .map_phase(
+                "boom",
+                &parts,
+                |w| {
+                    move |_c: &mut PhaseCtx, _r: &u64| -> Result<Vec<(u64, f32)>> {
+                        Err(inferturbo_common::Error::InvalidGraph(format!(
+                            "worker {w} exploded"
+                        )))
+                    }
+                },
+                None,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("worker 0"), "{err}");
+        assert!(err.to_string().contains("phase `boom`"), "{err}");
+    }
+
+    #[test]
+    fn per_worker_kernel_state_is_isolated() {
+        // Each worker's kernel counts its own records; counts must reflect
+        // the round-robin scatter, proving kernels are not shared.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let counts: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
+        let mut eng = engine(3);
+        let parts = eng.scatter_inputs((0..10u64).collect());
+        let counts_ref = &counts;
+        let keyed = eng
+            .map_phase(
+                "m",
+                &parts,
+                |w| {
+                    move |_c: &mut PhaseCtx, &r: &u64| {
+                        counts_ref[w].fetch_add(1, Ordering::Relaxed);
+                        Ok(vec![(r, 1.0f32)])
+                    }
+                },
+                None,
+            )
+            .unwrap();
+        assert_eq!(keyed.len(), 10);
+        let got: Vec<u64> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        assert_eq!(got, vec![4, 3, 3]);
     }
 }

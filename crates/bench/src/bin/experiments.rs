@@ -50,6 +50,7 @@ fn main() {
         ("fig11", fig11::run),
         ("fig12", fig12::run),
         ("fig13", fig13::run),
+        ("scaling", scaling::run),
     ];
 
     for sel in &selected {
@@ -60,7 +61,7 @@ fn main() {
         } else if let Some((name, f)) = all.iter().find(|(n, _)| n == sel) {
             run_one(name, *f, &ctx);
         } else {
-            eprintln!("unknown experiment `{sel}`; known: table1..table4, fig7..fig13, all");
+            eprintln!("unknown experiment `{sel}`; known: table1..table4, fig7..fig13, scaling, all");
             std::process::exit(2);
         }
     }

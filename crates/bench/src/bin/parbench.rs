@@ -1,0 +1,150 @@
+//! Parallel-speedup benchmark: times the engine and kernel hot paths at
+//! `Parallelism(1)` and `Parallelism(N)` in one process and emits
+//! `BENCH_parallel.json` so successive PRs have a perf trajectory to
+//! compare against.
+//!
+//! ```text
+//! parbench [--out FILE] [--threads N] [--secs S]
+//! ```
+//!
+//! Defaults: `--out BENCH_parallel.json`, `--threads` = host parallelism
+//! (or `INFERTURBO_THREADS`), `--secs 0.5` per measurement. Outputs are
+//! identical at both thread counts (enforced by the
+//! `parallel_matches_serial` suite), so the speedups compare equal work.
+
+use inferturbo_bench::scaling;
+use inferturbo_cluster::ClusterSpec;
+use inferturbo_common::{Parallelism, Xoshiro256};
+use inferturbo_core::infer::{infer_mapreduce, infer_pregel};
+use inferturbo_core::models::{GnnModel, PoolOp};
+use inferturbo_core::strategy::StrategyConfig;
+use inferturbo_graph::gen::{generate, DegreeSkew, GenConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Ops/sec of `f`, measured over at least `secs` wall-clock (1 warmup run).
+fn ops_per_sec(mut f: impl FnMut(), secs: f64) -> f64 {
+    f();
+    let t0 = Instant::now();
+    let mut iters = 0u64;
+    while t0.elapsed().as_secs_f64() < secs {
+        f();
+        iters += 1;
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_parallel.json".into());
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Parallelism::get() already defaults to host parallelism and honours
+    // an INFERTURBO_THREADS override.
+    let threads: usize = get("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(Parallelism::get)
+        .max(1); // Parallelism clamps to 1; keep the JSON honest too
+    let secs: f64 = get("--secs").and_then(|v| v.parse().ok()).unwrap_or(0.5);
+
+    let g = generate(&GenConfig {
+        n_nodes: 3_000,
+        n_edges: 30_000,
+        feat_dim: 16,
+        classes: 4,
+        skew: DegreeSkew::In,
+        seed: 99,
+        ..GenConfig::default()
+    });
+    let model = GnnModel::sage(16, 32, 2, 4, false, PoolOp::Mean, 1);
+    let mut pregel_spec = ClusterSpec::pregel_cluster(16);
+    pregel_spec.phase_overhead_secs = 0.0;
+    let mut mr_spec = ClusterSpec::mapreduce_cluster(16);
+    mr_spec.phase_overhead_secs = 0.0;
+    let mut rng = Xoshiro256::seed_from_u64(5);
+    let a = inferturbo_tensor::Matrix::from_fn(192, 192, |_, _| rng.next_f32() * 2.0 - 1.0);
+    let b = inferturbo_tensor::Matrix::from_fn(192, 192, |_, _| rng.next_f32() * 2.0 - 1.0);
+    let seg_rows = 50_000usize;
+    let msgs = inferturbo_tensor::Matrix::from_fn(seg_rows, 32, |_, _| rng.next_f32());
+    let seg: Vec<u32> = (0..seg_rows).map(|_| rng.below(5_000) as u32).collect();
+
+    // (name, is_engine, workload)
+    let mut benches: Vec<(&str, bool, Box<dyn FnMut()>)> = vec![
+        (
+            "engine/pregel_sage2_3k",
+            true,
+            Box::new(|| {
+                infer_pregel(&model, &g, pregel_spec, StrategyConfig::all()).unwrap();
+            }),
+        ),
+        (
+            "engine/mapreduce_sage2_3k",
+            true,
+            Box::new(|| {
+                infer_mapreduce(&model, &g, mr_spec, StrategyConfig::all()).unwrap();
+            }),
+        ),
+        (
+            "kernel/matmul_192",
+            false,
+            Box::new(|| {
+                std::hint::black_box(a.matmul(&b));
+            }),
+        ),
+        (
+            "kernel/segment_sum_50k",
+            false,
+            Box::new(|| {
+                std::hint::black_box(msgs.segment_sum(&seg, 5_000));
+            }),
+        ),
+    ];
+
+    eprintln!(
+        "parbench: host_cpus={host} threads={threads} secs/measurement={secs} \
+         sweep={:?}",
+        scaling::thread_sweep()
+    );
+    let mut rows = Vec::new();
+    let mut engine_speedups = Vec::new();
+    for (name, is_engine, f) in benches.iter_mut() {
+        let serial = Parallelism::with(1, || ops_per_sec(&mut *f, secs));
+        let parallel = Parallelism::with(threads, || ops_per_sec(&mut *f, secs));
+        let speedup = parallel / serial;
+        if *is_engine {
+            engine_speedups.push(speedup);
+        }
+        eprintln!("  {name:<28} {serial:>10.3} -> {parallel:>10.3} ops/s  ({speedup:.2}x)");
+        rows.push((name.to_string(), serial, parallel, speedup));
+    }
+    let geomean = (engine_speedups.iter().map(|s| s.ln()).sum::<f64>()
+        / engine_speedups.len() as f64)
+        .exp();
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"host_cpus\": {host},").unwrap();
+    writeln!(json, "  \"threads\": {threads},").unwrap();
+    writeln!(json, "  \"secs_per_measurement\": {secs},").unwrap();
+    writeln!(json, "  \"engine_speedup_geomean\": {geomean:.4},").unwrap();
+    writeln!(json, "  \"benches\": [").unwrap();
+    for (i, (name, serial, parallel, speedup)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"ops_per_sec_serial\": {serial:.4}, \
+             \"ops_per_sec_parallel\": {parallel:.4}, \"speedup\": {speedup:.4}}}{comma}"
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -22,6 +22,7 @@ pub mod fig13;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scaling;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,148 @@
+//! Thread-scaling experiment (not from the paper): wall-clock speedup of
+//! the multi-core execution layer as the `Parallelism` budget grows.
+//!
+//! The paper scales *out* across workers; this experiment shows the same
+//! partitioning scaling *up* across cores of one host — the per-layer hot
+//! paths (Pregel supersteps, MR shuffle, dense kernels) at 1, 2, 4, …
+//! threads up to the host's parallelism. Results are also the data behind
+//! `BENCH_parallel.json` (see the `parbench` binary and
+//! `scripts/bench.sh`).
+//!
+//! Determinism note: outputs are identical at every thread count (the
+//! `parallel_matches_serial` suite enforces it); only wall-clock may
+//! change, so speedups are honest.
+
+use crate::ctx::write_csv;
+use crate::report::{f, Table};
+use crate::ExpCtx;
+use inferturbo_cluster::ClusterSpec;
+use inferturbo_common::{Parallelism, Xoshiro256};
+use inferturbo_core::infer::{infer_mapreduce, infer_pregel};
+use inferturbo_core::models::{GnnModel, PoolOp};
+use inferturbo_core::strategy::StrategyConfig;
+use inferturbo_graph::gen::{generate, DegreeSkew, GenConfig};
+use inferturbo_graph::Graph;
+use inferturbo_tensor::Matrix;
+use std::time::Instant;
+
+fn workload(ctx: &ExpCtx) -> Graph {
+    generate(&GenConfig {
+        n_nodes: ctx.scaled(3_000),
+        n_edges: ctx.scaled(30_000),
+        feat_dim: 16,
+        classes: 4,
+        skew: DegreeSkew::In,
+        seed: ctx.seed,
+        ..GenConfig::default()
+    })
+}
+
+fn spec(workers: usize, pregel: bool) -> ClusterSpec {
+    let mut s = if pregel {
+        ClusterSpec::pregel_cluster(workers)
+    } else {
+        ClusterSpec::mapreduce_cluster(workers)
+    };
+    s.phase_overhead_secs = 0.0;
+    s
+}
+
+/// Median-of-3 wall-clock seconds for `f` (after one warmup call).
+fn time_secs(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[1]
+}
+
+/// The thread budgets to sweep: 1, 2, 4, ... up to the host parallelism
+/// (always including the host max itself).
+pub fn thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut sweep = vec![1usize];
+    let mut t = 2;
+    while t < max {
+        sweep.push(t);
+        t *= 2;
+    }
+    if max > 1 {
+        sweep.push(max);
+    }
+    sweep
+}
+
+pub fn run(ctx: &ExpCtx) {
+    let g = workload(ctx);
+    let model = GnnModel::sage(16, 32, 2, 4, false, PoolOp::Mean, 1);
+    let mut rng = Xoshiro256::seed_from_u64(ctx.seed);
+    let gemm_n = if ctx.quick { 96 } else { 192 };
+    let a = Matrix::from_fn(gemm_n, gemm_n, |_, _| rng.next_f32() * 2.0 - 1.0);
+    let b = Matrix::from_fn(gemm_n, gemm_n, |_, _| rng.next_f32() * 2.0 - 1.0);
+    let seg_rows = ctx.scaled(50_000);
+    let msgs = Matrix::from_fn(seg_rows, 32, |_, _| rng.next_f32());
+    let seg: Vec<u32> = (0..seg_rows).map(|_| rng.below(5_000) as u32).collect();
+
+    let mut t = Table::new(
+        "Thread scaling: wall-clock speedup vs Parallelism(1)",
+        &[
+            "threads",
+            "pregel s",
+            "speedup",
+            "mapreduce s",
+            "speedup",
+            "gemm s",
+            "speedup",
+            "segsum s",
+            "speedup",
+        ],
+    );
+    let mut csv_rows = Vec::new();
+    let mut base: Option<[f64; 4]> = None;
+    for threads in thread_sweep() {
+        let secs: [f64; 4] = Parallelism::with(threads, || {
+            [
+                time_secs(|| {
+                    infer_pregel(&model, &g, spec(16, true), StrategyConfig::all()).unwrap();
+                }),
+                time_secs(|| {
+                    infer_mapreduce(&model, &g, spec(16, false), StrategyConfig::all()).unwrap();
+                }),
+                time_secs(|| {
+                    std::hint::black_box(a.matmul(&b));
+                }),
+                time_secs(|| {
+                    std::hint::black_box(msgs.segment_sum(&seg, 5_000));
+                }),
+            ]
+        });
+        let base = base.get_or_insert(secs);
+        let sp: Vec<f64> = base.iter().zip(&secs).map(|(b, s)| b / s).collect();
+        t.rowv(vec![
+            threads.to_string(),
+            f(secs[0]),
+            format!("{:.2}x", sp[0]),
+            f(secs[1]),
+            format!("{:.2}x", sp[1]),
+            f(secs[2]),
+            format!("{:.2}x", sp[2]),
+            f(secs[3]),
+            format!("{:.2}x", sp[3]),
+        ]);
+        csv_rows.push(format!(
+            "{threads},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3},{:.3},{:.3}",
+            secs[0], secs[1], secs[2], secs[3], sp[0], sp[1], sp[2], sp[3]
+        ));
+    }
+    t.print();
+    write_csv(
+        &ctx.csv_path("scaling_threads.csv"),
+        "threads,pregel_s,mapreduce_s,gemm_s,segsum_s,pregel_speedup,mapreduce_speedup,gemm_speedup,segsum_speedup",
+        &csv_rows,
+    );
+}

@@ -9,11 +9,14 @@
 
 pub mod codec;
 pub mod error;
+pub mod group;
 pub mod hash;
+pub mod par;
 pub mod rng;
 pub mod stats;
 
 pub use codec::{Decode, Encode, WireReader, WireWriter};
 pub use error::{Error, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use par::{par_chunks_mut, par_map, par_map_workers, Parallelism};
 pub use rng::{SplitMix64, Xoshiro256};

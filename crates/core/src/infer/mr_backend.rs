@@ -227,33 +227,35 @@ pub fn infer_mapreduce(
     let keyed = eng.map_phase(
         "map-init",
         &inputs,
-        |ctx, rec| {
-            let mut emit = Vec::with_capacity(rec.out_targets.len() + 1);
-            // h⁰ = raw features (initialisation step)
-            let h0 = rec.raw.clone();
-            scatter_records(
-                model,
-                &strategy,
-                bc_threshold,
-                workers,
-                0,
-                rec.wire,
-                &h0,
-                &rec.out_targets,
-                rec.out_deg,
-                ctx,
-                &mut emit,
-            );
-            emit.push((
-                rec.wire,
-                MrRecord::SelfState {
-                    h: h0,
-                    out_targets: rec.out_targets.clone(),
-                    in_deg: rec.in_deg,
-                    out_deg: rec.out_deg,
-                },
-            ));
-            emit
+        |_w| {
+            |ctx: &mut PhaseCtx, rec: &crate::strategy::NodeRecord| {
+                let mut emit = Vec::with_capacity(rec.out_targets.len() + 1);
+                // h⁰ = raw features (initialisation step)
+                let h0 = rec.raw.clone();
+                scatter_records(
+                    model,
+                    &strategy,
+                    bc_threshold,
+                    workers,
+                    0,
+                    rec.wire,
+                    &h0,
+                    &rec.out_targets,
+                    rec.out_deg,
+                    ctx,
+                    &mut emit,
+                );
+                emit.push((
+                    rec.wire,
+                    MrRecord::SelfState {
+                        h: h0,
+                        out_targets: rec.out_targets.clone(),
+                        in_deg: rec.in_deg,
+                        out_deg: rec.out_deg,
+                    },
+                ));
+                Ok(emit)
+            }
         },
         if map_op.is_some() {
             Some(&map_combine)
@@ -270,113 +272,109 @@ pub fn infer_mapreduce(
         let out_combine = move |acc: &mut MrRecord, msg: MrRecord| -> Option<MrRecord> {
             combine_records(out_op.expect("combiner only offered with op"), acc, msg)
         };
-        // Per-worker broadcast table for refs arriving THIS round; reducers
-        // stream keys ascending, and bcast keys sort before node keys.
-        let mut table: FxHashMap<u64, GnnMessage> = FxHashMap::default();
-        let mut failure: Option<Error> = None;
-        let reduce = |ctx: &mut PhaseCtx, key: u64, values: Vec<MrRecord>| -> Vec<(u64, MrRecord)> {
-            if failure.is_some() {
-                return Vec::new();
-            }
-            if key & NODE_FLAG == 0 {
-                // broadcast-table group for this worker
-                table.clear();
-                for v in values {
-                    if let MrRecord::Bcast { src, msg } = v {
-                        table.insert(src, msg);
-                    }
-                }
-                return Vec::new();
-            }
-            let layer = model.layer_view(layer_idx);
-            let mut agg = layer.init_agg();
-            let mut self_state: Option<(Vec<f32>, Vec<u64>, u32, u32)> = None;
-            let mut n_msgs = 0usize;
-            for v in values {
-                match v {
-                    MrRecord::SelfState {
-                        h,
-                        out_targets,
-                        in_deg,
-                        out_deg,
-                    } => self_state = Some((h, out_targets, in_deg, out_deg)),
-                    MrRecord::InMsg(m) => {
-                        n_msgs += 1;
-                        let lookup = |src: u64| table.get(&src).cloned();
-                        if let Err(e) = layer.gather_wire(&mut agg, m, &lookup) {
-                            failure = Some(e.in_phase(format!("reduce-{r}")));
-                            return Vec::new();
+        // Each worker's kernel owns a broadcast table for refs arriving
+        // THIS round; reducers stream keys ascending, and bcast keys sort
+        // before node keys, so the table fills before any node group.
+        let make_reduce = |_w: usize| {
+            let mut table: FxHashMap<u64, GnnMessage> = FxHashMap::default();
+            move |ctx: &mut PhaseCtx,
+                  key: u64,
+                  values: Vec<MrRecord>|
+                  -> Result<Vec<(u64, MrRecord)>> {
+                if key & NODE_FLAG == 0 {
+                    // broadcast-table group for this worker
+                    table.clear();
+                    for v in values {
+                        if let MrRecord::Bcast { src, msg } = v {
+                            table.insert(src, msg);
                         }
                     }
-                    other => {
-                        failure = Some(Error::InvalidGraph(format!(
-                            "unexpected record {other:?} at key {key}"
-                        )));
-                        return Vec::new();
+                    return Ok(Vec::new());
+                }
+                let layer = model.layer_view(layer_idx);
+                let mut agg = layer.init_agg();
+                let mut self_state: Option<(Vec<f32>, Vec<u64>, u32, u32)> = None;
+                let mut n_msgs = 0usize;
+                for v in values {
+                    match v {
+                        MrRecord::SelfState {
+                            h,
+                            out_targets,
+                            in_deg,
+                            out_deg,
+                        } => self_state = Some((h, out_targets, in_deg, out_deg)),
+                        MrRecord::InMsg(m) => {
+                            n_msgs += 1;
+                            let lookup = |src: u64| table.get(&src).cloned();
+                            // merge_phase wraps kernel errors with the
+                            // phase name ("reduce-{r}") — no wrap here.
+                            layer.gather_wire(&mut agg, m, &lookup)?;
+                        }
+                        other => {
+                            return Err(Error::InvalidGraph(format!(
+                                "unexpected record {other:?} at key {key}"
+                            )));
+                        }
                     }
                 }
-            }
-            let Some((h, out_targets, in_deg, out_deg)) = self_state else {
-                failure = Some(Error::InvalidGraph(format!(
-                    "node {key} lost its self-state record"
-                )));
-                return Vec::new();
-            };
-            let gathered = agg.count() as usize;
-            let ctx_node = NodeCtx {
-                id: key,
-                state: &h,
-                in_degree: in_deg,
-                out_degree: out_deg,
-            };
-            let h_new = layer.apply_node(&ctx_node, agg);
-            ctx.add_flops(
-                layer.flops_apply_node(gathered)
-                    + n_msgs as f64 * layer.flops_aggregate_per_message(),
-            );
-            let mut emit = Vec::with_capacity(out_targets.len() + 1);
-            if r == k {
-                ctx.add_flops(model.flops_head());
-                emit.push((key, MrRecord::Output(model.apply_head(&h_new))));
-            } else {
-                scatter_records(
-                    model,
-                    &strategy,
-                    bc_threshold,
-                    workers,
-                    r,
-                    key,
-                    &h_new,
-                    &out_targets,
-                    out_deg,
-                    ctx,
-                    &mut emit,
+                let Some((h, out_targets, in_deg, out_deg)) = self_state else {
+                    return Err(Error::InvalidGraph(format!(
+                        "node {key} lost its self-state record"
+                    )));
+                };
+                let gathered = agg.count() as usize;
+                let ctx_node = NodeCtx {
+                    id: key,
+                    state: &h,
+                    in_degree: in_deg,
+                    out_degree: out_deg,
+                };
+                let h_new = layer.apply_node(&ctx_node, agg);
+                ctx.add_flops(
+                    layer.flops_apply_node(gathered)
+                        + n_msgs as f64 * layer.flops_aggregate_per_message(),
                 );
-                emit.push((
-                    key,
-                    MrRecord::SelfState {
-                        h: h_new,
-                        out_targets,
-                        in_deg,
+                let mut emit = Vec::with_capacity(out_targets.len() + 1);
+                if r == k {
+                    ctx.add_flops(model.flops_head());
+                    emit.push((key, MrRecord::Output(model.apply_head(&h_new))));
+                } else {
+                    scatter_records(
+                        model,
+                        &strategy,
+                        bc_threshold,
+                        workers,
+                        r,
+                        key,
+                        &h_new,
+                        &out_targets,
                         out_deg,
-                    },
-                ));
+                        ctx,
+                        &mut emit,
+                    );
+                    emit.push((
+                        key,
+                        MrRecord::SelfState {
+                            h: h_new,
+                            out_targets,
+                            in_deg,
+                            out_deg,
+                        },
+                    ));
+                }
+                Ok(emit)
             }
-            emit
         };
         data = eng.reduce_phase(
             format!("reduce-{r}"),
             data,
-            reduce,
+            make_reduce,
             if out_op.is_some() {
                 Some(&out_combine)
             } else {
                 None
             },
         )?;
-        if let Some(e) = failure {
-            return Err(e);
-        }
     }
 
     // --- harvest -------------------------------------------------------------

@@ -1,0 +1,188 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real criterion cannot be vendored. This shim implements the subset of
+//! the API our benches use — `Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! warmup-then-measure timing loop and plain-text reporting:
+//!
+//! ```text
+//! group/name            median 12_345 ns/iter  (7 samples x 40 iters)
+//! ```
+//!
+//! Environment knobs:
+//! - `BENCH_SAMPLE_SECS` — target seconds spent per benchmark (default 1.0;
+//!   the scripts set it lower for smoke runs).
+
+use std::time::{Duration, Instant};
+
+/// Timing harness handed to the closure of `bench_function`.
+pub struct Bencher {
+    /// (sample_median_ns, iters_per_sample, samples)
+    result: Option<(f64, u64, usize)>,
+    target: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count that takes roughly
+        // target/samples per sample.
+        let mut iters = 1u64;
+        let per_sample = self.target.as_secs_f64() / self.samples as f64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let el = t0.elapsed().as_secs_f64();
+            if el >= per_sample.min(0.05) || iters >= 1 << 30 {
+                if el >= per_sample || iters >= 1 << 30 {
+                    break;
+                }
+                let scale = (per_sample / el.max(1e-9)).min(1024.0);
+                iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+            } else {
+                iters = iters.saturating_mul(2);
+            }
+        }
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        self.result = Some((median, iters, self.samples));
+    }
+}
+
+/// Parameterised benchmark label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new<S: Into<String>, P: std::fmt::Display>(name: S, p: P) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let secs = std::env::var("BENCH_SAMPLE_SECS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        Criterion {
+            target: Duration::from_secs_f64(secs.max(0.01)),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 7,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.target, 7, name, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's sample count; we reuse it as our per-bench sample count
+    /// (clamped to keep shim runs quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(3, 20);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(
+            self.criterion.target,
+            self.samples,
+            &format!("{}/{}", self.name, name),
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            self.criterion.target,
+            self.samples,
+            &format!("{}/{}", self.name, id),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(target: Duration, samples: usize, label: &str, mut f: F) {
+    let mut b = Bencher {
+        result: None,
+        target,
+        samples,
+    };
+    f(&mut b);
+    match b.result {
+        Some((median_ns, iters, n)) => println!(
+            "{label:<44} median {median_ns:>12.0} ns/iter  ({n} samples x {iters} iters)"
+        ),
+        None => println!("{label:<44} (no measurement: closure never called iter)"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -7,11 +7,12 @@
 //! regrouping.
 
 use crate::types::Graph;
+use inferturbo_common::group::group_by_key;
 
 /// One adjacency orientation in CSR form.
 #[derive(Debug, Clone)]
 pub struct Csr {
-    offsets: Vec<u64>,
+    offsets: Vec<u32>,
     /// Neighbour node id per slot.
     targets: Vec<u32>,
     /// Original edge index per slot (for edge-feature lookup).
@@ -21,23 +22,12 @@ pub struct Csr {
 impl Csr {
     fn group_by(n_nodes: usize, keys: &[u32], values: &[u32]) -> Csr {
         debug_assert_eq!(keys.len(), values.len());
-        let mut counts = vec![0u64; n_nodes + 1];
-        for &k in keys {
-            counts[k as usize + 1] += 1;
-        }
-        for i in 0..n_nodes {
-            counts[i + 1] += counts[i];
-        }
-        let offsets = counts.clone();
-        let mut cursor = counts;
-        let mut targets = vec![0u32; keys.len()];
-        let mut edge_ids = vec![0u32; keys.len()];
-        for (e, (&k, &v)) in keys.iter().zip(values).enumerate() {
-            let slot = cursor[k as usize] as usize;
-            targets[slot] = v;
-            edge_ids[slot] = e as u32;
-            cursor[k as usize] += 1;
-        }
+        // The shared counting sort builds offsets with no cloned cursor
+        // array (the old implementation cloned the counts — double the
+        // peak allocation), and its `order` permutation *is* the original
+        // edge index per slot.
+        let (edge_ids, offsets) = group_by_key(keys, n_nodes);
+        let targets: Vec<u32> = edge_ids.iter().map(|&e| values[e as usize]).collect();
         Csr {
             offsets,
             targets,

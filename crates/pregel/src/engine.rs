@@ -1,9 +1,25 @@
 //! The BSP superstep loop: routing, combining, broadcast tables, metrics.
+//!
+//! # Execution model
+//!
+//! Each superstep is a real fork-join: every logical worker computes on its
+//! own OS thread (up to the global [`inferturbo_common::Parallelism`]
+//! budget), writing its outgoing messages into per-(sender × destination)
+//! **outbox shards**. At the barrier the shards are merged without locks,
+//! in ascending sender order — the exact order the old serial loop
+//! delivered in — so results, byte accounting, and metrics are identical
+//! for every thread count.
+//!
+//! Incoming messages live in a flat per-worker **arena**
+//! ([`InboxArena`]: one `Vec<Msg>` plus per-slot offsets) rebuilt each
+//! superstep with a counting scatter, replacing the old
+//! `Vec<Vec<Vec<Msg>>>` inbox and its per-message allocations.
 
 use crate::vertex::{ActivationPolicy, Outbox, VertexProgram};
 use inferturbo_cluster::{ClusterSpec, RunReport, WorkerPhase};
 use inferturbo_common::codec::{varint_len, Decode, Encode};
 use inferturbo_common::hash::partition_of;
+use inferturbo_common::par::par_map;
 use inferturbo_common::{Error, FxHashMap, Result};
 
 /// Engine configuration.
@@ -47,6 +63,114 @@ struct Slot<S> {
     state: S,
 }
 
+/// Flat per-worker inbox: every pending message in one arena, slot `s`'s
+/// messages at `msgs[offsets[s]..offsets[s+1]]` in delivery order. Sealed
+/// once per superstep with a counting scatter — no per-message `Vec`
+/// growth, one allocation per worker per superstep.
+struct InboxArena<M> {
+    msgs: Vec<M>,
+    /// Per-slot ranges; empty until the first seal (= "no messages yet").
+    offsets: Vec<u32>,
+}
+
+impl<M> InboxArena<M> {
+    fn new() -> Self {
+        InboxArena {
+            msgs: Vec::new(),
+            offsets: Vec::new(),
+        }
+    }
+
+    /// Messages pending for `slot`. Slots past the sealed range — vertices
+    /// added after the last superstep — have no messages yet.
+    fn count(offsets: &[u32], slot: usize) -> usize {
+        if slot + 1 >= offsets.len() {
+            0
+        } else {
+            (offsets[slot + 1] - offsets[slot]) as usize
+        }
+    }
+
+    /// Build the arena from per-sender shards of `(slot, msg)` pairs.
+    /// Shards are scattered in ascending sender order and each shard in
+    /// emission order, reproducing exactly the delivery order of a serial
+    /// sender loop.
+    fn seal(n_slots: usize, shards: Vec<Vec<(u32, M)>>) -> Self {
+        // The u32 cursors below feed an unsafe set_len: wraparound must be
+        // a clean panic, never a short count.
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "inbox arena overflow: {total} messages for one worker"
+        );
+        let mut offsets = vec![0u32; n_slots + 1];
+        for sh in &shards {
+            for &(s, _) in sh.iter() {
+                offsets[s as usize + 1] += 1;
+            }
+        }
+        for i in 0..n_slots {
+            offsets[i + 1] += offsets[i];
+        }
+        debug_assert_eq!(offsets[n_slots] as usize, total);
+        let mut msgs: Vec<std::mem::MaybeUninit<M>> = Vec::with_capacity(total);
+        // SAFETY: MaybeUninit needs no initialisation, and the counting
+        // scatter below writes every index in 0..total exactly once (the
+        // offsets were derived from these very shards).
+        unsafe { msgs.set_len(total) };
+        // `offsets` doubles as the scatter cursor; afterwards offsets[s]
+        // holds end-of-s, which the right shift turns back into start-of-s
+        // without a second allocation.
+        for sh in shards {
+            for (s, m) in sh {
+                let at = offsets[s as usize] as usize;
+                msgs[at].write(m);
+                offsets[s as usize] += 1;
+            }
+        }
+        offsets.copy_within(0..n_slots, 1);
+        offsets[0] = 0;
+        // SAFETY: all `total` elements are initialised; MaybeUninit<M> has
+        // the same layout as M.
+        let msgs = unsafe {
+            let mut msgs = std::mem::ManuallyDrop::new(msgs);
+            Vec::from_raw_parts(msgs.as_mut_ptr() as *mut M, msgs.len(), msgs.capacity())
+        };
+        InboxArena { msgs, offsets }
+    }
+}
+
+/// Everything one worker's compute produces in a superstep, merged at the
+/// barrier in ascending worker order.
+struct StepOut<M> {
+    /// Sender-side accounting (sends, flops) for this worker.
+    metrics: WorkerPhase,
+    /// Receiver-side byte/record deltas this sender caused, per destination.
+    recv_bytes: Vec<u64>,
+    recv_records: Vec<u64>,
+    /// Next-superstep inbox residency this sender caused, per destination.
+    inbox_bytes: Vec<u64>,
+    /// Outbox shards: `(destination slot, message)` per destination worker.
+    shards: Vec<Vec<(u32, M)>>,
+    /// Broadcast payloads published this superstep.
+    bcasts: Vec<(u64, M)>,
+    any_active: bool,
+}
+
+impl<M> StepOut<M> {
+    fn new(n_workers: usize) -> Self {
+        StepOut {
+            metrics: WorkerPhase::default(),
+            recv_bytes: vec![0; n_workers],
+            recv_records: vec![0; n_workers],
+            inbox_bytes: vec![0; n_workers],
+            shards: (0..n_workers).map(|_| Vec::new()).collect(),
+            bcasts: Vec::new(),
+            any_active: false,
+        }
+    }
+}
+
 /// The Pregel engine. Construct, add vertices, `run` supersteps, read back
 /// states and the [`RunReport`].
 pub struct PregelEngine<P: VertexProgram> {
@@ -54,8 +178,8 @@ pub struct PregelEngine<P: VertexProgram> {
     config: PregelConfig,
     workers: Vec<Vec<Slot<P::State>>>,
     index: FxHashMap<u64, (u32, u32)>,
-    /// Per worker, per slot: pending messages for the *next* compute.
-    inbox: Vec<Vec<Vec<P::Msg>>>,
+    /// Per worker: pending messages for the *next* compute.
+    inbox: Vec<InboxArena<P::Msg>>,
     inbox_bytes: Vec<u64>,
     /// Broadcast table published last superstep (identical replica on every
     /// worker in a real deployment; stored once here).
@@ -73,7 +197,7 @@ impl<P: VertexProgram> PregelEngine<P> {
             report: RunReport::new(config.spec),
             workers: (0..n).map(|_| Vec::new()).collect(),
             index: FxHashMap::default(),
-            inbox: (0..n).map(|_| Vec::new()).collect(),
+            inbox: (0..n).map(|_| InboxArena::new()).collect(),
             inbox_bytes: vec![0; n],
             bcast: FxHashMap::default(),
             config,
@@ -88,7 +212,6 @@ impl<P: VertexProgram> PregelEngine<P> {
         let prev = self.index.insert(id, (w as u32, slot));
         assert!(prev.is_none(), "duplicate vertex id {id}");
         self.workers[w].push(Slot { id, state });
-        self.inbox[w].push(Vec::new());
     }
 
     pub fn n_vertices(&self) -> usize {
@@ -126,7 +249,12 @@ impl<P: VertexProgram> PregelEngine<P> {
     /// Run up to `supersteps` supersteps; under
     /// [`ActivationPolicy::MessageDriven`] the loop exits early once no
     /// vertex is active and no messages are in flight.
-    pub fn run(&mut self, supersteps: usize) -> Result<()> {
+    pub fn run(&mut self, supersteps: usize) -> Result<()>
+    where
+        P: Sync,
+        P::State: Send,
+        P::Msg: Send + Sync,
+    {
         for _ in 0..supersteps {
             let did_work = self.superstep()?;
             if !did_work {
@@ -137,126 +265,72 @@ impl<P: VertexProgram> PregelEngine<P> {
     }
 
     /// Execute one superstep. Returns whether any vertex ran.
-    fn superstep(&mut self) -> Result<bool> {
+    ///
+    /// Compute runs fork-join across workers; the barrier merges outbox
+    /// shards, broadcast tables, and metric deltas in ascending worker
+    /// order, making the result independent of the thread budget.
+    fn superstep(&mut self) -> Result<bool>
+    where
+        P: Sync,
+        P::State: Send,
+        P::Msg: Send + Sync,
+    {
         let n_workers = self.config.spec.workers;
         let step = self.step;
         let phase_name = format!("superstep-{step}");
-        let mut metrics: Vec<WorkerPhase> = vec![WorkerPhase::default(); n_workers];
 
-        let mut next_inbox: Vec<Vec<Vec<P::Msg>>> = self
-            .inbox
-            .iter()
-            .map(|w| (0..w.len()).map(|_| Vec::new()).collect())
-            .collect();
+        let inboxes = std::mem::replace(
+            &mut self.inbox,
+            (0..n_workers).map(|_| InboxArena::new()).collect(),
+        );
+        let program = &self.program;
+        let config = &self.config;
+        let index = &self.index;
+        let bcast = &self.bcast;
+        let tasks: Vec<(&mut Vec<Slot<P::State>>, InboxArena<P::Msg>)> =
+            self.workers.iter_mut().zip(inboxes).collect();
+        let results: Vec<Result<StepOut<P::Msg>>> = par_map(tasks, |w, (slots, arena)| {
+            run_worker(program, config, index, bcast, step, n_workers, w, slots, arena)
+        });
+        // Surface failures in ascending worker order, like the serial loop.
+        let mut outs: Vec<StepOut<P::Msg>> = Vec::with_capacity(n_workers);
+        for r in results {
+            outs.push(r?);
+        }
+
+        // ---- barrier: lock-free merges, all in ascending sender order ----
+        let mut metrics: Vec<WorkerPhase> = outs.iter().map(|o| o.metrics.clone()).collect();
         let mut next_inbox_bytes = vec![0u64; n_workers];
         let mut next_bcast: FxHashMap<u64, P::Msg> = FxHashMap::default();
-
         let mut any_active = false;
-
-        for w in 0..n_workers {
-            // Sender-side combining buffer: one entry per destination vertex.
-            let mut combined: Vec<(u64, P::Msg)> = Vec::new();
-            let mut combined_idx: FxHashMap<u64, usize> = FxHashMap::default();
-
-            for s in 0..self.workers[w].len() {
-                let has_msgs = !self.inbox[w][s].is_empty();
-                let active = match self.config.activation {
-                    ActivationPolicy::AlwaysActive => true,
-                    ActivationPolicy::MessageDriven => step == 0 || has_msgs,
-                };
-                if !active {
-                    continue;
-                }
-                any_active = true;
-                let messages = std::mem::take(&mut self.inbox[w][s]);
-                let vertex_id = self.workers[w][s].id;
-                let mut out = Outbox::new();
-                {
-                    let bcast = &self.bcast;
-                    let lookup = |src: u64| bcast.get(&src).cloned();
-                    self.program.compute(
-                        step,
-                        vertex_id,
-                        &mut self.workers[w][s].state,
-                        messages,
-                        &lookup,
-                        &mut out,
-                    );
-                }
-                metrics[w].flops += out.flops;
-
-                // Route broadcasts: payload replicated to every remote
-                // worker; sender pays (workers-1) copies, each remote worker
-                // receives one.
-                for payload in out.broadcasts {
-                    let len = (payload.encoded_len() + varint_len(vertex_id)) as u64;
-                    for (w2, m) in metrics.iter_mut().enumerate() {
-                        if w2 == w {
-                            continue;
-                        }
-                        m.recv(len);
-                    }
-                    metrics[w].bytes_out += len * (n_workers as u64 - 1);
-                    metrics[w].records_out += n_workers as u64 - 1;
-                    // Memory: the table is replicated on every worker.
-                    for b in next_inbox_bytes.iter_mut() {
-                        *b += len;
-                    }
-                    next_bcast.insert(vertex_id, payload);
-                }
-
-                // Route point-to-point messages, folding through the
-                // combiner when the program provides one. Overflow messages
-                // (uncombinable pairs) are delivered immediately.
-                if let Some(combiner) = self.program.combiner(step) {
-                    for (dst, msg) in out.messages {
-                        match combined_idx.get(&dst) {
-                            Some(&i) => {
-                                if let Some(overflow) =
-                                    combiner.combine(&mut combined[i].1, msg)
-                                {
-                                    self.deliver(
-                                        w,
-                                        dst,
-                                        overflow,
-                                        &mut metrics,
-                                        &mut next_inbox,
-                                        &mut next_inbox_bytes,
-                                    )?;
-                                }
-                            }
-                            None => {
-                                combined_idx.insert(dst, combined.len());
-                                combined.push((dst, msg));
-                            }
-                        }
-                    }
-                } else {
-                    for (dst, msg) in out.messages {
-                        self.deliver(
-                            w,
-                            dst,
-                            msg,
-                            &mut metrics,
-                            &mut next_inbox,
-                            &mut next_inbox_bytes,
-                        )?;
-                    }
-                }
+        for o in &mut outs {
+            for w2 in 0..n_workers {
+                metrics[w2].bytes_in += o.recv_bytes[w2];
+                metrics[w2].records_in += o.recv_records[w2];
+                next_inbox_bytes[w2] += o.inbox_bytes[w2];
             }
-
-            // Flush this worker's combined messages.
-            for (dst, msg) in combined {
-                self.deliver(
-                    w,
-                    dst,
-                    msg,
-                    &mut metrics,
-                    &mut next_inbox,
-                    &mut next_inbox_bytes,
-                )?;
+            any_active |= o.any_active;
+            for (id, payload) in o.bcasts.drain(..) {
+                next_bcast.insert(id, payload);
             }
         }
+        // Transpose shards to destination-major and seal each arena (in
+        // parallel — destinations are independent).
+        let mut shards_by_sender: Vec<Vec<Vec<(u32, P::Msg)>>> =
+            outs.into_iter().map(|o| o.shards).collect();
+        let seal_tasks: Vec<(usize, Vec<Vec<(u32, P::Msg)>>)> = (0..n_workers)
+            .map(|w2| {
+                let shards: Vec<Vec<(u32, P::Msg)>> = shards_by_sender
+                    .iter_mut()
+                    .map(|s| std::mem::take(&mut s[w2]))
+                    .collect();
+                (self.workers[w2].len(), shards)
+            })
+            .collect();
+        let next_inbox: Vec<InboxArena<P::Msg>> =
+            par_map(seal_tasks, |_, (n_slots, shards)| {
+                InboxArena::seal(n_slots, shards)
+            });
 
         // Memory model: resident = vertex states + incoming message buffer.
         for w in 0..n_workers {
@@ -279,40 +353,134 @@ impl<P: VertexProgram> PregelEngine<P> {
         self.step += 1;
         Ok(any_active)
     }
+}
 
-    fn deliver(
-        &self,
-        from_worker: usize,
-        dst: u64,
-        msg: P::Msg,
-        metrics: &mut [WorkerPhase],
-        next_inbox: &mut [Vec<Vec<P::Msg>>],
-        next_inbox_bytes: &mut [u64],
-    ) -> Result<()> {
-        let &(w2, slot) = self
-            .index
-            .get(&dst)
-            .ok_or_else(|| Error::InvalidGraph(format!("message to unknown vertex {dst}")))?;
-        let (w2, slot) = (w2 as usize, slot as usize);
-        let wire_len = (msg.encoded_len() + varint_len(dst)) as u64;
-        let msg = if w2 != from_worker {
-            metrics[from_worker].send(wire_len);
-            metrics[w2].recv(wire_len);
-            if self.config.serialized_delivery {
-                // Round-trip through the real wire format.
-                let bytes = msg.to_bytes();
-                P::Msg::from_bytes(&bytes)
-                    .map_err(|e| e.in_phase(format!("deliver to {dst}")))?
-            } else {
-                msg
+/// One worker's compute for one superstep: drain the inbox arena slot by
+/// slot, run the vertex program, and spool outgoing messages into
+/// per-destination shards. Runs on its own thread; touches nothing shared
+/// mutably.
+#[allow(clippy::too_many_arguments)]
+fn run_worker<P: VertexProgram>(
+    program: &P,
+    config: &PregelConfig,
+    index: &FxHashMap<u64, (u32, u32)>,
+    bcast: &FxHashMap<u64, P::Msg>,
+    step: usize,
+    n_workers: usize,
+    w: usize,
+    slots: &mut [Slot<P::State>],
+    arena: InboxArena<P::Msg>,
+) -> Result<StepOut<P::Msg>> {
+    let mut out = StepOut::new(n_workers);
+    // Sender-side combining buffer: one entry per destination vertex.
+    let mut combined: Vec<(u64, P::Msg)> = Vec::new();
+    let mut combined_idx: FxHashMap<u64, usize> = FxHashMap::default();
+    let InboxArena { msgs, offsets } = arena;
+    let mut msg_iter = msgs.into_iter();
+
+    for s in 0..slots.len() {
+        let cnt = InboxArena::<P::Msg>::count(&offsets, s);
+        let active = match config.activation {
+            ActivationPolicy::AlwaysActive => true,
+            ActivationPolicy::MessageDriven => step == 0 || cnt > 0,
+        };
+        if !active {
+            // cnt == 0 whenever a vertex is inactive, so the arena iterator
+            // stays aligned with the slot offsets.
+            continue;
+        }
+        out.any_active = true;
+        let messages: Vec<P::Msg> = msg_iter.by_ref().take(cnt).collect();
+        let vertex_id = slots[s].id;
+        let mut ob = Outbox::new();
+        {
+            let lookup = |src: u64| bcast.get(&src).cloned();
+            program.compute(step, vertex_id, &mut slots[s].state, messages, &lookup, &mut ob);
+        }
+        out.metrics.flops += ob.flops;
+
+        // Route broadcasts: payload replicated to every remote worker;
+        // sender pays (workers-1) copies, each remote worker receives one.
+        for payload in ob.broadcasts {
+            let len = (payload.encoded_len() + varint_len(vertex_id)) as u64;
+            for w2 in 0..n_workers {
+                if w2 != w {
+                    out.recv_bytes[w2] += len;
+                    out.recv_records[w2] += 1;
+                }
+            }
+            out.metrics.bytes_out += len * (n_workers as u64 - 1);
+            out.metrics.records_out += n_workers as u64 - 1;
+            // Memory: the table is replicated on every worker.
+            for b in out.inbox_bytes.iter_mut() {
+                *b += len;
+            }
+            out.bcasts.push((vertex_id, payload));
+        }
+
+        // Route point-to-point messages, folding through the combiner when
+        // the program provides one. Overflow messages (uncombinable pairs)
+        // are delivered immediately.
+        if let Some(combiner) = program.combiner(step) {
+            for (dst, msg) in ob.messages {
+                match combined_idx.get(&dst) {
+                    Some(&i) => {
+                        if let Some(overflow) = combiner.combine(&mut combined[i].1, msg) {
+                            deliver::<P>(config, index, w, dst, overflow, &mut out)?;
+                        }
+                    }
+                    None => {
+                        combined_idx.insert(dst, combined.len());
+                        combined.push((dst, msg));
+                    }
+                }
             }
         } else {
-            msg
-        };
-        next_inbox_bytes[w2] += wire_len;
-        next_inbox[w2][slot].push(msg);
-        Ok(())
+            for (dst, msg) in ob.messages {
+                deliver::<P>(config, index, w, dst, msg, &mut out)?;
+            }
+        }
     }
+
+    // Flush this worker's combined messages.
+    for (dst, msg) in combined {
+        deliver::<P>(config, index, w, dst, msg, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Route one message into the sender's outbox shard for its destination
+/// worker, with full byte accounting on both sides.
+fn deliver<P: VertexProgram>(
+    config: &PregelConfig,
+    index: &FxHashMap<u64, (u32, u32)>,
+    from_worker: usize,
+    dst: u64,
+    msg: P::Msg,
+    out: &mut StepOut<P::Msg>,
+) -> Result<()> {
+    let &(w2, slot) = index
+        .get(&dst)
+        .ok_or_else(|| Error::InvalidGraph(format!("message to unknown vertex {dst}")))?;
+    let (w2, slot) = (w2 as usize, slot as usize);
+    let wire_len = (msg.encoded_len() + varint_len(dst)) as u64;
+    let msg = if w2 != from_worker {
+        out.metrics.send(wire_len);
+        out.recv_bytes[w2] += wire_len;
+        out.recv_records[w2] += 1;
+        if config.serialized_delivery {
+            // Round-trip through the real wire format.
+            let bytes = msg.to_bytes();
+            P::Msg::from_bytes(&bytes).map_err(|e| e.in_phase(format!("deliver to {dst}")))?
+        } else {
+            msg
+        }
+    } else {
+        msg
+    };
+    out.inbox_bytes[w2] += wire_len;
+    out.shards[w2].push((slot as u32, msg));
+    Ok(())
 }
 
 #[cfg(test)]
@@ -605,6 +773,27 @@ mod tests {
         );
         eng.add_vertex(5, PrState { rank: 1.0, nbrs: vec![] });
         eng.add_vertex(5, PrState { rank: 1.0, nbrs: vec![] });
+    }
+
+    #[test]
+    fn vertices_added_between_runs_participate() {
+        // The arena inbox is sized at seal time; vertices registered after
+        // a superstep must still compute (with an empty inbox) next run.
+        let mut eng = pagerank_engine(2, false);
+        eng.run(1).unwrap();
+        eng.add_vertex(
+            99,
+            PrState {
+                rank: 0.25,
+                nbrs: vec![2],
+            },
+        );
+        eng.run(1).unwrap();
+        assert_eq!(eng.n_vertices(), 5);
+        // The new vertex must have *computed* at the second run: with an
+        // empty inbox its rank becomes exactly (1-d)/n, not its initial
+        // 0.25.
+        assert_eq!(eng.state(99).unwrap().rank, (1.0 - 0.85) / 4.0);
     }
 
     #[test]

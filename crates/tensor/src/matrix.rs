@@ -6,7 +6,22 @@
 //! the paper's Gather stage: `index[i]` assigns edge-row `i` to its
 //! destination node, exactly like the `dst_index` of Fig. 3.
 
+use inferturbo_common::par::{par_chunks_mut, par_map, Parallelism};
 use inferturbo_common::{Error, Result};
+
+/// Rows per parallel task in the GEMM/segment kernels. Fixed (never derived
+/// from the thread budget) so that chunk boundaries — and therefore any
+/// conceivable accumulation grouping — are identical for every
+/// `Parallelism` setting.
+const ROW_BLOCK: usize = 64;
+
+/// Inner k-blocking of the dense GEMM: keeps a `KC x n` panel of the
+/// right-hand matrix hot in L1/L2 while a row block streams over it.
+const KC: usize = 256;
+
+/// Minimum number of f32 elements in the output (or input, for reductions)
+/// before a kernel bothers spawning threads.
+const PAR_MIN_ELEMS: usize = 1 << 14;
 
 /// Dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -134,9 +149,23 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self @ other` — the workhorse GEMM. i-k-j loop order keeps the inner
-    /// loop streaming over contiguous rows of `other`, which the compiler
-    /// auto-vectorises; adequate for the layer sizes GNNs use.
+    /// `self @ other` — the workhorse GEMM.
+    ///
+    /// Cache-blocked and parallel: row blocks of the output run as
+    /// independent fork-join tasks under the global [`Parallelism`] budget,
+    /// and within a block the kernel walks `other` in `KC`-row panels so a
+    /// panel stays hot in cache while the whole block streams over it.
+    /// Dense rows take a branch-free inner loop (the old per-element
+    /// `a == 0.0` skip mispredicts badly on dense inputs); rows that are at
+    /// least 7/8 zero — ReLU activations, one-hot features — keep the
+    /// skipping loop. Every output element accumulates over `k` in
+    /// ascending order regardless of blocking, sparsity path, or thread
+    /// count, so results match the serial kernel exactly for finite inputs
+    /// (up to `+0.0` vs `-0.0` signs, which compare equal). Caveat: where
+    /// the old kernel skipped *every* zero, the dense path now computes
+    /// `0.0 * b`, so a non-finite `b` entry (`inf`/`NaN`) opposite a zero
+    /// yields `NaN` instead of being masked — only layers that have
+    /// already overflowed can observe this.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
@@ -145,24 +174,35 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
         let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a * b_row[j];
-                }
-            }
+        if n == 0 || self.rows == 0 || self.cols == 0 {
+            return out;
         }
+        let k_total = self.cols;
+        let a = &self.data;
+        let b = &other.data;
+        // Small outputs run as one inline chunk — thread spawn would cost
+        // more than the compute. The chunk size depends only on the data
+        // shape, never the thread budget, so results stay identical.
+        let chunk_rows = if self.rows * n < PAR_MIN_ELEMS {
+            self.rows
+        } else {
+            ROW_BLOCK
+        };
+        par_chunks_mut(&mut out.data, chunk_rows * n, |bi, out_block| {
+            let row0 = bi * chunk_rows;
+            let rows_here = out_block.len() / n;
+            let a_block = &a[row0 * k_total..(row0 + rows_here) * k_total];
+            matmul_row_block(a_block, k_total, b, n, out_block);
+        });
         out
     }
 
     /// `self^T @ other` without materialising the transpose
     /// (needed by GEMM backward).
+    ///
+    /// Parallel over blocks of *output* rows (= columns of `self`); each
+    /// task replays the full `r` sweep for its column range, so per-element
+    /// accumulation order is the serial one and results are exact.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
@@ -171,24 +211,45 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
         let n = other.cols;
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a * b_row[j];
+        if n == 0 || self.cols == 0 || self.rows == 0 {
+            return out;
+        }
+        let k = self.cols;
+        let a = &self.data;
+        let b = &other.data;
+        // Output rows = model widths (often small); a finer block than the
+        // GEMM's keeps a few tasks available for mid-sized layers. Small
+        // outputs run as one inline chunk (see matmul).
+        const TN_BLOCK: usize = 16;
+        let chunk_rows = if self.cols * n < PAR_MIN_ELEMS {
+            self.cols
+        } else {
+            TN_BLOCK
+        };
+        par_chunks_mut(&mut out.data, chunk_rows * n, |bi, out_block| {
+            let i0 = bi * chunk_rows;
+            let i_cnt = out_block.len() / n;
+            for r in 0..self.rows {
+                let a_row = &a[r * k..(r + 1) * k];
+                let b_row = &b[r * n..(r + 1) * n];
+                for ii in 0..i_cnt {
+                    let av = a_row[i0 + ii];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out_block[ii * n..(ii + 1) * n];
+                    for j in 0..n {
+                        out_row[j] += av * b_row[j];
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// `self @ other^T` without materialising the transpose
-    /// (the other half of GEMM backward).
+    /// (the other half of GEMM backward). Each output element is an
+    /// independent dot product, so row blocks parallelise exactly.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
@@ -196,17 +257,35 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for k in 0..self.cols {
-                    acc += a_row[k] * b_row[k];
-                }
-                out.data[i * other.rows + j] = acc;
-            }
+        let n = other.rows;
+        if n == 0 || self.rows == 0 {
+            return out;
         }
+        let k = self.cols;
+        let a = &self.data;
+        let b = &other.data;
+        // Small outputs run as one inline chunk (see matmul).
+        let chunk_rows = if self.rows * n < PAR_MIN_ELEMS {
+            self.rows
+        } else {
+            ROW_BLOCK
+        };
+        par_chunks_mut(&mut out.data, chunk_rows * n, |bi, out_block| {
+            let row0 = bi * chunk_rows;
+            let rows_here = out_block.len() / n;
+            for ii in 0..rows_here {
+                let a_row = &a[(row0 + ii) * k..(row0 + ii + 1) * k];
+                let out_row = &mut out_block[ii * n..(ii + 1) * n];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += a_row[kk] * b_row[kk];
+                    }
+                    *o = acc;
+                }
+            }
+        });
         out
     }
 
@@ -293,19 +372,57 @@ impl Matrix {
 
     /// Segment sum: `out[seg[i]] += self[i]`, `out` has `n_segments` rows.
     /// This is the vectorised commutative/associative Gather of the paper.
+    ///
+    /// Large inputs run the parallel-over-segments variant: rows are
+    /// grouped by segment with a counting sort, contiguous segment ranges
+    /// are handed to fork-join tasks, and each segment accumulates its rows
+    /// in ascending input order — the exact order of the serial loop, so
+    /// results are bit-identical for every thread count.
     pub fn segment_sum(&self, seg: &[u32], n_segments: usize) -> Matrix {
         assert_eq!(seg.len(), self.rows, "segment_sum index length");
-        let mut out = Matrix::zeros(n_segments, self.cols);
-        for (i, &s) in seg.iter().enumerate() {
-            let s = s as usize;
-            assert!(s < n_segments, "segment_sum: segment {s} out of {n_segments}");
-            let row = self.row(i);
-            let out_row = &mut out.data[s * self.cols..(s + 1) * self.cols];
-            for (o, x) in out_row.iter_mut().zip(row) {
-                *o += x;
+        if self.use_serial_segments(n_segments) {
+            let mut out = Matrix::zeros(n_segments, self.cols);
+            for (i, &s) in seg.iter().enumerate() {
+                let s = s as usize;
+                assert!(s < n_segments, "segment_sum: segment {s} out of {n_segments}");
+                let row = self.row(i);
+                let out_row = &mut out.data[s * self.cols..(s + 1) * self.cols];
+                for (o, x) in out_row.iter_mut().zip(row) {
+                    *o += x;
+                }
             }
+            return out;
         }
+        for &s in seg {
+            assert!(
+                (s as usize) < n_segments,
+                "segment_sum: segment {s} out of {n_segments}"
+            );
+        }
+        let (order, offsets) = segment_order(seg, n_segments);
+        let mut out = Matrix::zeros(n_segments, self.cols);
+        let cols = self.cols;
+        let tasks = split_rows_by_segments(&mut out.data, &offsets, cols);
+        par_map(tasks, |_, (lo, hi, out_slice)| {
+            for s in lo..hi {
+                let out_row = &mut out_slice[(s - lo) * cols..(s - lo + 1) * cols];
+                for &i in &order[offsets[s] as usize..offsets[s + 1] as usize] {
+                    let row = self.row(i as usize);
+                    for (o, x) in out_row.iter_mut().zip(row) {
+                        *o += x;
+                    }
+                }
+            }
+        });
         out
+    }
+
+    /// True when the input is too small (or the budget too low) for the
+    /// grouped parallel segment kernels to pay for their counting sort.
+    fn use_serial_segments(&self, n_segments: usize) -> bool {
+        Parallelism::get() <= 1
+            || n_segments < 2
+            || self.rows * self.cols.max(1) < PAR_MIN_ELEMS
     }
 
     /// Segment mean; empty segments yield zero rows.
@@ -327,28 +444,75 @@ impl Matrix {
     /// behaviour of emitting a zero aggregate for isolated nodes). Also
     /// returns the winning input-row index per (segment, column) for
     /// backward.
+    ///
+    /// Parallelises over segment ranges like [`Matrix::segment_sum`]; each
+    /// segment scans its rows in ascending input order, so the winner (and
+    /// the first-strict-max tie-breaking) matches the serial kernel
+    /// exactly.
     pub fn segment_max(&self, seg: &[u32], n_segments: usize) -> (Matrix, Vec<u32>) {
         assert_eq!(seg.len(), self.rows, "segment_max index length");
-        let mut out = Matrix::full(n_segments, self.cols, f32::NEG_INFINITY);
-        let mut argmax = vec![u32::MAX; n_segments * self.cols];
-        for (i, &s) in seg.iter().enumerate() {
-            let s = s as usize;
-            assert!(s < n_segments);
-            let row = self.row(i);
-            for (c, &x) in row.iter().enumerate() {
-                let o = &mut out.data[s * self.cols + c];
-                if x > *o {
-                    *o = x;
-                    argmax[s * self.cols + c] = i as u32;
+        if self.use_serial_segments(n_segments) {
+            let mut out = Matrix::full(n_segments, self.cols, f32::NEG_INFINITY);
+            let mut argmax = vec![u32::MAX; n_segments * self.cols];
+            for (i, &s) in seg.iter().enumerate() {
+                let s = s as usize;
+                assert!(s < n_segments);
+                let row = self.row(i);
+                for (c, &x) in row.iter().enumerate() {
+                    let o = &mut out.data[s * self.cols + c];
+                    if x > *o {
+                        *o = x;
+                        argmax[s * self.cols + c] = i as u32;
+                    }
                 }
             }
-        }
-        // Empty segments: replace -inf with 0.
-        for v in &mut out.data {
-            if *v == f32::NEG_INFINITY {
-                *v = 0.0;
+            // Empty segments: replace -inf with 0.
+            for v in &mut out.data {
+                if *v == f32::NEG_INFINITY {
+                    *v = 0.0;
+                }
             }
+            return (out, argmax);
         }
+        for &s in seg {
+            assert!((s as usize) < n_segments);
+        }
+        let (order, offsets) = segment_order(seg, n_segments);
+        let mut out = Matrix::full(n_segments, self.cols, f32::NEG_INFINITY);
+        let mut argmax = vec![u32::MAX; n_segments * self.cols];
+        let cols = self.cols;
+        let ranges = balanced_segment_ranges(&offsets, Parallelism::get());
+        // Hand each task its disjoint (out, argmax) row range.
+        let mut tasks = Vec::with_capacity(ranges.len());
+        let mut out_rest: &mut [f32] = &mut out.data;
+        let mut arg_rest: &mut [u32] = &mut argmax;
+        for (lo, hi) in ranges {
+            let (out_head, out_tail) = out_rest.split_at_mut((hi - lo) * cols);
+            let (arg_head, arg_tail) = arg_rest.split_at_mut((hi - lo) * cols);
+            tasks.push((lo, hi, out_head, arg_head));
+            out_rest = out_tail;
+            arg_rest = arg_tail;
+        }
+        par_map(tasks, |_, (lo, hi, out_slice, arg_slice)| {
+            for s in lo..hi {
+                let base = (s - lo) * cols;
+                for &i in &order[offsets[s] as usize..offsets[s + 1] as usize] {
+                    let row = self.row(i as usize);
+                    for (c, &x) in row.iter().enumerate() {
+                        let o = &mut out_slice[base + c];
+                        if x > *o {
+                            *o = x;
+                            arg_slice[base + c] = i;
+                        }
+                    }
+                }
+                for v in &mut out_slice[base..base + cols] {
+                    if *v == f32::NEG_INFINITY {
+                        *v = 0.0;
+                    }
+                }
+            }
+        });
         (out, argmax)
     }
 
@@ -419,6 +583,107 @@ pub fn segment_counts(seg: &[u32], n_segments: usize) -> Vec<u32> {
         counts[s as usize] += 1;
     }
     counts
+}
+
+/// One GEMM row block: `out_block += a_block @ b`.
+///
+/// Rows are classified once: a row that is at least 7/8 zeros keeps the
+/// old skipping loop (exact, since skipped terms contribute `+0.0`); dense
+/// rows go through the `KC`-panel blocked loop with a branch-free inner
+/// kernel. Accumulation over `k` is ascending on both paths.
+fn matmul_row_block(a_block: &[f32], k_total: usize, b: &[f32], n: usize, out_block: &mut [f32]) {
+    let rows = out_block.len() / n;
+    let max_nonzero = k_total / 8;
+    let mut dense_rows: Vec<usize> = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let a_row = &a_block[i * k_total..(i + 1) * k_total];
+        // Early-exit probe: stop as soon as the row cannot be 7/8 zero.
+        let mut nonzero = 0usize;
+        for &x in a_row {
+            if x != 0.0 {
+                nonzero += 1;
+                if nonzero > max_nonzero {
+                    break;
+                }
+            }
+        }
+        if nonzero > max_nonzero {
+            dense_rows.push(i);
+        } else {
+            let out_row = &mut out_block[i * n..(i + 1) * n];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    out_row[j] += av * b_row[j];
+                }
+            }
+        }
+    }
+    for kb in (0..k_total).step_by(KC) {
+        let k_hi = (kb + KC).min(k_total);
+        for &i in &dense_rows {
+            let a_row = &a_block[i * k_total..(i + 1) * k_total];
+            let out_row = &mut out_block[i * n..(i + 1) * n];
+            for kk in kb..k_hi {
+                let av = a_row[kk];
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    out_row[j] += av * b_row[j];
+                }
+            }
+        }
+    }
+}
+
+/// Counting-sort grouping of rows by segment: returns `(order, offsets)`
+/// where `order[offsets[s]..offsets[s+1]]` lists the input rows of segment
+/// `s` in ascending input order — the same order the serial accumulation
+/// loop visits them.
+fn segment_order(seg: &[u32], n_segments: usize) -> (Vec<u32>, Vec<u32>) {
+    inferturbo_common::group::group_by_key(seg, n_segments)
+}
+
+/// Carve a segment-major output buffer into one disjoint `&mut` slice per
+/// balanced segment range (see [`balanced_segment_ranges`]).
+fn split_rows_by_segments<'a>(
+    data: &'a mut [f32],
+    offsets: &[u32],
+    cols: usize,
+) -> Vec<(usize, usize, &'a mut [f32])> {
+    let ranges = balanced_segment_ranges(offsets, Parallelism::get());
+    let mut tasks = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    for (lo, hi) in ranges {
+        let (head, tail) = rest.split_at_mut((hi - lo) * cols);
+        tasks.push((lo, hi, head));
+        rest = tail;
+    }
+    tasks
+}
+
+/// Split `0..n_segments` into up to `tasks` contiguous ranges of roughly
+/// equal *row* (edge) weight, using the grouped offsets. Boundaries only
+/// affect scheduling: every segment is reduced wholly inside one task, so
+/// results are independent of the split.
+fn balanced_segment_ranges(offsets: &[u32], tasks: usize) -> Vec<(usize, usize)> {
+    let n_segments = offsets.len() - 1;
+    let total = offsets[n_segments] as usize;
+    let per_task = total.div_ceil(tasks.max(1)).max(1);
+    let mut ranges = Vec::with_capacity(tasks);
+    let mut lo = 0usize;
+    while lo < n_segments {
+        let target = (offsets[lo] as usize + per_task) as u32;
+        let mut hi = lo + 1;
+        while hi < n_segments && offsets[hi] < target {
+            hi += 1;
+        }
+        ranges.push((lo, hi));
+        lo = hi;
+    }
+    ranges
 }
 
 #[cfg(test)]
@@ -551,6 +816,118 @@ mod tests {
     fn argmax_rows_basic() {
         let a = m(2, 3, &[1., 5., 2., 9., 0., 3.]);
         assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    /// Naive triple-loop reference GEMM, the pre-blocking semantics.
+    fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let av = a.get(i, k);
+                for j in 0..b.cols() {
+                    let v = out.get(i, j) + av * b.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, salt: u32, zero_every: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let x = (r as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add((c as u32).wrapping_mul(40503))
+                .wrapping_add(salt);
+            if zero_every > 0 && (x as usize) % zero_every == 0 {
+                0.0
+            } else {
+                ((x % 1000) as f32 - 500.0) / 250.0
+            }
+        })
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_beyond_block_sizes() {
+        // Spans several ROW_BLOCK chunks and several KC panels, mixes dense
+        // and mostly-zero rows so both inner paths run.
+        let mut a = pseudo_random(150, 300, 1, 3);
+        for r in (0..150).step_by(7) {
+            // make row mostly zero: keep every 16th entry
+            for c in 0..300 {
+                if c % 16 != 0 {
+                    a.set(r, c, 0.0);
+                }
+            }
+        }
+        let b = pseudo_random(300, 70, 2, 0);
+        let got = a.matmul(&b);
+        let want = matmul_reference(&a, &b);
+        for (x, y) in got.data().iter().zip(want.data()) {
+            assert!((x - y).abs() <= 1e-5 * y.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_bit_identical_across_thread_counts() {
+        // Outputs exceed PAR_MIN_ELEMS so the parallel chunking engages.
+        let a = pseudo_random(300, 140, 3, 5);
+        let b = pseudo_random(140, 130, 4, 0);
+        let c = pseudo_random(300, 130, 5, 6);
+        let d = pseudo_random(70, 140, 6, 0);
+        let serial = Parallelism::with(1, || {
+            (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d))
+        });
+        let parallel = Parallelism::with(4, || {
+            (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d))
+        });
+        assert_eq!(serial.0.data(), parallel.0.data());
+        assert_eq!(serial.1.data(), parallel.1.data());
+        assert_eq!(serial.2.data(), parallel.2.data());
+    }
+
+    #[test]
+    fn parallel_segment_kernels_bit_identical() {
+        // Big enough to clear PAR_MIN_ELEMS so the grouped path engages.
+        let e = 3000usize;
+        let n = 180usize;
+        let msgs = pseudo_random(e, 8, 9, 4);
+        let seg: Vec<u32> = (0..e)
+            .map(|i| (i as u32).wrapping_mul(2246822519) % n as u32)
+            .collect();
+        let serial = Parallelism::with(1, || {
+            (
+                msgs.segment_sum(&seg, n),
+                msgs.segment_mean(&seg, n),
+                msgs.segment_max(&seg, n),
+            )
+        });
+        let parallel = Parallelism::with(4, || {
+            (
+                msgs.segment_sum(&seg, n),
+                msgs.segment_mean(&seg, n),
+                msgs.segment_max(&seg, n),
+            )
+        });
+        assert_eq!(serial.0.data(), parallel.0.data());
+        assert_eq!(serial.1.data(), parallel.1.data());
+        assert_eq!(serial.2 .0.data(), parallel.2 .0.data());
+        assert_eq!(serial.2 .1, parallel.2 .1);
+    }
+
+    #[test]
+    fn grouped_segment_max_handles_empty_segments() {
+        // Force the grouped path with a large input where one segment in
+        // three stays empty; empty rows must come back zeroed.
+        let e = 4096usize;
+        let n = 90usize;
+        let msgs = Matrix::full(e, 4, 1.5);
+        let seg: Vec<u32> = (0..e).map(|i| ((i % 30) * 3) as u32).collect();
+        let (mx, _) = Parallelism::with(4, || msgs.segment_max(&seg, n));
+        for s in 0..n {
+            let want = if s % 3 == 0 { 1.5 } else { 0.0 };
+            assert_eq!(mx.get(s, 0), want, "segment {s}");
+        }
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! The determinism contract of `inferturbo_common::par`, enforced
+//! end-to-end: `Parallelism(1)` and `Parallelism(N)` must produce the same
+//! results everywhere — Pregel vertex states, MapReduce outputs, full GNN
+//! inference on both backends, and every tensor kernel. Exact (bitwise) for
+//! the engines and the segment reductions; 1e-5 relative for the blocked
+//! GEMM, whose panel blocking is allowed (but not currently required) to
+//! regroup accumulation.
+
+use inferturbo::cluster::ClusterSpec;
+use inferturbo::common::{Parallelism, Xoshiro256};
+use inferturbo::core::models::{GnnModel, PoolOp};
+use inferturbo::core::strategy::StrategyConfig;
+use inferturbo::core::{infer_mapreduce, infer_pregel};
+use inferturbo::graph::gen::{generate, DegreeSkew, GenConfig};
+use inferturbo::graph::Graph;
+use inferturbo::pregel::{Combiner, Outbox, PregelConfig, PregelEngine, VertexProgram};
+use inferturbo::tensor::Matrix;
+
+const PAR_THREADS: usize = 4;
+
+fn test_graph(seed: u64, n_nodes: usize, n_edges: usize) -> Graph {
+    generate(&GenConfig {
+        n_nodes,
+        n_edges,
+        feat_dim: 8,
+        classes: 3,
+        skew: DegreeSkew::In,
+        seed,
+        ..GenConfig::default()
+    })
+}
+
+// ---- Pregel vertex states -------------------------------------------------
+
+/// PageRank over the generated graph's adjacency: enough supersteps and
+/// message traffic to exercise shard merging, combining, and the arena.
+struct PageRank {
+    n: f64,
+}
+
+struct PrState {
+    rank: f64,
+    nbrs: Vec<u64>,
+}
+
+struct SumCombiner;
+
+impl Combiner<f32> for SumCombiner {
+    fn combine(&self, acc: &mut f32, msg: f32) -> Option<f32> {
+        *acc += msg;
+        None
+    }
+}
+
+impl VertexProgram for PageRank {
+    type State = PrState;
+    type Msg = f32;
+
+    fn compute(
+        &self,
+        step: usize,
+        _vertex: u64,
+        state: &mut PrState,
+        messages: Vec<f32>,
+        _bcast: &dyn Fn(u64) -> Option<f32>,
+        out: &mut Outbox<f32>,
+    ) {
+        if step > 0 {
+            let sum: f64 = messages.iter().map(|&m| m as f64).sum();
+            state.rank = 0.15 / self.n + 0.85 * sum;
+        }
+        if !state.nbrs.is_empty() {
+            let share = (state.rank / state.nbrs.len() as f64) as f32;
+            for &nb in &state.nbrs {
+                out.send(nb, share);
+            }
+        }
+    }
+
+    fn combiner(&self, _step: usize) -> Option<&dyn Combiner<f32>> {
+        Some(&SumCombiner)
+    }
+}
+
+fn pagerank_states(g: &Graph, workers: usize, supersteps: usize) -> (Vec<u64>, u64) {
+    let n = g.n_nodes();
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for (&s, &d) in g.src().iter().zip(g.dst()) {
+        adj[s as usize].push(d as u64);
+    }
+    let cfg = PregelConfig::new(ClusterSpec::test_spec(workers));
+    let mut eng = PregelEngine::new(PageRank { n: n as f64 }, cfg);
+    for (v, nbrs) in adj.into_iter().enumerate() {
+        eng.add_vertex(
+            v as u64,
+            PrState {
+                rank: 1.0 / n as f64,
+                nbrs,
+            },
+        );
+    }
+    eng.run(supersteps).unwrap();
+    let mut ranks = vec![0u64; n];
+    eng.for_each_state(|id, st| ranks[id as usize] = st.rank.to_bits());
+    (ranks, eng.report().total_bytes())
+}
+
+#[test]
+fn pregel_states_bitwise_identical_across_thread_counts() {
+    let g = test_graph(11, 400, 2400);
+    for workers in [1usize, 3, 8] {
+        let serial = Parallelism::with(1, || pagerank_states(&g, workers, 8));
+        let parallel = Parallelism::with(PAR_THREADS, || pagerank_states(&g, workers, 8));
+        assert_eq!(serial.0, parallel.0, "states diverged at {workers} workers");
+        assert_eq!(serial.1, parallel.1, "byte accounting diverged at {workers} workers");
+    }
+}
+
+// ---- Full inference on both backends --------------------------------------
+
+fn logits_bits(out: &inferturbo::core::infer::InferenceOutput) -> Vec<Vec<u32>> {
+    out.logits
+        .iter()
+        .map(|row| row.iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn pregel_inference_bitwise_identical_across_thread_counts() {
+    let g = test_graph(23, 300, 1800);
+    let model = GnnModel::sage(8, 12, 2, 3, false, PoolOp::Mean, 7);
+    for workers in [1usize, 4, 7] {
+        let strat = StrategyConfig::all().with_threshold(8);
+        let serial = Parallelism::with(1, || {
+            infer_pregel(&model, &g, ClusterSpec::pregel_cluster(workers), strat).unwrap()
+        });
+        let parallel = Parallelism::with(PAR_THREADS, || {
+            infer_pregel(&model, &g, ClusterSpec::pregel_cluster(workers), strat).unwrap()
+        });
+        assert_eq!(
+            logits_bits(&serial),
+            logits_bits(&parallel),
+            "pregel logits diverged at {workers} workers"
+        );
+        assert_eq!(
+            serial.report.total_bytes(),
+            parallel.report.total_bytes(),
+            "pregel bytes diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn mapreduce_inference_bitwise_identical_across_thread_counts() {
+    let g = test_graph(37, 300, 1800);
+    let model = GnnModel::sage(8, 12, 2, 3, false, PoolOp::Mean, 9);
+    for workers in [1usize, 4, 7] {
+        let strat = StrategyConfig::all().with_threshold(8);
+        let serial = Parallelism::with(1, || {
+            infer_mapreduce(&model, &g, ClusterSpec::mapreduce_cluster(workers), strat).unwrap()
+        });
+        let parallel = Parallelism::with(PAR_THREADS, || {
+            infer_mapreduce(&model, &g, ClusterSpec::mapreduce_cluster(workers), strat).unwrap()
+        });
+        assert_eq!(
+            logits_bits(&serial),
+            logits_bits(&parallel),
+            "mapreduce logits diverged at {workers} workers"
+        );
+        assert_eq!(
+            serial.report.total_bytes(),
+            parallel.report.total_bytes(),
+            "mapreduce bytes diverged at {workers} workers"
+        );
+    }
+}
+
+// ---- Tensor kernels --------------------------------------------------------
+
+fn random_matrix(rng: &mut Xoshiro256, rows: usize, cols: usize, sparsity: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        if sparsity > 0 && rng.below(sparsity) == 0 {
+            0.0
+        } else {
+            rng.next_f32() * 2.0 - 1.0
+        }
+    })
+}
+
+#[test]
+fn gemm_kernels_match_across_thread_counts() {
+    let mut rng = Xoshiro256::seed_from_u64(99);
+    // Outputs exceed the kernels' parallel threshold and straddle several
+    // row-block boundaries.
+    let a = random_matrix(&mut rng, 300, 140, 3);
+    let b = random_matrix(&mut rng, 140, 130, 0);
+    let c = random_matrix(&mut rng, 300, 130, 4);
+    let d = random_matrix(&mut rng, 70, 140, 0);
+    let serial = Parallelism::with(1, || (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d)));
+    let parallel =
+        Parallelism::with(PAR_THREADS, || (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d)));
+    // 1e-5 relative tolerance: blocked GEMM may regroup accumulation.
+    for (which, (s, p)) in [
+        ("matmul", (&serial.0, &parallel.0)),
+        ("matmul_tn", (&serial.1, &parallel.1)),
+        ("matmul_nt", (&serial.2, &parallel.2)),
+    ] {
+        assert_eq!(s.shape(), p.shape());
+        for (x, y) in s.data().iter().zip(p.data()) {
+            assert!(
+                (x - y).abs() <= 1e-5 * x.abs().max(1.0),
+                "{which}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn segment_kernels_exact_across_thread_counts() {
+    // Segments come from a generated graph's destination index — the real
+    // Gather shape of the paper's Fig. 3.
+    let g = test_graph(51, 600, 9000);
+    let n = g.n_nodes();
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    let msgs = random_matrix(&mut rng, g.n_edges(), 16, 5);
+    let seg: Vec<u32> = g.dst().to_vec();
+    let serial = Parallelism::with(1, || {
+        (
+            msgs.segment_sum(&seg, n),
+            msgs.segment_mean(&seg, n),
+            msgs.segment_max(&seg, n),
+        )
+    });
+    let parallel = Parallelism::with(PAR_THREADS, || {
+        (
+            msgs.segment_sum(&seg, n),
+            msgs.segment_mean(&seg, n),
+            msgs.segment_max(&seg, n),
+        )
+    });
+    // Exact for sum/mean/max: per-segment accumulation order is identical.
+    assert_eq!(serial.0.data(), parallel.0.data(), "segment_sum");
+    assert_eq!(serial.1.data(), parallel.1.data(), "segment_mean");
+    assert_eq!(serial.2 .0.data(), parallel.2 .0.data(), "segment_max values");
+    assert_eq!(serial.2 .1, parallel.2 .1, "segment_max argmax");
+}
