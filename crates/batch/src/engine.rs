@@ -15,11 +15,26 @@
 //! Grouping inside a reducer is sort-based (stable sort by key, then a
 //! single grouped sweep), mirroring external-sort shuffle semantics and
 //! preserving arrival order within each key group.
+//!
+//! # Columnar shuffle plane
+//!
+//! Alongside the legacy typed plane, the `*_phase_rows` variants shuffle
+//! fixed-width `f32` rows through the same columnar buffers the Pregel
+//! engine uses ([`inferturbo_common::rows`]): kernels emit rows into a
+//! [`RowSink`] (flat spool, no per-record heap object), the shuffle moves
+//! them as [`RowBucket`]s of contiguous `memcpy`-able rows, and reducers
+//! see each key's rows as one flat [`RowsView`]. When a phase provides a
+//! [`FusedAggregator`], emission folds rows into per-key accumulators at
+//! the sender (in-mapper fused aggregation), shrinking shuffle volume from
+//! one row per edge to one partial row per (worker, key). Rows keep the
+//! legacy plane's ordering discipline — mapper-order concatenation, stable
+//! sort by key — so results stay independent of the thread budget.
 
-use inferturbo_cluster::{ClusterSpec, RunReport, WorkerPhase};
+use inferturbo_cluster::{ClusterSpec, MessagePlaneBytes, RunReport, WorkerPhase};
 use inferturbo_common::codec::{varint_len, Decode, Encode};
 use inferturbo_common::hash::partition_of;
 use inferturbo_common::par::{par_map, par_map_workers};
+use inferturbo_common::rows::{row_payload_len, FusedAggregator, FusedKeyShard, RowBlock};
 use inferturbo_common::{FxHashMap, Result};
 
 /// Sender-side fold for same-key values (must be commutative/associative —
@@ -78,6 +93,188 @@ impl<V> KeyedData<V> {
     }
 }
 
+/// One destination worker's columnar shuffle partition: keyed fixed-width
+/// rows in flat storage. `counts[i]` is the number of raw messages folded
+/// into row `i` (1 unless the producing phase fused).
+#[derive(Debug, Clone)]
+pub struct RowBucket {
+    keys: Vec<u64>,
+    counts: Vec<u32>,
+    rows: RowBlock,
+}
+
+impl RowBucket {
+    fn new(dim: usize) -> Self {
+        RowBucket {
+            keys: Vec::new(),
+            counts: Vec::new(),
+            rows: RowBlock::new(dim),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    fn push(&mut self, key: u64, count: u32, row: &[f32]) {
+        self.keys.push(key);
+        self.counts.push(count);
+        self.rows.push_row(row);
+    }
+}
+
+/// Keyed columnar rows routed to their destination workers — the columnar
+/// counterpart of [`KeyedData`], produced and consumed by the
+/// `*_phase_rows` methods.
+#[derive(Debug, Clone)]
+pub struct KeyedRows {
+    dim: usize,
+    per_worker: Vec<RowBucket>,
+}
+
+impl KeyedRows {
+    /// An empty plane (used to start a chain, or by phases with no row
+    /// traffic).
+    pub fn empty(dim: usize, workers: usize) -> Self {
+        KeyedRows {
+            dim,
+            per_worker: (0..workers).map(|_| RowBucket::new(dim)).collect(),
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total row records across all workers.
+    pub fn len(&self) -> usize {
+        self.per_worker.iter().map(RowBucket::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total raw messages represented (each row counts its folds).
+    pub fn raw_message_count(&self) -> u64 {
+        self.per_worker
+            .iter()
+            .flat_map(|b| b.counts.iter())
+            .map(|&c| c as u64)
+            .sum()
+    }
+}
+
+/// One key's rows inside a reducer: a flat row-major slice plus per-row
+/// fold counts, in arrival order (mapper order, stable).
+#[derive(Debug, Clone, Copy)]
+pub struct RowsView<'a> {
+    pub dim: usize,
+    pub data: &'a [f32],
+    pub counts: &'a [u32],
+}
+
+impl RowsView<'_> {
+    pub fn n_rows(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// Columnar emitter handed to row-phase kernels: rows are spooled flat (no
+/// per-record heap object) or — when the phase has a [`FusedAggregator`] —
+/// folded straight into per-key accumulator rows at emission, Hadoop-style
+/// in-mapper combining without the per-object combiner buffer.
+pub struct RowSink<'a> {
+    dim: usize,
+    agg: Option<&'a dyn FusedAggregator>,
+    fused: FusedKeyShard,
+    keys: Vec<u64>,
+    rows: RowBlock,
+}
+
+impl<'a> RowSink<'a> {
+    fn new(dim: usize, agg: Option<&'a dyn FusedAggregator>) -> Self {
+        RowSink {
+            dim,
+            agg,
+            fused: FusedKeyShard::new(dim),
+            keys: Vec::new(),
+            rows: RowBlock::new(dim),
+        }
+    }
+
+    /// Row width of this phase's outgoing columnar plane (0 = the phase
+    /// emits no rows).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Emit one row keyed by `key` for the shuffle.
+    pub fn send_row(&mut self, key: u64, row: &[f32]) {
+        assert!(self.dim > 0, "send_row on a phase with no row plane");
+        match self.agg {
+            Some(agg) => {
+                self.fused.accumulate(key, row, 1, agg);
+            }
+            None => {
+                self.keys.push(key);
+                self.rows.push_row(row);
+            }
+        }
+    }
+
+    /// Resident bytes held by the sink and charged to the worker's memory
+    /// peak: the in-mapper fused accumulator buffer only. Plain-spooled
+    /// rows model as streamed to the shuffle (like the legacy engine's
+    /// spilled records), so they cost shuffle bytes, not resident memory.
+    fn resident_bytes(&self) -> u64 {
+        (self.fused.rows.data().len() * 4 + self.fused.keys.len() * 12) as u64
+    }
+
+    /// Charge output bytes and route rows to their destination buckets, in
+    /// emission (or first-touch, when fused) order.
+    fn flush_into(
+        &mut self,
+        params: &PhaseParams,
+        metrics: &mut WorkerPhase,
+        routed: &mut [RowBucket],
+        routed_bytes: &mut [u64],
+        msg_columnar: &mut u64,
+    ) {
+        let dim = self.dim;
+        let mut route = |key: u64, count: u32, row: &[f32]| {
+            let len = params.row_wire_len(key, dim, count);
+            metrics.send(len);
+            *msg_columnar += len;
+            let dst = (params.partition_fn)(key, routed.len());
+            routed_bytes[dst] += len;
+            routed[dst].push(key, count, row);
+        };
+        for i in 0..self.fused.keys.len() {
+            route(
+                self.fused.keys[i],
+                self.fused.counts[i],
+                self.fused.rows.row(i),
+            );
+        }
+        for i in 0..self.keys.len() {
+            route(self.keys[i], 1, self.rows.row(i));
+        }
+    }
+}
+
 /// Per-record context passed to map/reduce kernels for cost reporting.
 #[derive(Default)]
 pub struct PhaseCtx {
@@ -104,6 +301,13 @@ impl PhaseParams {
     fn wire_len<V: Encode>(&self, key: u64, value: &V) -> u64 {
         (varint_len(key) + value.encoded_len()) as u64 + self.record_overhead
     }
+
+    /// Wire length of one columnar row record: the shared
+    /// [`row_payload_len`] framing (count always present — batch rows
+    /// carry fold counts) plus the key varint and shuffle overhead.
+    fn row_wire_len(&self, key: u64, dim: usize, count: u32) -> u64 {
+        (row_payload_len(dim, Some(count)) + varint_len(key)) as u64 + self.record_overhead
+    }
 }
 
 /// One worker's phase output, merged at the barrier in worker order.
@@ -111,8 +315,12 @@ struct PhaseOut<V> {
     metrics: WorkerPhase,
     routed: Vec<Vec<(u64, V)>>,
     routed_bytes: Vec<u64>,
+    /// Columnar plane output (empty zero-dim buckets for legacy phases).
+    routed_rows: Vec<RowBucket>,
     /// Modelled peak resident bytes, checked against the spec at the merge.
     peak: u64,
+    /// Message volume by plane.
+    msg_bytes: MessagePlaneBytes,
 }
 
 /// The batch engine. Owns the cluster spec and accumulates a [`RunReport`]
@@ -197,7 +405,11 @@ impl BatchEngine {
         M: FnMut(&mut PhaseCtx, &I) -> Result<Vec<(u64, V)>>,
         F: Fn(usize) -> M + Sync,
     {
-        assert_eq!(inputs.len(), self.spec.workers, "inputs must be pre-partitioned");
+        assert_eq!(
+            inputs.len(),
+            self.spec.workers,
+            "inputs must be pre-partitioned"
+        );
         let name = name.into();
         let n = self.spec.workers;
         let params = self.params();
@@ -217,7 +429,7 @@ impl BatchEngine {
             }
             let mut routed: Vec<Vec<(u64, V)>> = (0..n).map(|_| Vec::new()).collect();
             let mut routed_bytes = vec![0u64; n];
-            out.flush_into(&mut metrics, &mut routed, &mut routed_bytes);
+            let legacy = out.flush_into(&mut metrics, &mut routed, &mut routed_bytes);
             // Mapper memory: one record + combiner buffer.
             let peak = out.peak_bytes;
             metrics.touch_mem(peak);
@@ -225,10 +437,15 @@ impl BatchEngine {
                 metrics,
                 routed,
                 routed_bytes,
+                routed_rows: Vec::new(),
                 peak,
+                msg_bytes: MessagePlaneBytes {
+                    columnar: 0,
+                    legacy,
+                },
             })
         });
-        self.merge_phase(name, results)
+        Ok(self.merge_phase(name, 0, results)?.0)
     }
 
     /// Reduce phase: group each worker's shuffle partition by key, run its
@@ -289,48 +506,267 @@ impl BatchEngine {
             }
             let mut routed: Vec<Vec<(u64, O)>> = (0..n).map(|_| Vec::new()).collect();
             let mut routed_bytes = vec![0u64; n];
-            out.flush_into(&mut metrics, &mut routed, &mut routed_bytes);
+            let legacy = out.flush_into(&mut metrics, &mut routed, &mut routed_bytes);
             let peak = max_group_bytes + out.peak_bytes;
             metrics.touch_mem(peak);
             Ok(PhaseOut {
                 metrics,
                 routed,
                 routed_bytes,
+                routed_rows: Vec::new(),
                 peak,
+                msg_bytes: MessagePlaneBytes {
+                    columnar: 0,
+                    legacy,
+                },
             })
         });
         let _ = data.pending_bytes; // consumed; bytes were charged above
-        self.merge_phase(name, results)
+        Ok(self.merge_phase(name, 0, results)?.0)
+    }
+
+    /// Map phase with a columnar output plane: like
+    /// [`BatchEngine::map_phase`], but the kernel additionally emits
+    /// fixed-width rows of `row_dim` through a [`RowSink`]. With `row_agg`
+    /// set, emitted rows fold into per-key accumulators at the sender
+    /// (fused in-mapper aggregation).
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_phase_rows<I, V, M, F>(
+        &mut self,
+        name: impl Into<String>,
+        inputs: &[Vec<I>],
+        row_dim: usize,
+        make_map: F,
+        combiner: Option<CombineFn<'_, V>>,
+        row_agg: Option<&dyn FusedAggregator>,
+    ) -> Result<(KeyedData<V>, KeyedRows)>
+    where
+        I: Encode + Sync,
+        V: Encode + Decode + Clone + Send,
+        M: FnMut(&mut PhaseCtx, &I, &mut RowSink<'_>) -> Result<Vec<(u64, V)>>,
+        F: Fn(usize) -> M + Sync,
+    {
+        assert_eq!(
+            inputs.len(),
+            self.spec.workers,
+            "inputs must be pre-partitioned"
+        );
+        let name = name.into();
+        let n = self.spec.workers;
+        let params = self.params();
+
+        let results: Vec<Result<PhaseOut<V>>> = par_map_workers(n, |w| {
+            let recs = &inputs[w];
+            let mut metrics = WorkerPhase::default();
+            let mut kernel = make_map(w);
+            let mut out = OutBuffer::new(params, combiner);
+            let mut sink = RowSink::new(row_dim, row_agg);
+            for rec in recs {
+                metrics.recv(rec.encoded_len() as u64 + params.record_overhead);
+                let mut ctx = PhaseCtx::default();
+                for (k, v) in kernel(&mut ctx, rec, &mut sink)? {
+                    out.push(k, v);
+                }
+                metrics.flops += ctx.flops;
+            }
+            let mut routed: Vec<Vec<(u64, V)>> = (0..n).map(|_| Vec::new()).collect();
+            let mut routed_bytes = vec![0u64; n];
+            let mut routed_rows: Vec<RowBucket> = (0..n).map(|_| RowBucket::new(row_dim)).collect();
+            let sink_resident = sink.resident_bytes();
+            let legacy = out.flush_into(&mut metrics, &mut routed, &mut routed_bytes);
+            let mut columnar = 0u64;
+            sink.flush_into(
+                &params,
+                &mut metrics,
+                &mut routed_rows,
+                &mut routed_bytes,
+                &mut columnar,
+            );
+            // Mapper memory: one record + combiner buffer + row sink.
+            let peak = out.peak_bytes + sink_resident;
+            metrics.touch_mem(peak);
+            Ok(PhaseOut {
+                metrics,
+                routed,
+                routed_bytes,
+                routed_rows,
+                peak,
+                msg_bytes: MessagePlaneBytes { columnar, legacy },
+            })
+        });
+        self.merge_phase(name, row_dim, results)
+    }
+
+    /// Reduce phase over both planes: each worker's legacy partition and
+    /// row partition are grouped by key (stable, ascending — the union of
+    /// keys from either plane), and the kernel sees the key's typed values
+    /// plus its rows as one flat [`RowsView`], emitting onward through the
+    /// returned pairs and a [`RowSink`] of `out_dim`-wide rows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_phase_rows<V, O, R, F>(
+        &mut self,
+        name: impl Into<String>,
+        data: KeyedData<V>,
+        rows: KeyedRows,
+        out_dim: usize,
+        make_reduce: F,
+        combiner: Option<CombineFn<'_, O>>,
+        row_agg: Option<&dyn FusedAggregator>,
+    ) -> Result<(KeyedData<O>, KeyedRows)>
+    where
+        V: Encode + Decode + Clone + Send,
+        O: Encode + Decode + Clone + Send,
+        R: FnMut(
+            &mut PhaseCtx,
+            u64,
+            Vec<V>,
+            RowsView<'_>,
+            &mut RowSink<'_>,
+        ) -> Result<Vec<(u64, O)>>,
+        F: Fn(usize) -> R + Sync,
+    {
+        let name = name.into();
+        let n = self.spec.workers;
+        assert_eq!(data.per_worker.len(), n, "keyed data shape");
+        assert_eq!(rows.per_worker.len(), n, "keyed rows shape");
+        let in_dim = rows.dim;
+        let params = self.params();
+
+        let tasks: Vec<(Vec<(u64, V)>, RowBucket)> =
+            data.per_worker.into_iter().zip(rows.per_worker).collect();
+        let results: Vec<Result<PhaseOut<O>>> = par_map(tasks, |w, (mut bucket, rbucket)| {
+            let mut metrics = WorkerPhase::default();
+            // Input accounting: the fetch of this worker's shuffle
+            // partition, both planes.
+            for (k, v) in &bucket {
+                metrics.recv(params.wire_len(*k, v));
+            }
+            for i in 0..rbucket.len() {
+                metrics.recv(params.row_wire_len(rbucket.keys[i], in_dim, rbucket.counts[i]));
+            }
+            // Shuffle sort: stable on both planes, so same-key records
+            // keep arrival order. Rows sort an index permutation — the
+            // flat storage never moves.
+            bucket.sort_by_key(|&(k, _)| k);
+            let mut row_ord: Vec<u32> = (0..rbucket.len() as u32).collect();
+            row_ord.sort_by_key(|&i| rbucket.keys[i as usize]);
+
+            let mut kernel = make_reduce(w);
+            let mut out = OutBuffer::new(params, combiner);
+            let mut sink = RowSink::new(out_dim, row_agg);
+            let mut max_group_bytes = 0u64;
+            // Per-group row gather scratch, reused across groups.
+            let mut group_rows: Vec<f32> = Vec::new();
+            let mut group_counts: Vec<u32> = Vec::new();
+            let mut lit = bucket.into_iter().peekable();
+            let mut ri = 0usize;
+            loop {
+                let lk = lit.peek().map(|&(k, _)| k);
+                let rk = (ri < row_ord.len()).then(|| rbucket.keys[row_ord[ri] as usize]);
+                let k = match (lk, rk) {
+                    (None, None) => break,
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (Some(a), Some(b)) => a.min(b),
+                };
+                let mut values = Vec::new();
+                let mut group_bytes = 0u64;
+                while lit.peek().map(|&(k2, _)| k2) == Some(k) {
+                    let (_, v) = lit.next().expect("peeked");
+                    group_bytes += params.wire_len(k, &v);
+                    values.push(v);
+                }
+                group_rows.clear();
+                group_counts.clear();
+                while ri < row_ord.len() && rbucket.keys[row_ord[ri] as usize] == k {
+                    let i = row_ord[ri] as usize;
+                    group_rows.extend_from_slice(rbucket.rows.row(i));
+                    group_counts.push(rbucket.counts[i]);
+                    group_bytes += params.row_wire_len(k, in_dim, rbucket.counts[i]);
+                    ri += 1;
+                }
+                max_group_bytes = max_group_bytes.max(group_bytes);
+                let view = RowsView {
+                    dim: in_dim,
+                    data: &group_rows,
+                    counts: &group_counts,
+                };
+                let mut ctx = PhaseCtx::default();
+                for (k2, v2) in kernel(&mut ctx, k, values, view, &mut sink)? {
+                    out.push(k2, v2);
+                }
+                metrics.flops += ctx.flops;
+            }
+            let mut routed: Vec<Vec<(u64, O)>> = (0..n).map(|_| Vec::new()).collect();
+            let mut routed_bytes = vec![0u64; n];
+            let mut routed_rows: Vec<RowBucket> = (0..n).map(|_| RowBucket::new(out_dim)).collect();
+            let sink_resident = sink.resident_bytes();
+            let legacy = out.flush_into(&mut metrics, &mut routed, &mut routed_bytes);
+            let mut columnar = 0u64;
+            sink.flush_into(
+                &params,
+                &mut metrics,
+                &mut routed_rows,
+                &mut routed_bytes,
+                &mut columnar,
+            );
+            let peak = max_group_bytes + out.peak_bytes + sink_resident;
+            metrics.touch_mem(peak);
+            Ok(PhaseOut {
+                metrics,
+                routed,
+                routed_bytes,
+                routed_rows,
+                peak,
+                msg_bytes: MessagePlaneBytes { columnar, legacy },
+            })
+        });
+        self.merge_phase(name, out_dim, results)
     }
 
     /// Barrier: surface the first failure in ascending worker order, check
-    /// the memory model, and concatenate routed shards per destination in
-    /// mapper order (the serial delivery order).
+    /// the memory model, and concatenate routed shards — both planes — per
+    /// destination in mapper order (the serial delivery order).
     fn merge_phase<V>(
         &mut self,
         name: String,
+        row_dim: usize,
         results: Vec<Result<PhaseOut<V>>>,
-    ) -> Result<KeyedData<V>> {
+    ) -> Result<(KeyedData<V>, KeyedRows)> {
         let n = self.spec.workers;
         let mut metrics = Vec::with_capacity(n);
         let mut routed: Vec<Vec<(u64, V)>> = (0..n).map(|_| Vec::new()).collect();
         let mut routed_bytes = vec![0u64; n];
+        let mut rows = KeyedRows::empty(row_dim, n);
         for (w, r) in results.into_iter().enumerate() {
             let o = r.map_err(|e| e.in_phase(&name))?;
             self.spec
                 .check_memory(w, o.peak)
                 .map_err(|e| e.in_phase(&name))?;
             metrics.push(o.metrics);
+            self.report.message_bytes.add(o.msg_bytes);
             for (dst, mut recs) in o.routed.into_iter().enumerate() {
                 routed[dst].append(&mut recs);
                 routed_bytes[dst] += o.routed_bytes[dst];
             }
+            for (dst, bucket) in o.routed_rows.into_iter().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let out = &mut rows.per_worker[dst];
+                out.keys.extend_from_slice(&bucket.keys);
+                out.counts.extend_from_slice(&bucket.counts);
+                out.rows.append(&bucket.rows);
+            }
         }
         self.report.push_phase(name, metrics);
-        Ok(KeyedData {
-            per_worker: routed,
-            pending_bytes: routed_bytes,
-        })
+        Ok((
+            KeyedData {
+                per_worker: routed,
+                pending_bytes: routed_bytes,
+            },
+            rows,
+        ))
     }
 }
 
@@ -393,24 +829,28 @@ impl<'e, V: Encode + Clone> OutBuffer<'e, V> {
     }
 
     /// Charge output bytes to this worker's metrics and route pairs to
-    /// their destination shards.
+    /// their destination shards. Returns the total bytes flushed (the
+    /// legacy plane's message volume).
     fn flush_into(
         &mut self,
         metrics: &mut WorkerPhase,
         routed: &mut [Vec<(u64, V)>],
         routed_bytes: &mut [u64],
-    ) {
+    ) -> u64 {
         self.track_buffer_peak();
         let held = std::mem::take(&mut self.held);
         self.held_idx.clear();
         let spilled = std::mem::take(&mut self.spilled);
+        let mut total = 0u64;
         for (k, v) in spilled.into_iter().chain(held) {
             let len = self.params.wire_len(k, &v);
             metrics.send(len);
+            total += len;
             let dst = (self.params.partition_fn)(k, routed.len());
             routed_bytes[dst] += len;
             routed[dst].push((k, v));
         }
+        total
     }
 }
 
@@ -429,14 +869,21 @@ mod tests {
         let inputs: Vec<u64> = vec![1, 2, 1, 3, 1, 2];
         let parts = eng.scatter_inputs(inputs);
         let keyed = eng
-            .map_phase("map", &parts, |_w| |_ctx: &mut PhaseCtx, &rec: &u64| Ok(vec![(rec, 1.0f32)]), None)
+            .map_phase(
+                "map",
+                &parts,
+                |_w| |_ctx: &mut PhaseCtx, &rec: &u64| Ok(vec![(rec, 1.0f32)]),
+                None,
+            )
             .unwrap();
         assert_eq!(keyed.len(), 6);
         let reduced = eng
             .reduce_phase(
                 "reduce",
                 keyed,
-                |_w| |_ctx: &mut PhaseCtx, k, vals: Vec<f32>| Ok(vec![(k, vals.iter().sum::<f32>())]),
+                |_w| {
+                    |_ctx: &mut PhaseCtx, k, vals: Vec<f32>| Ok(vec![(k, vals.iter().sum::<f32>())])
+                },
                 None,
             )
             .unwrap();
@@ -452,13 +899,28 @@ mod tests {
         let mut eng = engine(2);
         let parts = eng.scatter_inputs(vec![5u64, 6]);
         let keyed = eng
-            .map_phase("m", &parts, |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r, r as f32)]), None)
+            .map_phase(
+                "m",
+                &parts,
+                |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r, r as f32)]),
+                None,
+            )
             .unwrap();
         let r1 = eng
-            .reduce_phase("r1", keyed, |_w| |_c: &mut PhaseCtx, k, v: Vec<f32>| Ok(vec![(k, v[0] * 2.0)]), None)
+            .reduce_phase(
+                "r1",
+                keyed,
+                |_w| |_c: &mut PhaseCtx, k, v: Vec<f32>| Ok(vec![(k, v[0] * 2.0)]),
+                None,
+            )
             .unwrap();
         let r2 = eng
-            .reduce_phase("r2", r1, |_w| |_c: &mut PhaseCtx, k, v: Vec<f32>| Ok(vec![(k, -v[0])]), None)
+            .reduce_phase(
+                "r2",
+                r1,
+                |_w| |_c: &mut PhaseCtx, k, v: Vec<f32>| Ok(vec![(k, -v[0])]),
+                None,
+            )
             .unwrap();
         let m = r2.into_map();
         assert_eq!(m[&5], -10.0);
@@ -478,7 +940,12 @@ mod tests {
             };
             let comb: Option<CombineFn<'_, f32>> = if combine { Some(&fold) } else { None };
             let keyed = eng
-                .map_phase("m", &parts, |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r, 1.0f32)]), comb)
+                .map_phase(
+                    "m",
+                    &parts,
+                    |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r, 1.0f32)]),
+                    comb,
+                )
                 .unwrap();
             let out = eng
                 .reduce_phase(
@@ -492,7 +959,10 @@ mod tests {
         };
         let (bytes_plain, m_plain) = run(false);
         let (bytes_comb, m_comb) = run(true);
-        assert!(bytes_comb < bytes_plain / 3, "{bytes_comb} vs {bytes_plain}");
+        assert!(
+            bytes_comb < bytes_plain / 3,
+            "{bytes_comb} vs {bytes_plain}"
+        );
         for k in 0..5u64 {
             assert_eq!(m_plain[&k], 20.0);
             assert_eq!(m_comb[&k], 20.0);
@@ -599,7 +1069,12 @@ mod tests {
             let mut eng = engine(4);
             let parts = eng.scatter_inputs((0..200u64).collect());
             let keyed = eng
-                .map_phase("m", &parts, |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r % 13, r as f32)]), None)
+                .map_phase(
+                    "m",
+                    &parts,
+                    |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r % 13, r as f32)]),
+                    None,
+                )
                 .unwrap();
             let out = eng
                 .reduce_phase(
@@ -643,7 +1118,12 @@ mod tests {
         let mut eng = engine(2);
         let parts = eng.scatter_inputs(vec![1u64, 2]);
         let keyed = eng
-            .map_phase("m", &parts, |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r, vec![1.0f32; 16])]), None)
+            .map_phase(
+                "m",
+                &parts,
+                |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r, vec![1.0f32; 16])]),
+                None,
+            )
             .unwrap();
         let map_out: u64 = eng.report().phases[0].bytes_out_total();
         let out = eng
@@ -680,6 +1160,120 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("worker 0"), "{err}");
         assert!(err.to_string().contains("phase `boom`"), "{err}");
+    }
+
+    struct SumAgg;
+    impl FusedAggregator for SumAgg {
+        fn identity(&self) -> f32 {
+            0.0
+        }
+        fn accumulate(&self, acc: &mut [f32], row: &[f32]) {
+            for (a, b) in acc.iter_mut().zip(row) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Drive one map+reduce chain over the columnar plane: every input
+    /// emits a dim-2 row keyed by `r % 5` plus a legacy marker record; the
+    /// reducer must see both planes in the same key group and fold the
+    /// rows (honouring fused counts).
+    fn run_row_chain(fused: bool, threads: usize) -> (Vec<(u64, Vec<u32>)>, u64, u64) {
+        use inferturbo_common::Parallelism;
+        Parallelism::with(threads, || {
+            let mut eng = engine(3);
+            let parts = eng.scatter_inputs((0..200u64).collect());
+            let agg: Option<&dyn FusedAggregator> = if fused { Some(&SumAgg) } else { None };
+            let (keyed, rows) = eng
+                .map_phase_rows(
+                    "m",
+                    &parts,
+                    2,
+                    |_w| {
+                        |_c: &mut PhaseCtx, &r: &u64, sink: &mut RowSink<'_>| {
+                            sink.send_row(r % 5, &[r as f32, 1.0]);
+                            Ok(vec![(r % 5, 1u32)])
+                        }
+                    },
+                    None,
+                    agg,
+                )
+                .unwrap();
+            assert_eq!(rows.dim(), 2);
+            assert_eq!(rows.raw_message_count(), 200);
+            let (out, out_rows) = eng
+                .reduce_phase_rows(
+                    "r",
+                    keyed,
+                    rows,
+                    0,
+                    |_w| {
+                        |_c: &mut PhaseCtx,
+                         k,
+                         values: Vec<u32>,
+                         view: RowsView<'_>,
+                         _sink: &mut RowSink<'_>|
+                         -> Result<Vec<(u64, Vec<f32>)>> {
+                            let mut sum = [0.0f32; 2];
+                            let mut count = 0u32;
+                            for i in 0..view.n_rows() {
+                                for (a, b) in sum.iter_mut().zip(view.row(i)) {
+                                    *a += b;
+                                }
+                                count += view.counts[i];
+                            }
+                            assert_eq!(values.len() as u32, count, "legacy markers == raw rows");
+                            Ok(vec![(k, vec![sum[0], sum[1], count as f32])])
+                        }
+                    },
+                    None,
+                    None,
+                )
+                .unwrap();
+            assert!(out_rows.is_empty());
+            let mut pairs: Vec<(u64, Vec<u32>)> = out
+                .into_map()
+                .into_iter()
+                .map(|(k, v)| (k, v.iter().map(|x| x.to_bits()).collect()))
+                .collect();
+            pairs.sort_by_key(|&(k, _)| k);
+            let columnar = eng.report().message_bytes.columnar;
+            let total = eng.report().total_bytes();
+            (pairs, columnar, total)
+        })
+    }
+
+    #[test]
+    fn row_phases_group_both_planes_by_key() {
+        let (pairs, columnar, _) = run_row_chain(false, 1);
+        assert_eq!(pairs.len(), 5);
+        assert!(columnar > 0);
+        for (k, bits) in &pairs {
+            // 40 inputs per key; second lane sums the 1.0 markers
+            assert_eq!(f32::from_bits(bits[1]), 40.0, "key {k}");
+            assert_eq!(f32::from_bits(bits[2]), 40.0, "key {k}");
+        }
+    }
+
+    #[test]
+    fn fused_rows_reduce_shuffle_volume_not_results() {
+        let (plain, plain_cols, _) = run_row_chain(false, 1);
+        let (fused, fused_cols, _) = run_row_chain(true, 1);
+        assert_eq!(plain, fused, "fused in-mapper aggregation changed sums");
+        // 200 row records shrink to ≤ workers × keys partial rows.
+        assert!(
+            fused_cols * 4 < plain_cols,
+            "fusion must shrink columnar shuffle: {fused_cols} vs {plain_cols}"
+        );
+    }
+
+    #[test]
+    fn row_phases_deterministic_across_thread_counts() {
+        for fused in [false, true] {
+            let serial = run_row_chain(fused, 1);
+            let parallel = run_row_chain(fused, 4);
+            assert_eq!(serial, parallel, "fused={fused}");
+        }
     }
 
     #[test]

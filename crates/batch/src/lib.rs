@@ -27,4 +27,6 @@
 
 pub mod engine;
 
-pub use engine::{BatchEngine, CombineFn, KeyedData, PhaseCtx};
+pub use engine::{
+    BatchEngine, CombineFn, KeyedData, KeyedRows, PhaseCtx, RowBucket, RowSink, RowsView,
+};

@@ -41,24 +41,21 @@ fn bench_backends(c: &mut Criterion) {
     grp.bench_function("pregel_sage2", |b| {
         b.iter(|| {
             black_box(
-                infer_pregel(&model, &g, scaled_spec(16, true), StrategyConfig::all())
-                    .unwrap(),
+                infer_pregel(&model, &g, scaled_spec(16, true), StrategyConfig::all()).unwrap(),
             )
         });
     });
     grp.bench_function("mapreduce_sage2", |b| {
         b.iter(|| {
             black_box(
-                infer_mapreduce(&model, &g, scaled_spec(16, false), StrategyConfig::all())
-                    .unwrap(),
+                infer_mapreduce(&model, &g, scaled_spec(16, false), StrategyConfig::all()).unwrap(),
             )
         });
     });
     grp.bench_function("pregel_sage2_no_strategies", |b| {
         b.iter(|| {
             black_box(
-                infer_pregel(&model, &g, scaled_spec(16, true), StrategyConfig::none())
-                    .unwrap(),
+                infer_pregel(&model, &g, scaled_spec(16, true), StrategyConfig::none()).unwrap(),
             )
         });
     });
@@ -77,7 +74,13 @@ fn bench_khop(c: &mut Criterion) {
     grp.bench_function("extract_2hop_fanout10_64roots", |b| {
         b.iter(|| {
             let mut rng = Xoshiro256::seed_from_u64(5);
-            black_box(Subgraph::extract(&in_csr, &roots, 2, Some(10), Some(&mut rng)))
+            black_box(Subgraph::extract(
+                &in_csr,
+                &roots,
+                2,
+                Some(10),
+                Some(&mut rng),
+            ))
         });
     });
     grp.finish();
@@ -95,7 +98,9 @@ fn bench_shadow_transform(c: &mut Criterion) {
     });
     let mut grp = c.benchmark_group("transform");
     grp.sample_size(20);
-    let strat = StrategyConfig::none().with_shadow_nodes(true).with_threshold(30);
+    let strat = StrategyConfig::none()
+        .with_shadow_nodes(true)
+        .with_threshold(30);
     grp.bench_function("shadow_records_3k_nodes", |b| {
         b.iter(|| black_box(build_node_records(&g, &strat, 16)));
     });

@@ -61,7 +61,9 @@ fn main() {
         } else if let Some((name, f)) = all.iter().find(|(n, _)| n == sel) {
             run_one(name, *f, &ctx);
         } else {
-            eprintln!("unknown experiment `{sel}`; known: table1..table4, fig7..fig13, scaling, all");
+            eprintln!(
+                "unknown experiment `{sel}`; known: table1..table4, fig7..fig13, scaling, all"
+            );
             std::process::exit(2);
         }
     }
@@ -71,5 +73,8 @@ fn run_one(name: &str, f: fn(&ExpCtx), ctx: &ExpCtx) {
     let start = Instant::now();
     println!("### {name} ###");
     f(ctx);
-    println!("[{name} finished in {:.1}s]\n", start.elapsed().as_secs_f64());
+    println!(
+        "[{name} finished in {:.1}s]\n",
+        start.elapsed().as_secs_f64()
+    );
 }

@@ -4,13 +4,17 @@
 //! compare against.
 //!
 //! ```text
-//! parbench [--out FILE] [--threads N] [--secs S]
+//! parbench [--out FILE] [--threads N] [--secs S] [--smoke]
 //! ```
 //!
 //! Defaults: `--out BENCH_parallel.json`, `--threads` = host parallelism
 //! (or `INFERTURBO_THREADS`), `--secs 0.5` per measurement. Outputs are
 //! identical at both thread counts (enforced by the
 //! `parallel_matches_serial` suite), so the speedups compare equal work.
+//!
+//! `--smoke` runs one very short measurement per bench (0.02 s) — CI uses
+//! it to exercise every workload end-to-end without paying for stable
+//! numbers; don't commit a smoke-mode JSON as the perf baseline.
 
 use inferturbo_bench::scaling;
 use inferturbo_cluster::ClusterSpec;
@@ -43,14 +47,19 @@ fn main() {
             .cloned()
     };
     let out_path = get("--out").unwrap_or_else(|| "BENCH_parallel.json".into());
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     // Parallelism::get() already defaults to host parallelism and honours
     // an INFERTURBO_THREADS override.
     let threads: usize = get("--threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(Parallelism::get)
         .max(1); // Parallelism clamps to 1; keep the JSON honest too
-    let secs: f64 = get("--secs").and_then(|v| v.parse().ok()).unwrap_or(0.5);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let secs: f64 = get("--secs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 0.02 } else { 0.5 });
 
     let g = generate(&GenConfig {
         n_nodes: 3_000,
@@ -73,13 +82,36 @@ fn main() {
     let msgs = inferturbo_tensor::Matrix::from_fn(seg_rows, 32, |_, _| rng.next_f32());
     let seg: Vec<u32> = (0..seg_rows).map(|_| rng.below(5_000) as u32).collect();
 
+    // row_axpy workload: accumulate 4096 rows of 64 lanes.
+    let axpy_rows = inferturbo_tensor::Matrix::from_fn(4096, 64, |_, _| rng.next_f32());
+    let mut axpy_acc = vec![0.0f32; 64];
+
     // (name, is_engine, workload)
-    let mut benches: Vec<(&str, bool, Box<dyn FnMut()>)> = vec![
+    type Bench<'a> = (&'a str, bool, Box<dyn FnMut() + 'a>);
+    let mut benches: Vec<Bench<'_>> = vec![
         (
+            // Default configuration = columnar plane + fused
+            // scatter-aggregation (partial-gather annotated).
             "engine/pregel_sage2_3k",
             true,
             Box::new(|| {
                 infer_pregel(&model, &g, pregel_spec, StrategyConfig::all()).unwrap();
+            }),
+        ),
+        (
+            // Columnar plane without fusion: rows materialize in the
+            // arena — isolates the allocation win from the O(E·d)→O(V·d)
+            // aggregation win above.
+            "engine/pregel_sage2_3k_columnar",
+            true,
+            Box::new(|| {
+                infer_pregel(
+                    &model,
+                    &g,
+                    pregel_spec,
+                    StrategyConfig::all().with_partial_gather(false),
+                )
+                .unwrap();
             }),
         ),
         (
@@ -103,6 +135,16 @@ fn main() {
                 std::hint::black_box(msgs.segment_sum(&seg, 5_000));
             }),
         ),
+        (
+            "kernel/row_axpy",
+            false,
+            Box::new(|| {
+                for r in 0..axpy_rows.rows() {
+                    inferturbo_tensor::row_axpy(&mut axpy_acc, axpy_rows.row(r), 0.5);
+                }
+                std::hint::black_box(&mut axpy_acc);
+            }),
+        ),
     ];
 
     eprintln!(
@@ -122,9 +164,8 @@ fn main() {
         eprintln!("  {name:<28} {serial:>10.3} -> {parallel:>10.3} ops/s  ({speedup:.2}x)");
         rows.push((name.to_string(), serial, parallel, speedup));
     }
-    let geomean = (engine_speedups.iter().map(|s| s.ln()).sum::<f64>()
-        / engine_speedups.len() as f64)
-        .exp();
+    let geomean =
+        (engine_speedups.iter().map(|s| s.ln()).sum::<f64>() / engine_speedups.len() as f64).exp();
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();

@@ -18,10 +18,7 @@ pub fn run(ctx: &ExpCtx) {
 
     let configs: Vec<(&str, StrategyConfig)> = vec![
         ("Base", StrategyConfig::none()),
-        (
-            "SN",
-            StrategyConfig::none().with_shadow_nodes(true),
-        ),
+        ("SN", StrategyConfig::none().with_shadow_nodes(true)),
         ("BC", StrategyConfig::none().with_broadcast(true)),
         (
             "SN+BC",
@@ -51,6 +48,12 @@ pub fn run(ctx: &ExpCtx) {
         csv.push(format!("{name},{var}"));
     }
     t.print();
-    println!("shape check: SN and BC both cut the Base variance; combining them is best for SAGE.\n");
-    write_csv(&ctx.csv_path("fig10_variance.csv"), "strategy,variance", &csv);
+    println!(
+        "shape check: SN and BC both cut the Base variance; combining them is best for SAGE.\n"
+    );
+    write_csv(
+        &ctx.csv_path("fig10_variance.csv"),
+        "strategy,variance",
+        &csv,
+    );
 }

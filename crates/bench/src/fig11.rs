@@ -16,8 +16,7 @@ pub fn run(ctx: &ExpCtx) {
     let model = strategy_model(d.graph.node_feat_dim());
     let spec = ctx.mr_spec(STRATEGY_WORKERS);
 
-    let base = infer_mapreduce(&model, &d.graph, spec, StrategyConfig::none())
-        .expect("base run");
+    let base = infer_mapreduce(&model, &d.graph, spec, StrategyConfig::none()).expect("base run");
     let pg = infer_mapreduce(
         &model,
         &d.graph,
@@ -32,12 +31,7 @@ pub fn run(ctx: &ExpCtx) {
     let pg_in: Vec<f64> = pg_tot.iter().map(|t| t.bytes_in as f64).collect();
 
     let rows: Vec<String> = (0..STRATEGY_WORKERS)
-        .map(|w| {
-            format!(
-                "{w},{},{},{}",
-                base_tot[w].records_in, base_in[w], pg_in[w]
-            )
-        })
+        .map(|w| format!("{w},{},{},{}", base_tot[w].records_in, base_in[w], pg_in[w]))
         .collect();
     write_csv(
         &ctx.csv_path("fig11_io_partial_gather.csv"),

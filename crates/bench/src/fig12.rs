@@ -21,7 +21,9 @@ pub fn run(ctx: &ExpCtx) {
         "fig12_io_broadcast.csv",
         |threshold| match threshold {
             None => StrategyConfig::none(),
-            Some(t) => StrategyConfig::none().with_broadcast(true).with_threshold(t),
+            Some(t) => StrategyConfig::none()
+                .with_broadcast(true)
+                .with_threshold(t),
         },
     );
 }
@@ -51,7 +53,12 @@ pub fn sweep(
 
     let mut t = Table::new(
         title,
-        &["threshold", "total out bytes", "tail-10% out bytes", "reduction vs base (tail)"],
+        &[
+            "threshold",
+            "total out bytes",
+            "tail-10% out bytes",
+            "reduction vs base (tail)",
+        ],
     );
     let mut csv: Vec<String> = Vec::new();
     let mut base_tail: Option<f64> = None;

@@ -16,13 +16,23 @@ pub fn run(ctx: &ExpCtx) {
     let scales: Vec<(usize, usize)> = if ctx.quick {
         vec![(2_000, 20_000), (20_000, 200_000), (200_000, 2_000_000)]
     } else {
-        vec![(10_000, 100_000), (100_000, 1_000_000), (1_000_000, 10_000_000)]
+        vec![
+            (10_000, 100_000),
+            (100_000, 1_000_000),
+            (1_000_000, 10_000_000),
+        ]
     };
     // 2-layer GAT, embedding 32 (paper: 64; halved for single-core wall
     // time — the scaling exponent is dimension-independent).
     let mut t = Table::new(
         "Fig 8: resource and time vs data scale (2-layer GAT, On-MR)",
-        &["scale (nodes/edges)", "time (s)", "resource (cpu*min)", "time ratio", "resource ratio"],
+        &[
+            "scale (nodes/edges)",
+            "time (s)",
+            "resource (cpu*min)",
+            "time ratio",
+            "resource ratio",
+        ],
     );
     let mut csv = Vec::new();
     let mut prev: Option<(f64, f64)> = None;
@@ -33,13 +43,8 @@ pub fn run(ctx: &ExpCtx) {
         // regime (200+ workers would drown them in fixed per-round costs).
         let mut spec = ctx.mr_spec(20);
         spec.phase_overhead_secs = 0.05;
-        let out = infer_mapreduce(
-            &model,
-            &d.graph,
-            spec,
-            StrategyConfig::all(),
-        )
-        .expect("mr inference");
+        let out =
+            infer_mapreduce(&model, &d.graph, spec, StrategyConfig::all()).expect("mr inference");
         let wall = out.report.total_wall_secs();
         let res = out.report.resource_cpu_min();
         let (tr, rr) = match prev {

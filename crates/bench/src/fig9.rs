@@ -15,8 +15,7 @@ pub fn run(ctx: &ExpCtx) {
     let model = strategy_model(d.graph.node_feat_dim());
     let spec = ctx.mr_spec(STRATEGY_WORKERS);
 
-    let base = infer_mapreduce(&model, &d.graph, spec, StrategyConfig::none())
-        .expect("base run");
+    let base = infer_mapreduce(&model, &d.graph, spec, StrategyConfig::none()).expect("base run");
     let pg = infer_mapreduce(
         &model,
         &d.graph,

@@ -64,7 +64,9 @@ fn time_secs(mut f: impl FnMut()) -> f64 {
 /// The thread budgets to sweep: 1, 2, 4, ... up to the host parallelism
 /// (always including the host max itself).
 pub fn thread_sweep() -> Vec<usize> {
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut sweep = vec![1usize];
     let mut t = 2;
     while t < max {
@@ -144,5 +146,49 @@ pub fn run(ctx: &ExpCtx) {
         &ctx.csv_path("scaling_threads.csv"),
         "threads,pregel_s,mapreduce_s,gemm_s,segsum_s,pregel_speedup,mapreduce_speedup,gemm_speedup,segsum_speedup",
         &csv_rows,
+    );
+
+    // Shuffle volume by message plane — the paper's headline metric. With
+    // fusion (partial-gather annotated) the columnar plane carries one
+    // partial row per (worker, destination) instead of one row per edge:
+    // O(V·d) instead of O(E·d).
+    let mut mb = Table::new(
+        "Message bytes by plane (columnar vs legacy)",
+        &["backend", "config", "columnar B", "legacy B", "total B"],
+    );
+    let mut mb_csv = Vec::new();
+    let configs = [
+        ("fused", StrategyConfig::all()),
+        (
+            "materialized",
+            StrategyConfig::all().with_partial_gather(false),
+        ),
+        ("legacy-plane", StrategyConfig::all().with_columnar(false)),
+    ];
+    for (cfg_name, strat) in configs {
+        let p = infer_pregel(&model, &g, spec(16, true), strat).unwrap();
+        let m = infer_mapreduce(&model, &g, spec(16, false), strat).unwrap();
+        for (backend, report) in [("pregel", &p.report), ("mapreduce", &m.report)] {
+            let b = report.message_bytes;
+            mb.rowv(vec![
+                backend.to_string(),
+                cfg_name.to_string(),
+                b.columnar.to_string(),
+                b.legacy.to_string(),
+                b.total().to_string(),
+            ]);
+            mb_csv.push(format!(
+                "{backend},{cfg_name},{},{},{}",
+                b.columnar,
+                b.legacy,
+                b.total()
+            ));
+        }
+    }
+    mb.print();
+    write_csv(
+        &ctx.csv_path("scaling_message_bytes.csv"),
+        "backend,config,columnar_bytes,legacy_bytes,total_bytes",
+        &mb_csv,
     );
 }

@@ -20,7 +20,13 @@ pub fn run(ctx: &ExpCtx) {
     let mut t = Table::new(
         "Table I: datasets (ours / paper)",
         &[
-            "dataset", "nodes", "edges", "feat", "classes", "train", "paper-nodes",
+            "dataset",
+            "nodes",
+            "edges",
+            "feat",
+            "classes",
+            "train",
+            "paper-nodes",
             "paper-edges",
         ],
     );

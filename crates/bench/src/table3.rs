@@ -9,10 +9,10 @@
 use crate::report::{f, Table};
 use crate::table2::models_for;
 use crate::ExpCtx;
+use inferturbo_cluster::ClusterSpec;
 use inferturbo_core::baseline::{estimate_full_inference, BaselineConfig};
 use inferturbo_core::infer::{infer_mapreduce, infer_pregel};
 use inferturbo_core::strategy::StrategyConfig;
-use inferturbo_cluster::ClusterSpec;
 
 const DGL_EFFICIENCY: f64 = 0.8;
 
@@ -40,7 +40,13 @@ pub fn run(ctx: &ExpCtx) {
     let d = crate::table2::mag_like(ctx);
     let mut t = Table::new(
         "Table III: time and resource on mag240m-like (full-graph job)",
-        &["model", "system", "time (s)", "resource (cpu*min)", "speedup vs PyG"],
+        &[
+            "model",
+            "system",
+            "time (s)",
+            "resource (cpu*min)",
+            "speedup vs PyG",
+        ],
     );
     for (mname, model) in models_for(ctx, &d, &d.name) {
         let base_cfg = scaled_baseline(model.n_layers(), None);
@@ -70,7 +76,7 @@ pub fn run(ctx: &ExpCtx) {
         let mut mr_spec = ctx.mr_spec(OURS_WORKERS);
         mr_spec.phase_overhead_secs = 0.5;
         let mr = infer_mapreduce(&model, &d.graph, mr_spec, StrategyConfig::all())
-        .expect("mr inference");
+            .expect("mr inference");
         let mr_wall = mr.report.total_wall_secs();
         t.rowv(vec![
             mname.clone(),
@@ -83,7 +89,7 @@ pub fn run(ctx: &ExpCtx) {
         let mut pg_spec = ctx.pregel_spec(OURS_WORKERS);
         pg_spec.phase_overhead_secs = 0.05;
         let pregel = infer_pregel(&model, &d.graph, pg_spec, StrategyConfig::all())
-        .expect("pregel inference");
+            .expect("pregel inference");
         let pg_wall = pregel.report.total_wall_secs();
         t.rowv(vec![
             mname,

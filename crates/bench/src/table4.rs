@@ -3,8 +3,8 @@
 //! InferTurbo grows linearly.
 
 use crate::report::{f, Table};
-use crate::ExpCtx;
 use crate::table3::{scaled_baseline, OURS_WORKERS};
+use crate::ExpCtx;
 use inferturbo_core::baseline::estimate_full_inference;
 use inferturbo_core::infer::infer_mapreduce;
 use inferturbo_core::models::{GnnModel, PoolOp};
@@ -32,7 +32,11 @@ pub fn run(ctx: &ExpCtx) {
             t.rowv(vec![
                 name.into(),
                 hops.to_string(),
-                if est.oom { "-".into() } else { f(est.wall_secs) },
+                if est.oom {
+                    "-".into()
+                } else {
+                    f(est.wall_secs)
+                },
                 if est.oom {
                     "-".into()
                 } else {
@@ -44,20 +48,15 @@ pub fn run(ctx: &ExpCtx) {
         let mut mr_spec = ctx.mr_spec(OURS_WORKERS);
         mr_spec.phase_overhead_secs = 0.5;
         let ours = infer_mapreduce(&model, &d.graph, mr_spec, StrategyConfig::all())
-        .expect("mr inference");
+            .expect("mr inference");
         t.rowv(vec![
             "ours (On-MR)".into(),
             hops.to_string(),
             f(ours.report.total_wall_secs()),
             f(ours.report.resource_cpu_min()),
-            format!(
-                "visits {:.2e}",
-                (d.graph.n_nodes() * hops) as f64
-            ),
+            format!("visits {:.2e}", (d.graph.n_nodes() * hops) as f64),
         ]);
     }
     t.print();
-    println!(
-        "shape check: baseline time grows ~exponentially in hops; ours grows linearly.\n"
-    );
+    println!("shape check: baseline time grows ~exponentially in hops; ours grows linearly.\n");
 }

@@ -25,9 +25,5 @@ pub fn strategy_model(feat_dim: usize) -> GnnModel {
 
 /// Per-worker busy seconds of the whole run, from a run report.
 pub fn worker_busy_secs(report: &inferturbo_cluster::RunReport) -> Vec<f64> {
-    report
-        .worker_totals()
-        .iter()
-        .map(|t| t.busy_secs)
-        .collect()
+    report.worker_totals().iter().map(|t| t.busy_secs).collect()
 }

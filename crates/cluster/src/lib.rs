@@ -24,5 +24,5 @@
 pub mod metrics;
 pub mod spec;
 
-pub use metrics::{PhaseReport, RunReport, WorkerPhase};
+pub use metrics::{MessagePlaneBytes, PhaseReport, RunReport, WorkerPhase};
 pub use spec::ClusterSpec;

@@ -65,8 +65,7 @@ impl PhaseReport {
         let worker_secs: Vec<f64> = per_worker
             .iter()
             .map(|wp| {
-                let compute =
-                    wp.flops / (spec.cpus_per_worker as f64 * spec.flops_per_cpu);
+                let compute = wp.flops / (spec.cpus_per_worker as f64 * spec.flops_per_cpu);
                 let comm = wp.bytes_in.max(wp.bytes_out) as f64 / spec.bandwidth_bytes;
                 compute + comm
             })
@@ -91,11 +90,37 @@ impl PhaseReport {
     }
 }
 
+/// Message payload bytes split by plane — the paper's headline shuffle
+/// metric. `columnar` counts fixed-width `f32` rows moved through the
+/// zero-copy message plane (after sender-side fusion, when active);
+/// `legacy` counts per-object typed messages. Unlike `bytes_out`, which
+/// only bills network crossings, these count **all** message traffic
+/// (local deliveries included): the O(E·d) → O(V·d) claim of fused
+/// scatter-aggregation is about message volume, not placement.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MessagePlaneBytes {
+    pub columnar: u64,
+    pub legacy: u64,
+}
+
+impl MessagePlaneBytes {
+    pub fn total(&self) -> u64 {
+        self.columnar + self.legacy
+    }
+
+    pub fn add(&mut self, other: MessagePlaneBytes) {
+        self.columnar += other.columnar;
+        self.legacy += other.legacy;
+    }
+}
+
 /// A complete engine run: a sequence of phases on one cluster spec.
 #[derive(Debug, Clone)]
 pub struct RunReport {
     pub spec: ClusterSpec,
     pub phases: Vec<PhaseReport>,
+    /// Whole-run message volume by plane (see [`MessagePlaneBytes`]).
+    pub message_bytes: MessagePlaneBytes,
 }
 
 impl RunReport {
@@ -103,6 +128,7 @@ impl RunReport {
         RunReport {
             spec,
             phases: Vec::new(),
+            message_bytes: MessagePlaneBytes::default(),
         }
     }
 

@@ -397,8 +397,14 @@ mod tests {
     fn option_roundtrip() {
         let some: Option<Vec<f32>> = Some(vec![1.5, -2.5]);
         let none: Option<Vec<f32>> = None;
-        assert_eq!(Option::<Vec<f32>>::from_bytes(&some.to_bytes()).unwrap(), some);
-        assert_eq!(Option::<Vec<f32>>::from_bytes(&none.to_bytes()).unwrap(), none);
+        assert_eq!(
+            Option::<Vec<f32>>::from_bytes(&some.to_bytes()).unwrap(),
+            some
+        );
+        assert_eq!(
+            Option::<Vec<f32>>::from_bytes(&none.to_bytes()).unwrap(),
+            none
+        );
         assert!(Option::<Vec<f32>>::from_bytes(&[7u8]).is_err());
     }
 

@@ -34,10 +34,7 @@ pub enum Error {
     /// Shape mismatch in a tensor operation.
     ShapeMismatch(String),
     /// An engine phase failed; wraps the phase name and inner error.
-    Phase {
-        phase: String,
-        source: Box<Error>,
-    },
+    Phase { phase: String, source: Box<Error> },
     /// Catch-all for I/O style failures in the harness.
     Io(String),
 }

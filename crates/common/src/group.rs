@@ -24,20 +24,38 @@
 /// callers index billions of edges at most per partition, and halving the
 /// offset width halves the footprint of the hottest side tables.
 pub fn group_by_key(keys: &[u32], n_buckets: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut order = Vec::new();
+    let mut offsets = Vec::new();
+    group_by_key_into(keys, n_buckets, &mut order, &mut offsets);
+    (order, offsets)
+}
+
+/// [`group_by_key`] into caller-provided buffers, so hot paths (the
+/// per-call segment kernels, the inbox seal) can reuse their grouping
+/// scratch instead of re-allocating every call. Buffers are cleared and
+/// resized as needed; capacity is kept.
+pub fn group_by_key_into(
+    keys: &[u32],
+    n_buckets: usize,
+    order: &mut Vec<u32>,
+    offsets: &mut Vec<u32>,
+) {
     // u32 counts wrap silently in release; fail loudly instead.
     assert!(
         keys.len() <= u32::MAX as usize,
         "group_by_key overflow: {} keys",
         keys.len()
     );
-    let mut offsets = vec![0u32; n_buckets + 1];
+    offsets.clear();
+    offsets.resize(n_buckets + 1, 0u32);
     for &k in keys {
         offsets[k as usize + 1] += 1;
     }
     for i in 0..n_buckets {
         offsets[i + 1] += offsets[i];
     }
-    let mut order = vec![0u32; keys.len()];
+    order.clear();
+    order.resize(keys.len(), 0u32);
     for (i, &k) in keys.iter().enumerate() {
         let slot = offsets[k as usize] as usize;
         order[slot] = i as u32;
@@ -45,7 +63,6 @@ pub fn group_by_key(keys: &[u32], n_buckets: usize) -> (Vec<u32>, Vec<u32>) {
     }
     offsets.copy_within(0..n_buckets, 1);
     offsets[0] = 0;
-    (order, offsets)
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ pub mod group;
 pub mod hash;
 pub mod par;
 pub mod rng;
+pub mod rows;
 pub mod stats;
 
 pub use codec::{Decode, Encode, WireReader, WireWriter};
@@ -20,3 +21,4 @@ pub use error::{Error, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use par::{par_chunks_mut, par_map, par_map_workers, Parallelism};
 pub use rng::{SplitMix64, Xoshiro256};
+pub use rows::{FusedAggregator, MessageLayout};

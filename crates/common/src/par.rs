@@ -126,7 +126,11 @@ where
     let n = items.len();
     let threads = Parallelism::get().min(n);
     if threads <= 1 {
-        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
     }
     let chunk = n.div_ceil(threads);
     let mut iter = items.into_iter();
@@ -185,7 +189,7 @@ where
 {
     assert!(chunk_len > 0, "chunk_len must be positive");
     let chunks: Vec<&mut [T]> = data.chunks_mut(chunk_len).collect();
-    par_map(chunks, |i, c| f(i, c));
+    par_map(chunks, f);
 }
 
 #[cfg(test)]
@@ -204,7 +208,9 @@ mod tests {
     #[test]
     fn par_map_serial_budget_runs_inline() {
         let tid = std::thread::current().id();
-        let ids = Parallelism::with(1, || par_map(vec![(); 8], |_, _| std::thread::current().id()));
+        let ids = Parallelism::with(1, || {
+            par_map(vec![(); 8], |_, _| std::thread::current().id())
+        });
         assert!(ids.iter().all(|&id| id == tid));
     }
 

@@ -1,0 +1,531 @@
+//! The columnar message plane: flat `f32` row buffers shared by the Pregel
+//! and MapReduce shuffles.
+//!
+//! Most GNN traffic is fixed-width: a layer's `apply_edge` output is always
+//! `msg_dim` floats. Boxing each such row in a per-message heap object (a
+//! `Vec<f32>` inside an enum) costs one allocation per edge per layer —
+//! exactly the overhead the paper's shuffle-bound analysis says dominates
+//! full-graph inference. This module provides the allocation-free
+//! alternative: rows live contiguously in [`RowBlock`]s, move between
+//! workers as flat `memcpy`s, and — when the step's aggregator is
+//! associative — are **fused** into per-destination accumulator rows at the
+//! sender ([`FusedSlotShard`]), shrinking shuffle volume and peak memory
+//! from O(E·d) to O(V·d).
+//!
+//! # Determinism contract
+//!
+//! The plane follows `crate::par`'s rules exactly:
+//!
+//! - [`RowArena::seal`] scatters shards in ascending sender order, each
+//!   shard in emission order — the delivery order of a serial sender loop;
+//! - [`FusedSlotShard`] folds a sender's rows per destination slot in
+//!   emission order with **copy-on-first** semantics (the first row is
+//!   copied, not folded into an identity), so a fused partial is bit-equal
+//!   to the fold the legacy per-message combiner would have produced;
+//! - the destination merge (see the Pregel engine) folds sender partials
+//!   per slot in ascending sender order, again copy-on-first.
+//!
+//! Together these make the fused path bit-identical to the legacy
+//! materialize-then-combine path for every worker and thread count.
+
+use crate::codec::varint_len;
+use crate::FxHashMap;
+
+/// Wire length of one columnar row record's payload, shared by both
+/// engines so their `message_bytes` accounting stays directly comparable:
+/// framed like a legacy raw-embedding message (`tag + varint(dim) +
+/// dim·f32`), plus a fold-count varint when the row is a fused partial.
+/// Callers add their own addressing (destination varint, shuffle record
+/// overhead).
+pub fn row_payload_len(dim: usize, count: Option<u32>) -> usize {
+    1 + varint_len(dim as u64) + dim * 4 + count.map_or(0, |c| varint_len(c as u64))
+}
+
+/// Declares that a step's messages are fixed-width `f32` rows. A vertex
+/// program (or batch kernel) returning one of these opts the step into the
+/// columnar plane; variable-width messages (broadcast refs, control
+/// records) keep riding the legacy typed plane alongside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageLayout {
+    /// Row width in `f32` lanes. Must match every row sent that step.
+    pub dim: usize,
+}
+
+/// A commutative + associative lane-wise fold over fixed-width rows — the
+/// [`Combiner`](../../inferturbo_pregel/vertex/trait.Combiner.html) trait
+/// generalised to the columnar plane. When a step provides one, the engine
+/// fuses gather into scatter: senders accumulate rows per destination
+/// instead of materialising one row per edge.
+///
+/// Implementations must be pure lane-wise folds (`acc[i] ⊕= row[i]`): the
+/// engine relies on fold order per lane being the only source of float
+/// variation, and pins that order via the determinism contract above.
+pub trait FusedAggregator: Send + Sync {
+    /// The identity element accumulator lanes are pre-filled with (e.g.
+    /// `0.0` for sum, `-inf` for max). Because accumulation is
+    /// copy-on-first, the identity never reaches results — it only fills
+    /// slots that receive no messages, which consumers detect via a zero
+    /// count.
+    fn identity(&self) -> f32;
+
+    /// Fold `row` into `acc` lane-wise. `acc.len() == row.len()`.
+    fn accumulate(&self, acc: &mut [f32], row: &[f32]);
+}
+
+/// A flat row-major spool of fixed-width rows — the storage unit of the
+/// columnar plane. Pushing appends `dim` floats; no per-row allocation.
+#[derive(Debug, Clone, Default)]
+pub struct RowBlock {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl RowBlock {
+    pub fn new(dim: usize) -> Self {
+        RowBlock {
+            dim,
+            data: Vec::new(),
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn push_row(&mut self, row: &[f32]) {
+        debug_assert_eq!(row.len(), self.dim, "row width mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Append every row of `other` in order — one flat `memcpy`, the
+    /// barrier-merge fast path.
+    pub fn append(&mut self, other: &RowBlock) {
+        debug_assert_eq!(self.dim, other.dim, "append width mismatch");
+        self.data.extend_from_slice(&other.data);
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+/// One sender's columnar outbox shard for one destination worker:
+/// destination slots plus their rows, in emission order.
+#[derive(Debug, Clone)]
+pub struct RowShard {
+    pub slots: Vec<u32>,
+    pub rows: RowBlock,
+}
+
+impl RowShard {
+    pub fn new(dim: usize) -> Self {
+        RowShard {
+            slots: Vec::new(),
+            rows: RowBlock::new(dim),
+        }
+    }
+
+    pub fn push(&mut self, slot: u32, row: &[f32]) {
+        self.slots.push(slot);
+        self.rows.push_row(row);
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// A destination worker's sealed columnar inbox: every pending row in one
+/// flat buffer, slot `s`'s rows at row indices `offsets[s]..offsets[s+1]`
+/// in delivery order. The row analogue of the Pregel `InboxArena`.
+#[derive(Debug, Clone)]
+pub struct RowArena {
+    dim: usize,
+    data: Vec<f32>,
+    /// Per-slot row ranges; empty until the first seal.
+    offsets: Vec<u32>,
+}
+
+impl RowArena {
+    pub fn empty(dim: usize) -> Self {
+        RowArena {
+            dim,
+            data: Vec::new(),
+            offsets: Vec::new(),
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total rows in the arena.
+    pub fn n_rows(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// Resident bytes of the arena (rows + offsets).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.data.len() * 4 + self.offsets.len() * 4) as u64
+    }
+
+    /// Number of rows pending for `slot`. Slots past the sealed range —
+    /// vertices added after the last superstep — have no rows yet.
+    pub fn count(&self, slot: usize) -> usize {
+        if slot + 1 >= self.offsets.len() {
+            0
+        } else {
+            (self.offsets[slot + 1] - self.offsets[slot]) as usize
+        }
+    }
+
+    /// Rows pending for `slot`, flat (`count(slot) * dim` floats), in
+    /// delivery order.
+    pub fn rows(&self, slot: usize) -> &[f32] {
+        if slot + 1 >= self.offsets.len() {
+            &[]
+        } else {
+            let lo = self.offsets[slot] as usize * self.dim;
+            let hi = self.offsets[slot + 1] as usize * self.dim;
+            &self.data[lo..hi]
+        }
+    }
+
+    /// Build the arena from per-sender shards. Shards are scattered in
+    /// ascending sender order and each shard in emission order,
+    /// reproducing exactly the delivery order of a serial sender loop.
+    pub fn seal(dim: usize, n_slots: usize, shards: &[RowShard]) -> Self {
+        let total: usize = shards.iter().map(RowShard::len).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "row arena overflow: {total} rows for one worker"
+        );
+        let mut offsets = vec![0u32; n_slots + 1];
+        for sh in shards {
+            for &s in &sh.slots {
+                offsets[s as usize + 1] += 1;
+            }
+        }
+        for i in 0..n_slots {
+            offsets[i + 1] += offsets[i];
+        }
+        debug_assert_eq!(offsets[n_slots] as usize, total);
+        let mut data = vec![0.0f32; total * dim];
+        // `offsets` doubles as the scatter cursor (see `crate::group`).
+        for sh in shards {
+            for (i, &s) in sh.slots.iter().enumerate() {
+                let at = offsets[s as usize] as usize;
+                data[at * dim..(at + 1) * dim].copy_from_slice(sh.rows.row(i));
+                offsets[s as usize] += 1;
+            }
+        }
+        offsets.copy_within(0..n_slots, 1);
+        offsets[0] = 0;
+        RowArena { dim, data, offsets }
+    }
+}
+
+/// One sender's **fused** outbox shard for one destination worker: instead
+/// of one row per message, one accumulator row per destination slot the
+/// sender touched. The dense `slot → row` index trades O(n_slots) memory
+/// for branch-free lookups — destination partitions are `V / workers`
+/// slots, far below the hash-map's constant factors.
+///
+/// Accumulation is copy-on-first: the first row for a slot is copied
+/// verbatim, later rows fold through the [`FusedAggregator`]. `counts`
+/// tracks the number of raw messages folded per touched slot (mean
+/// normalisation reads it); `keys` remembers first-touch order, which is
+/// the shard's flush/merge order.
+pub struct FusedSlotShard {
+    dim: usize,
+    /// slot → index into `keys`/`counts`/`rows`; `u32::MAX` = untouched.
+    index: Vec<u32>,
+    pub keys: Vec<u32>,
+    pub counts: Vec<u32>,
+    pub rows: RowBlock,
+}
+
+impl FusedSlotShard {
+    pub fn new(dim: usize, n_slots: usize) -> Self {
+        FusedSlotShard {
+            dim,
+            index: vec![u32::MAX; n_slots],
+            keys: Vec::new(),
+            counts: Vec::new(),
+            rows: RowBlock::new(dim),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Fold `row` (carrying `count` raw messages) into slot's accumulator.
+    /// Returns `true` when this was the slot's first touch (callers track
+    /// per-slot side data, e.g. the original destination id, on it).
+    pub fn accumulate(
+        &mut self,
+        slot: u32,
+        row: &[f32],
+        count: u32,
+        agg: &dyn FusedAggregator,
+    ) -> bool {
+        debug_assert_eq!(row.len(), self.dim);
+        let at = self.index[slot as usize];
+        if at == u32::MAX {
+            self.index[slot as usize] = self.keys.len() as u32;
+            self.keys.push(slot);
+            self.counts.push(count);
+            self.rows.push_row(row);
+            true
+        } else {
+            agg.accumulate(self.rows.row_mut(at as usize), row);
+            self.counts[at as usize] += count;
+            false
+        }
+    }
+}
+
+/// A destination worker's merged fused inbox: one accumulator row per slot
+/// (identity-filled), `counts[s]` raw messages folded into slot `s` (0 =
+/// no messages). O(V·d) resident regardless of edge count.
+#[derive(Debug, Clone)]
+pub struct FusedRows {
+    dim: usize,
+    pub acc: Vec<f32>,
+    pub counts: Vec<u32>,
+}
+
+impl FusedRows {
+    pub fn empty(dim: usize) -> Self {
+        FusedRows {
+            dim,
+            acc: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Resident bytes (accumulators + counts).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.acc.len() * 4 + self.counts.len() * 4) as u64
+    }
+
+    /// Raw messages folded into `slot` (0 for untouched or out-of-range
+    /// slots).
+    pub fn count(&self, slot: usize) -> u32 {
+        self.counts.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Accumulator row of `slot`; empty slice for out-of-range slots
+    /// (vertices added after the merge), whose count is 0.
+    pub fn row(&self, slot: usize) -> &[f32] {
+        let lo = slot * self.dim;
+        if lo + self.dim > self.acc.len() {
+            &[]
+        } else {
+            &self.acc[lo..lo + self.dim]
+        }
+    }
+
+    /// Merge per-sender fused shards into one dense accumulator set, in
+    /// ascending sender order, each shard in first-touch order — the exact
+    /// order the legacy combiner path delivers partials, so results are
+    /// bit-identical to it. Copy-on-first: a slot's first partial is
+    /// copied, later partials fold through `agg`.
+    pub fn merge(
+        dim: usize,
+        n_slots: usize,
+        shards: &[FusedSlotShard],
+        agg: &dyn FusedAggregator,
+    ) -> Self {
+        let mut out = FusedRows {
+            dim,
+            acc: vec![agg.identity(); n_slots * dim],
+            counts: vec![0u32; n_slots],
+        };
+        for sh in shards {
+            debug_assert_eq!(sh.dim, dim);
+            for (i, &slot) in sh.keys.iter().enumerate() {
+                let s = slot as usize;
+                let dst = &mut out.acc[s * dim..(s + 1) * dim];
+                if out.counts[s] == 0 {
+                    dst.copy_from_slice(sh.rows.row(i));
+                } else {
+                    agg.accumulate(dst, sh.rows.row(i));
+                }
+                out.counts[s] += sh.counts[i];
+            }
+        }
+        out
+    }
+}
+
+/// A sender-side fused spool keyed by sparse `u64` keys — the batch
+/// engine's analogue of [`FusedSlotShard`] (shuffle keys are wire ids, not
+/// dense slots, so the index is a hash map).
+pub struct FusedKeyShard {
+    dim: usize,
+    index: FxHashMap<u64, u32>,
+    pub keys: Vec<u64>,
+    pub counts: Vec<u32>,
+    pub rows: RowBlock,
+}
+
+impl FusedKeyShard {
+    pub fn new(dim: usize) -> Self {
+        FusedKeyShard {
+            dim,
+            index: FxHashMap::default(),
+            keys: Vec::new(),
+            counts: Vec::new(),
+            rows: RowBlock::new(dim),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    pub fn accumulate(&mut self, key: u64, row: &[f32], count: u32, agg: &dyn FusedAggregator) {
+        debug_assert_eq!(row.len(), self.dim);
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let at = *e.get() as usize;
+                agg.accumulate(self.rows.row_mut(at), row);
+                self.counts[at] += count;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.keys.len() as u32);
+                self.keys.push(key);
+                self.counts.push(count);
+                self.rows.push_row(row);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sum;
+    impl FusedAggregator for Sum {
+        fn identity(&self) -> f32 {
+            0.0
+        }
+        fn accumulate(&self, acc: &mut [f32], row: &[f32]) {
+            for (a, r) in acc.iter_mut().zip(row) {
+                *a += r;
+            }
+        }
+    }
+
+    #[test]
+    fn row_block_round_trips_rows() {
+        let mut b = RowBlock::new(3);
+        b.push_row(&[1.0, 2.0, 3.0]);
+        b.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(1), &[4.0, 5.0, 6.0]);
+        b.row_mut(0)[2] = 9.0;
+        assert_eq!(b.data(), &[1.0, 2.0, 9.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn arena_seal_matches_serial_delivery_order() {
+        // Sender 0 emits (slot1, a), (slot0, b); sender 1 emits (slot1, c).
+        let mut s0 = RowShard::new(2);
+        s0.push(1, &[1.0, 1.0]);
+        s0.push(0, &[2.0, 2.0]);
+        let mut s1 = RowShard::new(2);
+        s1.push(1, &[3.0, 3.0]);
+        let arena = RowArena::seal(2, 3, &[s0, s1]);
+        assert_eq!(arena.count(0), 1);
+        assert_eq!(arena.rows(0), &[2.0, 2.0]);
+        // slot 1: sender 0's row before sender 1's
+        assert_eq!(arena.count(1), 2);
+        assert_eq!(arena.rows(1), &[1.0, 1.0, 3.0, 3.0]);
+        assert_eq!(arena.count(2), 0);
+        assert_eq!(arena.rows(2), &[] as &[f32]);
+        // slots beyond the sealed range read as empty
+        assert_eq!(arena.count(7), 0);
+    }
+
+    #[test]
+    fn fused_shard_copy_on_first_then_folds() {
+        let mut sh = FusedSlotShard::new(2, 4);
+        sh.accumulate(2, &[1.0, -0.0], 1, &Sum);
+        // first touch copies bit-exactly, including -0.0
+        assert_eq!(sh.rows.row(0)[1].to_bits(), (-0.0f32).to_bits());
+        sh.accumulate(2, &[2.0, 1.0], 1, &Sum);
+        sh.accumulate(0, &[5.0, 5.0], 3, &Sum);
+        assert_eq!(sh.keys, vec![2, 0]); // first-touch order
+        assert_eq!(sh.counts, vec![2, 3]);
+        assert_eq!(sh.rows.row(0), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn fused_merge_orders_senders_and_sums_counts() {
+        let mut s0 = FusedSlotShard::new(1, 3);
+        s0.accumulate(1, &[1.0], 2, &Sum);
+        let mut s1 = FusedSlotShard::new(1, 3);
+        s1.accumulate(1, &[10.0], 1, &Sum);
+        s1.accumulate(0, &[7.0], 1, &Sum);
+        let merged = FusedRows::merge(1, 3, &[s0, s1], &Sum);
+        assert_eq!(merged.row(1), &[11.0]);
+        assert_eq!(merged.count(1), 3);
+        assert_eq!(merged.row(0), &[7.0]);
+        assert_eq!(merged.count(0), 1);
+        assert_eq!(merged.count(2), 0);
+        // out-of-range slots (vertices added later) are empty
+        assert_eq!(merged.count(9), 0);
+        assert_eq!(merged.row(9), &[] as &[f32]);
+    }
+
+    #[test]
+    fn fused_key_shard_folds_sparse_keys() {
+        let mut sh = FusedKeyShard::new(2);
+        sh.accumulate(1 << 40, &[1.0, 2.0], 1, &Sum);
+        sh.accumulate(7, &[5.0, 5.0], 1, &Sum);
+        sh.accumulate(1 << 40, &[1.0, 1.0], 2, &Sum);
+        assert_eq!(sh.keys, vec![1 << 40, 7]);
+        assert_eq!(sh.counts, vec![3, 1]);
+        assert_eq!(sh.rows.row(0), &[2.0, 3.0]);
+    }
+}

@@ -75,13 +75,7 @@ pub fn predict_with_sampling(
     let mut out = Vec::with_capacity(targets.len());
     for chunk in targets.chunks(batch_size.max(1)) {
         let mut sample_rng = rng.fork(chunk[0] as u64 + 1);
-        let sub = Subgraph::extract(
-            &in_csr,
-            chunk,
-            k,
-            fanout,
-            fanout.map(|_| &mut sample_rng),
-        );
+        let sub = Subgraph::extract(&in_csr, chunk, k, fanout, fanout.map(|_| &mut sample_rng));
         let batch = SubgraphBatch::from_subgraph(graph, &sub, &in_deg, &out_deg);
         let mut tape = Tape::new();
         let fwd = model.forward_tape(&mut tape, &batch, false);
@@ -247,11 +241,9 @@ pub fn estimate_full_inference(
     // Graph-store egress bottleneck: all fetched bytes leave the store
     // fleet's NICs.
     let total_bytes: f64 = bytes_per_root.iter().sum();
-    let store_secs =
-        total_bytes / (cfg.store_workers.max(1) as f64 * cfg.spec.bandwidth_bytes);
+    let store_secs = total_bytes / (cfg.store_workers.max(1) as f64 * cfg.spec.bandwidth_bytes);
     let wall_secs = phase_wall.max(store_secs);
-    let resource_cpu_min =
-        wall_secs * cfg.spec.total_cpus() as f64 / 60.0;
+    let resource_cpu_min = wall_secs * cfg.spec.total_cpus() as f64 / 60.0;
     let oom = (peak_batch as u64) > cfg.spec.memory_bytes;
 
     BaselineEstimate {
@@ -322,11 +314,7 @@ mod tests {
         let m = GnnModel::sage(6, 8, 3, 3, false, PoolOp::Mean, 1);
         let mut last = 0.0;
         for hops in 1..=3 {
-            let est = estimate_full_inference(
-                &m,
-                &g,
-                &BaselineConfig::traditional(hops, None),
-            );
+            let est = estimate_full_inference(&m, &g, &BaselineConfig::traditional(hops, None));
             assert!(
                 est.total_node_visits > last,
                 "visits must grow with hops: {last} -> {}",
@@ -345,8 +333,7 @@ mod tests {
         let g = graph();
         let m = GnnModel::sage(6, 8, 2, 3, false, PoolOp::Mean, 1);
         let full = estimate_full_inference(&m, &g, &BaselineConfig::traditional(2, None));
-        let capped =
-            estimate_full_inference(&m, &g, &BaselineConfig::traditional(2, Some(3)));
+        let capped = estimate_full_inference(&m, &g, &BaselineConfig::traditional(2, Some(3)));
         assert!(capped.total_node_visits < full.total_node_visits);
     }
 

@@ -203,9 +203,18 @@ impl Decode for GnnMessage {
     }
 }
 
-/// Element-wise fold used by pooled aggregates; shared by layer impls and
-/// the wire-level combiner so the two can never disagree.
-pub fn pooled_fold(op: crate::models::PoolOp, acc: &mut Vec<f32>, count: &mut u32, msg: &[f32], msg_count: u32) {
+/// Element-wise fold used by pooled aggregates; shared by layer impls,
+/// the wire-level combiner, and the fused row aggregator so the three can
+/// never disagree. The folds go through the 8-wide-unrolled row kernels
+/// (`row_axpy` / `row_max`), which are bit-identical to the scalar loops
+/// — lanes are independent.
+pub fn pooled_fold(
+    op: crate::models::PoolOp,
+    acc: &mut Vec<f32>,
+    count: &mut u32,
+    msg: &[f32],
+    msg_count: u32,
+) {
     use crate::models::PoolOp;
     if acc.is_empty() {
         acc.extend_from_slice(msg);
@@ -214,18 +223,8 @@ pub fn pooled_fold(op: crate::models::PoolOp, acc: &mut Vec<f32>, count: &mut u3
     }
     debug_assert_eq!(acc.len(), msg.len(), "pooled fold width mismatch");
     match op {
-        PoolOp::Sum | PoolOp::Mean => {
-            for (a, m) in acc.iter_mut().zip(msg) {
-                *a += m;
-            }
-        }
-        PoolOp::Max => {
-            for (a, m) in acc.iter_mut().zip(msg) {
-                if *m > *a {
-                    *a = *m;
-                }
-            }
-        }
+        PoolOp::Sum | PoolOp::Mean => inferturbo_tensor::row_axpy(acc, msg, 1.0),
+        PoolOp::Max => inferturbo_tensor::row_max(acc, msg),
     }
     *count += msg_count;
 }

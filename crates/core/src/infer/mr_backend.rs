@@ -14,13 +14,14 @@
 //! table group arrives before any of its node groups in the same round.
 
 use crate::gas::{EdgeCtx, GasLayer, GnnMessage, NodeCtx};
-use crate::models::gas_impl::combine_wire;
+use crate::models::gas_impl::{combine_wire, PoolRowAggregator};
 use crate::models::{GnnModel, PoolOp};
 use crate::strategy::{base_of, build_node_records, mirror_of, StrategyConfig, NODE_FLAG};
-use inferturbo_batch::{BatchEngine, KeyedData, PhaseCtx};
+use inferturbo_batch::{BatchEngine, KeyedData, PhaseCtx, RowSink, RowsView};
 use inferturbo_cluster::ClusterSpec;
 use inferturbo_common::codec::{Decode, Encode, WireReader, WireWriter};
 use inferturbo_common::hash::partition_of;
+use inferturbo_common::rows::FusedAggregator;
 use inferturbo_common::{Error, FxHashMap, Result};
 use inferturbo_graph::Graph;
 
@@ -173,13 +174,65 @@ fn scatter_records(
     }
 }
 
+/// Columnar scatter: like [`scatter_records`], but non-hub messages ride
+/// the batch engine's columnar plane as fixed-width rows (one `memcpy` per
+/// edge, fused into per-key partials at the sender when the layer's
+/// aggregate is associative). Hub broadcasts and their refs keep the
+/// legacy record plane — they are variable-width control traffic.
+#[allow(clippy::too_many_arguments)]
+fn scatter_rows(
+    model: &GnnModel,
+    strategy: &StrategyConfig,
+    bc_threshold: u32,
+    workers: usize,
+    layer_idx: usize,
+    wire: u64,
+    h: &[f32],
+    out_targets: &[u64],
+    out_deg: u32,
+    ctx: &mut PhaseCtx,
+    emit: &mut Vec<(u64, MrRecord)>,
+    sink: &mut RowSink<'_>,
+) {
+    if out_targets.is_empty() {
+        return;
+    }
+    let layer = model.layer_view(layer_idx);
+    let raw = layer.apply_edge(
+        h,
+        &EdgeCtx {
+            src_out_degree: out_deg,
+            edge_feat: &[],
+        },
+    );
+    ctx.add_flops(layer.flops_apply_edge());
+    let ann = layer.annotations();
+    if strategy.broadcast && ann.uniform_message && out_deg > bc_threshold {
+        let msg = layer.make_wire(raw, strategy.partial_gather);
+        for w in 0..workers {
+            emit.push((
+                w as u64,
+                MrRecord::Bcast {
+                    src: wire,
+                    msg: msg.clone(),
+                },
+            ));
+        }
+        for &t in out_targets {
+            emit.push((t, MrRecord::InMsg(GnnMessage::Ref(wire))));
+        }
+    } else {
+        for &t in out_targets {
+            sink.send_row(t, &raw);
+        }
+    }
+}
+
 /// Combiner over [`MrRecord`]s: folds `InMsg(Partial)` pairs, swaps the
 /// anchor when needed, and passes everything else through.
 fn combine_records(op: PoolOp, acc: &mut MrRecord, msg: MrRecord) -> Option<MrRecord> {
     match (&mut *acc, msg) {
-        (MrRecord::InMsg(a), MrRecord::InMsg(b)) => {
-            combine_wire(op, a, b).map(MrRecord::InMsg)
-        }
+        (MrRecord::InMsg(a), MrRecord::InMsg(b)) => combine_wire(op, a, b).map(MrRecord::InMsg),
         (anchor, msg @ MrRecord::InMsg(GnnMessage::Partial { .. })) => {
             Some(std::mem::replace(anchor, msg))
         }
@@ -187,7 +240,10 @@ fn combine_records(op: PoolOp, acc: &mut MrRecord, msg: MrRecord) -> Option<MrRe
     }
 }
 
-/// Run full-graph inference on the MapReduce backend.
+/// Run full-graph inference on the MapReduce backend. Fixed-width GNN
+/// messages ride the engine's columnar shuffle plane unless
+/// `strategy.columnar` turns it off (the legacy per-record path, kept for
+/// plane-equivalence testing).
 pub fn infer_mapreduce(
     model: &GnnModel,
     graph: &Graph,
@@ -200,6 +256,9 @@ pub fn infer_mapreduce(
             graph.node_feat_dim(),
             model.in_dim()
         )));
+    }
+    if strategy.columnar {
+        return infer_mapreduce_columnar(model, graph, spec, strategy);
     }
     let k = model.n_layers();
     let workers = spec.workers;
@@ -378,6 +437,15 @@ pub fn infer_mapreduce(
     }
 
     // --- harvest -------------------------------------------------------------
+    let logits = harvest_logits(graph, data)?;
+    Ok(InferenceOutput {
+        logits,
+        report: eng.into_report(),
+    })
+}
+
+/// Collect `Output` records from the final round into per-node logits.
+fn harvest_logits(graph: &Graph, data: KeyedData<MrRecord>) -> Result<Vec<Vec<f32>>> {
     let mut logits: Vec<Option<Vec<f32>>> = vec![None; graph.n_nodes()];
     for (key, rec) in data.into_map() {
         if key & NODE_FLAG == 0 || mirror_of(key) != 0 {
@@ -392,11 +460,207 @@ pub fn infer_mapreduce(
             }
         }
     }
-    let logits: Vec<Vec<f32>> = logits
+    logits
         .into_iter()
         .enumerate()
         .map(|(v, l)| l.ok_or_else(|| Error::InvalidGraph(format!("node {v} missing logits"))))
-        .collect::<Result<_>>()?;
+        .collect::<Result<_>>()
+}
+
+/// The columnar MapReduce driver: self-state, broadcast-table, and output
+/// records keep the legacy typed plane; every per-edge GNN message is a
+/// fixed-width row on the columnar plane, fused into per-key partial rows
+/// at the sender whenever the layer's aggregate is annotated
+/// commutative/associative (the paper's partial-aggregation strategy,
+/// executed without a single per-message heap object).
+fn infer_mapreduce_columnar(
+    model: &GnnModel,
+    graph: &Graph,
+    spec: ClusterSpec,
+    strategy: StrategyConfig,
+) -> Result<InferenceOutput> {
+    let k = model.n_layers();
+    let workers = spec.workers;
+    let bc_threshold = strategy
+        .threshold(graph.n_edges(), workers)
+        .max(workers as u32);
+    let mut eng = BatchEngine::new(spec).with_partition_fn(mr_partition);
+    let records = build_node_records(graph, &strategy, workers);
+    let inputs = eng.scatter_inputs(records);
+
+    // Fused row aggregation stands in for the wire combiner: same
+    // annotation rule, same fold kernels.
+    let row_aggs: Vec<Option<PoolRowAggregator>> = (0..k)
+        .map(|l| {
+            if strategy.partial_gather {
+                model.layer_view(l).row_aggregator()
+            } else {
+                None
+            }
+        })
+        .collect();
+    let agg_for = |l: usize| -> Option<&dyn FusedAggregator> {
+        row_aggs.get(l)?.as_ref().map(|a| a as &dyn FusedAggregator)
+    };
+    let dim_of = |l: usize| model.layer_view(l).annotations().msg_dim;
+
+    // --- Map: initial embeddings + layer-0 scatter ------------------------
+    let (mut data, mut rows) = eng.map_phase_rows(
+        "map-init",
+        &inputs,
+        dim_of(0),
+        |_w| {
+            |ctx: &mut PhaseCtx, rec: &crate::strategy::NodeRecord, sink: &mut RowSink<'_>| {
+                let mut emit = Vec::with_capacity(2);
+                // h⁰ = raw features (initialisation step)
+                let h0 = rec.raw.clone();
+                scatter_rows(
+                    model,
+                    &strategy,
+                    bc_threshold,
+                    workers,
+                    0,
+                    rec.wire,
+                    &h0,
+                    &rec.out_targets,
+                    rec.out_deg,
+                    ctx,
+                    &mut emit,
+                    sink,
+                );
+                emit.push((
+                    rec.wire,
+                    MrRecord::SelfState {
+                        h: h0,
+                        out_targets: rec.out_targets.clone(),
+                        in_deg: rec.in_deg,
+                        out_deg: rec.out_deg,
+                    },
+                ));
+                Ok(emit)
+            }
+        },
+        None,
+        agg_for(0),
+    )?;
+
+    // --- k reduce rounds ----------------------------------------------------
+    for r in 1..=k {
+        let layer_idx = r - 1;
+        let out_dim = if r == k { 0 } else { dim_of(r) };
+        // Each worker's kernel owns a broadcast table for refs arriving
+        // THIS round; reducers stream keys ascending, and bcast keys sort
+        // before node keys, so the table fills before any node group.
+        let make_reduce = |_w: usize| {
+            let mut table: FxHashMap<u64, GnnMessage> = FxHashMap::default();
+            move |ctx: &mut PhaseCtx,
+                  key: u64,
+                  values: Vec<MrRecord>,
+                  view: RowsView<'_>,
+                  sink: &mut RowSink<'_>|
+                  -> Result<Vec<(u64, MrRecord)>> {
+                if key & NODE_FLAG == 0 {
+                    // broadcast-table group for this worker
+                    table.clear();
+                    for v in values {
+                        if let MrRecord::Bcast { src, msg } = v {
+                            table.insert(src, msg);
+                        }
+                    }
+                    debug_assert!(view.is_empty(), "rows never target control keys");
+                    return Ok(Vec::new());
+                }
+                let layer = model.layer_view(layer_idx);
+                let mut agg = layer.init_agg();
+                let mut self_state: Option<(Vec<f32>, Vec<u64>, u32, u32)> = None;
+                // Columnar half first: partial rows fold with their counts.
+                let mut n_msgs = view.n_rows();
+                for i in 0..view.n_rows() {
+                    layer.gather_row(&mut agg, view.row(i), view.counts[i]);
+                }
+                for v in values {
+                    match v {
+                        MrRecord::SelfState {
+                            h,
+                            out_targets,
+                            in_deg,
+                            out_deg,
+                        } => self_state = Some((h, out_targets, in_deg, out_deg)),
+                        MrRecord::InMsg(m) => {
+                            n_msgs += 1;
+                            let lookup = |src: u64| table.get(&src).cloned();
+                            layer.gather_wire(&mut agg, m, &lookup)?;
+                        }
+                        other => {
+                            return Err(Error::InvalidGraph(format!(
+                                "unexpected record {other:?} at key {key}"
+                            )));
+                        }
+                    }
+                }
+                let Some((h, out_targets, in_deg, out_deg)) = self_state else {
+                    return Err(Error::InvalidGraph(format!(
+                        "node {key} lost its self-state record"
+                    )));
+                };
+                let gathered = agg.count() as usize;
+                let ctx_node = NodeCtx {
+                    id: key,
+                    state: &h,
+                    in_degree: in_deg,
+                    out_degree: out_deg,
+                };
+                let h_new = layer.apply_node(&ctx_node, agg);
+                ctx.add_flops(
+                    layer.flops_apply_node(gathered)
+                        + n_msgs as f64 * layer.flops_aggregate_per_message(),
+                );
+                let mut emit = Vec::with_capacity(2);
+                if r == k {
+                    ctx.add_flops(model.flops_head());
+                    emit.push((key, MrRecord::Output(model.apply_head(&h_new))));
+                } else {
+                    scatter_rows(
+                        model,
+                        &strategy,
+                        bc_threshold,
+                        workers,
+                        r,
+                        key,
+                        &h_new,
+                        &out_targets,
+                        out_deg,
+                        ctx,
+                        &mut emit,
+                        sink,
+                    );
+                    emit.push((
+                        key,
+                        MrRecord::SelfState {
+                            h: h_new,
+                            out_targets,
+                            in_deg,
+                            out_deg,
+                        },
+                    ));
+                }
+                Ok(emit)
+            }
+        };
+        let next_agg = if r == k { None } else { agg_for(r) };
+        (data, rows) = eng.reduce_phase_rows(
+            format!("reduce-{r}"),
+            data,
+            rows,
+            out_dim,
+            make_reduce,
+            None,
+            next_agg,
+        )?;
+    }
+    debug_assert!(rows.is_empty(), "last round emits no rows");
+
+    let logits = harvest_logits(graph, data)?;
     Ok(InferenceOutput {
         logits,
         report: eng.into_report(),

@@ -9,18 +9,30 @@
 //! - the prediction head is fused into the last superstep, exactly as the
 //!   paper attaches the "prediction slice" to the final apply.
 //!
-//! Strategy mapping: partial-gather rides the engine's sender-side
-//! combiner; broadcast rides the engine's broadcast tables; shadow-nodes
-//! arrive pre-applied in the [`crate::strategy::NodeRecord`]s.
+//! Strategy mapping: partial-gather rides the engine's fused
+//! scatter-aggregation on the columnar plane (or the sender-side combiner
+//! on the legacy plane); broadcast rides the engine's broadcast tables;
+//! shadow-nodes arrive pre-applied in the
+//! [`crate::strategy::NodeRecord`]s.
+//!
+//! Message placement: every GNN payload is a fixed-width `f32` row (a
+//! layer's `apply_edge` output), so scatter rides the engine's columnar
+//! plane — one `memcpy` per edge, no heap object per message. Broadcast
+//! refs are 8-byte variable-length control messages and keep the legacy
+//! typed plane; both halves of a vertex's inbox are folded by the same
+//! [`GasLayer`] kernels at gather.
 
 use crate::gas::{EdgeCtx, GasLayer, GnnMessage, NodeCtx};
-use crate::models::gas_impl::WireCombiner;
+use crate::models::gas_impl::{PoolRowAggregator, WireCombiner};
 use crate::models::GnnModel;
 use crate::strategy::{build_node_records, mirror_of, StrategyConfig};
 use inferturbo_cluster::ClusterSpec;
 use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
-use inferturbo_pregel::{Combiner, Outbox, PregelConfig, PregelEngine, VertexProgram};
+use inferturbo_pregel::{
+    Combiner, FusedAggregator, MessageLayout, Outbox, PregelConfig, PregelEngine, RowsIn,
+    VertexProgram,
+};
 
 use super::InferenceOutput;
 
@@ -40,8 +52,11 @@ pub struct GnnVertexProgram<'m> {
     strategy: StrategyConfig,
     /// Hub threshold for the broadcast strategy (logical out-degree).
     bc_threshold: u32,
-    /// Per-feeding-step combiners (index = superstep that emits).
+    /// Per-feeding-step combiners (index = superstep that emits; legacy
+    /// plane).
     combiners: Vec<Option<WireCombiner>>,
+    /// Per-feeding-step fused row aggregators (columnar plane).
+    row_aggs: Vec<Option<PoolRowAggregator>>,
     k: usize,
 }
 
@@ -65,18 +80,24 @@ impl<'m> GnnVertexProgram<'m> {
             },
         );
         out.add_flops(layer.flops_apply_edge());
-        let msg = layer.make_wire(raw, self.strategy.partial_gather);
         let ann = layer.annotations();
         if self.strategy.broadcast && ann.uniform_message && state.out_deg > self.bc_threshold {
+            // Hub path: one payload per worker on the legacy plane, one
+            // 8-byte ref per edge.
+            let msg = layer.make_wire(raw, self.strategy.partial_gather);
             out.broadcast(msg);
             for &t in &state.out_targets {
                 out.send(t, GnnMessage::Ref(vertex));
             }
+        } else if out.row_dim().is_some() {
+            // Columnar plane: the row is written once into flat buffers —
+            // no clone per edge, no enum on the hot path.
+            for &t in &state.out_targets {
+                out.send_row(t, &raw);
+            }
         } else {
-            let (last, rest) = state
-                .out_targets
-                .split_last()
-                .expect("non-empty targets");
+            let msg = layer.make_wire(raw, self.strategy.partial_gather);
+            let (last, rest) = state.out_targets.split_last().expect("non-empty targets");
             for &t in rest {
                 out.send(t, msg.clone());
             }
@@ -98,6 +119,27 @@ impl VertexProgram for GnnVertexProgram<'_> {
         broadcast_lookup: &dyn Fn(u64) -> Option<GnnMessage>,
         out: &mut Outbox<GnnMessage>,
     ) {
+        self.compute_columnar(
+            step,
+            vertex,
+            state,
+            RowsIn::None,
+            messages,
+            broadcast_lookup,
+            out,
+        );
+    }
+
+    fn compute_columnar(
+        &self,
+        step: usize,
+        vertex: u64,
+        state: &mut GnnVertexState,
+        rows: RowsIn<'_>,
+        messages: Vec<GnnMessage>,
+        broadcast_lookup: &dyn Fn(u64) -> Option<GnnMessage>,
+        out: &mut Outbox<GnnMessage>,
+    ) {
         if step == 0 {
             // Initialisation superstep: raw features become h⁰.
             state.h = state.raw.clone();
@@ -107,7 +149,8 @@ impl VertexProgram for GnnVertexProgram<'_> {
         debug_assert!(step <= self.k, "superstep beyond layer count");
         let layer = self.model.layer_view(step - 1);
         let mut agg = layer.init_agg();
-        let n_msgs = messages.len();
+        let n_msgs = messages.len() + rows.count();
+        layer.gather_rows(&mut agg, rows);
         for msg in messages {
             layer
                 .gather_wire(&mut agg, msg, broadcast_lookup)
@@ -122,8 +165,7 @@ impl VertexProgram for GnnVertexProgram<'_> {
         };
         state.h = layer.apply_node(&ctx, agg);
         out.add_flops(
-            layer.flops_apply_node(gathered)
-                + n_msgs as f64 * layer.flops_aggregate_per_message(),
+            layer.flops_apply_node(gathered) + n_msgs as f64 * layer.flops_aggregate_per_message(),
         );
         if step == self.k {
             state.logits = Some(self.model.apply_head(&state.h));
@@ -131,6 +173,30 @@ impl VertexProgram for GnnVertexProgram<'_> {
         } else {
             self.scatter(step, vertex, state, out);
         }
+    }
+
+    fn message_layout(&self, step: usize) -> Option<MessageLayout> {
+        // Messages emitted at step `s` belong to layer `s`; nothing is
+        // emitted at the final superstep. The layout applies regardless of
+        // pooling — even union-aggregated layers (GAT) ship fixed-width
+        // rows — only *fusion* additionally requires associativity.
+        if step < self.k {
+            Some(MessageLayout {
+                dim: self.model.layer_view(step).annotations().msg_dim,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn fused_aggregator(&self, step: usize) -> Option<&dyn FusedAggregator> {
+        if !self.strategy.partial_gather {
+            return None;
+        }
+        self.row_aggs
+            .get(step)?
+            .as_ref()
+            .map(|a| a as &dyn FusedAggregator)
     }
 
     fn combiner(&self, step: usize) -> Option<&dyn Combiner<GnnMessage>> {
@@ -169,6 +235,9 @@ pub fn infer_pregel(
     let combiners: Vec<Option<WireCombiner>> = (0..k)
         .map(|l| model.layer_view(l).wire_combiner())
         .collect();
+    let row_aggs: Vec<Option<PoolRowAggregator>> = (0..k)
+        .map(|l| model.layer_view(l).row_aggregator())
+        .collect();
     // Broadcast pays one payload per worker instead of one per out-edge,
     // so it only wins when out-degree exceeds the worker count; at the
     // paper's scale (λ·|E|/W = 100k ≫ W = 1000) the heuristic threshold
@@ -181,9 +250,11 @@ pub fn infer_pregel(
         strategy,
         bc_threshold,
         combiners,
+        row_aggs,
         k,
     };
-    let mut engine = PregelEngine::new(program, PregelConfig::new(spec));
+    let config = PregelConfig::new(spec).with_columnar(strategy.columnar);
+    let mut engine = PregelEngine::new(program, config);
     for rec in build_node_records(graph, &strategy, spec.workers) {
         engine.add_vertex(
             rec.wire,

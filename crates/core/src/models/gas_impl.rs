@@ -9,7 +9,8 @@
 use super::{matvec_acc, GnnModel, LayerKind, LayerParams, PoolOp};
 use crate::gas::{pooled_fold, AggState, EdgeCtx, GasLayer, GnnMessage, LayerAnnotations, NodeCtx};
 use inferturbo_common::{Error, Result};
-use inferturbo_pregel::Combiner;
+use inferturbo_pregel::{Combiner, FusedAggregator, RowsIn};
+use inferturbo_tensor::{row_axpy, row_max};
 
 /// GAT attention slope — fixed constant, must match the tape builder.
 pub const GAT_LEAKY_SLOPE: f32 = 0.2;
@@ -47,6 +48,63 @@ impl<'m> LayerView<'m> {
     /// its aggregate is commutative/associative.
     pub fn wire_combiner(&self) -> Option<WireCombiner> {
         self.pool_op().map(|op| WireCombiner { op })
+    }
+
+    /// Fused row aggregator for the columnar plane, if this layer's
+    /// aggregate is commutative/associative — the columnar counterpart of
+    /// [`LayerView::wire_combiner`], folding through the same kernels.
+    pub fn row_aggregator(&self) -> Option<PoolRowAggregator> {
+        self.pool_op().map(|op| PoolRowAggregator { op })
+    }
+
+    /// Fold one columnar row (a partial aggregate over `count` raw
+    /// messages, or a raw message when `count == 1`) into the gather
+    /// aggregate.
+    pub fn gather_row(&self, agg: &mut AggState, row: &[f32], count: u32) {
+        match (self.pool_op(), agg) {
+            (Some(op), AggState::Pooled { acc, count: c }) => pooled_fold(op, acc, c, row, count),
+            (None, AggState::Union { msgs }) => {
+                debug_assert_eq!(count, 1, "union layers never see partial rows");
+                msgs.push(row.to_vec());
+            }
+            _ => debug_assert!(false, "gather_row on mismatched AggState"),
+        }
+    }
+
+    /// Fold the columnar half of a vertex inbox into the gather aggregate:
+    /// materialized rows fold one by one in delivery order; a fused
+    /// accumulator merges as a single pre-reduced partial.
+    pub fn gather_rows(&self, agg: &mut AggState, rows: RowsIn<'_>) {
+        match rows {
+            RowsIn::None => {}
+            RowsIn::Rows { dim, data } => {
+                if dim > 0 {
+                    for chunk in data.chunks_exact(dim) {
+                        self.gather_row(agg, chunk, 1);
+                    }
+                }
+            }
+            RowsIn::Fused { acc, count, .. } => {
+                if count > 0 {
+                    // The common case: the engine's merged accumulator IS
+                    // the gather result — copy it straight into the empty
+                    // aggregate instead of round-tripping a partial.
+                    match (self.pool_op(), &mut *agg) {
+                        (Some(_), AggState::Pooled { acc: a, count: c }) if a.is_empty() => {
+                            a.extend_from_slice(acc);
+                            *c = count;
+                        }
+                        _ => self.merge_agg(
+                            agg,
+                            AggState::Pooled {
+                                acc: acc.to_vec(),
+                                count,
+                            },
+                        ),
+                    }
+                }
+            }
+        }
     }
 
     /// Wrap a raw `apply_edge` output for the wire. With partial-gather
@@ -116,9 +174,7 @@ impl GasLayer for LayerView<'_> {
 
     fn aggregate(&self, acc: &mut AggState, msg: Vec<f32>) {
         match (self.pool_op(), acc) {
-            (Some(op), AggState::Pooled { acc, count }) => {
-                pooled_fold(op, acc, count, &msg, 1)
-            }
+            (Some(op), AggState::Pooled { acc, count }) => pooled_fold(op, acc, count, &msg, 1),
             (None, AggState::Union { msgs }) => msgs.push(msg),
             _ => debug_assert!(false, "aggregate on mismatched AggState"),
         }
@@ -158,8 +214,7 @@ impl GasLayer for LayerView<'_> {
                 for v in &mut combined {
                     *v *= s_in;
                 }
-                let s_self =
-                    s_in / ((node.out_degree + 1) as f32).sqrt();
+                let s_self = s_in / ((node.out_degree + 1) as f32).sqrt();
                 for (c, &x) in combined.iter_mut().zip(node.state) {
                     *c += x * s_self;
                 }
@@ -299,6 +354,31 @@ impl GasLayer for LayerView<'_> {
     }
 }
 
+/// Fused row aggregator for pooled layers: lane-wise sum (sum/mean — the
+/// mean divides at `apply_node` using the engine-tracked count) or max,
+/// through the 8-wide-unrolled tensor kernels. Bit-identical to
+/// [`pooled_fold`]'s non-empty branch, which is what makes the engine's
+/// fused scatter-aggregation reproduce the legacy combiner path exactly.
+pub struct PoolRowAggregator {
+    pub op: PoolOp,
+}
+
+impl FusedAggregator for PoolRowAggregator {
+    fn identity(&self) -> f32 {
+        match self.op {
+            PoolOp::Sum | PoolOp::Mean => 0.0,
+            PoolOp::Max => f32::NEG_INFINITY,
+        }
+    }
+
+    fn accumulate(&self, acc: &mut [f32], row: &[f32]) {
+        match self.op {
+            PoolOp::Sum | PoolOp::Mean => row_axpy(acc, row, 1.0),
+            PoolOp::Max => row_max(acc, row),
+        }
+    }
+}
+
 /// Wire-level partial-gather combiner: folds `Partial` messages heading to
 /// the same destination; anything else overflows. If the held anchor is not
 /// a `Partial` but the incoming message is, they swap, so the anchor always
@@ -312,10 +392,7 @@ impl Combiner<GnnMessage> for WireCombiner {
         match (&mut *acc, msg) {
             (
                 GnnMessage::Partial { acc: a, count: c },
-                GnnMessage::Partial {
-                    acc: b,
-                    count: c2,
-                },
+                GnnMessage::Partial { acc: b, count: c2 },
             ) => {
                 pooled_fold(self.op, a, c, &b, c2);
                 None
@@ -403,10 +480,7 @@ mod tests {
         }
         layer.merge_agg(&mut p1, p2);
         match (&seq, &p1) {
-            (
-                AggState::Pooled { acc: a, count: c },
-                AggState::Pooled { acc: b, count: c2 },
-            ) => {
+            (AggState::Pooled { acc: a, count: c }, AggState::Pooled { acc: b, count: c2 }) => {
                 assert_eq!(c, c2);
                 for (x, y) in a.iter().zip(b) {
                     assert!((x - y).abs() < 1e-5);

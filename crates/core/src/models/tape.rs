@@ -152,11 +152,9 @@ impl GnnModel {
                     ));
                     let scaled = t.mul_col_broadcast(msgs, e_norm);
                     let agg = t.segment_sum(scaled, Rc::clone(&batch.dst_idx), n);
-                    let in_norm =
-                        t.leaf(Matrix::from_vec(n, 1, batch.node_in_norm.clone()));
+                    let in_norm = t.leaf(Matrix::from_vec(n, 1, batch.node_in_norm.clone()));
                     let aggn = t.mul_col_broadcast(agg, in_norm);
-                    let self_norm =
-                        t.leaf(Matrix::from_vec(n, 1, batch.node_self_norm.clone()));
+                    let self_norm = t.leaf(Matrix::from_vec(n, 1, batch.node_self_norm.clone()));
                     let selfn = t.mul_col_broadcast(h, self_norm);
                     let comb = t.add(aggn, selfn);
                     let z = t.matmul(comb, pv(lp.w));
@@ -261,10 +259,9 @@ mod tests {
         let fwd = model.forward_tape(&mut tape, &batch, false);
         let tape_logits = tape.value(fwd.logits);
         let pernode = pernode_logits(model, g);
-        for v in 0..g.n_nodes() {
-            for c in 0..model.classes() {
+        for (v, row) in pernode.iter().enumerate() {
+            for (c, &b) in row.iter().enumerate() {
                 let a = tape_logits.get(v, c);
-                let b = pernode[v][c];
                 assert!(
                     (a - b).abs() < 2e-3,
                     "node {v} class {c}: tape {a} vs per-node {b}"

@@ -36,6 +36,12 @@ pub struct StrategyConfig {
     /// Fixed threshold overriding the heuristic (used by the Fig. 12/13
     /// threshold sweeps).
     pub threshold_override: Option<u32>,
+    /// Route fixed-width GNN messages through the engines' columnar
+    /// zero-copy plane (default). Not a paper strategy but an engine
+    /// execution mode: disabling forces the legacy per-object message
+    /// path, which the equivalence suite uses to pin the planes against
+    /// each other.
+    pub columnar: bool,
 }
 
 impl Default for StrategyConfig {
@@ -45,7 +51,8 @@ impl Default for StrategyConfig {
 }
 
 impl StrategyConfig {
-    /// All strategies off (the experiments' "Base").
+    /// All strategies off (the experiments' "Base"). The columnar plane
+    /// stays on: it is an execution mode, not a traffic strategy.
     pub fn none() -> Self {
         StrategyConfig {
             partial_gather: false,
@@ -53,6 +60,7 @@ impl StrategyConfig {
             shadow_nodes: false,
             lambda: 0.1,
             threshold_override: None,
+            columnar: true,
         }
     }
 
@@ -64,6 +72,7 @@ impl StrategyConfig {
             shadow_nodes: true,
             lambda: 0.1,
             threshold_override: None,
+            columnar: true,
         }
     }
 
@@ -84,6 +93,11 @@ impl StrategyConfig {
 
     pub fn with_threshold(mut self, t: u32) -> Self {
         self.threshold_override = Some(t);
+        self
+    }
+
+    pub fn with_columnar(mut self, on: bool) -> Self {
+        self.columnar = on;
         self
     }
 

@@ -286,7 +286,10 @@ mod tests {
         )
         .unwrap();
         let after = evaluate(&m, &ds, Split::Test);
-        assert!(after > before, "micro-F1 should improve: {before} -> {after}");
+        assert!(
+            after > before,
+            "micro-F1 should improve: {before} -> {after}"
+        );
         assert!(after > 0.5, "micro-F1 too low: {after}");
     }
 

@@ -161,9 +161,9 @@ fn run_one<F: FnMut(&mut Bencher)>(target: Duration, samples: usize, label: &str
     };
     f(&mut b);
     match b.result {
-        Some((median_ns, iters, n)) => println!(
-            "{label:<44} median {median_ns:>12.0} ns/iter  ({n} samples x {iters} iters)"
-        ),
+        Some((median_ns, iters, n)) => {
+            println!("{label:<44} median {median_ns:>12.0} ns/iter  ({n} samples x {iters} iters)")
+        }
         None => println!("{label:<44} (no measurement: closure never called iter)"),
     }
 }

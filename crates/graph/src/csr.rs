@@ -58,7 +58,7 @@ impl Csr {
     /// Degree of `v` in this orientation.
     #[inline]
     pub fn degree(&self, v: u32) -> u32 {
-        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
     }
 
     /// Neighbour ids of `v`.

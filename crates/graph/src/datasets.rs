@@ -233,11 +233,7 @@ mod tests {
         let b = Dataset::products_like(3);
         assert_eq!(a.graph.src(), b.graph.src());
         assert_eq!(a.split.len(), b.split.len());
-        assert!(a
-            .split
-            .iter()
-            .zip(&b.split)
-            .all(|(x, y)| x == y));
+        assert!(a.split.iter().zip(&b.split).all(|(x, y)| x == y));
     }
 
     #[test]

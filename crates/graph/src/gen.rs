@@ -139,8 +139,7 @@ pub fn generate(cfg: &GenConfig) -> Graph {
         // pathological configs (1-node classes) by shifting.
         let mut tries = 0;
         while partner == hub && tries < 4 {
-            partner =
-                random_node_of_class(&mut edge_rng, cfg.n_nodes, cfg.classes, partner_class);
+            partner = random_node_of_class(&mut edge_rng, cfg.n_nodes, cfg.classes, partner_class);
             tries += 1;
         }
         if partner == hub {

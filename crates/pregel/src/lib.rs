@@ -25,4 +25,6 @@ pub mod engine;
 pub mod vertex;
 
 pub use engine::{PregelConfig, PregelEngine};
-pub use vertex::{ActivationPolicy, Combiner, Outbox, VertexProgram};
+pub use vertex::{
+    ActivationPolicy, Combiner, FusedAggregator, MessageLayout, Outbox, RowsIn, VertexProgram,
+};

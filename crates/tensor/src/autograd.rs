@@ -22,23 +22,76 @@ pub struct Var(usize);
 
 enum Op {
     Leaf,
-    MatMul { a: Var, b: Var },
-    AddBias { x: Var, bias: Var },
-    Add { a: Var, b: Var },
-    Sub { a: Var, b: Var },
-    MulElem { a: Var, b: Var },
-    MulColBroadcast { x: Var, w: Var },
-    Scale { x: Var, alpha: f32 },
-    Act { x: Var, act: Activation },
-    ConcatCols { a: Var, b: Var },
-    GatherRows { x: Var, idx: Rc<Vec<u32>> },
-    SegmentSum { x: Var, seg: Rc<Vec<u32>> },
-    SegmentMean { x: Var, seg: Rc<Vec<u32>> },
-    SegmentMax { x: Var, argmax: Vec<u32> },
-    SegmentSoftmax { x: Var, seg: Rc<Vec<u32>> },
-    HeadwiseDot { x: Var, a: Var, heads: usize },
-    MulHeadBroadcast { x: Var, alpha: Var, heads: usize },
-    HeadMean { x: Var, heads: usize },
+    MatMul {
+        a: Var,
+        b: Var,
+    },
+    AddBias {
+        x: Var,
+        bias: Var,
+    },
+    Add {
+        a: Var,
+        b: Var,
+    },
+    Sub {
+        a: Var,
+        b: Var,
+    },
+    MulElem {
+        a: Var,
+        b: Var,
+    },
+    MulColBroadcast {
+        x: Var,
+        w: Var,
+    },
+    Scale {
+        x: Var,
+        alpha: f32,
+    },
+    Act {
+        x: Var,
+        act: Activation,
+    },
+    ConcatCols {
+        a: Var,
+        b: Var,
+    },
+    GatherRows {
+        x: Var,
+        idx: Rc<Vec<u32>>,
+    },
+    SegmentSum {
+        x: Var,
+        seg: Rc<Vec<u32>>,
+    },
+    SegmentMean {
+        x: Var,
+        seg: Rc<Vec<u32>>,
+    },
+    SegmentMax {
+        x: Var,
+        argmax: Vec<u32>,
+    },
+    SegmentSoftmax {
+        x: Var,
+        seg: Rc<Vec<u32>>,
+    },
+    HeadwiseDot {
+        x: Var,
+        a: Var,
+        heads: usize,
+    },
+    MulHeadBroadcast {
+        x: Var,
+        alpha: Var,
+        heads: usize,
+    },
+    HeadMean {
+        x: Var,
+        heads: usize,
+    },
     SoftmaxXent {
         logits: Var,
         labels: Rc<Vec<u32>>,
@@ -300,12 +353,7 @@ impl Tape {
     /// `i`; rows with `mask[i] == false` contribute nothing (the mini-batch
     /// trainer masks out neighbourhood nodes that are not training targets).
     /// Returns a `1x1` loss node.
-    pub fn softmax_xent(
-        &mut self,
-        logits: Var,
-        labels: Rc<Vec<u32>>,
-        mask: Rc<Vec<bool>>,
-    ) -> Var {
+    pub fn softmax_xent(&mut self, logits: Var, labels: Rc<Vec<u32>>, mask: Rc<Vec<bool>>) -> Var {
         let l = self.value(logits);
         assert_eq!(l.rows(), labels.len(), "labels length");
         assert_eq!(l.rows(), mask.len(), "mask length");
@@ -735,8 +783,7 @@ mod tests {
                 let (_, l1) = build(&mut t1, plus);
                 let mut t2 = Tape::new();
                 let (_, l2) = build(&mut t2, minus);
-                let num =
-                    (t1.value(l1).get(0, 0) - t2.value(l2).get(0, 0)) / (2.0 * eps);
+                let num = (t1.value(l1).get(0, 0) - t2.value(l2).get(0, 0)) / (2.0 * eps);
                 let ana = analytic.get(r, c);
                 let denom = num.abs().max(ana.abs()).max(1e-2);
                 assert!(
@@ -763,7 +810,9 @@ mod tests {
     }
 
     fn test_param(rows: usize, cols: usize) -> Matrix {
-        Matrix::from_fn(rows, cols, |r, c| ((r * cols + c) as f32 * 0.31).cos() * 0.8)
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r * cols + c) as f32 * 0.31).cos() * 0.8
+        })
     }
 
     #[test]

@@ -23,6 +23,17 @@ const KC: usize = 256;
 /// before a kernel bothers spawning threads.
 const PAR_MIN_ELEMS: usize = 1 << 14;
 
+/// Minimum `rows × cols` input work before the segment kernels take the
+/// parallel-over-segments path. Much higher than [`PAR_MIN_ELEMS`]: the
+/// grouped path pays a counting sort over the rows *and* trades the serial
+/// sweep's streaming reads for random row gathers (~2.5× the per-element
+/// cost), so breakeven against a handful of real cores sits in the
+/// low-millions of elements regardless of host. Below the cutoff the
+/// serial loop wins (or ties) even with a full thread budget; above it
+/// the grouped path is bit-identical, so the cutoff only moves work
+/// between equivalent paths.
+const PAR_SEG_MIN_ELEMS: usize = 1 << 22;
+
 /// Dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
@@ -364,7 +375,11 @@ impl Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
         for (i, &src) in idx.iter().enumerate() {
             let src = src as usize;
-            assert!(src < self.rows, "gather_rows: index {src} out of {}", self.rows);
+            assert!(
+                src < self.rows,
+                "gather_rows: index {src} out of {}",
+                self.rows
+            );
             out.row_mut(i).copy_from_slice(self.row(src));
         }
         out
@@ -384,7 +399,10 @@ impl Matrix {
             let mut out = Matrix::zeros(n_segments, self.cols);
             for (i, &s) in seg.iter().enumerate() {
                 let s = s as usize;
-                assert!(s < n_segments, "segment_sum: segment {s} out of {n_segments}");
+                assert!(
+                    s < n_segments,
+                    "segment_sum: segment {s} out of {n_segments}"
+                );
                 let row = self.row(i);
                 let out_row = &mut out.data[s * self.cols..(s + 1) * self.cols];
                 for (o, x) in out_row.iter_mut().zip(row) {
@@ -399,30 +417,32 @@ impl Matrix {
                 "segment_sum: segment {s} out of {n_segments}"
             );
         }
-        let (order, offsets) = segment_order(seg, n_segments);
         let mut out = Matrix::zeros(n_segments, self.cols);
         let cols = self.cols;
-        let tasks = split_rows_by_segments(&mut out.data, &offsets, cols);
-        par_map(tasks, |_, (lo, hi, out_slice)| {
-            for s in lo..hi {
-                let out_row = &mut out_slice[(s - lo) * cols..(s - lo + 1) * cols];
-                for &i in &order[offsets[s] as usize..offsets[s + 1] as usize] {
-                    let row = self.row(i as usize);
-                    for (o, x) in out_row.iter_mut().zip(row) {
-                        *o += x;
+        with_segment_groups(seg, n_segments, |order, offsets| {
+            let tasks = split_rows_by_segments(&mut out.data, offsets, cols);
+            par_map(tasks, |_, (lo, hi, out_slice)| {
+                for s in lo..hi {
+                    let out_row = &mut out_slice[(s - lo) * cols..(s - lo + 1) * cols];
+                    for &i in &order[offsets[s] as usize..offsets[s + 1] as usize] {
+                        let row = self.row(i as usize);
+                        for (o, x) in out_row.iter_mut().zip(row) {
+                            *o += x;
+                        }
                     }
                 }
-            }
+            });
         });
         out
     }
 
     /// True when the input is too small (or the budget too low) for the
-    /// grouped parallel segment kernels to pay for their counting sort.
+    /// grouped parallel segment kernels to pay for their counting sort and
+    /// random row gathers (see [`PAR_SEG_MIN_ELEMS`]).
     fn use_serial_segments(&self, n_segments: usize) -> bool {
         Parallelism::get() <= 1
             || n_segments < 2
-            || self.rows * self.cols.max(1) < PAR_MIN_ELEMS
+            || self.rows * self.cols.max(1) < PAR_SEG_MIN_ELEMS
     }
 
     /// Segment mean; empty segments yield zero rows.
@@ -477,41 +497,42 @@ impl Matrix {
         for &s in seg {
             assert!((s as usize) < n_segments);
         }
-        let (order, offsets) = segment_order(seg, n_segments);
         let mut out = Matrix::full(n_segments, self.cols, f32::NEG_INFINITY);
         let mut argmax = vec![u32::MAX; n_segments * self.cols];
         let cols = self.cols;
-        let ranges = balanced_segment_ranges(&offsets, Parallelism::get());
-        // Hand each task its disjoint (out, argmax) row range.
-        let mut tasks = Vec::with_capacity(ranges.len());
-        let mut out_rest: &mut [f32] = &mut out.data;
-        let mut arg_rest: &mut [u32] = &mut argmax;
-        for (lo, hi) in ranges {
-            let (out_head, out_tail) = out_rest.split_at_mut((hi - lo) * cols);
-            let (arg_head, arg_tail) = arg_rest.split_at_mut((hi - lo) * cols);
-            tasks.push((lo, hi, out_head, arg_head));
-            out_rest = out_tail;
-            arg_rest = arg_tail;
-        }
-        par_map(tasks, |_, (lo, hi, out_slice, arg_slice)| {
-            for s in lo..hi {
-                let base = (s - lo) * cols;
-                for &i in &order[offsets[s] as usize..offsets[s + 1] as usize] {
-                    let row = self.row(i as usize);
-                    for (c, &x) in row.iter().enumerate() {
-                        let o = &mut out_slice[base + c];
-                        if x > *o {
-                            *o = x;
-                            arg_slice[base + c] = i;
+        with_segment_groups(seg, n_segments, |order, offsets| {
+            let ranges = balanced_segment_ranges(offsets, Parallelism::get());
+            // Hand each task its disjoint (out, argmax) row range.
+            let mut tasks = Vec::with_capacity(ranges.len());
+            let mut out_rest: &mut [f32] = &mut out.data;
+            let mut arg_rest: &mut [u32] = &mut argmax;
+            for (lo, hi) in ranges {
+                let (out_head, out_tail) = out_rest.split_at_mut((hi - lo) * cols);
+                let (arg_head, arg_tail) = arg_rest.split_at_mut((hi - lo) * cols);
+                tasks.push((lo, hi, out_head, arg_head));
+                out_rest = out_tail;
+                arg_rest = arg_tail;
+            }
+            par_map(tasks, |_, (lo, hi, out_slice, arg_slice)| {
+                for s in lo..hi {
+                    let base = (s - lo) * cols;
+                    for &i in &order[offsets[s] as usize..offsets[s + 1] as usize] {
+                        let row = self.row(i as usize);
+                        for (c, &x) in row.iter().enumerate() {
+                            let o = &mut out_slice[base + c];
+                            if x > *o {
+                                *o = x;
+                                arg_slice[base + c] = i;
+                            }
+                        }
+                    }
+                    for v in &mut out_slice[base..base + cols] {
+                        if *v == f32::NEG_INFINITY {
+                            *v = 0.0;
                         }
                     }
                 }
-                for v in &mut out_slice[base..base + cols] {
-                    if *v == f32::NEG_INFINITY {
-                        *v = 0.0;
-                    }
-                }
-            }
+            });
         });
         (out, argmax)
     }
@@ -638,12 +659,75 @@ fn matmul_row_block(a_block: &[f32], k_total: usize, b: &[f32], n: usize, out_bl
     }
 }
 
-/// Counting-sort grouping of rows by segment: returns `(order, offsets)`
-/// where `order[offsets[s]..offsets[s+1]]` lists the input rows of segment
-/// `s` in ascending input order — the same order the serial accumulation
-/// loop visits them.
-fn segment_order(seg: &[u32], n_segments: usize) -> (Vec<u32>, Vec<u32>) {
-    inferturbo_common::group::group_by_key(seg, n_segments)
+std::thread_local! {
+    /// Grouping scratch reused across segment-kernel calls: the counting
+    /// sort's `(order, offsets)` buffers are the kernels' only per-call
+    /// allocations besides the output, and the hot engines call these
+    /// kernels every layer of every run.
+    static SEG_SCRATCH: std::cell::RefCell<(Vec<u32>, Vec<u32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Counting-sort grouping of rows by segment, run against the thread-local
+/// scratch: `order[offsets[s]..offsets[s+1]]` lists the input rows of
+/// segment `s` in ascending input order — the same order the serial
+/// accumulation loop visits them. `f` runs while the scratch borrow is
+/// held; the kernels' fork-join tasks only *read* the grouping, so sharing
+/// the borrow across the scope is sound.
+fn with_segment_groups<R>(
+    seg: &[u32],
+    n_segments: usize,
+    f: impl FnOnce(&[u32], &[u32]) -> R,
+) -> R {
+    SEG_SCRATCH.with(|cell| {
+        let (order, offsets) = &mut *cell.borrow_mut();
+        inferturbo_common::group::group_by_key_into(seg, n_segments, order, offsets);
+        f(order, offsets)
+    })
+}
+
+/// `acc[i] += alpha * x[i]`, 8-wide unrolled. The accumulate kernel of the
+/// fused scatter-aggregation path (sum/mean pooling): lanes are
+/// independent, so the unroll vectorises without a reduction dependency
+/// and the result is bit-identical to the scalar loop.
+#[inline]
+pub fn row_axpy(acc: &mut [f32], x: &[f32], alpha: f32) {
+    assert_eq!(acc.len(), x.len(), "row_axpy length mismatch");
+    let n8 = acc.len() & !7;
+    let (a_main, a_tail) = acc.split_at_mut(n8);
+    let (x_main, x_tail) = x.split_at(n8);
+    for (ac, xc) in a_main.chunks_exact_mut(8).zip(x_main.chunks_exact(8)) {
+        for i in 0..8 {
+            ac[i] += alpha * xc[i];
+        }
+    }
+    for (a, &b) in a_tail.iter_mut().zip(x_tail) {
+        *a += alpha * b;
+    }
+}
+
+/// `acc[i] = max(acc[i], x[i])`, 8-wide unrolled, keeping `acc` on ties
+/// and on NaN inputs (`x[i] > acc[i]` comparison) — the exact semantics of
+/// the serial pooled max fold, so fused max aggregation stays bit-identical
+/// to the materialized path.
+#[inline]
+pub fn row_max(acc: &mut [f32], x: &[f32]) {
+    assert_eq!(acc.len(), x.len(), "row_max length mismatch");
+    let n8 = acc.len() & !7;
+    let (a_main, a_tail) = acc.split_at_mut(n8);
+    let (x_main, x_tail) = x.split_at(n8);
+    for (ac, xc) in a_main.chunks_exact_mut(8).zip(x_main.chunks_exact(8)) {
+        for i in 0..8 {
+            if xc[i] > ac[i] {
+                ac[i] = xc[i];
+            }
+        }
+    }
+    for (a, &b) in a_tail.iter_mut().zip(x_tail) {
+        if b > *a {
+            *a = b;
+        }
+    }
 }
 
 /// Carve a segment-major output buffer into one disjoint `&mut` slice per
@@ -839,7 +923,7 @@ mod tests {
                 .wrapping_mul(2654435761)
                 .wrapping_add((c as u32).wrapping_mul(40503))
                 .wrapping_add(salt);
-            if zero_every > 0 && (x as usize) % zero_every == 0 {
+            if zero_every > 0 && (x as usize).is_multiple_of(zero_every) {
                 0.0
             } else {
                 ((x % 1000) as f32 - 500.0) / 250.0
@@ -875,12 +959,8 @@ mod tests {
         let b = pseudo_random(140, 130, 4, 0);
         let c = pseudo_random(300, 130, 5, 6);
         let d = pseudo_random(70, 140, 6, 0);
-        let serial = Parallelism::with(1, || {
-            (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d))
-        });
-        let parallel = Parallelism::with(4, || {
-            (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d))
-        });
+        let serial = Parallelism::with(1, || (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d)));
+        let parallel = Parallelism::with(4, || (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d)));
         assert_eq!(serial.0.data(), parallel.0.data());
         assert_eq!(serial.1.data(), parallel.1.data());
         assert_eq!(serial.2.data(), parallel.2.data());
@@ -888,8 +968,8 @@ mod tests {
 
     #[test]
     fn parallel_segment_kernels_bit_identical() {
-        // Big enough to clear PAR_MIN_ELEMS so the grouped path engages.
-        let e = 3000usize;
+        // Big enough to clear PAR_SEG_MIN_ELEMS so the grouped path engages.
+        let e = 530_000usize;
         let n = 180usize;
         let msgs = pseudo_random(e, 8, 9, 4);
         let seg: Vec<u32> = (0..e)
@@ -919,7 +999,7 @@ mod tests {
     fn grouped_segment_max_handles_empty_segments() {
         // Force the grouped path with a large input where one segment in
         // three stays empty; empty rows must come back zeroed.
-        let e = 4096usize;
+        let e = 1_100_000usize;
         let n = 90usize;
         let msgs = Matrix::full(e, 4, 1.5);
         let seg: Vec<u32> = (0..e).map(|i| ((i % 30) * 3) as u32).collect();
@@ -928,6 +1008,39 @@ mod tests {
             let want = if s % 3 == 0 { 1.5 } else { 0.0 };
             assert_eq!(mx.get(s, 0), want, "segment {s}");
         }
+    }
+
+    #[test]
+    fn small_segment_inputs_stay_on_the_serial_path() {
+        // Below the work cutoff the grouped path must not engage even with
+        // a generous thread budget — and results are identical anyway.
+        let msgs = pseudo_random(5000, 8, 11, 3);
+        let seg: Vec<u32> = (0..5000).map(|i| (i % 97) as u32).collect();
+        let serial = Parallelism::with(1, || msgs.segment_sum(&seg, 97));
+        let budget = Parallelism::with(8, || msgs.segment_sum(&seg, 97));
+        assert_eq!(serial.data(), budget.data());
+    }
+
+    #[test]
+    fn row_axpy_matches_scalar_and_handles_tails() {
+        for len in [0usize, 1, 7, 8, 9, 16, 37] {
+            let x: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).sin()).collect();
+            let mut acc: Vec<f32> = (0..len).map(|i| (i as f32 * 1.3).cos()).collect();
+            let mut want = acc.clone();
+            for (a, &b) in want.iter_mut().zip(&x) {
+                *a += 2.5 * b;
+            }
+            row_axpy(&mut acc, &x, 2.5);
+            assert_eq!(acc, want, "len {len}");
+        }
+    }
+
+    #[test]
+    fn row_max_keeps_acc_on_ties_and_nan() {
+        let mut acc = vec![1.0, 5.0, 2.0, 2.0, -1.0, 0.0, 3.0, 4.0, 9.0];
+        let x = vec![2.0, 1.0, 2.0, f32::NAN, 0.0, -0.0, 3.5, 4.0, 10.0];
+        row_max(&mut acc, &x);
+        assert_eq!(acc, vec![2.0, 5.0, 2.0, 2.0, 0.0, 0.0, 3.5, 4.0, 10.0]);
     }
 
     #[test]

@@ -116,9 +116,7 @@ impl Init {
         match self {
             Init::XavierUniform => {
                 let a = (6.0 / (rows + cols) as f64).sqrt();
-                Matrix::from_fn(rows, cols, |_, _| {
-                    ((rng.next_f64() * 2.0 - 1.0) * a) as f32
-                })
+                Matrix::from_fn(rows, cols, |_, _| ((rng.next_f64() * 2.0 - 1.0) * a) as f32)
             }
             Init::HeNormal => {
                 let std = (2.0 / rows as f64).sqrt();

@@ -47,7 +47,10 @@ impl ParamSet {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
-        self.names.iter().map(|s| s.as_str()).zip(self.values.iter())
+        self.names
+            .iter()
+            .map(|s| s.as_str())
+            .zip(self.values.iter())
     }
 
     /// Find a parameter index by name.
@@ -179,10 +182,8 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (idx, grad) in grads {
-            let m = self.m[*idx]
-                .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
-            let v = self.v[*idx]
-                .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            let m = self.m[*idx].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            let v = self.v[*idx].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
             for ((m_i, v_i), g_i) in m
                 .data_mut()
                 .iter_mut()
@@ -219,7 +220,10 @@ mod tests {
     /// assert the loss decreases. Shared by both optimizers.
     fn train_toy(opt: &mut dyn Optimizer) -> (f32, f32) {
         let mut params = ParamSet::new();
-        let w_idx = params.add("w", Matrix::from_fn(4, 3, |r, c| ((r + c) as f32 * 0.3).sin()));
+        let w_idx = params.add(
+            "w",
+            Matrix::from_fn(4, 3, |r, c| ((r + c) as f32 * 0.3).sin()),
+        );
         let x = Matrix::from_fn(8, 4, |r, c| ((r * 4 + c) as f32 * 0.17).cos());
         // Labels planted by a ground-truth linear model so the optimum has
         // near-zero loss and any working optimizer can cut the initial loss

@@ -13,10 +13,10 @@
 use inferturbo::cluster::ClusterSpec;
 use inferturbo::common::stats;
 use inferturbo::core::consistency::audit_sampling;
+use inferturbo::core::infer_mapreduce;
 use inferturbo::core::models::{GnnModel, PoolOp};
 use inferturbo::core::strategy::StrategyConfig;
 use inferturbo::core::train::{train, TrainConfig};
-use inferturbo::core::infer_mapreduce;
 use inferturbo::graph::gen::DegreeSkew;
 use inferturbo::graph::Dataset;
 
@@ -44,8 +44,7 @@ fn main() {
 
     // --- why sampling is disqualified for risk scoring -------------------
     let audit_targets: Vec<u32> = (0..1500).collect();
-    let audit = audit_sampling(&model, &dataset.graph, &audit_targets, 10, 8, 0)
-        .expect("audit");
+    let audit = audit_sampling(&model, &dataset.graph, &audit_targets, 10, 8, 0).expect("audit");
     println!(
         "\nsampled inference (fanout 10, 8 runs): {:.1}% of accounts change class between runs",
         audit.unstable_fraction() * 100.0
@@ -65,11 +64,7 @@ fn main() {
             .iter()
             .map(|t| t.busy_secs)
             .collect();
-        let frauds = out
-            .predictions()
-            .iter()
-            .filter(|&&c| c == 1)
-            .count();
+        let frauds = out.predictions().iter().filter(|&&c| c == 1).count();
         println!(
             "{name}: flagged {frauds} accounts; worker time max/mean {:.2}x, bytes {}",
             stats::max(&times) / stats::mean(&times).max(1e-12),

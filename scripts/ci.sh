@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lints (deny warnings), the full test suite,
+# and a smoke run of the parallel benchmark binary so every workload is
+# exercised end-to-end on every run.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace --all-targets (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test --workspace =="
+cargo test --workspace -q
+
+echo "== parbench --smoke =="
+cargo build --release -p inferturbo-bench
+# One short measurement per bench; never committed as the perf baseline
+# (scripts/bench.sh produces that).
+./target/release/parbench --smoke --out target/BENCH_parallel_smoke.json >/dev/null
+
+echo "CI OK"

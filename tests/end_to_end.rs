@@ -17,7 +17,13 @@ fn small_dataset() -> Dataset {
     // power-law datasets label only a millesimal of nodes — far too few at
     // this test scale, so widen the train split
     d.split = (0..800)
-        .map(|i| if i % 3 == 0 { Split::Train } else { Split::Test })
+        .map(|i| {
+            if i % 3 == 0 {
+                Split::Train
+            } else {
+                Split::Test
+            }
+        })
         .collect();
     d
 }
@@ -77,16 +83,13 @@ fn backends_agree_with_reference_after_training() {
         StrategyConfig::all().with_threshold(20),
     )
     .unwrap();
-    for v in 0..dataset.graph.n_nodes() {
-        for c in 0..model.classes() {
+    for (v, want_row) in want.iter().enumerate() {
+        for (c, &wv) in want_row.iter().enumerate() {
             assert!(
-                (pregel.logits[v][c] - want[v][c]).abs() < 1e-3,
+                (pregel.logits[v][c] - wv).abs() < 1e-3,
                 "pregel node {v} class {c}"
             );
-            assert!(
-                (mr.logits[v][c] - want[v][c]).abs() < 1e-3,
-                "mr node {v} class {c}"
-            );
+            assert!((mr.logits[v][c] - wv).abs() < 1e-3, "mr node {v} class {c}");
         }
     }
 }
@@ -127,13 +130,35 @@ fn repeated_runs_bit_identical_across_backends() {
     let dataset = small_dataset();
     let model = train_small(&dataset);
     let strat = StrategyConfig::all().with_threshold(15);
-    let p1 = infer_pregel(&model, &dataset.graph, ClusterSpec::pregel_cluster(5), strat).unwrap();
-    let p2 = infer_pregel(&model, &dataset.graph, ClusterSpec::pregel_cluster(5), strat).unwrap();
+    let p1 = infer_pregel(
+        &model,
+        &dataset.graph,
+        ClusterSpec::pregel_cluster(5),
+        strat,
+    )
+    .unwrap();
+    let p2 = infer_pregel(
+        &model,
+        &dataset.graph,
+        ClusterSpec::pregel_cluster(5),
+        strat,
+    )
+    .unwrap();
     assert_eq!(p1.logits, p2.logits);
-    let m1 =
-        infer_mapreduce(&model, &dataset.graph, ClusterSpec::mapreduce_cluster(5), strat).unwrap();
-    let m2 =
-        infer_mapreduce(&model, &dataset.graph, ClusterSpec::mapreduce_cluster(5), strat).unwrap();
+    let m1 = infer_mapreduce(
+        &model,
+        &dataset.graph,
+        ClusterSpec::mapreduce_cluster(5),
+        strat,
+    )
+    .unwrap();
+    let m2 = infer_mapreduce(
+        &model,
+        &dataset.graph,
+        ClusterSpec::mapreduce_cluster(5),
+        strat,
+    )
+    .unwrap();
     assert_eq!(m1.logits, m2.logits);
 }
 
@@ -153,7 +178,13 @@ fn multilabel_end_to_end() {
         ..GenConfig::default()
     });
     let split = (0..400)
-        .map(|i| if i % 2 == 0 { Split::Train } else { Split::Test })
+        .map(|i| {
+            if i % 2 == 0 {
+                Split::Train
+            } else {
+                Split::Test
+            }
+        })
         .collect();
     let dataset = Dataset {
         name: "ml".into(),

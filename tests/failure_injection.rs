@@ -148,12 +148,7 @@ fn strategies_do_not_mask_oom_errors() {
     let d = Dataset::power_law(600, 3600, DegreeSkew::Out, 5);
     let m = model(d.graph.node_feat_dim());
     let spec = ClusterSpec::pregel_cluster(4).with_memory(1 << 10);
-    let err = infer_pregel(
-        &m,
-        &d.graph,
-        spec,
-        StrategyConfig::all().with_threshold(8),
-    )
-    .unwrap_err();
+    let err =
+        infer_pregel(&m, &d.graph, spec, StrategyConfig::all().with_threshold(8)).unwrap_err();
     assert!(err.is_oom());
 }

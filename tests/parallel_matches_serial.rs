@@ -8,12 +8,16 @@
 
 use inferturbo::cluster::ClusterSpec;
 use inferturbo::common::{Parallelism, Xoshiro256};
+use inferturbo::core::models::gas_impl::PoolRowAggregator;
 use inferturbo::core::models::{GnnModel, PoolOp};
 use inferturbo::core::strategy::StrategyConfig;
 use inferturbo::core::{infer_mapreduce, infer_pregel};
 use inferturbo::graph::gen::{generate, DegreeSkew, GenConfig};
 use inferturbo::graph::Graph;
-use inferturbo::pregel::{Combiner, Outbox, PregelConfig, PregelEngine, VertexProgram};
+use inferturbo::pregel::{
+    Combiner, FusedAggregator, MessageLayout, Outbox, PregelConfig, PregelEngine, RowsIn,
+    VertexProgram,
+};
 use inferturbo::tensor::Matrix;
 
 const PAR_THREADS: usize = 4;
@@ -112,7 +116,137 @@ fn pregel_states_bitwise_identical_across_thread_counts() {
         let serial = Parallelism::with(1, || pagerank_states(&g, workers, 8));
         let parallel = Parallelism::with(PAR_THREADS, || pagerank_states(&g, workers, 8));
         assert_eq!(serial.0, parallel.0, "states diverged at {workers} workers");
-        assert_eq!(serial.1, parallel.1, "byte accounting diverged at {workers} workers");
+        assert_eq!(
+            serial.1, parallel.1,
+            "byte accounting diverged at {workers} workers"
+        );
+    }
+}
+
+// ---- Columnar-plane Pregel states ------------------------------------------
+
+/// Feature sum over the columnar plane: step 0 scatters each vertex's
+/// dim-4 feature row (fused when `fused`), step 1 stores the aggregate.
+struct ColSum {
+    fused: bool,
+    agg: PoolRowAggregator,
+}
+
+struct ColState {
+    feat: Vec<f32>,
+    nbrs: Vec<u64>,
+    agg: Vec<f32>,
+}
+
+impl VertexProgram for ColSum {
+    type State = ColState;
+    type Msg = f32; // legacy plane unused
+
+    fn compute(
+        &self,
+        _step: usize,
+        _vertex: u64,
+        _state: &mut ColState,
+        _messages: Vec<f32>,
+        _b: &dyn Fn(u64) -> Option<f32>,
+        _out: &mut Outbox<f32>,
+    ) {
+        unreachable!("columnar program");
+    }
+
+    fn compute_columnar(
+        &self,
+        step: usize,
+        _vertex: u64,
+        state: &mut ColState,
+        rows: RowsIn<'_>,
+        _messages: Vec<f32>,
+        _b: &dyn Fn(u64) -> Option<f32>,
+        out: &mut Outbox<f32>,
+    ) {
+        if step == 0 {
+            for &nb in &state.nbrs {
+                out.send_row(nb, &state.feat);
+            }
+            return;
+        }
+        let mut acc: Vec<f32> = Vec::new();
+        match rows {
+            RowsIn::Rows { dim, data } => {
+                for chunk in data.chunks_exact(dim) {
+                    if acc.is_empty() {
+                        acc.extend_from_slice(chunk);
+                    } else {
+                        self.agg.accumulate(&mut acc, chunk);
+                    }
+                }
+            }
+            RowsIn::Fused {
+                acc: facc, count, ..
+            } if count > 0 => acc = facc.to_vec(),
+            _ => {}
+        }
+        state.agg = acc;
+    }
+
+    fn message_layout(&self, step: usize) -> Option<MessageLayout> {
+        (step == 0).then_some(MessageLayout { dim: 4 })
+    }
+
+    fn fused_aggregator(&self, step: usize) -> Option<&dyn FusedAggregator> {
+        (self.fused && step == 0).then_some(&self.agg)
+    }
+}
+
+fn columnar_states(g: &Graph, workers: usize, fused: bool) -> (Vec<Vec<u32>>, u64, u64) {
+    let n = g.n_nodes();
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for (&s, &d) in g.src().iter().zip(g.dst()) {
+        adj[s as usize].push(d as u64);
+    }
+    let cfg = PregelConfig::new(ClusterSpec::test_spec(workers));
+    let mut eng = PregelEngine::new(
+        ColSum {
+            fused,
+            agg: PoolRowAggregator { op: PoolOp::Sum },
+        },
+        cfg,
+    );
+    for (v, nbrs) in adj.into_iter().enumerate() {
+        let feat: Vec<f32> = (0..4)
+            .map(|j| ((v as f32 + 1.0) * 0.13 + j as f32 * 0.41).sin())
+            .collect();
+        eng.add_vertex(
+            v as u64,
+            ColState {
+                feat,
+                nbrs,
+                agg: Vec::new(),
+            },
+        );
+    }
+    eng.run(2).unwrap();
+    let mut states = vec![Vec::new(); n];
+    eng.for_each_state(|id, st| {
+        states[id as usize] = st.agg.iter().map(|x| x.to_bits()).collect();
+    });
+    let mb = eng.report().message_bytes;
+    (states, eng.report().total_bytes(), mb.columnar)
+}
+
+#[test]
+fn columnar_pregel_states_bitwise_identical_across_thread_counts() {
+    let g = test_graph(17, 400, 2400);
+    for workers in [1usize, 3, 8] {
+        for fused in [false, true] {
+            let serial = Parallelism::with(1, || columnar_states(&g, workers, fused));
+            let parallel = Parallelism::with(PAR_THREADS, || columnar_states(&g, workers, fused));
+            assert_eq!(
+                serial, parallel,
+                "columnar states diverged at {workers} workers (fused={fused})"
+            );
+            assert!(serial.2 > 0, "columnar plane must carry the rows");
+        }
     }
 }
 
@@ -130,23 +264,66 @@ fn pregel_inference_bitwise_identical_across_thread_counts() {
     let g = test_graph(23, 300, 1800);
     let model = GnnModel::sage(8, 12, 2, 3, false, PoolOp::Mean, 7);
     for workers in [1usize, 4, 7] {
-        let strat = StrategyConfig::all().with_threshold(8);
-        let serial = Parallelism::with(1, || {
-            infer_pregel(&model, &g, ClusterSpec::pregel_cluster(workers), strat).unwrap()
-        });
-        let parallel = Parallelism::with(PAR_THREADS, || {
-            infer_pregel(&model, &g, ClusterSpec::pregel_cluster(workers), strat).unwrap()
-        });
+        // Both message planes: columnar (fused scatter-aggregation) and
+        // the legacy per-object path.
+        for columnar in [true, false] {
+            let strat = StrategyConfig::all()
+                .with_threshold(8)
+                .with_columnar(columnar);
+            let serial = Parallelism::with(1, || {
+                infer_pregel(&model, &g, ClusterSpec::pregel_cluster(workers), strat).unwrap()
+            });
+            let parallel = Parallelism::with(PAR_THREADS, || {
+                infer_pregel(&model, &g, ClusterSpec::pregel_cluster(workers), strat).unwrap()
+            });
+            assert_eq!(
+                logits_bits(&serial),
+                logits_bits(&parallel),
+                "pregel logits diverged at {workers} workers (columnar={columnar})"
+            );
+            assert_eq!(
+                serial.report.total_bytes(),
+                parallel.report.total_bytes(),
+                "pregel bytes diverged at {workers} workers (columnar={columnar})"
+            );
+            assert_eq!(
+                serial.report.message_bytes, parallel.report.message_bytes,
+                "pregel plane accounting diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn pregel_columnar_plane_bit_matches_legacy_plane() {
+    // The fused columnar path must reproduce the legacy combiner path's
+    // logits bit for bit — the engine-level guarantee, checked end-to-end
+    // through the full GNN stack. Broadcast stays off: refs interleave
+    // with payloads in delivery order on the legacy plane but fold after
+    // the fused accumulator on the columnar plane, so with hubs the two
+    // paths agree only to float tolerance, not bitwise.
+    let g = test_graph(29, 300, 1800);
+    let model = GnnModel::sage(8, 12, 2, 3, false, PoolOp::Mean, 5);
+    for workers in [1usize, 4] {
+        let strat = StrategyConfig::all()
+            .with_broadcast(false)
+            .with_threshold(8);
+        let columnar =
+            infer_pregel(&model, &g, ClusterSpec::pregel_cluster(workers), strat).unwrap();
+        let legacy = infer_pregel(
+            &model,
+            &g,
+            ClusterSpec::pregel_cluster(workers),
+            strat.with_columnar(false),
+        )
+        .unwrap();
         assert_eq!(
-            logits_bits(&serial),
-            logits_bits(&parallel),
-            "pregel logits diverged at {workers} workers"
+            logits_bits(&columnar),
+            logits_bits(&legacy),
+            "planes diverged at {workers} workers"
         );
-        assert_eq!(
-            serial.report.total_bytes(),
-            parallel.report.total_bytes(),
-            "pregel bytes diverged at {workers} workers"
-        );
+        assert!(columnar.report.message_bytes.columnar > 0);
+        assert_eq!(legacy.report.message_bytes.columnar, 0);
     }
 }
 
@@ -155,23 +332,31 @@ fn mapreduce_inference_bitwise_identical_across_thread_counts() {
     let g = test_graph(37, 300, 1800);
     let model = GnnModel::sage(8, 12, 2, 3, false, PoolOp::Mean, 9);
     for workers in [1usize, 4, 7] {
-        let strat = StrategyConfig::all().with_threshold(8);
-        let serial = Parallelism::with(1, || {
-            infer_mapreduce(&model, &g, ClusterSpec::mapreduce_cluster(workers), strat).unwrap()
-        });
-        let parallel = Parallelism::with(PAR_THREADS, || {
-            infer_mapreduce(&model, &g, ClusterSpec::mapreduce_cluster(workers), strat).unwrap()
-        });
-        assert_eq!(
-            logits_bits(&serial),
-            logits_bits(&parallel),
-            "mapreduce logits diverged at {workers} workers"
-        );
-        assert_eq!(
-            serial.report.total_bytes(),
-            parallel.report.total_bytes(),
-            "mapreduce bytes diverged at {workers} workers"
-        );
+        for columnar in [true, false] {
+            let strat = StrategyConfig::all()
+                .with_threshold(8)
+                .with_columnar(columnar);
+            let serial = Parallelism::with(1, || {
+                infer_mapreduce(&model, &g, ClusterSpec::mapreduce_cluster(workers), strat).unwrap()
+            });
+            let parallel = Parallelism::with(PAR_THREADS, || {
+                infer_mapreduce(&model, &g, ClusterSpec::mapreduce_cluster(workers), strat).unwrap()
+            });
+            assert_eq!(
+                logits_bits(&serial),
+                logits_bits(&parallel),
+                "mapreduce logits diverged at {workers} workers (columnar={columnar})"
+            );
+            assert_eq!(
+                serial.report.total_bytes(),
+                parallel.report.total_bytes(),
+                "mapreduce bytes diverged at {workers} workers (columnar={columnar})"
+            );
+            assert_eq!(
+                serial.report.message_bytes, parallel.report.message_bytes,
+                "mapreduce plane accounting diverged at {workers} workers"
+            );
+        }
     }
 }
 
@@ -197,8 +382,9 @@ fn gemm_kernels_match_across_thread_counts() {
     let c = random_matrix(&mut rng, 300, 130, 4);
     let d = random_matrix(&mut rng, 70, 140, 0);
     let serial = Parallelism::with(1, || (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d)));
-    let parallel =
-        Parallelism::with(PAR_THREADS, || (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d)));
+    let parallel = Parallelism::with(PAR_THREADS, || {
+        (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d))
+    });
     // 1e-5 relative tolerance: blocked GEMM may regroup accumulation.
     for (which, (s, p)) in [
         ("matmul", (&serial.0, &parallel.0)),
@@ -241,6 +427,10 @@ fn segment_kernels_exact_across_thread_counts() {
     // Exact for sum/mean/max: per-segment accumulation order is identical.
     assert_eq!(serial.0.data(), parallel.0.data(), "segment_sum");
     assert_eq!(serial.1.data(), parallel.1.data(), "segment_mean");
-    assert_eq!(serial.2 .0.data(), parallel.2 .0.data(), "segment_max values");
+    assert_eq!(
+        serial.2 .0.data(),
+        parallel.2 .0.data(),
+        "segment_max values"
+    );
     assert_eq!(serial.2 .1, parallel.2 .1, "segment_max argmax");
 }

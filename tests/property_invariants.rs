@@ -9,7 +9,6 @@ use inferturbo::core::{infer_mapreduce, infer_pregel, infer_reference};
 use inferturbo::graph::gen::{generate, DegreeSkew, GenConfig};
 use proptest::prelude::*;
 
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -48,12 +47,12 @@ proptest! {
             .unwrap();
         let mr = infer_mapreduce(&model, &g, ClusterSpec::mapreduce_cluster(workers), strat)
             .unwrap();
-        for v in 0..n_nodes {
-            for c in 0..3 {
-                prop_assert!((pregel.logits[v][c] - want[v][c]).abs() < 2e-3,
-                    "pregel v={} c={}: {} vs {}", v, c, pregel.logits[v][c], want[v][c]);
-                prop_assert!((mr.logits[v][c] - want[v][c]).abs() < 2e-3,
-                    "mr v={} c={}: {} vs {}", v, c, mr.logits[v][c], want[v][c]);
+        for (v, want_row) in want.iter().enumerate() {
+            for (c, &wv) in want_row.iter().enumerate() {
+                prop_assert!((pregel.logits[v][c] - wv).abs() < 2e-3,
+                    "pregel v={} c={}: {} vs {}", v, c, pregel.logits[v][c], wv);
+                prop_assert!((mr.logits[v][c] - wv).abs() < 2e-3,
+                    "mr v={} c={}: {} vs {}", v, c, mr.logits[v][c], wv);
             }
         }
     }
