@@ -21,6 +21,7 @@ use inferturbo_cluster::ClusterSpec;
 use inferturbo_common::{Parallelism, Xoshiro256};
 use inferturbo_core::infer::{infer_mapreduce, infer_pregel};
 use inferturbo_core::models::{GnnModel, PoolOp};
+use inferturbo_core::session::{Backend, InferenceSession};
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::{generate, DegreeSkew, GenConfig};
 use std::fmt::Write as _;
@@ -86,6 +87,18 @@ fn main() {
     let axpy_rows = inferturbo_tensor::Matrix::from_fn(4096, 64, |_, _| rng.next_f32());
     let mut axpy_acc = vec![0.0f32; 64];
 
+    // Planned session over the same workload as engine/pregel_sage2_3k:
+    // planning (records, CSRs, hub sets) is done once here, outside the
+    // measured region, so the entry isolates the plan-amortization win.
+    let session = InferenceSession::builder()
+        .model(&model)
+        .graph(&g)
+        .pregel_spec(pregel_spec)
+        .strategy(StrategyConfig::all())
+        .backend(Backend::Pregel)
+        .plan()
+        .expect("session plan");
+
     // (name, is_engine, workload)
     type Bench<'a> = (&'a str, bool, Box<dyn FnMut() + 'a>);
     let mut benches: Vec<Bench<'_>> = vec![
@@ -112,6 +125,18 @@ fn main() {
                     StrategyConfig::all().with_partial_gather(false),
                 )
                 .unwrap();
+            }),
+        ),
+        (
+            // Re-running an InferencePlan: same work as
+            // engine/pregel_sage2_3k minus planning (records, CSRs, hub
+            // sets) and minus the per-superstep scratch allocations
+            // (pooled across runs). Its ops/s should sit strictly above
+            // the one-shot entry.
+            "engine/session_reuse_3k",
+            true,
+            Box::new(|| {
+                session.run().unwrap();
             }),
         ),
         (

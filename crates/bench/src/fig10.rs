@@ -4,10 +4,12 @@
 
 use crate::ctx::write_csv;
 use crate::report::{f, Table};
-use crate::workloads::{strategy_graph, strategy_model, worker_busy_secs, STRATEGY_WORKERS};
+use crate::workloads::{
+    plan_session, strategy_graph, strategy_model, worker_busy_secs, STRATEGY_WORKERS,
+};
 use crate::ExpCtx;
 use inferturbo_common::stats;
-use inferturbo_core::infer::infer_mapreduce;
+use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::DegreeSkew;
 
@@ -34,7 +36,9 @@ pub fn run(ctx: &ExpCtx) {
     let mut csv = Vec::new();
     let mut base_var = None;
     for (name, strat) in configs {
-        let out = infer_mapreduce(&model, &d.graph, spec, strat).expect("run");
+        let out = plan_session(&model, &d.graph, Backend::MapReduce, spec, strat)
+            .run()
+            .expect("run");
         let times = worker_busy_secs(&out.report);
         let var = stats::variance(&times);
         base_var.get_or_insert(var);

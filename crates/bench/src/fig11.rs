@@ -4,10 +4,10 @@
 
 use crate::ctx::write_csv;
 use crate::report::{f, Table};
-use crate::workloads::{strategy_graph, strategy_model, STRATEGY_WORKERS};
+use crate::workloads::{plan_session, strategy_graph, strategy_model, STRATEGY_WORKERS};
 use crate::ExpCtx;
 use inferturbo_common::stats;
-use inferturbo_core::infer::infer_mapreduce;
+use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::DegreeSkew;
 
@@ -16,13 +16,23 @@ pub fn run(ctx: &ExpCtx) {
     let model = strategy_model(d.graph.node_feat_dim());
     let spec = ctx.mr_spec(STRATEGY_WORKERS);
 
-    let base = infer_mapreduce(&model, &d.graph, spec, StrategyConfig::none()).expect("base run");
-    let pg = infer_mapreduce(
+    let base = plan_session(
         &model,
         &d.graph,
+        Backend::MapReduce,
+        spec,
+        StrategyConfig::none(),
+    )
+    .run()
+    .expect("base run");
+    let pg = plan_session(
+        &model,
+        &d.graph,
+        Backend::MapReduce,
         spec,
         StrategyConfig::none().with_partial_gather(true),
     )
+    .run()
     .expect("pg run");
 
     let base_tot = base.report.worker_totals();

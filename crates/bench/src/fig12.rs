@@ -7,10 +7,10 @@
 
 use crate::ctx::write_csv;
 use crate::report::Table;
-use crate::workloads::{strategy_graph, strategy_model, STRATEGY_WORKERS};
+use crate::workloads::{plan_session, strategy_graph, strategy_model, STRATEGY_WORKERS};
 use crate::ExpCtx;
 use inferturbo_common::stats;
-use inferturbo_core::infer::infer_mapreduce;
+use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::DegreeSkew;
 
@@ -65,7 +65,9 @@ pub fn sweep(
     let mut per_worker_series: Vec<(String, Vec<f64>)> = Vec::new();
     for thr in thresholds {
         let strat = make_strategy(thr);
-        let out = infer_mapreduce(&model, &d.graph, spec, strat).expect("run");
+        let out = plan_session(&model, &d.graph, Backend::MapReduce, spec, strat)
+            .run()
+            .expect("run");
         let totals = out.report.worker_totals();
         let bytes_out: Vec<f64> = totals.iter().map(|t| t.bytes_out as f64).collect();
         let total: f64 = bytes_out.iter().sum();

@@ -7,8 +7,8 @@ use crate::report::Table;
 use crate::table2::models_for;
 use crate::ExpCtx;
 use inferturbo_core::consistency::{audit_full_graph, audit_sampling};
-use inferturbo_core::infer::infer_reference;
 use inferturbo_core::models::GnnModel;
+use inferturbo_core::session::{Backend, InferenceSession};
 use inferturbo_graph::Split;
 
 pub fn run(ctx: &ExpCtx) {
@@ -43,8 +43,14 @@ pub fn run(ctx: &ExpCtx) {
     }
     // Ours: rerun full-graph inference; the histogram must collapse to
     // the 1-class bucket.
+    let plan = InferenceSession::builder()
+        .model(&model)
+        .graph(&d.graph)
+        .backend(Backend::Reference)
+        .plan()
+        .expect("reference plan");
     let full = audit_full_graph(3, targets.len(), |_| {
-        let logits = infer_reference(&model, &d.graph);
+        let logits = plan.run().expect("reference run").logits;
         Ok(targets
             .iter()
             .map(|&v| GnnModel::predict_class(&logits[v as usize]))

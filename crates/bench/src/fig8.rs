@@ -4,9 +4,10 @@
 
 use crate::ctx::write_csv;
 use crate::report::{f, Table};
+use crate::workloads::plan_session;
 use crate::ExpCtx;
-use inferturbo_core::infer::infer_mapreduce;
 use inferturbo_core::models::GnnModel;
+use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::DegreeSkew;
 use inferturbo_graph::Dataset;
@@ -43,8 +44,15 @@ pub fn run(ctx: &ExpCtx) {
         // regime (200+ workers would drown them in fixed per-round costs).
         let mut spec = ctx.mr_spec(20);
         spec.phase_overhead_secs = 0.05;
-        let out =
-            infer_mapreduce(&model, &d.graph, spec, StrategyConfig::all()).expect("mr inference");
+        let out = plan_session(
+            &model,
+            &d.graph,
+            Backend::MapReduce,
+            spec,
+            StrategyConfig::all(),
+        )
+        .run()
+        .expect("mr inference");
         let wall = out.report.total_wall_secs();
         let res = out.report.resource_cpu_min();
         let (tr, rr) = match prev {

@@ -17,8 +17,8 @@ use crate::report::{f, Table};
 use crate::ExpCtx;
 use inferturbo_cluster::ClusterSpec;
 use inferturbo_common::{Parallelism, Xoshiro256};
-use inferturbo_core::infer::{infer_mapreduce, infer_pregel};
 use inferturbo_core::models::{GnnModel, PoolOp};
+use inferturbo_core::session::{Backend, InferenceSession};
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::{generate, DegreeSkew, GenConfig};
 use inferturbo_graph::Graph;
@@ -106,14 +106,29 @@ pub fn run(ctx: &ExpCtx) {
     );
     let mut csv_rows = Vec::new();
     let mut base: Option<[f64; 4]> = None;
+    // Sessions are planned once, outside every timed region: the sweep
+    // measures execution scaling, not repeated re-planning.
+    let plan_for = |backend: Backend| {
+        InferenceSession::builder()
+            .model(&model)
+            .graph(&g)
+            .pregel_spec(spec(16, true))
+            .mapreduce_spec(spec(16, false))
+            .strategy(StrategyConfig::all())
+            .backend(backend)
+            .plan()
+            .expect("plan")
+    };
+    let pregel_plan = plan_for(Backend::Pregel);
+    let mr_plan = plan_for(Backend::MapReduce);
     for threads in thread_sweep() {
         let secs: [f64; 4] = Parallelism::with(threads, || {
             [
                 time_secs(|| {
-                    infer_pregel(&model, &g, spec(16, true), StrategyConfig::all()).unwrap();
+                    pregel_plan.run().unwrap();
                 }),
                 time_secs(|| {
-                    infer_mapreduce(&model, &g, spec(16, false), StrategyConfig::all()).unwrap();
+                    mr_plan.run().unwrap();
                 }),
                 time_secs(|| {
                     std::hint::black_box(a.matmul(&b));
@@ -166,8 +181,19 @@ pub fn run(ctx: &ExpCtx) {
         ("legacy-plane", StrategyConfig::all().with_columnar(false)),
     ];
     for (cfg_name, strat) in configs {
-        let p = infer_pregel(&model, &g, spec(16, true), strat).unwrap();
-        let m = infer_mapreduce(&model, &g, spec(16, false), strat).unwrap();
+        let session = |backend| {
+            InferenceSession::builder()
+                .model(&model)
+                .graph(&g)
+                .pregel_spec(spec(16, true))
+                .mapreduce_spec(spec(16, false))
+                .strategy(strat)
+                .backend(backend)
+                .plan()
+                .expect("plan")
+        };
+        let p = session(Backend::Pregel).run().unwrap();
+        let m = session(Backend::MapReduce).run().unwrap();
         for (backend, report) in [("pregel", &p.report), ("mapreduce", &m.report)] {
             let b = report.message_bytes;
             mb.rowv(vec![

@@ -11,8 +11,8 @@
 use crate::report::Table;
 use crate::ExpCtx;
 use inferturbo_core::baseline::predict_with_sampling;
-use inferturbo_core::infer::{infer_pregel, infer_reference};
 use inferturbo_core::models::{GnnModel, PoolOp};
+use inferturbo_core::session::{Backend, InferenceSession};
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_core::train::TrainConfig;
 use inferturbo_graph::{Dataset, Split};
@@ -115,18 +115,22 @@ pub fn run(ctx: &ExpCtx) {
                 .expect("baseline run");
             let dgl = predict_with_sampling(&model, &d.graph, &eval.targets, Some(50), 512, 202)
                 .expect("baseline run");
+            let builder = InferenceSession::builder()
+                .model(&model)
+                .graph(&d.graph)
+                .strategy(StrategyConfig::all());
             let ours_all = if *use_backend {
-                infer_pregel(
-                    &model,
-                    &d.graph,
-                    ctx.pregel_spec(100),
-                    StrategyConfig::all(),
-                )
-                .expect("pregel inference")
-                .logits
+                builder
+                    .pregel_spec(ctx.pregel_spec(100))
+                    .backend(Backend::Pregel)
             } else {
-                infer_reference(&model, &d.graph)
-            };
+                builder.backend(Backend::Reference)
+            }
+            .plan()
+            .expect("session plan")
+            .run()
+            .expect("session run")
+            .logits;
             let ours: Vec<Vec<f32>> = eval
                 .targets
                 .iter()

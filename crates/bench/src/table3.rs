@@ -8,10 +8,11 @@
 
 use crate::report::{f, Table};
 use crate::table2::models_for;
+use crate::workloads::plan_session;
 use crate::ExpCtx;
 use inferturbo_cluster::ClusterSpec;
 use inferturbo_core::baseline::{estimate_full_inference, BaselineConfig};
-use inferturbo_core::infer::{infer_mapreduce, infer_pregel};
+use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
 
 const DGL_EFFICIENCY: f64 = 0.8;
@@ -75,8 +76,15 @@ pub fn run(ctx: &ExpCtx) {
 
         let mut mr_spec = ctx.mr_spec(OURS_WORKERS);
         mr_spec.phase_overhead_secs = 0.5;
-        let mr = infer_mapreduce(&model, &d.graph, mr_spec, StrategyConfig::all())
-            .expect("mr inference");
+        let mr = plan_session(
+            &model,
+            &d.graph,
+            Backend::MapReduce,
+            mr_spec,
+            StrategyConfig::all(),
+        )
+        .run()
+        .expect("mr inference");
         let mr_wall = mr.report.total_wall_secs();
         t.rowv(vec![
             mname.clone(),
@@ -88,8 +96,15 @@ pub fn run(ctx: &ExpCtx) {
 
         let mut pg_spec = ctx.pregel_spec(OURS_WORKERS);
         pg_spec.phase_overhead_secs = 0.05;
-        let pregel = infer_pregel(&model, &d.graph, pg_spec, StrategyConfig::all())
-            .expect("pregel inference");
+        let pregel = plan_session(
+            &model,
+            &d.graph,
+            Backend::Pregel,
+            pg_spec,
+            StrategyConfig::all(),
+        )
+        .run()
+        .expect("pregel inference");
         let pg_wall = pregel.report.total_wall_secs();
         t.rowv(vec![
             mname,

@@ -4,10 +4,11 @@
 
 use crate::report::{f, Table};
 use crate::table3::{scaled_baseline, OURS_WORKERS};
+use crate::workloads::plan_session;
 use crate::ExpCtx;
 use inferturbo_core::baseline::estimate_full_inference;
-use inferturbo_core::infer::infer_mapreduce;
 use inferturbo_core::models::{GnnModel, PoolOp};
+use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
 
 pub fn run(ctx: &ExpCtx) {
@@ -47,8 +48,15 @@ pub fn run(ctx: &ExpCtx) {
         }
         let mut mr_spec = ctx.mr_spec(OURS_WORKERS);
         mr_spec.phase_overhead_secs = 0.5;
-        let ours = infer_mapreduce(&model, &d.graph, mr_spec, StrategyConfig::all())
-            .expect("mr inference");
+        let ours = plan_session(
+            &model,
+            &d.graph,
+            Backend::MapReduce,
+            mr_spec,
+            StrategyConfig::all(),
+        )
+        .run()
+        .expect("mr inference");
         t.rowv(vec![
             "ours (On-MR)".into(),
             hops.to_string(),

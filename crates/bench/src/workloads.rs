@@ -1,9 +1,14 @@
 //! Shared workload builders for the strategy/scalability experiments.
 
 use crate::ExpCtx;
+use inferturbo_cluster::ClusterSpec;
 use inferturbo_core::models::{GnnModel, PoolOp};
+use inferturbo_core::plan::InferencePlan;
+use inferturbo_core::session::{Backend, InferenceSession};
+use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::DegreeSkew;
 use inferturbo_graph::Dataset;
+use inferturbo_graph::Graph;
 
 /// Worker fleet for the strategy figures (9–13).
 pub const STRATEGY_WORKERS: usize = 100;
@@ -26,4 +31,26 @@ pub fn strategy_model(feat_dim: usize) -> GnnModel {
 /// Per-worker busy seconds of the whole run, from a run report.
 pub fn worker_busy_secs(report: &inferturbo_cluster::RunReport) -> Vec<f64> {
     report.worker_totals().iter().map(|t| t.busy_secs).collect()
+}
+
+/// Plan a single-configuration session on a forced backend — the bench
+/// drivers' entry into the plan → execute pipeline. Planning happens here,
+/// outside any measured region; only execution is ever repeated.
+pub fn plan_session<'a>(
+    model: &'a GnnModel,
+    graph: &'a Graph,
+    backend: Backend,
+    spec: ClusterSpec,
+    strategy: StrategyConfig,
+) -> InferencePlan<'a> {
+    let builder = InferenceSession::builder()
+        .model(model)
+        .graph(graph)
+        .strategy(strategy)
+        .backend(backend);
+    let builder = match backend {
+        Backend::MapReduce => builder.mapreduce_spec(spec),
+        _ => builder.pregel_spec(spec),
+    };
+    builder.plan().expect("session plan")
 }

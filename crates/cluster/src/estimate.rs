@@ -1,0 +1,172 @@
+//! Plan-time cost estimation — the predictive counterpart of
+//! [`crate::metrics::RunReport`].
+//!
+//! A [`RunReport`](crate::RunReport) is filled with *measured* quantities
+//! after an engine has run; a [`PlanEstimate`] is filled with *predicted*
+//! quantities before any execution, from nothing but the planned graph
+//! layout (records, degrees, hub sets) and the model's layer shapes. Both
+//! speak the same units and planes: predicted bytes split columnar vs
+//! legacy exactly like [`MessagePlaneBytes`](crate::MessagePlaneBytes),
+//! and the peak-memory prediction is checked against the same
+//! `memory_bytes` cap the engines enforce at runtime.
+//!
+//! The estimate's headline consumer is backend auto-selection (the paper's
+//! §IV-A trade-off): the Pregel backend keeps vertex state and inboxes
+//! resident, so it is only viable when
+//! [`PlanEstimate::pregel_peak_worker_bytes`] fits the per-worker memory
+//! budget; the MapReduce backend streams everything through the shuffle
+//! and survives far smaller workers at a latency cost. `Backend::Auto`
+//! (in `inferturbo-core`) encodes exactly this comparison instead of
+//! leaving the choice to the caller.
+
+use crate::spec::ClusterSpec;
+
+/// Predicted traffic for one GNN layer, split by message plane. The
+/// per-edge GNN traffic (columnar + legacy) is common to both backends;
+/// MapReduce additionally re-shuffles every node's self-state each round
+/// because nothing stays resident between rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerEstimate {
+    /// Layer index (messages feeding this layer's gather).
+    pub layer: usize,
+    /// Message row width in `f32` lanes.
+    pub msg_dim: usize,
+    /// Predicted columnar-plane bytes: fixed-width rows, or fused partial
+    /// rows when the layer's aggregate is annotated associative. Zero when
+    /// the plan runs with the columnar plane disabled.
+    pub columnar_bytes: u64,
+    /// Predicted legacy-plane bytes: hub broadcast payloads and their
+    /// per-edge references (plus all row traffic when the columnar plane
+    /// is disabled).
+    pub legacy_bytes: u64,
+    /// Extra bytes the MapReduce backend shuffles this round: one
+    /// self-state record per node record (embedding + out-edge table).
+    pub mapreduce_selfstate_bytes: u64,
+}
+
+impl LayerEstimate {
+    /// Predicted message bytes on the Pregel backend for this layer.
+    pub fn pregel_bytes(&self) -> u64 {
+        self.columnar_bytes + self.legacy_bytes
+    }
+
+    /// Predicted message bytes on the MapReduce backend for this layer.
+    pub fn mapreduce_bytes(&self) -> u64 {
+        self.pregel_bytes() + self.mapreduce_selfstate_bytes
+    }
+}
+
+/// A plan's predicted cost profile. Produced once at plan time; see the
+/// module docs for the relationship to [`crate::RunReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEstimate {
+    /// Per-layer predicted shuffle volume.
+    pub layers: Vec<LayerEstimate>,
+    /// Estimated peak per-worker resident bytes on the Pregel backend
+    /// (vertex states + the largest inter-superstep inbox). This is the
+    /// number backend auto-selection compares against the memory budget.
+    pub pregel_peak_worker_bytes: u64,
+    /// Estimated peak per-worker resident bytes on the MapReduce backend
+    /// (the largest single streamed key group — reducers never hold their
+    /// whole partition).
+    pub mapreduce_peak_worker_bytes: u64,
+}
+
+impl PlanEstimate {
+    /// Total predicted shuffle bytes for a whole run on the Pregel
+    /// backend.
+    pub fn pregel_total_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.pregel_bytes()).sum()
+    }
+
+    /// Total predicted shuffle bytes for a whole run on the MapReduce
+    /// backend.
+    pub fn mapreduce_total_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.mapreduce_bytes()).sum()
+    }
+
+    /// Whether the Pregel backend's predicted resident state fits a
+    /// per-worker memory budget — the auto-selection predicate.
+    pub fn pregel_fits(&self, budget_bytes: u64) -> bool {
+        self.pregel_peak_worker_bytes <= budget_bytes
+    }
+
+    /// Modelled communication wall-clock lower bound for the whole run on
+    /// `spec`, using the same constants as
+    /// [`PhaseReport::seal`](crate::PhaseReport::seal): per phase, the
+    /// predicted bytes spread evenly across workers over the full-duplex
+    /// NIC, plus the per-phase scheduling overhead. Real runs are slower
+    /// (compute, stragglers); the bound is for backend comparison, not
+    /// absolute prediction.
+    pub fn comm_wall_secs(
+        &self,
+        spec: &ClusterSpec,
+        bytes_per_layer: impl Fn(&LayerEstimate) -> u64,
+    ) -> f64 {
+        let w = spec.workers.max(1) as f64;
+        self.layers
+            .iter()
+            .map(|l| {
+                bytes_per_layer(l) as f64 / w / spec.bandwidth_bytes + spec.phase_overhead_secs
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate() -> PlanEstimate {
+        PlanEstimate {
+            layers: vec![
+                LayerEstimate {
+                    layer: 0,
+                    msg_dim: 8,
+                    columnar_bytes: 800,
+                    legacy_bytes: 200,
+                    mapreduce_selfstate_bytes: 2_000,
+                },
+                LayerEstimate {
+                    layer: 1,
+                    msg_dim: 4,
+                    columnar_bytes: 500,
+                    legacy_bytes: 0,
+                    mapreduce_selfstate_bytes: 1_000,
+                },
+            ],
+            pregel_peak_worker_bytes: 4_096,
+            mapreduce_peak_worker_bytes: 512,
+        }
+    }
+
+    #[test]
+    fn totals_sum_layers_and_planes() {
+        let e = estimate();
+        assert_eq!(e.layers[0].pregel_bytes(), 1_000);
+        assert_eq!(e.layers[0].mapreduce_bytes(), 3_000);
+        assert_eq!(e.pregel_total_bytes(), 1_500);
+        assert_eq!(e.mapreduce_total_bytes(), 4_500);
+    }
+
+    #[test]
+    fn fits_is_inclusive_at_the_boundary() {
+        let e = estimate();
+        assert!(e.pregel_fits(4_096));
+        assert!(!e.pregel_fits(4_095));
+    }
+
+    #[test]
+    fn comm_bound_uses_spec_rates() {
+        let e = estimate();
+        // test_spec: 1e6 B/s, zero overhead, 1 worker.
+        let spec = ClusterSpec::test_spec(1);
+        let secs = e.comm_wall_secs(&spec, LayerEstimate::pregel_bytes);
+        assert!((secs - 1_500.0 / 1.0e6).abs() < 1e-12);
+        // Overhead is charged once per phase.
+        let mut spec2 = spec;
+        spec2.phase_overhead_secs = 2.0;
+        let secs2 = e.comm_wall_secs(&spec2, LayerEstimate::pregel_bytes);
+        assert!((secs2 - (secs + 4.0)).abs() < 1e-12);
+    }
+}

@@ -21,8 +21,10 @@
 //! appear, linearity in scale); those are functions of the measured
 //! distributions, not of the modelled constants.
 
+pub mod estimate;
 pub mod metrics;
 pub mod spec;
 
+pub use estimate::{LayerEstimate, PlanEstimate};
 pub use metrics::{MessagePlaneBytes, PhaseReport, RunReport, WorkerPhase};
 pub use spec::ClusterSpec;

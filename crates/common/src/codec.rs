@@ -229,6 +229,19 @@ impl<'a> WireReader<'a> {
 
 // ---- blanket implementations for common payload shapes -------------------
 
+/// References encode as their referent: lets engines shuffle borrowed
+/// records (e.g. a reusable inference plan's node records) without cloning
+/// the whole input set per run.
+impl<T: Encode + ?Sized> Encode for &T {
+    fn encode(&self, w: &mut WireWriter) {
+        (**self).encode(w)
+    }
+
+    fn encoded_len(&self) -> usize {
+        (**self).encoded_len()
+    }
+}
+
 impl Encode for u64 {
     fn encode(&self, w: &mut WireWriter) {
         w.put_varint(*self);

@@ -127,6 +127,13 @@ impl RowBlock {
     pub fn clear(&mut self) {
         self.data.clear();
     }
+
+    /// Clear and adopt a (possibly new) row width, keeping the allocation —
+    /// the scratch-pool reuse path.
+    pub fn reset(&mut self, dim: usize) {
+        self.data.clear();
+        self.dim = dim;
+    }
 }
 
 /// One sender's columnar outbox shard for one destination worker:
@@ -286,6 +293,25 @@ impl FusedSlotShard {
 
     pub fn is_empty(&self) -> bool {
         self.keys.is_empty()
+    }
+
+    /// Restore the shard to the state `FusedSlotShard::new(dim, n_slots)`
+    /// would produce, keeping every allocation. Touched index entries are
+    /// cleared sparsely through `keys` — O(touched), not O(n_slots) — which
+    /// is the whole point of pooling these shards across supersteps: a
+    /// fresh shard pays a dense `u32` fill per (sender × destination) every
+    /// superstep, O(W·V) across a worker set.
+    pub fn reset(&mut self, dim: usize, n_slots: usize) {
+        for &k in &self.keys {
+            self.index[k as usize] = u32::MAX;
+        }
+        self.keys.clear();
+        self.counts.clear();
+        self.rows.reset(dim);
+        self.dim = dim;
+        if self.index.len() < n_slots {
+            self.index.resize(n_slots, u32::MAX);
+        }
     }
 
     /// Fold `row` (carrying `count` raw messages) into slot's accumulator.
@@ -516,6 +542,29 @@ mod tests {
         // out-of-range slots (vertices added later) are empty
         assert_eq!(merged.count(9), 0);
         assert_eq!(merged.row(9), &[] as &[f32]);
+    }
+
+    #[test]
+    fn fused_shard_reset_is_indistinguishable_from_fresh() {
+        let mut pooled = FusedSlotShard::new(3, 5);
+        pooled.accumulate(4, &[1.0, 2.0, 3.0], 1, &Sum);
+        pooled.accumulate(0, &[4.0, 5.0, 6.0], 2, &Sum);
+        // Reuse with a different dim and a larger slot count.
+        pooled.reset(2, 8);
+        let mut fresh = FusedSlotShard::new(2, 8);
+        for sh in [&mut pooled, &mut fresh] {
+            sh.accumulate(7, &[1.5, -0.0], 1, &Sum);
+            sh.accumulate(7, &[0.5, 1.0], 1, &Sum);
+            sh.accumulate(4, &[9.0, 9.0], 3, &Sum);
+        }
+        assert_eq!(pooled.keys, fresh.keys);
+        assert_eq!(pooled.counts, fresh.counts);
+        assert_eq!(pooled.rows.data(), fresh.rows.data());
+        // Shrinking the slot count keeps the larger index (slots beyond
+        // n_slots are simply never addressed).
+        pooled.reset(2, 1);
+        pooled.accumulate(0, &[1.0, 1.0], 1, &Sum);
+        assert_eq!(pooled.keys, vec![0]);
     }
 
     #[test]

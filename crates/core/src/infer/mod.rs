@@ -47,12 +47,40 @@ impl InferenceOutput {
 }
 
 /// Single-machine reference forward: exact same kernels, trivial data flow.
+///
+/// Thin compatibility wrapper over a single-use session on
+/// [`crate::session::Backend::Reference`]. Panics on a model/graph
+/// feature-dimension mismatch (the session path reports it as a clean
+/// configuration error; this signature predates `Result`).
 pub fn infer_reference(model: &GnnModel, graph: &Graph) -> Vec<Vec<f32>> {
+    crate::session::InferenceSession::builder()
+        .model(model)
+        .graph(graph)
+        .backend(crate::session::Backend::Reference)
+        .plan()
+        .and_then(|plan| plan.run())
+        .expect("reference inference")
+        .logits
+}
+
+/// The reference forward proper (the execution stage the session
+/// dispatches to). `features`, when given, replaces the graph's node
+/// features row-for-row.
+pub(crate) fn reference_logits(
+    model: &GnnModel,
+    graph: &Graph,
+    features: Option<&[Vec<f32>]>,
+) -> Vec<Vec<f32>> {
     let in_csr = Csr::in_of(graph);
     let in_deg = graph.in_degrees();
     let out_deg = graph.out_degrees();
     let n = graph.n_nodes();
-    let mut h: Vec<Vec<f32>> = (0..n as u32).map(|v| graph.node_feat(v).to_vec()).collect();
+    let mut h: Vec<Vec<f32>> = (0..n as u32)
+        .map(|v| match features {
+            Some(f) => f[v as usize].clone(),
+            None => graph.node_feat(v).to_vec(),
+        })
+        .collect();
     for l in 0..model.n_layers() {
         let layer = model.layer_view(l);
         let mut next = Vec::with_capacity(n);

@@ -16,7 +16,8 @@
 use crate::gas::{EdgeCtx, GasLayer, GnnMessage, NodeCtx};
 use crate::models::gas_impl::{combine_wire, PoolRowAggregator};
 use crate::models::{GnnModel, PoolOp};
-use crate::strategy::{base_of, build_node_records, mirror_of, StrategyConfig, NODE_FLAG};
+use crate::session::{Backend, InferenceSession};
+use crate::strategy::{base_of, mirror_of, NodeRecord, StrategyConfig, NODE_FLAG};
 use inferturbo_batch::{BatchEngine, KeyedData, PhaseCtx, RowSink, RowsView};
 use inferturbo_cluster::ClusterSpec;
 use inferturbo_common::codec::{Decode, Encode, WireReader, WireWriter};
@@ -130,7 +131,7 @@ fn mr_partition(key: u64, n: usize) -> usize {
 fn scatter_records(
     model: &GnnModel,
     strategy: &StrategyConfig,
-    bc_threshold: u32,
+    bc_threshold: u64,
     workers: usize,
     layer_idx: usize,
     wire: u64,
@@ -154,7 +155,7 @@ fn scatter_records(
     ctx.add_flops(layer.flops_apply_edge());
     let msg = layer.make_wire(raw, strategy.partial_gather);
     let ann = layer.annotations();
-    if strategy.broadcast && ann.uniform_message && out_deg > bc_threshold {
+    if strategy.broadcast && ann.uniform_message && out_deg as u64 > bc_threshold {
         for w in 0..workers {
             emit.push((
                 w as u64,
@@ -183,7 +184,7 @@ fn scatter_records(
 fn scatter_rows(
     model: &GnnModel,
     strategy: &StrategyConfig,
-    bc_threshold: u32,
+    bc_threshold: u64,
     workers: usize,
     layer_idx: usize,
     wire: u64,
@@ -207,7 +208,7 @@ fn scatter_rows(
     );
     ctx.add_flops(layer.flops_apply_edge());
     let ann = layer.annotations();
-    if strategy.broadcast && ann.uniform_message && out_deg > bc_threshold {
+    if strategy.broadcast && ann.uniform_message && out_deg as u64 > bc_threshold {
         let msg = layer.make_wire(raw, strategy.partial_gather);
         for w in 0..workers {
             emit.push((
@@ -244,32 +245,77 @@ fn combine_records(op: PoolOp, acc: &mut MrRecord, msg: MrRecord) -> Option<MrRe
 /// messages ride the engine's columnar shuffle plane unless
 /// `strategy.columnar` turns it off (the legacy per-record path, kept for
 /// plane-equivalence testing).
+///
+/// Thin compatibility wrapper over a single-use [`InferenceSession`]: it
+/// plans once and runs once. Callers doing repeated inference over the
+/// same graph should hold the plan themselves (see `crate::session`).
 pub fn infer_mapreduce(
     model: &GnnModel,
     graph: &Graph,
     spec: ClusterSpec,
     strategy: StrategyConfig,
 ) -> Result<InferenceOutput> {
-    if graph.node_feat_dim() != model.in_dim() {
-        return Err(Error::InvalidConfig(format!(
-            "graph features ({}) do not match model input ({})",
-            graph.node_feat_dim(),
-            model.in_dim()
-        )));
-    }
+    InferenceSession::builder()
+        .model(model)
+        .graph(graph)
+        .mapreduce_spec(spec)
+        .strategy(strategy)
+        .backend(Backend::MapReduce)
+        .plan()?
+        .run()
+}
+
+/// Execute one planned MapReduce run over pre-built node records (the
+/// execution stage of the session pipeline; planning already happened).
+/// `features`, when given, replaces each record's raw input row. Records
+/// are shuffled by reference — nothing is cloned per run beyond what the
+/// rounds themselves emit.
+pub(crate) fn run_planned(
+    model: &GnnModel,
+    records: &[NodeRecord],
+    n_nodes: usize,
+    spec: ClusterSpec,
+    strategy: StrategyConfig,
+    bc_threshold: u64,
+    features: Option<&[Vec<f32>]>,
+) -> Result<InferenceOutput> {
     if strategy.columnar {
-        return infer_mapreduce_columnar(model, graph, spec, strategy);
+        run_planned_columnar(
+            model,
+            records,
+            n_nodes,
+            spec,
+            strategy,
+            bc_threshold,
+            features,
+        )
+    } else {
+        run_planned_legacy(
+            model,
+            records,
+            n_nodes,
+            spec,
+            strategy,
+            bc_threshold,
+            features,
+        )
     }
+}
+
+/// The legacy-plane MapReduce driver (`strategy.columnar == false`).
+fn run_planned_legacy(
+    model: &GnnModel,
+    records: &[NodeRecord],
+    n_nodes: usize,
+    spec: ClusterSpec,
+    strategy: StrategyConfig,
+    bc_threshold: u64,
+    features: Option<&[Vec<f32>]>,
+) -> Result<InferenceOutput> {
     let k = model.n_layers();
     let workers = spec.workers;
-    // Same worker-count guard as the Pregel driver: W broadcast-table
-    // records only beat per-edge payloads when out-degree exceeds W.
-    let bc_threshold = strategy
-        .threshold(graph.n_edges(), workers)
-        .max(workers as u32);
     let mut eng = BatchEngine::new(spec).with_partition_fn(mr_partition);
-    let records = build_node_records(graph, &strategy, workers);
-    let inputs = eng.scatter_inputs(records);
+    let inputs = eng.scatter_inputs(records.iter().collect());
 
     // --- Map: initial embeddings + layer-0 scatter ------------------------
     let combiner_for = |layer_idx: usize| -> Option<PoolOp> {
@@ -287,10 +333,14 @@ pub fn infer_mapreduce(
         "map-init",
         &inputs,
         |_w| {
-            |ctx: &mut PhaseCtx, rec: &crate::strategy::NodeRecord| {
+            |ctx: &mut PhaseCtx, rec: &&NodeRecord| {
                 let mut emit = Vec::with_capacity(rec.out_targets.len() + 1);
-                // h⁰ = raw features (initialisation step)
-                let h0 = rec.raw.clone();
+                // h⁰ = raw features (initialisation step), or the fresh
+                // features a serving caller handed to this run.
+                let h0 = match features {
+                    Some(f) => f[rec.base as usize].clone(),
+                    None => rec.raw.clone(),
+                };
                 scatter_records(
                     model,
                     &strategy,
@@ -437,7 +487,7 @@ pub fn infer_mapreduce(
     }
 
     // --- harvest -------------------------------------------------------------
-    let logits = harvest_logits(graph, data)?;
+    let logits = harvest_logits(n_nodes, data)?;
     Ok(InferenceOutput {
         logits,
         report: eng.into_report(),
@@ -445,8 +495,8 @@ pub fn infer_mapreduce(
 }
 
 /// Collect `Output` records from the final round into per-node logits.
-fn harvest_logits(graph: &Graph, data: KeyedData<MrRecord>) -> Result<Vec<Vec<f32>>> {
-    let mut logits: Vec<Option<Vec<f32>>> = vec![None; graph.n_nodes()];
+fn harvest_logits(n_nodes: usize, data: KeyedData<MrRecord>) -> Result<Vec<Vec<f32>>> {
+    let mut logits: Vec<Option<Vec<f32>>> = vec![None; n_nodes];
     for (key, rec) in data.into_map() {
         if key & NODE_FLAG == 0 || mirror_of(key) != 0 {
             continue;
@@ -473,20 +523,19 @@ fn harvest_logits(graph: &Graph, data: KeyedData<MrRecord>) -> Result<Vec<Vec<f3
 /// at the sender whenever the layer's aggregate is annotated
 /// commutative/associative (the paper's partial-aggregation strategy,
 /// executed without a single per-message heap object).
-fn infer_mapreduce_columnar(
+fn run_planned_columnar(
     model: &GnnModel,
-    graph: &Graph,
+    records: &[NodeRecord],
+    n_nodes: usize,
     spec: ClusterSpec,
     strategy: StrategyConfig,
+    bc_threshold: u64,
+    features: Option<&[Vec<f32>]>,
 ) -> Result<InferenceOutput> {
     let k = model.n_layers();
     let workers = spec.workers;
-    let bc_threshold = strategy
-        .threshold(graph.n_edges(), workers)
-        .max(workers as u32);
     let mut eng = BatchEngine::new(spec).with_partition_fn(mr_partition);
-    let records = build_node_records(graph, &strategy, workers);
-    let inputs = eng.scatter_inputs(records);
+    let inputs = eng.scatter_inputs(records.iter().collect());
 
     // Fused row aggregation stands in for the wire combiner: same
     // annotation rule, same fold kernels.
@@ -510,10 +559,14 @@ fn infer_mapreduce_columnar(
         &inputs,
         dim_of(0),
         |_w| {
-            |ctx: &mut PhaseCtx, rec: &crate::strategy::NodeRecord, sink: &mut RowSink<'_>| {
+            |ctx: &mut PhaseCtx, rec: &&NodeRecord, sink: &mut RowSink<'_>| {
                 let mut emit = Vec::with_capacity(2);
-                // h⁰ = raw features (initialisation step)
-                let h0 = rec.raw.clone();
+                // h⁰ = raw features (initialisation step), or the fresh
+                // features a serving caller handed to this run.
+                let h0 = match features {
+                    Some(f) => f[rec.base as usize].clone(),
+                    None => rec.raw.clone(),
+                };
                 scatter_rows(
                     model,
                     &strategy,
@@ -660,7 +713,7 @@ fn infer_mapreduce_columnar(
     }
     debug_assert!(rows.is_empty(), "last round emits no rows");
 
-    let logits = harvest_logits(graph, data)?;
+    let logits = harvest_logits(n_nodes, data)?;
     Ok(InferenceOutput {
         logits,
         report: eng.into_report(),

@@ -25,13 +25,14 @@
 use crate::gas::{EdgeCtx, GasLayer, GnnMessage, NodeCtx};
 use crate::models::gas_impl::{PoolRowAggregator, WireCombiner};
 use crate::models::GnnModel;
-use crate::strategy::{build_node_records, mirror_of, StrategyConfig};
+use crate::session::{Backend, InferenceSession};
+use crate::strategy::{mirror_of, NodeRecord, StrategyConfig};
 use inferturbo_cluster::ClusterSpec;
 use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
 use inferturbo_pregel::{
     Combiner, FusedAggregator, MessageLayout, Outbox, PregelConfig, PregelEngine, RowsIn,
-    VertexProgram,
+    ScratchPool, VertexProgram,
 };
 
 use super::InferenceOutput;
@@ -51,7 +52,7 @@ pub struct GnnVertexProgram<'m> {
     model: &'m GnnModel,
     strategy: StrategyConfig,
     /// Hub threshold for the broadcast strategy (logical out-degree).
-    bc_threshold: u32,
+    bc_threshold: u64,
     /// Per-feeding-step combiners (index = superstep that emits; legacy
     /// plane).
     combiners: Vec<Option<WireCombiner>>,
@@ -81,7 +82,10 @@ impl<'m> GnnVertexProgram<'m> {
         );
         out.add_flops(layer.flops_apply_edge());
         let ann = layer.annotations();
-        if self.strategy.broadcast && ann.uniform_message && state.out_deg > self.bc_threshold {
+        if self.strategy.broadcast
+            && ann.uniform_message
+            && state.out_deg as u64 > self.bc_threshold
+        {
             // Hub path: one payload per worker on the legacy plane, one
             // 8-byte ref per edge.
             let msg = layer.make_wire(raw, self.strategy.partial_gather);
@@ -218,19 +222,46 @@ impl VertexProgram for GnnVertexProgram<'_> {
 }
 
 /// Run full-graph inference on the Pregel backend.
+///
+/// Thin compatibility wrapper over a single-use [`InferenceSession`]: it
+/// plans once and runs once. Callers doing repeated inference over the
+/// same graph should hold the plan themselves (see `crate::session`).
 pub fn infer_pregel(
     model: &GnnModel,
     graph: &Graph,
     spec: ClusterSpec,
     strategy: StrategyConfig,
 ) -> Result<InferenceOutput> {
-    if graph.node_feat_dim() != model.in_dim() {
-        return Err(Error::InvalidConfig(format!(
-            "graph features ({}) do not match model input ({})",
-            graph.node_feat_dim(),
-            model.in_dim()
-        )));
-    }
+    InferenceSession::builder()
+        .model(model)
+        .graph(graph)
+        .pregel_spec(spec)
+        .strategy(strategy)
+        .backend(Backend::Pregel)
+        .plan()?
+        .run()
+}
+
+/// Execute one planned Pregel run over pre-built node records.
+///
+/// This is the execution stage of the session pipeline: all planning work
+/// (CSR builds, degree arrays, shadow-mirror expansion, hub thresholds)
+/// happened when the records were built. `features`, when given, replaces
+/// each record's raw input row (same node, fresh features — the serving
+/// path); `scratch` is the plan's pooled per-worker engine scratch,
+/// returned after the run so the next run skips the per-superstep
+/// allocations. On error the pool is dropped; the next run starts fresh.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_planned(
+    model: &GnnModel,
+    records: &[NodeRecord],
+    n_nodes: usize,
+    spec: ClusterSpec,
+    strategy: StrategyConfig,
+    bc_threshold: u64,
+    features: Option<&[Vec<f32>]>,
+    scratch: ScratchPool<GnnMessage>,
+) -> Result<(InferenceOutput, ScratchPool<GnnMessage>)> {
     let k = model.n_layers();
     let combiners: Vec<Option<WireCombiner>> = (0..k)
         .map(|l| model.layer_view(l).wire_combiner())
@@ -238,13 +269,6 @@ pub fn infer_pregel(
     let row_aggs: Vec<Option<PoolRowAggregator>> = (0..k)
         .map(|l| model.layer_view(l).row_aggregator())
         .collect();
-    // Broadcast pays one payload per worker instead of one per out-edge,
-    // so it only wins when out-degree exceeds the worker count; at the
-    // paper's scale (λ·|E|/W = 100k ≫ W = 1000) the heuristic threshold
-    // implies this, but scaled-down graphs need the guard made explicit.
-    let bc_threshold = strategy
-        .threshold(graph.n_edges(), spec.workers)
-        .max(spec.workers as u32);
     let program = GnnVertexProgram {
         model,
         strategy,
@@ -255,13 +279,18 @@ pub fn infer_pregel(
     };
     let config = PregelConfig::new(spec).with_columnar(strategy.columnar);
     let mut engine = PregelEngine::new(program, config);
-    for rec in build_node_records(graph, &strategy, spec.workers) {
+    engine.set_scratch(scratch);
+    for rec in records {
+        let raw = match features {
+            Some(f) => f[rec.base as usize].clone(),
+            None => rec.raw.clone(),
+        };
         engine.add_vertex(
             rec.wire,
             GnnVertexState {
-                raw: rec.raw,
+                raw,
                 h: Vec::new(),
-                out_targets: rec.out_targets,
+                out_targets: rec.out_targets.clone(),
                 in_deg: rec.in_deg,
                 out_deg: rec.out_deg,
                 logits: None,
@@ -269,8 +298,9 @@ pub fn infer_pregel(
         );
     }
     engine.run(k + 1)?;
+    let scratch = engine.take_scratch();
 
-    let mut logits: Vec<Option<Vec<f32>>> = vec![None; graph.n_nodes()];
+    let mut logits: Vec<Option<Vec<f32>>> = vec![None; n_nodes];
     engine.for_each_state(|id, state| {
         if mirror_of(id) == 0 {
             let base = crate::strategy::base_of(id) as usize;
@@ -282,8 +312,11 @@ pub fn infer_pregel(
         .enumerate()
         .map(|(v, l)| l.ok_or_else(|| Error::InvalidGraph(format!("node {v} missing logits"))))
         .collect::<Result<_>>()?;
-    Ok(InferenceOutput {
-        logits,
-        report: engine.into_report(),
-    })
+    Ok((
+        InferenceOutput {
+            logits,
+            report: engine.into_report(),
+        },
+        scratch,
+    ))
 }

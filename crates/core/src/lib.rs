@@ -17,10 +17,15 @@
 //! - [`signature`] (§IV-B-1) — layer-wise model signatures: weights plus
 //!   annotations exported at save time so the inference backends can
 //!   re-assemble the computation flow without manual configuration;
-//! - [`train`] (§IV-B-1) — mini-batch training on (optionally sampled)
+//! - [`mod@train`] (§IV-B-1) — mini-batch training on (optionally sampled)
 //!   k-hop neighbourhoods;
-//! - [`infer`] (§IV-C) — full-graph inference drivers for the Pregel and
-//!   MapReduce backends plus a single-machine reference implementation;
+//! - [`session`] / [`plan`] — the plan → execute pipeline: a
+//!   [`SessionBuilder`] turns one-time planning work (records, hub sets,
+//!   cost estimate, backend auto-selection) into a reusable
+//!   [`InferencePlan`] whose repeated runs skip all of it;
+//! - [`infer`] (§IV-C) — full-graph inference execution for the Pregel and
+//!   MapReduce backends plus a single-machine reference implementation,
+//!   with the legacy one-shot drivers kept as single-use-session wrappers;
 //! - [`strategy`] (§IV-D) — partial-gather, broadcast and shadow-nodes,
 //!   with the `λ·|E|/workers` activation threshold;
 //! - [`baseline`] (§V-B) — the traditional k-hop inference pipeline
@@ -33,6 +38,8 @@ pub mod consistency;
 pub mod gas;
 pub mod infer;
 pub mod models;
+pub mod plan;
+pub mod session;
 pub mod signature;
 pub mod strategy;
 pub mod train;
@@ -40,5 +47,7 @@ pub mod train;
 pub use gas::{AggState, EdgeCtx, GasLayer, GnnMessage, LayerAnnotations, NodeCtx};
 pub use infer::{infer_mapreduce, infer_pregel, infer_reference, InferenceOutput};
 pub use models::{GnnModel, LayerKind, PoolOp};
+pub use plan::{InferencePlan, PlanSummary};
+pub use session::{Backend, InferenceSession, SessionBuilder};
 pub use strategy::StrategyConfig;
 pub use train::{train, TrainConfig, TrainStats};

@@ -1,0 +1,563 @@
+//! The reusable inference plan: output of the session pipeline's planning
+//! stage (see [`crate::session`] for the full pipeline contract).
+//!
+//! An [`InferencePlan`] owns every piece of one-time work the legacy
+//! one-shot drivers used to redo per call:
+//!
+//! - the loadable [`NodeRecord`]s with the shadow-nodes transform applied
+//!   (which itself subsumes the out-CSR build, the degree arrays, and the
+//!   hub-threshold grouping);
+//! - the resolved hub threshold and hub/mirror counts;
+//! - a [`PlanEstimate`] predicting per-layer shuffle bytes by message
+//!   plane and peak per-worker memory for both backends, derived from the
+//!   same cost-model units as [`inferturbo_cluster::RunReport`];
+//! - the resolved backend (auto-selection happens at plan time);
+//! - the pooled per-worker Pregel engine scratch
+//!   ([`ScratchPool`]), so repeated runs stop reallocating the
+//!   O(workers·V) fused slot indexes every superstep.
+//!
+//! Plans are inspectable ([`InferencePlan::summary`]) and reusable:
+//! repeated [`InferencePlan::run`] calls are bit-identical to each other
+//! and to the legacy one-shot functions, while skipping all planning
+//! work. [`InferencePlan::run_with_features`] reruns the same plan with a
+//! fresh feature matrix — the serving path for periodically refreshed
+//! embeddings over a stable graph.
+
+use crate::gas::GnnMessage;
+use crate::infer::{mr_backend, pregel_backend, reference_logits, InferenceOutput};
+use crate::models::GnnModel;
+use crate::session::Backend;
+use crate::strategy::{build_node_records, NodeRecord, StrategyConfig};
+use inferturbo_cluster::{ClusterSpec, LayerEstimate, PlanEstimate, RunReport};
+use inferturbo_common::codec::varint_len;
+use inferturbo_common::hash::partition_of;
+use inferturbo_common::rows::row_payload_len;
+use inferturbo_common::{Error, Result};
+use inferturbo_graph::Graph;
+use inferturbo_pregel::ScratchPool;
+use std::sync::Mutex;
+
+use crate::gas::GasLayer;
+
+/// A planned, reusable inference pipeline over one (model, graph,
+/// strategy, cluster) configuration. Built by
+/// [`SessionBuilder::plan`](crate::session::SessionBuilder::plan).
+pub struct InferencePlan<'a> {
+    pub(crate) model: &'a GnnModel,
+    pub(crate) graph: &'a Graph,
+    pub(crate) strategy: StrategyConfig,
+    /// The backend requested by the builder (possibly `Auto`).
+    pub(crate) requested: Backend,
+    /// The concrete backend runs execute on (never `Auto`).
+    pub(crate) backend: Backend,
+    pub(crate) pregel_spec: ClusterSpec,
+    pub(crate) mapreduce_spec: ClusterSpec,
+    /// Per-worker memory budget `Backend::Auto` compared against.
+    pub(crate) memory_budget: u64,
+    /// Planning worker count (the chosen backend's cluster size).
+    pub(crate) workers: usize,
+    pub(crate) records: Vec<NodeRecord>,
+    pub(crate) bc_threshold: u64,
+    pub(crate) hubs: usize,
+    pub(crate) mirrors: usize,
+    pub(crate) estimate: PlanEstimate,
+    /// Pooled Pregel engine scratch, carried across runs. `None` until the
+    /// first Pregel run returns it (or after a failed run dropped it).
+    scratch: Mutex<Option<ScratchPool<GnnMessage>>>,
+}
+
+impl std::fmt::Debug for InferencePlan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferencePlan")
+            .field("backend", &self.backend)
+            .field("workers", &self.workers)
+            .field("records", &self.records.len())
+            .field("mirrors", &self.mirrors)
+            .field("hubs", &self.hubs)
+            .field("bc_threshold", &self.bc_threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> InferencePlan<'a> {
+    /// Planning stage: apply the graph transforms and build the cost
+    /// estimate. Called by the session builder.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build(
+        model: &'a GnnModel,
+        graph: &'a Graph,
+        strategy: StrategyConfig,
+        requested: Backend,
+        pregel_spec: ClusterSpec,
+        mapreduce_spec: ClusterSpec,
+        memory_budget: u64,
+        workers: usize,
+    ) -> InferencePlan<'a> {
+        // Broadcast pays one payload per worker instead of one per
+        // out-edge, so it only wins when out-degree exceeds the worker
+        // count; at the paper's scale (λ·|E|/W = 100k ≫ W = 1000) the
+        // heuristic threshold implies this, but scaled-down graphs need
+        // the guard made explicit.
+        let bc_threshold = strategy
+            .threshold(graph.n_edges(), workers)
+            .max(workers as u64);
+        // The reference path reads only (model, graph): skip the cluster
+        // transforms so `infer_reference` in training/eval loops stays a
+        // plain forward pass. Its plan reports zero records/estimate.
+        let records = if requested == Backend::Reference {
+            Vec::new()
+        } else {
+            build_node_records(graph, &strategy, workers)
+        };
+        let mirrors = records.len().saturating_sub(graph.n_nodes());
+        let hubs = if records.is_empty() {
+            0
+        } else {
+            graph
+                .out_degrees()
+                .iter()
+                .filter(|&&d| d as u64 > bc_threshold)
+                .count()
+        };
+        let estimate = build_estimate(model, &records, &strategy, workers, bc_threshold);
+        let backend = match requested {
+            Backend::Auto => {
+                // The paper's §IV-A trade-off, encoded: Pregel keeps state
+                // resident and wins when it fits; MapReduce streams and is
+                // the fallback when it does not.
+                if estimate.pregel_fits(memory_budget) {
+                    Backend::Pregel
+                } else {
+                    Backend::MapReduce
+                }
+            }
+            b => b,
+        };
+        InferencePlan {
+            model,
+            graph,
+            strategy,
+            requested,
+            backend,
+            pregel_spec,
+            mapreduce_spec,
+            memory_budget,
+            workers,
+            records,
+            bc_threshold,
+            hubs,
+            mirrors,
+            estimate,
+            scratch: Mutex::new(None),
+        }
+    }
+
+    /// The concrete backend this plan executes on (auto-selection already
+    /// resolved; never [`Backend::Auto`]).
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The plan's predicted cost profile (per-layer bytes by plane, peak
+    /// per-worker memory for both backends).
+    pub fn estimate(&self) -> &PlanEstimate {
+        &self.estimate
+    }
+
+    /// The resolved hub threshold (logical out-degree above which a node
+    /// broadcasts / is mirrored).
+    pub fn hub_threshold(&self) -> u64 {
+        self.bc_threshold
+    }
+
+    /// Number of loadable records (nodes + shadow mirrors).
+    pub fn n_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// One-page inspection of everything planning decided.
+    pub fn summary(&self) -> PlanSummary {
+        PlanSummary {
+            backend: self.backend,
+            requested: self.requested,
+            workers: self.workers,
+            n_nodes: self.graph.n_nodes(),
+            n_edges: self.graph.n_edges(),
+            records: self.records.len(),
+            mirrors: self.mirrors,
+            hubs: self.hubs,
+            hub_threshold: self.bc_threshold,
+            memory_budget: self.memory_budget,
+            estimate: self.estimate.clone(),
+        }
+    }
+
+    /// Execute the plan. Repeated calls are bit-identical to each other
+    /// and to the legacy one-shot drivers for the same configuration; all
+    /// planning work is skipped.
+    pub fn run(&self) -> Result<InferenceOutput> {
+        self.run_inner(None)
+    }
+
+    /// Execute the plan with a fresh feature matrix (row `v` replaces node
+    /// `v`'s raw features). The graph structure, strategy transforms, and
+    /// backend choice are reused as planned.
+    pub fn run_with_features(&self, features: &[Vec<f32>]) -> Result<InferenceOutput> {
+        if features.len() != self.graph.n_nodes() {
+            return Err(Error::InvalidConfig(format!(
+                "feature matrix has {} rows for {} nodes",
+                features.len(),
+                self.graph.n_nodes()
+            )));
+        }
+        if let Some(bad) = features.iter().find(|f| f.len() != self.model.in_dim()) {
+            return Err(Error::InvalidConfig(format!(
+                "feature row width {} does not match model input ({})",
+                bad.len(),
+                self.model.in_dim()
+            )));
+        }
+        self.run_inner(Some(features))
+    }
+
+    fn run_inner(&self, features: Option<&[Vec<f32>]>) -> Result<InferenceOutput> {
+        match self.backend {
+            Backend::Pregel => {
+                let pool = self
+                    .scratch
+                    .lock()
+                    .expect("scratch lock poisoned")
+                    .take()
+                    .unwrap_or_default();
+                let (out, pool) = pregel_backend::run_planned(
+                    self.model,
+                    &self.records,
+                    self.graph.n_nodes(),
+                    self.pregel_spec,
+                    self.strategy,
+                    self.bc_threshold,
+                    features,
+                    pool,
+                )?;
+                *self.scratch.lock().expect("scratch lock poisoned") = Some(pool);
+                Ok(out)
+            }
+            Backend::MapReduce => mr_backend::run_planned(
+                self.model,
+                &self.records,
+                self.graph.n_nodes(),
+                self.mapreduce_spec,
+                self.strategy,
+                self.bc_threshold,
+                features,
+            ),
+            Backend::Reference => Ok(InferenceOutput {
+                logits: reference_logits(self.model, self.graph, features),
+                // The reference path models no cluster: an empty report on
+                // a single fat worker.
+                report: RunReport::new(ClusterSpec::pregel_cluster(1)),
+            }),
+            Backend::Auto => unreachable!("Auto is resolved at plan time"),
+        }
+    }
+}
+
+/// Everything [`InferencePlan::summary`] exposes, with a human-readable
+/// `Display`.
+#[derive(Debug, Clone)]
+pub struct PlanSummary {
+    pub backend: Backend,
+    pub requested: Backend,
+    pub workers: usize,
+    pub n_nodes: usize,
+    pub n_edges: usize,
+    /// Loadable records (nodes + mirrors).
+    pub records: usize,
+    /// Shadow mirrors created beyond the original nodes.
+    pub mirrors: usize,
+    /// Nodes whose logical out-degree exceeds the hub threshold.
+    pub hubs: usize,
+    pub hub_threshold: u64,
+    /// Per-worker memory budget auto-selection compared against.
+    pub memory_budget: u64,
+    pub estimate: PlanEstimate,
+}
+
+impl std::fmt::Display for PlanSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "plan: {:?} backend (requested {:?}), {} workers",
+            self.backend, self.requested, self.workers
+        )?;
+        writeln!(
+            f,
+            "  graph: {} nodes, {} edges -> {} records ({} mirrors, {} hubs, threshold {})",
+            self.n_nodes, self.n_edges, self.records, self.mirrors, self.hubs, self.hub_threshold
+        )?;
+        writeln!(
+            f,
+            "  memory: pregel peak/worker ~{} B vs budget {} B (mapreduce peak ~{} B)",
+            self.estimate.pregel_peak_worker_bytes,
+            self.memory_budget,
+            self.estimate.mapreduce_peak_worker_bytes
+        )?;
+        for l in &self.estimate.layers {
+            writeln!(
+                f,
+                "  layer {}: dim {:>3} | predicted columnar {} B, legacy {} B, +mr self-state {} B",
+                l.layer, l.msg_dim, l.columnar_bytes, l.legacy_bytes, l.mapreduce_selfstate_bytes
+            )?;
+        }
+        write!(
+            f,
+            "  totals: pregel ~{} B, mapreduce ~{} B",
+            self.estimate.pregel_total_bytes(),
+            self.estimate.mapreduce_total_bytes()
+        )
+    }
+}
+
+/// Average varint length of a wire id (ids carry the high `NODE_FLAG`
+/// bit, so they encode in 9–10 bytes).
+const WIRE_ID_LEN: u64 = 10;
+
+/// Build the plan's cost estimate from the planned layout. All quantities
+/// are *predictions* in the same units the engines measure: close enough
+/// to steer backend choice and to sanity-check a run's report, not
+/// byte-exact.
+fn build_estimate(
+    model: &GnnModel,
+    records: &[NodeRecord],
+    strategy: &StrategyConfig,
+    workers: usize,
+    bc_threshold: u64,
+) -> PlanEstimate {
+    let k = model.n_layers();
+    let n_w = workers.max(1);
+    let in_dim = model.in_dim();
+    let max_out = (0..k)
+        .map(|l| model.layer_view(l).annotations().out_dim)
+        .max()
+        .unwrap_or(0);
+    let logits_len = model.classes();
+
+    // Per-worker residency, using the engines' own hash partitioning and
+    // the same per-vertex accounting as the Pregel program's state_bytes.
+    let mut state_bytes = vec![0u64; n_w];
+    let mut slots = vec![0u64; n_w];
+    let mut in_rows = vec![0u64; n_w];
+    let mut max_group_floats = 0u64;
+    for rec in records {
+        let w = partition_of(rec.wire, n_w);
+        state_bytes[w] +=
+            ((in_dim + max_out + logits_len) * 4 + rec.out_targets.len() * 8 + 64) as u64;
+        slots[w] += 1;
+        in_rows[w] += rec.in_deg as u64;
+        max_group_floats = max_group_floats.max(rec.in_deg as u64 + 1);
+    }
+
+    // Per-layer traffic, split hub vs non-hub per the planned threshold.
+    let total_targets: u64 = records.iter().map(|r| r.out_targets.len() as u64).sum();
+    let mut layers = Vec::with_capacity(k);
+    let mut max_inbox = 0u64;
+    for l in 0..k {
+        let view = model.layer_view(l);
+        let ann = view.annotations();
+        let d = ann.msg_dim;
+        let fused = strategy.columnar && strategy.partial_gather && view.row_aggregator().is_some();
+        let broadcasting = strategy.broadcast && ann.uniform_message;
+        let (hub_records, hub_edges) = if broadcasting {
+            records
+                .iter()
+                .filter(|r| r.out_deg as u64 > bc_threshold)
+                .fold((0u64, 0u64), |(n, e), r| {
+                    (n + 1, e + r.out_targets.len() as u64)
+                })
+        } else {
+            (0, 0)
+        };
+        let row_edges = total_targets - hub_edges;
+
+        // Row traffic: one row per edge, or — fused — at most one partial
+        // per (sender worker, destination slot).
+        let row_records = if fused {
+            row_edges.min(n_w as u64 * records.len() as u64)
+        } else {
+            row_edges
+        };
+        let row_len = row_payload_len(d, fused.then_some(1)) as u64 + WIRE_ID_LEN;
+        let row_bytes = row_records * row_len;
+        // Hub traffic: one payload per worker plus an 8-byte ref per edge
+        // (both on the legacy plane).
+        let payload_len = row_payload_len(d, None) as u64 + varint_len(0) as u64;
+        let hub_bytes =
+            hub_records * (n_w as u64) * payload_len + hub_edges * (1 + 2 * WIRE_ID_LEN);
+        let (columnar_bytes, legacy_bytes) = if strategy.columnar {
+            (row_bytes, hub_bytes)
+        } else {
+            (0, row_bytes + hub_bytes)
+        };
+
+        // MapReduce re-shuffles every record's self-state each round: the
+        // current embedding plus the out-edge table.
+        let h_dim = if l == 0 {
+            in_dim
+        } else {
+            model.layer_view(l - 1).annotations().out_dim
+        };
+        let selfstate_bytes: u64 = records
+            .iter()
+            .map(|r| WIRE_ID_LEN + 4 * h_dim as u64 + WIRE_ID_LEN * r.out_targets.len() as u64 + 8)
+            .sum();
+
+        // Pregel inbox residency for this layer's gather.
+        let inbox: u64 = (0..n_w)
+            .map(|w| {
+                if fused {
+                    slots[w] * (d as u64 * 4 + 4)
+                } else {
+                    in_rows[w] * d as u64 * 4 + slots[w] * 4
+                }
+            })
+            .max()
+            .unwrap_or(0);
+        max_inbox = max_inbox.max(inbox);
+
+        layers.push(LayerEstimate {
+            layer: l,
+            msg_dim: d,
+            columnar_bytes,
+            legacy_bytes,
+            mapreduce_selfstate_bytes: selfstate_bytes,
+        });
+    }
+
+    let pregel_peak = state_bytes
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or(0)
+        .saturating_add(max_inbox);
+    // A reducer streams one key group at a time: self-state + gathered
+    // rows of the widest gather.
+    let max_dim = (0..k)
+        .map(|l| model.layer_view(l).annotations().msg_dim)
+        .max()
+        .unwrap_or(0)
+        .max(in_dim);
+    let mapreduce_peak = max_group_floats * max_dim as u64 * 4 + 256;
+
+    PlanEstimate {
+        layers,
+        pregel_peak_worker_bytes: pregel_peak,
+        mapreduce_peak_worker_bytes: mapreduce_peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::PoolOp;
+    use crate::session::InferenceSession;
+    use inferturbo_graph::gen::{generate, DegreeSkew, GenConfig};
+
+    fn graph() -> Graph {
+        generate(&GenConfig {
+            n_nodes: 200,
+            n_edges: 1_500,
+            feat_dim: 6,
+            classes: 3,
+            skew: DegreeSkew::Out,
+            seed: 21,
+            ..GenConfig::default()
+        })
+    }
+
+    #[test]
+    fn summary_reports_mirrors_hubs_and_bytes() {
+        let g = graph();
+        let m = GnnModel::sage(6, 8, 2, 3, false, PoolOp::Mean, 3);
+        let plan = InferenceSession::builder()
+            .model(&m)
+            .graph(&g)
+            .workers(4)
+            .strategy(StrategyConfig::all().with_threshold(8))
+            .backend(Backend::Pregel)
+            .plan()
+            .unwrap();
+        let s = plan.summary();
+        assert_eq!(s.n_nodes, 200);
+        assert!(s.mirrors > 0, "out-skewed graph must mirror hubs");
+        assert!(s.hubs > 0);
+        assert_eq!(s.records, 200 + s.mirrors);
+        assert_eq!(s.estimate.layers.len(), 2);
+        for l in &s.estimate.layers {
+            assert!(l.pregel_bytes() > 0);
+            assert!(l.mapreduce_bytes() > l.pregel_bytes());
+        }
+        let text = s.to_string();
+        assert!(text.contains("mirrors"), "{text}");
+        assert!(text.contains("layer 0"), "{text}");
+    }
+
+    #[test]
+    fn fused_estimate_is_below_materialized() {
+        // Fusion caps the columnar plane at one partial per
+        // (sender worker, destination slot); the prediction only drops
+        // below the per-edge count when avg degree ≫ workers, so use the
+        // dense shape the measured O(V·d) test uses.
+        let g = generate(&GenConfig {
+            n_nodes: 150,
+            n_edges: 6_000,
+            feat_dim: 6,
+            classes: 3,
+            skew: DegreeSkew::In,
+            seed: 13,
+            ..GenConfig::default()
+        });
+        let m = GnnModel::sage(6, 8, 2, 3, false, PoolOp::Mean, 3);
+        let fused = InferenceSession::builder()
+            .model(&m)
+            .graph(&g)
+            .workers(4)
+            .strategy(StrategyConfig::all())
+            .backend(Backend::Pregel)
+            .plan()
+            .unwrap();
+        let mat = InferenceSession::builder()
+            .model(&m)
+            .graph(&g)
+            .workers(4)
+            .strategy(StrategyConfig::all().with_partial_gather(false))
+            .backend(Backend::Pregel)
+            .plan()
+            .unwrap();
+        assert!(
+            fused.estimate().pregel_total_bytes() < mat.estimate().pregel_total_bytes(),
+            "fusion must shrink the predicted columnar volume"
+        );
+    }
+
+    #[test]
+    fn estimate_tracks_measured_peak_within_a_small_factor() {
+        // The prediction feeds a go/no-go memory decision; it must land in
+        // the same ballpark as the engine's measured residency.
+        let g = graph();
+        let m = GnnModel::sage(6, 8, 2, 3, false, PoolOp::Mean, 3);
+        let plan = InferenceSession::builder()
+            .model(&m)
+            .graph(&g)
+            .workers(4)
+            .strategy(StrategyConfig::all())
+            .backend(Backend::Pregel)
+            .plan()
+            .unwrap();
+        let predicted = plan.estimate().pregel_peak_worker_bytes;
+        let measured = plan.run().unwrap().report.max_mem_peak();
+        assert!(
+            predicted >= measured / 4 && predicted <= measured.saturating_mul(4),
+            "predicted {predicted} vs measured {measured}"
+        );
+    }
+}

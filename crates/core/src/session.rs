@@ -1,0 +1,315 @@
+//! The session API: **plan once, run many** full-graph inference.
+//!
+//! The paper's pipeline is explicitly staged — load and transform the
+//! graph (hub classification, shadow-node mirroring), pick a backend
+//! (Pregel while state fits in memory, MapReduce when it does not), then
+//! run layer-as-superstep inference. This module exposes those stages as
+//! a three-step API instead of the legacy free functions that re-derived
+//! everything per call:
+//!
+//! ```text
+//! InferenceSession::builder()          // 1. configure
+//!     .model(&model).graph(&graph)
+//!     .workers(8)
+//!     .strategy(StrategyConfig::all())
+//!     .backend(Backend::Auto)
+//!     .plan()?                         // 2. plan: one-time work
+//!     .run()?                          // 3. execute (repeatable)
+//! ```
+//!
+//! # Pipeline stages
+//!
+//! 1. **Configure** ([`SessionBuilder`]): model, graph, strategy toggles,
+//!    cluster shapes, backend request, memory budget.
+//! 2. **Plan** ([`SessionBuilder::plan`] → [`InferencePlan`]): builds the
+//!    loadable node records (shadow mirrors applied, hub threshold
+//!    resolved), predicts per-layer shuffle bytes and peak per-worker
+//!    memory for both backends
+//!    ([`PlanEstimate`](inferturbo_cluster::PlanEstimate)), and — for
+//!    [`Backend::Auto`] — picks the backend by comparing the predicted
+//!    Pregel residency against the memory budget (the paper's §IV-A
+//!    trade-off, encoded instead of hand-chosen). The plan also owns the
+//!    pooled per-worker engine scratch, so repeated runs stop paying the
+//!    per-superstep O(workers·V) slot-index allocations.
+//! 3. **Execute** ([`InferencePlan::run`] /
+//!    [`InferencePlan::run_with_features`]): the layer-as-superstep run
+//!    itself, returning an [`InferenceOutput`](crate::InferenceOutput).
+//!
+//! # Determinism contract
+//!
+//! Planning is pure: the same configuration always produces the same
+//! plan. Execution inherits the engines' determinism guarantees and adds
+//! the session's own:
+//!
+//! - repeated [`InferencePlan::run`] calls on one plan are **bit-identical**
+//!   to each other and to the legacy one-shot drivers
+//!   ([`infer_pregel`](crate::infer_pregel),
+//!   [`infer_mapreduce`](crate::infer_mapreduce),
+//!   [`infer_reference`](crate::infer_reference)) for the same
+//!   configuration — pooled scratch and pre-built records are observably
+//!   invisible;
+//! - results are independent of the thread budget
+//!   (`INFERTURBO_THREADS` / `Parallelism`), per the workspace-wide
+//!   contract in `inferturbo_common::par`;
+//! - [`InferencePlan::run_with_features`] over the graph's own features
+//!   is bit-identical to [`InferencePlan::run`].
+//!
+//! The suites `tests/session_plan.rs` and the equivalence tests in
+//! `crate::infer` enforce all three.
+
+use crate::models::GnnModel;
+use crate::plan::InferencePlan;
+use crate::strategy::StrategyConfig;
+use inferturbo_cluster::ClusterSpec;
+use inferturbo_common::{Error, Result};
+use inferturbo_graph::Graph;
+
+/// Which execution backend a session runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Decide at plan time: Pregel when the predicted peak per-worker
+    /// residency fits the memory budget, MapReduce otherwise (the paper's
+    /// §IV-A trade-off).
+    Auto,
+    /// The Pregel backend: state resident in worker memory, one superstep
+    /// per layer. Fast, memory-hungry, reserved workers.
+    Pregel,
+    /// The MapReduce backend: nothing resident between rounds, everything
+    /// travels through the shuffle. Slower, elastic, survives tiny
+    /// workers.
+    MapReduce,
+    /// The single-machine reference loop (ground truth for equivalence
+    /// tests; no cluster simulation, empty report).
+    Reference,
+}
+
+/// Entry point of the session API. See the module docs for the pipeline.
+pub struct InferenceSession;
+
+impl InferenceSession {
+    /// Start configuring a session.
+    pub fn builder<'a>() -> SessionBuilder<'a> {
+        SessionBuilder {
+            model: None,
+            graph: None,
+            workers: 8,
+            strategy: StrategyConfig::all(),
+            backend: Backend::Auto,
+            pregel_spec: None,
+            mapreduce_spec: None,
+            memory_budget: None,
+        }
+    }
+}
+
+/// Stage 1 of the pipeline: session configuration. Finish with
+/// [`SessionBuilder::plan`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder<'a> {
+    model: Option<&'a GnnModel>,
+    graph: Option<&'a Graph>,
+    workers: usize,
+    strategy: StrategyConfig,
+    backend: Backend,
+    pregel_spec: Option<ClusterSpec>,
+    mapreduce_spec: Option<ClusterSpec>,
+    memory_budget: Option<u64>,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// The trained model to run (required).
+    pub fn model(mut self, model: &'a GnnModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// The graph to infer over (required).
+    pub fn graph(mut self, graph: &'a Graph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Cluster size for the default cluster shapes (default 8). Ignored
+    /// for a backend whose spec was set explicitly.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Power-law strategy toggles (default: all on, the production
+    /// configuration).
+    pub fn strategy(mut self, strategy: StrategyConfig) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Backend request (default [`Backend::Auto`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Explicit Pregel cluster shape (default
+    /// [`ClusterSpec::pregel_cluster`] at the builder's worker count).
+    pub fn pregel_spec(mut self, spec: ClusterSpec) -> Self {
+        self.pregel_spec = Some(spec);
+        self
+    }
+
+    /// Explicit MapReduce cluster shape (default
+    /// [`ClusterSpec::mapreduce_cluster`] at the builder's worker count).
+    pub fn mapreduce_spec(mut self, spec: ClusterSpec) -> Self {
+        self.mapreduce_spec = Some(spec);
+        self
+    }
+
+    /// Per-worker memory budget [`Backend::Auto`] compares the predicted
+    /// Pregel residency against (default: the Pregel spec's memory cap).
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Stage 2 of the pipeline: validate the configuration and do the
+    /// one-time planning work. See [`InferencePlan`] for what the plan
+    /// owns and what repeated runs skip.
+    pub fn plan(self) -> Result<InferencePlan<'a>> {
+        let model = self
+            .model
+            .ok_or_else(|| Error::InvalidConfig("session needs a model".into()))?;
+        let graph = self
+            .graph
+            .ok_or_else(|| Error::InvalidConfig("session needs a graph".into()))?;
+        if graph.node_feat_dim() != model.in_dim() {
+            return Err(Error::InvalidConfig(format!(
+                "graph features ({}) do not match model input ({})",
+                graph.node_feat_dim(),
+                model.in_dim()
+            )));
+        }
+        let pregel_spec = self
+            .pregel_spec
+            .unwrap_or_else(|| ClusterSpec::pregel_cluster(self.workers));
+        let mapreduce_spec = self
+            .mapreduce_spec
+            .unwrap_or_else(|| ClusterSpec::mapreduce_cluster(self.workers));
+        // The planning worker count drives the hub threshold and the
+        // shadow transform, so it must be the cluster the run actually
+        // lands on.
+        let workers = match self.backend {
+            Backend::Pregel | Backend::Reference => pregel_spec.workers,
+            Backend::MapReduce => mapreduce_spec.workers,
+            Backend::Auto => {
+                if pregel_spec.workers != mapreduce_spec.workers {
+                    return Err(Error::InvalidConfig(format!(
+                        "Backend::Auto needs matching worker counts to plan \
+                         (pregel {}, mapreduce {}); set .workers(..) or force a backend",
+                        pregel_spec.workers, mapreduce_spec.workers
+                    )));
+                }
+                pregel_spec.workers
+            }
+        };
+        if workers == 0 {
+            return Err(Error::InvalidConfig(
+                "cluster needs at least one worker".into(),
+            ));
+        }
+        let memory_budget = self.memory_budget.unwrap_or(pregel_spec.memory_bytes);
+        Ok(InferencePlan::build(
+            model,
+            graph,
+            self.strategy,
+            self.backend,
+            pregel_spec,
+            mapreduce_spec,
+            memory_budget,
+            workers,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::PoolOp;
+    use inferturbo_graph::gen::{generate, DegreeSkew, GenConfig};
+
+    fn graph() -> Graph {
+        generate(&GenConfig {
+            n_nodes: 150,
+            n_edges: 900,
+            feat_dim: 5,
+            classes: 3,
+            skew: DegreeSkew::In,
+            seed: 9,
+            ..GenConfig::default()
+        })
+    }
+
+    #[test]
+    fn builder_rejects_missing_pieces_and_bad_dims() {
+        let g = graph();
+        let m = GnnModel::sage(5, 8, 2, 3, false, PoolOp::Mean, 1);
+        assert!(InferenceSession::builder().graph(&g).plan().is_err());
+        assert!(InferenceSession::builder().model(&m).plan().is_err());
+        let wrong = GnnModel::sage(7, 8, 2, 3, false, PoolOp::Mean, 1);
+        let err = InferenceSession::builder()
+            .model(&wrong)
+            .graph(&g)
+            .plan()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("do not match model input"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn auto_rejects_mismatched_worker_counts() {
+        let g = graph();
+        let m = GnnModel::sage(5, 8, 2, 3, false, PoolOp::Mean, 1);
+        let err = InferenceSession::builder()
+            .model(&m)
+            .graph(&g)
+            .pregel_spec(ClusterSpec::pregel_cluster(4))
+            .mapreduce_spec(ClusterSpec::mapreduce_cluster(8))
+            .plan()
+            .unwrap_err();
+        assert!(err.to_string().contains("matching worker counts"), "{err}");
+    }
+
+    #[test]
+    fn auto_picks_pregel_when_it_fits_and_mapreduce_when_not() {
+        let g = graph();
+        let m = GnnModel::sage(5, 8, 2, 3, false, PoolOp::Mean, 1);
+        let fits = InferenceSession::builder()
+            .model(&m)
+            .graph(&g)
+            .workers(4)
+            .plan()
+            .unwrap();
+        assert_eq!(
+            fits.backend(),
+            Backend::Pregel,
+            "10 GB budget fits a toy graph"
+        );
+        let boundary = fits.estimate().pregel_peak_worker_bytes;
+        let squeezed = InferenceSession::builder()
+            .model(&m)
+            .graph(&g)
+            .workers(4)
+            .memory_budget(boundary - 1)
+            .plan()
+            .unwrap();
+        assert_eq!(squeezed.backend(), Backend::MapReduce);
+        let exact = InferenceSession::builder()
+            .model(&m)
+            .graph(&g)
+            .workers(4)
+            .memory_budget(boundary)
+            .plan()
+            .unwrap();
+        assert_eq!(exact.backend(), Backend::Pregel, "budget is inclusive");
+    }
+}

@@ -104,11 +104,17 @@ impl StrategyConfig {
     /// The hub threshold: `max(1, λ·|E|/workers)` or the override.
     /// With 10⁹ edges on 1000 workers and λ = 0.1 this is the paper's
     /// 100,000.
-    pub fn threshold(&self, n_edges: usize, workers: usize) -> u32 {
+    ///
+    /// Returns `u64`: at paper scale the heuristic can exceed `u32::MAX`
+    /// (≥ ~4.3e12·workers/λ edges), and the old `as u32` cast silently
+    /// truncated there, turning every node into a hub. The `as u64` float
+    /// cast saturates, so absurdly large products degrade to "no hubs"
+    /// instead of wrapping.
+    pub fn threshold(&self, n_edges: usize, workers: usize) -> u64 {
         if let Some(t) = self.threshold_override {
-            return t.max(1);
+            return (t as u64).max(1);
         }
-        let t = (self.lambda * n_edges as f64 / workers.max(1) as f64) as u32;
+        let t = (self.lambda * n_edges as f64 / workers.max(1) as f64) as u64;
         t.max(1)
     }
 }
@@ -217,8 +223,9 @@ pub fn build_node_records(
 
     let groups: Vec<u32> = (0..n)
         .map(|v| {
-            if strategy.shadow_nodes && out_deg[v] > threshold {
-                out_deg[v].div_ceil(threshold)
+            if strategy.shadow_nodes && (out_deg[v] as u64) > threshold {
+                // ≤ out_deg (threshold ≥ 1), so the cast back is lossless.
+                (out_deg[v] as u64).div_ceil(threshold) as u32
             } else {
                 1
             }
@@ -273,6 +280,19 @@ mod tests {
         assert_eq!(s.with_threshold(7).threshold(1_000_000_000, 1000), 7);
         // floor at 1
         assert_eq!(s.threshold(5, 1000), 1);
+    }
+
+    #[test]
+    fn threshold_survives_u32_overflow() {
+        // λ·|E|/W above u32::MAX used to truncate (every node became a
+        // hub); the u64 widening must carry the true value through.
+        let s = StrategyConfig::all();
+        let t = s.threshold(usize::MAX, 1);
+        assert!(t > u32::MAX as u64, "threshold truncated: {t}");
+        // The float→int cast saturates rather than wrapping.
+        let mut huge = StrategyConfig::all();
+        huge.lambda = f64::MAX;
+        assert_eq!(huge.threshold(usize::MAX, 1), u64::MAX);
     }
 
     #[test]

@@ -15,16 +15,16 @@
 //! Two planes carry traffic between supersteps:
 //!
 //! - the **legacy typed plane**: `P::Msg` values in a flat per-worker
-//!   arena ([`InboxArena`]: one `Vec<Msg>` plus per-slot offsets) rebuilt
+//!   arena (`InboxArena`: one `Vec<Msg>` plus per-slot offsets) rebuilt
 //!   each superstep with a counting scatter;
 //! - the **columnar plane**: when the program declares a
 //!   [`MessageLayout`](crate::vertex::MessageLayout) for the emitting
 //!   step, fixed-width `f32` rows move through flat per-(sender ×
 //!   destination) buffers — no `Vec<f32>` per message, no `Msg` enum on
 //!   the hot path — and are sealed into a per-worker
-//!   [`RowArena`](inferturbo_common::rows::RowArena) with a counting
+//!   [`inferturbo_common::rows::RowArena`] with a counting
 //!   scatter of `memcpy`s. If the step also provides a
-//!   [`FusedAggregator`](crate::vertex::FusedAggregator), **gather is
+//!   [`FusedAggregator`], **gather is
 //!   fused into scatter**: senders fold rows into per-destination
 //!   accumulator rows as they emit, and the barrier merges one partial
 //!   row per (sender, destination slot) into a dense O(V·d) accumulator
@@ -107,6 +107,56 @@ impl PregelConfig {
 struct Slot<S> {
     id: u64,
     state: S,
+}
+
+/// One worker's reusable superstep scratch: the outbox (message spools,
+/// row buffers) and the per-destination fused accumulator shards with
+/// their dense slot indexes. Threaded through the fork-join by value —
+/// each worker task owns its scratch exclusively — and reclaimed at the
+/// barrier, so buffer capacity survives across supersteps.
+pub(crate) struct WorkerScratch<M> {
+    pub(crate) outbox: Outbox<M>,
+    pub(crate) fused: Vec<FusedSlotShard>,
+}
+
+impl<M> Default for WorkerScratch<M> {
+    fn default() -> Self {
+        WorkerScratch {
+            outbox: Outbox::new(None),
+            fused: Vec::new(),
+        }
+    }
+}
+
+/// Pooled per-worker engine scratch (one `WorkerScratch` per logical
+/// worker). Every engine owns one — supersteps within a run reuse it
+/// instead of reallocating — and a caller that runs repeated inference
+/// over the same graph (a planned session) can [`PregelEngine::take_scratch`]
+/// it after a run and [`PregelEngine::set_scratch`] it into the next
+/// engine, so the O(W·V) fused slot indexes and the outbox spools are
+/// allocated once per plan, not once per superstep.
+///
+/// Pooling is observably invisible: a reset shard/outbox is
+/// indistinguishable from a fresh one (sparse index clear through the
+/// touched keys), so results, byte accounting and metrics are identical
+/// with or without a carried-over pool.
+pub struct ScratchPool<M> {
+    workers: Vec<WorkerScratch<M>>,
+}
+
+impl<M> Default for ScratchPool<M> {
+    fn default() -> Self {
+        ScratchPool::new()
+    }
+}
+
+impl<M> ScratchPool<M> {
+    /// An empty pool; it grows to the engine's worker count on first use.
+    pub fn new() -> Self {
+        ScratchPool {
+            workers: Vec::new(),
+        }
+    }
 }
 
 /// Flat per-worker inbox: every pending message in one arena, slot `s`'s
@@ -267,21 +317,37 @@ struct StepOut<M> {
     /// Message volume by plane (local + remote).
     msg_bytes: MessagePlaneBytes,
     any_active: bool,
+    /// The worker's scratch, handed back to the engine pool at the
+    /// barrier. When the emit plane is fused, its `fused` shards are
+    /// travelling through `cols` instead and are reclaimed after the
+    /// destination merge.
+    scratch: WorkerScratch<M>,
 }
 
 impl<M> StepOut<M> {
-    fn new(n_workers: usize, emit: &EmitPlane<'_>, dest_sizes: &[usize]) -> Self {
+    fn new(
+        n_workers: usize,
+        emit: &EmitPlane<'_>,
+        dest_sizes: &[usize],
+        mut scratch: WorkerScratch<M>,
+    ) -> Self {
         let cols = match emit {
             EmitPlane::Legacy => ColsOut::None,
             EmitPlane::Rows { dim } => {
                 ColsOut::Rows((0..n_workers).map(|_| RowShard::new(*dim)).collect())
             }
-            EmitPlane::Fused { dim, .. } => ColsOut::Fused(
-                dest_sizes
-                    .iter()
-                    .map(|&n| FusedSlotShard::new(*dim, n))
-                    .collect(),
-            ),
+            EmitPlane::Fused { dim, .. } => {
+                // Reuse pooled shards: reset is indistinguishable from
+                // fresh construction but clears the dense slot index
+                // sparsely instead of refilling O(dest_size) per shard.
+                let mut shards = std::mem::take(&mut scratch.fused);
+                shards.truncate(n_workers);
+                shards.resize_with(n_workers, || FusedSlotShard::new(*dim, 0));
+                for (w2, sh) in shards.iter_mut().enumerate() {
+                    sh.reset(*dim, dest_sizes[w2]);
+                }
+                ColsOut::Fused(shards)
+            }
         };
         StepOut {
             metrics: WorkerPhase::default(),
@@ -293,6 +359,7 @@ impl<M> StepOut<M> {
             bcasts: Vec::new(),
             msg_bytes: MessagePlaneBytes::default(),
             any_active: false,
+            scratch,
         }
     }
 }
@@ -317,6 +384,8 @@ pub struct PregelEngine<P: VertexProgram> {
     bcast: FxHashMap<u64, P::Msg>,
     report: RunReport,
     step: usize,
+    /// Per-worker reusable superstep scratch (outboxes, fused shards).
+    scratch: ScratchPool<P::Msg>,
 }
 
 impl<P: VertexProgram> PregelEngine<P> {
@@ -336,7 +405,22 @@ impl<P: VertexProgram> PregelEngine<P> {
             bcast: FxHashMap::default(),
             config,
             step: 0,
+            scratch: ScratchPool::new(),
         }
+    }
+
+    /// Install a scratch pool carried over from a previous run over the
+    /// same partitioning (plan reuse). Pooling never changes results —
+    /// reset scratch is indistinguishable from fresh — it only skips the
+    /// per-superstep allocation and dense index fills.
+    pub fn set_scratch(&mut self, pool: ScratchPool<P::Msg>) {
+        self.scratch = pool;
+    }
+
+    /// Reclaim the scratch pool (typically after [`PregelEngine::run`]) so
+    /// a later engine instance over the same plan can reuse it.
+    pub fn take_scratch(&mut self) -> ScratchPool<P::Msg> {
+        std::mem::take(&mut self.scratch)
     }
 
     /// Register a vertex. Ids must be unique.
@@ -446,6 +530,9 @@ impl<P: VertexProgram> PregelEngine<P> {
                 .map(InboxCols::Fused)
                 .collect(),
         };
+        let mut scratches = std::mem::take(&mut self.scratch.workers);
+        scratches.truncate(n_workers);
+        scratches.resize_with(n_workers, WorkerScratch::default);
         let program = &self.program;
         let config = &self.config;
         let index = &self.index;
@@ -456,9 +543,10 @@ impl<P: VertexProgram> PregelEngine<P> {
             .iter_mut()
             .zip(inboxes)
             .zip(col_inboxes)
+            .zip(scratches)
             .collect();
         let results: Vec<Result<StepOut<P::Msg>>> =
-            par_map(tasks, |w, ((slots, arena), cols_in)| {
+            par_map(tasks, |w, (((slots, arena), cols_in), scratch)| {
                 run_worker(
                     program,
                     config,
@@ -472,6 +560,7 @@ impl<P: VertexProgram> PregelEngine<P> {
                     slots,
                     arena,
                     cols_in,
+                    scratch,
                 )
             });
         // Surface failures in ascending worker order, like the serial loop.
@@ -501,9 +590,11 @@ impl<P: VertexProgram> PregelEngine<P> {
         // arenas — both planes — in parallel (destinations are independent).
         let mut legacy_by_sender: Vec<LegacyShards<P::Msg>> = Vec::with_capacity(n_workers);
         let mut cols_by_sender: Vec<ColsOut> = Vec::with_capacity(n_workers);
+        let mut scratches: Vec<WorkerScratch<P::Msg>> = Vec::with_capacity(n_workers);
         for o in outs {
             legacy_by_sender.push(o.shards);
             cols_by_sender.push(o.cols);
+            scratches.push(o.scratch);
         }
         let seal_tasks: Vec<_> = (0..n_workers)
             .map(|w2| {
@@ -541,27 +632,27 @@ impl<P: VertexProgram> PregelEngine<P> {
             .collect();
         let sealed: Vec<_> = par_map(seal_tasks, |_, (n_slots, legacy, cols)| {
             let arena = InboxArena::seal(n_slots, legacy);
-            let (cols_in, resident) = match (cols, emit) {
-                (ColsOut::None, _) => (InboxCols::None, 0),
+            let (cols_in, resident, reclaimed) = match (cols, emit) {
+                (ColsOut::None, _) => (InboxCols::None, 0, Vec::new()),
                 (ColsOut::Rows(shards), EmitPlane::Rows { dim }) => {
                     let a = RowArena::seal(dim, n_slots, &shards);
                     let r = a.resident_bytes();
-                    (InboxCols::Rows(a), r)
+                    (InboxCols::Rows(a), r, Vec::new())
                 }
                 (ColsOut::Fused(shards), EmitPlane::Fused { dim, agg }) => {
                     let f = FusedRows::merge(dim, n_slots, &shards, agg);
                     let r = f.resident_bytes();
-                    (InboxCols::Fused(f), r)
+                    (InboxCols::Fused(f), r, shards)
                 }
                 _ => unreachable!("emit plane fixes the shard plane"),
             };
-            (arena, cols_in, resident)
+            (arena, cols_in, resident, reclaimed)
         });
 
         let mut next_inbox = Vec::with_capacity(n_workers);
         let mut next_rows = Vec::new();
         let mut next_fused = Vec::new();
-        for (w2, (arena, cols, resident)) in sealed.into_iter().enumerate() {
+        for (w2, (arena, cols, resident, reclaimed)) in sealed.into_iter().enumerate() {
             next_inbox_bytes[w2] += resident;
             next_inbox.push(arena);
             match cols {
@@ -569,7 +660,14 @@ impl<P: VertexProgram> PregelEngine<P> {
                 InboxCols::Rows(a) => next_rows.push(a),
                 InboxCols::Fused(f) => next_fused.push(f),
             }
+            // Hand the merged fused shards back to their senders' pools
+            // (reclaimed[s] is sender s's shard for destination w2) so the
+            // next superstep resets them instead of reallocating.
+            for (s, shard) in reclaimed.into_iter().enumerate() {
+                scratches[s].fused.push(shard);
+            }
         }
+        self.scratch.workers = scratches;
 
         // Memory model: resident = vertex states + incoming message buffers
         // (legacy arena bytes + columnar arena/accumulator bytes).
@@ -621,8 +719,9 @@ fn run_worker<P: VertexProgram>(
     slots: &mut [Slot<P::State>],
     arena: InboxArena<P::Msg>,
     cols_in: InboxCols,
+    scratch: WorkerScratch<P::Msg>,
 ) -> Result<StepOut<P::Msg>> {
-    let mut out = StepOut::new(n_workers, &emit, dest_sizes);
+    let mut out = StepOut::new(n_workers, &emit, dest_sizes, scratch);
     // Original destination ids of fused accumulator rows, first-touch
     // order per destination worker: flush accounting needs the dst varint.
     let mut fused_dsts: Vec<Vec<u64>> = match emit {
@@ -635,9 +734,11 @@ fn run_worker<P: VertexProgram>(
     let mut combined_idx: FxHashMap<u64, usize> = FxHashMap::default();
     let InboxArena { msgs, offsets } = arena;
     let mut msg_iter = msgs.into_iter();
-    // One outbox reused across every vertex: cleared between computes,
+    // One pooled outbox reused across every vertex (and, via the scratch
+    // pool, across supersteps and runs): cleared between computes,
     // capacity retained, so steady-state sends allocate nothing.
-    let mut ob: Outbox<P::Msg> = Outbox::new(emit.row_dim());
+    let mut ob = std::mem::replace(&mut out.scratch.outbox, Outbox::new(None));
+    ob.reset(emit.row_dim());
 
     for (s, slot) in slots.iter_mut().enumerate() {
         let cnt = InboxArena::<P::Msg>::count(&offsets, s);
@@ -790,6 +891,7 @@ fn run_worker<P: VertexProgram>(
         }
         out.cols = cols;
     }
+    out.scratch.outbox = ob;
     Ok(out)
 }
 

@@ -24,7 +24,7 @@
 pub mod engine;
 pub mod vertex;
 
-pub use engine::{PregelConfig, PregelEngine};
+pub use engine::{PregelConfig, PregelEngine, ScratchPool};
 pub use vertex::{
     ActivationPolicy, Combiner, FusedAggregator, MessageLayout, Outbox, RowsIn, VertexProgram,
 };

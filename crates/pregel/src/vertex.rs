@@ -117,6 +117,15 @@ impl<M> Outbox<M> {
         self.flops = 0.0;
     }
 
+    /// Reset for a new superstep (scratch-pool reuse): clear everything and
+    /// adopt the step's row plane. Capacity survives across supersteps —
+    /// and, when the outbox lives in a pooled [`crate::ScratchPool`],
+    /// across whole runs.
+    pub(crate) fn reset(&mut self, row_dim: Option<usize>) {
+        self.clear();
+        self.row_dim = row_dim;
+    }
+
     /// Send `msg` to vertex `dst` for delivery next superstep (legacy
     /// typed plane).
     pub fn send(&mut self, dst: u64, msg: M) {

@@ -1,9 +1,12 @@
 //! Choosing a backend: Pregel (fast, memory-hungry, reserved) vs
-//! MapReduce (slower, streaming, elastic) — the paper's §IV-C trade-off.
+//! MapReduce (slower, streaming, elastic) — the paper's §IV-C trade-off,
+//! now *encoded* by the session API: `Backend::Auto` compares the plan's
+//! predicted peak per-worker residency against a memory budget and picks
+//! the backend for you.
 //!
-//! Runs the same trained GAT on both backends across worker counts and
-//! prints the time/resource/memory frontier, including the OOM boundary
-//! that pushes large graphs toward the batch backend.
+//! Runs the same GAT through explicit backend choices across worker
+//! counts, then sweeps the memory budget to show the auto-selection flip
+//! at the predicted OOM boundary.
 //!
 //! ```sh
 //! cargo run --release --example backend_tradeoff
@@ -12,8 +15,8 @@
 use inferturbo::cluster::ClusterSpec;
 use inferturbo::common::stats;
 use inferturbo::core::models::GnnModel;
+use inferturbo::core::session::{Backend, InferenceSession};
 use inferturbo::core::strategy::StrategyConfig;
-use inferturbo::core::{infer_mapreduce, infer_pregel};
 use inferturbo::graph::gen::DegreeSkew;
 use inferturbo::graph::Dataset;
 
@@ -29,67 +32,96 @@ fn main() {
         "backend", "workers", "wall (s)", "cpu*min", "peak mem"
     );
     for workers in [8usize, 32, 128] {
-        let pregel = infer_pregel(
-            &model,
-            &dataset.graph,
-            ClusterSpec::pregel_cluster(workers),
-            StrategyConfig::all(),
-        )
-        .expect("pregel");
-        println!(
-            "{:<10} {:>8} {:>10.2} {:>14.2} {:>12}",
-            "pregel",
-            workers,
-            pregel.report.total_wall_secs(),
-            pregel.report.resource_cpu_min(),
-            stats::human_bytes(pregel.report.max_mem_peak() as f64),
-        );
-        let mr = infer_mapreduce(
-            &model,
-            &dataset.graph,
-            ClusterSpec::mapreduce_cluster(workers),
-            StrategyConfig::all(),
-        )
-        .expect("mapreduce");
-        println!(
-            "{:<10} {:>8} {:>10.2} {:>14.2} {:>12}",
-            "mapreduce",
-            workers,
-            mr.report.total_wall_secs(),
-            mr.report.resource_cpu_min(),
-            stats::human_bytes(mr.report.max_mem_peak() as f64),
-        );
+        for backend in [Backend::Pregel, Backend::MapReduce] {
+            let out = InferenceSession::builder()
+                .model(&model)
+                .graph(&dataset.graph)
+                .workers(workers)
+                .strategy(StrategyConfig::all())
+                .backend(backend)
+                .plan()
+                .expect("plan")
+                .run()
+                .expect("run");
+            println!(
+                "{:<10} {:>8} {:>10.2} {:>14.2} {:>12}",
+                format!("{backend:?}").to_lowercase(),
+                workers,
+                out.report.total_wall_secs(),
+                out.report.resource_cpu_min(),
+                stats::human_bytes(out.report.max_mem_peak() as f64),
+            );
+        }
     }
 
     // The Pregel backend must hold each partition's vertex state and inbox
-    // in memory. Shrink worker memory until it OOMs; the MapReduce backend
-    // streams groups from external storage and survives the same cap.
-    println!("\nmemory pressure (8 workers, shrinking RAM):");
-    for mem_mb in [256u64, 64, 16] {
-        let cap = mem_mb * (1 << 20);
-        let pregel = infer_pregel(
-            &model,
-            &dataset.graph,
-            ClusterSpec::pregel_cluster(8).with_memory(cap),
-            StrategyConfig::all(),
-        );
-        let mr = infer_mapreduce(
-            &model,
-            &dataset.graph,
-            ClusterSpec::mapreduce_cluster(8).with_memory(cap),
-            StrategyConfig::all(),
-        );
-        let verdict = |r: &Result<_, inferturbo::common::Error>| match r {
-            Ok(_) => "ok".to_string(),
+    // in memory; the plan predicts that residency before anything runs.
+    // Sweep the budget across the prediction: Backend::Auto flips to the
+    // streaming MapReduce backend exactly where Pregel would stop fitting.
+    let probe = InferenceSession::builder()
+        .model(&model)
+        .graph(&dataset.graph)
+        .workers(8)
+        .strategy(StrategyConfig::all())
+        .plan()
+        .expect("plan");
+    let predicted = probe.estimate().pregel_peak_worker_bytes;
+    println!(
+        "\npredicted pregel residency at 8 workers: {}/worker",
+        stats::human_bytes(predicted as f64)
+    );
+    println!("{}\n", probe.summary());
+
+    // Sweep points: comfortably above the Pregel floor, exactly at it,
+    // below it (MapReduce takes over and streams within budget), and
+    // finally below even the batch backend's own streaming floor (largest
+    // single key group) — nothing survives there, by design.
+    let mr_floor = probe.estimate().mapreduce_peak_worker_bytes;
+    println!("auto-selection across memory budgets (8 workers):");
+    for budget in [
+        predicted * 4,
+        predicted,
+        // Between the two floors, clamped strictly below the Pregel
+        // prediction so this row always demonstrates the MapReduce flip.
+        (predicted / 2).max(mr_floor * 2).min(predicted - 1),
+        mr_floor / 2,
+    ] {
+        let plan = InferenceSession::builder()
+            .model(&model)
+            .graph(&dataset.graph)
+            .workers(8)
+            .strategy(StrategyConfig::all())
+            .backend(Backend::Auto)
+            .memory_budget(budget)
+            .plan()
+            .expect("plan");
+        // Run on a spec capped at the same budget: the choice is only as
+        // good as its prediction, so let the engines' OOM checks judge it.
+        let capped = InferenceSession::builder()
+            .model(&model)
+            .graph(&dataset.graph)
+            .pregel_spec(ClusterSpec::pregel_cluster(8).with_memory(budget))
+            .mapreduce_spec(ClusterSpec::mapreduce_cluster(8).with_memory(budget))
+            .strategy(StrategyConfig::all())
+            .backend(plan.backend())
+            .plan()
+            .expect("plan");
+        let verdict = match capped.run() {
+            Ok(out) => format!(
+                "ok   wall {:>7.2}s  peak {}",
+                out.report.total_wall_secs(),
+                stats::human_bytes(out.report.max_mem_peak() as f64)
+            ),
             Err(e) if e.is_oom() => "OOM".to_string(),
             Err(e) => format!("error: {e}"),
         };
         println!(
-            "  {mem_mb:>4} MB/worker: pregel {:<4} mapreduce {}",
-            verdict(&pregel.map(|_| ())),
-            verdict(&mr.map(|_| ()))
+            "  budget {:>9}/worker -> {:<9?} {}",
+            stats::human_bytes(budget as f64),
+            plan.backend(),
+            verdict
         );
     }
     println!("\nthe batch backend keeps working below the graph-processing backend's floor —");
-    println!("exactly the paper's cost/efficiency trade-off between the two.");
+    println!("exactly the paper's cost/efficiency trade-off, now picked automatically.");
 }

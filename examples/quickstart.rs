@@ -1,16 +1,16 @@
 //! Quickstart: train a GraphSAGE model mini-batch, export its signature,
-//! and run full-graph inference on both backends.
+//! then serve full-graph inference through the session API — plan once,
+//! run many.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use inferturbo::cluster::ClusterSpec;
 use inferturbo::core::models::{GnnModel, PoolOp};
+use inferturbo::core::session::{Backend, InferenceSession};
 use inferturbo::core::signature;
 use inferturbo::core::strategy::StrategyConfig;
 use inferturbo::core::train::{evaluate, train, TrainConfig};
-use inferturbo::core::{infer_mapreduce, infer_pregel};
 use inferturbo::graph::gen::DegreeSkew;
 use inferturbo::graph::{Dataset, Split};
 
@@ -55,44 +55,49 @@ fn main() {
     let model = signature::load(&path).expect("load signature");
     println!("signature round-tripped through {}", path.display());
 
-    // 5. Full-graph inference on both backends, with every power-law
-    //    strategy enabled. No sampling anywhere: predictions are
-    //    bit-identical run to run and identical across backends.
-    let pregel = infer_pregel(
-        &model,
-        &dataset.graph,
-        ClusterSpec::pregel_cluster(32),
-        StrategyConfig::all(),
-    )
-    .expect("pregel inference");
-    let mr = infer_mapreduce(
-        &model,
-        &dataset.graph,
-        ClusterSpec::mapreduce_cluster(32),
-        StrategyConfig::all(),
-    )
-    .expect("mapreduce inference");
+    // 5. Plan full-graph inference once: the plan owns the shadow-mirrored
+    //    node records, the hub sets, a cost estimate for both backends,
+    //    and — with Backend::Auto — the backend decision itself (Pregel
+    //    while the predicted resident state fits worker memory, MapReduce
+    //    beyond it: the paper's §IV-A trade-off, encoded).
+    let plan = InferenceSession::builder()
+        .model(&model)
+        .graph(&dataset.graph)
+        .workers(32)
+        .strategy(StrategyConfig::all())
+        .backend(Backend::Auto)
+        .plan()
+        .expect("inference plan");
+    println!("\n{}\n", plan.summary());
 
-    let agree = pregel
+    // 6. Execute. Repeated runs reuse every planned artifact (records,
+    //    pooled engine scratch) and are bit-identical — no sampling
+    //    anywhere, the paper's consistency property.
+    let first = plan.run().expect("inference");
+    let again = plan.run().expect("inference");
+    assert_eq!(first.logits, again.logits, "runs are bit-identical");
+    println!(
+        "{:?} backend: modelled wall {:.2}s, {:.1} cpu*min, {} shuffled",
+        plan.backend(),
+        first.report.total_wall_secs(),
+        first.report.resource_cpu_min(),
+        inferturbo::common::stats::human_bytes(first.report.total_bytes() as f64),
+    );
+
+    // 7. The serving path: same plan, fresh features (e.g. a nightly
+    //    embedding refresh) — planning work is never repeated.
+    let fresh: Vec<Vec<f32>> = (0..dataset.graph.n_nodes() as u32)
+        .map(|v| dataset.graph.node_feat(v).iter().map(|x| x * 0.9).collect())
+        .collect();
+    let refreshed = plan.run_with_features(&fresh).expect("refreshed run");
+    let changed = first
         .predictions()
         .iter()
-        .zip(mr.predictions())
-        .filter(|(a, b)| **a == *b)
+        .zip(refreshed.predictions())
+        .filter(|(a, b)| **a != *b)
         .count();
     println!(
-        "backends agree on {agree}/{} predictions",
-        dataset.graph.n_nodes()
-    );
-    println!(
-        "pregel: modelled wall {:.2}s, {:.1} cpu*min, {} shuffled",
-        pregel.report.total_wall_secs(),
-        pregel.report.resource_cpu_min(),
-        inferturbo::common::stats::human_bytes(pregel.report.total_bytes() as f64),
-    );
-    println!(
-        "mapreduce: modelled wall {:.2}s, {:.1} cpu*min, {} shuffled",
-        mr.report.total_wall_secs(),
-        mr.report.resource_cpu_min(),
-        inferturbo::common::stats::human_bytes(mr.report.total_bytes() as f64),
+        "feature refresh flipped {changed}/{} predictions",
+        fresh.len()
     );
 }

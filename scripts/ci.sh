@@ -13,6 +13,14 @@ cargo fmt --all --check
 echo "== cargo clippy --workspace --all-targets (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo build --examples =="
+# Examples are the documented entry points; drift fails the gate.
+cargo build --examples
+
+echo "== cargo doc --workspace --no-deps (warnings denied) =="
+# Broken intra-doc links and malformed rustdoc fail the gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 

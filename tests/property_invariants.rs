@@ -113,7 +113,7 @@ proptest! {
         let s = StrategyConfig::all();
         let t = s.threshold(edges, workers);
         prop_assert!(t >= 1);
-        let expect = (0.1 * edges as f64 / workers as f64) as u32;
+        let expect = (0.1 * edges as f64 / workers as f64) as u64;
         prop_assert!(t == expect.max(1));
     }
 }
