@@ -24,6 +24,7 @@ use inferturbo_core::models::{GnnModel, PoolOp};
 use inferturbo_core::session::{Backend, InferenceSession};
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::{generate, DegreeSkew, GenConfig};
+use inferturbo_serve::{GnnServer, ScoreRequest, ServeConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -99,14 +100,31 @@ fn main() {
         .plan()
         .expect("session plan");
 
-    // (name, is_engine, workload)
-    type Bench<'a> = (&'a str, bool, Box<dyn FnMut() + 'a>);
+    // Serving throughput workload: SERVE_BATCH coalescing requests per
+    // iteration (graph features -> one group -> one batched run), so the
+    // recorded requests/s is SERVE_BATCH x the bundle rate.
+    const SERVE_BATCH: usize = 8;
+    let mut server = GnnServer::new(ServeConfig {
+        max_batch: SERVE_BATCH,
+        max_wait: 0,
+        ..ServeConfig::default()
+    });
+    server.register_model(1, &model);
+    server.register_graph(1, &g);
+    let serve_req = ScoreRequest::new(1, 1)
+        .with_workers(16)
+        .with_backend(Backend::Pregel)
+        .with_targets(vec![0, 1, 2]);
+
+    // (name, is_engine, ops multiplier, workload)
+    type Bench<'a> = (&'a str, bool, f64, Box<dyn FnMut() + 'a>);
     let mut benches: Vec<Bench<'_>> = vec![
         (
             // Default configuration = columnar plane + fused
             // scatter-aggregation (partial-gather annotated).
             "engine/pregel_sage2_3k",
             true,
+            1.0,
             Box::new(|| {
                 infer_pregel(&model, &g, pregel_spec, StrategyConfig::all()).unwrap();
             }),
@@ -117,6 +135,7 @@ fn main() {
             // aggregation win above.
             "engine/pregel_sage2_3k_columnar",
             true,
+            1.0,
             Box::new(|| {
                 infer_pregel(
                     &model,
@@ -135,13 +154,33 @@ fn main() {
             // the one-shot entry.
             "engine/session_reuse_3k",
             true,
+            1.0,
             Box::new(|| {
                 session.run().unwrap();
             }),
         ),
         (
+            // Requests/s through the serving micro-batcher: SERVE_BATCH
+            // coalescing requests per iteration are served by one batched
+            // run (the ops multiplier converts bundle rate to request
+            // rate). Must sit at or above engine/session_reuse_3k —
+            // batching amortises one run across the whole group, so it
+            // must never cost throughput.
+            "serve/throughput_3k",
+            true,
+            SERVE_BATCH as f64,
+            Box::new(|| {
+                for _ in 0..SERVE_BATCH {
+                    server.submit(serve_req.clone()).unwrap();
+                }
+                let done = server.drain_ready();
+                assert_eq!(done.len(), SERVE_BATCH, "batch must flush at max_batch");
+            }),
+        ),
+        (
             "engine/mapreduce_sage2_3k",
             true,
+            1.0,
             Box::new(|| {
                 infer_mapreduce(&model, &g, mr_spec, StrategyConfig::all()).unwrap();
             }),
@@ -149,6 +188,7 @@ fn main() {
         (
             "kernel/matmul_192",
             false,
+            1.0,
             Box::new(|| {
                 std::hint::black_box(a.matmul(&b));
             }),
@@ -156,6 +196,7 @@ fn main() {
         (
             "kernel/segment_sum_50k",
             false,
+            1.0,
             Box::new(|| {
                 std::hint::black_box(msgs.segment_sum(&seg, 5_000));
             }),
@@ -163,6 +204,7 @@ fn main() {
         (
             "kernel/row_axpy",
             false,
+            1.0,
             Box::new(|| {
                 for r in 0..axpy_rows.rows() {
                     inferturbo_tensor::row_axpy(&mut axpy_acc, axpy_rows.row(r), 0.5);
@@ -179,9 +221,9 @@ fn main() {
     );
     let mut rows = Vec::new();
     let mut engine_speedups = Vec::new();
-    for (name, is_engine, f) in benches.iter_mut() {
-        let serial = Parallelism::with(1, || ops_per_sec(&mut *f, secs));
-        let parallel = Parallelism::with(threads, || ops_per_sec(&mut *f, secs));
+    for (name, is_engine, mult, f) in benches.iter_mut() {
+        let serial = Parallelism::with(1, || ops_per_sec(&mut *f, secs)) * *mult;
+        let parallel = Parallelism::with(threads, || ops_per_sec(&mut *f, secs)) * *mult;
         let speedup = parallel / serial;
         if *is_engine {
             engine_speedups.push(speedup);

@@ -25,6 +25,6 @@ pub mod estimate;
 pub mod metrics;
 pub mod spec;
 
-pub use estimate::{LayerEstimate, PlanEstimate};
+pub use estimate::{FleetEstimate, LayerEstimate, PlanEstimate};
 pub use metrics::{MessagePlaneBytes, PhaseReport, RunReport, WorkerPhase};
 pub use spec::ClusterSpec;

@@ -19,6 +19,8 @@ pub mod stats;
 pub use codec::{Decode, Encode, WireReader, WireWriter};
 pub use error::{Error, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use par::{par_chunks_mut, par_map, par_map_workers, Parallelism};
+pub use par::{
+    par_chunks_mut, par_map, par_map_workers, Parallelism, ReorderBuffer, Ticket, TicketLine,
+};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use rows::{FusedAggregator, MessageLayout};

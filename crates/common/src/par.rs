@@ -41,6 +41,7 @@
 //! threads are spawned, giving exactly the pre-parallelism serial
 //! behavior.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -192,6 +193,113 @@ where
     par_map(chunks, f);
 }
 
+// --- deterministic ticketing -----------------------------------------------
+//
+// Concurrency-adjacent subsystems (the serving layer's micro-batcher, any
+// future async shuffle) need a total order over work items that does not
+// depend on thread scheduling or wall clock. These primitives provide it:
+// tickets are issued by a plain counter, and a `ReorderBuffer` turns
+// out-of-order completions back into issue order. Both are trivially
+// deterministic — that is the point — and live here next to the fork-join
+// helpers because they are the ordering half of the same contract: work may
+// *execute* in any interleaving, but everything observable is merged back
+// in a fixed order.
+
+/// A position in a [`TicketLine`]'s total order. Smaller tickets were
+/// issued earlier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub u64);
+
+/// Issues monotonically increasing [`Ticket`]s, starting at 0. The
+/// issue order *is* the FIFO contract consumers like the serving layer's
+/// response path promise.
+#[derive(Debug, Clone, Default)]
+pub struct TicketLine {
+    next: u64,
+}
+
+impl TicketLine {
+    pub fn new() -> Self {
+        TicketLine::default()
+    }
+
+    /// Issue the next ticket.
+    pub fn issue(&mut self) -> Ticket {
+        let t = Ticket(self.next);
+        self.next += 1;
+        t
+    }
+
+    /// Total tickets issued so far.
+    pub fn issued(&self) -> u64 {
+        self.next
+    }
+}
+
+/// Turns out-of-order completions back into ticket order: values pushed
+/// with any issued ticket are released strictly in issue order, and a value
+/// is only released once every earlier ticket's value has been released
+/// before it. The FIFO gate behind the serving layer's response ordering.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer<T> {
+    /// Next ticket eligible for release.
+    head: u64,
+    pending: BTreeMap<u64, T>,
+}
+
+impl<T> Default for ReorderBuffer<T> {
+    fn default() -> Self {
+        ReorderBuffer {
+            head: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T> ReorderBuffer<T> {
+    pub fn new() -> Self {
+        ReorderBuffer::default()
+    }
+
+    /// Register `ticket`'s completion value. Panics on a duplicate or
+    /// already-released ticket — both are caller logic errors.
+    pub fn push(&mut self, ticket: Ticket, value: T) {
+        assert!(ticket.0 >= self.head, "ticket {ticket:?} already released");
+        let prev = self.pending.insert(ticket.0, value);
+        assert!(prev.is_none(), "duplicate completion for {ticket:?}");
+    }
+
+    /// Release the head-of-line value, if its ticket has completed.
+    pub fn pop_ready(&mut self) -> Option<T> {
+        let v = self.pending.remove(&self.head)?;
+        self.head += 1;
+        Some(v)
+    }
+
+    /// Release every contiguously-completed value from the head, in ticket
+    /// order.
+    pub fn drain_ready(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop_ready() {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Completions buffered behind the head-of-line gap. Counts only
+    /// values actually pushed — tickets issued but not yet completed do
+    /// not appear, so `is_empty()` cannot tell "fully drained" from
+    /// "still owed completions"; only the issuer knows what is
+    /// outstanding.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +355,48 @@ mod tests {
         let got: Vec<u8> = par_map(Vec::<u8>::new(), |_, x| x);
         assert!(got.is_empty());
         par_chunks_mut(&mut [] as &mut [u8], 4, |_, _| {});
+    }
+
+    #[test]
+    fn tickets_are_monotonic() {
+        let mut line = TicketLine::new();
+        let a = line.issue();
+        let b = line.issue();
+        assert!(a < b);
+        assert_eq!(a, Ticket(0));
+        assert_eq!(line.issued(), 2);
+    }
+
+    #[test]
+    fn reorder_buffer_releases_in_issue_order() {
+        let mut line = TicketLine::new();
+        let t: Vec<Ticket> = (0..4).map(|_| line.issue()).collect();
+        let mut buf = ReorderBuffer::new();
+        // Complete out of order: 2, 0, 3, 1.
+        buf.push(t[2], "c");
+        assert!(buf.pop_ready().is_none(), "head-of-line gap must block");
+        buf.push(t[0], "a");
+        assert_eq!(buf.drain_ready(), vec!["a"], "stops at the gap");
+        buf.push(t[3], "d");
+        buf.push(t[1], "b");
+        assert_eq!(buf.drain_ready(), vec!["b", "c", "d"]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate completion")]
+    fn reorder_buffer_rejects_duplicate_tickets() {
+        let mut buf = ReorderBuffer::new();
+        buf.push(Ticket(5), ());
+        buf.push(Ticket(5), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "already released")]
+    fn reorder_buffer_rejects_released_tickets() {
+        let mut buf = ReorderBuffer::new();
+        buf.push(Ticket(0), ());
+        buf.pop_ready();
+        buf.push(Ticket(0), ());
     }
 }

@@ -25,16 +25,19 @@ use inferturbo_common::hash::partition_of;
 use inferturbo_common::rows::FusedAggregator;
 use inferturbo_common::{Error, FxHashMap, Result};
 use inferturbo_graph::Graph;
+use std::sync::Arc;
 
 use super::InferenceOutput;
 
 /// Shuffle record kinds.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MrRecord {
-    /// The node's own state travelling to the next round.
+    /// The node's own state travelling to the next round. The out-edge
+    /// table is behind an `Arc`: within a round it is re-emitted by handle
+    /// (zero-copy plan reload); only the wire codec materialises it.
     SelfState {
         h: Vec<f32>,
-        out_targets: Vec<u64>,
+        out_targets: Arc<[u64]>,
         in_deg: u32,
         out_deg: u32,
     },
@@ -45,6 +48,10 @@ pub enum MrRecord {
     /// Final prediction logits (last round only).
     Output(Vec<f32>),
 }
+
+/// A node's unpacked self-state inside a reducer: (embedding, out-edge
+/// table, logical in-degree, logical out-degree).
+type SelfState = (Vec<f32>, Arc<[u64]>, u32, u32);
 
 const TAG_SELF: u8 = 1;
 const TAG_INMSG: u8 = 2;
@@ -63,7 +70,7 @@ impl Encode for MrRecord {
                 w.put_u8(TAG_SELF);
                 w.put_f32_slice(h);
                 w.put_varint(out_targets.len() as u64);
-                for &t in out_targets {
+                for &t in out_targets.iter() {
                     w.put_varint(t);
                 }
                 w.put_varint(*in_deg as u64);
@@ -100,7 +107,7 @@ impl Decode for MrRecord {
                 let out_deg = r.get_varint()? as u32;
                 Ok(MrRecord::SelfState {
                     h,
-                    out_targets,
+                    out_targets: out_targets.into(),
                     in_deg,
                     out_deg,
                 })
@@ -402,7 +409,7 @@ fn run_planned_legacy(
                 }
                 let layer = model.layer_view(layer_idx);
                 let mut agg = layer.init_agg();
-                let mut self_state: Option<(Vec<f32>, Vec<u64>, u32, u32)> = None;
+                let mut self_state: Option<SelfState> = None;
                 let mut n_msgs = 0usize;
                 for v in values {
                     match v {
@@ -625,7 +632,7 @@ fn run_planned_columnar(
                 }
                 let layer = model.layer_view(layer_idx);
                 let mut agg = layer.init_agg();
-                let mut self_state: Option<(Vec<f32>, Vec<u64>, u32, u32)> = None;
+                let mut self_state: Option<SelfState> = None;
                 // Columnar half first: partial rows fold with their counts.
                 let mut n_msgs = view.n_rows();
                 for i in 0..view.n_rows() {
@@ -729,7 +736,7 @@ mod tests {
         let records = vec![
             MrRecord::SelfState {
                 h: vec![1.0, 2.0],
-                out_targets: vec![NODE_FLAG | 5, NODE_FLAG | 9],
+                out_targets: vec![NODE_FLAG | 5, NODE_FLAG | 9].into(),
                 in_deg: 3,
                 out_deg: 2,
             },

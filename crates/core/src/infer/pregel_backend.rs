@@ -34,14 +34,21 @@ use inferturbo_pregel::{
     Combiner, FusedAggregator, MessageLayout, Outbox, PregelConfig, PregelEngine, RowsIn,
     ScratchPool, VertexProgram,
 };
+use std::sync::Arc;
 
 use super::InferenceOutput;
 
 /// Per-vertex state held in worker memory between supersteps.
-pub struct GnnVertexState {
-    raw: Vec<f32>,
+///
+/// The load phase is zero-copy: `raw` borrows the planned record's input
+/// features (or the caller's fresh feature matrix) and `out_targets`
+/// shares the record's adjacency `Arc`, so building a run's vertex states
+/// from an [`crate::InferencePlan`] costs O(V) handle copies instead of
+/// re-cloning O(V·d + E) floats and ids per run.
+pub struct GnnVertexState<'g> {
+    raw: &'g [f32],
     h: Vec<f32>,
-    out_targets: Vec<u64>,
+    out_targets: Arc<[u64]>,
     in_deg: u32,
     out_deg: u32,
     logits: Option<Vec<f32>>,
@@ -66,7 +73,7 @@ impl<'m> GnnVertexProgram<'m> {
         &self,
         layer_idx: usize,
         vertex: u64,
-        state: &GnnVertexState,
+        state: &GnnVertexState<'_>,
         out: &mut Outbox<GnnMessage>,
     ) {
         if state.out_targets.is_empty() {
@@ -90,13 +97,13 @@ impl<'m> GnnVertexProgram<'m> {
             // 8-byte ref per edge.
             let msg = layer.make_wire(raw, self.strategy.partial_gather);
             out.broadcast(msg);
-            for &t in &state.out_targets {
+            for &t in state.out_targets.iter() {
                 out.send(t, GnnMessage::Ref(vertex));
             }
         } else if out.row_dim().is_some() {
             // Columnar plane: the row is written once into flat buffers —
             // no clone per edge, no enum on the hot path.
-            for &t in &state.out_targets {
+            for &t in state.out_targets.iter() {
                 out.send_row(t, &raw);
             }
         } else {
@@ -110,15 +117,15 @@ impl<'m> GnnVertexProgram<'m> {
     }
 }
 
-impl VertexProgram for GnnVertexProgram<'_> {
-    type State = GnnVertexState;
+impl<'m> VertexProgram for GnnVertexProgram<'m> {
+    type State = GnnVertexState<'m>;
     type Msg = GnnMessage;
 
     fn compute(
         &self,
         step: usize,
         vertex: u64,
-        state: &mut GnnVertexState,
+        state: &mut GnnVertexState<'m>,
         messages: Vec<GnnMessage>,
         broadcast_lookup: &dyn Fn(u64) -> Option<GnnMessage>,
         out: &mut Outbox<GnnMessage>,
@@ -138,7 +145,7 @@ impl VertexProgram for GnnVertexProgram<'_> {
         &self,
         step: usize,
         vertex: u64,
-        state: &mut GnnVertexState,
+        state: &mut GnnVertexState<'m>,
         rows: RowsIn<'_>,
         messages: Vec<GnnMessage>,
         broadcast_lookup: &dyn Fn(u64) -> Option<GnnMessage>,
@@ -146,7 +153,7 @@ impl VertexProgram for GnnVertexProgram<'_> {
     ) {
         if step == 0 {
             // Initialisation superstep: raw features become h⁰.
-            state.h = state.raw.clone();
+            state.h = state.raw.to_vec();
             self.scatter(0, vertex, state, out);
             return;
         }
@@ -213,7 +220,7 @@ impl VertexProgram for GnnVertexProgram<'_> {
             .map(|c| c as &dyn Combiner<GnnMessage>)
     }
 
-    fn state_bytes(&self, state: &GnnVertexState) -> u64 {
+    fn state_bytes(&self, state: &GnnVertexState<'_>) -> u64 {
         ((state.raw.len() + state.h.len()) * 4
             + state.out_targets.len() * 8
             + state.logits.as_ref().map_or(0, |l| l.len() * 4)
@@ -252,14 +259,14 @@ pub fn infer_pregel(
 /// returned after the run so the next run skips the per-superstep
 /// allocations. On error the pool is dropped; the next run starts fresh.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_planned(
-    model: &GnnModel,
-    records: &[NodeRecord],
+pub(crate) fn run_planned<'g>(
+    model: &'g GnnModel,
+    records: &'g [NodeRecord],
     n_nodes: usize,
     spec: ClusterSpec,
     strategy: StrategyConfig,
     bc_threshold: u64,
-    features: Option<&[Vec<f32>]>,
+    features: Option<&'g [Vec<f32>]>,
     scratch: ScratchPool<GnnMessage>,
 ) -> Result<(InferenceOutput, ScratchPool<GnnMessage>)> {
     let k = model.n_layers();
@@ -281,16 +288,17 @@ pub(crate) fn run_planned(
     let mut engine = PregelEngine::new(program, config);
     engine.set_scratch(scratch);
     for rec in records {
-        let raw = match features {
-            Some(f) => f[rec.base as usize].clone(),
-            None => rec.raw.clone(),
+        // Zero-copy load: borrow the feature row, share the adjacency Arc.
+        let raw: &'g [f32] = match features {
+            Some(f) => &f[rec.base as usize],
+            None => &rec.raw,
         };
         engine.add_vertex(
             rec.wire,
             GnnVertexState {
                 raw,
                 h: Vec::new(),
-                out_targets: rec.out_targets.clone(),
+                out_targets: Arc::clone(&rec.out_targets),
                 in_deg: rec.in_deg,
                 out_deg: rec.out_deg,
                 logits: None,

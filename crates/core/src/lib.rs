@@ -49,5 +49,5 @@ pub use infer::{infer_mapreduce, infer_pregel, infer_reference, InferenceOutput}
 pub use models::{GnnModel, LayerKind, PoolOp};
 pub use plan::{InferencePlan, PlanSummary};
 pub use session::{Backend, InferenceSession, SessionBuilder};
-pub use strategy::StrategyConfig;
+pub use strategy::{StrategyConfig, StrategyKey};
 pub use train::{train, TrainConfig, TrainStats};

@@ -175,6 +175,28 @@ impl<'a> InferencePlan<'a> {
         self.records.len()
     }
 
+    /// The strategy configuration this plan was built with.
+    pub fn strategy(&self) -> StrategyConfig {
+        self.strategy
+    }
+
+    /// Planning worker count (the chosen backend's cluster size).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The per-worker memory budget auto-selection compared against.
+    pub fn memory_budget(&self) -> u64 {
+        self.memory_budget
+    }
+
+    /// The planned loadable records. Runs load these zero-copy: each
+    /// record's `out_targets` `Arc` is shared into the engine's vertex
+    /// states, never re-cloned per run (pinned by `tests/serving.rs`).
+    pub fn records(&self) -> &[NodeRecord] {
+        &self.records
+    }
+
     /// One-page inspection of everything planning decided.
     pub fn summary(&self) -> PlanSummary {
         PlanSummary {

@@ -65,7 +65,7 @@ use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
 
 /// Which execution backend a session runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// Decide at plan time: Pregel when the predicted peak per-worker
     /// residency fits the memory budget, MapReduce otherwise (the paper's

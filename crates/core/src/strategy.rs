@@ -22,6 +22,7 @@
 use inferturbo_common::codec::{Decode, Encode, WireReader, WireWriter};
 use inferturbo_common::Result;
 use inferturbo_graph::{Csr, Graph};
+use std::sync::Arc;
 
 /// Strategy toggles + threshold policy. The default enables nothing —
 /// every experiment states its configuration explicitly.
@@ -101,6 +102,21 @@ impl StrategyConfig {
         self
     }
 
+    /// A hashable canonical form of this configuration, usable as (part
+    /// of) a plan-cache key. Two configurations with equal keys plan and
+    /// execute identically; `lambda` is compared by bit pattern, so keys
+    /// distinguish every representable threshold heuristic.
+    pub fn key(&self) -> StrategyKey {
+        StrategyKey {
+            partial_gather: self.partial_gather,
+            broadcast: self.broadcast,
+            shadow_nodes: self.shadow_nodes,
+            lambda_bits: self.lambda.to_bits(),
+            threshold_override: self.threshold_override,
+            columnar: self.columnar,
+        }
+    }
+
     /// The hub threshold: `max(1, λ·|E|/workers)` or the override.
     /// With 10⁹ edges on 1000 workers and λ = 0.1 this is the paper's
     /// 100,000.
@@ -117,6 +133,20 @@ impl StrategyConfig {
         let t = (self.lambda * n_edges as f64 / workers.max(1) as f64) as u64;
         t.max(1)
     }
+}
+
+/// The `Eq + Hash` image of a [`StrategyConfig`] (see
+/// [`StrategyConfig::key`]). Serving-layer plan caches key on this
+/// alongside model/graph identity and the worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrategyKey {
+    pub partial_gather: bool,
+    pub broadcast: bool,
+    pub shadow_nodes: bool,
+    /// `StrategyConfig::lambda` as its IEEE-754 bit pattern.
+    pub lambda_bits: u64,
+    pub threshold_override: Option<u32>,
+    pub columnar: bool,
 }
 
 // --- wire-id scheme ---------------------------------------------------------
@@ -158,8 +188,11 @@ pub struct NodeRecord {
     /// Raw input features (replicated across mirrors).
     pub raw: Vec<f32>,
     /// Wire ids this record scatters to (its share of out-edges, expanded
-    /// to every mirror of each destination).
-    pub out_targets: Vec<u64>,
+    /// to every mirror of each destination). Behind an `Arc` so a planned
+    /// session can load the adjacency into fresh vertex states by handle —
+    /// cloning a record (or the engine's per-run state build) shares the
+    /// target list instead of copying O(E) ids per run.
+    pub out_targets: Arc<[u64]>,
     /// Logical (whole-graph) degrees — normalisations read these, never
     /// the physical adjacency.
     pub in_deg: u32,
@@ -172,7 +205,7 @@ impl Encode for NodeRecord {
         w.put_varint(self.base as u64);
         w.put_f32_slice(&self.raw);
         w.put_varint(self.out_targets.len() as u64);
-        for &t in &self.out_targets {
+        for &t in self.out_targets.iter() {
             w.put_varint(t);
         }
         w.put_varint(self.in_deg as u64);
@@ -196,7 +229,7 @@ impl Decode for NodeRecord {
             wire,
             base,
             raw,
-            out_targets,
+            out_targets: out_targets.into(),
             in_deg,
             out_deg,
         })
@@ -238,29 +271,33 @@ pub fn build_node_records(
         offset[v + 1] = offset[v] + groups[v] as usize;
     }
 
+    // Build every record's target list first, then freeze each into its
+    // shared `Arc` — records are immutable once planned.
+    let mut targets: Vec<Vec<u64>> = vec![Vec::new(); offset[n]];
+    let out_csr = Csr::out_of(graph);
+    for v in 0..n as u32 {
+        let g = groups[v as usize];
+        for (j, &u) in out_csr.neighbors(v).iter().enumerate() {
+            let mirror = (j as u32) % g;
+            let t = &mut targets[offset[v as usize] + mirror as usize];
+            for mu in 0..groups[u as usize] {
+                t.push(wire_id(u, mu));
+            }
+        }
+    }
+
     let mut records: Vec<NodeRecord> = Vec::with_capacity(offset[n]);
+    let mut targets = targets.into_iter();
     for v in 0..n as u32 {
         for m in 0..groups[v as usize] {
             records.push(NodeRecord {
                 wire: wire_id(v, m),
                 base: v,
                 raw: graph.node_feat(v).to_vec(),
-                out_targets: Vec::new(),
+                out_targets: targets.next().expect("one target list per record").into(),
                 in_deg: in_deg[v as usize],
                 out_deg: out_deg[v as usize],
             });
-        }
-    }
-
-    let out_csr = Csr::out_of(graph);
-    for v in 0..n as u32 {
-        let g = groups[v as usize];
-        for (j, &u) in out_csr.neighbors(v).iter().enumerate() {
-            let mirror = (j as u32) % g;
-            let rec = &mut records[offset[v as usize] + mirror as usize];
-            for mu in 0..groups[u as usize] {
-                rec.out_targets.push(wire_id(u, mu));
-            }
         }
     }
     records
@@ -306,12 +343,43 @@ mod tests {
     }
 
     #[test]
+    fn record_clone_shares_adjacency() {
+        // The zero-copy plan-reload contract: cloning a record's target
+        // list (what the Pregel backend's per-run state build does) must
+        // share the allocation, never copy it.
+        let rec = NodeRecord {
+            wire: wire_id(1, 0),
+            base: 1,
+            raw: vec![1.0],
+            out_targets: vec![wire_id(2, 0), wire_id(3, 0)].into(),
+            in_deg: 0,
+            out_deg: 2,
+        };
+        let cloned = rec.clone();
+        assert!(Arc::ptr_eq(&rec.out_targets, &cloned.out_targets));
+    }
+
+    #[test]
+    fn strategy_key_distinguishes_configurations() {
+        let base = StrategyConfig::all();
+        assert_eq!(base.key(), StrategyConfig::all().key());
+        assert_ne!(base.key(), base.with_partial_gather(false).key());
+        assert_ne!(
+            StrategyConfig::all().key(),
+            StrategyConfig::all().with_threshold(7).key()
+        );
+        let mut tweaked = StrategyConfig::all();
+        tweaked.lambda = 0.2;
+        assert_ne!(StrategyConfig::all().key(), tweaked.key());
+    }
+
+    #[test]
     fn node_record_codec_roundtrip() {
         let rec = NodeRecord {
             wire: wire_id(5, 1),
             base: 5,
             raw: vec![0.5, -1.5],
-            out_targets: vec![wire_id(1, 0), wire_id(2, 0), wire_id(2, 1)],
+            out_targets: vec![wire_id(1, 0), wire_id(2, 0), wire_id(2, 1)].into(),
             in_deg: 3,
             out_deg: 9,
         };

@@ -110,13 +110,15 @@ struct Slot<S> {
 }
 
 /// One worker's reusable superstep scratch: the outbox (message spools,
-/// row buffers) and the per-destination fused accumulator shards with
-/// their dense slot indexes. Threaded through the fork-join by value —
+/// row buffers), the per-destination fused accumulator shards with their
+/// dense slot indexes, and the per-destination materialized row shards of
+/// the non-fused columnar plane. Threaded through the fork-join by value —
 /// each worker task owns its scratch exclusively — and reclaimed at the
 /// barrier, so buffer capacity survives across supersteps.
 pub(crate) struct WorkerScratch<M> {
     pub(crate) outbox: Outbox<M>,
     pub(crate) fused: Vec<FusedSlotShard>,
+    pub(crate) rows: Vec<RowShard>,
 }
 
 impl<M> Default for WorkerScratch<M> {
@@ -124,6 +126,7 @@ impl<M> Default for WorkerScratch<M> {
         WorkerScratch {
             outbox: Outbox::new(None),
             fused: Vec::new(),
+            rows: Vec::new(),
         }
     }
 }
@@ -133,8 +136,9 @@ impl<M> Default for WorkerScratch<M> {
 /// instead of reallocating — and a caller that runs repeated inference
 /// over the same graph (a planned session) can [`PregelEngine::take_scratch`]
 /// it after a run and [`PregelEngine::set_scratch`] it into the next
-/// engine, so the O(W·V) fused slot indexes and the outbox spools are
-/// allocated once per plan, not once per superstep.
+/// engine, so the O(W·V) fused slot indexes, the materialized row shards,
+/// and the outbox spools are allocated once per plan, not once per
+/// superstep.
 ///
 /// Pooling is observably invisible: a reset shard/outbox is
 /// indistinguishable from a fresh one (sparse index clear through the
@@ -334,7 +338,16 @@ impl<M> StepOut<M> {
         let cols = match emit {
             EmitPlane::Legacy => ColsOut::None,
             EmitPlane::Rows { dim } => {
-                ColsOut::Rows((0..n_workers).map(|_| RowShard::new(*dim)).collect())
+                // Reuse pooled shards: a reset shard is indistinguishable
+                // from a fresh one but keeps its slot/row allocations, so
+                // steady-state materialized scatter allocates nothing.
+                let mut shards = std::mem::take(&mut scratch.rows);
+                shards.truncate(n_workers);
+                shards.resize_with(n_workers, || RowShard::new(*dim));
+                for sh in shards.iter_mut() {
+                    sh.reset(*dim);
+                }
+                ColsOut::Rows(shards)
             }
             EmitPlane::Fused { dim, .. } => {
                 // Reuse pooled shards: reset is indistinguishable from
@@ -633,16 +646,16 @@ impl<P: VertexProgram> PregelEngine<P> {
         let sealed: Vec<_> = par_map(seal_tasks, |_, (n_slots, legacy, cols)| {
             let arena = InboxArena::seal(n_slots, legacy);
             let (cols_in, resident, reclaimed) = match (cols, emit) {
-                (ColsOut::None, _) => (InboxCols::None, 0, Vec::new()),
+                (ColsOut::None, _) => (InboxCols::None, 0, ColsOut::None),
                 (ColsOut::Rows(shards), EmitPlane::Rows { dim }) => {
                     let a = RowArena::seal(dim, n_slots, &shards);
                     let r = a.resident_bytes();
-                    (InboxCols::Rows(a), r, Vec::new())
+                    (InboxCols::Rows(a), r, ColsOut::Rows(shards))
                 }
                 (ColsOut::Fused(shards), EmitPlane::Fused { dim, agg }) => {
                     let f = FusedRows::merge(dim, n_slots, &shards, agg);
                     let r = f.resident_bytes();
-                    (InboxCols::Fused(f), r, shards)
+                    (InboxCols::Fused(f), r, ColsOut::Fused(shards))
                 }
                 _ => unreachable!("emit plane fixes the shard plane"),
             };
@@ -660,11 +673,21 @@ impl<P: VertexProgram> PregelEngine<P> {
                 InboxCols::Rows(a) => next_rows.push(a),
                 InboxCols::Fused(f) => next_fused.push(f),
             }
-            // Hand the merged fused shards back to their senders' pools
-            // (reclaimed[s] is sender s's shard for destination w2) so the
-            // next superstep resets them instead of reallocating.
-            for (s, shard) in reclaimed.into_iter().enumerate() {
-                scratches[s].fused.push(shard);
+            // Hand the sealed/merged columnar shards back to their senders'
+            // pools (reclaimed[s] is sender s's shard for destination w2) so
+            // the next superstep resets them instead of reallocating.
+            match reclaimed {
+                ColsOut::None => {}
+                ColsOut::Rows(shards) => {
+                    for (s, shard) in shards.into_iter().enumerate() {
+                        scratches[s].rows.push(shard);
+                    }
+                }
+                ColsOut::Fused(shards) => {
+                    for (s, shard) in shards.into_iter().enumerate() {
+                        scratches[s].fused.push(shard);
+                    }
+                }
             }
         }
         self.scratch.workers = scratches;

@@ -1,0 +1,168 @@
+//! Fleet-wide admission control (paper §IV-A, applied across plans).
+//!
+//! A single plan decides Pregel vs MapReduce by comparing its own
+//! predicted peak per-worker residency against a memory budget. A serving
+//! fleet keeps many plans resident at once — each holds vertex states and
+//! pooled engine scratch between requests — so the same comparison must be
+//! made against the **sum**: a new plan is only admitted while
+//! `Σ admitted residency + its residency ≤ budget` (inclusive, matching
+//! `Backend::Auto`). Over budget, the configured [`AdmissionPolicy`]
+//! decides: reject the newcomer, or shed the oldest admitted plans until
+//! it fits.
+
+use crate::cache::PlanKey;
+use inferturbo_cluster::FleetEstimate;
+
+/// What to do when a new plan does not fit the remaining fleet budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Refuse the new plan; admitted plans keep serving.
+    Reject,
+    /// Evict admitted plans oldest-first until the newcomer fits. Pending
+    /// requests of an evicted plan complete with
+    /// [`ScoreStatus::Shed`](crate::ScoreStatus::Shed).
+    ShedOldest,
+}
+
+/// Outcome of [`AdmissionController::try_admit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted within the remaining budget.
+    Admitted,
+    /// Admitted after evicting these plans (admission order, oldest
+    /// first). The caller must drop their cached plans and shed their
+    /// pending requests.
+    AdmittedAfterShedding(Vec<PlanKey>),
+    /// Does not fit and the policy forbids (or shedding cannot free
+    /// enough). Nothing changed.
+    Rejected,
+}
+
+/// Tracks the admitted fleet and applies the policy. Pure bookkeeping —
+/// the [`GnnServer`](crate::GnnServer) owns the plans themselves.
+pub struct AdmissionController {
+    budget: u64,
+    policy: AdmissionPolicy,
+    /// Admission order (oldest first), with each plan's residency bytes.
+    admitted: Vec<(PlanKey, u64)>,
+    fleet: FleetEstimate,
+}
+
+impl AdmissionController {
+    pub fn new(budget: u64, policy: AdmissionPolicy) -> Self {
+        AdmissionController {
+            budget,
+            policy,
+            admitted: Vec::new(),
+            fleet: FleetEstimate::new(),
+        }
+    }
+
+    /// The global budget the fleet is gated on.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Budget not yet claimed by admitted plans.
+    pub fn remaining(&self) -> u64 {
+        self.fleet.remaining(self.budget)
+    }
+
+    /// Summed residency of the admitted fleet.
+    pub fn resident_bytes(&self) -> u64 {
+        self.fleet.total_peak_worker_bytes()
+    }
+
+    /// Number of admitted plans.
+    pub fn plans(&self) -> usize {
+        self.fleet.plans()
+    }
+
+    /// Try to admit a plan with `bytes` predicted peak residency.
+    pub fn try_admit(&mut self, key: PlanKey, bytes: u64) -> Admission {
+        if self.fleet.fits(bytes, self.budget) {
+            self.fleet.admit(bytes);
+            self.admitted.push((key, bytes));
+            return Admission::Admitted;
+        }
+        // A plan larger than the whole budget can never fit; don't shed a
+        // working fleet for it.
+        if self.policy == AdmissionPolicy::Reject || bytes > self.budget {
+            return Admission::Rejected;
+        }
+        let mut shed = Vec::new();
+        while !self.fleet.fits(bytes, self.budget) {
+            let (k, b) = self.admitted.remove(0);
+            self.fleet.release(b);
+            shed.push(k);
+        }
+        self.fleet.admit(bytes);
+        self.admitted.push((key, bytes));
+        Admission::AdmittedAfterShedding(shed)
+    }
+
+    /// Release an admitted plan (explicit eviction / shutdown). No-op for
+    /// unknown keys.
+    pub fn release(&mut self, key: &PlanKey) {
+        if let Some(i) = self.admitted.iter().position(|(k, _)| k == key) {
+            let (_, b) = self.admitted.remove(i);
+            self.fleet.release(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferturbo_core::session::Backend;
+    use inferturbo_core::StrategyConfig;
+
+    fn key(id: u64) -> PlanKey {
+        PlanKey {
+            model: id,
+            graph: id,
+            strategy: StrategyConfig::all().key(),
+            workers: 4,
+            backend: Backend::Auto,
+        }
+    }
+
+    #[test]
+    fn reject_policy_is_inclusive_at_the_boundary() {
+        let mut ac = AdmissionController::new(1_000, AdmissionPolicy::Reject);
+        assert_eq!(ac.try_admit(key(1), 1_000), Admission::Admitted);
+        assert_eq!(ac.try_admit(key(2), 1), Admission::Rejected);
+        assert_eq!(ac.plans(), 1);
+        assert_eq!(ac.remaining(), 0);
+    }
+
+    #[test]
+    fn shed_oldest_evicts_in_admission_order() {
+        let mut ac = AdmissionController::new(1_000, AdmissionPolicy::ShedOldest);
+        assert_eq!(ac.try_admit(key(1), 400), Admission::Admitted);
+        assert_eq!(ac.try_admit(key(2), 400), Admission::Admitted);
+        // 300 needs 100 freed; only key(1) goes.
+        assert_eq!(
+            ac.try_admit(key(3), 300),
+            Admission::AdmittedAfterShedding(vec![key(1)])
+        );
+        assert_eq!(ac.plans(), 2);
+        assert_eq!(ac.resident_bytes(), 700);
+        // Larger than the whole budget: rejected without touching the
+        // fleet.
+        assert_eq!(ac.try_admit(key(4), 1_001), Admission::Rejected);
+        assert_eq!(ac.plans(), 2);
+    }
+
+    #[test]
+    fn release_frees_budget() {
+        let mut ac = AdmissionController::new(500, AdmissionPolicy::Reject);
+        ac.try_admit(key(1), 500);
+        ac.release(&key(1));
+        assert_eq!(ac.plans(), 0);
+        assert_eq!(ac.try_admit(key(2), 500), Admission::Admitted);
+        // Unknown keys are a no-op.
+        ac.release(&key(9));
+        assert_eq!(ac.plans(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! # inferturbo_serve — the traffic-facing layer over inference sessions
+//!
+//! The paper positions InferTurbo as production infrastructure: full-graph
+//! inference feeding online systems (risk scoring, recommendations) for
+//! millions of users. The session API (`inferturbo_core::session`) made
+//! repeated inference cheap — plan once, run many — but still speaks
+//! "runs". This crate speaks **requests**: long-lived plans, micro-batched
+//! execution, and fleet-wide admission control.
+//!
+//! # Architecture
+//!
+//! ```text
+//! ScoreRequest ──▶ GnnServer::submit ──▶ AdmissionController (fleet budget)
+//!                        │                      │ admit / shed / reject
+//!                        ▼                      ▼
+//!                  RequestQueue            PlanCache (plan once per PlanKey)
+//!                  per-plan groups,             │
+//!                  coalesced by snapshot        ▼
+//!                        │  max_batch /   InferencePlan (pooled scratch,
+//!                        ▼  max_wait      zero-copy record reload)
+//!                  micro-batcher ──run_with_features──▶ per-request logits
+//!                        │
+//!                        ▼
+//!                  ReorderBuffer (FIFO per plan) ──▶ ready responses
+//! ```
+//!
+//! - [`PlanCache`] plans each (model, graph, strategy, workers, backend)
+//!   configuration once and shares the pooled-scratch
+//!   [`InferencePlan`](inferturbo_core::InferencePlan) across every
+//!   request that names it.
+//! - [`GnnServer`] owns a per-plan request queue whose **micro-batcher**
+//!   coalesces requests sharing one feature snapshot into a single
+//!   `run_with_features` execution; a group flushes when it reaches
+//!   [`ServeConfig::max_batch`] requests or its oldest request has waited
+//!   [`ServeConfig::max_wait`] logical ticks.
+//! - [`AdmissionController`] gates new plans on the *sum* of admitted
+//!   plans' predicted peak per-worker residency
+//!   ([`inferturbo_cluster::FleetEstimate`]) against a global memory
+//!   budget — the paper's §IV-A memory trade-off applied fleet-wide — with
+//!   [`AdmissionPolicy::Reject`] and [`AdmissionPolicy::ShedOldest`]
+//!   policies.
+//! - [`ServerStats`] reports requests, batches, the coalescing ratio,
+//!   per-plane message bytes and the queue-depth high-water mark, in the
+//!   same spirit as [`inferturbo_cluster::RunReport`].
+//!
+//! # Determinism contract
+//!
+//! The serving core is synchronous and wall-clock free — time is the
+//! logical tick counter advanced by [`GnnServer::tick`], so tests replay
+//! traffic traces byte-for-byte. On top of the session contract it
+//! guarantees:
+//!
+//! - **batching is invisible**: the logits a request receives are
+//!   bit-identical to calling
+//!   [`run_with_features`](inferturbo_core::InferencePlan::run_with_features)
+//!   sequentially, once per coalesced group, at every thread count
+//!   (`INFERTURBO_THREADS` / `Parallelism`) — a batch *is* one such call,
+//!   and the per-request responses are row slices of its output;
+//! - **FIFO responses per plan**: responses for one plan become ready in
+//!   ticket (submission) order, even when a later-submitted group executes
+//!   first ([`inferturbo_common::ReorderBuffer`] gates release);
+//! - **admission is inclusive at the budget boundary**, matching
+//!   `Backend::Auto`'s `pregel_fits` semantics: a fleet whose summed
+//!   residency equals the budget still fits.
+//!
+//! `tests/serving.rs` at the workspace root enforces all three.
+
+pub mod admission;
+pub mod cache;
+pub mod server;
+pub mod stats;
+
+pub use admission::{Admission, AdmissionController, AdmissionPolicy};
+pub use cache::{PlanCache, PlanKey};
+pub use server::{
+    FeatureSnapshot, GnnServer, ScoreRequest, ScoreResponse, ScoreStatus, ServeConfig,
+};
+pub use stats::ServerStats;

@@ -1,0 +1,698 @@
+//! The serving loop: request intake, micro-batching, execution, FIFO
+//! response release. See the crate docs for the architecture and the
+//! determinism contract.
+
+use crate::admission::{Admission, AdmissionController, AdmissionPolicy};
+use crate::cache::{PlanCache, PlanKey};
+use crate::stats::ServerStats;
+use inferturbo_cluster::ClusterSpec;
+use inferturbo_common::{Error, FxHashMap, ReorderBuffer, Result, Ticket, TicketLine};
+use inferturbo_core::models::GnnModel;
+use inferturbo_core::session::{Backend, InferenceSession};
+use inferturbo_core::{InferencePlan, StrategyConfig};
+use inferturbo_graph::Graph;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A shared, immutable feature matrix (row `v` = node `v`'s features).
+/// Requests naming the **same** snapshot (`Arc` identity, not value
+/// equality) coalesce into one run — the intended pattern is one `Arc` per
+/// feature refresh, shared by every request scoring against it.
+pub type FeatureSnapshot = Arc<Vec<Vec<f32>>>;
+
+/// Server configuration. All quantities are logical — no wall clock.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Flush a coalesced group as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a group once its oldest request has waited this many ticks
+    /// (0 = flush at the next [`GnnServer::tick`]).
+    pub max_wait: u64,
+    /// Global fleet memory budget the summed per-plan peak residency is
+    /// gated on (paper §IV-A, fleet-wide; inclusive at the boundary).
+    pub memory_budget: u64,
+    /// What to do with a plan that does not fit the remaining budget.
+    pub policy: AdmissionPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 16,
+            max_wait: 4,
+            // One production Pregel worker's memory: the same default cap
+            // a standalone session plans against.
+            memory_budget: ClusterSpec::pregel_cluster(1).memory_bytes,
+            policy: AdmissionPolicy::Reject,
+        }
+    }
+}
+
+/// One inference request: which plan to score on, against which feature
+/// snapshot (`None` = the graph's own features), and which nodes to return
+/// logits for (empty = all nodes).
+#[derive(Debug, Clone)]
+pub struct ScoreRequest {
+    /// Registered model id (see [`GnnServer::register_model`]).
+    pub model: u64,
+    /// Registered graph id (see [`GnnServer::register_graph`]).
+    pub graph: u64,
+    pub strategy: StrategyConfig,
+    pub workers: usize,
+    pub backend: Backend,
+    pub features: Option<FeatureSnapshot>,
+    /// Node ids whose logits the response carries; empty = every node.
+    pub targets: Vec<u32>,
+}
+
+impl ScoreRequest {
+    /// A request against `model` × `graph` with the production defaults
+    /// (all strategies, 8 workers, `Backend::Auto`, graph features, all
+    /// nodes).
+    pub fn new(model: u64, graph: u64) -> Self {
+        ScoreRequest {
+            model,
+            graph,
+            strategy: StrategyConfig::all(),
+            workers: 8,
+            backend: Backend::Auto,
+            features: None,
+            targets: Vec::new(),
+        }
+    }
+
+    pub fn with_strategy(mut self, strategy: StrategyConfig) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    pub fn with_snapshot(mut self, snapshot: FeatureSnapshot) -> Self {
+        self.features = Some(snapshot);
+        self
+    }
+
+    pub fn with_targets(mut self, targets: Vec<u32>) -> Self {
+        self.targets = targets;
+        self
+    }
+
+    /// The plan-cache key this request resolves to.
+    pub fn plan_key(&self) -> PlanKey {
+        PlanKey {
+            model: self.model,
+            graph: self.graph,
+            strategy: self.strategy.key(),
+            workers: self.workers,
+            backend: self.backend,
+        }
+    }
+}
+
+/// Terminal state of a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreStatus {
+    /// Logits for the requested targets (request order), or for every node
+    /// when the request named none. Behind an `Arc`: full-logits requests
+    /// in one coalesced group all share the run's output allocation.
+    Served(Arc<Vec<Vec<f32>>>),
+    /// The request's plan was evicted by [`AdmissionPolicy::ShedOldest`]
+    /// before its batch ran.
+    Shed,
+    /// The batch run failed (e.g. a simulated worker OOM); the message is
+    /// the run error.
+    Failed(String),
+}
+
+/// A completed request, tagged with its submission ticket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreResponse {
+    pub ticket: Ticket,
+    pub status: ScoreStatus,
+}
+
+impl ScoreResponse {
+    /// The served logits, if the request succeeded.
+    pub fn logits(&self) -> Option<&[Vec<f32>]> {
+        match &self.status {
+            ScoreStatus::Served(l) => Some(l.as_slice()),
+            _ => None,
+        }
+    }
+}
+
+/// One pending request inside a coalesced group.
+struct PendingReq {
+    /// Position in the plan's FIFO (per-plan sequence number).
+    seq: Ticket,
+    /// Globally unique submission ticket (what the caller holds).
+    ticket: Ticket,
+    targets: Vec<u32>,
+}
+
+/// Requests sharing one feature snapshot, awaiting one batched run.
+struct Group {
+    features: Option<FeatureSnapshot>,
+    /// Logical tick the group was opened at (drives `max_wait`).
+    first_tick: u64,
+    requests: Vec<PendingReq>,
+}
+
+impl Group {
+    fn matches(&self, features: &Option<FeatureSnapshot>) -> bool {
+        match (&self.features, features) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// One plan's pending work: open groups (arrival order) plus the FIFO
+/// release gate for completed responses.
+#[derive(Default)]
+struct RequestQueue {
+    seqs: TicketLine,
+    reorder: ReorderBuffer<ScoreResponse>,
+    groups: Vec<Group>,
+}
+
+/// The serving front end: a synchronous, deterministic core that owns the
+/// plan cache, the admission controller, and the per-plan micro-batchers.
+///
+/// Drive it with [`GnnServer::submit`] (enqueue, possibly flush a full
+/// batch), [`GnnServer::tick`] (advance logical time, flush aged groups),
+/// and [`GnnServer::drain`] (flush everything). Completed responses are
+/// collected with [`GnnServer::take`] or [`GnnServer::drain_ready`].
+pub struct GnnServer<'a> {
+    cfg: ServeConfig,
+    models: FxHashMap<u64, &'a GnnModel>,
+    graphs: FxHashMap<u64, &'a Graph>,
+    cache: PlanCache<'a>,
+    admission: AdmissionController,
+    queues: FxHashMap<PlanKey, RequestQueue>,
+    /// First-submission order of plan keys — the deterministic flush
+    /// iteration order (hash-map iteration order is not stable).
+    queue_order: Vec<PlanKey>,
+    tickets: TicketLine,
+    /// Released responses, keyed by ticket (ascending = submission order).
+    ready: BTreeMap<u64, ScoreResponse>,
+    clock: u64,
+    pending: usize,
+    stats: ServerStats,
+}
+
+impl<'a> GnnServer<'a> {
+    pub fn new(cfg: ServeConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        let admission = AdmissionController::new(cfg.memory_budget, cfg.policy);
+        GnnServer {
+            cfg,
+            models: FxHashMap::default(),
+            graphs: FxHashMap::default(),
+            cache: PlanCache::new(),
+            admission,
+            queues: FxHashMap::default(),
+            queue_order: Vec::new(),
+            tickets: TicketLine::new(),
+            ready: BTreeMap::new(),
+            clock: 0,
+            pending: 0,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Register a model under a caller-chosen id. Ids are immutable: a
+    /// duplicate registration panics (re-pointing an id under live cached
+    /// plans would silently serve stale weights).
+    pub fn register_model(&mut self, id: u64, model: &'a GnnModel) {
+        let prev = self.models.insert(id, model);
+        assert!(prev.is_none(), "duplicate model id {id}");
+    }
+
+    /// Register a graph under a caller-chosen id (same rules as
+    /// [`GnnServer::register_model`]).
+    pub fn register_graph(&mut self, id: u64, graph: &'a Graph) {
+        let prev = self.graphs.insert(id, graph);
+        assert!(prev.is_none(), "duplicate graph id {id}");
+    }
+
+    /// Enqueue a request. Plans (and admission-gates) the configuration on
+    /// first use; flushes the request's group immediately when it reaches
+    /// `max_batch`. Returns the ticket the response will carry.
+    ///
+    /// Errors do not enqueue anything: unknown ids, shape mismatches and
+    /// admission rejections all fail fast.
+    pub fn submit(&mut self, req: ScoreRequest) -> Result<Ticket> {
+        let key = req.plan_key();
+        let model = *self
+            .models
+            .get(&req.model)
+            .ok_or_else(|| Error::InvalidConfig(format!("unregistered model id {}", req.model)))?;
+        let graph = *self
+            .graphs
+            .get(&req.graph)
+            .ok_or_else(|| Error::InvalidConfig(format!("unregistered graph id {}", req.graph)))?;
+
+        // Validate the request against the registered shapes before any
+        // planning or queueing (and before any ticket is issued), so bad
+        // requests never poison a batch or leave a gap in a plan's FIFO.
+        // The O(V) snapshot scan runs only for a snapshot that would OPEN
+        // a group: coalescing is by `Arc` identity, so every later request
+        // naming the same snapshot joins an already-validated group.
+        let joins_group = self
+            .queues
+            .get(&key)
+            .is_some_and(|q| q.groups.iter().any(|g| g.matches(&req.features)));
+        if !joins_group {
+            if let Some(snap) = &req.features {
+                if snap.len() != graph.n_nodes() {
+                    return Err(Error::InvalidConfig(format!(
+                        "snapshot has {} rows for {} nodes",
+                        snap.len(),
+                        graph.n_nodes()
+                    )));
+                }
+                if let Some(bad) = snap.iter().find(|r| r.len() != model.in_dim()) {
+                    return Err(Error::InvalidConfig(format!(
+                        "snapshot row width {} does not match model input ({})",
+                        bad.len(),
+                        model.in_dim()
+                    )));
+                }
+            }
+        }
+        if let Some(&bad) = req.targets.iter().find(|&&v| v as usize >= graph.n_nodes()) {
+            return Err(Error::InvalidGraph(format!(
+                "target node {bad} out of range ({} nodes)",
+                graph.n_nodes()
+            )));
+        }
+
+        // Plan + admission-gate on first use of this configuration.
+        if self.cache.contains(&key) {
+            self.stats.plan_cache_hits += 1;
+        } else {
+            // An Auto plan picks its backend against the budget the policy
+            // can actually offer it — the per-plan §IV-A decision nested
+            // inside the fleet-wide one. Under `Reject` that is what is
+            // left of the fleet; under `ShedOldest` it is the whole
+            // budget, because admission will evict older plans to make
+            // room for the newcomer's choice.
+            let remaining = self.admission.remaining();
+            let plannable = match self.cfg.policy {
+                AdmissionPolicy::Reject => remaining,
+                AdmissionPolicy::ShedOldest => self.cfg.memory_budget,
+            };
+            let plan = InferenceSession::builder()
+                .model(model)
+                .graph(graph)
+                .workers(req.workers)
+                .strategy(req.strategy)
+                .backend(req.backend)
+                .memory_budget(plannable)
+                .plan()?;
+            let bytes = plan_residency(&plan);
+            match self.admission.try_admit(key, bytes) {
+                Admission::Admitted => {}
+                Admission::AdmittedAfterShedding(shed) => {
+                    for k in &shed {
+                        self.evict(k);
+                    }
+                }
+                Admission::Rejected => {
+                    self.stats.rejected += 1;
+                    return Err(Error::InvalidConfig(format!(
+                        "admission denied: plan needs {bytes} B peak residency, fleet has \
+                         {remaining} of {} B",
+                        self.admission.budget()
+                    )));
+                }
+            }
+            self.cache.insert(key, plan);
+            self.stats.plans_built += 1;
+        }
+
+        // Enqueue into the (possibly new) queue, coalescing by snapshot
+        // identity.
+        if !self.queue_order.contains(&key) {
+            self.queue_order.push(key);
+        }
+        let clock = self.clock;
+        let ticket = self.tickets.issue();
+        let q = self.queues.entry(key).or_default();
+        let seq = q.seqs.issue();
+        let gi = match q.groups.iter().position(|g| g.matches(&req.features)) {
+            Some(i) => i,
+            None => {
+                q.groups.push(Group {
+                    features: req.features.clone(),
+                    first_tick: clock,
+                    requests: Vec::new(),
+                });
+                q.groups.len() - 1
+            }
+        };
+        q.groups[gi].requests.push(PendingReq {
+            seq,
+            ticket,
+            targets: req.targets,
+        });
+        let full = q.groups[gi].requests.len() >= self.cfg.max_batch;
+        self.pending += 1;
+        self.stats.submitted += 1;
+        self.stats.queue_depth_high_water = self.stats.queue_depth_high_water.max(self.pending);
+        if full {
+            self.flush_group(key, gi);
+        }
+        Ok(ticket)
+    }
+
+    /// Advance logical time by one tick and flush every group whose oldest
+    /// request has now waited at least `max_wait` ticks. Returns the
+    /// number of requests completed by this tick.
+    pub fn tick(&mut self) -> usize {
+        self.clock += 1;
+        self.flush_due(false)
+    }
+
+    /// Flush every pending group regardless of age (shutdown / test
+    /// barrier). Returns the number of requests completed.
+    pub fn drain(&mut self) -> usize {
+        self.flush_due(true)
+    }
+
+    /// Remove and return the response for `ticket`, if it is ready.
+    pub fn take(&mut self, ticket: Ticket) -> Option<ScoreResponse> {
+        self.ready.remove(&ticket.0)
+    }
+
+    /// Remove and return every ready response, in ascending ticket
+    /// (submission) order.
+    pub fn drain_ready(&mut self) -> Vec<ScoreResponse> {
+        std::mem::take(&mut self.ready).into_values().collect()
+    }
+
+    /// Requests enqueued but not yet executed.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Responses ready for pickup.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// The logical clock ([`GnnServer::tick`] increments it).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Cached plans alive right now.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Flush due (or, with `all`, every) groups in deterministic order:
+    /// plans in first-submission order, groups in arrival order.
+    fn flush_due(&mut self, all: bool) -> usize {
+        let completed_before = self.completed();
+        let keys = self.queue_order.clone();
+        for key in keys {
+            while let Some(q) = self.queues.get(&key) {
+                let due = q.groups.iter().position(|g| {
+                    all || self.clock.saturating_sub(g.first_tick) >= self.cfg.max_wait
+                });
+                let Some(gi) = due else { break };
+                self.flush_group(key, gi);
+            }
+        }
+        self.completed() - completed_before
+    }
+
+    fn completed(&self) -> usize {
+        (self.stats.served + self.stats.failed + self.stats.shed) as usize
+    }
+
+    /// Execute one coalesced group: one `run`/`run_with_features` call,
+    /// per-request logits sliced from its output, responses released
+    /// through the plan's FIFO gate.
+    fn flush_group(&mut self, key: PlanKey, gi: usize) {
+        let Some(q) = self.queues.get_mut(&key) else {
+            return;
+        };
+        let group = q.groups.remove(gi);
+        self.pending -= group.requests.len();
+        let plan = self.cache.get(&key).expect("flushed plan must be cached");
+        self.stats.batches += 1;
+        // THE batching contract: a coalesced group is served by exactly
+        // one plan execution — bit-identical to the caller making this
+        // very call itself.
+        let outcome = match &group.features {
+            Some(snap) => plan.run_with_features(snap),
+            None => plan.run(),
+        };
+        let q = self.queues.get_mut(&key).expect("queue exists");
+        match outcome {
+            Ok(out) => {
+                self.stats.message_bytes.add(out.report.message_bytes);
+                self.stats.modelled_run_secs += out.report.total_wall_secs();
+                // Full-logits requests share the run's output behind one
+                // Arc — a group of them costs one allocation, not one V×C
+                // copy per request.
+                let full = Arc::new(out.logits);
+                for req in group.requests {
+                    let logits = if req.targets.is_empty() {
+                        Arc::clone(&full)
+                    } else {
+                        Arc::new(
+                            req.targets
+                                .iter()
+                                .map(|&v| full[v as usize].clone())
+                                .collect(),
+                        )
+                    };
+                    self.stats.served += 1;
+                    q.reorder.push(
+                        req.seq,
+                        ScoreResponse {
+                            ticket: req.ticket,
+                            status: ScoreStatus::Served(logits),
+                        },
+                    );
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for req in group.requests {
+                    self.stats.failed += 1;
+                    q.reorder.push(
+                        req.seq,
+                        ScoreResponse {
+                            ticket: req.ticket,
+                            status: ScoreStatus::Failed(msg.clone()),
+                        },
+                    );
+                }
+            }
+        }
+        for resp in q.reorder.drain_ready() {
+            self.ready.insert(resp.ticket.0, resp);
+        }
+    }
+
+    /// Drop an evicted plan: its cache entry goes away and every pending
+    /// request completes with [`ScoreStatus::Shed`]. (The admission
+    /// controller already released its residency.)
+    fn evict(&mut self, key: &PlanKey) {
+        self.cache.remove(key);
+        if let Some(mut q) = self.queues.remove(key) {
+            for group in q.groups.drain(..) {
+                self.pending -= group.requests.len();
+                for req in group.requests {
+                    self.stats.shed += 1;
+                    q.reorder.push(
+                        req.seq,
+                        ScoreResponse {
+                            ticket: req.ticket,
+                            status: ScoreStatus::Shed,
+                        },
+                    );
+                }
+            }
+            // Every outstanding seq is now pushed, so the gate releases
+            // everything this plan still owed.
+            for resp in q.reorder.drain_ready() {
+                self.ready.insert(resp.ticket.0, resp);
+            }
+        }
+        self.queue_order.retain(|k| k != key);
+    }
+}
+
+/// The residency admission gates on: the plan's predicted peak per-worker
+/// bytes on its *resolved* backend (the number `Backend::Auto` itself
+/// compares, so fleet admission and per-plan backend choice speak the same
+/// units).
+fn plan_residency(plan: &InferencePlan<'_>) -> u64 {
+    match plan.backend() {
+        Backend::MapReduce => plan.estimate().mapreduce_peak_worker_bytes,
+        // Reference plans build no records (see `InferencePlan::build`),
+        // so their estimated residency is exactly zero.
+        _ => plan.estimate().pregel_peak_worker_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferturbo_core::models::PoolOp;
+    use inferturbo_graph::gen::{generate, DegreeSkew, GenConfig};
+
+    fn graph() -> Graph {
+        generate(&GenConfig {
+            n_nodes: 80,
+            n_edges: 400,
+            feat_dim: 4,
+            classes: 2,
+            skew: DegreeSkew::In,
+            seed: 11,
+            ..GenConfig::default()
+        })
+    }
+
+    fn model() -> GnnModel {
+        GnnModel::sage(4, 8, 2, 2, false, PoolOp::Mean, 1)
+    }
+
+    #[test]
+    fn coalesced_requests_share_one_run() {
+        let g = graph();
+        let m = model();
+        let mut server = GnnServer::new(ServeConfig {
+            max_batch: 3,
+            max_wait: 10,
+            ..ServeConfig::default()
+        });
+        server.register_model(1, &m);
+        server.register_graph(1, &g);
+        let req = ScoreRequest::new(1, 1)
+            .with_workers(4)
+            .with_targets(vec![0]);
+        // Three graph-feature requests coalesce; the third fills the batch
+        // and flushes inside submit.
+        for _ in 0..3 {
+            server.submit(req.clone()).unwrap();
+        }
+        assert_eq!(server.pending(), 0);
+        assert_eq!(server.stats().batches, 1, "one run serves all three");
+        assert_eq!(server.stats().served, 3);
+        assert!((server.stats().coalescing_ratio() - 3.0).abs() < 1e-12);
+        assert_eq!(server.drain_ready().len(), 3);
+    }
+
+    #[test]
+    fn max_wait_flushes_on_tick_and_distinct_snapshots_do_not_coalesce() {
+        let g = graph();
+        let m = model();
+        let mut server = GnnServer::new(ServeConfig {
+            max_batch: 100,
+            max_wait: 2,
+            ..ServeConfig::default()
+        });
+        server.register_model(1, &m);
+        server.register_graph(1, &g);
+        let snap_a: FeatureSnapshot = Arc::new(
+            (0..g.n_nodes() as u32)
+                .map(|v| g.node_feat(v).to_vec())
+                .collect(),
+        );
+        let snap_b: FeatureSnapshot = Arc::new(
+            (0..g.n_nodes() as u32)
+                .map(|v| g.node_feat(v).iter().map(|x| x * 0.5).collect())
+                .collect(),
+        );
+        let base = ScoreRequest::new(1, 1)
+            .with_workers(4)
+            .with_targets(vec![1]);
+        server
+            .submit(base.clone().with_snapshot(Arc::clone(&snap_a)))
+            .unwrap();
+        server
+            .submit(base.clone().with_snapshot(Arc::clone(&snap_b)))
+            .unwrap();
+        server
+            .submit(base.clone().with_snapshot(Arc::clone(&snap_a)))
+            .unwrap();
+        assert_eq!(server.pending(), 3);
+        assert_eq!(server.tick(), 0, "groups younger than max_wait hold");
+        assert_eq!(server.tick(), 3, "both groups aged out together");
+        // Two distinct snapshots -> two runs, three requests.
+        assert_eq!(server.stats().batches, 2);
+        assert_eq!(server.stats().served, 3);
+        assert_eq!(server.stats().queue_depth_high_water, 3);
+    }
+
+    #[test]
+    fn submit_validates_ids_shapes_and_targets() {
+        let g = graph();
+        let m = model();
+        let mut server = GnnServer::new(ServeConfig::default());
+        server.register_model(1, &m);
+        server.register_graph(1, &g);
+        assert!(server.submit(ScoreRequest::new(9, 1)).is_err());
+        assert!(server.submit(ScoreRequest::new(1, 9)).is_err());
+        let short: FeatureSnapshot = Arc::new(vec![vec![0.0; 4]; 3]);
+        assert!(server
+            .submit(ScoreRequest::new(1, 1).with_snapshot(short))
+            .is_err());
+        let ragged: FeatureSnapshot = Arc::new(vec![vec![0.0; 5]; 80]);
+        assert!(server
+            .submit(ScoreRequest::new(1, 1).with_snapshot(ragged))
+            .is_err());
+        assert!(server
+            .submit(ScoreRequest::new(1, 1).with_targets(vec![80]))
+            .is_err());
+        assert_eq!(server.pending(), 0, "failed submissions never enqueue");
+        assert_eq!(server.stats().submitted, 0);
+    }
+
+    #[test]
+    fn plan_cache_amortises_planning_across_requests() {
+        let g = graph();
+        let m = model();
+        let mut server = GnnServer::new(ServeConfig {
+            max_batch: 1, // every request runs alone
+            ..ServeConfig::default()
+        });
+        server.register_model(1, &m);
+        server.register_graph(1, &g);
+        let req = ScoreRequest::new(1, 1)
+            .with_workers(4)
+            .with_targets(vec![2]);
+        for _ in 0..4 {
+            server.submit(req.clone()).unwrap();
+        }
+        assert_eq!(server.stats().plans_built, 1);
+        assert_eq!(server.stats().plan_cache_hits, 3);
+        assert_eq!(server.cached_plans(), 1);
+        assert_eq!(server.stats().batches, 4);
+    }
+}

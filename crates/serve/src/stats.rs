@@ -1,0 +1,108 @@
+//! Server-lifetime counters — the serving analogue of
+//! [`inferturbo_cluster::RunReport`].
+//!
+//! A `RunReport` describes one run; [`ServerStats`] describes a server's
+//! whole life: how many requests arrived, how far batching compressed them
+//! into runs (the coalescing ratio), what admission did, how deep the
+//! queue got, and the accumulated per-plane message volume of every run
+//! executed on the server's behalf.
+
+use inferturbo_cluster::MessagePlaneBytes;
+
+/// Counters accumulated by a [`GnnServer`](crate::GnnServer). Cheap to
+/// copy out; `Display` prints the one-page operator view.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerStats {
+    /// Requests accepted into the queue (excludes admission rejections).
+    pub submitted: u64,
+    /// Requests answered with logits.
+    pub served: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Pending requests completed with `Shed` when their plan was evicted.
+    pub shed: u64,
+    /// Requests whose batch run failed (e.g. a simulated worker OOM).
+    pub failed: u64,
+    /// Batched runs executed (each serves one coalesced group).
+    pub batches: u64,
+    /// Plans built (plan-cache misses).
+    pub plans_built: u64,
+    /// Requests that found their plan already cached.
+    pub plan_cache_hits: u64,
+    /// Most requests ever pending at once.
+    pub queue_depth_high_water: usize,
+    /// Message volume by plane, summed over every executed run.
+    pub message_bytes: MessagePlaneBytes,
+    /// Modelled cluster wall-clock of every executed run, summed.
+    pub modelled_run_secs: f64,
+}
+
+impl ServerStats {
+    /// Requests served per executed run — the batching win. 1.0 means no
+    /// coalescing happened; `max_batch` is the ceiling.
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.batches as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serve: {} submitted -> {} served, {} rejected, {} shed, {} failed",
+            self.submitted, self.served, self.rejected, self.shed, self.failed
+        )?;
+        writeln!(
+            f,
+            "  batches: {} runs, coalescing {:.2} req/run, queue high-water {}",
+            self.batches,
+            self.coalescing_ratio(),
+            self.queue_depth_high_water
+        )?;
+        writeln!(
+            f,
+            "  plans: {} built, {} cache hits",
+            self.plans_built, self.plan_cache_hits
+        )?;
+        write!(
+            f,
+            "  traffic: columnar {} B, legacy {} B; modelled run wall {:.2}s",
+            self.message_bytes.columnar, self.message_bytes.legacy, self.modelled_run_secs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_ratio_handles_zero_batches() {
+        let mut s = ServerStats::default();
+        assert_eq!(s.coalescing_ratio(), 0.0);
+        s.served = 12;
+        s.batches = 4;
+        assert!((s.coalescing_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_one_page_and_informative() {
+        let s = ServerStats {
+            submitted: 10,
+            served: 8,
+            rejected: 1,
+            shed: 1,
+            batches: 2,
+            queue_depth_high_water: 5,
+            ..ServerStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("10 submitted"), "{text}");
+        assert!(text.contains("coalescing 4.00 req/run"), "{text}");
+        assert!(text.contains("high-water 5"), "{text}");
+    }
+}

@@ -100,4 +100,10 @@ fn main() {
         "feature refresh flipped {changed}/{} predictions",
         fresh.len()
     );
+
+    // 8. Serving traffic instead of single runs? `examples/serving.rs`
+    //    drives this same pipeline through `inferturbo::serve::GnnServer`:
+    //    cached plans, micro-batched feature-refresh requests, and
+    //    fleet-wide memory admission control.
+    println!("\nnext: cargo run --release --example serving");
 }

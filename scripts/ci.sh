@@ -3,6 +3,11 @@
 # and a smoke run of the parallel benchmark binary so every workload is
 # exercised end-to-end on every run.
 #
+# Every workspace member — including the serving layer (crates/serve) —
+# rides the workspace-wide gates below; `parbench --smoke` additionally
+# exercises the serving path end-to-end (`serve/throughput_3k` submits,
+# batches and drains real requests through GnnServer every run).
+#
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."

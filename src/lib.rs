@@ -15,7 +15,10 @@
 //! - [`batch`] — the MapReduce backend engine;
 //! - [`pregel`] — the Pregel backend engine;
 //! - [`core`] — the GAS abstraction, GNN models, training and the
-//!   full-graph inference drivers (the paper's contribution).
+//!   full-graph inference drivers (the paper's contribution);
+//! - [`serve`] — the batching, admission-controlled serving layer over
+//!   inference sessions (plan caching, micro-batching, fleet-wide memory
+//!   admission).
 
 pub use inferturbo_batch as batch;
 pub use inferturbo_cluster as cluster;
@@ -23,4 +26,5 @@ pub use inferturbo_common as common;
 pub use inferturbo_core as core;
 pub use inferturbo_graph as graph;
 pub use inferturbo_pregel as pregel;
+pub use inferturbo_serve as serve;
 pub use inferturbo_tensor as tensor;
