@@ -4,12 +4,14 @@
 //! compare against.
 //!
 //! ```text
-//! parbench [--out FILE] [--threads N] [--secs S] [--smoke]
+//! parbench [--out FILE] [--threads N] [--secs S] [--smoke] [--spill-budget B]
 //! ```
 //!
 //! Defaults: `--out BENCH_parallel.json`, `--threads` = host parallelism
-//! (or `INFERTURBO_THREADS`), `--secs 0.5` per measurement. Outputs are
-//! identical at both thread counts (enforced by the
+//! (or `INFERTURBO_THREADS`), `--secs 0.5` per measurement,
+//! `--spill-budget 4096` (the per-worker byte budget the
+//! `engine/pregel_sage2_3k_spill` entry forces the out-of-core path
+//! with). Outputs are identical at both thread counts (enforced by the
 //! `parallel_matches_serial` suite), so the speedups compare equal work.
 //!
 //! `--smoke` runs one very short measurement per bench (0.02 s) — CI uses
@@ -100,6 +102,24 @@ fn main() {
         .plan()
         .expect("session plan");
 
+    // Out-of-core workload: the same planned session forced through the
+    // disk path with a tiny per-worker budget, so the gate exercises the
+    // spill write/read cycle every run and the JSON records its cost
+    // relative to engine/session_reuse_3k.
+    let spill_budget: u64 = get("--spill-budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096);
+    let spill_session = InferenceSession::builder()
+        .model(&model)
+        .graph(&g)
+        .pregel_spec(pregel_spec)
+        .strategy(StrategyConfig::all())
+        .backend(Backend::Pregel)
+        .spill_budget(spill_budget)
+        .spill_dir(std::env::temp_dir().join("inferturbo-parbench"))
+        .plan()
+        .expect("spill session plan");
+
     // Serving throughput workload: SERVE_BATCH coalescing requests per
     // iteration (graph features -> one group -> one batched run), so the
     // recorded requests/s is SERVE_BATCH x the bundle rate.
@@ -157,6 +177,19 @@ fn main() {
             1.0,
             Box::new(|| {
                 session.run().unwrap();
+            }),
+        ),
+        (
+            // The spill session above: identical work to
+            // engine/session_reuse_3k plus the out-of-core write/read of
+            // every columnar inbox — the measured cost of trading memory
+            // for disk. The assert pins that the disk path really ran.
+            "engine/pregel_sage2_3k_spill",
+            true,
+            1.0,
+            Box::new(|| {
+                let out = spill_session.run().unwrap();
+                assert!(out.report.spilled_bytes > 0, "spill path must engage");
             }),
         ),
         (

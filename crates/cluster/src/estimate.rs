@@ -65,7 +65,19 @@ pub struct PlanEstimate {
     /// Estimated peak per-worker resident bytes on the Pregel backend
     /// (vertex states + the largest inter-superstep inbox). This is the
     /// number backend auto-selection compares against the memory budget.
+    ///
+    /// **Spill-aware**: when the plan carries an out-of-core spill budget,
+    /// the inbox term counts only the bounded resident window plus the
+    /// always-resident offsets/counts — the bytes the spill files absorb
+    /// move to [`PlanEstimate::pregel_spilled_worker_bytes`] instead, so a
+    /// plan that spills can fit a budget its unconstrained residency would
+    /// blow.
     pub pregel_peak_worker_bytes: u64,
+    /// Estimated peak per-worker bytes paged to disk by the Pregel
+    /// backend's columnar inboxes under the plan's spill budget — the
+    /// out-of-core plane of the residency model, reported alongside (never
+    /// inside) the resident peak. 0 when the plan has no spill budget.
+    pub pregel_spilled_worker_bytes: u64,
     /// Estimated peak per-worker resident bytes on the MapReduce backend
     /// (the largest single streamed key group — reducers never hold their
     /// whole partition).
@@ -199,6 +211,7 @@ mod tests {
                 },
             ],
             pregel_peak_worker_bytes: 4_096,
+            pregel_spilled_worker_bytes: 0,
             mapreduce_peak_worker_bytes: 512,
         }
     }

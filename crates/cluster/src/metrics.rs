@@ -121,6 +121,12 @@ pub struct RunReport {
     pub phases: Vec<PhaseReport>,
     /// Whole-run message volume by plane (see [`MessagePlaneBytes`]).
     pub message_bytes: MessagePlaneBytes,
+    /// Bytes of columnar inbox rows paged to disk across the run (the
+    /// out-of-core plane). Each worker's `mem_peak` counts resident bytes
+    /// only — what the memory cap gates on — while this field records what
+    /// the spill files absorbed instead; the two together are the run's
+    /// whole inbox footprint. 0 when no spill policy was active.
+    pub spilled_bytes: u64,
 }
 
 impl RunReport {
@@ -129,6 +135,7 @@ impl RunReport {
             spec,
             phases: Vec::new(),
             message_bytes: MessagePlaneBytes::default(),
+            spilled_bytes: 0,
         }
     }
 

@@ -31,6 +31,11 @@ pub enum Error {
     /// A layer violated its own annotation contract
     /// (e.g. `partial_gather = true` with a non-associative aggregate).
     AnnotationViolation(String),
+    /// A fixed-capacity address space would overflow (e.g. more rows in
+    /// one worker's arena than its `u32` offsets can index). Raised as a
+    /// value — at huge-graph scale this is a planning/sharding failure the
+    /// harness must observe, not a silent release-mode wraparound.
+    Capacity(String),
     /// Shape mismatch in a tensor operation.
     ShapeMismatch(String),
     /// An engine phase failed; wraps the phase name and inner error.
@@ -75,6 +80,7 @@ impl fmt::Display for Error {
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::InvalidGraph(msg) => write!(f, "invalid graph: {msg}"),
             Error::AnnotationViolation(msg) => write!(f, "annotation violation: {msg}"),
+            Error::Capacity(msg) => write!(f, "capacity exceeded: {msg}"),
             Error::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
             Error::Phase { phase, source } => write!(f, "phase `{phase}` failed: {source}"),
             Error::Io(msg) => write!(f, "io error: {msg}"),

@@ -27,9 +27,34 @@
 //!
 //! Together these make the fused path bit-identical to the legacy
 //! materialize-then-combine path for every worker and thread count.
+//!
+//! # Out-of-core spilling
+//!
+//! Both inter-superstep inbox stores — the materialized [`RowArena`] and
+//! the merged fused accumulators ([`FusedRows`]) — are backed by
+//! [`SpillableRows`]: a flat `f32` row store that, under a per-worker
+//! [`SpillPolicy`] byte budget, pages its rows to a temp file with plain
+//! `std::fs` (rows are fixed-width and position-addressed, so a page is a
+//! seek + read) and keeps only a bounded window resident. Consumers drain
+//! slots in ascending order, so the window streams forward through the
+//! file exactly once per superstep.
+//!
+//! **Spill determinism contract**: spilling never changes a bit. All
+//! folding (scatter order, copy-on-first, ascending-sender merges) happens
+//! *before* rows reach the store, and `f32` lanes round-trip the file
+//! through their exact IEEE-754 bit patterns (`to_le_bytes`/
+//! `from_le_bytes`), so a spilled run is bit-identical to the unconstrained
+//! in-memory run for every budget, worker count, and thread count. Only
+//! the *residency* accounting changes: `resident_bytes()` reports the
+//! bounded window (plus always-resident offsets/counts) and
+//! `spilled_bytes()` reports what lives on disk — the two planes engines
+//! and plans report separately.
 
 use crate::codec::varint_len;
-use crate::FxHashMap;
+use crate::{Error, FxHashMap, Result};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Wire length of one columnar row record's payload, shared by both
 /// engines so their `message_bytes` accounting stays directly comparable:
@@ -39,6 +64,258 @@ use crate::FxHashMap;
 /// overhead).
 pub fn row_payload_len(dim: usize, count: Option<u32>) -> usize {
     1 + varint_len(dim as u64) + dim * 4 + count.map_or(0, |c| varint_len(c as u64))
+}
+
+/// Uniquifies spill file names within a process (workers seal in
+/// parallel; supersteps reuse nothing).
+static SPILL_FILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Out-of-core configuration for one worker's inbox stores: where spill
+/// files go and how many bytes of row data may stay resident per store.
+///
+/// The budget is a *soft* target: a single slot whose rows exceed it still
+/// loads in full (the window grows for that read), and the always-resident
+/// metadata (offsets, counts) is charged on top. Offsets/counts are 4
+/// bytes per slot versus `4·dim` per row, so the metadata is never the
+/// term that breaks a memory cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillPolicy {
+    /// Directory spill files are created in (created on demand; files are
+    /// removed when their store drops).
+    pub dir: PathBuf,
+    /// Resident byte budget per backing store (per worker, per plane).
+    pub budget_bytes: u64,
+}
+
+impl SpillPolicy {
+    pub fn new(dir: impl Into<PathBuf>, budget_bytes: u64) -> Self {
+        SpillPolicy {
+            dir: dir.into(),
+            budget_bytes,
+        }
+    }
+}
+
+/// How a [`SpillableRows`] holds its data: fully in memory, or on disk
+/// with a bounded resident window.
+#[derive(Debug)]
+enum RowStore {
+    Resident(Vec<f32>),
+    Spilled {
+        path: PathBuf,
+        file: std::fs::File,
+        /// Currently resident rows `[win_start, win_start + win_len)`.
+        window: Vec<f32>,
+        /// Reused byte staging buffer for window loads (allocated once,
+        /// not per reload — reloads happen per slot in the drain loop).
+        scratch: Vec<u8>,
+        win_start: usize,
+        win_len: usize,
+        /// Budgeted window size in rows (≥ 1).
+        win_cap: usize,
+        /// Largest window the drain can ever hold, in rows — the modeled
+        /// residency. Seeded at construction with the caller-declared
+        /// largest single read (`max_read_rows`), so the memory model
+        /// covers an oversized slot *before* the drain reaches it, and
+        /// raised further if an even larger read actually happens.
+        high_water: usize,
+    },
+}
+
+/// A flat store of fixed-width `f32` rows that can live out of core.
+///
+/// Built from a fully-folded flat buffer (sealing/merging happens before
+/// rows reach the store — see the module docs' spill determinism
+/// contract). Under a [`SpillPolicy`] whose budget the buffer exceeds, the
+/// rows are written to a temp file once and read back through a bounded
+/// window; otherwise the buffer stays resident and reads are plain
+/// slices. Reads are bit-identical in both modes.
+#[derive(Debug)]
+pub struct SpillableRows {
+    dim: usize,
+    n_rows: usize,
+    store: RowStore,
+}
+
+impl SpillableRows {
+    /// A fully resident store (no spill policy, or the data fit the
+    /// budget).
+    pub fn resident(dim: usize, data: Vec<f32>) -> Self {
+        let n_rows = data.len().checked_div(dim).unwrap_or(0);
+        SpillableRows {
+            dim,
+            n_rows,
+            store: RowStore::Resident(data),
+        }
+    }
+
+    /// Wrap `data`, spilling it to a file under `spill.dir` when its bytes
+    /// exceed `spill.budget_bytes`. The write is one sequential pass; the
+    /// resident window is sized to the budget (at least one row).
+    ///
+    /// `max_read_rows` declares the largest single [`SpillableRows::rows`]
+    /// range the consumer will request (e.g. the fattest slot of an
+    /// arena). The window must grow to cover such a read, so it is folded
+    /// into the residency high-water up front — the memory model then
+    /// charges the worst-case window at seal time instead of discovering
+    /// it mid-drain (the budget is a soft target; see [`SpillPolicy`]).
+    ///
+    /// Note the build-side transient: `data` is the fully-folded flat
+    /// buffer, so the *host* process briefly holds the whole thing before
+    /// the spill write. The budget governs the simulated per-worker
+    /// residency model (what `check_memory`, estimates, and admission
+    /// gate on); a page-wise seal that bounds the host transient too is
+    /// the ROADMAP follow-on.
+    pub fn new(
+        dim: usize,
+        data: Vec<f32>,
+        spill: Option<&SpillPolicy>,
+        max_read_rows: usize,
+    ) -> Result<Self> {
+        let policy = match spill {
+            Some(p) if dim > 0 && (data.len() * 4) as u64 > p.budget_bytes => p,
+            _ => return Ok(SpillableRows::resident(dim, data)),
+        };
+        let n_rows = data.len() / dim;
+        std::fs::create_dir_all(&policy.dir)?;
+        let path = policy.dir.join(format!(
+            "inferturbo-spill-{}-{}.rows",
+            std::process::id(),
+            SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        {
+            // Exact IEEE-754 bit patterns on disk: the read-back path is
+            // bit-identical to never having spilled.
+            let mut w = BufWriter::with_capacity(1 << 16, &file);
+            for &x in &data {
+                w.write_all(&x.to_le_bytes())?;
+            }
+            w.flush()?;
+        }
+        drop(data);
+        let win_cap = ((policy.budget_bytes / 4) as usize / dim).max(1);
+        Ok(SpillableRows {
+            dim,
+            n_rows,
+            store: RowStore::Spilled {
+                path,
+                file,
+                window: Vec::new(),
+                scratch: Vec::new(),
+                win_start: 0,
+                win_len: 0,
+                win_cap,
+                high_water: win_cap.max(max_read_rows).min(n_rows),
+            },
+        })
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total rows in the store (resident + spilled).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Whether the rows live on disk.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.store, RowStore::Spilled { .. })
+    }
+
+    /// Modeled resident bytes of the row data: everything when in memory,
+    /// the (high-water) window when spilled.
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.store {
+            RowStore::Resident(d) => (d.len() * 4) as u64,
+            RowStore::Spilled { high_water, .. } => (*high_water * self.dim * 4) as u64,
+        }
+    }
+
+    /// Bytes living in the spill file (0 when resident).
+    pub fn spilled_bytes(&self) -> u64 {
+        match &self.store {
+            RowStore::Resident(_) => 0,
+            RowStore::Spilled { .. } => (self.n_rows * self.dim * 4) as u64,
+        }
+    }
+
+    /// The flat rows `[lo, hi)` (`(hi - lo) * dim` floats). When spilled,
+    /// loads the covering window from disk if it is not already resident;
+    /// sequential ascending access streams the file once.
+    pub fn rows(&mut self, lo: usize, hi: usize) -> Result<&[f32]> {
+        debug_assert!(lo <= hi && hi <= self.n_rows, "row range out of bounds");
+        if lo == hi {
+            return Ok(&[]);
+        }
+        let dim = self.dim;
+        match &mut self.store {
+            RowStore::Resident(data) => Ok(&data[lo * dim..hi * dim]),
+            RowStore::Spilled {
+                file,
+                window,
+                scratch,
+                win_start,
+                win_len,
+                win_cap,
+                high_water,
+                ..
+            } => {
+                let need = hi - lo;
+                if lo < *win_start || hi > *win_start + *win_len {
+                    // Load a fresh window at `lo`: budget-sized, grown to
+                    // cover an oversized single request, clipped at EOF.
+                    // `window` and `scratch` keep their allocations across
+                    // reloads — the drain loop reloads once per window, so
+                    // steady-state paging allocates nothing.
+                    let load = need.max(*win_cap).min(self.n_rows - lo);
+                    window.clear();
+                    window.resize(load * dim, 0.0);
+                    file.seek(SeekFrom::Start((lo * dim * 4) as u64))?;
+                    scratch.clear();
+                    scratch.resize(load * dim * 4, 0);
+                    file.read_exact(scratch)?;
+                    for (x, ch) in window.iter_mut().zip(scratch.chunks_exact(4)) {
+                        *x = f32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]);
+                    }
+                    *win_start = lo;
+                    *win_len = load;
+                    *high_water = (*high_water).max(load);
+                }
+                let off = (lo - *win_start) * dim;
+                Ok(&window[off..off + need * dim])
+            }
+        }
+    }
+}
+
+impl Drop for SpillableRows {
+    fn drop(&mut self) {
+        if let RowStore::Spilled { path, .. } = &self.store {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Guard for the `u32` offset/cursor space of one worker's arena. At
+/// huge-graph `E·d` scale this must be a typed, catchable error on the
+/// engine result path — a release build must never wrap the counting
+/// scatter's cursors into silent row loss.
+fn check_u32_row_capacity(total_rows: usize) -> Result<()> {
+    if total_rows > u32::MAX as usize {
+        return Err(Error::Capacity(format!(
+            "row arena overflow: {total_rows} rows for one worker exceed the u32 offset space \
+             ({} max); shard the graph across more workers",
+            u32::MAX
+        )));
+    }
+    Ok(())
 }
 
 /// Declares that a step's messages are fixed-width `f32` rows. A vertex
@@ -175,12 +452,14 @@ impl RowShard {
 }
 
 /// A destination worker's sealed columnar inbox: every pending row in one
-/// flat buffer, slot `s`'s rows at row indices `offsets[s]..offsets[s+1]`
-/// in delivery order. The row analogue of the Pregel `InboxArena`.
-#[derive(Debug, Clone)]
+/// flat (possibly spilled) store, slot `s`'s rows at row indices
+/// `offsets[s]..offsets[s+1]` in delivery order. The row analogue of the
+/// Pregel `InboxArena`. The offsets always stay resident; the row data
+/// pages through a [`SpillableRows`] window under a [`SpillPolicy`].
+#[derive(Debug)]
 pub struct RowArena {
     dim: usize,
-    data: Vec<f32>,
+    data: SpillableRows,
     /// Per-slot row ranges; empty until the first seal.
     offsets: Vec<u32>,
 }
@@ -189,7 +468,7 @@ impl RowArena {
     pub fn empty(dim: usize) -> Self {
         RowArena {
             dim,
-            data: Vec::new(),
+            data: SpillableRows::resident(dim, Vec::new()),
             offsets: Vec::new(),
         }
     }
@@ -200,12 +479,18 @@ impl RowArena {
 
     /// Total rows in the arena.
     pub fn n_rows(&self) -> usize {
-        self.data.len().checked_div(self.dim).unwrap_or(0)
+        self.data.n_rows()
     }
 
-    /// Resident bytes of the arena (rows + offsets).
+    /// Resident bytes of the arena: offsets plus the in-memory row data
+    /// (the bounded window, when spilled).
     pub fn resident_bytes(&self) -> u64 {
-        (self.data.len() * 4 + self.offsets.len() * 4) as u64
+        self.data.resident_bytes() + (self.offsets.len() * 4) as u64
+    }
+
+    /// Bytes of row data living in the spill file (0 when fully resident).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.data.spilled_bytes()
     }
 
     /// Number of rows pending for `slot`. Slots past the sealed range —
@@ -219,26 +504,32 @@ impl RowArena {
     }
 
     /// Rows pending for `slot`, flat (`count(slot) * dim` floats), in
-    /// delivery order.
-    pub fn rows(&self, slot: usize) -> &[f32] {
+    /// delivery order. `&mut` because a spilled arena may need to page the
+    /// covering window in; draining slots in ascending order streams the
+    /// spill file exactly once.
+    pub fn rows(&mut self, slot: usize) -> Result<&[f32]> {
         if slot + 1 >= self.offsets.len() {
-            &[]
-        } else {
-            let lo = self.offsets[slot] as usize * self.dim;
-            let hi = self.offsets[slot + 1] as usize * self.dim;
-            &self.data[lo..hi]
+            return Ok(&[]);
         }
+        let lo = self.offsets[slot] as usize;
+        let hi = self.offsets[slot + 1] as usize;
+        self.data.rows(lo, hi)
     }
 
     /// Build the arena from per-sender shards. Shards are scattered in
     /// ascending sender order and each shard in emission order,
     /// reproducing exactly the delivery order of a serial sender loop.
-    pub fn seal(dim: usize, n_slots: usize, shards: &[RowShard]) -> Self {
+    /// Under `spill`, row data beyond the budget pages to disk — spilling
+    /// happens after the scatter, so delivery order and bits are
+    /// unaffected.
+    pub fn seal(
+        dim: usize,
+        n_slots: usize,
+        shards: &[RowShard],
+        spill: Option<&SpillPolicy>,
+    ) -> Result<Self> {
         let total: usize = shards.iter().map(RowShard::len).sum();
-        assert!(
-            total <= u32::MAX as usize,
-            "row arena overflow: {total} rows for one worker"
-        );
+        check_u32_row_capacity(total)?;
         let mut offsets = vec![0u32; n_slots + 1];
         for sh in shards {
             for &s in &sh.slots {
@@ -260,7 +551,20 @@ impl RowArena {
         }
         offsets.copy_within(0..n_slots, 1);
         offsets[0] = 0;
-        RowArena { dim, data, offsets }
+        // The fattest slot bounds the largest single read the drain will
+        // issue; declaring it up front makes the residency model charge
+        // the worst-case window at seal time (a hub slot wider than the
+        // budget still loads whole).
+        let max_slot_rows = offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0);
+        Ok(RowArena {
+            dim,
+            data: SpillableRows::new(dim, data, spill, max_slot_rows)?,
+            offsets,
+        })
     }
 }
 
@@ -350,11 +654,13 @@ impl FusedSlotShard {
 
 /// A destination worker's merged fused inbox: one accumulator row per slot
 /// (identity-filled), `counts[s]` raw messages folded into slot `s` (0 =
-/// no messages). O(V·d) resident regardless of edge count.
-#[derive(Debug, Clone)]
+/// no messages). O(V·d) resident regardless of edge count — and under a
+/// [`SpillPolicy`] even the V·d accumulators page to disk, leaving only
+/// the counts (4 B/slot) plus a bounded row window resident.
+#[derive(Debug)]
 pub struct FusedRows {
     dim: usize,
-    pub acc: Vec<f32>,
+    acc: SpillableRows,
     pub counts: Vec<u32>,
 }
 
@@ -362,7 +668,7 @@ impl FusedRows {
     pub fn empty(dim: usize) -> Self {
         FusedRows {
             dim,
-            acc: Vec::new(),
+            acc: SpillableRows::resident(dim, Vec::new()),
             counts: Vec::new(),
         }
     }
@@ -371,9 +677,16 @@ impl FusedRows {
         self.dim
     }
 
-    /// Resident bytes (accumulators + counts).
+    /// Resident bytes: counts plus the in-memory accumulator rows (the
+    /// bounded window, when spilled).
     pub fn resident_bytes(&self) -> u64 {
-        (self.acc.len() * 4 + self.counts.len() * 4) as u64
+        self.acc.resident_bytes() + (self.counts.len() * 4) as u64
+    }
+
+    /// Bytes of accumulator rows living in the spill file (0 when fully
+    /// resident).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.acc.spilled_bytes()
     }
 
     /// Raw messages folded into `slot` (0 for untouched or out-of-range
@@ -383,46 +696,50 @@ impl FusedRows {
     }
 
     /// Accumulator row of `slot`; empty slice for out-of-range slots
-    /// (vertices added after the merge), whose count is 0.
-    pub fn row(&self, slot: usize) -> &[f32] {
-        let lo = slot * self.dim;
-        if lo + self.dim > self.acc.len() {
-            &[]
-        } else {
-            &self.acc[lo..lo + self.dim]
+    /// (vertices added after the merge), whose count is 0. `&mut` because
+    /// a spilled store may need to page the covering window in.
+    pub fn row(&mut self, slot: usize) -> Result<&[f32]> {
+        if self.dim == 0 || slot >= self.acc.n_rows() {
+            return Ok(&[]);
         }
+        self.acc.rows(slot, slot + 1)
     }
 
     /// Merge per-sender fused shards into one dense accumulator set, in
     /// ascending sender order, each shard in first-touch order — the exact
     /// order the legacy combiner path delivers partials, so results are
     /// bit-identical to it. Copy-on-first: a slot's first partial is
-    /// copied, later partials fold through `agg`.
+    /// copied, later partials fold through `agg`. The fully-folded
+    /// accumulators then spill under `spill` — fold order is fixed before
+    /// any byte reaches disk.
     pub fn merge(
         dim: usize,
         n_slots: usize,
         shards: &[FusedSlotShard],
         agg: &dyn FusedAggregator,
-    ) -> Self {
-        let mut out = FusedRows {
-            dim,
-            acc: vec![agg.identity(); n_slots * dim],
-            counts: vec![0u32; n_slots],
-        };
+        spill: Option<&SpillPolicy>,
+    ) -> Result<Self> {
+        let mut acc = vec![agg.identity(); n_slots * dim];
+        let mut counts = vec![0u32; n_slots];
         for sh in shards {
             debug_assert_eq!(sh.dim, dim);
             for (i, &slot) in sh.keys.iter().enumerate() {
                 let s = slot as usize;
-                let dst = &mut out.acc[s * dim..(s + 1) * dim];
-                if out.counts[s] == 0 {
+                let dst = &mut acc[s * dim..(s + 1) * dim];
+                if counts[s] == 0 {
                     dst.copy_from_slice(sh.rows.row(i));
                 } else {
                     agg.accumulate(dst, sh.rows.row(i));
                 }
-                out.counts[s] += sh.counts[i];
+                counts[s] += sh.counts[i];
             }
         }
-        out
+        Ok(FusedRows {
+            dim,
+            // Fused accumulators read one slot row at a time.
+            acc: SpillableRows::new(dim, acc, spill, 1)?,
+            counts,
+        })
     }
 }
 
@@ -509,14 +826,14 @@ mod tests {
         s0.push(0, &[2.0, 2.0]);
         let mut s1 = RowShard::new(2);
         s1.push(1, &[3.0, 3.0]);
-        let arena = RowArena::seal(2, 3, &[s0, s1]);
+        let mut arena = RowArena::seal(2, 3, &[s0, s1], None).unwrap();
         assert_eq!(arena.count(0), 1);
-        assert_eq!(arena.rows(0), &[2.0, 2.0]);
+        assert_eq!(arena.rows(0).unwrap(), &[2.0, 2.0]);
         // slot 1: sender 0's row before sender 1's
         assert_eq!(arena.count(1), 2);
-        assert_eq!(arena.rows(1), &[1.0, 1.0, 3.0, 3.0]);
+        assert_eq!(arena.rows(1).unwrap(), &[1.0, 1.0, 3.0, 3.0]);
         assert_eq!(arena.count(2), 0);
-        assert_eq!(arena.rows(2), &[] as &[f32]);
+        assert_eq!(arena.rows(2).unwrap(), &[] as &[f32]);
         // slots beyond the sealed range read as empty
         assert_eq!(arena.count(7), 0);
     }
@@ -558,15 +875,15 @@ mod tests {
         let mut s1 = FusedSlotShard::new(1, 3);
         s1.accumulate(1, &[10.0], 1, &Sum);
         s1.accumulate(0, &[7.0], 1, &Sum);
-        let merged = FusedRows::merge(1, 3, &[s0, s1], &Sum);
-        assert_eq!(merged.row(1), &[11.0]);
+        let mut merged = FusedRows::merge(1, 3, &[s0, s1], &Sum, None).unwrap();
+        assert_eq!(merged.row(1).unwrap(), &[11.0]);
         assert_eq!(merged.count(1), 3);
-        assert_eq!(merged.row(0), &[7.0]);
+        assert_eq!(merged.row(0).unwrap(), &[7.0]);
         assert_eq!(merged.count(0), 1);
         assert_eq!(merged.count(2), 0);
         // out-of-range slots (vertices added later) are empty
         assert_eq!(merged.count(9), 0);
-        assert_eq!(merged.row(9), &[] as &[f32]);
+        assert_eq!(merged.row(9).unwrap(), &[] as &[f32]);
     }
 
     #[test]
@@ -590,6 +907,165 @@ mod tests {
         pooled.reset(2, 1);
         pooled.accumulate(0, &[1.0, 1.0], 1, &Sum);
         assert_eq!(pooled.keys, vec![0]);
+    }
+
+    fn tiny_spill(budget: u64) -> SpillPolicy {
+        SpillPolicy::new(std::env::temp_dir().join("inferturbo-rows-tests"), budget)
+    }
+
+    /// Feature-like values with awkward bit patterns (-0.0, subnormals,
+    /// irrational fractions) so a lossy round-trip would be caught.
+    fn odd_bits(n: usize, dim: usize) -> Vec<f32> {
+        (0..n * dim)
+            .map(|i| match i % 5 {
+                0 => -0.0,
+                1 => f32::from_bits(1), // smallest subnormal
+                2 => (i as f32 * 0.37).sin(),
+                3 => -(i as f32) / 7.0,
+                _ => i as f32 * 1e-30,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spillable_rows_read_back_bit_identical() {
+        let dim = 3;
+        let data = odd_bits(40, dim);
+        let mut resident = SpillableRows::resident(dim, data.clone());
+        // Budget of 5 rows' bytes: 40 rows force a spill with many window
+        // reloads, including backwards re-reads and an oversized request.
+        let mut spilled = SpillableRows::new(dim, data, Some(&tiny_spill(5 * dim as u64 * 4)), 1)
+            .expect("spill write");
+        assert!(spilled.is_spilled());
+        assert_eq!(spilled.spilled_bytes(), 40 * dim as u64 * 4);
+        assert!(spilled.resident_bytes() < resident.resident_bytes());
+        for (lo, hi) in [(0, 1), (0, 40), (7, 19), (39, 40), (3, 3), (2, 9)] {
+            let a: Vec<u32> = resident
+                .rows(lo, hi)
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let b: Vec<u32> = spilled
+                .rows(lo, hi)
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(a, b, "range {lo}..{hi} diverged after spill");
+        }
+    }
+
+    #[test]
+    fn spill_file_is_removed_on_drop() {
+        let policy = tiny_spill(4);
+        let rows = SpillableRows::new(2, odd_bits(6, 2), Some(&policy), 1).unwrap();
+        let path = match &rows.store {
+            RowStore::Spilled { path, .. } => path.clone(),
+            _ => panic!("expected a spilled store"),
+        };
+        assert!(path.exists());
+        drop(rows);
+        assert!(!path.exists(), "drop must clean the spill file");
+    }
+
+    #[test]
+    fn oversized_slot_window_is_charged_at_seal_time() {
+        // One hub slot holds 20 of 24 rows while the budget covers 2: the
+        // drain must grow its window for that slot, and the residency
+        // model must charge that worst case at seal time — before any
+        // read — so the engine's memory gate sees it at the barrier.
+        let dim = 2;
+        let mut sh = RowShard::new(dim);
+        for i in 0..24u32 {
+            let slot = if i < 20 { 3 } else { i % 3 };
+            sh.push(slot, &[i as f32, -(i as f32)]);
+        }
+        let arena = RowArena::seal(dim, 5, &[sh], Some(&tiny_spill(2 * dim as u64 * 4))).unwrap();
+        assert!(arena.spilled_bytes() > 0);
+        let at_seal = arena.resident_bytes();
+        assert!(
+            at_seal >= 20 * dim as u64 * 4,
+            "hub window must be pre-charged: {at_seal}"
+        );
+        // Draining (including the hub slot) never exceeds the seal-time
+        // charge.
+        let mut arena = arena;
+        for s in 0..5 {
+            arena.rows(s).unwrap();
+        }
+        assert_eq!(arena.resident_bytes(), at_seal);
+    }
+
+    #[test]
+    fn arena_seal_under_budget_stays_resident() {
+        let mut sh = RowShard::new(2);
+        sh.push(0, &[1.0, 2.0]);
+        let arena = RowArena::seal(2, 1, &[sh], Some(&tiny_spill(1 << 20))).unwrap();
+        assert_eq!(arena.spilled_bytes(), 0);
+    }
+
+    #[test]
+    fn spilled_arena_reads_bit_identical_to_resident() {
+        let dim = 2;
+        let feats = odd_bits(30, dim);
+        let mut shards: Vec<RowShard> = (0..3).map(|_| RowShard::new(dim)).collect();
+        for i in 0..30 {
+            shards[i % 3].push((i % 7) as u32, &feats[i * dim..(i + 1) * dim]);
+        }
+        let shards2 = shards.clone();
+        let mut plain = RowArena::seal(dim, 7, &shards, None).unwrap();
+        let mut spilled = RowArena::seal(dim, 7, &shards2, Some(&tiny_spill(16))).unwrap();
+        assert!(spilled.spilled_bytes() > 0);
+        assert!(spilled.resident_bytes() < plain.resident_bytes());
+        for s in 0..8 {
+            assert_eq!(plain.count(s), spilled.count(s));
+            let a: Vec<u32> = plain.rows(s).unwrap().iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = spilled
+                .rows(s)
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(a, b, "slot {s} diverged after spill");
+        }
+    }
+
+    #[test]
+    fn spilled_fused_merge_bit_identical_to_resident() {
+        let dim = 3;
+        let feats = odd_bits(24, dim);
+        let mut shards: Vec<FusedSlotShard> = (0..2).map(|_| FusedSlotShard::new(dim, 9)).collect();
+        for i in 0..24 {
+            shards[i % 2].accumulate((i % 9) as u32, &feats[i * dim..(i + 1) * dim], 1, &Sum);
+        }
+        // Rebuild identical shards for the second merge (shards are
+        // consumed by reference but folding mutated nothing — reuse).
+        let mut plain = FusedRows::merge(dim, 9, &shards, &Sum, None).unwrap();
+        let mut spilled = FusedRows::merge(dim, 9, &shards, &Sum, Some(&tiny_spill(8))).unwrap();
+        assert!(spilled.spilled_bytes() > 0);
+        assert!(spilled.resident_bytes() < plain.resident_bytes());
+        for s in 0..10 {
+            assert_eq!(plain.count(s), spilled.count(s));
+            let a: Vec<u32> = plain.row(s).unwrap().iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = spilled
+                .row(s)
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(a, b, "slot {s} diverged after spill");
+        }
+    }
+
+    #[test]
+    fn u32_row_capacity_boundary_is_a_typed_error() {
+        // Exactly u32::MAX rows still index; one more must surface as a
+        // catchable Error::Capacity, never a silent release-mode wrap.
+        assert!(check_u32_row_capacity(u32::MAX as usize).is_ok());
+        let err = check_u32_row_capacity(u32::MAX as usize + 1).unwrap_err();
+        assert!(matches!(err, Error::Capacity(_)), "{err:?}");
+        assert!(err.to_string().contains("row arena overflow"), "{err}");
     }
 
     #[test]

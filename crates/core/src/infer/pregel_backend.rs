@@ -28,6 +28,7 @@ use crate::models::GnnModel;
 use crate::session::{Backend, InferenceSession};
 use crate::strategy::{mirror_of, NodeRecord, StrategyConfig};
 use inferturbo_cluster::ClusterSpec;
+use inferturbo_common::rows::SpillPolicy;
 use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
 use inferturbo_pregel::{
@@ -258,6 +259,8 @@ pub fn infer_pregel(
 /// path); `scratch` is the plan's pooled per-worker engine scratch,
 /// returned after the run so the next run skips the per-superstep
 /// allocations. On error the pool is dropped; the next run starts fresh.
+/// `spill`, when given, puts each worker's columnar inboxes under the
+/// out-of-core byte budget (bit-identical results, reduced residency).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_planned<'g>(
     model: &'g GnnModel,
@@ -268,6 +271,7 @@ pub(crate) fn run_planned<'g>(
     bc_threshold: u64,
     features: Option<&'g [Vec<f32>]>,
     scratch: ScratchPool<GnnMessage>,
+    spill: Option<&SpillPolicy>,
 ) -> Result<(InferenceOutput, ScratchPool<GnnMessage>)> {
     let k = model.n_layers();
     let combiners: Vec<Option<WireCombiner>> = (0..k)
@@ -284,7 +288,9 @@ pub(crate) fn run_planned<'g>(
         row_aggs,
         k,
     };
-    let config = PregelConfig::new(spec).with_columnar(strategy.columnar);
+    let config = PregelConfig::new(spec)
+        .with_columnar(strategy.columnar)
+        .with_spill(spill.cloned());
     let mut engine = PregelEngine::new(program, config);
     engine.set_scratch(scratch);
     for rec in records {

@@ -31,7 +31,7 @@ use crate::strategy::{build_node_records, NodeRecord, StrategyConfig};
 use inferturbo_cluster::{ClusterSpec, LayerEstimate, PlanEstimate, RunReport};
 use inferturbo_common::codec::varint_len;
 use inferturbo_common::hash::partition_of;
-use inferturbo_common::rows::row_payload_len;
+use inferturbo_common::rows::{row_payload_len, SpillPolicy};
 use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
 use inferturbo_pregel::ScratchPool;
@@ -54,6 +54,11 @@ pub struct InferencePlan<'a> {
     pub(crate) mapreduce_spec: ClusterSpec,
     /// Per-worker memory budget `Backend::Auto` compared against.
     pub(crate) memory_budget: u64,
+    /// Out-of-core policy for the Pregel backend's columnar inboxes (see
+    /// `SessionBuilder::spill_budget`). Shapes the estimate — the resident
+    /// peak counts only the bounded window — and is handed to the engine
+    /// at run time.
+    pub(crate) spill: Option<SpillPolicy>,
     /// Planning worker count (the chosen backend's cluster size).
     pub(crate) workers: usize,
     pub(crate) records: Vec<NodeRecord>,
@@ -91,6 +96,7 @@ impl<'a> InferencePlan<'a> {
         pregel_spec: ClusterSpec,
         mapreduce_spec: ClusterSpec,
         memory_budget: u64,
+        spill: Option<SpillPolicy>,
         workers: usize,
     ) -> InferencePlan<'a> {
         // Broadcast pays one payload per worker instead of one per
@@ -119,7 +125,14 @@ impl<'a> InferencePlan<'a> {
                 .filter(|&&d| d as u64 > bc_threshold)
                 .count()
         };
-        let estimate = build_estimate(model, &records, &strategy, workers, bc_threshold);
+        let estimate = build_estimate(
+            model,
+            &records,
+            &strategy,
+            workers,
+            bc_threshold,
+            spill.as_ref().map(|p| p.budget_bytes),
+        );
         let backend = match requested {
             Backend::Auto => {
                 // The paper's §IV-A trade-off, encoded: Pregel keeps state
@@ -142,6 +155,7 @@ impl<'a> InferencePlan<'a> {
             pregel_spec,
             mapreduce_spec,
             memory_budget,
+            spill,
             workers,
             records,
             bc_threshold,
@@ -190,6 +204,12 @@ impl<'a> InferencePlan<'a> {
         self.memory_budget
     }
 
+    /// The out-of-core spill policy the Pregel backend runs under, if one
+    /// was configured.
+    pub fn spill(&self) -> Option<&SpillPolicy> {
+        self.spill.as_ref()
+    }
+
     /// The planned loadable records. Runs load these zero-copy: each
     /// record's `out_targets` `Arc` is shared into the engine's vertex
     /// states, never re-cloned per run (pinned by `tests/serving.rs`).
@@ -210,6 +230,7 @@ impl<'a> InferencePlan<'a> {
             hubs: self.hubs,
             hub_threshold: self.bc_threshold,
             memory_budget: self.memory_budget,
+            spill_budget: self.spill.as_ref().map(|p| p.budget_bytes),
             estimate: self.estimate.clone(),
         }
     }
@@ -260,6 +281,7 @@ impl<'a> InferencePlan<'a> {
                     self.bc_threshold,
                     features,
                     pool,
+                    self.spill.as_ref(),
                 )?;
                 *self.scratch.lock().expect("scratch lock poisoned") = Some(pool);
                 Ok(out)
@@ -302,6 +324,9 @@ pub struct PlanSummary {
     pub hub_threshold: u64,
     /// Per-worker memory budget auto-selection compared against.
     pub memory_budget: u64,
+    /// Out-of-core spill budget per worker, when configured (see
+    /// `SessionBuilder::spill_budget`).
+    pub spill_budget: Option<u64>,
     pub estimate: PlanEstimate,
 }
 
@@ -324,6 +349,13 @@ impl std::fmt::Display for PlanSummary {
             self.memory_budget,
             self.estimate.mapreduce_peak_worker_bytes
         )?;
+        if let Some(budget) = self.spill_budget {
+            writeln!(
+                f,
+                "  spill: resident window {} B/worker, ~{} B paged to disk at peak",
+                budget, self.estimate.pregel_spilled_worker_bytes
+            )?;
+        }
         for l in &self.estimate.layers {
             writeln!(
                 f,
@@ -347,13 +379,16 @@ const WIRE_ID_LEN: u64 = 10;
 /// Build the plan's cost estimate from the planned layout. All quantities
 /// are *predictions* in the same units the engines measure: close enough
 /// to steer backend choice and to sanity-check a run's report, not
-/// byte-exact.
+/// byte-exact. Under `spill_budget`, a layer's columnar inbox counts only
+/// its bounded resident window toward the Pregel peak — the remainder is
+/// reported on the spilled plane.
 fn build_estimate(
     model: &GnnModel,
     records: &[NodeRecord],
     strategy: &StrategyConfig,
     workers: usize,
     bc_threshold: u64,
+    spill_budget: Option<u64>,
 ) -> PlanEstimate {
     let k = model.n_layers();
     let n_w = workers.max(1);
@@ -369,6 +404,7 @@ fn build_estimate(
     let mut state_bytes = vec![0u64; n_w];
     let mut slots = vec![0u64; n_w];
     let mut in_rows = vec![0u64; n_w];
+    let mut max_in = vec![0u64; n_w];
     let mut max_group_floats = 0u64;
     for rec in records {
         let w = partition_of(rec.wire, n_w);
@@ -376,6 +412,7 @@ fn build_estimate(
             ((in_dim + max_out + logits_len) * 4 + rec.out_targets.len() * 8 + 64) as u64;
         slots[w] += 1;
         in_rows[w] += rec.in_deg as u64;
+        max_in[w] = max_in[w].max(rec.in_deg as u64);
         max_group_floats = max_group_floats.max(rec.in_deg as u64 + 1);
     }
 
@@ -383,6 +420,7 @@ fn build_estimate(
     let total_targets: u64 = records.iter().map(|r| r.out_targets.len() as u64).sum();
     let mut layers = Vec::with_capacity(k);
     let mut max_inbox = 0u64;
+    let mut max_spilled = 0u64;
     for l in 0..k {
         let view = model.layer_view(l);
         let ann = view.annotations();
@@ -433,18 +471,37 @@ fn build_estimate(
             .map(|r| WIRE_ID_LEN + 4 * h_dim as u64 + WIRE_ID_LEN * r.out_targets.len() as u64 + 8)
             .sum();
 
-        // Pregel inbox residency for this layer's gather.
-        let inbox: u64 = (0..n_w)
+        // Pregel inbox residency for this layer's gather: row data (the
+        // dense fused accumulators, or the materialized per-edge rows)
+        // plus the always-resident metadata (counts / offsets). Under a
+        // spill budget the row data caps at the resident window; the rest
+        // is the spilled plane.
+        let (inbox, spilled) = (0..n_w)
             .map(|w| {
-                if fused {
-                    slots[w] * (d as u64 * 4 + 4)
+                // Window floor: the fattest single read the drain issues —
+                // one hub slot's materialized rows, or one accumulator row
+                // fused — matching the engine's seal-time charge (the
+                // budget is a soft target).
+                let (row_data, meta, min_window) = if fused {
+                    (slots[w] * d as u64 * 4, slots[w] * 4, d as u64 * 4)
                 } else {
-                    in_rows[w] * d as u64 * 4 + slots[w] * 4
+                    (
+                        in_rows[w] * d as u64 * 4,
+                        slots[w] * 4,
+                        max_in[w] * d as u64 * 4,
+                    )
+                };
+                match spill_budget {
+                    Some(b) if row_data > b => {
+                        let window = b.max(min_window).min(row_data);
+                        (window + meta, row_data - window)
+                    }
+                    _ => (row_data + meta, 0),
                 }
             })
-            .max()
-            .unwrap_or(0);
+            .fold((0u64, 0u64), |(ri, sp), (i, s)| (ri.max(i), sp.max(s)));
         max_inbox = max_inbox.max(inbox);
+        max_spilled = max_spilled.max(spilled);
 
         layers.push(LayerEstimate {
             layer: l,
@@ -473,6 +530,7 @@ fn build_estimate(
     PlanEstimate {
         layers,
         pregel_peak_worker_bytes: pregel_peak,
+        pregel_spilled_worker_bytes: max_spilled,
         mapreduce_peak_worker_bytes: mapreduce_peak,
     }
 }

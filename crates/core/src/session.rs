@@ -56,13 +56,33 @@
 //!
 //! The suites `tests/session_plan.rs` and the equivalence tests in
 //! `crate::infer` enforce all three.
+//!
+//! # Out-of-core spilling
+//!
+//! [`SessionBuilder::spill_budget`] (with an optional
+//! [`SessionBuilder::spill_dir`]) puts the Pregel backend's columnar
+//! inter-superstep inboxes under a per-worker byte budget: inbox rows
+//! beyond it page to disk at the seal barrier and stream back through a
+//! bounded window at apply time (see the spill contract in
+//! `inferturbo_common::rows`). The knob changes the *residency model
+//! only* — the plan's [`PlanEstimate`](inferturbo_cluster::PlanEstimate)
+//! counts the resident window toward
+//! `pregel_peak_worker_bytes` and reports the paged remainder on the
+//! separate `pregel_spilled_worker_bytes` plane, so [`Backend::Auto`] can
+//! keep a graph on the fast Pregel backend that would otherwise be forced
+//! onto the MapReduce fallback. Results are bit-identical with or without
+//! a spill budget, for every budget value and thread count (enforced by
+//! the spill sections of `tests/parallel_matches_serial.rs` and
+//! `tests/columnar_fused.rs`).
 
 use crate::models::GnnModel;
 use crate::plan::InferencePlan;
 use crate::strategy::StrategyConfig;
 use inferturbo_cluster::ClusterSpec;
+use inferturbo_common::rows::SpillPolicy;
 use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
+use std::path::PathBuf;
 
 /// Which execution backend a session runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,6 +118,8 @@ impl InferenceSession {
             pregel_spec: None,
             mapreduce_spec: None,
             memory_budget: None,
+            spill_dir: None,
+            spill_budget: None,
         }
     }
 }
@@ -114,6 +136,8 @@ pub struct SessionBuilder<'a> {
     pregel_spec: Option<ClusterSpec>,
     mapreduce_spec: Option<ClusterSpec>,
     memory_budget: Option<u64>,
+    spill_dir: Option<PathBuf>,
+    spill_budget: Option<u64>,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -170,6 +194,22 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Enable out-of-core spilling of the Pregel backend's columnar
+    /// inboxes: each worker keeps at most `bytes` of inbox row data
+    /// resident and pages the rest to disk (see the module docs). Bit-wise
+    /// results are unaffected; only the residency model changes.
+    pub fn spill_budget(mut self, bytes: u64) -> Self {
+        self.spill_budget = Some(bytes);
+        self
+    }
+
+    /// Directory spill files are written to (default: the OS temp dir).
+    /// Only meaningful together with [`SessionBuilder::spill_budget`].
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
     /// Stage 2 of the pipeline: validate the configuration and do the
     /// one-time planning work. See [`InferencePlan`] for what the plan
     /// owns and what repeated runs skip.
@@ -216,6 +256,9 @@ impl<'a> SessionBuilder<'a> {
             ));
         }
         let memory_budget = self.memory_budget.unwrap_or(pregel_spec.memory_bytes);
+        let spill = self.spill_budget.map(|bytes| {
+            SpillPolicy::new(self.spill_dir.unwrap_or_else(std::env::temp_dir), bytes)
+        });
         Ok(InferencePlan::build(
             model,
             graph,
@@ -224,6 +267,7 @@ impl<'a> SessionBuilder<'a> {
             pregel_spec,
             mapreduce_spec,
             memory_budget,
+            spill,
             workers,
         ))
     }

@@ -106,12 +106,27 @@ impl StrategyConfig {
     /// of) a plan-cache key. Two configurations with equal keys plan and
     /// execute identically; `lambda` is compared by bit pattern, so keys
     /// distinguish every representable threshold heuristic.
+    ///
+    /// The bit pattern is taken over a *normalised* lambda: `-0.0`
+    /// canonicalises to `+0.0` and every NaN payload to the one canonical
+    /// NaN. Those values are numerically indistinguishable to
+    /// [`StrategyConfig::threshold`], so raw `to_bits()` would mint
+    /// distinct keys for identical strategies — a serving plan cache would
+    /// plan (and admit, double-counting fleet residency) the same
+    /// configuration twice.
     pub fn key(&self) -> StrategyKey {
+        let lambda_bits = if self.lambda.is_nan() {
+            f64::NAN.to_bits()
+        } else if self.lambda == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            self.lambda.to_bits()
+        };
         StrategyKey {
             partial_gather: self.partial_gather,
             broadcast: self.broadcast,
             shadow_nodes: self.shadow_nodes,
-            lambda_bits: self.lambda.to_bits(),
+            lambda_bits,
             threshold_override: self.threshold_override,
             columnar: self.columnar,
         }
@@ -371,6 +386,32 @@ mod tests {
         let mut tweaked = StrategyConfig::all();
         tweaked.lambda = 0.2;
         assert_ne!(StrategyConfig::all().key(), tweaked.key());
+    }
+
+    #[test]
+    fn strategy_key_canonicalises_equal_lambdas() {
+        // 0.0 and -0.0 compute identical thresholds; their keys must
+        // collide or a plan cache plans the same configuration twice.
+        let mut pos = StrategyConfig::all();
+        pos.lambda = 0.0;
+        let mut neg = StrategyConfig::all();
+        neg.lambda = -0.0;
+        assert_ne!(pos.lambda.to_bits(), neg.lambda.to_bits());
+        assert_eq!(pos.key(), neg.key());
+        // Every NaN payload canonicalises to one key (NaN lambdas are
+        // degenerate but must not explode the key space).
+        let mut nan_a = StrategyConfig::all();
+        nan_a.lambda = f64::NAN;
+        let mut nan_b = StrategyConfig::all();
+        nan_b.lambda = f64::from_bits(f64::NAN.to_bits() | 1);
+        assert!(nan_b.lambda.is_nan());
+        assert_eq!(nan_a.key(), nan_b.key());
+        // Distinct non-zero lambdas still get distinct keys.
+        let mut other = StrategyConfig::all();
+        other.lambda = 0.30000000000000004;
+        let mut close = StrategyConfig::all();
+        close.lambda = 0.3;
+        assert_ne!(other.key(), close.key());
     }
 
     #[test]

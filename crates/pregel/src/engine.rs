@@ -51,7 +51,7 @@ use inferturbo_common::codec::{varint_len, Decode, Encode};
 use inferturbo_common::hash::partition_of;
 use inferturbo_common::par::par_map;
 use inferturbo_common::rows::{
-    row_payload_len, FusedAggregator, FusedRows, FusedSlotShard, RowArena, RowShard,
+    row_payload_len, FusedAggregator, FusedRows, FusedSlotShard, RowArena, RowShard, SpillPolicy,
 };
 use inferturbo_common::{Error, FxHashMap, Result};
 
@@ -75,6 +75,15 @@ pub struct PregelConfig {
     /// is how the equivalence suite pins the two planes against each
     /// other.
     pub columnar: bool,
+    /// Out-of-core policy for the columnar inter-superstep inboxes. When
+    /// set, each worker's sealed [`RowArena`] / merged [`FusedRows`] whose
+    /// row data exceeds `budget_bytes` pages to disk and streams back
+    /// through a bounded window at apply time. Spilling never changes a
+    /// bit (see the spill contract in `inferturbo_common::rows`); it only
+    /// moves bytes from the resident plane to the spilled plane of the
+    /// memory model, lifting the per-worker cap the same way the paper's
+    /// MapReduce backend does.
+    pub spill: Option<SpillPolicy>,
 }
 
 impl PregelConfig {
@@ -85,6 +94,7 @@ impl PregelConfig {
             partition_fn: partition_of,
             serialized_delivery: false,
             columnar: true,
+            spill: None,
         }
     }
 
@@ -100,6 +110,13 @@ impl PregelConfig {
 
     pub fn with_columnar(mut self, on: bool) -> Self {
         self.columnar = on;
+        self
+    }
+
+    /// Set (or clear) the out-of-core spill policy for the columnar
+    /// inboxes. See [`PregelConfig::spill`].
+    pub fn with_spill(mut self, spill: Option<SpillPolicy>) -> Self {
+        self.spill = spill;
         self
     }
 }
@@ -643,30 +660,42 @@ impl<P: VertexProgram> PregelEngine<P> {
                 (dest_sizes[w2], legacy, cols)
             })
             .collect();
-        let sealed: Vec<_> = par_map(seal_tasks, |_, (n_slots, legacy, cols)| {
+        let spill = self.config.spill.as_ref();
+        let sealed: Vec<Result<_>> = par_map(seal_tasks, |_, (n_slots, legacy, cols)| {
             let arena = InboxArena::seal(n_slots, legacy);
-            let (cols_in, resident, reclaimed) = match (cols, emit) {
-                (ColsOut::None, _) => (InboxCols::None, 0, ColsOut::None),
+            let (cols_in, resident, spilled, reclaimed) = match (cols, emit) {
+                (ColsOut::None, _) => (InboxCols::None, 0, 0, ColsOut::None),
                 (ColsOut::Rows(shards), EmitPlane::Rows { dim }) => {
-                    let a = RowArena::seal(dim, n_slots, &shards);
+                    let a = RowArena::seal(dim, n_slots, &shards, spill)
+                        .map_err(|e| e.in_phase(format!("seal superstep-{step}")))?;
                     let r = a.resident_bytes();
-                    (InboxCols::Rows(a), r, ColsOut::Rows(shards))
+                    let s = a.spilled_bytes();
+                    (InboxCols::Rows(a), r, s, ColsOut::Rows(shards))
                 }
                 (ColsOut::Fused(shards), EmitPlane::Fused { dim, agg }) => {
-                    let f = FusedRows::merge(dim, n_slots, &shards, agg);
+                    let f = FusedRows::merge(dim, n_slots, &shards, agg, spill)
+                        .map_err(|e| e.in_phase(format!("seal superstep-{step}")))?;
                     let r = f.resident_bytes();
-                    (InboxCols::Fused(f), r, ColsOut::Fused(shards))
+                    let s = f.spilled_bytes();
+                    (InboxCols::Fused(f), r, s, ColsOut::Fused(shards))
                 }
                 _ => unreachable!("emit plane fixes the shard plane"),
             };
-            (arena, cols_in, resident, reclaimed)
+            Ok((arena, cols_in, resident, spilled, reclaimed))
         });
+        // Surface seal failures in ascending destination order, like the
+        // compute errors above.
+        let mut sealed_ok = Vec::with_capacity(n_workers);
+        for r in sealed {
+            sealed_ok.push(r?);
+        }
 
         let mut next_inbox = Vec::with_capacity(n_workers);
         let mut next_rows = Vec::new();
         let mut next_fused = Vec::new();
-        for (w2, (arena, cols, resident, reclaimed)) in sealed.into_iter().enumerate() {
+        for (w2, (arena, cols, resident, spilled, reclaimed)) in sealed_ok.into_iter().enumerate() {
             next_inbox_bytes[w2] += resident;
+            self.report.spilled_bytes += spilled;
             next_inbox.push(arena);
             match cols {
                 InboxCols::None => {}
@@ -741,7 +770,7 @@ fn run_worker<P: VertexProgram>(
     emit: EmitPlane<'_>,
     slots: &mut [Slot<P::State>],
     arena: InboxArena<P::Msg>,
-    cols_in: InboxCols,
+    mut cols_in: InboxCols,
     scratch: WorkerScratch<P::Msg>,
 ) -> Result<StepOut<P::Msg>> {
     let mut out = StepOut::new(n_workers, &emit, dest_sizes, scratch);
@@ -781,17 +810,27 @@ fn run_worker<P: VertexProgram>(
         }
         out.any_active = true;
         let messages: Vec<P::Msg> = msg_iter.by_ref().take(cnt).collect();
-        let rows_in = match &cols_in {
+        // `&mut`: a spilled inbox pages its covering window in here. Slots
+        // drain in ascending order, so the window streams the spill file
+        // forward exactly once per superstep.
+        let rows_in = match &mut cols_in {
             InboxCols::None => RowsIn::None,
-            InboxCols::Rows(a) => RowsIn::Rows {
-                dim: a.dim(),
-                data: a.rows(s),
-            },
-            InboxCols::Fused(f) => RowsIn::Fused {
-                dim: f.dim(),
-                acc: f.row(s),
-                count: f.count(s),
-            },
+            InboxCols::Rows(a) => {
+                let dim = a.dim();
+                RowsIn::Rows {
+                    dim,
+                    data: a.rows(s)?,
+                }
+            }
+            InboxCols::Fused(f) => {
+                let dim = f.dim();
+                let count = f.count(s);
+                RowsIn::Fused {
+                    dim,
+                    acc: f.row(s)?,
+                    count,
+                }
+            }
         };
         let vertex_id = slot.id;
         ob.clear();
@@ -1489,6 +1528,10 @@ mod tests {
 
     fn row_engine(workers: usize, fused: bool, columnar: bool) -> PregelEngine<RowProg> {
         let cfg = PregelConfig::new(ClusterSpec::test_spec(workers)).with_columnar(columnar);
+        row_engine_with(cfg, fused)
+    }
+
+    fn row_engine_with(cfg: PregelConfig, fused: bool) -> PregelEngine<RowProg> {
         let mut eng = PregelEngine::new(RowProg { fused }, cfg);
         // 8 vertices; several share in-neighbours across workers so fused
         // merging actually folds multiple sender partials per slot.
@@ -1588,6 +1631,41 @@ mod tests {
         let ob = off.report().message_bytes;
         assert_eq!(ob.columnar, 0);
         assert!(ob.legacy > 0);
+    }
+
+    #[test]
+    fn spilled_columnar_inboxes_bit_identical_and_reported() {
+        // A 16-byte budget forces every columnar inbox (fused accumulators
+        // and materialized arenas alike) through the disk path; results
+        // and message accounting must not move a bit, while the memory
+        // model shifts inbox bytes from the resident to the spilled plane.
+        let spill = SpillPolicy::new(std::env::temp_dir().join("inferturbo-engine-tests"), 16);
+        for fused in [true, false] {
+            let mut plain = row_engine(3, fused, true);
+            plain.run(2).unwrap();
+            let cfg = PregelConfig::new(ClusterSpec::test_spec(3)).with_spill(Some(spill.clone()));
+            let mut spilling = row_engine_with(cfg, fused);
+            spilling.run(2).unwrap();
+            assert_eq!(
+                agg_bits(&plain),
+                agg_bits(&spilling),
+                "spilling changed results (fused={fused})"
+            );
+            assert_eq!(
+                plain.report().message_bytes,
+                spilling.report().message_bytes,
+                "spilling is not message traffic (fused={fused})"
+            );
+            assert_eq!(plain.report().spilled_bytes, 0);
+            assert!(
+                spilling.report().spilled_bytes > 0,
+                "budget of 16 B must force a spill (fused={fused})"
+            );
+            assert!(
+                spilling.report().max_mem_peak() < plain.report().max_mem_peak(),
+                "spilling must shrink the resident peak (fused={fused})"
+            );
+        }
     }
 
     /// Relay chain on the columnar plane under message-driven activation:

@@ -124,6 +124,7 @@ mod tests {
             strategy: StrategyConfig::all().key(),
             workers: 4,
             backend: Backend::Auto,
+            spill_budget: None,
         }
     }
 

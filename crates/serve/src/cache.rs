@@ -32,6 +32,10 @@ pub struct PlanKey {
     /// The *requested* backend (possibly `Auto`); the resolved backend is
     /// a plan property, not a key property.
     pub backend: Backend,
+    /// Out-of-core spill budget the request planned under (`None` = no
+    /// spilling). Part of the key because it shapes the plan's estimate,
+    /// residency, and `Auto` backend resolution.
+    pub spill_budget: Option<u64>,
 }
 
 /// Long-lived plans keyed by [`PlanKey`].
@@ -125,6 +129,7 @@ mod tests {
             strategy: StrategyConfig::all().key(),
             workers: 4,
             backend: Backend::Pregel,
+            spill_budget: None,
         };
         let mut cache = PlanCache::new();
         assert!(!cache.contains(&key));
@@ -148,6 +153,7 @@ mod tests {
             strategy: StrategyConfig::all().key(),
             workers: 4,
             backend: Backend::Pregel,
+            spill_budget: None,
         };
         let mut cache = PlanCache::new();
         cache.insert(key, plan(&m, &g));

@@ -25,14 +25,25 @@ pub type FeatureSnapshot = Arc<Vec<Vec<f32>>>;
 pub struct ServeConfig {
     /// Flush a coalesced group as soon as it holds this many requests.
     pub max_batch: usize,
-    /// Flush a group once its oldest request has waited this many ticks
-    /// (0 = flush at the next [`GnnServer::tick`]).
+    /// Flush a group once its oldest request has waited at least this many
+    /// **full** ticks (0 = flush at the next [`GnnServer::tick`]).
+    ///
+    /// A submit always lands mid-interval — after some `tick()` and before
+    /// the next — and that partial interval does not count as waiting: a
+    /// group opened at clock `N` flushes at the tick that moves the clock
+    /// to `N + max_wait + 1`, having existed through `max_wait` whole
+    /// ticks. (Counting the partial interval would make a group that
+    /// arrived just before a tick age a full tick early, and would make
+    /// `max_wait` 0 and 1 indistinguishable.)
     pub max_wait: u64,
     /// Global fleet memory budget the summed per-plan peak residency is
     /// gated on (paper §IV-A, fleet-wide; inclusive at the boundary).
     pub memory_budget: u64,
     /// What to do with a plan that does not fit the remaining budget.
     pub policy: AdmissionPolicy,
+    /// Directory spill files are written to for requests that plan with a
+    /// [`ScoreRequest::with_spill_budget`] (default: the OS temp dir).
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +55,7 @@ impl Default for ServeConfig {
             // a standalone session plans against.
             memory_budget: ClusterSpec::pregel_cluster(1).memory_bytes,
             policy: AdmissionPolicy::Reject,
+            spill_dir: None,
         }
     }
 }
@@ -60,6 +72,11 @@ pub struct ScoreRequest {
     pub strategy: StrategyConfig,
     pub workers: usize,
     pub backend: Backend,
+    /// Out-of-core spill budget the plan runs under (see
+    /// `SessionBuilder::spill_budget`): shrinks the plan's resident
+    /// estimate — what admission gates on — by paging columnar inbox rows
+    /// to disk. `None` = no spilling.
+    pub spill_budget: Option<u64>,
     pub features: Option<FeatureSnapshot>,
     /// Node ids whose logits the response carries; empty = every node.
     pub targets: Vec<u32>,
@@ -76,6 +93,7 @@ impl ScoreRequest {
             strategy: StrategyConfig::all(),
             workers: 8,
             backend: Backend::Auto,
+            spill_budget: None,
             features: None,
             targets: Vec::new(),
         }
@@ -93,6 +111,13 @@ impl ScoreRequest {
 
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Plan (and run) under an out-of-core spill budget, shrinking the
+    /// residency admission charges this plan for.
+    pub fn with_spill_budget(mut self, bytes: u64) -> Self {
+        self.spill_budget = Some(bytes);
         self
     }
 
@@ -114,6 +139,7 @@ impl ScoreRequest {
             strategy: self.strategy.key(),
             workers: self.workers,
             backend: self.backend,
+            spill_budget: self.spill_budget,
         }
     }
 }
@@ -313,14 +339,20 @@ impl<'a> GnnServer<'a> {
                 AdmissionPolicy::Reject => remaining,
                 AdmissionPolicy::ShedOldest => self.cfg.memory_budget,
             };
-            let plan = InferenceSession::builder()
+            let mut builder = InferenceSession::builder()
                 .model(model)
                 .graph(graph)
                 .workers(req.workers)
                 .strategy(req.strategy)
                 .backend(req.backend)
-                .memory_budget(plannable)
-                .plan()?;
+                .memory_budget(plannable);
+            if let Some(bytes) = req.spill_budget {
+                builder = builder.spill_budget(bytes);
+                if let Some(dir) = &self.cfg.spill_dir {
+                    builder = builder.spill_dir(dir.clone());
+                }
+            }
+            let plan = builder.plan()?;
             let bytes = plan_residency(&plan);
             match self.admission.try_admit(key, bytes) {
                 Admission::Admitted => {}
@@ -378,8 +410,9 @@ impl<'a> GnnServer<'a> {
     }
 
     /// Advance logical time by one tick and flush every group whose oldest
-    /// request has now waited at least `max_wait` ticks. Returns the
-    /// number of requests completed by this tick.
+    /// request has now waited at least `max_wait` full ticks (see
+    /// [`ServeConfig::max_wait`] for the same-tick-submit rule). Returns
+    /// the number of requests completed by this tick.
     pub fn tick(&mut self) -> usize {
         self.clock += 1;
         self.flush_due(false)
@@ -437,8 +470,14 @@ impl<'a> GnnServer<'a> {
         let keys = self.queue_order.clone();
         for key in keys {
             while let Some(q) = self.queues.get(&key) {
+                // `>` not `>=`: the partial interval a submit lands in is
+                // not a full tick of waiting. A group opened at clock N
+                // has waited `clock - N - 1` full ticks, so it is due once
+                // `clock - N > max_wait` — which keeps `max_wait: 0` as
+                // "flush at the very next tick" while giving every larger
+                // value its documented full-tick meaning.
                 let due = q.groups.iter().position(|g| {
-                    all || self.clock.saturating_sub(g.first_tick) >= self.cfg.max_wait
+                    all || self.clock.saturating_sub(g.first_tick) > self.cfg.max_wait
                 });
                 let Some(gi) = due else { break };
                 self.flush_group(key, gi);
@@ -473,6 +512,7 @@ impl<'a> GnnServer<'a> {
         match outcome {
             Ok(out) => {
                 self.stats.message_bytes.add(out.report.message_bytes);
+                self.stats.spilled_bytes += out.report.spilled_bytes;
                 self.stats.modelled_run_secs += out.report.total_wall_secs();
                 // Full-logits requests share the run's output behind one
                 // Arc — a group of them costs one allocation, not one V×C
@@ -643,11 +683,67 @@ mod tests {
             .unwrap();
         assert_eq!(server.pending(), 3);
         assert_eq!(server.tick(), 0, "groups younger than max_wait hold");
+        assert_eq!(server.tick(), 0, "one full tick waited, max_wait is 2");
         assert_eq!(server.tick(), 3, "both groups aged out together");
         // Two distinct snapshots -> two runs, three requests.
         assert_eq!(server.stats().batches, 2);
         assert_eq!(server.stats().served, 3);
         assert_eq!(server.stats().queue_depth_high_water, 3);
+    }
+
+    #[test]
+    fn max_wait_zero_flushes_at_the_very_next_tick() {
+        let g = graph();
+        let m = model();
+        let mut server = GnnServer::new(ServeConfig {
+            max_batch: 100,
+            max_wait: 0,
+            ..ServeConfig::default()
+        });
+        server.register_model(1, &m);
+        server.register_graph(1, &g);
+        let req = ScoreRequest::new(1, 1)
+            .with_workers(4)
+            .with_targets(vec![0]);
+        server.submit(req).unwrap();
+        assert_eq!(server.tick(), 1, "max_wait 0 = next tick");
+    }
+
+    #[test]
+    fn same_tick_submit_does_not_age_a_tick_early() {
+        // A group opened by a submit landing AFTER a tick() — i.e. during
+        // the current logical tick — must still wait max_wait FULL ticks:
+        // the partial interval it was born into does not count. With the
+        // old `>=` comparison this group flushed one tick early, making
+        // max_wait 1 indistinguishable from 0.
+        let g = graph();
+        let m = model();
+        let mut server = GnnServer::new(ServeConfig {
+            max_batch: 100,
+            max_wait: 1,
+            ..ServeConfig::default()
+        });
+        server.register_model(1, &m);
+        server.register_graph(1, &g);
+        let req = ScoreRequest::new(1, 1)
+            .with_workers(4)
+            .with_targets(vec![0]);
+        // Advance the clock first so the submit demonstrably lands after
+        // a tick within the same logical tick.
+        server.tick();
+        server.submit(req).unwrap();
+        assert_eq!(
+            server.tick(),
+            0,
+            "only a partial tick has passed; max_wait 1 must hold"
+        );
+        assert_eq!(server.tick(), 1, "one full tick waited; due now");
+        // drain() remains the age-independent barrier.
+        let req2 = ScoreRequest::new(1, 1)
+            .with_workers(4)
+            .with_targets(vec![1]);
+        server.submit(req2).unwrap();
+        assert_eq!(server.drain(), 1);
     }
 
     #[test]
@@ -672,6 +768,39 @@ mod tests {
             .is_err());
         assert_eq!(server.pending(), 0, "failed submissions never enqueue");
         assert_eq!(server.stats().submitted, 0);
+    }
+
+    #[test]
+    fn negative_zero_lambda_hits_the_same_cached_plan() {
+        // Regression: StrategyConfig::key() used to hash lambda by raw bit
+        // pattern, so 0.0 vs -0.0 produced distinct PlanKeys for
+        // numerically identical strategies — the cache planned (and
+        // admission charged) the same configuration twice.
+        let g = graph();
+        let m = model();
+        let mut server = GnnServer::new(ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        });
+        server.register_model(1, &m);
+        server.register_graph(1, &g);
+        let mut pos = StrategyConfig::all();
+        pos.lambda = 0.0;
+        let mut neg = StrategyConfig::all();
+        neg.lambda = -0.0;
+        let base = ScoreRequest::new(1, 1)
+            .with_workers(4)
+            .with_targets(vec![0]);
+        server.submit(base.clone().with_strategy(pos)).unwrap();
+        server.submit(base.with_strategy(neg)).unwrap();
+        assert_eq!(server.stats().plans_built, 1, "one plan for one strategy");
+        assert_eq!(server.stats().plan_cache_hits, 1);
+        assert_eq!(server.cached_plans(), 1);
+        assert_eq!(
+            server.admission().plans(),
+            1,
+            "residency must not be double-counted"
+        );
     }
 
     #[test]

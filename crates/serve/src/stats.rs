@@ -33,6 +33,10 @@ pub struct ServerStats {
     pub queue_depth_high_water: usize,
     /// Message volume by plane, summed over every executed run.
     pub message_bytes: MessagePlaneBytes,
+    /// Columnar inbox bytes paged to disk (the out-of-core plane), summed
+    /// over every executed run. 0 unless requests plan with a spill
+    /// budget.
+    pub spilled_bytes: u64,
     /// Modelled cluster wall-clock of every executed run, summed.
     pub modelled_run_secs: f64,
 }
@@ -70,8 +74,11 @@ impl std::fmt::Display for ServerStats {
         )?;
         write!(
             f,
-            "  traffic: columnar {} B, legacy {} B; modelled run wall {:.2}s",
-            self.message_bytes.columnar, self.message_bytes.legacy, self.modelled_run_secs
+            "  traffic: columnar {} B, legacy {} B, spilled {} B; modelled run wall {:.2}s",
+            self.message_bytes.columnar,
+            self.message_bytes.legacy,
+            self.spilled_bytes,
+            self.modelled_run_secs
         )
     }
 }

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use inferturbo::common::Xoshiro256;
 use inferturbo::core::models::{GnnModel, PoolOp};
 use inferturbo::core::session::{Backend, InferenceSession};
+use inferturbo::core::strategy::StrategyConfig;
 use inferturbo::core::train::{train, TrainConfig};
 use inferturbo::graph::gen::DegreeSkew;
 use inferturbo::graph::Dataset;
@@ -59,6 +60,7 @@ fn main() {
         max_wait: 2,
         memory_budget: budget,
         policy: AdmissionPolicy::Reject,
+        spill_dir: None,
     });
     server.register_model(1, &model);
     server.register_graph(1, &dataset.graph);
@@ -134,9 +136,36 @@ fn main() {
         .with_workers(2)
         .with_backend(Backend::Pregel)
         .with_targets(vec![0]);
-    match server.submit(oversized) {
+    match server.submit(oversized.clone()) {
         Err(e) => println!("\noversized plan: {e}"),
         Ok(_) => println!("\noversized plan unexpectedly admitted"),
+    }
+
+    // 6b. Out-of-core rescue: a materialized-gather plan (sender-side
+    //     fusion off) hauls an O(E·d) inbox, so its in-memory residency is
+    //     inbox-dominated and also fails admission — but an 8 KiB spill
+    //     window pages that inbox to disk, shrinking the resident estimate
+    //     below what is left of the fleet budget. Same graph, same model,
+    //     bit-identical scores; only the residency model moved.
+    let materialized = ScoreRequest::new(1, 1)
+        .with_workers(32)
+        .with_strategy(StrategyConfig::all().with_partial_gather(false))
+        .with_backend(Backend::Pregel)
+        .with_targets(vec![0]);
+    match server.submit(materialized.clone()) {
+        Err(e) => println!("materialized in-memory plan: {e}"),
+        Ok(_) => println!("materialized in-memory plan unexpectedly admitted"),
+    }
+    let spill_budget = 8 * 1024;
+    match server.submit(materialized.with_spill_budget(spill_budget)) {
+        Ok(t) => {
+            server.drain();
+            let served = server.take(t).is_some_and(|r| r.logits().is_some());
+            println!(
+                "spilled plan ({spill_budget} B resident window): admitted, served = {served}"
+            );
+        }
+        Err(e) => println!("spilled plan unexpectedly rejected: {e}"),
     }
 
     // 7. The server report.

@@ -6,7 +6,9 @@
 # Every workspace member — including the serving layer (crates/serve) —
 # rides the workspace-wide gates below; `parbench --smoke` additionally
 # exercises the serving path end-to-end (`serve/throughput_3k` submits,
-# batches and drains real requests through GnnServer every run).
+# batches and drains real requests through GnnServer every run) and the
+# out-of-core path (`engine/pregel_sage2_3k_spill` runs under the forced
+# spill budget below and asserts bytes actually paged through disk).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -29,10 +31,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
-echo "== parbench --smoke =="
+echo "== parbench --smoke (forced spill budget) =="
 cargo build --release -p inferturbo-bench
 # One short measurement per bench; never committed as the perf baseline
-# (scripts/bench.sh produces that).
-./target/release/parbench --smoke --out target/BENCH_parallel_smoke.json >/dev/null
+# (scripts/bench.sh produces that). The tiny --spill-budget forces the
+# engine/pregel_sage2_3k_spill entry through the disk path on every gate.
+./target/release/parbench --smoke --spill-budget 4096 \
+    --out target/BENCH_parallel_smoke.json >/dev/null
 
 echo "CI OK"

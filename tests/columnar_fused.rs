@@ -12,9 +12,14 @@
 //!    happens inside one sender (single worker), and exact for max at any
 //!    worker count (max of floats returns one of its inputs, so regrouping
 //!    cannot perturb bits).
+//!
+//! Both properties additionally pin the out-of-core path: a tiny spill
+//! budget (16 B) pages every merged accumulator set to disk and back, and
+//! the bits must still match — spilling is storage placement, never
+//! arithmetic.
 
 use inferturbo::cluster::ClusterSpec;
-use inferturbo::common::{Parallelism, Xoshiro256};
+use inferturbo::common::{Parallelism, SpillPolicy, Xoshiro256};
 use inferturbo::core::models::gas_impl::PoolRowAggregator;
 use inferturbo::core::models::PoolOp;
 use inferturbo::pregel::{
@@ -206,12 +211,23 @@ fn build_case(n: usize, e: usize, dim: usize, op: PoolOp, seed: u64) -> Case {
 }
 
 /// Run the program over `case` and return each vertex's finished
-/// aggregate as bit patterns (plus the raw-message count).
-fn run_case(case: &Case, workers: usize, columnar: bool, threads: usize) -> Vec<(Vec<u32>, u32)> {
+/// aggregate as bit patterns (plus the raw-message count). `spill_budget`
+/// puts the columnar inboxes under an out-of-core byte budget.
+fn run_case(
+    case: &Case,
+    workers: usize,
+    columnar: bool,
+    threads: usize,
+    spill_budget: Option<u64>,
+) -> Vec<(Vec<u32>, u32)> {
     Parallelism::with(threads, || {
+        let spill = spill_budget.map(|bytes| {
+            SpillPolicy::new(std::env::temp_dir().join("inferturbo-fused-tests"), bytes)
+        });
         let cfg = PregelConfig::new(ClusterSpec::test_spec(workers))
             .with_activation(ActivationPolicy::AlwaysActive)
-            .with_columnar(columnar);
+            .with_columnar(columnar)
+            .with_spill(spill);
         let prog = PoolProg {
             dim: case.dim,
             op: case.op,
@@ -285,12 +301,16 @@ proptest! {
         seed in 0u64..1_000_000,
     ) {
         let case = build_case(n, e, dim, op_of(op_sel), seed);
-        let fused = run_case(&case, workers, true, 1);
-        let legacy = run_case(&case, workers, false, 1);
+        let fused = run_case(&case, workers, true, 1, None);
+        let legacy = run_case(&case, workers, false, 1, None);
         prop_assert_eq!(&fused, &legacy, "fused vs legacy at {} workers", workers);
         // Thread budget must not change a single bit either.
-        let fused_mt = run_case(&case, workers, true, 4);
+        let fused_mt = run_case(&case, workers, true, 4, None);
         prop_assert_eq!(&fused, &fused_mt, "thread count changed fused bits");
+        // Nor must paging the inboxes out of core: a tiny budget forces
+        // every accumulator set through the disk path.
+        let fused_spill = run_case(&case, workers, true, 2, Some(16));
+        prop_assert_eq!(&fused, &fused_spill, "spilling changed fused bits");
     }
 
     /// Fused scatter-aggregation == materialize-then-segment_{sum,mean,max}
@@ -310,7 +330,7 @@ proptest! {
         let case = build_case(n, e, dim, op, seed);
         let reference = segment_reference(&case);
         let w = if op == PoolOp::Max { workers } else { 1 };
-        let fused = run_case(&case, w, true, 2);
+        let fused = run_case(&case, w, true, 2, Some(16));
         for (v, ((bits, _), want)) in fused.iter().zip(&reference).enumerate() {
             prop_assert_eq!(bits, want, "vertex {} diverged from segment kernel", v);
         }

@@ -7,9 +7,10 @@
 //! regroup accumulation.
 
 use inferturbo::cluster::ClusterSpec;
-use inferturbo::common::{Parallelism, Xoshiro256};
+use inferturbo::common::{Parallelism, SpillPolicy, Xoshiro256};
 use inferturbo::core::models::gas_impl::PoolRowAggregator;
 use inferturbo::core::models::{GnnModel, PoolOp};
+use inferturbo::core::session::{Backend, InferenceSession};
 use inferturbo::core::strategy::StrategyConfig;
 use inferturbo::core::{infer_mapreduce, infer_pregel};
 use inferturbo::graph::gen::{generate, DegreeSkew, GenConfig};
@@ -198,13 +199,18 @@ impl VertexProgram for ColSum {
     }
 }
 
-fn columnar_states(g: &Graph, workers: usize, fused: bool) -> (Vec<Vec<u32>>, u64, u64) {
+fn columnar_states(
+    g: &Graph,
+    workers: usize,
+    fused: bool,
+    spill: Option<SpillPolicy>,
+) -> (Vec<Vec<u32>>, u64, u64) {
     let n = g.n_nodes();
     let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n];
     for (&s, &d) in g.src().iter().zip(g.dst()) {
         adj[s as usize].push(d as u64);
     }
-    let cfg = PregelConfig::new(ClusterSpec::test_spec(workers));
+    let cfg = PregelConfig::new(ClusterSpec::test_spec(workers)).with_spill(spill);
     let mut eng = PregelEngine::new(
         ColSum {
             fused,
@@ -239,13 +245,38 @@ fn columnar_pregel_states_bitwise_identical_across_thread_counts() {
     let g = test_graph(17, 400, 2400);
     for workers in [1usize, 3, 8] {
         for fused in [false, true] {
-            let serial = Parallelism::with(1, || columnar_states(&g, workers, fused));
-            let parallel = Parallelism::with(PAR_THREADS, || columnar_states(&g, workers, fused));
+            let serial = Parallelism::with(1, || columnar_states(&g, workers, fused, None));
+            let parallel =
+                Parallelism::with(PAR_THREADS, || columnar_states(&g, workers, fused, None));
             assert_eq!(
                 serial, parallel,
                 "columnar states diverged at {workers} workers (fused={fused})"
             );
             assert!(serial.2 > 0, "columnar plane must carry the rows");
+        }
+    }
+}
+
+#[test]
+fn spill_forced_columnar_states_bitwise_identical_for_every_thread_count() {
+    // A 64-byte budget forces every columnar inbox — fused accumulators
+    // and materialized arenas alike — through the disk path. States, byte
+    // accounting, and the columnar plane totals must not move a bit
+    // relative to the unconstrained in-memory run, at any thread budget.
+    let g = test_graph(17, 400, 2400);
+    let spill = SpillPolicy::new(std::env::temp_dir().join("inferturbo-spill-tests"), 64);
+    for workers in [1usize, 3, 8] {
+        for fused in [false, true] {
+            let in_memory = Parallelism::with(1, || columnar_states(&g, workers, fused, None));
+            for threads in [1usize, 2, PAR_THREADS] {
+                let spilled = Parallelism::with(threads, || {
+                    columnar_states(&g, workers, fused, Some(spill.clone()))
+                });
+                assert_eq!(
+                    in_memory, spilled,
+                    "spill diverged at {workers} workers, {threads} threads (fused={fused})"
+                );
+            }
         }
     }
 }
@@ -324,6 +355,75 @@ fn pregel_columnar_plane_bit_matches_legacy_plane() {
         );
         assert!(columnar.report.message_bytes.columnar > 0);
         assert_eq!(legacy.report.message_bytes.columnar, 0);
+    }
+}
+
+/// The out-of-core acceptance criterion: a Pregel plan whose in-memory
+/// peak residency exceeds the worker memory cap OOMs without a spill
+/// budget, runs to completion with one, and the spilled run's logits are
+/// bit-identical to the unconstrained in-memory run at every thread
+/// count. `plan.summary()` and the `RunReport` expose resident vs spilled
+/// bytes as separate planes.
+#[test]
+fn spill_budget_lifts_the_memory_cap_with_bit_identical_logits() {
+    let g = test_graph(43, 300, 2400);
+    let model = GnnModel::sage(8, 12, 2, 3, false, PoolOp::Mean, 7);
+    // Materialized columnar rows (no partial gather): the O(E·d) inbox
+    // dominates residency, the shape that forces the paper's MR fallback.
+    let strat = StrategyConfig::all().with_partial_gather(false);
+    let plan = |spec: ClusterSpec, spill: Option<u64>| {
+        let mut b = InferenceSession::builder()
+            .model(&model)
+            .graph(&g)
+            .pregel_spec(spec)
+            .strategy(strat)
+            .backend(Backend::Pregel)
+            .spill_dir(std::env::temp_dir().join("inferturbo-spill-tests"));
+        if let Some(bytes) = spill {
+            b = b.spill_budget(bytes);
+        }
+        b.plan().unwrap()
+    };
+
+    // Unconstrained ground truth + its measured peak residency.
+    let roomy = ClusterSpec::pregel_cluster(2);
+    let unconstrained = plan(roomy, None);
+    let want = Parallelism::with(1, || unconstrained.run().unwrap());
+    let peak = want.report.max_mem_peak();
+    assert_eq!(want.report.spilled_bytes, 0);
+
+    // One byte under the measured peak: the in-memory plan must OOM...
+    let tight = roomy.with_memory(peak - 1);
+    let err = plan(tight, None).run().unwrap_err();
+    assert!(err.is_oom(), "expected OOM under the tightened cap: {err}");
+
+    // ...while a spill budget pages the inbox out and completes, at
+    // bit-identical logits, for every thread budget.
+    let spilling = plan(tight, Some(2048));
+    assert!(
+        spilling.estimate().pregel_spilled_worker_bytes > 0,
+        "estimate must predict the spilled plane"
+    );
+    assert!(
+        spilling.estimate().pregel_peak_worker_bytes
+            < unconstrained.estimate().pregel_peak_worker_bytes,
+        "spilling must shrink the predicted resident peak"
+    );
+    let summary = spilling.summary().to_string();
+    assert!(summary.contains("spill:"), "{summary}");
+    assert!(summary.contains("paged to disk"), "{summary}");
+    for threads in [1usize, 2, PAR_THREADS] {
+        let got = Parallelism::with(threads, || spilling.run().unwrap());
+        assert_eq!(
+            logits_bits(&want),
+            logits_bits(&got),
+            "spilled logits diverged at {threads} threads"
+        );
+        assert!(got.report.spilled_bytes > 0, "disk plane must be exercised");
+        assert!(
+            got.report.max_mem_peak() < peak,
+            "resident peak must fit under the cap"
+        );
     }
 }
 

@@ -14,6 +14,10 @@
 //! 4. **Zero-copy plan reload**: repeated runs of one plan observe the
 //!    same adjacency `Arc` in every record — the engine shares, never
 //!    clones, the O(V+E) target lists.
+//! 5. **Out-of-core admission**: a spill budget shrinks a plan's
+//!    spill-aware `PlanEstimate`, so a configuration the fleet rejected
+//!    at its in-memory residency admits — and serves bit-identically —
+//!    once it pages its inboxes to disk.
 
 use std::sync::Arc;
 
@@ -241,6 +245,63 @@ fn admission_rejects_exactly_at_the_budget_boundary() {
     assert!(err.to_string().contains("admission denied"), "{err}");
 }
 
+/// The out-of-core admission path: a plan the fleet just rejected at its
+/// in-memory residency admits once a spill budget shrinks its
+/// `PlanEstimate` — and serves bit-identical logits, with the disk plane
+/// visible in `ServerStats`.
+#[test]
+fn spill_budget_admits_a_plan_the_fleet_just_rejected() {
+    let g = test_graph(DegreeSkew::In);
+    let m = GnnModel::sage(5, 8, 2, 3, false, PoolOp::Mean, 6);
+    // Materialized columnar rows: the O(E·d) inbox dominates the plan's
+    // residency, so spilling it moves real bytes off the resident plane.
+    let strat = StrategyConfig::none().with_partial_gather(false);
+    let probe = InferenceSession::builder()
+        .model(&m)
+        .graph(&g)
+        .workers(4)
+        .strategy(strat)
+        .backend(Backend::Pregel)
+        .plan()
+        .unwrap();
+    let resident = probe.estimate().pregel_peak_worker_bytes;
+    let want = bits(&probe.run().unwrap().logits);
+
+    // Budget one byte short of the in-memory residency: rejected.
+    let mut server = GnnServer::new(ServeConfig {
+        memory_budget: resident - 1,
+        max_batch: 1,
+        ..ServeConfig::default()
+    });
+    server.register_model(1, &m);
+    server.register_graph(1, &g);
+    let req = ScoreRequest::new(1, 1)
+        .with_workers(4)
+        .with_strategy(strat)
+        .with_backend(Backend::Pregel);
+    let err = server
+        .submit(req.clone())
+        .expect_err("must not fit in memory");
+    assert!(err.to_string().contains("admission denied"), "{err}");
+    assert_eq!(server.stats().rejected, 1);
+
+    // The same configuration under a 512-byte spill window now fits the
+    // very fleet that rejected it, serves bit-identically, and reports
+    // the spilled plane.
+    let t = server.submit(req.with_spill_budget(512)).unwrap();
+    let resp = server.take(t).expect("response ready");
+    assert_eq!(bits(resp.logits().expect("served")), want);
+    assert_eq!(server.stats().plans_built, 1);
+    assert!(
+        server.admission().resident_bytes() < resident,
+        "admission must charge the reduced (spill-aware) residency"
+    );
+    assert!(
+        server.stats().spilled_bytes > 0,
+        "the run must actually have paged inbox rows to disk"
+    );
+}
+
 /// Under `ShedOldest`, a newcomer that does not fit evicts the oldest
 /// admitted plan; the evicted plan's pending requests complete with
 /// `Shed`, in FIFO order, and its budget is released.
@@ -263,6 +324,7 @@ fn shed_oldest_evicts_the_oldest_plan_and_sheds_its_queue() {
         policy: AdmissionPolicy::ShedOldest,
         max_batch: 100,
         max_wait: 100, // nothing flushes on its own
+        ..ServeConfig::default()
     });
     server.register_model(1, &m);
     server.register_graph(1, &g);
@@ -325,6 +387,7 @@ fn shed_oldest_lets_auto_plans_claim_the_full_budget() {
         policy: AdmissionPolicy::ShedOldest,
         max_batch: 1,
         max_wait: 0,
+        ..ServeConfig::default()
     });
     server.register_model(1, &m);
     server.register_graph(1, &g);
@@ -400,8 +463,9 @@ fn fifo_response_ordering_under_coalescing() {
     assert_eq!(server.ready_len(), 0, "FIFO gate holds out-of-order batch");
     assert_eq!(server.pending(), 1);
 
-    // Age the remaining group out; everything releases in ticket order.
-    for _ in 0..5 {
+    // Age the remaining group out (max_wait full ticks + the partial one
+    // the submit landed in); everything releases in ticket order.
+    for _ in 0..6 {
         server.tick();
     }
     let ready = server.drain_ready();
