@@ -30,12 +30,14 @@
 //! legacy plane's ordering discipline — mapper-order concatenation, stable
 //! sort by key — so results stay independent of the thread budget.
 
-use inferturbo_cluster::{ClusterSpec, MessagePlaneBytes, RunReport, WorkerPhase};
+use inferturbo_cluster::{
+    ClusterSpec, FaultInjector, FaultPlan, MessagePlaneBytes, RunReport, WorkerPhase,
+};
 use inferturbo_common::codec::{varint_len, Decode, Encode};
 use inferturbo_common::hash::partition_of;
 use inferturbo_common::par::{par_map, par_map_workers};
 use inferturbo_common::rows::{row_payload_len, FusedAggregator, FusedKeyShard, RowBlock};
-use inferturbo_common::{FxHashMap, Result};
+use inferturbo_common::{Error, FxHashMap, Result};
 
 /// Sender-side fold for same-key values (must be commutative/associative —
 /// the annotation contract). Returns `None` when the value was absorbed, or
@@ -310,6 +312,36 @@ impl PhaseParams {
     }
 }
 
+/// Task-start fault gate, shared by a phase's worker tasks. Fires any
+/// scheduled injection for the task and absorbs up to `max_retries`
+/// firings by modelling a task re-launch: the fault fires *before* the
+/// task consumes its (immutable) input, and the in-process kernels are
+/// deterministic, so a re-launched task is bit-identical to one that
+/// never failed — the retry costs scheduling time, not correctness.
+struct TaskGate {
+    faults: Option<FaultInjector>,
+    max_retries: u32,
+}
+
+impl TaskGate {
+    /// Run the gate for one task. `fire` probes the injector for this
+    /// task's site. Returns the number of absorbed re-launches, or the
+    /// surviving error once the attempt budget is spent.
+    fn admit(&self, fire: impl Fn(&FaultInjector) -> Option<Error>) -> Result<u64> {
+        let Some(inj) = &self.faults else {
+            return Ok(0);
+        };
+        let mut retries = 0u64;
+        while let Some(e) = fire(inj) {
+            if retries >= self.max_retries as u64 {
+                return Err(e);
+            }
+            retries += 1;
+        }
+        Ok(retries)
+    }
+}
+
 /// One worker's phase output, merged at the barrier in worker order.
 struct PhaseOut<V> {
     metrics: WorkerPhase,
@@ -321,6 +353,8 @@ struct PhaseOut<V> {
     peak: u64,
     /// Message volume by plane.
     msg_bytes: MessagePlaneBytes,
+    /// Injected task failures this worker absorbed by re-launching.
+    retries: u64,
 }
 
 /// The batch engine. Owns the cluster spec and accumulates a [`RunReport`]
@@ -335,6 +369,23 @@ pub struct BatchEngine {
     /// Fixed per-record overhead bytes modelling shuffle framing.
     record_overhead: u64,
     report: RunReport,
+    /// Armed fault schedule (deterministic injection). `None` — the
+    /// default — costs nothing. [`BatchEngine::new`] arms the
+    /// `INFERTURBO_FAULTS` schedule automatically when the variable is
+    /// set; [`BatchEngine::with_faults`] overrides it.
+    faults: Option<FaultInjector>,
+    /// How many times an injected task failure is absorbed by re-launching
+    /// the task before the job fails (Hadoop's `mapreduce.map.maxattempts`
+    /// analogue). Task retry is idempotent by construction: a task's input
+    /// — its HDFS split or sorted shuffle partition — is immutable, and
+    /// the fault fires before the task consumes anything, so the re-run is
+    /// bit-identical. Absorbed failures count on [`RunReport::retries`].
+    pub max_task_retries: u32,
+    /// Map phases executed so far (addresses [`inferturbo_cluster::FaultSite::MapTask`]).
+    map_rounds: usize,
+    /// Reduce phases executed so far (addresses
+    /// [`inferturbo_cluster::FaultSite::ReduceTask`]).
+    reduce_rounds: usize,
 }
 
 impl BatchEngine {
@@ -345,11 +396,38 @@ impl BatchEngine {
             combiner_capacity: 0,
             record_overhead: 2,
             report: RunReport::new(spec),
+            faults: FaultPlan::from_env().map(|p| p.injector()),
+            max_task_retries: 3,
+            map_rounds: 0,
+            reduce_rounds: 0,
         }
     }
 
     pub fn with_partition_fn(mut self, f: fn(u64, usize) -> usize) -> Self {
         self.partition_fn = f;
+        self
+    }
+
+    /// Arm (or clear) a deterministic fault schedule for this engine,
+    /// replacing any schedule inherited from `INFERTURBO_FAULTS`.
+    pub fn with_faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan.filter(|p| !p.is_empty()).map(|p| p.injector());
+        self
+    }
+
+    /// Arm an already-created injector, replacing any `INFERTURBO_FAULTS`
+    /// schedule. Unlike [`BatchEngine::with_faults`] this *shares* the
+    /// injector's per-site fire budgets with the caller: a fault consumed
+    /// by one job does not re-fire in the next — how a session plan models
+    /// a schedule of cluster events spanning repeated runs.
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Bound the per-task re-launch count for injected task failures.
+    pub fn with_task_retries(mut self, max: u32) -> Self {
+        self.max_task_retries = max;
         self
     }
 
@@ -371,6 +449,28 @@ impl BatchEngine {
             combiner_capacity: self.combiner_capacity,
             record_overhead: self.record_overhead,
         }
+    }
+
+    /// Task gate and round index for the next map phase.
+    fn map_gate(&mut self) -> (TaskGate, usize) {
+        let round = self.map_rounds;
+        self.map_rounds += 1;
+        let gate = TaskGate {
+            faults: self.faults.clone(),
+            max_retries: self.max_task_retries,
+        };
+        (gate, round)
+    }
+
+    /// Task gate and round index for the next reduce phase.
+    fn reduce_gate(&mut self) -> (TaskGate, usize) {
+        let round = self.reduce_rounds;
+        self.reduce_rounds += 1;
+        let gate = TaskGate {
+            faults: self.faults.clone(),
+            max_retries: self.max_task_retries,
+        };
+        (gate, round)
     }
 
     /// Distribute raw input records round-robin across mapper workers —
@@ -413,8 +513,10 @@ impl BatchEngine {
         let name = name.into();
         let n = self.spec.workers;
         let params = self.params();
+        let (gate, round) = self.map_gate();
 
         let results: Vec<Result<PhaseOut<V>>> = par_map_workers(n, |w| {
+            let task_retries = gate.admit(|inj| inj.map_task(w, round))?;
             let recs = &inputs[w];
             let mut metrics = WorkerPhase::default();
             let mut kernel = make_map(w);
@@ -443,6 +545,7 @@ impl BatchEngine {
                     columnar: 0,
                     legacy,
                 },
+                retries: task_retries,
             })
         });
         Ok(self.merge_phase(name, 0, results)?.0)
@@ -477,8 +580,12 @@ impl BatchEngine {
         let n = self.spec.workers;
         assert_eq!(data.per_worker.len(), n, "keyed data shape");
         let params = self.params();
+        let (gate, round) = self.reduce_gate();
 
         let results: Vec<Result<PhaseOut<O>>> = par_map(data.per_worker, |w, mut bucket| {
+            // Fired before the task consumes its shuffle partition, so a
+            // re-launched task reads the same immutable input.
+            let task_retries = gate.admit(|inj| inj.reduce_task(w, round))?;
             let mut metrics = WorkerPhase::default();
             // Input accounting: the fetch of this worker's shuffle partition.
             for (k, v) in &bucket {
@@ -519,6 +626,7 @@ impl BatchEngine {
                     columnar: 0,
                     legacy,
                 },
+                retries: task_retries,
             })
         });
         let _ = data.pending_bytes; // consumed; bytes were charged above
@@ -554,8 +662,10 @@ impl BatchEngine {
         let name = name.into();
         let n = self.spec.workers;
         let params = self.params();
+        let (gate, round) = self.map_gate();
 
         let results: Vec<Result<PhaseOut<V>>> = par_map_workers(n, |w| {
+            let task_retries = gate.admit(|inj| inj.map_task(w, round))?;
             let recs = &inputs[w];
             let mut metrics = WorkerPhase::default();
             let mut kernel = make_map(w);
@@ -592,6 +702,7 @@ impl BatchEngine {
                 routed_rows,
                 peak,
                 msg_bytes: MessagePlaneBytes { columnar, legacy },
+                retries: task_retries,
             })
         });
         self.merge_phase(name, row_dim, results)
@@ -631,10 +742,14 @@ impl BatchEngine {
         assert_eq!(rows.per_worker.len(), n, "keyed rows shape");
         let in_dim = rows.dim;
         let params = self.params();
+        let (gate, round) = self.reduce_gate();
 
         let tasks: Vec<(Vec<(u64, V)>, RowBucket)> =
             data.per_worker.into_iter().zip(rows.per_worker).collect();
         let results: Vec<Result<PhaseOut<O>>> = par_map(tasks, |w, (mut bucket, rbucket)| {
+            // Fired before the task consumes its shuffle partition, so a
+            // re-launched task reads the same immutable input.
+            let task_retries = gate.admit(|inj| inj.reduce_task(w, round))?;
             let mut metrics = WorkerPhase::default();
             // Input accounting: the fetch of this worker's shuffle
             // partition, both planes.
@@ -719,6 +834,7 @@ impl BatchEngine {
                 routed_rows,
                 peak,
                 msg_bytes: MessagePlaneBytes { columnar, legacy },
+                retries: task_retries,
             })
         });
         self.merge_phase(name, out_dim, results)
@@ -744,6 +860,7 @@ impl BatchEngine {
                 .check_memory(w, o.peak)
                 .map_err(|e| e.in_phase(&name))?;
             metrics.push(o.metrics);
+            self.report.retries += o.retries;
             self.report.message_bytes.add(o.msg_bytes);
             for (dst, mut recs) in o.routed.into_iter().enumerate() {
                 routed[dst].append(&mut recs);
@@ -1274,6 +1391,81 @@ mod tests {
             let parallel = run_row_chain(fused, 4);
             assert_eq!(serial, parallel, "fused={fused}");
         }
+    }
+
+    #[test]
+    fn injected_task_failures_retry_idempotently() {
+        use inferturbo_cluster::{FaultPlan, FaultSite};
+        let run = |plan: Option<FaultPlan>| {
+            let mut eng = engine(3).with_faults(plan);
+            let parts = eng.scatter_inputs((0..60u64).collect());
+            let keyed = eng
+                .map_phase(
+                    "m",
+                    &parts,
+                    |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r % 7, r as f32)]),
+                    None,
+                )
+                .unwrap();
+            let out = eng
+                .reduce_phase(
+                    "r",
+                    keyed,
+                    |_w| |_c: &mut PhaseCtx, k, v: Vec<f32>| Ok(vec![(k, v.iter().sum::<f32>())]),
+                    None,
+                )
+                .unwrap();
+            let mut pairs: Vec<(u64, u32)> = out
+                .into_map()
+                .into_iter()
+                .map(|(k, v)| (k, v.to_bits()))
+                .collect();
+            pairs.sort_by_key(|&(k, _)| k);
+            (pairs, eng.report().total_bytes(), eng.report().retries)
+        };
+        let plan = FaultPlan::new()
+            .and_fail(FaultSite::MapTask {
+                worker: 0,
+                round: 0,
+            })
+            .and_fail_times(
+                FaultSite::ReduceTask {
+                    worker: 2,
+                    round: 0,
+                },
+                2,
+            );
+        let (clean, clean_bytes, clean_retries) = run(None);
+        let (faulty, faulty_bytes, faulty_retries) = run(Some(plan));
+        assert_eq!(clean, faulty, "task retry changed results");
+        assert_eq!(clean_bytes, faulty_bytes, "task retry double-counted bytes");
+        assert_eq!(clean_retries, 0);
+        assert_eq!(faulty_retries, 3, "one map + two reduce re-launches");
+    }
+
+    #[test]
+    fn task_retry_exhaustion_surfaces_the_lost_worker() {
+        use inferturbo_cluster::{FaultPlan, FaultSite};
+        let plan = FaultPlan::new().and_fail_times(
+            FaultSite::MapTask {
+                worker: 1,
+                round: 0,
+            },
+            10,
+        );
+        let mut eng = engine(2).with_faults(Some(plan)).with_task_retries(2);
+        let parts = eng.scatter_inputs(vec![1u64, 2, 3]);
+        let err = eng
+            .map_phase(
+                "m",
+                &parts,
+                |_w| |_c: &mut PhaseCtx, &r: &u64| Ok(vec![(r, 1.0f32)]),
+                None,
+            )
+            .unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert!(err.to_string().contains("map task"), "{err}");
+        assert!(err.to_string().contains("phase `m`"), "{err}");
     }
 
     #[test]

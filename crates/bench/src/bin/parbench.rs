@@ -19,7 +19,7 @@
 //! numbers; don't commit a smoke-mode JSON as the perf baseline.
 
 use inferturbo_bench::scaling;
-use inferturbo_cluster::ClusterSpec;
+use inferturbo_cluster::{ClusterSpec, RecoveryPolicy};
 use inferturbo_common::{Parallelism, Xoshiro256};
 use inferturbo_core::infer::{infer_mapreduce, infer_pregel};
 use inferturbo_core::models::{GnnModel, PoolOp};
@@ -120,6 +120,20 @@ fn main() {
         .plan()
         .expect("spill session plan");
 
+    // Recovery workload: the same planned session with a checkpoint taken
+    // at every superstep barrier (the most aggressive cadence), no faults
+    // injected — the measured entry is the pure cost of cloning worker
+    // state for recoverability, relative to engine/session_reuse_3k.
+    let ckpt_session = InferenceSession::builder()
+        .model(&model)
+        .graph(&g)
+        .pregel_spec(pregel_spec)
+        .strategy(StrategyConfig::all())
+        .backend(Backend::Pregel)
+        .recovery(RecoveryPolicy::new(1, 3))
+        .plan()
+        .expect("ckpt session plan");
+
     // Serving throughput workload: SERVE_BATCH coalescing requests per
     // iteration (graph features -> one group -> one batched run), so the
     // recorded requests/s is SERVE_BATCH x the bundle rate.
@@ -129,8 +143,8 @@ fn main() {
         max_wait: 0,
         ..ServeConfig::default()
     });
-    server.register_model(1, &model);
-    server.register_graph(1, &g);
+    server.register_model(1, &model).unwrap();
+    server.register_graph(1, &g).unwrap();
     let serve_req = ScoreRequest::new(1, 1)
         .with_workers(16)
         .with_backend(Backend::Pregel)
@@ -190,6 +204,20 @@ fn main() {
             Box::new(|| {
                 let out = spill_session.run().unwrap();
                 assert!(out.report.spilled_bytes > 0, "spill path must engage");
+            }),
+        ),
+        (
+            // The checkpoint session above: identical work to
+            // engine/session_reuse_3k plus a full worker-state snapshot at
+            // every superstep barrier — the measured overhead of the
+            // checkpoint/recovery contract at its most aggressive cadence.
+            // The assert pins that checkpoints were really taken.
+            "engine/pregel_sage2_3k_ckpt",
+            true,
+            1.0,
+            Box::new(|| {
+                let out = ckpt_session.run().unwrap();
+                assert!(out.report.checkpoints > 0, "checkpoint path must engage");
             }),
         ),
         (

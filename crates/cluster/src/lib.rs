@@ -20,11 +20,40 @@
 //! The paper's tables are about relative shapes (who wins, where stragglers
 //! appear, linearity in scale); those are functions of the measured
 //! distributions, not of the modelled constants.
+//!
+//! # Failure model
+//!
+//! InferTurbo's deployment argument is that riding mature Pregel/MapReduce
+//! infrastructure gives fault tolerance for free; this reproduction models
+//! that surface explicitly in [`fault`]:
+//!
+//! - **Failures are typed values.** Simulated worker OOM, lost workers
+//!   ([`inferturbo_common::Error::WorkerLost`]) and spill I/O failures
+//!   surface as `Error`s, never panics.
+//!   [`Error::is_transient`](inferturbo_common::Error::is_transient)
+//!   partitions them: lost workers and I/O are retryable; OOM, capacity
+//!   and configuration errors are permanent and are **never** retried.
+//! - **Faults are injected deterministically.** A [`FaultPlan`] schedules
+//!   failure points ([`FaultSite`]) by (worker, superstep/round); each
+//!   engine run arms a fresh [`FaultInjector`] whose per-site budgets make
+//!   the schedule reproducible at every thread count. The
+//!   `INFERTURBO_FAULTS` environment variable forces a schedule onto every
+//!   engine (the CI recovery gate).
+//! - **Recovery is bit-exact.** Under a [`RecoveryPolicy`] the Pregel
+//!   engine checkpoints vertex state + sealed inboxes at the superstep
+//!   barrier and replays from the last checkpoint on a transient failure;
+//!   because inboxes are sealed deterministically, a fault-injected run
+//!   with recovery is **bit-identical** to the fault-free run. The
+//!   MapReduce engine retries failed tasks idempotently (sort-based
+//!   shuffle inputs are immutable). Retries, checkpoints and replayed
+//!   supersteps are reported on [`RunReport`] planes.
 
 pub mod estimate;
+pub mod fault;
 pub mod metrics;
 pub mod spec;
 
 pub use estimate::{FleetEstimate, LayerEstimate, PlanEstimate};
+pub use fault::{FaultInjector, FaultPlan, FaultSite, RecoveryPolicy};
 pub use metrics::{MessagePlaneBytes, PhaseReport, RunReport, WorkerPhase};
 pub use spec::ClusterSpec;

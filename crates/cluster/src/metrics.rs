@@ -127,6 +127,16 @@ pub struct RunReport {
     /// the spill files absorbed instead; the two together are the run's
     /// whole inbox footprint. 0 when no spill policy was active.
     pub spilled_bytes: u64,
+    /// How many times the run retried after a transient failure: Pregel
+    /// checkpoint replays plus MapReduce task re-runs. 0 on a fault-free
+    /// run.
+    pub retries: u64,
+    /// Superstep checkpoints the Pregel engine persisted under its
+    /// [`RecoveryPolicy`](crate::fault::RecoveryPolicy).
+    pub checkpoints: u64,
+    /// Supersteps replayed from a checkpoint after a transient failure
+    /// (each retry replays `failed - checkpointed + 1` supersteps).
+    pub recovered_supersteps: u64,
 }
 
 impl RunReport {
@@ -136,6 +146,9 @@ impl RunReport {
             phases: Vec::new(),
             message_bytes: MessagePlaneBytes::default(),
             spilled_bytes: 0,
+            retries: 0,
+            checkpoints: 0,
+            recovered_supersteps: 0,
         }
     }
 

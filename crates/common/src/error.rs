@@ -42,6 +42,10 @@ pub enum Error {
     Phase { phase: String, source: Box<Error> },
     /// Catch-all for I/O style failures in the harness.
     Io(String),
+    /// A simulated worker died mid-task (fault injection / future
+    /// multi-process transport). Transient by definition: the task can be
+    /// retried or replayed from a checkpoint.
+    WorkerLost { worker: usize, detail: String },
 }
 
 impl Error {
@@ -60,6 +64,19 @@ impl Error {
         match self {
             Error::OutOfMemory { .. } => true,
             Error::Phase { source, .. } => source.is_oom(),
+            _ => false,
+        }
+    }
+
+    /// True if this error (or its cause chain) is *transient*: retrying the
+    /// failed task, or replaying from a checkpoint, could legitimately
+    /// succeed. Lost workers and I/O failures are transient; OOM, capacity
+    /// and configuration errors are permanent — recovery must never convert
+    /// them into a hang or a silent retry loop.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Error::WorkerLost { .. } | Error::Io(_) => true,
+            Error::Phase { source, .. } => source.is_transient(),
             _ => false,
         }
     }
@@ -84,6 +101,9 @@ impl fmt::Display for Error {
             Error::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
             Error::Phase { phase, source } => write!(f, "phase `{phase}` failed: {source}"),
             Error::Io(msg) => write!(f, "io error: {msg}"),
+            Error::WorkerLost { worker, detail } => {
+                write!(f, "worker {worker} lost: {detail}")
+            }
         }
     }
 }
@@ -118,6 +138,27 @@ mod tests {
     fn non_oom_errors_are_not_oom() {
         assert!(!Error::Codec("bad".into()).is_oom());
         assert!(!Error::InvalidConfig("x".into()).in_phase("map").is_oom());
+    }
+
+    #[test]
+    fn transient_is_detected_through_phase_wrapper() {
+        let lost = Error::WorkerLost {
+            worker: 2,
+            detail: "injected".into(),
+        };
+        assert!(lost.is_transient());
+        assert!(lost.in_phase("superstep-1").is_transient());
+        assert!(Error::Io("disk gone".into()).is_transient());
+        assert!(!Error::OutOfMemory {
+            worker: 0,
+            attempted_bytes: 2,
+            cap_bytes: 1,
+        }
+        .is_transient());
+        assert!(!Error::InvalidConfig("x".into())
+            .in_phase("map")
+            .is_transient());
+        assert!(!Error::Capacity("full".into()).is_transient());
     }
 
     #[test]

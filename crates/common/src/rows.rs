@@ -53,8 +53,9 @@
 use crate::codec::varint_len;
 use crate::{Error, FxHashMap, Result};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Wire length of one columnar row record's payload, shared by both
 /// engines so their `message_bytes` accounting stays directly comparable:
@@ -96,14 +97,45 @@ impl SpillPolicy {
     }
 }
 
+/// An open spill file plus its path; the path is unlinked when the last
+/// handle drops. Shared (`Arc`) between a live store and its checkpoint
+/// snapshots — sealed spill data is immutable, so snapshots read the same
+/// bytes through their own windows instead of rewriting the file.
+#[derive(Debug)]
+struct SpillFile {
+    path: PathBuf,
+    handle: std::fs::File,
+}
+
+impl SpillFile {
+    /// Contextualise an I/O failure with the file path and the operation —
+    /// an injected or real disk fault must be diagnosable from the error
+    /// alone.
+    fn read_err(&self, e: std::io::Error) -> Error {
+        Error::Io(format!(
+            "spill windowed read-back failed at {}: {e}",
+            self.path.display()
+        ))
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn write_err(path: &Path, e: std::io::Error) -> Error {
+    Error::Io(format!("spill write-out failed at {}: {e}", path.display()))
+}
+
 /// How a [`SpillableRows`] holds its data: fully in memory, or on disk
 /// with a bounded resident window.
 #[derive(Debug)]
 enum RowStore {
     Resident(Vec<f32>),
     Spilled {
-        path: PathBuf,
-        file: std::fs::File,
+        file: Arc<SpillFile>,
         /// Currently resident rows `[win_start, win_start + win_len)`.
         window: Vec<f32>,
         /// Reused byte staging buffer for window loads (allocated once,
@@ -177,25 +209,30 @@ impl SpillableRows {
             _ => return Ok(SpillableRows::resident(dim, data)),
         };
         let n_rows = data.len() / dim;
-        std::fs::create_dir_all(&policy.dir)?;
+        std::fs::create_dir_all(&policy.dir).map_err(|e| write_err(&policy.dir, e))?;
         let path = policy.dir.join(format!(
             "inferturbo-spill-{}-{}.rows",
             std::process::id(),
             SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        let file = std::fs::OpenOptions::new()
+        let handle = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
             .create_new(true)
-            .open(&path)?;
+            .open(&path)
+            .map_err(|e| write_err(&path, e))?;
+        // From here on the file exists: wrap it so any failed write still
+        // unlinks it on drop.
+        let file = Arc::new(SpillFile { path, handle });
         {
             // Exact IEEE-754 bit patterns on disk: the read-back path is
             // bit-identical to never having spilled.
-            let mut w = BufWriter::with_capacity(1 << 16, &file);
+            let mut w = BufWriter::with_capacity(1 << 16, &file.handle);
             for &x in &data {
-                w.write_all(&x.to_le_bytes())?;
+                w.write_all(&x.to_le_bytes())
+                    .map_err(|e| write_err(&file.path, e))?;
             }
-            w.flush()?;
+            w.flush().map_err(|e| write_err(&file.path, e))?;
         }
         drop(data);
         let win_cap = ((policy.budget_bytes / 4) as usize / dim).max(1);
@@ -203,7 +240,6 @@ impl SpillableRows {
             dim,
             n_rows,
             store: RowStore::Spilled {
-                path,
                 file,
                 window: Vec::new(),
                 scratch: Vec::new(),
@@ -213,6 +249,37 @@ impl SpillableRows {
                 high_water: win_cap.max(max_read_rows).min(n_rows),
             },
         })
+    }
+
+    /// An independent logical copy for checkpointing. Resident data is
+    /// cloned; spilled data *shares* the immutable spill file (`Arc`) with
+    /// a fresh, empty window — the checkpoint reuses the already-written
+    /// file instead of copying it, and the file survives until the last
+    /// sharer drops. Reads from a snapshot are bit-identical to reads from
+    /// the original.
+    pub fn snapshot(&self) -> SpillableRows {
+        let store = match &self.store {
+            RowStore::Resident(d) => RowStore::Resident(d.clone()),
+            RowStore::Spilled {
+                file,
+                win_cap,
+                high_water,
+                ..
+            } => RowStore::Spilled {
+                file: Arc::clone(file),
+                window: Vec::new(),
+                scratch: Vec::new(),
+                win_start: 0,
+                win_len: 0,
+                win_cap: *win_cap,
+                high_water: *high_water,
+            },
+        };
+        SpillableRows {
+            dim: self.dim,
+            n_rows: self.n_rows,
+            store,
+        }
     }
 
     pub fn dim(&self) -> usize {
@@ -277,10 +344,14 @@ impl SpillableRows {
                     let load = need.max(*win_cap).min(self.n_rows - lo);
                     window.clear();
                     window.resize(load * dim, 0.0);
-                    file.seek(SeekFrom::Start((lo * dim * 4) as u64))?;
+                    (&file.handle)
+                        .seek(SeekFrom::Start((lo * dim * 4) as u64))
+                        .map_err(|e| file.read_err(e))?;
                     scratch.clear();
                     scratch.resize(load * dim * 4, 0);
-                    file.read_exact(scratch)?;
+                    (&file.handle)
+                        .read_exact(scratch)
+                        .map_err(|e| file.read_err(e))?;
                     for (x, ch) in window.iter_mut().zip(scratch.chunks_exact(4)) {
                         *x = f32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]);
                     }
@@ -291,14 +362,6 @@ impl SpillableRows {
                 let off = (lo - *win_start) * dim;
                 Ok(&window[off..off + need * dim])
             }
-        }
-    }
-}
-
-impl Drop for SpillableRows {
-    fn drop(&mut self) {
-        if let RowStore::Spilled { path, .. } = &self.store {
-            let _ = std::fs::remove_file(path);
         }
     }
 }
@@ -503,6 +566,17 @@ impl RowArena {
         }
     }
 
+    /// An independent logical copy for checkpointing: resident offsets are
+    /// cloned, row data snapshots through [`SpillableRows::snapshot`]
+    /// (spilled data shares the immutable file).
+    pub fn snapshot(&self) -> RowArena {
+        RowArena {
+            dim: self.dim,
+            data: self.data.snapshot(),
+            offsets: self.offsets.clone(),
+        }
+    }
+
     /// Rows pending for `slot`, flat (`count(slot) * dim` floats), in
     /// delivery order. `&mut` because a spilled arena may need to page the
     /// covering window in; draining slots in ascending order streams the
@@ -693,6 +767,16 @@ impl FusedRows {
     /// slots).
     pub fn count(&self, slot: usize) -> u32 {
         self.counts.get(slot).copied().unwrap_or(0)
+    }
+
+    /// An independent logical copy for checkpointing (see
+    /// [`SpillableRows::snapshot`]).
+    pub fn snapshot(&self) -> FusedRows {
+        FusedRows {
+            dim: self.dim,
+            acc: self.acc.snapshot(),
+            counts: self.counts.clone(),
+        }
     }
 
     /// Accumulator row of `slot`; empty slice for out-of-range slots
@@ -956,17 +1040,97 @@ mod tests {
         }
     }
 
+    fn spill_path(rows: &SpillableRows) -> PathBuf {
+        match &rows.store {
+            RowStore::Spilled { file, .. } => file.path.clone(),
+            _ => panic!("expected a spilled store"),
+        }
+    }
+
     #[test]
     fn spill_file_is_removed_on_drop() {
         let policy = tiny_spill(4);
         let rows = SpillableRows::new(2, odd_bits(6, 2), Some(&policy), 1).unwrap();
-        let path = match &rows.store {
-            RowStore::Spilled { path, .. } => path.clone(),
-            _ => panic!("expected a spilled store"),
-        };
+        let path = spill_path(&rows);
         assert!(path.exists());
         drop(rows);
         assert!(!path.exists(), "drop must clean the spill file");
+    }
+
+    #[test]
+    fn snapshot_shares_the_spill_file_and_reads_bit_identical() {
+        let dim = 2;
+        let data = odd_bits(20, dim);
+        let mut live = SpillableRows::new(dim, data, Some(&tiny_spill(3 * dim as u64 * 4)), 1)
+            .expect("spill write");
+        let mut snap = live.snapshot();
+        assert_eq!(spill_path(&live), spill_path(&snap), "one file, shared");
+        // Interleaved reads through two independent windows agree bit-wise.
+        for (lo, hi) in [(0, 4), (15, 20), (7, 8), (0, 20)] {
+            let a: Vec<u32> = live
+                .rows(lo, hi)
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let b: Vec<u32> = snap
+                .rows(lo, hi)
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(a, b, "range {lo}..{hi} diverged in the snapshot");
+        }
+        // The file survives until the LAST sharer drops.
+        let path = spill_path(&live);
+        drop(live);
+        assert!(path.exists(), "snapshot must keep the shared file alive");
+        assert_eq!(
+            snap.rows(2, 5).unwrap().len(),
+            3 * dim,
+            "snapshot reads after the original dropped"
+        );
+        drop(snap);
+        assert!(!path.exists(), "last sharer cleans the file");
+    }
+
+    #[test]
+    fn arena_and_fused_snapshots_are_independent_copies() {
+        let dim = 2;
+        let mut sh = RowShard::new(dim);
+        for i in 0..12u32 {
+            sh.push(i % 4, &[i as f32, -(i as f32)]);
+        }
+        let mut arena = RowArena::seal(dim, 4, &[sh], Some(&tiny_spill(8))).unwrap();
+        let mut arena_snap = arena.snapshot();
+        let mut fsh = FusedSlotShard::new(dim, 4);
+        for i in 0..12u32 {
+            fsh.accumulate(i % 4, &[i as f32, 1.0], 1, &Sum);
+        }
+        let mut fused = FusedRows::merge(dim, 4, &[fsh], &Sum, Some(&tiny_spill(8))).unwrap();
+        let mut fused_snap = fused.snapshot();
+        for s in 0..4 {
+            assert_eq!(arena.rows(s).unwrap(), arena_snap.rows(s).unwrap());
+            assert_eq!(fused.row(s).unwrap(), fused_snap.row(s).unwrap());
+            assert_eq!(fused.count(s), fused_snap.count(s));
+        }
+    }
+
+    #[test]
+    fn spill_write_failure_carries_path_and_operation() {
+        // Point the spill dir at an existing FILE: create_dir_all fails,
+        // and the error must name the path and the write-out operation.
+        let bogus = std::env::temp_dir().join("inferturbo-rows-not-a-dir");
+        std::fs::write(&bogus, b"x").unwrap();
+        let policy = SpillPolicy::new(&bogus, 4);
+        let err = SpillableRows::new(2, odd_bits(6, 2), Some(&policy), 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("write-out") && msg.contains("inferturbo-rows-not-a-dir"),
+            "{msg}"
+        );
+        assert!(err.is_transient(), "spill I/O failures are retryable");
+        std::fs::remove_file(&bogus).ok();
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::models::{GnnModel, PoolOp};
 use crate::session::{Backend, InferenceSession};
 use crate::strategy::{base_of, mirror_of, NodeRecord, StrategyConfig, NODE_FLAG};
 use inferturbo_batch::{BatchEngine, KeyedData, PhaseCtx, RowSink, RowsView};
-use inferturbo_cluster::ClusterSpec;
+use inferturbo_cluster::{ClusterSpec, FaultInjector};
 use inferturbo_common::codec::{Decode, Encode, WireReader, WireWriter};
 use inferturbo_common::hash::partition_of;
 use inferturbo_common::rows::FusedAggregator;
@@ -277,6 +277,7 @@ pub fn infer_mapreduce(
 /// `features`, when given, replaces each record's raw input row. Records
 /// are shuffled by reference — nothing is cloned per run beyond what the
 /// rounds themselves emit.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_planned(
     model: &GnnModel,
     records: &[NodeRecord],
@@ -285,6 +286,7 @@ pub(crate) fn run_planned(
     strategy: StrategyConfig,
     bc_threshold: u64,
     features: Option<&[Vec<f32>]>,
+    faults: Option<&FaultInjector>,
 ) -> Result<InferenceOutput> {
     if strategy.columnar {
         run_planned_columnar(
@@ -295,6 +297,7 @@ pub(crate) fn run_planned(
             strategy,
             bc_threshold,
             features,
+            faults,
         )
     } else {
         run_planned_legacy(
@@ -305,11 +308,23 @@ pub(crate) fn run_planned(
             strategy,
             bc_threshold,
             features,
+            faults,
         )
     }
 }
 
+/// Build the round engine, arming the plan's shared-budget injector when
+/// one is set (left unset, the `INFERTURBO_FAULTS` fallback survives).
+fn engine_for(spec: ClusterSpec, faults: Option<&FaultInjector>) -> BatchEngine {
+    let mut eng = BatchEngine::new(spec).with_partition_fn(mr_partition);
+    if let Some(inj) = faults {
+        eng = eng.with_fault_injector(inj.clone());
+    }
+    eng
+}
+
 /// The legacy-plane MapReduce driver (`strategy.columnar == false`).
+#[allow(clippy::too_many_arguments)]
 fn run_planned_legacy(
     model: &GnnModel,
     records: &[NodeRecord],
@@ -318,10 +333,11 @@ fn run_planned_legacy(
     strategy: StrategyConfig,
     bc_threshold: u64,
     features: Option<&[Vec<f32>]>,
+    faults: Option<&FaultInjector>,
 ) -> Result<InferenceOutput> {
     let k = model.n_layers();
     let workers = spec.workers;
-    let mut eng = BatchEngine::new(spec).with_partition_fn(mr_partition);
+    let mut eng = engine_for(spec, faults);
     let inputs = eng.scatter_inputs(records.iter().collect());
 
     // --- Map: initial embeddings + layer-0 scatter ------------------------
@@ -530,6 +546,7 @@ fn harvest_logits(n_nodes: usize, data: KeyedData<MrRecord>) -> Result<Vec<Vec<f
 /// at the sender whenever the layer's aggregate is annotated
 /// commutative/associative (the paper's partial-aggregation strategy,
 /// executed without a single per-message heap object).
+#[allow(clippy::too_many_arguments)]
 fn run_planned_columnar(
     model: &GnnModel,
     records: &[NodeRecord],
@@ -538,10 +555,11 @@ fn run_planned_columnar(
     strategy: StrategyConfig,
     bc_threshold: u64,
     features: Option<&[Vec<f32>]>,
+    faults: Option<&FaultInjector>,
 ) -> Result<InferenceOutput> {
     let k = model.n_layers();
     let workers = spec.workers;
-    let mut eng = BatchEngine::new(spec).with_partition_fn(mr_partition);
+    let mut eng = engine_for(spec, faults);
     let inputs = eng.scatter_inputs(records.iter().collect());
 
     // Fused row aggregation stands in for the wire combiner: same

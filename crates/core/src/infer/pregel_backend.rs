@@ -27,7 +27,7 @@ use crate::models::gas_impl::{PoolRowAggregator, WireCombiner};
 use crate::models::GnnModel;
 use crate::session::{Backend, InferenceSession};
 use crate::strategy::{mirror_of, NodeRecord, StrategyConfig};
-use inferturbo_cluster::ClusterSpec;
+use inferturbo_cluster::{ClusterSpec, FaultInjector, RecoveryPolicy};
 use inferturbo_common::rows::SpillPolicy;
 use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
@@ -46,6 +46,11 @@ use super::InferenceOutput;
 /// shares the record's adjacency `Arc`, so building a run's vertex states
 /// from an [`crate::InferencePlan`] costs O(V) handle copies instead of
 /// re-cloning O(V·d + E) floats and ids per run.
+///
+/// `Clone` is the engine's checkpoint requirement: recovery snapshots
+/// clone states at the superstep barrier (cheap here — the borrowed `raw`
+/// slice and the adjacency `Arc` are handle copies).
+#[derive(Clone)]
 pub struct GnnVertexState<'g> {
     raw: &'g [f32],
     h: Vec<f32>,
@@ -272,6 +277,8 @@ pub(crate) fn run_planned<'g>(
     features: Option<&'g [Vec<f32>]>,
     scratch: ScratchPool<GnnMessage>,
     spill: Option<&SpillPolicy>,
+    faults: Option<&FaultInjector>,
+    recovery: Option<RecoveryPolicy>,
 ) -> Result<(InferenceOutput, ScratchPool<GnnMessage>)> {
     let k = model.n_layers();
     let combiners: Vec<Option<WireCombiner>> = (0..k)
@@ -288,9 +295,21 @@ pub(crate) fn run_planned<'g>(
         row_aggs,
         k,
     };
-    let config = PregelConfig::new(spec)
+    // An explicit fault schedule puts the session in charge of both
+    // knobs: the plan's shared-budget injector replaces any
+    // `INFERTURBO_FAULTS` schedule AND the recovery policy becomes the
+    // session's (possibly none = fail-fast). Without one, the env
+    // auto-arming survives and only an explicit recovery overrides.
+    let mut config = PregelConfig::new(spec)
         .with_columnar(strategy.columnar)
         .with_spill(spill.cloned());
+    if let Some(inj) = faults {
+        config = config
+            .with_fault_injector(inj.clone())
+            .with_recovery(recovery);
+    } else if recovery.is_some() {
+        config = config.with_recovery(recovery);
+    }
     let mut engine = PregelEngine::new(program, config);
     engine.set_scratch(scratch);
     for rec in records {

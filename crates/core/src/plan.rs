@@ -28,7 +28,9 @@ use crate::infer::{mr_backend, pregel_backend, reference_logits, InferenceOutput
 use crate::models::GnnModel;
 use crate::session::Backend;
 use crate::strategy::{build_node_records, NodeRecord, StrategyConfig};
-use inferturbo_cluster::{ClusterSpec, LayerEstimate, PlanEstimate, RunReport};
+use inferturbo_cluster::{
+    ClusterSpec, FaultInjector, FaultPlan, LayerEstimate, PlanEstimate, RecoveryPolicy, RunReport,
+};
 use inferturbo_common::codec::varint_len;
 use inferturbo_common::hash::partition_of;
 use inferturbo_common::rows::{row_payload_len, SpillPolicy};
@@ -61,6 +63,19 @@ pub struct InferencePlan<'a> {
     pub(crate) spill: Option<SpillPolicy>,
     /// Planning worker count (the chosen backend's cluster size).
     pub(crate) workers: usize,
+    /// Deterministic fault schedule, armed **once** at plan time: the
+    /// injector's per-site fire budgets are shared by every run of this
+    /// plan, modeling a schedule of cluster events — a fault consumed by
+    /// one run (or absorbed by its recovery) does not re-fire in the next,
+    /// which is what makes a serve-layer re-run after a transient failure
+    /// able to succeed. `None` defers to the engines' `INFERTURBO_FAULTS`
+    /// environment fallback.
+    pub(crate) faults: Option<FaultInjector>,
+    /// Checkpoint/recovery policy for the Pregel backend. `None` defers to
+    /// the engine's auto-arming (recovery on iff env faults are present)
+    /// unless an explicit fault schedule is set, in which case the session
+    /// controls both knobs and `None` means fail-fast.
+    pub(crate) recovery: Option<RecoveryPolicy>,
     pub(crate) records: Vec<NodeRecord>,
     pub(crate) bc_threshold: u64,
     pub(crate) hubs: usize,
@@ -98,6 +113,8 @@ impl<'a> InferencePlan<'a> {
         memory_budget: u64,
         spill: Option<SpillPolicy>,
         workers: usize,
+        fault_plan: Option<FaultPlan>,
+        recovery: Option<RecoveryPolicy>,
     ) -> InferencePlan<'a> {
         // Broadcast pays one payload per worker instead of one per
         // out-edge, so it only wins when out-degree exceeds the worker
@@ -157,6 +174,8 @@ impl<'a> InferencePlan<'a> {
             memory_budget,
             spill,
             workers,
+            faults: fault_plan.filter(|p| !p.is_empty()).map(|p| p.injector()),
+            recovery,
             records,
             bc_threshold,
             hubs,
@@ -282,6 +301,8 @@ impl<'a> InferencePlan<'a> {
                     features,
                     pool,
                     self.spill.as_ref(),
+                    self.faults.as_ref(),
+                    self.recovery,
                 )?;
                 *self.scratch.lock().expect("scratch lock poisoned") = Some(pool);
                 Ok(out)
@@ -294,6 +315,7 @@ impl<'a> InferencePlan<'a> {
                 self.strategy,
                 self.bc_threshold,
                 features,
+                self.faults.as_ref(),
             ),
             Backend::Reference => Ok(InferenceOutput {
                 logits: reference_logits(self.model, self.graph, features),

@@ -78,7 +78,7 @@
 use crate::models::GnnModel;
 use crate::plan::InferencePlan;
 use crate::strategy::StrategyConfig;
-use inferturbo_cluster::ClusterSpec;
+use inferturbo_cluster::{ClusterSpec, FaultPlan, RecoveryPolicy};
 use inferturbo_common::rows::SpillPolicy;
 use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
@@ -120,6 +120,8 @@ impl InferenceSession {
             memory_budget: None,
             spill_dir: None,
             spill_budget: None,
+            fault_plan: None,
+            recovery: None,
         }
     }
 }
@@ -138,6 +140,8 @@ pub struct SessionBuilder<'a> {
     memory_budget: Option<u64>,
     spill_dir: Option<PathBuf>,
     spill_budget: Option<u64>,
+    fault_plan: Option<FaultPlan>,
+    recovery: Option<RecoveryPolicy>,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -210,6 +214,31 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Inject a deterministic fault schedule into the plan's runs (see
+    /// [`inferturbo_cluster::fault`]). The schedule is armed **once** at
+    /// plan time and its per-site fire budgets are shared across repeated
+    /// [`InferencePlan::run`] calls: a fault consumed (or absorbed by
+    /// recovery) in one run does not re-fire in the next, modelling a
+    /// timeline of cluster events rather than a per-run replay — which is
+    /// what makes serve-layer retries meaningful. Setting an explicit
+    /// schedule takes ownership of *both* resilience knobs: the session's
+    /// [`SessionBuilder::recovery`] (possibly unset, i.e. fail-fast)
+    /// replaces the `INFERTURBO_FAULTS` environment auto-arming.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Checkpoint/recovery policy for the Pregel backend: snapshot at the
+    /// configured superstep cadence and replay transient failures from the
+    /// last checkpoint (see [`RecoveryPolicy`]). A recovered run is
+    /// bit-identical to a fault-free run. Unset, recovery auto-arms only
+    /// when an `INFERTURBO_FAULTS` schedule is present.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// Stage 2 of the pipeline: validate the configuration and do the
     /// one-time planning work. See [`InferencePlan`] for what the plan
     /// owns and what repeated runs skip.
@@ -269,6 +298,8 @@ impl<'a> SessionBuilder<'a> {
             memory_budget,
             spill,
             workers,
+            self.fault_plan,
+            self.recovery,
         ))
     }
 }

@@ -46,7 +46,10 @@
 //! front-to-back reproduces the legacy per-message fold bit-for-bit.
 
 use crate::vertex::{ActivationPolicy, Outbox, RowsIn, VertexProgram};
-use inferturbo_cluster::{ClusterSpec, MessagePlaneBytes, RunReport, WorkerPhase};
+use inferturbo_cluster::{
+    ClusterSpec, FaultInjector, FaultPlan, MessagePlaneBytes, RecoveryPolicy, RunReport,
+    WorkerPhase,
+};
 use inferturbo_common::codec::{varint_len, Decode, Encode};
 use inferturbo_common::hash::partition_of;
 use inferturbo_common::par::par_map;
@@ -84,10 +87,25 @@ pub struct PregelConfig {
     /// memory model, lifting the per-worker cap the same way the paper's
     /// MapReduce backend does.
     pub spill: Option<SpillPolicy>,
+    /// Armed fault schedule (deterministic injection). `None` — the
+    /// default — costs nothing: every check site is a single `Option`
+    /// test. [`PregelConfig::new`] arms the `INFERTURBO_FAULTS` schedule
+    /// automatically when the variable is set (the CI recovery gate);
+    /// [`PregelConfig::with_faults`] overrides it.
+    pub faults: Option<FaultInjector>,
+    /// Superstep checkpoint/replay policy. When set, [`PregelEngine::run`]
+    /// checkpoints vertex state + sealed inboxes at the configured cadence
+    /// and replays from the last checkpoint on a *transient* failure
+    /// ([`inferturbo_common::Error::is_transient`]); permanent errors (OOM,
+    /// capacity, configuration) surface unchanged. Recovery is bit-exact:
+    /// a recovered run is indistinguishable from a fault-free one.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl PregelConfig {
     pub fn new(spec: ClusterSpec) -> Self {
+        let faults = FaultPlan::from_env().map(|p| p.injector());
+        let recovery = faults.is_some().then(RecoveryPolicy::default);
         PregelConfig {
             spec,
             activation: ActivationPolicy::AlwaysActive,
@@ -95,6 +113,8 @@ impl PregelConfig {
             serialized_delivery: false,
             columnar: true,
             spill: None,
+            faults,
+            recovery,
         }
     }
 
@@ -119,8 +139,37 @@ impl PregelConfig {
         self.spill = spill;
         self
     }
+
+    /// Arm (or clear) a deterministic fault schedule for this engine,
+    /// replacing any schedule inherited from `INFERTURBO_FAULTS`. The plan
+    /// is armed once: its per-site fire budgets are shared by every clone
+    /// of this config, so a replayed superstep does not re-fire a fault
+    /// that already fired.
+    pub fn with_faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan.filter(|p| !p.is_empty()).map(|p| p.injector());
+        self
+    }
+
+    /// Arm an already-created injector, replacing any `INFERTURBO_FAULTS`
+    /// schedule. Unlike [`PregelConfig::with_faults`] this *shares* the
+    /// injector's per-site fire budgets with the caller (and with any
+    /// other engine armed from the same injector): a fault consumed by one
+    /// run does not re-fire in the next — how a session plan models a
+    /// schedule of cluster events spanning repeated runs.
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Set (or clear) the superstep checkpoint/replay policy. See
+    /// [`PregelConfig::recovery`].
+    pub fn with_recovery(mut self, recovery: Option<RecoveryPolicy>) -> Self {
+        self.recovery = recovery;
+        self
+    }
 }
 
+#[derive(Clone)]
 struct Slot<S> {
     id: u64,
     state: S,
@@ -184,6 +233,7 @@ impl<M> ScratchPool<M> {
 /// messages at `msgs[offsets[s]..offsets[s+1]]` in delivery order. Sealed
 /// once per superstep with a counting scatter — no per-message `Vec`
 /// growth, one allocation per worker per superstep.
+#[derive(Clone)]
 struct InboxArena<M> {
     msgs: Vec<M>,
     /// Per-slot ranges; empty until the first seal (= "no messages yet").
@@ -263,6 +313,28 @@ enum InPlane {
     Legacy,
     Rows,
     Fused,
+}
+
+/// A consistent snapshot of everything a superstep reads: vertex states,
+/// both inbox planes, the broadcast table, and the full [`RunReport`].
+/// Taken at the superstep barrier (between supersteps every inbox is
+/// sealed and immutable), so restoring and replaying is bit-identical to
+/// never having failed — including the report, which a failed superstep
+/// may have partially committed to. Spilled inbox data is shared by
+/// reference ([`inferturbo_common::rows::SpillableRows::snapshot`]): the
+/// checkpoint holds the spill file alive without copying it, modelling
+/// durable external storage — checkpoint bytes are *not* charged against
+/// worker memory caps.
+struct Checkpoint<P: VertexProgram> {
+    step: usize,
+    workers: Vec<Vec<Slot<P::State>>>,
+    inbox: Vec<InboxArena<P::Msg>>,
+    row_inbox: Vec<RowArena>,
+    fused_inbox: Vec<FusedRows>,
+    in_plane: InPlane,
+    inbox_bytes: Vec<u64>,
+    bcast: FxHashMap<u64, P::Msg>,
+    report: RunReport,
 }
 
 /// The columnar half of one worker's inbox for the next superstep.
@@ -497,19 +569,101 @@ impl<P: VertexProgram> PregelEngine<P> {
     /// Run up to `supersteps` supersteps; under
     /// [`ActivationPolicy::MessageDriven`] the loop exits early once no
     /// vertex is active and no messages are in flight.
+    ///
+    /// With a [`RecoveryPolicy`] configured, a checkpoint is taken at the
+    /// start of the run and thereafter at the policy's cadence; a
+    /// superstep that fails with a *transient* error
+    /// ([`inferturbo_common::Error::is_transient`]) is replayed from the
+    /// last checkpoint, up to `max_retries` times across the run. Replay
+    /// is bit-identical to never having failed: states, inboxes and the
+    /// report all rewind, and only the [`RunReport::retries`],
+    /// [`RunReport::checkpoints`] and [`RunReport::recovered_supersteps`]
+    /// counters record that recovery happened. Permanent errors — and
+    /// transient errors once retries are exhausted — surface unchanged.
     pub fn run(&mut self, supersteps: usize) -> Result<()>
     where
         P: Sync,
-        P::State: Send,
+        P::State: Send + Clone,
         P::Msg: Send + Sync,
     {
-        for _ in 0..supersteps {
-            let did_work = self.superstep()?;
-            if !did_work {
-                break;
+        let end = self.step + supersteps;
+        let mut retries_left = self.config.recovery.map_or(0, |r| r.max_retries);
+        let mut checkpoint: Option<Checkpoint<P>> = None;
+        while self.step < end {
+            if let Some(policy) = self.config.recovery {
+                // Always checkpoint at the start of a run (a mid-run fault
+                // must never have nothing to rewind to), then at the
+                // policy's cadence; after a restore the existing
+                // checkpoint already covers this step.
+                let covered = checkpoint.as_ref().map(|c| c.step) == Some(self.step);
+                if !covered && (checkpoint.is_none() || policy.due(self.step)) {
+                    checkpoint = Some(self.checkpoint());
+                    self.report.checkpoints += 1;
+                }
+            }
+            match self.superstep() {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => {
+                    let Some(ckpt) = checkpoint.as_ref() else {
+                        return Err(e);
+                    };
+                    if !e.is_transient() || retries_left == 0 {
+                        return Err(e);
+                    }
+                    retries_left -= 1;
+                    let failed = self.step;
+                    self.restore(ckpt);
+                    self.report.retries += 1;
+                    self.report.recovered_supersteps += (failed - ckpt.step + 1) as u64;
+                }
             }
         }
         Ok(())
+    }
+
+    /// Snapshot everything the next superstep reads. Cheap relative to a
+    /// superstep: resident data is cloned, spilled inbox data is shared by
+    /// reference (the spill file is immutable once sealed).
+    fn checkpoint(&self) -> Checkpoint<P>
+    where
+        P::State: Clone,
+    {
+        Checkpoint {
+            step: self.step,
+            workers: self.workers.clone(),
+            inbox: self.inbox.clone(),
+            row_inbox: self.row_inbox.iter().map(RowArena::snapshot).collect(),
+            fused_inbox: self.fused_inbox.iter().map(FusedRows::snapshot).collect(),
+            in_plane: self.in_plane,
+            inbox_bytes: self.inbox_bytes.clone(),
+            bcast: self.bcast.clone(),
+            report: self.report.clone(),
+        }
+    }
+
+    /// Rewind to `ckpt`, leaving the checkpoint itself pristine so it can
+    /// serve further replays. The recovery counters survive the rewind —
+    /// they record history, not state.
+    fn restore(&mut self, ckpt: &Checkpoint<P>)
+    where
+        P::State: Clone,
+    {
+        let retries = self.report.retries;
+        let checkpoints = self.report.checkpoints;
+        let recovered = self.report.recovered_supersteps;
+        self.step = ckpt.step;
+        self.workers = ckpt.workers.clone();
+        self.inbox = ckpt.inbox.clone();
+        self.row_inbox = ckpt.row_inbox.iter().map(RowArena::snapshot).collect();
+        self.fused_inbox = ckpt.fused_inbox.iter().map(FusedRows::snapshot).collect();
+        self.in_plane = ckpt.in_plane;
+        self.inbox_bytes = ckpt.inbox_bytes.clone();
+        self.bcast = ckpt.bcast.clone();
+        self.report = ckpt.report.clone();
+        self.report.retries = retries;
+        self.report.checkpoints = checkpoints;
+        self.report.recovered_supersteps = recovered;
     }
 
     /// Execute one superstep. Returns whether any vertex ran.
@@ -661,7 +815,18 @@ impl<P: VertexProgram> PregelEngine<P> {
             })
             .collect();
         let spill = self.config.spill.as_ref();
-        let sealed: Vec<Result<_>> = par_map(seal_tasks, |_, (n_slots, legacy, cols)| {
+        let faults = self.config.faults.as_ref();
+        let sealed: Vec<Result<_>> = par_map(seal_tasks, |w2, (n_slots, legacy, cols)| {
+            if let Some(inj) = faults {
+                if let Some(e) = inj.seal(w2, step) {
+                    return Err(e.in_phase(format!("seal superstep-{step}")));
+                }
+                if let Some(policy) = spill {
+                    if let Some(e) = inj.spill_write(w2, step, &policy.dir) {
+                        return Err(e.in_phase(format!("seal superstep-{step}")));
+                    }
+                }
+            }
             let arena = InboxArena::seal(n_slots, legacy);
             let (cols_in, resident, spilled, reclaimed) = match (cols, emit) {
                 (ColsOut::None, _) => (InboxCols::None, 0, 0, ColsOut::None),
@@ -773,6 +938,16 @@ fn run_worker<P: VertexProgram>(
     mut cols_in: InboxCols,
     scratch: WorkerScratch<P::Msg>,
 ) -> Result<StepOut<P::Msg>> {
+    if let Some(inj) = &config.faults {
+        if let Some(e) = inj.worker_compute(w, step) {
+            return Err(e);
+        }
+        if let Some(policy) = &config.spill {
+            if let Some(e) = inj.spill_read(w, step, &policy.dir) {
+                return Err(e);
+            }
+        }
+    }
     let mut out = StepOut::new(n_workers, &emit, dest_sizes, scratch);
     // Original destination ids of fused accumulator rows, first-touch
     // order per destination worker: flush accounting needs the dst varint.
@@ -847,6 +1022,9 @@ fn run_worker<P: VertexProgram>(
             );
         }
         out.metrics.flops += ob.flops;
+        if let Some(msg) = ob.take_layout_error() {
+            return Err(Error::InvalidConfig(format!("vertex {vertex_id}: {msg}")));
+        }
 
         // Route broadcasts: payload replicated to every remote worker;
         // sender pays (workers-1) copies, each remote worker receives one.
@@ -1004,6 +1182,7 @@ mod tests {
         use_combiner: bool,
     }
 
+    #[derive(Clone)]
     struct PrState {
         rank: f64,
         nbrs: Vec<u64>,
@@ -1157,6 +1336,7 @@ mod tests {
     /// SSSP with min-combiner and message-driven halting.
     struct Sssp;
 
+    #[derive(Clone)]
     struct SsspState {
         dist: f32,
         nbrs: Vec<(u64, f32)>,
@@ -1346,7 +1526,7 @@ mod tests {
     #[test]
     fn broadcast_reaches_all_workers_next_step() {
         struct Caster;
-        #[derive(Default)]
+        #[derive(Default, Clone)]
         struct CState {
             seen: Option<f32>,
         }
@@ -1399,6 +1579,7 @@ mod tests {
         fused: bool,
     }
 
+    #[derive(Clone)]
     struct RowState {
         feat: Vec<f32>,
         nbrs: Vec<u64>,
@@ -1673,7 +1854,7 @@ mod tests {
     /// the chain ends.
     struct Relay;
 
-    #[derive(Default)]
+    #[derive(Default, Clone)]
     struct RelayState {
         got: Option<f32>,
         next: Option<u64>,
@@ -1746,5 +1927,206 @@ mod tests {
         for id in 0..5u64 {
             assert_eq!(eng.state(id).unwrap().got, Some(id as f32), "vertex {id}");
         }
+    }
+
+    // ---- fault injection & checkpoint recovery ------------------------------
+
+    use inferturbo_cluster::{FaultPlan, FaultSite, RecoveryPolicy};
+
+    #[test]
+    fn injected_worker_failure_recovers_bit_identical() {
+        for fused in [true, false] {
+            for workers in [2usize, 3] {
+                // Explicitly fault-free baseline (immune to a CI-forced
+                // INFERTURBO_FAULTS schedule).
+                let plain_cfg = PregelConfig::new(ClusterSpec::test_spec(workers))
+                    .with_faults(None)
+                    .with_recovery(None);
+                let mut plain = row_engine_with(plain_cfg, fused);
+                plain.run(2).unwrap();
+                let plan =
+                    FaultPlan::new().and_fail(FaultSite::WorkerCompute { worker: 1, step: 1 });
+                let cfg = PregelConfig::new(ClusterSpec::test_spec(workers))
+                    .with_faults(Some(plan))
+                    .with_recovery(Some(RecoveryPolicy::new(1, 3)));
+                let mut faulty = row_engine_with(cfg, fused);
+                faulty.run(2).unwrap();
+                assert_eq!(
+                    agg_bits(&plain),
+                    agg_bits(&faulty),
+                    "recovery changed results (fused={fused}, workers={workers})"
+                );
+                assert_eq!(
+                    plain.report().message_bytes,
+                    faulty.report().message_bytes,
+                    "replay double-counted traffic (fused={fused}, workers={workers})"
+                );
+                assert_eq!(plain.report().total_bytes(), faulty.report().total_bytes());
+                let r = faulty.report();
+                assert_eq!(r.retries, 1);
+                assert!(r.checkpoints >= 1);
+                assert_eq!(r.recovered_supersteps, 1, "ckpt at 1, failed at 1");
+                assert_eq!(plain.report().retries, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn seal_and_spill_faults_recover_bit_identical() {
+        let spill = SpillPolicy::new(
+            std::env::temp_dir().join("inferturbo-engine-fault-tests"),
+            16,
+        );
+        for fused in [true, false] {
+            let plain_cfg =
+                PregelConfig::new(ClusterSpec::test_spec(3)).with_spill(Some(spill.clone()));
+            let mut plain = row_engine_with(plain_cfg, fused);
+            plain.run(2).unwrap();
+            let plan = FaultPlan::new()
+                .and_fail(FaultSite::SealBarrier { worker: 2, step: 0 })
+                .and_fail(FaultSite::SpillWrite { worker: 0, step: 1 })
+                .and_fail(FaultSite::SpillRead { worker: 1, step: 1 });
+            let cfg = PregelConfig::new(ClusterSpec::test_spec(3))
+                .with_spill(Some(spill.clone()))
+                .with_faults(Some(plan))
+                .with_recovery(Some(RecoveryPolicy::new(1, 3)));
+            let mut faulty = row_engine_with(cfg, fused);
+            faulty.run(2).unwrap();
+            assert_eq!(
+                agg_bits(&plain),
+                agg_bits(&faulty),
+                "recovery changed spilled results (fused={fused})"
+            );
+            assert_eq!(plain.report().message_bytes, faulty.report().message_bytes);
+            assert!(faulty.report().spilled_bytes > 0);
+            assert_eq!(
+                faulty.report().retries,
+                3,
+                "each scheduled fault fired once"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_the_original_error() {
+        let plan =
+            FaultPlan::new().and_fail_times(FaultSite::WorkerCompute { worker: 1, step: 1 }, 10);
+        let cfg = PregelConfig::new(ClusterSpec::test_spec(3))
+            .with_faults(Some(plan.clone()))
+            .with_recovery(Some(RecoveryPolicy::new(1, 2)));
+        let mut eng = row_engine_with(cfg, false);
+        let err = eng.run(2).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert!(err.to_string().contains("superstep 1"), "{err}");
+        assert_eq!(
+            eng.report().retries,
+            2,
+            "both retries spent before surfacing"
+        );
+
+        // Without a recovery policy the first firing surfaces unchanged.
+        let cfg = PregelConfig::new(ClusterSpec::test_spec(3))
+            .with_faults(Some(plan))
+            .with_recovery(None);
+        let mut eng = row_engine_with(cfg, false);
+        let err = eng.run(2).unwrap_err();
+        assert!(err.to_string().contains("superstep 1"), "{err}");
+        assert_eq!(eng.report().retries, 0);
+    }
+
+    #[test]
+    fn permanent_errors_are_never_retried() {
+        let spec = ClusterSpec::test_spec(1).with_memory(8);
+        let cfg = PregelConfig::new(spec).with_recovery(Some(RecoveryPolicy::default()));
+        let mut eng = pagerank_engine_with(cfg);
+        let err = eng.run(3).unwrap_err();
+        assert!(err.is_oom());
+        assert!(!err.is_transient());
+        assert_eq!(eng.report().retries, 0, "OOM must not burn retries");
+    }
+
+    #[test]
+    fn checkpoint_cadence_is_reported() {
+        let spec = ClusterSpec::test_spec(2);
+        let cfg = PregelConfig::new(spec)
+            .with_faults(None)
+            .with_recovery(Some(RecoveryPolicy::new(2, 1)));
+        let mut eng = pagerank_engine_with(cfg);
+        eng.run(4).unwrap();
+        // Due at steps 0 and 2; steps 1 and 3 are covered by the previous
+        // checkpoint.
+        assert_eq!(eng.report().checkpoints, 2);
+        assert_eq!(eng.report().retries, 0);
+    }
+
+    #[test]
+    fn send_row_without_layout_is_a_typed_config_error() {
+        struct NoLayout;
+        impl VertexProgram for NoLayout {
+            type State = ();
+            type Msg = f32;
+            fn compute(
+                &self,
+                _s: usize,
+                _v: u64,
+                _state: &mut (),
+                _m: Vec<f32>,
+                _b: &dyn Fn(u64) -> Option<f32>,
+                out: &mut Outbox<f32>,
+            ) {
+                // No layout declared for this step: must become a typed
+                // error, not a panic.
+                out.send_row(3, &[1.0, 2.0]);
+            }
+        }
+        let mut eng = PregelEngine::new(NoLayout, PregelConfig::new(ClusterSpec::test_spec(1)));
+        eng.add_vertex(3, ());
+        let err = eng.run(1).unwrap_err();
+        assert!(
+            matches!(err, Error::InvalidConfig(_)),
+            "want InvalidConfig, got {err}"
+        );
+        assert!(err.to_string().contains("message layout"), "{err}");
+        assert!(!err.is_transient(), "program bugs must never be retried");
+    }
+
+    #[test]
+    fn send_row_width_mismatch_is_a_typed_config_error() {
+        struct WrongWidth;
+        impl VertexProgram for WrongWidth {
+            type State = ();
+            type Msg = f32;
+            fn compute(
+                &self,
+                _s: usize,
+                _v: u64,
+                _state: &mut (),
+                _m: Vec<f32>,
+                _b: &dyn Fn(u64) -> Option<f32>,
+                _out: &mut Outbox<f32>,
+            ) {
+                unreachable!("always columnar");
+            }
+            fn compute_columnar(
+                &self,
+                _s: usize,
+                _v: u64,
+                _state: &mut (),
+                _rows: RowsIn<'_>,
+                _m: Vec<f32>,
+                _b: &dyn Fn(u64) -> Option<f32>,
+                out: &mut Outbox<f32>,
+            ) {
+                out.send_row(4, &[1.0, 2.0, 3.0]);
+            }
+            fn message_layout(&self, _step: usize) -> Option<MessageLayout> {
+                Some(MessageLayout { dim: 2 })
+            }
+        }
+        let mut eng = PregelEngine::new(WrongWidth, PregelConfig::new(ClusterSpec::test_spec(1)));
+        eng.add_vertex(4, ());
+        let err = eng.run(1).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("3 lanes"), "{err}");
     }
 }

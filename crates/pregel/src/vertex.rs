@@ -94,6 +94,11 @@ pub struct Outbox<M> {
     pub(crate) rows: Vec<f32>,
     pub(crate) row_dim: Option<usize>,
     pub(crate) flops: f64,
+    /// First misuse of the row plane this compute (send_row without an
+    /// active layout, or with the wrong width). Deferred rather than
+    /// panicking: the engine surfaces it as a typed
+    /// [`inferturbo_common::Error::InvalidConfig`] after the compute call.
+    pub(crate) layout_error: Option<String>,
 }
 
 impl<M> Outbox<M> {
@@ -105,6 +110,7 @@ impl<M> Outbox<M> {
             rows: Vec::new(),
             row_dim,
             flops: 0.0,
+            layout_error: None,
         }
     }
 
@@ -115,6 +121,13 @@ impl<M> Outbox<M> {
         self.row_dsts.clear();
         self.rows.clear();
         self.flops = 0.0;
+        self.layout_error = None;
+    }
+
+    /// Take the deferred row-plane misuse recorded by [`Outbox::send_row`],
+    /// if any. The engine calls this after every compute.
+    pub(crate) fn take_layout_error(&mut self) -> Option<String> {
+        self.layout_error.take()
     }
 
     /// Reset for a new superstep (scratch-pool reuse): clear everything and
@@ -146,12 +159,29 @@ impl<M> Outbox<M> {
     /// has a [`FusedAggregator`], folded into the destination's
     /// accumulator row at the sender.
     ///
-    /// Panics if the step has no active layout (check [`Outbox::row_dim`]).
+    /// Calling this with no active layout for the step (check
+    /// [`Outbox::row_dim`]), or with a row of the wrong width, drops the
+    /// row and fails the superstep with a typed
+    /// [`inferturbo_common::Error::InvalidConfig`] — a program bug is a
+    /// configuration error the harness observes, not a worker panic.
     pub fn send_row(&mut self, dst: u64, row: &[f32]) {
-        let dim = self
-            .row_dim
-            .expect("send_row without an active message layout");
-        assert_eq!(row.len(), dim, "send_row width mismatch");
+        let Some(dim) = self.row_dim else {
+            if self.layout_error.is_none() {
+                self.layout_error = Some(format!(
+                    "send_row to vertex {dst} without an active message layout for this step"
+                ));
+            }
+            return;
+        };
+        if row.len() != dim {
+            if self.layout_error.is_none() {
+                self.layout_error = Some(format!(
+                    "send_row to vertex {dst}: row has {} lanes, layout declares {dim}",
+                    row.len()
+                ));
+            }
+            return;
+        }
         self.row_dsts.push(dst);
         self.rows.extend_from_slice(row);
     }

@@ -6,7 +6,7 @@ use crate::admission::{Admission, AdmissionController, AdmissionPolicy};
 use crate::cache::{PlanCache, PlanKey};
 use crate::stats::ServerStats;
 use inferturbo_cluster::ClusterSpec;
-use inferturbo_common::{Error, FxHashMap, ReorderBuffer, Result, Ticket, TicketLine};
+use inferturbo_common::{Error, FxHashMap, FxHashSet, ReorderBuffer, Result, Ticket, TicketLine};
 use inferturbo_core::models::GnnModel;
 use inferturbo_core::session::{Backend, InferenceSession};
 use inferturbo_core::{InferencePlan, StrategyConfig};
@@ -44,6 +44,31 @@ pub struct ServeConfig {
     /// Directory spill files are written to for requests that plan with a
     /// [`ScoreRequest::with_spill_budget`] (default: the OS temp dir).
     pub spill_dir: Option<std::path::PathBuf>,
+    /// How many times a *transiently*-failed batch run
+    /// ([`inferturbo_common::Error::is_transient`]) is re-executed before
+    /// the whole group completes with [`ScoreStatus::Failed`]. Permanent
+    /// errors (OOM, configuration) are never retried. Retry is safe
+    /// because runs are deterministic and a plan's fault schedule drains
+    /// its budgets across runs — the re-run does not replay the failure.
+    pub max_run_retries: u32,
+    /// Quarantine a plan after this many *consecutive* failed batch runs
+    /// (counting a run as failed only after its retries are spent).
+    /// Subsequent submits against a quarantined plan fast-fail with a
+    /// typed error instead of queueing doomed work; one successful run —
+    /// e.g. of a group that was already queued — lifts the quarantine.
+    /// `0` disables quarantining.
+    pub quarantine_after: u32,
+    /// Deterministic fault schedule armed into every plan the server
+    /// builds (the failure-drill knob; see `inferturbo_cluster::fault`).
+    /// Budgets are per plan and shared across that plan's runs, so a
+    /// drained fault does not re-fire on a retry. `None` defers to the
+    /// engines' `INFERTURBO_FAULTS` fallback.
+    pub fault_plan: Option<inferturbo_cluster::FaultPlan>,
+    /// Checkpoint/recovery policy armed into every plan the server builds
+    /// (see `inferturbo_cluster::RecoveryPolicy`). With a `fault_plan` set
+    /// and this `None`, runs fail fast and resilience lives entirely in
+    /// the serve layer's retry/quarantine machinery.
+    pub recovery: Option<inferturbo_cluster::RecoveryPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +81,10 @@ impl Default for ServeConfig {
             memory_budget: ClusterSpec::pregel_cluster(1).memory_bytes,
             policy: AdmissionPolicy::Reject,
             spill_dir: None,
+            max_run_retries: 2,
+            quarantine_after: 3,
+            fault_plan: None,
+            recovery: None,
         }
     }
 }
@@ -235,6 +264,11 @@ pub struct GnnServer<'a> {
     clock: u64,
     pending: usize,
     stats: ServerStats,
+    /// Consecutive failed batch runs per plan (reset by any success).
+    failures: FxHashMap<PlanKey, u32>,
+    /// Plans currently refusing new submissions (see
+    /// [`ServeConfig::quarantine_after`]).
+    quarantined: FxHashSet<PlanKey>,
 }
 
 impl<'a> GnnServer<'a> {
@@ -254,22 +288,37 @@ impl<'a> GnnServer<'a> {
             clock: 0,
             pending: 0,
             stats: ServerStats::default(),
+            failures: FxHashMap::default(),
+            quarantined: FxHashSet::default(),
         }
     }
 
     /// Register a model under a caller-chosen id. Ids are immutable: a
-    /// duplicate registration panics (re-pointing an id under live cached
-    /// plans would silently serve stale weights).
-    pub fn register_model(&mut self, id: u64, model: &'a GnnModel) {
-        let prev = self.models.insert(id, model);
-        assert!(prev.is_none(), "duplicate model id {id}");
+    /// duplicate registration is a typed [`Error::InvalidConfig`] and
+    /// leaves the original binding untouched (re-pointing an id under live
+    /// cached plans would silently serve stale weights).
+    pub fn register_model(&mut self, id: u64, model: &'a GnnModel) -> Result<()> {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.models.entry(id) {
+            e.insert(model);
+            Ok(())
+        } else {
+            Err(Error::InvalidConfig(format!(
+                "duplicate model id {id}: ids are immutable once registered"
+            )))
+        }
     }
 
     /// Register a graph under a caller-chosen id (same rules as
     /// [`GnnServer::register_model`]).
-    pub fn register_graph(&mut self, id: u64, graph: &'a Graph) {
-        let prev = self.graphs.insert(id, graph);
-        assert!(prev.is_none(), "duplicate graph id {id}");
+    pub fn register_graph(&mut self, id: u64, graph: &'a Graph) -> Result<()> {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.graphs.entry(id) {
+            e.insert(graph);
+            Ok(())
+        } else {
+            Err(Error::InvalidConfig(format!(
+                "duplicate graph id {id}: ids are immutable once registered"
+            )))
+        }
     }
 
     /// Enqueue a request. Plans (and admission-gates) the configuration on
@@ -280,6 +329,18 @@ impl<'a> GnnServer<'a> {
     /// admission rejections all fail fast.
     pub fn submit(&mut self, req: ScoreRequest) -> Result<Ticket> {
         let key = req.plan_key();
+        // Quarantined plans fast-fail before any lookup or planning:
+        // queueing more work onto a configuration that keeps failing only
+        // manufactures more `Failed` responses.
+        if self.quarantined.contains(&key) {
+            self.stats.quarantine_rejections += 1;
+            return Err(Error::InvalidConfig(format!(
+                "plan quarantined after {} consecutive failed runs \
+                 (model {}, graph {}); a successful run of pending work \
+                 lifts it",
+                self.cfg.quarantine_after, req.model, req.graph
+            )));
+        }
         let model = *self
             .models
             .get(&req.model)
@@ -351,6 +412,12 @@ impl<'a> GnnServer<'a> {
                 if let Some(dir) = &self.cfg.spill_dir {
                     builder = builder.spill_dir(dir.clone());
                 }
+            }
+            if let Some(fp) = &self.cfg.fault_plan {
+                builder = builder.fault_plan(fp.clone());
+            }
+            if let Some(rp) = self.cfg.recovery {
+                builder = builder.recovery(rp);
             }
             let plan = builder.plan()?;
             let bytes = plan_residency(&plan);
@@ -463,6 +530,12 @@ impl<'a> GnnServer<'a> {
         self.cache.len()
     }
 
+    /// Plans currently quarantined against new submissions (tripped by
+    /// [`ServeConfig::quarantine_after`], lifted by a successful run).
+    pub fn quarantined_plans(&self) -> usize {
+        self.quarantined.len()
+    }
+
     /// Flush due (or, with `all`, every) groups in deterministic order:
     /// plans in first-submission order, groups in arrival order.
     fn flush_due(&mut self, all: bool) -> usize {
@@ -502,17 +575,38 @@ impl<'a> GnnServer<'a> {
         let plan = self.cache.get(&key).expect("flushed plan must be cached");
         self.stats.batches += 1;
         // THE batching contract: a coalesced group is served by exactly
-        // one plan execution — bit-identical to the caller making this
-        // very call itself.
-        let outcome = match &group.features {
-            Some(snap) => plan.run_with_features(snap),
-            None => plan.run(),
+        // one *successful* plan execution — bit-identical to the caller
+        // making this very call itself. A transient failure (lost worker,
+        // spill I/O) is re-run up to `max_run_retries` times: runs are
+        // deterministic and the plan's fault budgets drain across runs,
+        // so the re-run reflects the cluster after the event, not a
+        // replay of it. Permanent errors surface immediately.
+        let mut attempts_left = self.cfg.max_run_retries;
+        let outcome = loop {
+            let r = match &group.features {
+                Some(snap) => plan.run_with_features(snap),
+                None => plan.run(),
+            };
+            match r {
+                Err(e) if e.is_transient() && attempts_left > 0 => {
+                    attempts_left -= 1;
+                    self.stats.run_retries += 1;
+                }
+                other => break other,
+            }
         };
         let q = self.queues.get_mut(&key).expect("queue exists");
         match outcome {
             Ok(out) => {
+                self.failures.remove(&key);
+                // One good run lifts a quarantine: the plan demonstrably
+                // serves again (the failure streak was a transient cluster
+                // condition, now drained).
+                self.quarantined.remove(&key);
                 self.stats.message_bytes.add(out.report.message_bytes);
                 self.stats.spilled_bytes += out.report.spilled_bytes;
+                self.stats.engine_retries += out.report.retries;
+                self.stats.checkpoints += out.report.checkpoints;
                 self.stats.modelled_run_secs += out.report.total_wall_secs();
                 // Full-logits requests share the run's output behind one
                 // Arc — a group of them costs one allocation, not one V×C
@@ -540,6 +634,19 @@ impl<'a> GnnServer<'a> {
                 }
             }
             Err(e) => {
+                // The failed run poisons nothing beyond this group: the
+                // plan, its cache entry, and its FIFO stay live, and the
+                // next group runs independently. Only the *streak* is
+                // tracked — enough consecutive failures quarantine the
+                // plan against new submissions.
+                let streak = self.failures.entry(key).or_insert(0);
+                *streak += 1;
+                if self.cfg.quarantine_after > 0
+                    && *streak >= self.cfg.quarantine_after
+                    && self.quarantined.insert(key)
+                {
+                    self.stats.quarantined += 1;
+                }
                 let msg = e.to_string();
                 for req in group.requests {
                     self.stats.failed += 1;
@@ -563,6 +670,8 @@ impl<'a> GnnServer<'a> {
     /// controller already released its residency.)
     fn evict(&mut self, key: &PlanKey) {
         self.cache.remove(key);
+        self.failures.remove(key);
+        self.quarantined.remove(key);
         if let Some(mut q) = self.queues.remove(key) {
             for group in q.groups.drain(..) {
                 self.pending -= group.requests.len();
@@ -631,8 +740,8 @@ mod tests {
             max_wait: 10,
             ..ServeConfig::default()
         });
-        server.register_model(1, &m);
-        server.register_graph(1, &g);
+        server.register_model(1, &m).unwrap();
+        server.register_graph(1, &g).unwrap();
         let req = ScoreRequest::new(1, 1)
             .with_workers(4)
             .with_targets(vec![0]);
@@ -657,8 +766,8 @@ mod tests {
             max_wait: 2,
             ..ServeConfig::default()
         });
-        server.register_model(1, &m);
-        server.register_graph(1, &g);
+        server.register_model(1, &m).unwrap();
+        server.register_graph(1, &g).unwrap();
         let snap_a: FeatureSnapshot = Arc::new(
             (0..g.n_nodes() as u32)
                 .map(|v| g.node_feat(v).to_vec())
@@ -700,8 +809,8 @@ mod tests {
             max_wait: 0,
             ..ServeConfig::default()
         });
-        server.register_model(1, &m);
-        server.register_graph(1, &g);
+        server.register_model(1, &m).unwrap();
+        server.register_graph(1, &g).unwrap();
         let req = ScoreRequest::new(1, 1)
             .with_workers(4)
             .with_targets(vec![0]);
@@ -723,8 +832,8 @@ mod tests {
             max_wait: 1,
             ..ServeConfig::default()
         });
-        server.register_model(1, &m);
-        server.register_graph(1, &g);
+        server.register_model(1, &m).unwrap();
+        server.register_graph(1, &g).unwrap();
         let req = ScoreRequest::new(1, 1)
             .with_workers(4)
             .with_targets(vec![0]);
@@ -747,12 +856,38 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_registration_is_a_typed_error_and_keeps_the_original() {
+        let g = graph();
+        let m = model();
+        let m2 = GnnModel::sage(4, 8, 2, 2, false, PoolOp::Mean, 2);
+        let mut server = GnnServer::new(ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        });
+        server.register_model(1, &m).unwrap();
+        server.register_graph(1, &g).unwrap();
+        let err = server.register_model(1, &m2).unwrap_err();
+        assert!(err.to_string().contains("duplicate model id 1"), "{err}");
+        let err = server.register_graph(1, &g).unwrap_err();
+        assert!(err.to_string().contains("duplicate graph id 1"), "{err}");
+        // The original binding survives: a submit still runs against `m`.
+        server
+            .submit(
+                ScoreRequest::new(1, 1)
+                    .with_workers(4)
+                    .with_targets(vec![0]),
+            )
+            .unwrap();
+        assert_eq!(server.stats().served, 1);
+    }
+
+    #[test]
     fn submit_validates_ids_shapes_and_targets() {
         let g = graph();
         let m = model();
         let mut server = GnnServer::new(ServeConfig::default());
-        server.register_model(1, &m);
-        server.register_graph(1, &g);
+        server.register_model(1, &m).unwrap();
+        server.register_graph(1, &g).unwrap();
         assert!(server.submit(ScoreRequest::new(9, 1)).is_err());
         assert!(server.submit(ScoreRequest::new(1, 9)).is_err());
         let short: FeatureSnapshot = Arc::new(vec![vec![0.0; 4]; 3]);
@@ -782,8 +917,8 @@ mod tests {
             max_batch: 1,
             ..ServeConfig::default()
         });
-        server.register_model(1, &m);
-        server.register_graph(1, &g);
+        server.register_model(1, &m).unwrap();
+        server.register_graph(1, &g).unwrap();
         let mut pos = StrategyConfig::all();
         pos.lambda = 0.0;
         let mut neg = StrategyConfig::all();
@@ -811,8 +946,8 @@ mod tests {
             max_batch: 1, // every request runs alone
             ..ServeConfig::default()
         });
-        server.register_model(1, &m);
-        server.register_graph(1, &g);
+        server.register_model(1, &m).unwrap();
+        server.register_graph(1, &g).unwrap();
         let req = ScoreRequest::new(1, 1)
             .with_workers(4)
             .with_targets(vec![2]);

@@ -23,6 +23,22 @@ pub struct ServerStats {
     pub shed: u64,
     /// Requests whose batch run failed (e.g. a simulated worker OOM).
     pub failed: u64,
+    /// Serve-level re-runs of a transiently-failed batch (bounded by
+    /// `ServeConfig::max_run_retries`). Each retry re-executes the whole
+    /// coalesced group's run; absorbed retries never surface to callers.
+    pub run_retries: u64,
+    /// Failures absorbed *inside* runs by the engines — Pregel superstep
+    /// replays and MapReduce task re-launches — summed over every executed
+    /// run (`RunReport::retries`).
+    pub engine_retries: u64,
+    /// Pregel recovery checkpoints taken across every executed run
+    /// (`RunReport::checkpoints`).
+    pub checkpoints: u64,
+    /// Times a plan was quarantined after
+    /// `ServeConfig::quarantine_after` consecutive failed runs.
+    pub quarantined: u64,
+    /// Submissions fast-rejected because their plan was quarantined.
+    pub quarantine_rejections: u64,
     /// Batched runs executed (each serves one coalesced group).
     pub batches: u64,
     /// Plans built (plan-cache misses).
@@ -72,6 +88,16 @@ impl std::fmt::Display for ServerStats {
             "  plans: {} built, {} cache hits",
             self.plans_built, self.plan_cache_hits
         )?;
+        writeln!(
+            f,
+            "  resilience: {} run retries, {} engine retries, {} checkpoints; \
+             {} quarantined ({} submits rejected)",
+            self.run_retries,
+            self.engine_retries,
+            self.checkpoints,
+            self.quarantined,
+            self.quarantine_rejections
+        )?;
         write!(
             f,
             "  traffic: columnar {} B, legacy {} B, spilled {} B; modelled run wall {:.2}s",
@@ -111,5 +137,25 @@ mod tests {
         assert!(text.contains("10 submitted"), "{text}");
         assert!(text.contains("coalescing 4.00 req/run"), "{text}");
         assert!(text.contains("high-water 5"), "{text}");
+    }
+
+    #[test]
+    fn display_surfaces_resilience_counters() {
+        let s = ServerStats {
+            run_retries: 2,
+            engine_retries: 5,
+            checkpoints: 7,
+            quarantined: 1,
+            quarantine_rejections: 3,
+            ..ServerStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("2 run retries"), "{text}");
+        assert!(text.contains("5 engine retries"), "{text}");
+        assert!(text.contains("7 checkpoints"), "{text}");
+        assert!(
+            text.contains("1 quarantined (3 submits rejected)"),
+            "{text}"
+        );
     }
 }

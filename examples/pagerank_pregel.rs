@@ -16,6 +16,7 @@ struct PageRank {
     damping: f64,
 }
 
+#[derive(Clone)]
 struct State {
     rank: f64,
     nbrs: Vec<u64>,

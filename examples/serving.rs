@@ -60,10 +60,10 @@ fn main() {
         max_wait: 2,
         memory_budget: budget,
         policy: AdmissionPolicy::Reject,
-        spill_dir: None,
+        ..ServeConfig::default()
     });
-    server.register_model(1, &model);
-    server.register_graph(1, &dataset.graph);
+    server.register_model(1, &model).unwrap();
+    server.register_graph(1, &dataset.graph).unwrap();
 
     // 3. Three feature refreshes (e.g. hourly activity aggregates): one
     //    shared snapshot Arc each — requests naming the same snapshot

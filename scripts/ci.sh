@@ -31,6 +31,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+echo "== cargo test --workspace (forced fault schedule) =="
+# Re-runs the whole suite with a worker loss injected at superstep 1 of
+# every 2+-worker Pregel run. Env auto-arming (FaultPlan::from_env +
+# RecoveryPolicy::default) turns every engine test into a
+# checkpoint/recovery gate; tests that set an explicit fault schedule or
+# recovery policy are immune by design.
+INFERTURBO_FAULTS=worker:1@step:1 cargo test --workspace -q
+
 echo "== parbench --smoke (forced spill budget) =="
 cargo build --release -p inferturbo-bench
 # One short measurement per bench; never committed as the perf baseline

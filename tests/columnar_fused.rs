@@ -41,6 +41,7 @@ struct PoolProg {
     comb: VecPool,
 }
 
+#[derive(Clone)]
 struct PoolState {
     feat: Vec<f32>,
     nbrs: Vec<u64>,

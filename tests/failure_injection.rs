@@ -1,15 +1,25 @@
 //! Failure-path integration: OOM boundaries, configuration mismatches,
 //! and corrupted signatures must surface as typed errors, never panics —
 //! Table IV's "OOM" cell is a *result* in this system.
+//!
+//! The second half drills *injected* failures end-to-end: a session plan
+//! carrying a deterministic [`FaultPlan`] must recover bit-identically
+//! under a [`RecoveryPolicy`], and the serving layer must retry,
+//! contain, and quarantine failing plans without poisoning healthy work.
 
-use inferturbo::cluster::ClusterSpec;
+use std::sync::Arc;
+
+use inferturbo::cluster::{ClusterSpec, FaultPlan, FaultSite, RecoveryPolicy};
+use inferturbo::common::Parallelism;
 use inferturbo::core::baseline::{estimate_full_inference, BaselineConfig};
 use inferturbo::core::models::{GnnModel, PoolOp};
+use inferturbo::core::session::{Backend, InferenceSession};
 use inferturbo::core::signature;
 use inferturbo::core::strategy::StrategyConfig;
 use inferturbo::core::{infer_mapreduce, infer_pregel};
 use inferturbo::graph::gen::DegreeSkew;
-use inferturbo::graph::Dataset;
+use inferturbo::graph::{Dataset, Graph};
+use inferturbo::serve::{FeatureSnapshot, GnnServer, ScoreRequest, ScoreStatus, ServeConfig};
 
 fn dataset() -> Dataset {
     Dataset::power_law(600, 3600, DegreeSkew::In, 5)
@@ -17,6 +27,21 @@ fn dataset() -> Dataset {
 
 fn model(feat: usize) -> GnnModel {
     GnnModel::sage(feat, 16, 2, 2, false, PoolOp::Mean, 1)
+}
+
+fn bits(logits: &[Vec<f32>]) -> Vec<Vec<u32>> {
+    logits
+        .iter()
+        .map(|r| r.iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+fn snapshot(g: &Graph, scale: f32) -> FeatureSnapshot {
+    Arc::new(
+        (0..g.n_nodes() as u32)
+            .map(|v| g.node_feat(v).iter().map(|x| x * scale).collect())
+            .collect(),
+    )
 }
 
 #[test]
@@ -151,4 +176,361 @@ fn strategies_do_not_mask_oom_errors() {
     let err =
         infer_pregel(&m, &d.graph, spec, StrategyConfig::all().with_threshold(8)).unwrap_err();
     assert!(err.is_oom());
+}
+
+// ---------------------------------------------------------------------------
+// Injected faults through the session API
+// ---------------------------------------------------------------------------
+
+#[test]
+fn session_recovery_is_bit_identical_for_both_planes_at_every_thread_count() {
+    // THE recovery contract, end-to-end: a worker lost mid-run and
+    // replayed from checkpoint must be observably invisible — logits
+    // bit-identical to a fault-free run — on the fused and materialized
+    // columnar planes alike, at every thread budget.
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    for fused in [true, false] {
+        let strategy = if fused {
+            StrategyConfig::all()
+        } else {
+            StrategyConfig::all().with_partial_gather(false)
+        };
+        let clean = InferenceSession::builder()
+            .model(&m)
+            .graph(&d.graph)
+            .workers(4)
+            .strategy(strategy)
+            .backend(Backend::Pregel)
+            .plan()
+            .unwrap()
+            .run()
+            .unwrap();
+        let want = bits(&clean.logits);
+        for threads in [1usize, 2, 4] {
+            Parallelism::with(threads, || {
+                let plan = InferenceSession::builder()
+                    .model(&m)
+                    .graph(&d.graph)
+                    .workers(4)
+                    .strategy(strategy)
+                    .backend(Backend::Pregel)
+                    .fault_plan(
+                        FaultPlan::new().and_fail(FaultSite::WorkerCompute { worker: 1, step: 1 }),
+                    )
+                    .recovery(RecoveryPolicy::new(1, 3))
+                    .plan()
+                    .unwrap();
+                let out = plan.run().unwrap();
+                assert_eq!(
+                    bits(&out.logits),
+                    want,
+                    "fused={fused} threads={threads}: recovered run must be bit-identical"
+                );
+                assert_eq!(out.report.retries, 1, "fused={fused} threads={threads}");
+                assert!(out.report.checkpoints >= 1);
+                assert_eq!(out.report.recovered_supersteps, 1);
+                // The plan's fault budgets are shared across runs: the
+                // event already happened, so a re-run sails through.
+                let again = plan.run().unwrap();
+                assert_eq!(bits(&again.logits), want);
+                assert_eq!(again.report.retries, 0, "budget drained by the first run");
+            });
+        }
+    }
+}
+
+#[test]
+fn session_retry_exhaustion_surfaces_the_typed_error() {
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    let schedule =
+        FaultPlan::new().and_fail_times(FaultSite::WorkerCompute { worker: 0, step: 1 }, 10);
+    let plan = InferenceSession::builder()
+        .model(&m)
+        .graph(&d.graph)
+        .workers(4)
+        .backend(Backend::Pregel)
+        .fault_plan(schedule.clone())
+        .recovery(RecoveryPolicy::new(1, 2))
+        .plan()
+        .unwrap();
+    let err = plan.run().unwrap_err();
+    assert!(err.is_transient(), "{err}");
+    assert!(err.to_string().contains("superstep 1"), "{err}");
+    // An explicit schedule with no recovery fails fast — the session
+    // controls both knobs, even under a CI-forced INFERTURBO_FAULTS
+    // schedule that would otherwise auto-arm recovery.
+    let plan = InferenceSession::builder()
+        .model(&m)
+        .graph(&d.graph)
+        .workers(4)
+        .backend(Backend::Pregel)
+        .fault_plan(schedule)
+        .plan()
+        .unwrap();
+    let err = plan.run().unwrap_err();
+    assert!(err.to_string().contains("superstep 1"), "{err}");
+}
+
+#[test]
+fn session_mapreduce_task_retries_are_idempotent_and_bounded() {
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    let clean = InferenceSession::builder()
+        .model(&m)
+        .graph(&d.graph)
+        .workers(4)
+        .backend(Backend::MapReduce)
+        .plan()
+        .unwrap()
+        .run()
+        .unwrap();
+    // Two injected map-task failures are absorbed by idempotent
+    // re-launches; the output does not change by a bit.
+    let absorbed = InferenceSession::builder()
+        .model(&m)
+        .graph(&d.graph)
+        .workers(4)
+        .backend(Backend::MapReduce)
+        .fault_plan(FaultPlan::new().and_fail_times(
+            FaultSite::MapTask {
+                worker: 0,
+                round: 0,
+            },
+            2,
+        ))
+        .plan()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(bits(&absorbed.logits), bits(&clean.logits));
+    assert_eq!(absorbed.report.retries, 2);
+    // Past the per-task attempt bound the job fails with the typed
+    // lost-worker error.
+    let err = InferenceSession::builder()
+        .model(&m)
+        .graph(&d.graph)
+        .workers(4)
+        .backend(Backend::MapReduce)
+        .fault_plan(FaultPlan::new().and_fail_times(
+            FaultSite::MapTask {
+                worker: 0,
+                round: 0,
+            },
+            10,
+        ))
+        .plan()
+        .unwrap()
+        .run()
+        .unwrap_err();
+    assert!(err.is_transient(), "{err}");
+    assert!(err.to_string().contains("map task"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Injected faults through the serving layer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn serve_failed_batch_does_not_poison_the_next_batch() {
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    let mut server = GnnServer::new(ServeConfig {
+        max_batch: 1,
+        max_run_retries: 0,
+        quarantine_after: 0,
+        fault_plan: Some(
+            FaultPlan::new().and_fail(FaultSite::WorkerCompute { worker: 0, step: 1 }),
+        ),
+        recovery: None,
+        ..ServeConfig::default()
+    });
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &d.graph).unwrap();
+    let req = ScoreRequest::new(1, 1)
+        .with_workers(4)
+        .with_backend(Backend::Pregel)
+        .with_targets(vec![0]);
+    let t1 = server.submit(req.clone()).unwrap();
+    let r1 = server.take(t1).expect("failed response must be ready");
+    match &r1.status {
+        ScoreStatus::Failed(msg) => assert!(msg.contains("worker"), "{msg}"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert!(
+        server.take(t1).is_none(),
+        "take consumes: a second take of a failed ticket is None"
+    );
+    // Same plan, next batch: the scheduled event already fired, and the
+    // failed run left no residue behind it.
+    let t2 = server.submit(req).unwrap();
+    assert!(matches!(
+        server.take(t2).unwrap().status,
+        ScoreStatus::Served(_)
+    ));
+    assert_eq!(server.stats().failed, 1);
+    assert_eq!(server.stats().served, 1);
+    assert_eq!(
+        server.stats().plans_built,
+        1,
+        "one plan serves both batches"
+    );
+    assert_eq!(server.quarantined_plans(), 0);
+}
+
+#[test]
+fn serve_retry_absorbs_a_transient_failure_bit_identically() {
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    let want = bits(
+        &InferenceSession::builder()
+            .model(&m)
+            .graph(&d.graph)
+            .workers(4)
+            .backend(Backend::Pregel)
+            .plan()
+            .unwrap()
+            .run()
+            .unwrap()
+            .logits,
+    );
+    let mut server = GnnServer::new(ServeConfig {
+        max_batch: 1,
+        max_run_retries: 1,
+        fault_plan: Some(
+            FaultPlan::new().and_fail(FaultSite::WorkerCompute { worker: 0, step: 1 }),
+        ),
+        recovery: None,
+        ..ServeConfig::default()
+    });
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &d.graph).unwrap();
+    let t = server
+        .submit(
+            ScoreRequest::new(1, 1)
+                .with_workers(4)
+                .with_backend(Backend::Pregel),
+        )
+        .unwrap();
+    let resp = server.take(t).expect("response ready");
+    let logits = resp.logits().expect("retry must absorb the failure");
+    assert_eq!(bits(logits), want, "the re-run is bit-identical");
+    assert_eq!(server.stats().run_retries, 1);
+    assert_eq!(server.stats().served, 1);
+    assert_eq!(
+        server.stats().failed,
+        0,
+        "the caller never sees the failure"
+    );
+}
+
+#[test]
+fn serve_quarantine_trips_after_threshold_and_fast_rejects() {
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    let mut server = GnnServer::new(ServeConfig {
+        max_batch: 1,
+        max_run_retries: 0,
+        quarantine_after: 2,
+        fault_plan: Some(
+            FaultPlan::new().and_fail_times(FaultSite::WorkerCompute { worker: 0, step: 1 }, 2),
+        ),
+        recovery: None,
+        ..ServeConfig::default()
+    });
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &d.graph).unwrap();
+    let req = ScoreRequest::new(1, 1)
+        .with_workers(4)
+        .with_backend(Backend::Pregel)
+        .with_targets(vec![0]);
+    for _ in 0..2 {
+        let t = server.submit(req.clone()).unwrap();
+        assert!(matches!(
+            server.take(t).unwrap().status,
+            ScoreStatus::Failed(_)
+        ));
+    }
+    assert_eq!(
+        server.stats().quarantined,
+        1,
+        "streak of 2 trips quarantine"
+    );
+    assert_eq!(server.quarantined_plans(), 1);
+    let err = server.submit(req).unwrap_err();
+    assert!(err.to_string().contains("quarantined"), "{err}");
+    assert_eq!(server.stats().quarantine_rejections, 1);
+    assert_eq!(
+        server.stats().submitted,
+        2,
+        "a fast-rejected submit never enqueues"
+    );
+}
+
+#[test]
+fn serve_quarantine_lifts_when_pending_work_succeeds() {
+    // Three groups are queued before the failure streak plays out: the
+    // first two runs consume the scheduled faults and trip quarantine,
+    // the third succeeds and lifts it — the plan serves again.
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    let mut server = GnnServer::new(ServeConfig {
+        max_batch: 100,
+        max_wait: 0,
+        max_run_retries: 0,
+        quarantine_after: 2,
+        fault_plan: Some(
+            FaultPlan::new().and_fail_times(FaultSite::WorkerCompute { worker: 0, step: 1 }, 2),
+        ),
+        recovery: None,
+        ..ServeConfig::default()
+    });
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &d.graph).unwrap();
+    let base = ScoreRequest::new(1, 1)
+        .with_workers(4)
+        .with_backend(Backend::Pregel)
+        .with_targets(vec![0]);
+    // Distinct snapshots open distinct groups on one plan (they cannot
+    // coalesce), so one drain executes three separate runs in order.
+    let t1 = server
+        .submit(base.clone().with_snapshot(snapshot(&d.graph, 1.0)))
+        .unwrap();
+    let t2 = server
+        .submit(base.clone().with_snapshot(snapshot(&d.graph, 0.5)))
+        .unwrap();
+    let t3 = server
+        .submit(base.clone().with_snapshot(snapshot(&d.graph, 0.25)))
+        .unwrap();
+    server.drain();
+    assert!(matches!(
+        server.take(t1).unwrap().status,
+        ScoreStatus::Failed(_)
+    ));
+    assert!(matches!(
+        server.take(t2).unwrap().status,
+        ScoreStatus::Failed(_)
+    ));
+    assert!(matches!(
+        server.take(t3).unwrap().status,
+        ScoreStatus::Served(_)
+    ));
+    assert_eq!(
+        server.stats().quarantined,
+        1,
+        "the streak tripped mid-drain"
+    );
+    assert_eq!(
+        server.quarantined_plans(),
+        0,
+        "the successful third run lifted the quarantine"
+    );
+    // New submissions flow again.
+    let t4 = server.submit(base).unwrap();
+    server.drain();
+    assert!(matches!(
+        server.take(t4).unwrap().status,
+        ScoreStatus::Served(_)
+    ));
 }

@@ -43,6 +43,7 @@ struct PageRank {
     n: f64,
 }
 
+#[derive(Clone)]
 struct PrState {
     rank: f64,
     nbrs: Vec<u64>,
@@ -133,6 +134,7 @@ struct ColSum {
     agg: PoolRowAggregator,
 }
 
+#[derive(Clone)]
 struct ColState {
     feat: Vec<f32>,
     nbrs: Vec<u64>,

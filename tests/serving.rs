@@ -116,8 +116,8 @@ fn batched_serving_bit_identical_to_sequential_for_every_combo() {
                         max_wait: 0,
                         ..ServeConfig::default()
                     });
-                    server.register_model(1, &m);
-                    server.register_graph(1, &g);
+                    server.register_model(1, &m).unwrap();
+                    server.register_graph(1, &g).unwrap();
                     let base = ScoreRequest::new(1, 1)
                         .with_workers(8)
                         .with_strategy(strat)
@@ -203,8 +203,8 @@ fn admission_rejects_exactly_at_the_budget_boundary() {
         max_batch: 1,
         ..ServeConfig::default()
     });
-    server.register_model(1, &m);
-    server.register_graph(1, &g);
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &g).unwrap();
     let req = ScoreRequest::new(1, 1)
         .with_workers(4)
         .with_backend(Backend::Pregel)
@@ -233,8 +233,8 @@ fn admission_rejects_exactly_at_the_budget_boundary() {
         max_batch: 1,
         ..ServeConfig::default()
     });
-    tight.register_model(1, &m);
-    tight.register_graph(1, &g);
+    tight.register_model(1, &m).unwrap();
+    tight.register_graph(1, &g).unwrap();
     let err = tight
         .submit(
             ScoreRequest::new(1, 1)
@@ -273,8 +273,8 @@ fn spill_budget_admits_a_plan_the_fleet_just_rejected() {
         max_batch: 1,
         ..ServeConfig::default()
     });
-    server.register_model(1, &m);
-    server.register_graph(1, &g);
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &g).unwrap();
     let req = ScoreRequest::new(1, 1)
         .with_workers(4)
         .with_strategy(strat)
@@ -326,8 +326,8 @@ fn shed_oldest_evicts_the_oldest_plan_and_sheds_its_queue() {
         max_wait: 100, // nothing flushes on its own
         ..ServeConfig::default()
     });
-    server.register_model(1, &m);
-    server.register_graph(1, &g);
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &g).unwrap();
     let old = ScoreRequest::new(1, 1)
         .with_workers(4)
         .with_backend(Backend::Pregel)
@@ -350,6 +350,10 @@ fn shed_oldest_evicts_the_oldest_plan_and_sheds_its_queue() {
     assert_eq!(shed[0].ticket, t1);
     assert_eq!(shed[1].ticket, t2);
     assert!(shed.iter().all(|r| r.status == ScoreStatus::Shed));
+    // A drained (or taken) shed ticket is consumed: a later take is a
+    // well-defined None, never a panic or a stale response.
+    assert!(server.take(t1).is_none());
+    assert!(server.take(t2).is_none());
     // The newcomer still serves.
     server.drain();
     assert!(matches!(
@@ -389,8 +393,8 @@ fn shed_oldest_lets_auto_plans_claim_the_full_budget() {
         max_wait: 0,
         ..ServeConfig::default()
     });
-    server.register_model(1, &m);
-    server.register_graph(1, &g);
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &g).unwrap();
     server
         .submit(
             ScoreRequest::new(1, 1)
@@ -436,8 +440,8 @@ fn fifo_response_ordering_under_coalescing() {
         max_wait: 5,
         ..ServeConfig::default()
     });
-    server.register_model(1, &m);
-    server.register_graph(1, &g);
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &g).unwrap();
     let base = ScoreRequest::new(1, 1)
         .with_workers(4)
         .with_targets(vec![7]);
@@ -547,8 +551,8 @@ fn mapreduce_plans_serve_and_account() {
         max_batch: 2,
         ..ServeConfig::default()
     });
-    server.register_model(1, &m);
-    server.register_graph(1, &g);
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &g).unwrap();
     let req = ScoreRequest::new(1, 1)
         .with_workers(4)
         .with_backend(Backend::MapReduce);
