@@ -150,6 +150,39 @@ fn main() {
         .with_backend(Backend::Pregel)
         .with_targets(vec![0, 1, 2]);
 
+    // Overload spike workload: a tenant fires SPIKE requests per tick
+    // against a 4-token bucket (refill 1/tick), plus one 0-tick-deadline
+    // request that always expires — steady state serves ~1 fresh batch
+    // and degrades the rest to bit-identical cached rows, so the entry
+    // measures the request rate the resilience pipeline sustains when
+    // most answers never reach the engine.
+    const SPIKE: usize = 8;
+    let mut overload_server = GnnServer::new(ServeConfig {
+        max_batch: SPIKE,
+        max_wait: 0,
+        rate_limit: Some(inferturbo_serve::RateLimitConfig::degrade(4, 1)),
+        deadline_clamp: None,
+        ..ServeConfig::default()
+    });
+    overload_server.register_model(1, &model).unwrap();
+    overload_server.register_graph(1, &g).unwrap();
+    // Prime the response cache with one fresh full-logits run so the
+    // degraded path has rows to serve (outside the measured region).
+    overload_server
+        .submit(
+            ScoreRequest::new(1, 1)
+                .with_workers(16)
+                .with_backend(Backend::Pregel),
+        )
+        .unwrap();
+    overload_server.tick();
+    assert_eq!(overload_server.drain_ready().len(), 1, "cache priming run");
+    let spike_req = ScoreRequest::new(1, 1)
+        .with_workers(16)
+        .with_backend(Backend::Pregel)
+        .with_tenant(7)
+        .with_targets(vec![0, 1, 2]);
+
     // (name, is_engine, ops multiplier, workload)
     type Bench<'a> = (&'a str, bool, f64, Box<dyn FnMut() + 'a>);
     let mut benches: Vec<Bench<'_>> = vec![
@@ -236,6 +269,37 @@ fn main() {
                 }
                 let done = server.drain_ready();
                 assert_eq!(done.len(), SERVE_BATCH, "batch must flush at max_batch");
+            }),
+        ),
+        (
+            // Requests/s through the overload-resilience pipeline: each
+            // iteration is one spike tick — SPIKE rate-limited tenant
+            // requests (mostly degraded to cached rows) plus one request
+            // whose deadline always expires. Every request still reaches a
+            // terminal status; the asserts pin that the degraded path
+            // actually engages (CI's `--smoke` run relies on them).
+            "serve/overload_3k",
+            true,
+            (SPIKE + 1) as f64,
+            Box::new(|| {
+                for _ in 0..SPIKE {
+                    overload_server.submit(spike_req.clone()).unwrap();
+                }
+                overload_server
+                    .submit(
+                        ScoreRequest::new(1, 1)
+                            .with_workers(16)
+                            .with_backend(Backend::Pregel)
+                            .with_deadline(0)
+                            .with_targets(vec![9]),
+                    )
+                    .unwrap();
+                overload_server.tick();
+                let done = overload_server.drain_ready();
+                assert_eq!(done.len(), SPIKE + 1, "overload resolves, it never drops");
+                let o = &overload_server.stats().overload;
+                assert!(o.served_stale > 0, "degraded path must serve stale rows");
+                assert!(o.deadline_exceeded > 0, "deadline expiry must engage");
             }),
         ),
         (

@@ -55,5 +55,5 @@ pub mod spec;
 
 pub use estimate::{FleetEstimate, LayerEstimate, PlanEstimate};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, RecoveryPolicy};
-pub use metrics::{MessagePlaneBytes, PhaseReport, RunReport, WorkerPhase};
+pub use metrics::{MessagePlaneBytes, OverloadCounters, PhaseReport, RunReport, WorkerPhase};
 pub use spec::ClusterSpec;

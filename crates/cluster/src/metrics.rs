@@ -114,6 +114,60 @@ impl MessagePlaneBytes {
     }
 }
 
+/// Overload-resilience counters — the serving layer's degraded-mode
+/// plane, kept next to [`MessagePlaneBytes`] so every metric plane the
+/// system reports lives in one module. Each counter is one way a request
+/// can leave the happy path: its deadline expired in the queue, a
+/// per-tenant rate limit throttled it, a circuit breaker refused its
+/// plan, or the degraded-mode response cache answered it with a stale
+/// (but bit-exact) result instead.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadCounters {
+    /// Requests resolved `DeadlineExceeded`: their tick budget passed
+    /// before their batch flushed.
+    pub deadline_exceeded: u64,
+    /// Requests a per-tenant token bucket refused admission to the
+    /// batcher (both `Reject` fast-fails and `Degrade` resolutions).
+    pub throttled: u64,
+    /// Degraded requests answered from the response cache — stale with
+    /// respect to the engine, bit-identical to the run that populated the
+    /// entry.
+    pub served_stale: u64,
+    /// Closed→Open circuit-breaker transitions across all plans.
+    pub breaker_opens: u64,
+    /// Submissions fast-failed because their plan's breaker was open and
+    /// the cache had nothing to serve.
+    pub breaker_rejections: u64,
+    /// Degraded-path response-cache lookups that found an entry.
+    pub cache_hits: u64,
+    /// Degraded-path response-cache lookups that found nothing.
+    pub cache_misses: u64,
+}
+
+impl OverloadCounters {
+    /// Hit ratio of the degraded-path cache lookups (0.0 when none
+    /// happened): how often overload could be served stale instead of
+    /// failed outright.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    pub fn add(&mut self, other: OverloadCounters) {
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.throttled += other.throttled;
+        self.served_stale += other.served_stale;
+        self.breaker_opens += other.breaker_opens;
+        self.breaker_rejections += other.breaker_rejections;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
 /// A complete engine run: a sequence of phases on one cluster spec.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -254,6 +308,28 @@ mod tests {
             })
             .collect();
         PhaseReport::seal("t", spec, per_worker)
+    }
+
+    #[test]
+    fn overload_counters_ratio_and_add() {
+        let mut a = OverloadCounters::default();
+        assert_eq!(a.cache_hit_ratio(), 0.0, "no lookups, no ratio");
+        a.cache_hits = 3;
+        a.cache_misses = 1;
+        a.served_stale = 3;
+        a.throttled = 4;
+        assert!((a.cache_hit_ratio() - 0.75).abs() < 1e-12);
+        let mut b = OverloadCounters {
+            deadline_exceeded: 2,
+            breaker_opens: 1,
+            breaker_rejections: 5,
+            ..OverloadCounters::default()
+        };
+        b.add(a);
+        assert_eq!(b.deadline_exceeded, 2);
+        assert_eq!(b.throttled, 4);
+        assert_eq!(b.cache_hits, 3);
+        assert_eq!(b.breaker_rejections, 5);
     }
 
     #[test]

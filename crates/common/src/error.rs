@@ -46,6 +46,24 @@ pub enum Error {
     /// multi-process transport). Transient by definition: the task can be
     /// retried or replayed from a checkpoint.
     WorkerLost { worker: usize, detail: String },
+    /// A request's logical-tick deadline passed before its work ran.
+    /// Carries the tick budget the request was willing to wait.
+    ///
+    /// **Never transient**: the caller has already given up on the answer,
+    /// so retrying (or serving it late) is pure wasted work — recovery and
+    /// serve-retry machinery must not burn attempts on it.
+    DeadlineExceeded { deadline: u64 },
+    /// Load-shedding refused the work: a per-tenant rate limit, an open
+    /// circuit breaker, or an admission eviction. Classified
+    /// non-transient on purpose — an immediate mechanical retry is
+    /// exactly what an overloaded system cannot absorb; re-submission is
+    /// the *caller's* (paced) decision, not the harness's.
+    Overloaded(String),
+    /// An internal invariant of the harness itself was violated (e.g. a
+    /// flushed batch whose plan vanished from the cache). Surfaced as a
+    /// value so serving completes the affected requests instead of
+    /// panicking the whole server. Always a bug; never transient.
+    Internal(String),
 }
 
 impl Error {
@@ -104,6 +122,14 @@ impl fmt::Display for Error {
             Error::WorkerLost { worker, detail } => {
                 write!(f, "worker {worker} lost: {detail}")
             }
+            Error::DeadlineExceeded { deadline } => {
+                write!(
+                    f,
+                    "deadline exceeded: request waited past its {deadline}-tick budget"
+                )
+            }
+            Error::Overloaded(msg) => write!(f, "overloaded: {msg}"),
+            Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }
@@ -159,6 +185,22 @@ mod tests {
             .in_phase("map")
             .is_transient());
         assert!(!Error::Capacity("full".into()).is_transient());
+    }
+
+    #[test]
+    fn overload_family_is_permanent() {
+        // Retrying a missed deadline is wasted work, and hammering an
+        // overloaded server with mechanical retries makes the overload
+        // worse — all three serve-side failures are non-transient.
+        assert!(!Error::DeadlineExceeded { deadline: 3 }.is_transient());
+        assert!(!Error::DeadlineExceeded { deadline: 0 }
+            .in_phase("flush")
+            .is_transient());
+        assert!(!Error::Overloaded("tenant 7 throttled".into()).is_transient());
+        assert!(!Error::Internal("plan vanished".into()).is_transient());
+        assert!(Error::DeadlineExceeded { deadline: 3 }
+            .to_string()
+            .contains("3-tick budget"));
     }
 
     #[test]

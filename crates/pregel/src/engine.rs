@@ -59,6 +59,18 @@ use inferturbo_common::rows::{
 use inferturbo_common::{Error, FxHashMap, Result};
 
 /// Engine configuration.
+///
+/// # The `INFERTURBO_FAULTS` gotcha
+///
+/// [`PregelConfig::new`] **env-arms** faults: when the `INFERTURBO_FAULTS`
+/// variable is set (CI's recovery leg sets it for the whole suite), every
+/// freshly constructed config silently inherits that fault schedule plus a
+/// default [`RecoveryPolicy`]. A test that builds a "baseline" config for
+/// a comparison (e.g. fault-free vs injected, or a bit-identity oracle)
+/// must therefore pin `.with_faults(None).with_recovery(None)` — or use
+/// [`PregelConfig::unfaulted`], which is exactly that — otherwise the
+/// baseline itself runs faulted under the CI leg and the comparison
+/// measures nothing.
 #[derive(Debug, Clone)]
 pub struct PregelConfig {
     pub spec: ClusterSpec,
@@ -116,6 +128,17 @@ impl PregelConfig {
             faults,
             recovery,
         }
+    }
+
+    /// An explicitly fault-free config: [`PregelConfig::new`] with any
+    /// `INFERTURBO_FAULTS`-inherited schedule and recovery policy cleared.
+    /// This is what comparison baselines and bit-identity oracles should
+    /// build from (see the type docs for why `new` alone is not enough
+    /// under CI's recovery leg).
+    pub fn unfaulted(spec: ClusterSpec) -> Self {
+        PregelConfig::new(spec)
+            .with_faults(None)
+            .with_recovery(None)
     }
 
     pub fn with_activation(mut self, a: ActivationPolicy) -> Self {
@@ -1939,9 +1962,7 @@ mod tests {
             for workers in [2usize, 3] {
                 // Explicitly fault-free baseline (immune to a CI-forced
                 // INFERTURBO_FAULTS schedule).
-                let plain_cfg = PregelConfig::new(ClusterSpec::test_spec(workers))
-                    .with_faults(None)
-                    .with_recovery(None);
+                let plain_cfg = PregelConfig::unfaulted(ClusterSpec::test_spec(workers));
                 let mut plain = row_engine_with(plain_cfg, fused);
                 plain.run(2).unwrap();
                 let plan =
@@ -2048,9 +2069,7 @@ mod tests {
     #[test]
     fn checkpoint_cadence_is_reported() {
         let spec = ClusterSpec::test_spec(2);
-        let cfg = PregelConfig::new(spec)
-            .with_faults(None)
-            .with_recovery(Some(RecoveryPolicy::new(2, 1)));
+        let cfg = PregelConfig::unfaulted(spec).with_recovery(Some(RecoveryPolicy::new(2, 1)));
         let mut eng = pagerank_engine_with(cfg);
         eng.run(4).unwrap();
         // Due at steps 0 and 2; steps 1 and 3 are covered by the previous

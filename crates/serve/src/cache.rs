@@ -1,5 +1,9 @@
-//! The plan cache: one [`InferencePlan`] per serving configuration,
-//! planned on first use and shared by every subsequent request.
+//! The server's two caches: the **plan cache** (one [`InferencePlan`] per
+//! serving configuration, planned on first use and shared by every
+//! subsequent request) and the **response cache** ([`ResponseCache`]: the
+//! last known logits per node, backing degraded-mode
+//! [`ServedStale`](crate::ScoreStatus::ServedStale) answers under
+//! overload).
 //!
 //! Planning is the expensive, pure half of the session pipeline (record
 //! builds, shadow mirroring, hub sets, cost estimation); the JIT-style
@@ -15,9 +19,12 @@
 //! must see the plan's residency first) and keeps its own hit/miss
 //! counters in [`ServerStats`](crate::ServerStats).
 
+use crate::server::FeatureSnapshot;
 use inferturbo_common::FxHashMap;
 use inferturbo_core::session::Backend;
 use inferturbo_core::{InferencePlan, StrategyKey};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Identity of one planned serving configuration. `model` and `graph` are
 /// caller-assigned registry ids (see
@@ -84,6 +91,129 @@ impl<'a> PlanCache<'a> {
 
     pub fn is_empty(&self) -> bool {
         self.plans.is_empty()
+    }
+}
+
+/// Identity of the feature matrix a cached response was computed against.
+///
+/// Coalescing (and therefore response identity) is by `Arc` pointer, not
+/// value equality, so the cache key uses the snapshot's allocation address
+/// — with `0` as the sentinel for "the graph's own features" (`None`;
+/// graph identity is already part of the [`PlanKey`]). The cache **pins**
+/// the `Arc` of every snapshot it holds rows for, so an address can never
+/// be recycled for a different snapshot while rows keyed by it are alive
+/// (the ABA hazard of raw-pointer keys).
+fn snapshot_ident(features: &Option<FeatureSnapshot>) -> usize {
+    match features {
+        None => 0,
+        Some(snap) => Arc::as_ptr(snap) as usize,
+    }
+}
+
+type ResponseKey = (PlanKey, usize, u32);
+
+/// The degraded-mode response cache: the last known logits row per
+/// `(plan, feature snapshot, node)`.
+///
+/// Fresh successful runs populate it; requests refused by the rate
+/// limiter, a tripped circuit breaker, or an admission eviction are
+/// answered [`ServedStale`](crate::ScoreStatus::ServedStale) from it when
+/// every requested node hits — stale-but-instant beats failed, which is
+/// exactly the serving trade "Efficient GNN Inference at Large Scale"
+/// argues for repeated scores of unchanged nodes. Rows survive plan
+/// eviction on purpose: serving stale while the plan is gone is the whole
+/// point of a degraded mode.
+///
+/// Bounded by a row capacity with FIFO eviction — insertion order is
+/// deterministic (run completion order × node order), so the cache's
+/// contents replay bit-identically with the rest of the server.
+pub struct ResponseCache {
+    rows: FxHashMap<ResponseKey, Vec<f32>>,
+    /// Insertion order of live keys (FIFO eviction).
+    order: VecDeque<ResponseKey>,
+    capacity: usize,
+    /// Snapshot pins: `ident -> (the Arc, live-row refcount)`. Dropped at
+    /// zero — safe, because with no rows left under an ident a recycled
+    /// address can only ever be observed by *new* rows of the new
+    /// snapshot.
+    pins: FxHashMap<usize, (FeatureSnapshot, usize)>,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` logits rows (`0` disables it).
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            rows: FxHashMap::default(),
+            order: VecDeque::new(),
+            capacity,
+            pins: FxHashMap::default(),
+        }
+    }
+
+    /// Record node `node`'s logits row from a fresh run of `plan` against
+    /// `features`. Overwrites in place (runs are deterministic, so the row
+    /// is bit-identical anyway) without disturbing eviction order.
+    pub fn insert(
+        &mut self,
+        plan: PlanKey,
+        features: &Option<FeatureSnapshot>,
+        node: u32,
+        row: Vec<f32>,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (plan, snapshot_ident(features), node);
+        if let Some(existing) = self.rows.get_mut(&key) {
+            *existing = row;
+            return;
+        }
+        while self.rows.len() >= self.capacity {
+            let oldest = self.order.pop_front().expect("rows imply order entries");
+            self.rows.remove(&oldest);
+            self.unpin(oldest.1);
+        }
+        if let Some(snap) = features {
+            self.pins
+                .entry(key.1)
+                .or_insert_with(|| (Arc::clone(snap), 0))
+                .1 += 1;
+        }
+        self.rows.insert(key, row);
+        self.order.push_back(key);
+    }
+
+    /// The cached logits row for `(plan, features, node)`, if present.
+    pub fn get(
+        &self,
+        plan: &PlanKey,
+        features: &Option<FeatureSnapshot>,
+        node: u32,
+    ) -> Option<&[f32]> {
+        self.rows
+            .get(&(*plan, snapshot_ident(features), node))
+            .map(Vec::as_slice)
+    }
+
+    /// Live cached rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn unpin(&mut self, ident: usize) {
+        if ident == 0 {
+            return;
+        }
+        if let Some(entry) = self.pins.get_mut(&ident) {
+            entry.1 -= 1;
+            if entry.1 == 0 {
+                self.pins.remove(&ident);
+            }
+        }
     }
 }
 
@@ -158,5 +288,71 @@ mod tests {
         let mut cache = PlanCache::new();
         cache.insert(key, plan(&m, &g));
         cache.insert(key, plan(&m, &g));
+    }
+
+    fn rkey(model: u64) -> PlanKey {
+        PlanKey {
+            model,
+            graph: 1,
+            strategy: StrategyConfig::all().key(),
+            workers: 4,
+            backend: Backend::Pregel,
+            spill_budget: None,
+        }
+    }
+
+    #[test]
+    fn response_cache_keys_by_plan_snapshot_and_node() {
+        let mut c = ResponseCache::new(16);
+        let snap: FeatureSnapshot = Arc::new(vec![vec![0.0; 4]; 8]);
+        c.insert(rkey(1), &None, 3, vec![1.0, 2.0]);
+        c.insert(rkey(1), &Some(Arc::clone(&snap)), 3, vec![9.0, 9.0]);
+        // Same plan + node, different snapshot identity: distinct rows.
+        assert_eq!(c.get(&rkey(1), &None, 3), Some(&[1.0, 2.0][..]));
+        assert_eq!(c.get(&rkey(1), &Some(snap), 3), Some(&[9.0, 9.0][..]));
+        // Other plan / other node: misses.
+        assert_eq!(c.get(&rkey(2), &None, 3), None);
+        assert_eq!(c.get(&rkey(1), &None, 4), None);
+        // A fresh re-run overwrites in place (no growth).
+        c.insert(rkey(1), &None, 3, vec![5.0, 5.0]);
+        assert_eq!(c.get(&rkey(1), &None, 3), Some(&[5.0, 5.0][..]));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn response_cache_evicts_fifo_at_capacity() {
+        let mut c = ResponseCache::new(2);
+        c.insert(rkey(1), &None, 0, vec![0.0]);
+        c.insert(rkey(1), &None, 1, vec![1.0]);
+        c.insert(rkey(1), &None, 2, vec![2.0]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&rkey(1), &None, 0), None, "oldest row evicted");
+        assert!(c.get(&rkey(1), &None, 1).is_some());
+        assert!(c.get(&rkey(1), &None, 2).is_some());
+    }
+
+    #[test]
+    fn response_cache_capacity_zero_disables_caching() {
+        let mut c = ResponseCache::new(0);
+        c.insert(rkey(1), &None, 0, vec![0.0]);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&rkey(1), &None, 0), None);
+    }
+
+    #[test]
+    fn response_cache_pins_snapshots_against_address_reuse() {
+        let mut c = ResponseCache::new(4);
+        let snap: FeatureSnapshot = Arc::new(vec![vec![0.0; 4]; 8]);
+        let weak = Arc::downgrade(&snap);
+        c.insert(rkey(1), &Some(Arc::clone(&snap)), 0, vec![7.0]);
+        drop(snap);
+        // The cache's pin keeps the snapshot allocation alive, so its
+        // address cannot be recycled into a colliding key.
+        assert!(weak.upgrade().is_some(), "cache pins the snapshot Arc");
+        // Evicting the last row under the snapshot releases the pin.
+        for node in 1..=4 {
+            c.insert(rkey(1), &None, node, vec![0.0]);
+        }
+        assert!(weak.upgrade().is_none(), "last row out = pin released");
     }
 }

@@ -1,0 +1,173 @@
+//! Per-tenant rate limiting: tick-refilled token buckets.
+//!
+//! One production tenant must not be able to starve every other tenant by
+//! flooding the intake — the serving layer needs back-pressure that is
+//! *per traffic source*, not global. This module implements the classic
+//! token bucket, restated on the server's logical clock so traces replay
+//! bit-identically: tokens are integers, refill happens lazily from the
+//! tick delta at the next acquire, and no wall clock is consulted
+//! anywhere.
+//!
+//! A request carrying a [`ScoreRequest::tenant`](crate::ScoreRequest)
+//! pays one token at intake. An empty bucket applies the configured
+//! [`OverflowPolicy`]: `Reject` fast-fails the submit with a typed
+//! [`Overloaded`](inferturbo_common::Error::Overloaded) error, `Degrade`
+//! accepts the request but routes it to the degraded path — served stale
+//! from the response cache when a hit exists, resolved
+//! [`Throttled`](crate::ScoreStatus::Throttled) otherwise. Untenanted
+//! requests (internal traffic, tests) bypass the limiter entirely.
+
+use inferturbo_common::FxHashMap;
+
+/// What happens to a tenant's request once its bucket is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Fail the submit fast with a typed `Error::Overloaded` — nothing is
+    /// enqueued and no ticket is issued.
+    Reject,
+    /// Accept the request onto the degraded path: answered stale from the
+    /// response cache on a hit, resolved `Throttled` on a miss. Either
+    /// way it never reaches the engine.
+    Degrade,
+}
+
+/// Token-bucket shape shared by every tenant. All quantities are logical:
+/// integer tokens, refill per [`GnnServer::tick`](crate::GnnServer::tick).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimitConfig {
+    /// Bucket capacity = the largest same-tick burst a tenant can land.
+    pub capacity: u64,
+    /// Tokens granted per elapsed tick (capped at `capacity`).
+    pub refill_per_tick: u64,
+    /// Overflow behaviour once the bucket is empty.
+    pub policy: OverflowPolicy,
+}
+
+impl RateLimitConfig {
+    /// A degrading limiter: `capacity`-sized bursts, `refill` tokens per
+    /// tick, overflow served stale when possible.
+    pub fn degrade(capacity: u64, refill_per_tick: u64) -> Self {
+        RateLimitConfig {
+            capacity,
+            refill_per_tick,
+            policy: OverflowPolicy::Degrade,
+        }
+    }
+
+    /// A rejecting limiter: overflow fast-fails the submit.
+    pub fn reject(capacity: u64, refill_per_tick: u64) -> Self {
+        RateLimitConfig {
+            capacity,
+            refill_per_tick,
+            policy: OverflowPolicy::Reject,
+        }
+    }
+}
+
+/// One tenant's bucket. Refill is lazy: the elapsed-tick credit is
+/// applied at the next acquire, so the limiter does no per-tick sweep and
+/// idle tenants cost nothing.
+#[derive(Debug, Clone, Copy)]
+struct TokenBucket {
+    tokens: u64,
+    /// Logical tick the bucket was last refilled at.
+    refilled_at: u64,
+}
+
+/// The per-tenant limiter: a bucket per tenant id, created full on first
+/// sight (a new tenant gets its whole burst allowance).
+#[derive(Debug, Default)]
+pub struct TenantRateLimiter {
+    buckets: FxHashMap<u64, TokenBucket>,
+}
+
+impl TenantRateLimiter {
+    pub fn new() -> Self {
+        TenantRateLimiter::default()
+    }
+
+    /// Try to take one token from `tenant`'s bucket at logical time
+    /// `now`. Returns whether the request is inside the tenant's rate.
+    ///
+    /// Deterministic by construction: the outcome depends only on the
+    /// tenant's acquire history and the tick deltas between acquires —
+    /// the same trace replays to the same admit/deny sequence.
+    pub fn try_acquire(&mut self, cfg: &RateLimitConfig, tenant: u64, now: u64) -> bool {
+        let b = self.buckets.entry(tenant).or_insert(TokenBucket {
+            tokens: cfg.capacity,
+            refilled_at: now,
+        });
+        let elapsed = now.saturating_sub(b.refilled_at);
+        b.tokens = b
+            .tokens
+            .saturating_add(elapsed.saturating_mul(cfg.refill_per_tick))
+            .min(cfg.capacity);
+        b.refilled_at = now;
+        if b.tokens > 0 {
+            b.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tenants with a bucket open (i.e. seen at least once).
+    pub fn tenants(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_throttle_then_refill() {
+        let cfg = RateLimitConfig::degrade(3, 1);
+        let mut l = TenantRateLimiter::new();
+        // A new tenant gets its full burst...
+        assert!((0..3).all(|_| l.try_acquire(&cfg, 7, 10)));
+        // ...then the bucket is dry within the tick.
+        assert!(!l.try_acquire(&cfg, 7, 10));
+        // One elapsed tick grants one token; two grant two.
+        assert!(l.try_acquire(&cfg, 7, 11));
+        assert!(!l.try_acquire(&cfg, 7, 11));
+        assert!(l.try_acquire(&cfg, 7, 13));
+        assert!(l.try_acquire(&cfg, 7, 13));
+        assert!(!l.try_acquire(&cfg, 7, 13));
+    }
+
+    #[test]
+    fn refill_caps_at_capacity() {
+        let cfg = RateLimitConfig::reject(2, 5);
+        let mut l = TenantRateLimiter::new();
+        assert!(l.try_acquire(&cfg, 1, 0));
+        assert!(l.try_acquire(&cfg, 1, 0));
+        assert!(!l.try_acquire(&cfg, 1, 0));
+        // A long idle stretch never banks more than `capacity`.
+        assert!(l.try_acquire(&cfg, 1, 1_000));
+        assert!(l.try_acquire(&cfg, 1, 1_000));
+        assert!(!l.try_acquire(&cfg, 1, 1_000));
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let cfg = RateLimitConfig::degrade(1, 0);
+        let mut l = TenantRateLimiter::new();
+        assert!(l.try_acquire(&cfg, 1, 0));
+        assert!(!l.try_acquire(&cfg, 1, 0), "tenant 1 is dry");
+        assert!(
+            l.try_acquire(&cfg, 2, 0),
+            "tenant 2's bucket is untouched by tenant 1's burst"
+        );
+        assert_eq!(l.tenants(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_admits_nothing() {
+        let cfg = RateLimitConfig::reject(0, 1);
+        let mut l = TenantRateLimiter::new();
+        assert!(!l.try_acquire(&cfg, 9, 0));
+        assert!(!l.try_acquire(&cfg, 9, 100), "refill caps at capacity 0");
+    }
+}

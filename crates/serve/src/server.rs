@@ -3,7 +3,9 @@
 //! determinism contract.
 
 use crate::admission::{Admission, AdmissionController, AdmissionPolicy};
-use crate::cache::{PlanCache, PlanKey};
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::cache::{PlanCache, PlanKey, ResponseCache};
+use crate::limiter::{OverflowPolicy, RateLimitConfig, TenantRateLimiter};
 use crate::stats::ServerStats;
 use inferturbo_cluster::ClusterSpec;
 use inferturbo_common::{Error, FxHashMap, FxHashSet, ReorderBuffer, Result, Ticket, TicketLine};
@@ -69,11 +71,70 @@ pub struct ServeConfig {
     /// and this `None`, runs fail fast and resilience lives entirely in
     /// the serve layer's retry/quarantine machinery.
     pub recovery: Option<inferturbo_cluster::RecoveryPolicy>,
+    /// Per-tenant token-bucket rate limit (see [`crate::limiter`]). `None`
+    /// disables the limiter; requests without a
+    /// [`ScoreRequest::with_tenant`] id always bypass it.
+    pub rate_limit: Option<RateLimitConfig>,
+    /// Per-plan circuit breaker thresholds (see [`crate::breaker`]): the
+    /// *soft*, failure-rate tier of containment over the quarantine's
+    /// hard consecutive-loss tier. `None` disables breakers.
+    pub breaker: Option<BreakerConfig>,
+    /// Row capacity of the degraded-mode [`ResponseCache`] (`0` disables
+    /// it): fresh runs record per-node logits, and throttled /
+    /// breaker-open / shed requests are answered
+    /// [`ScoreStatus::ServedStale`] from it when every requested node
+    /// hits.
+    pub response_cache: usize,
+    /// Clamp applied to request deadlines: a request carrying a
+    /// [`ScoreRequest::with_deadline`] larger than this is tightened to
+    /// it. Never *imposes* a deadline on a request that has none — that
+    /// keeps the `INFERTURBO_OVERLOAD` drill (which forces a tiny clamp)
+    /// inert for deadline-free traffic.
+    pub deadline_clamp: Option<u64>,
+}
+
+/// Parse the `INFERTURBO_OVERLOAD` drill knob:
+/// `"bucket:B,refill:R[,deadline:D]"` forces a Degrade-policy rate limit
+/// of `B` tokens refilling `R`/tick onto every tenant-carrying request,
+/// and (optionally) clamps request deadlines to `D` ticks. Malformed
+/// input panics loudly — a drill that silently parses to nothing would
+/// "pass" without testing anything (same contract as
+/// `FaultPlan::from_env`).
+fn overload_from_env() -> Option<(RateLimitConfig, Option<u64>)> {
+    let spec = std::env::var("INFERTURBO_OVERLOAD").ok()?;
+    if spec.trim().is_empty() {
+        return None;
+    }
+    let mut bucket = None;
+    let mut refill = None;
+    let mut deadline = None;
+    for part in spec.split(',') {
+        let (key, value) = part
+            .split_once(':')
+            .unwrap_or_else(|| panic!("INFERTURBO_OVERLOAD: `{part}` is not `key:value`"));
+        let value: u64 = value
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("INFERTURBO_OVERLOAD: `{value}` is not a u64"));
+        match key.trim() {
+            "bucket" => bucket = Some(value),
+            "refill" => refill = Some(value),
+            "deadline" => deadline = Some(value),
+            other => panic!(
+                "INFERTURBO_OVERLOAD: unknown key `{other}` \
+                 (expected bucket/refill/deadline)"
+            ),
+        }
+    }
+    let (Some(bucket), Some(refill)) = (bucket, refill) else {
+        panic!("INFERTURBO_OVERLOAD: both `bucket` and `refill` are required");
+    };
+    Some((RateLimitConfig::degrade(bucket, refill), deadline))
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig {
+        let mut cfg = ServeConfig {
             max_batch: 16,
             max_wait: 4,
             // One production Pregel worker's memory: the same default cap
@@ -85,7 +146,20 @@ impl Default for ServeConfig {
             quarantine_after: 3,
             fault_plan: None,
             recovery: None,
+            rate_limit: None,
+            breaker: Some(BreakerConfig::default()),
+            response_cache: 4096,
+            deadline_clamp: None,
+        };
+        // The CI overload drill: arm an aggressive limiter + deadline
+        // clamp into every default-constructed server. Inert for the
+        // existing suite by design — untenanted requests bypass the
+        // limiter, and the clamp never imposes a deadline.
+        if let Some((rate_limit, deadline_clamp)) = overload_from_env() {
+            cfg.rate_limit = Some(rate_limit);
+            cfg.deadline_clamp = deadline_clamp;
         }
+        cfg
     }
 }
 
@@ -109,6 +183,16 @@ pub struct ScoreRequest {
     pub features: Option<FeatureSnapshot>,
     /// Node ids whose logits the response carries; empty = every node.
     pub targets: Vec<u32>,
+    /// Traffic source this request bills against for rate limiting
+    /// ([`ServeConfig::rate_limit`]). `None` (internal traffic, tests)
+    /// bypasses the limiter.
+    pub tenant: Option<u64>,
+    /// Logical-tick answer budget: the request tolerates waiting this many
+    /// **full** ticks in the queue (same partial-tick rule as
+    /// [`ServeConfig::max_wait`]). Expired requests resolve
+    /// [`ScoreStatus::DeadlineExceeded`] instead of occupying a batch
+    /// slot. `None` = wait forever.
+    pub deadline: Option<u64>,
 }
 
 impl ScoreRequest {
@@ -125,7 +209,22 @@ impl ScoreRequest {
             spill_budget: None,
             features: None,
             targets: Vec::new(),
+            tenant: None,
+            deadline: None,
         }
+    }
+
+    /// Bill this request against `tenant`'s rate-limit bucket.
+    pub fn with_tenant(mut self, tenant: u64) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// Give the request a queue-wait deadline of `ticks` full ticks (see
+    /// [`ScoreRequest::deadline`]).
+    pub fn with_deadline(mut self, ticks: u64) -> Self {
+        self.deadline = Some(ticks);
+        self
     }
 
     pub fn with_strategy(mut self, strategy: StrategyConfig) -> Self {
@@ -173,19 +272,37 @@ impl ScoreRequest {
     }
 }
 
-/// Terminal state of a request.
+/// Terminal state of a request. Every accepted submit reaches exactly one
+/// of these — the overload pipeline resolves, it never drops.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScoreStatus {
     /// Logits for the requested targets (request order), or for every node
     /// when the request named none. Behind an `Arc`: full-logits requests
     /// in one coalesced group all share the run's output allocation.
     Served(Arc<Vec<Vec<f32>>>),
+    /// Degraded-mode answer: the same shape as [`ScoreStatus::Served`],
+    /// but the rows come from the [`ResponseCache`] — bit-identical to
+    /// the fresh run that populated them, possibly computed against an
+    /// older cluster state. Produced when the rate limiter (under
+    /// [`OverflowPolicy::Degrade`]), an open circuit breaker, or an
+    /// admission eviction refused fresh work and every requested node had
+    /// a cached row.
+    ServedStale(Arc<Vec<Vec<f32>>>),
     /// The request's plan was evicted by [`AdmissionPolicy::ShedOldest`]
-    /// before its batch ran.
+    /// before its batch ran (and the response cache had no complete
+    /// answer for it).
     Shed,
-    /// The batch run failed (e.g. a simulated worker OOM); the message is
-    /// the run error.
-    Failed(String),
+    /// The request's [`deadline`](ScoreRequest::with_deadline) passed
+    /// before its group flushed; the engine never ran for it. Carries the
+    /// tick budget the request was willing to wait (post-clamp).
+    DeadlineExceeded { deadline: u64 },
+    /// The rate limiter refused the request under
+    /// [`OverflowPolicy::Degrade`] and the response cache had no complete
+    /// answer — the degraded path's "no" that still resolves the ticket.
+    Throttled,
+    /// The batch run failed (e.g. a simulated worker OOM); carries the
+    /// typed run error.
+    Failed(Error),
 }
 
 /// A completed request, tagged with its submission ticket.
@@ -196,11 +313,34 @@ pub struct ScoreResponse {
 }
 
 impl ScoreResponse {
-    /// The served logits, if the request succeeded.
+    /// The answered logits — fresh **or stale** — if the request got any.
     pub fn logits(&self) -> Option<&[Vec<f32>]> {
         match &self.status {
-            ScoreStatus::Served(l) => Some(l.as_slice()),
+            ScoreStatus::Served(l) | ScoreStatus::ServedStale(l) => Some(l.as_slice()),
             _ => None,
+        }
+    }
+
+    /// True when the answer came from the degraded path's response cache.
+    pub fn is_stale(&self) -> bool {
+        matches!(self.status, ScoreStatus::ServedStale(_))
+    }
+
+    /// The response as a typed result: logits (fresh or stale) on
+    /// success, the matching [`Error`] otherwise.
+    pub fn as_result(&self) -> Result<&[Vec<f32>]> {
+        match &self.status {
+            ScoreStatus::Served(l) | ScoreStatus::ServedStale(l) => Ok(l.as_slice()),
+            ScoreStatus::Shed => Err(Error::Overloaded(
+                "plan evicted by admission before the batch ran".into(),
+            )),
+            ScoreStatus::DeadlineExceeded { deadline } => Err(Error::DeadlineExceeded {
+                deadline: *deadline,
+            }),
+            ScoreStatus::Throttled => Err(Error::Overloaded(
+                "tenant rate limit exceeded and no cached response".into(),
+            )),
+            ScoreStatus::Failed(e) => Err(e.clone()),
         }
     }
 }
@@ -212,6 +352,11 @@ struct PendingReq {
     /// Globally unique submission ticket (what the caller holds).
     ticket: Ticket,
     targets: Vec<u32>,
+    /// Deadline as `(expires_after, budget)`: the request expires once
+    /// the clock moves **past** `expires_after` (same `>` rule as
+    /// `max_wait`); `budget` is the post-clamp tick allowance, carried
+    /// into the terminal status.
+    deadline: Option<(u64, u64)>,
 }
 
 /// Requests sharing one feature snapshot, awaiting one batched run.
@@ -269,12 +414,19 @@ pub struct GnnServer<'a> {
     /// Plans currently refusing new submissions (see
     /// [`ServeConfig::quarantine_after`]).
     quarantined: FxHashSet<PlanKey>,
+    /// Per-tenant token buckets ([`ServeConfig::rate_limit`]).
+    limiter: TenantRateLimiter,
+    /// Per-plan failure-rate breakers ([`ServeConfig::breaker`]).
+    breakers: FxHashMap<PlanKey, CircuitBreaker>,
+    /// Degraded-mode response rows ([`ServeConfig::response_cache`]).
+    responses: ResponseCache,
 }
 
 impl<'a> GnnServer<'a> {
     pub fn new(cfg: ServeConfig) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         let admission = AdmissionController::new(cfg.memory_budget, cfg.policy);
+        let responses = ResponseCache::new(cfg.response_cache);
         GnnServer {
             cfg,
             models: FxHashMap::default(),
@@ -290,6 +442,9 @@ impl<'a> GnnServer<'a> {
             stats: ServerStats::default(),
             failures: FxHashMap::default(),
             quarantined: FxHashSet::default(),
+            limiter: TenantRateLimiter::new(),
+            breakers: FxHashMap::default(),
+            responses,
         }
     }
 
@@ -384,6 +539,69 @@ impl<'a> GnnServer<'a> {
                 graph.n_nodes()
             )));
         }
+        let n_nodes = graph.n_nodes();
+
+        // Deadline clamp: tighten a deadline the request already carries,
+        // never impose one (see `ServeConfig::deadline_clamp`).
+        let deadline = match (req.deadline, self.cfg.deadline_clamp) {
+            (Some(d), Some(clamp)) => Some(d.min(clamp)),
+            (d, _) => d,
+        };
+
+        // Per-tenant rate limiting: one token per tenant-carrying request.
+        // Checked before any planning — refusing work cheaply is the whole
+        // point of back-pressure.
+        if let (Some(rl), Some(tenant)) = (self.cfg.rate_limit, req.tenant) {
+            if !self.limiter.try_acquire(&rl, tenant, self.clock) {
+                return match rl.policy {
+                    OverflowPolicy::Reject => {
+                        self.stats.overload.throttled += 1;
+                        Err(Error::Overloaded(format!(
+                            "tenant {tenant} exceeded its rate limit \
+                             ({} tokens, +{}/tick)",
+                            rl.capacity, rl.refill_per_tick
+                        )))
+                    }
+                    OverflowPolicy::Degrade => {
+                        Ok(self.resolve_degraded(key, &req.features, &req.targets, n_nodes))
+                    }
+                };
+            }
+        }
+
+        // Circuit breaker: an Open plan runs nothing — answer stale from
+        // the response cache when possible, fast-fail otherwise. HalfOpen
+        // admits normally (the next flushed batch is the probe).
+        if let Some(bc) = self.cfg.breaker {
+            let clock = self.clock;
+            let open = self
+                .breakers
+                .get_mut(&key)
+                .is_some_and(|b| b.state(&bc, clock) == BreakerState::Open);
+            if open {
+                self.stats.overload.breaker_rejections += 1;
+                return match self.stale_lookup(&key, &req.features, &req.targets, n_nodes) {
+                    Some(rows) => {
+                        let ticket = self.tickets.issue();
+                        self.stats.submitted += 1;
+                        self.stats.overload.served_stale += 1;
+                        self.ready.insert(
+                            ticket.0,
+                            ScoreResponse {
+                                ticket,
+                                status: ScoreStatus::ServedStale(rows),
+                            },
+                        );
+                        Ok(ticket)
+                    }
+                    None => Err(Error::Overloaded(format!(
+                        "circuit breaker open for model {} graph {} \
+                         (failure rate tripped; probes resume after {} ticks)",
+                        req.model, req.graph, bc.cooldown_ticks
+                    ))),
+                };
+            }
+        }
 
         // Plan + admission-gate on first use of this configuration.
         if self.cache.contains(&key) {
@@ -465,6 +683,7 @@ impl<'a> GnnServer<'a> {
             seq,
             ticket,
             targets: req.targets,
+            deadline: deadline.map(|d| (clock + d, d)),
         });
         let full = q.groups[gi].requests.len() >= self.cfg.max_batch;
         self.pending += 1;
@@ -536,10 +755,26 @@ impl<'a> GnnServer<'a> {
         self.quarantined.len()
     }
 
+    /// Logits rows currently held by the degraded-mode response cache.
+    pub fn cached_responses(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// The circuit-breaker state of `key`'s plan right now. `None` when
+    /// breakers are disabled or the plan has never completed a run.
+    pub fn breaker_state(&mut self, key: &PlanKey) -> Option<BreakerState> {
+        let bc = self.cfg.breaker?;
+        let clock = self.clock;
+        self.breakers.get_mut(key).map(|b| b.state(&bc, clock))
+    }
+
     /// Flush due (or, with `all`, every) groups in deterministic order:
-    /// plans in first-submission order, groups in arrival order.
+    /// plans in first-submission order, groups in arrival order. The
+    /// deadline-expiry pass runs first, so expired work never occupies a
+    /// batch slot in the flushes that follow.
     fn flush_due(&mut self, all: bool) -> usize {
         let completed_before = self.completed();
+        self.expire_deadlines();
         let keys = self.queue_order.clone();
         for key in keys {
             while let Some(q) = self.queues.get(&key) {
@@ -560,7 +795,119 @@ impl<'a> GnnServer<'a> {
     }
 
     fn completed(&self) -> usize {
-        (self.stats.served + self.stats.failed + self.stats.shed) as usize
+        (self.stats.served
+            + self.stats.failed
+            + self.stats.shed
+            + self.stats.overload.deadline_exceeded
+            + self.stats.overload.served_stale
+            + self.stats.overload.throttled) as usize
+    }
+
+    /// The deadline-expiry pass: resolve every queued request whose
+    /// deadline has passed (`clock > submit_clock + deadline` — the same
+    /// full-tick rule as `max_wait` aging) as
+    /// [`ScoreStatus::DeadlineExceeded`], *through the plan's FIFO gate*
+    /// (expired requests hold per-plan seqs, so releasing them any other
+    /// way would wedge the gate). Groups emptied by expiry are removed so
+    /// they can never flush as zero-request batches.
+    fn expire_deadlines(&mut self) {
+        let clock = self.clock;
+        let keys = self.queue_order.clone();
+        for key in keys {
+            let Some(q) = self.queues.get_mut(&key) else {
+                continue;
+            };
+            let mut expired = 0u64;
+            for g in &mut q.groups {
+                let mut kept = Vec::with_capacity(g.requests.len());
+                for req in g.requests.drain(..) {
+                    match req.deadline {
+                        Some((expires_after, budget)) if clock > expires_after => {
+                            expired += 1;
+                            q.reorder.push(
+                                req.seq,
+                                ScoreResponse {
+                                    ticket: req.ticket,
+                                    status: ScoreStatus::DeadlineExceeded { deadline: budget },
+                                },
+                            );
+                        }
+                        _ => kept.push(req),
+                    }
+                }
+                g.requests = kept;
+            }
+            if expired == 0 {
+                continue;
+            }
+            q.groups.retain(|g| !g.requests.is_empty());
+            self.pending -= expired as usize;
+            self.stats.overload.deadline_exceeded += expired;
+            for resp in q.reorder.drain_ready() {
+                self.ready.insert(resp.ticket.0, resp);
+            }
+        }
+    }
+
+    /// Assemble a stale answer for `targets` (empty = every node) if the
+    /// response cache holds **every** requested row — a partial answer is
+    /// no answer. Counts one response-cache hit or miss per lookup.
+    fn stale_lookup(
+        &mut self,
+        key: &PlanKey,
+        features: &Option<FeatureSnapshot>,
+        targets: &[u32],
+        n_nodes: usize,
+    ) -> Option<Arc<Vec<Vec<f32>>>> {
+        let all: Vec<u32>;
+        let wanted: &[u32] = if targets.is_empty() {
+            all = (0..n_nodes as u32).collect();
+            &all
+        } else {
+            targets
+        };
+        let mut rows = Vec::with_capacity(wanted.len());
+        for &v in wanted {
+            match self.responses.get(key, features, v) {
+                Some(row) => rows.push(row.to_vec()),
+                None => {
+                    self.stats.overload.cache_misses += 1;
+                    return None;
+                }
+            }
+        }
+        self.stats.overload.cache_hits += 1;
+        Some(Arc::new(rows))
+    }
+
+    /// Resolve a rate-limited request on the degraded path: a ticket is
+    /// issued and immediately resolved — [`ScoreStatus::ServedStale`] on a
+    /// full response-cache hit, [`ScoreStatus::Throttled`] otherwise. The
+    /// request is never enqueued and takes **no per-plan seq**: the
+    /// degraded path bypasses the FIFO gate by design (it must neither
+    /// wait behind nor hold up fresh work).
+    fn resolve_degraded(
+        &mut self,
+        key: PlanKey,
+        features: &Option<FeatureSnapshot>,
+        targets: &[u32],
+        n_nodes: usize,
+    ) -> Ticket {
+        let ticket = self.tickets.issue();
+        self.stats.submitted += 1;
+        let status = match self.stale_lookup(&key, features, targets, n_nodes) {
+            Some(rows) => {
+                self.stats.overload.served_stale += 1;
+                ScoreStatus::ServedStale(rows)
+            }
+            None => {
+                self.stats.overload.throttled += 1;
+                ScoreStatus::Throttled
+            }
+        };
+        self.ready
+            .insert(ticket.0, ScoreResponse { ticket, status });
+        ticket
     }
 
     /// Execute one coalesced group: one `run`/`run_with_features` call,
@@ -572,7 +919,32 @@ impl<'a> GnnServer<'a> {
         };
         let group = q.groups.remove(gi);
         self.pending -= group.requests.len();
-        let plan = self.cache.get(&key).expect("flushed plan must be cached");
+        let Some(plan) = self.cache.get(&key) else {
+            // A flushed group whose plan vanished from the cache is a
+            // serve-layer bug (eviction is supposed to shed the queue with
+            // it) — but it must cost the affected requests, not the whole
+            // process: resolve the group with a typed internal error and
+            // keep serving.
+            let err = Error::Internal(format!(
+                "flushed batch for model {} graph {} has no cached plan",
+                key.model, key.graph
+            ));
+            let q = self.queues.get_mut(&key).expect("queue exists");
+            for req in group.requests {
+                self.stats.failed += 1;
+                q.reorder.push(
+                    req.seq,
+                    ScoreResponse {
+                        ticket: req.ticket,
+                        status: ScoreStatus::Failed(err.clone()),
+                    },
+                );
+            }
+            for resp in q.reorder.drain_ready() {
+                self.ready.insert(resp.ticket.0, resp);
+            }
+            return;
+        };
         self.stats.batches += 1;
         // THE batching contract: a coalesced group is served by exactly
         // one *successful* plan execution — bit-identical to the caller
@@ -595,6 +967,27 @@ impl<'a> GnnServer<'a> {
                 other => break other,
             }
         };
+        // Feed the run's outcome to the plan's circuit breaker (the soft,
+        // failure-rate containment tier; see `crate::breaker`). A HalfOpen
+        // breaker treats this run as its probe.
+        if let Some(bc) = self.cfg.breaker {
+            let clock = self.clock;
+            let b = self.breakers.entry(key).or_default();
+            if b.record(&bc, clock, outcome.is_ok()) {
+                self.stats.overload.breaker_opens += 1;
+            }
+        }
+        // A successful run refreshes the degraded-mode response cache:
+        // every node's row, keyed by (plan, snapshot identity, node), in
+        // deterministic node order.
+        if self.cfg.response_cache > 0 {
+            if let Ok(out) = &outcome {
+                for (v, row) in out.logits.iter().enumerate() {
+                    self.responses
+                        .insert(key, &group.features, v as u32, row.clone());
+                }
+            }
+        }
         let q = self.queues.get_mut(&key).expect("queue exists");
         match outcome {
             Ok(out) => {
@@ -647,14 +1040,13 @@ impl<'a> GnnServer<'a> {
                 {
                     self.stats.quarantined += 1;
                 }
-                let msg = e.to_string();
                 for req in group.requests {
                     self.stats.failed += 1;
                     q.reorder.push(
                         req.seq,
                         ScoreResponse {
                             ticket: req.ticket,
-                            status: ScoreStatus::Failed(msg.clone()),
+                            status: ScoreStatus::Failed(e.clone()),
                         },
                     );
                 }
@@ -666,22 +1058,36 @@ impl<'a> GnnServer<'a> {
     }
 
     /// Drop an evicted plan: its cache entry goes away and every pending
-    /// request completes with [`ScoreStatus::Shed`]. (The admission
-    /// controller already released its residency.)
+    /// request completes — [`ScoreStatus::ServedStale`] when the response
+    /// cache still holds a full answer for it, [`ScoreStatus::Shed`]
+    /// otherwise. (The admission controller already released its
+    /// residency; response-cache rows outlive the plan on purpose.)
     fn evict(&mut self, key: &PlanKey) {
         self.cache.remove(key);
         self.failures.remove(key);
         self.quarantined.remove(key);
+        self.breakers.remove(key);
+        let n_nodes = self.graphs.get(&key.graph).map_or(0, |g| g.n_nodes());
         if let Some(mut q) = self.queues.remove(key) {
             for group in q.groups.drain(..) {
                 self.pending -= group.requests.len();
+                let features = group.features;
                 for req in group.requests {
-                    self.stats.shed += 1;
+                    let status = match self.stale_lookup(key, &features, &req.targets, n_nodes) {
+                        Some(rows) => {
+                            self.stats.overload.served_stale += 1;
+                            ScoreStatus::ServedStale(rows)
+                        }
+                        None => {
+                            self.stats.shed += 1;
+                            ScoreStatus::Shed
+                        }
+                    };
                     q.reorder.push(
                         req.seq,
                         ScoreResponse {
                             ticket: req.ticket,
-                            status: ScoreStatus::Shed,
+                            status,
                         },
                     );
                 }

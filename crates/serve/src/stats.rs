@@ -7,7 +7,7 @@
 //! queue got, and the accumulated per-plane message volume of every run
 //! executed on the server's behalf.
 
-use inferturbo_cluster::MessagePlaneBytes;
+use inferturbo_cluster::{MessagePlaneBytes, OverloadCounters};
 
 /// Counters accumulated by a [`GnnServer`](crate::GnnServer). Cheap to
 /// copy out; `Display` prints the one-page operator view.
@@ -47,6 +47,10 @@ pub struct ServerStats {
     pub plan_cache_hits: u64,
     /// Most requests ever pending at once.
     pub queue_depth_high_water: usize,
+    /// The overload plane: deadline expiries, throttling, stale service,
+    /// breaker activity and response-cache hit/miss counts (see
+    /// [`inferturbo_cluster::OverloadCounters`]).
+    pub overload: OverloadCounters,
     /// Message volume by plane, summed over every executed run.
     pub message_bytes: MessagePlaneBytes,
     /// Columnar inbox bytes paged to disk (the out-of-core plane), summed
@@ -98,6 +102,20 @@ impl std::fmt::Display for ServerStats {
             self.quarantined,
             self.quarantine_rejections
         )?;
+        writeln!(
+            f,
+            "  overload: {} deadline-exceeded, {} throttled, {} served stale; \
+             breaker {} opens ({} fast-fails); response cache {:.2} hit ratio \
+             ({}/{})",
+            self.overload.deadline_exceeded,
+            self.overload.throttled,
+            self.overload.served_stale,
+            self.overload.breaker_opens,
+            self.overload.breaker_rejections,
+            self.overload.cache_hit_ratio(),
+            self.overload.cache_hits,
+            self.overload.cache_hits + self.overload.cache_misses
+        )?;
         write!(
             f,
             "  traffic: columnar {} B, legacy {} B, spilled {} B; modelled run wall {:.2}s",
@@ -137,6 +155,28 @@ mod tests {
         assert!(text.contains("10 submitted"), "{text}");
         assert!(text.contains("coalescing 4.00 req/run"), "{text}");
         assert!(text.contains("high-water 5"), "{text}");
+    }
+
+    #[test]
+    fn display_surfaces_the_overload_plane() {
+        let s = ServerStats {
+            overload: OverloadCounters {
+                deadline_exceeded: 4,
+                throttled: 3,
+                served_stale: 2,
+                breaker_opens: 1,
+                breaker_rejections: 5,
+                cache_hits: 2,
+                cache_misses: 2,
+            },
+            ..ServerStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("4 deadline-exceeded"), "{text}");
+        assert!(text.contains("3 throttled"), "{text}");
+        assert!(text.contains("2 served stale"), "{text}");
+        assert!(text.contains("breaker 1 opens (5 fast-fails)"), "{text}");
+        assert!(text.contains("0.50 hit ratio (2/4)"), "{text}");
     }
 
     #[test]

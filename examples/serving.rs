@@ -23,7 +23,9 @@ use inferturbo::core::strategy::StrategyConfig;
 use inferturbo::core::train::{train, TrainConfig};
 use inferturbo::graph::gen::DegreeSkew;
 use inferturbo::graph::Dataset;
-use inferturbo::serve::{AdmissionPolicy, FeatureSnapshot, GnnServer, ScoreRequest, ServeConfig};
+use inferturbo::serve::{
+    AdmissionPolicy, FeatureSnapshot, GnnServer, RateLimitConfig, ScoreRequest, ServeConfig,
+};
 
 fn main() {
     // 1. A transaction graph with hub accounts and a quickly-trained
@@ -60,6 +62,12 @@ fn main() {
         max_wait: 2,
         memory_budget: budget,
         policy: AdmissionPolicy::Reject,
+        // Overload plane (step 7): tenanted bursts pay a 4-token bucket
+        // refilling 1/tick and degrade to cached rows when it runs dry;
+        // untenanted trace traffic never touches the limiter. The cache
+        // keeps two full refreshes of this 8k-node graph resident.
+        rate_limit: Some(RateLimitConfig::degrade(4, 1)),
+        response_cache: 16 * 1024,
         ..ServeConfig::default()
     });
     server.register_model(1, &model).unwrap();
@@ -168,7 +176,52 @@ fn main() {
         Err(e) => println!("spilled plan unexpectedly rejected: {e}"),
     }
 
-    // 7. The server report.
+    // 7. Overload drill: a noisy downstream tenant fires a burst against a
+    //    4-token bucket under the Degrade policy. The cache already holds
+    //    every scored row from the trace's runs, so the overflow is served
+    //    stale — bit-identical to the fresh rows — instead of being
+    //    dropped; a 0-tick deadline request expires before buying a batch
+    //    slot.
+    let burst_snapshot = &snapshots[2];
+    let noisy = base
+        .clone()
+        .with_tenant(42)
+        .with_snapshot(Arc::clone(burst_snapshot));
+    let mut burst = Vec::new();
+    for i in 0..8u32 {
+        burst.push(
+            server
+                .submit(noisy.clone().with_targets(vec![i]))
+                .expect("degrade policy always resolves"),
+        );
+    }
+    burst.push(
+        server
+            .submit(
+                base.clone()
+                    .with_snapshot(Arc::clone(burst_snapshot))
+                    .with_deadline(0)
+                    .with_targets(vec![0]),
+            )
+            .expect("submit"),
+    );
+    server.tick();
+    server.drain();
+    let (mut fresh, mut stale, mut expired) = (0, 0, 0);
+    for t in burst {
+        let resp = server.take(t).expect("overload resolves, it never drops");
+        match () {
+            _ if resp.is_stale() => stale += 1,
+            _ if resp.logits().is_some() => fresh += 1,
+            _ => expired += 1,
+        }
+    }
+    println!(
+        "\noverload burst: {fresh} served fresh, {stale} served stale from the \
+         response cache, {expired} deadline-expired"
+    );
+
+    // 8. The server report.
     println!("\n{}", server.stats());
     println!(
         "admission: {} plan(s) resident, ~{} of {} B budget in use",

@@ -6,9 +6,12 @@
 # Every workspace member — including the serving layer (crates/serve) —
 # rides the workspace-wide gates below; `parbench --smoke` additionally
 # exercises the serving path end-to-end (`serve/throughput_3k` submits,
-# batches and drains real requests through GnnServer every run) and the
-# out-of-core path (`engine/pregel_sage2_3k_spill` runs under the forced
-# spill budget below and asserts bytes actually paged through disk).
+# batches and drains real requests through GnnServer every run), the
+# overload-resilience path (`serve/overload_3k` rate-limits a tenant
+# spike and asserts stale service and deadline expiry actually engage),
+# and the out-of-core path (`engine/pregel_sage2_3k_spill` runs under the
+# forced spill budget below and asserts bytes actually paged through
+# disk).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -38,6 +41,18 @@ echo "== cargo test --workspace (forced fault schedule) =="
 # checkpoint/recovery gate; tests that set an explicit fault schedule or
 # recovery policy are immune by design.
 INFERTURBO_FAULTS=worker:1@step:1 cargo test --workspace -q
+
+echo "== serving tests (forced overload knobs) =="
+# Re-runs the serving suite with an aggressive Degrade-policy rate limit
+# and deadline clamp armed into every default-constructed ServeConfig
+# (ServeConfig::default reads INFERTURBO_OVERLOAD). Untenanted requests
+# bypass the limiter and the clamp only tightens deadlines a request
+# already carries, so the knob is inert for existing traffic — the leg
+# proves the overload plane can be armed fleet-wide without perturbing a
+# single served answer. Tests that pin rate_limit/deadline_clamp
+# explicitly are immune by design.
+INFERTURBO_OVERLOAD=bucket:1,refill:1,deadline:1 \
+    cargo test -q --test serving
 
 echo "== parbench --smoke (forced spill budget) =="
 cargo build --release -p inferturbo-bench

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use inferturbo::cluster::{ClusterSpec, FaultPlan, FaultSite, RecoveryPolicy};
-use inferturbo::common::Parallelism;
+use inferturbo::common::{Error, Parallelism};
 use inferturbo::core::baseline::{estimate_full_inference, BaselineConfig};
 use inferturbo::core::models::{GnnModel, PoolOp};
 use inferturbo::core::session::{Backend, InferenceSession};
@@ -355,7 +355,7 @@ fn serve_failed_batch_does_not_poison_the_next_batch() {
     let t1 = server.submit(req.clone()).unwrap();
     let r1 = server.take(t1).expect("failed response must be ready");
     match &r1.status {
-        ScoreStatus::Failed(msg) => assert!(msg.contains("worker"), "{msg}"),
+        ScoreStatus::Failed(err) => assert!(err.to_string().contains("worker"), "{err}"),
         other => panic!("expected Failed, got {other:?}"),
     }
     assert!(
@@ -533,4 +533,46 @@ fn serve_quarantine_lifts_when_pending_work_succeeds() {
         server.take(t4).unwrap().status,
         ScoreStatus::Served(_)
     ));
+}
+
+#[test]
+fn deadline_exceeded_is_never_transient_and_never_retried() {
+    // Classification: a missed deadline is a permanent, caller-owned
+    // outcome — retrying cannot un-miss it — unlike the lost-worker
+    // family the retry loop exists for.
+    let miss = Error::DeadlineExceeded { deadline: 3 };
+    assert!(!miss.is_transient());
+    assert!(Error::WorkerLost {
+        worker: 0,
+        detail: "compute fault".into()
+    }
+    .is_transient());
+
+    // End-to-end: an expired request resolves without the engine ever
+    // running — no batch, no retry, even with a generous retry budget.
+    let d = dataset();
+    let m = model(d.graph.node_feat_dim());
+    let mut server = GnnServer::new(ServeConfig {
+        max_batch: 8,
+        max_wait: 10,
+        max_run_retries: 3,
+        ..ServeConfig::default()
+    });
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &d.graph).unwrap();
+    let t = server
+        .submit(
+            ScoreRequest::new(1, 1)
+                .with_workers(4)
+                .with_deadline(0)
+                .with_targets(vec![7]),
+        )
+        .unwrap();
+    server.tick();
+    let resp = server.take(t).unwrap();
+    assert_eq!(resp.status, ScoreStatus::DeadlineExceeded { deadline: 0 });
+    assert!(!resp.as_result().unwrap_err().is_transient());
+    assert_eq!(server.stats().batches, 0, "the engine never ran");
+    assert_eq!(server.stats().run_retries, 0, "nothing to retry");
+    assert_eq!(server.stats().overload.deadline_exceeded, 1);
 }

@@ -18,9 +18,15 @@
 //!    spill-aware `PlanEstimate`, so a configuration the fleet rejected
 //!    at its in-memory residency admits — and serves bit-identically —
 //!    once it pages its inboxes to disk.
+//! 6. **Overload resolves, it never drops**: under a mixed
+//!    deadline/throttle/breaker/stale trace every submitted request
+//!    reaches exactly one terminal `ScoreStatus`, the whole pipeline
+//!    replays identically at every thread count, and a `ServedStale`
+//!    answer is bit-identical to the fresh run that populated the cache.
 
 use std::sync::Arc;
 
+use inferturbo::cluster::{FaultPlan, FaultSite};
 use inferturbo::common::Parallelism;
 use inferturbo::core::models::{GnnModel, PoolOp};
 use inferturbo::core::session::{Backend, InferenceSession};
@@ -28,7 +34,8 @@ use inferturbo::core::strategy::StrategyConfig;
 use inferturbo::graph::gen::{generate, DegreeSkew, GenConfig};
 use inferturbo::graph::Graph;
 use inferturbo::serve::{
-    AdmissionPolicy, FeatureSnapshot, GnnServer, ScoreRequest, ScoreStatus, ServeConfig,
+    AdmissionPolicy, BreakerConfig, FeatureSnapshot, GnnServer, RateLimitConfig, ScoreRequest,
+    ScoreStatus, ServeConfig, ServerStats,
 };
 
 fn test_graph(skew: DegreeSkew) -> Graph {
@@ -563,4 +570,326 @@ fn mapreduce_plans_serve_and_account() {
     for t in [t1, t2] {
         assert_eq!(bits(server.take(t).unwrap().logits().unwrap()), want);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Overload resilience: deadlines, rate limits, breakers, stale service
+// ---------------------------------------------------------------------------
+
+/// The overload pipeline's knobs, pinned explicitly (immune to the
+/// `INFERTURBO_OVERLOAD` CI drill, which only reaches defaulted fields):
+/// a 2-token Degrade-policy bucket, a 2-run/50% breaker with a 2-tick
+/// cooldown, no serve retries and no quarantine — the breaker is the only
+/// containment actor — and a fault schedule that fails exactly the first
+/// two runs.
+fn overload_trace_config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        max_wait: 10,
+        max_run_retries: 0,
+        quarantine_after: 0,
+        fault_plan: Some(
+            FaultPlan::new().and_fail_times(FaultSite::WorkerCompute { worker: 0, step: 1 }, 2),
+        ),
+        recovery: None,
+        rate_limit: Some(RateLimitConfig::degrade(2, 1)),
+        breaker: Some(BreakerConfig {
+            window_ticks: 8,
+            min_runs: 2,
+            trip_pct: 50,
+            cooldown_ticks: 2,
+        }),
+        response_cache: 4096,
+        deadline_clamp: None,
+        ..ServeConfig::default()
+    }
+}
+
+/// Replay the mixed overload trace once: two failing runs trip the
+/// breaker, an open-breaker submit fast-fails, the cooldown probe
+/// recovers and fills the response cache, a tenant burst throttles into
+/// stale service, a deadline expires, and an uncached-snapshot throttle
+/// resolves `Throttled` — every stage of the pipeline in one script.
+///
+/// Returns the final [`ServerStats`] and every response as
+/// `(ticket, status kind, logits bits)`, and asserts the terminal-status
+/// invariant inline: the response set is exactly the ticket set (no
+/// request lost, none resolved twice).
+#[allow(clippy::type_complexity)]
+fn run_overload_trace(
+    g: &Graph,
+    m: &GnnModel,
+) -> (ServerStats, Vec<(u64, &'static str, Option<Vec<Vec<u32>>>)>) {
+    let mut server = GnnServer::new(overload_trace_config());
+    server.register_model(1, m).unwrap();
+    server.register_graph(1, g).unwrap();
+    let base = ScoreRequest::new(1, 1)
+        .with_workers(4)
+        .with_backend(Backend::Pregel);
+    let mut tickets = Vec::new();
+
+    // Phase 1 — the armed fault fails the first two runs; the breaker's
+    // 2-run window hits 100% failure on the second and opens.
+    for _ in 0..2 {
+        tickets.push(
+            server
+                .submit(base.clone().with_targets(vec![0, 1]))
+                .unwrap(),
+        );
+        server.drain();
+    }
+    // Phase 2 — breaker open, response cache still empty: fast-fail.
+    let err = server
+        .submit(base.clone().with_targets(vec![0, 1]))
+        .unwrap_err();
+    assert!(err.to_string().contains("circuit breaker open"), "{err}");
+    // Phase 3 — the 2-tick cooldown elapses; the next batch is the
+    // HalfOpen probe. It succeeds (the fault budget is drained),
+    // re-closes the breaker, and fills the cache with every node's row.
+    for _ in 0..3 {
+        server.tick();
+    }
+    tickets.push(server.submit(base.clone()).unwrap());
+    server.drain();
+    // Phase 4 — tenant burst: the 2-token bucket admits two fresh
+    // requests; the overflow degrades and now finds cached rows.
+    for _ in 0..4 {
+        tickets.push(
+            server
+                .submit(base.clone().with_tenant(9).with_targets(vec![1]))
+                .unwrap(),
+        );
+    }
+    server.drain();
+    // Phase 5 — deadlines: a 0-tick budget expires at the next tick; a
+    // 5-tick budget survives to the drain and serves.
+    tickets.push(
+        server
+            .submit(base.clone().with_deadline(0).with_targets(vec![2]))
+            .unwrap(),
+    );
+    tickets.push(
+        server
+            .submit(base.clone().with_deadline(5).with_targets(vec![2]))
+            .unwrap(),
+    );
+    server.tick();
+    server.drain();
+    // Phase 6 — a throttled request naming a snapshot the cache has never
+    // seen cannot be served stale: it resolves `Throttled`.
+    let snap = snapshot_scaled(g, 0.7);
+    tickets.push(
+        server
+            .submit(
+                base.clone()
+                    .with_tenant(9)
+                    .with_snapshot(Arc::clone(&snap))
+                    .with_targets(vec![0]),
+            )
+            .unwrap(),
+    );
+    tickets.push(
+        server
+            .submit(
+                base.clone()
+                    .with_tenant(9)
+                    .with_snapshot(Arc::clone(&snap))
+                    .with_targets(vec![0]),
+            )
+            .unwrap(),
+    );
+    server.drain();
+
+    let responses: Vec<(u64, &'static str, Option<Vec<Vec<u32>>>)> = server
+        .drain_ready()
+        .into_iter()
+        .map(|r| {
+            let kind = match &r.status {
+                ScoreStatus::Served(_) => "served",
+                ScoreStatus::ServedStale(_) => "stale",
+                ScoreStatus::Shed => "shed",
+                ScoreStatus::DeadlineExceeded { .. } => "deadline",
+                ScoreStatus::Throttled => "throttled",
+                ScoreStatus::Failed(_) => "failed",
+            };
+            let b = r.logits().map(bits);
+            (r.ticket.0, kind, b)
+        })
+        .collect();
+
+    // ACCEPTANCE: every submitted request reached exactly one terminal
+    // status — the response set is exactly the ticket set.
+    let mut got: Vec<u64> = responses.iter().map(|r| r.0).collect();
+    got.sort_unstable();
+    let mut want: Vec<u64> = tickets.iter().map(|t| t.0).collect();
+    want.sort_unstable();
+    assert_eq!(got, want, "no request lost, none resolved twice");
+    assert_eq!(server.pending(), 0);
+    assert_eq!(server.ready_len(), 0);
+    for t in tickets {
+        assert!(
+            server.take(t).is_none(),
+            "tickets are consumed exactly once"
+        );
+    }
+    (server.stats().clone(), responses)
+}
+
+#[test]
+fn overload_trace_resolves_every_request_and_counts_every_stage() {
+    let g = test_graph(DegreeSkew::In);
+    let m = GnnModel::sage(5, 8, 2, 3, false, PoolOp::Mean, 5);
+    let (stats, responses) = run_overload_trace(&g, &m);
+
+    let count = |kind: &str| responses.iter().filter(|r| r.1 == kind).count() as u64;
+    assert_eq!(count("failed"), 2, "two faulted runs");
+    assert_eq!(
+        count("served"),
+        5,
+        "probe + 2 fresh tenant + deadline-5 + snapshot"
+    );
+    assert_eq!(count("stale"), 2, "the tenant burst's overflow");
+    assert_eq!(count("deadline"), 1);
+    assert_eq!(count("throttled"), 1, "uncached snapshot overflow");
+    assert_eq!(count("shed"), 0);
+
+    assert_eq!(stats.submitted, 11);
+    assert_eq!(stats.served, 5);
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.overload.served_stale, 2);
+    assert_eq!(stats.overload.throttled, 1);
+    assert_eq!(stats.overload.deadline_exceeded, 1);
+    assert_eq!(stats.overload.breaker_opens, 1);
+    assert_eq!(stats.overload.breaker_rejections, 1);
+    assert_eq!(stats.overload.cache_hits, 2);
+    assert_eq!(
+        stats.overload.cache_misses, 2,
+        "open-breaker miss + snapshot miss"
+    );
+    assert_eq!(
+        stats.batches, 6,
+        "expired and degraded work never bought a run"
+    );
+
+    // The stale answers are bit-identical to the probe run's rows: both
+    // tenant-overflow responses asked for node 1, and the probe response
+    // carried every node.
+    let probe = responses
+        .iter()
+        .find(|r| r.1 == "served")
+        .and_then(|r| r.2.clone())
+        .expect("probe served full logits");
+    for r in responses.iter().filter(|r| r.1 == "stale") {
+        assert_eq!(
+            r.2.as_deref(),
+            Some(&[probe[1].clone()][..]),
+            "stale row == populating run's row"
+        );
+    }
+}
+
+/// Same trace + same config => identical stats and bit-identical
+/// responses at every thread budget: the whole overload pipeline (token
+/// buckets, breaker windows, expiry, cache contents) lives on the logical
+/// clock, so parallelism cannot perturb it.
+#[test]
+fn overload_trace_is_deterministic_across_thread_counts() {
+    let g = test_graph(DegreeSkew::In);
+    let m = GnnModel::sage(5, 8, 2, 3, false, PoolOp::Mean, 5);
+    let baseline = Parallelism::with(1, || run_overload_trace(&g, &m));
+    for threads in [2usize, 4] {
+        let got = Parallelism::with(threads, || run_overload_trace(&g, &m));
+        assert_eq!(
+            got.0, baseline.0,
+            "ServerStats diverged at {threads} threads"
+        );
+        assert_eq!(got.1, baseline.1, "responses diverged at {threads} threads");
+    }
+}
+
+/// ACCEPTANCE: a `ServedStale` response is bit-identical to the fresh run
+/// that populated the cache — full-logits answers and target slices both.
+#[test]
+fn served_stale_is_bit_identical_to_the_populating_run() {
+    let g = test_graph(DegreeSkew::In);
+    let m = GnnModel::sage(5, 8, 2, 3, false, PoolOp::Mean, 9);
+    let mut server = GnnServer::new(ServeConfig {
+        max_batch: 1,
+        // One token, never refilled: the second tenant request degrades.
+        rate_limit: Some(RateLimitConfig::degrade(1, 0)),
+        deadline_clamp: None,
+        ..ServeConfig::default()
+    });
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &g).unwrap();
+    let base = ScoreRequest::new(1, 1).with_workers(4);
+    // Fresh untenanted full-logits run populates the cache.
+    let t_fresh = server.submit(base.clone()).unwrap();
+    let fresh = server.take(t_fresh).unwrap();
+    assert!(!fresh.is_stale());
+    let fresh_bits = bits(fresh.logits().unwrap());
+    // Tenant 3 burns its only token on a fresh request...
+    server
+        .submit(base.clone().with_tenant(3).with_targets(vec![5]))
+        .unwrap();
+    // ...so its next full-logits request is served from the cache.
+    let t_stale = server.submit(base.clone().with_tenant(3)).unwrap();
+    let stale = server.take(t_stale).unwrap();
+    assert!(stale.is_stale());
+    assert_eq!(
+        bits(stale.logits().unwrap()),
+        fresh_bits,
+        "stale full-logits answer == populating run"
+    );
+    // Target slices come from the same rows.
+    let t_slice = server
+        .submit(base.clone().with_tenant(3).with_targets(vec![5, 17]))
+        .unwrap();
+    let slice = server.take(t_slice).unwrap();
+    assert!(slice.is_stale());
+    assert_eq!(
+        bits(slice.logits().unwrap()),
+        vec![fresh_bits[5].clone(), fresh_bits[17].clone()]
+    );
+    assert_eq!(server.stats().overload.served_stale, 2);
+    assert!(server.stats().overload.cache_hit_ratio() > 0.99);
+}
+
+/// Deadline expiry is ordered before aging inside a tick: a request whose
+/// deadline and group age fire on the same tick resolves
+/// `DeadlineExceeded` and never occupies a slot in the batch that flushes.
+#[test]
+fn deadline_expiry_runs_before_aging_and_frees_the_batch_slot() {
+    let g = test_graph(DegreeSkew::In);
+    let m = GnnModel::sage(5, 8, 2, 3, false, PoolOp::Mean, 9);
+    let mut server = GnnServer::new(ServeConfig {
+        max_batch: 100,
+        max_wait: 0,
+        deadline_clamp: None,
+        ..ServeConfig::default()
+    });
+    server.register_model(1, &m).unwrap();
+    server.register_graph(1, &g).unwrap();
+    let base = ScoreRequest::new(1, 1)
+        .with_workers(4)
+        .with_targets(vec![0]);
+    // Same group: D (deadline 0) and K (no deadline), both due next tick.
+    let t_d = server.submit(base.clone().with_deadline(0)).unwrap();
+    let t_k = server.submit(base).unwrap();
+    assert_eq!(server.tick(), 2, "both resolve on the tick");
+    let d = server.take(t_d).unwrap();
+    assert_eq!(d.status, ScoreStatus::DeadlineExceeded { deadline: 0 });
+    let d_err = d.as_result().unwrap_err();
+    assert!(!d_err.is_transient(), "missed deadlines are never retried");
+    assert!(matches!(
+        server.take(t_k).unwrap().status,
+        ScoreStatus::Served(_)
+    ));
+    assert_eq!(server.stats().overload.deadline_exceeded, 1);
+    assert_eq!(server.stats().served, 1);
+    assert_eq!(
+        server.stats().batches,
+        1,
+        "the expired request bought no run"
+    );
 }
