@@ -600,8 +600,8 @@ impl BatchEngine {
             let mut it = bucket.into_iter().peekable();
             while let Some((k, v)) = it.next() {
                 let mut values = vec![v];
-                while it.peek().map(|(k2, _)| *k2) == Some(k) {
-                    values.push(it.next().expect("peeked").1);
+                while let Some((_, v2)) = it.next_if(|&(k2, _)| k2 == k) {
+                    values.push(v2);
                 }
                 let group_bytes: u64 = values.iter().map(|v| params.wire_len(k, v)).sum();
                 max_group_bytes = max_group_bytes.max(group_bytes);
@@ -786,8 +786,7 @@ impl BatchEngine {
                 };
                 let mut values = Vec::new();
                 let mut group_bytes = 0u64;
-                while lit.peek().map(|&(k2, _)| k2) == Some(k) {
-                    let (_, v) = lit.next().expect("peeked");
+                while let Some((_, v)) = lit.next_if(|&(k2, _)| k2 == k) {
                     group_bytes += params.wire_len(k, &v);
                     values.push(v);
                 }

@@ -102,10 +102,10 @@ fn bench_shadow_transform(c: &mut Criterion) {
         .with_shadow_nodes(true)
         .with_threshold(30);
     grp.bench_function("shadow_records_3k_nodes", |b| {
-        b.iter(|| black_box(build_node_records(&g, &strat, 16)));
+        b.iter(|| black_box(build_node_records(&g, &strat, 16).expect("records")));
     });
     grp.bench_function("plain_records_3k_nodes", |b| {
-        b.iter(|| black_box(build_node_records(&g, &StrategyConfig::none(), 16)));
+        b.iter(|| black_box(build_node_records(&g, &StrategyConfig::none(), 16).expect("records")));
     });
     grp.finish();
 }

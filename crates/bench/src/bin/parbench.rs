@@ -27,7 +27,6 @@ use inferturbo_core::session::{Backend, InferenceSession};
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::{generate, DegreeSkew, GenConfig};
 use inferturbo_serve::{GnnServer, ScoreRequest, ServeConfig};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Ops/sec of `f`, measured over at least `secs` wall-clock (1 warmup run).
@@ -360,24 +359,25 @@ fn main() {
         (engine_speedups.iter().map(|s| s.ln()).sum::<f64>() / engine_speedups.len() as f64).exp();
 
     let mut json = String::new();
-    writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"host_cpus\": {host},").unwrap();
-    writeln!(json, "  \"threads\": {threads},").unwrap();
-    writeln!(json, "  \"secs_per_measurement\": {secs},").unwrap();
-    writeln!(json, "  \"engine_speedup_geomean\": {geomean:.4},").unwrap();
-    writeln!(json, "  \"benches\": [").unwrap();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"host_cpus\": {host},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"secs_per_measurement\": {secs},\n"));
+    json.push_str(&format!("  \"engine_speedup_geomean\": {geomean:.4},\n"));
+    json.push_str("  \"benches\": [\n");
     for (i, (name, serial, parallel, speedup)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
-        writeln!(
-            json,
+        json.push_str(&format!(
             "    {{\"name\": \"{name}\", \"ops_per_sec_serial\": {serial:.4}, \
-             \"ops_per_sec_parallel\": {parallel:.4}, \"speedup\": {speedup:.4}}}{comma}"
-        )
-        .unwrap();
+             \"ops_per_sec_parallel\": {parallel:.4}, \"speedup\": {speedup:.4}}}{comma}\n"
+        ));
     }
-    writeln!(json, "  ]").unwrap();
-    writeln!(json, "}}").unwrap();
-    std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("parbench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
     println!("{json}");
     eprintln!("wrote {out_path}");
 }

@@ -34,7 +34,9 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(c);
+            self.add_to_hash(u64::from_le_bytes(buf));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {

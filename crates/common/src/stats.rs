@@ -41,7 +41,7 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let rank = (q / 100.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -65,7 +65,7 @@ pub fn tail_sum(xs: &[f64], frac: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let k = ((xs.len() as f64 * frac).ceil() as usize).clamp(1, xs.len());
     sorted[..k].iter().sum()
 }

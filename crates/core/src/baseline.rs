@@ -281,7 +281,7 @@ mod tests {
         // inference agree — the difference is cost, not math.
         let g = graph();
         let m = GnnModel::sage(6, 8, 2, 3, false, PoolOp::Mean, 1);
-        let want = infer_reference(&m, &g);
+        let want = infer_reference(&m, &g).expect("reference");
         let targets: Vec<u32> = (0..40).collect();
         let got = predict_with_sampling(&m, &g, &targets, None, 16, 0).unwrap();
         for (i, &t) in targets.iter().enumerate() {

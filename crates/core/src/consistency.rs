@@ -194,10 +194,12 @@ mod tests {
         let g = graph();
         let m = GnnModel::gcn(6, 8, 2, 4, false, 5);
         let a: Vec<u32> = infer_reference(&m, &g)
+            .expect("reference")
             .iter()
             .map(|l| GnnModel::predict_class(l))
             .collect();
         let b: Vec<u32> = infer_reference(&m, &g)
+            .expect("reference")
             .iter()
             .map(|l| GnnModel::predict_class(l))
             .collect();

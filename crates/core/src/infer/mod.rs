@@ -25,6 +25,7 @@ pub use pregel_backend::infer_pregel;
 use crate::gas::{EdgeCtx, GasLayer, NodeCtx};
 use crate::models::GnnModel;
 use inferturbo_cluster::RunReport;
+use inferturbo_common::Result;
 use inferturbo_graph::{Csr, Graph};
 
 /// Result of a full-graph inference run.
@@ -49,18 +50,16 @@ impl InferenceOutput {
 /// Single-machine reference forward: exact same kernels, trivial data flow.
 ///
 /// Thin compatibility wrapper over a single-use session on
-/// [`crate::session::Backend::Reference`]. Panics on a model/graph
-/// feature-dimension mismatch (the session path reports it as a clean
-/// configuration error; this signature predates `Result`).
-pub fn infer_reference(model: &GnnModel, graph: &Graph) -> Vec<Vec<f32>> {
-    crate::session::InferenceSession::builder()
+/// [`crate::session::Backend::Reference`]. Errors on a model/graph
+/// feature-dimension mismatch, exactly like the session path.
+pub fn infer_reference(model: &GnnModel, graph: &Graph) -> Result<Vec<Vec<f32>>> {
+    Ok(crate::session::InferenceSession::builder()
         .model(model)
         .graph(graph)
         .backend(crate::session::Backend::Reference)
         .plan()
-        .and_then(|plan| plan.run())
-        .expect("reference inference")
-        .logits
+        .and_then(|plan| plan.run())?
+        .logits)
 }
 
 /// The reference forward proper (the execution stage the session
@@ -162,7 +161,7 @@ mod tests {
     fn pregel_matches_reference_no_strategies() {
         let g = test_graph(DegreeSkew::In);
         for (name, m) in models() {
-            let want = infer_reference(&m, &g);
+            let want = infer_reference(&m, &g).expect("reference");
             let out = infer_pregel(
                 &m,
                 &g,
@@ -178,7 +177,7 @@ mod tests {
     fn mapreduce_matches_reference_no_strategies() {
         let g = test_graph(DegreeSkew::In);
         for (name, m) in models() {
-            let want = infer_reference(&m, &g);
+            let want = infer_reference(&m, &g).expect("reference");
             let out = infer_mapreduce(
                 &m,
                 &g,
@@ -196,7 +195,7 @@ mod tests {
         // shadow-nodes change the cost profile, never the math.
         let g = test_graph(DegreeSkew::Out);
         let m = GnnModel::sage(5, 8, 2, 3, false, PoolOp::Mean, 9);
-        let want = infer_reference(&m, &g);
+        let want = infer_reference(&m, &g).expect("reference");
         let spec = ClusterSpec::pregel_cluster(8);
         for pg in [false, true] {
             for bc in [false, true] {
@@ -232,7 +231,7 @@ mod tests {
         // use broadcast and shadow-nodes.
         let g = test_graph(DegreeSkew::Out);
         let m = GnnModel::gat(5, 8, 2, 2, 3, false, 5);
-        let want = infer_reference(&m, &g);
+        let want = infer_reference(&m, &g).expect("reference");
         let strat = StrategyConfig::all().with_threshold(5);
         let pregel = infer_pregel(&m, &g, ClusterSpec::pregel_cluster(8), strat).unwrap();
         assert_logits_close("gat-pregel", &pregel.logits, &want, 1e-3);

@@ -18,7 +18,7 @@ use crate::models::gas_impl::{combine_wire, PoolRowAggregator};
 use crate::models::{GnnModel, PoolOp};
 use crate::session::{Backend, InferenceSession};
 use crate::strategy::{base_of, mirror_of, NodeRecord, StrategyConfig, NODE_FLAG};
-use inferturbo_batch::{BatchEngine, KeyedData, PhaseCtx, RowSink, RowsView};
+use inferturbo_batch::{BatchEngine, CombineFn, KeyedData, PhaseCtx, RowSink, RowsView};
 use inferturbo_cluster::{ClusterSpec, FaultInjector};
 use inferturbo_common::codec::{Decode, Encode, WireReader, WireWriter};
 use inferturbo_common::hash::partition_of;
@@ -348,10 +348,11 @@ fn run_planned_legacy(
         model.layer_view(layer_idx).pool_op()
     };
 
-    let map_op = combiner_for(0);
-    let map_combine = move |acc: &mut MrRecord, msg: MrRecord| -> Option<MrRecord> {
-        combine_records(map_op.expect("combiner only offered with op"), acc, msg)
-    };
+    let map_combine = combiner_for(0).map(|op| {
+        move |acc: &mut MrRecord, msg: MrRecord| -> Option<MrRecord> {
+            combine_records(op, acc, msg)
+        }
+    });
     let keyed = eng.map_phase(
         "map-init",
         &inputs,
@@ -389,21 +390,19 @@ fn run_planned_legacy(
                 Ok(emit)
             }
         },
-        if map_op.is_some() {
-            Some(&map_combine)
-        } else {
-            None
-        },
+        map_combine.as_ref().map(|f| f as CombineFn<'_, MrRecord>),
     )?;
 
     // --- k reduce rounds ----------------------------------------------------
     let mut data: KeyedData<MrRecord> = keyed;
     for r in 1..=k {
         let layer_idx = r - 1;
-        let out_op = combiner_for(r); // messages emitted this round feed layer r
-        let out_combine = move |acc: &mut MrRecord, msg: MrRecord| -> Option<MrRecord> {
-            combine_records(out_op.expect("combiner only offered with op"), acc, msg)
-        };
+        // messages emitted this round feed layer r
+        let out_combine = combiner_for(r).map(|op| {
+            move |acc: &mut MrRecord, msg: MrRecord| -> Option<MrRecord> {
+                combine_records(op, acc, msg)
+            }
+        });
         // Each worker's kernel owns a broadcast table for refs arriving
         // THIS round; reducers stream keys ascending, and bcast keys sort
         // before node keys, so the table fills before any node group.
@@ -501,11 +500,7 @@ fn run_planned_legacy(
             format!("reduce-{r}"),
             data,
             make_reduce,
-            if out_op.is_some() {
-                Some(&out_combine)
-            } else {
-                None
-            },
+            out_combine.as_ref().map(|f| f as CombineFn<'_, MrRecord>),
         )?;
     }
 

@@ -114,11 +114,12 @@ impl<'m> GnnVertexProgram<'m> {
             }
         } else {
             let msg = layer.make_wire(raw, self.strategy.partial_gather);
-            let (last, rest) = state.out_targets.split_last().expect("non-empty targets");
-            for &t in rest {
-                out.send(t, msg.clone());
+            if let Some((last, rest)) = state.out_targets.split_last() {
+                for &t in rest {
+                    out.send(t, msg.clone());
+                }
+                out.send(*last, msg);
             }
-            out.send(*last, msg);
         }
     }
 }
@@ -171,6 +172,7 @@ impl<'m> VertexProgram for GnnVertexProgram<'m> {
         for msg in messages {
             layer
                 .gather_wire(&mut agg, msg, broadcast_lookup)
+                // itlint::allow(panic-in-lib): compute() has no error channel; the engine delivers every broadcast payload before its refs, so an unresolved ref is engine corruption, not bad input
                 .expect("broadcast ref resolution is an engine invariant");
         }
         let gathered = agg.count() as usize;

@@ -115,7 +115,7 @@ impl<'a> InferencePlan<'a> {
         workers: usize,
         fault_plan: Option<FaultPlan>,
         recovery: Option<RecoveryPolicy>,
-    ) -> InferencePlan<'a> {
+    ) -> Result<InferencePlan<'a>> {
         // Broadcast pays one payload per worker instead of one per
         // out-edge, so it only wins when out-degree exceeds the worker
         // count; at the paper's scale (λ·|E|/W = 100k ≫ W = 1000) the
@@ -130,7 +130,7 @@ impl<'a> InferencePlan<'a> {
         let records = if requested == Backend::Reference {
             Vec::new()
         } else {
-            build_node_records(graph, &strategy, workers)
+            build_node_records(graph, &strategy, workers)?
         };
         let mirrors = records.len().saturating_sub(graph.n_nodes());
         let hubs = if records.is_empty() {
@@ -163,7 +163,7 @@ impl<'a> InferencePlan<'a> {
             }
             b => b,
         };
-        InferencePlan {
+        Ok(InferencePlan {
             model,
             graph,
             strategy,
@@ -182,7 +182,7 @@ impl<'a> InferencePlan<'a> {
             mirrors,
             estimate,
             scratch: Mutex::new(None),
-        }
+        })
     }
 
     /// The concrete backend this plan executes on (auto-selection already
@@ -285,10 +285,13 @@ impl<'a> InferencePlan<'a> {
     fn run_inner(&self, features: Option<&[Vec<f32>]>) -> Result<InferenceOutput> {
         match self.backend {
             Backend::Pregel => {
+                // Poison recovery: the pool is plain reusable buffers with no
+                // cross-field invariants, so a panicked holder leaves it
+                // usable — recover the guard rather than propagate the abort.
                 let pool = self
                     .scratch
                     .lock()
-                    .expect("scratch lock poisoned")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .take()
                     .unwrap_or_default();
                 let (out, pool) = pregel_backend::run_planned(
@@ -304,7 +307,10 @@ impl<'a> InferencePlan<'a> {
                     self.faults.as_ref(),
                     self.recovery,
                 )?;
-                *self.scratch.lock().expect("scratch lock poisoned") = Some(pool);
+                *self
+                    .scratch
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(pool);
                 Ok(out)
             }
             Backend::MapReduce => mr_backend::run_planned(
@@ -323,7 +329,9 @@ impl<'a> InferencePlan<'a> {
                 // a single fat worker.
                 report: RunReport::new(ClusterSpec::pregel_cluster(1)),
             }),
-            Backend::Auto => unreachable!("Auto is resolved at plan time"),
+            Backend::Auto => Err(Error::Internal(
+                "Backend::Auto must be resolved at plan time".into(),
+            )),
         }
     }
 }

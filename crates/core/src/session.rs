@@ -288,7 +288,7 @@ impl<'a> SessionBuilder<'a> {
         let spill = self.spill_budget.map(|bytes| {
             SpillPolicy::new(self.spill_dir.unwrap_or_else(std::env::temp_dir), bytes)
         });
-        Ok(InferencePlan::build(
+        InferencePlan::build(
             model,
             graph,
             self.strategy,
@@ -300,7 +300,7 @@ impl<'a> SessionBuilder<'a> {
             workers,
             self.fault_plan,
             self.recovery,
-        ))
+        )
     }
 }
 

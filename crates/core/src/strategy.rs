@@ -20,7 +20,7 @@
 //! `threshold = λ · |E| / workers` with λ = 0.1.
 
 use inferturbo_common::codec::{Decode, Encode, WireReader, WireWriter};
-use inferturbo_common::Result;
+use inferturbo_common::{Error, Result};
 use inferturbo_graph::{Csr, Graph};
 use std::sync::Arc;
 
@@ -263,7 +263,7 @@ pub fn build_node_records(
     graph: &Graph,
     strategy: &StrategyConfig,
     workers: usize,
-) -> Vec<NodeRecord> {
+) -> Result<Vec<NodeRecord>> {
     let n = graph.n_nodes();
     let in_deg = graph.in_degrees();
     let out_deg = graph.out_degrees();
@@ -305,17 +305,25 @@ pub fn build_node_records(
     let mut targets = targets.into_iter();
     for v in 0..n as u32 {
         for m in 0..groups[v as usize] {
+            // One target list exists per (node, mirror) by construction;
+            // running out is a bug in the grouping above, surfaced as a
+            // typed value rather than an abort.
+            let Some(t) = targets.next() else {
+                return Err(Error::Internal(format!(
+                    "mirror target lists exhausted at node {v} group {m}"
+                )));
+            };
             records.push(NodeRecord {
                 wire: wire_id(v, m),
                 base: v,
                 raw: graph.node_feat(v).to_vec(),
-                out_targets: targets.next().expect("one target list per record").into(),
+                out_targets: t.into(),
                 in_deg: in_deg[v as usize],
                 out_deg: out_deg[v as usize],
             });
         }
     }
-    records
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -442,7 +450,8 @@ mod tests {
     #[test]
     fn no_shadow_when_disabled() {
         let g = hub_graph();
-        let recs = build_node_records(&g, &StrategyConfig::none().with_threshold(2), 2);
+        let recs =
+            build_node_records(&g, &StrategyConfig::none().with_threshold(2), 2).expect("records");
         assert_eq!(recs.len(), 7); // one record per node
         let hub = recs.iter().find(|r| r.base == 0).unwrap();
         assert_eq!(hub.out_targets.len(), 6);
@@ -454,7 +463,7 @@ mod tests {
         let strat = StrategyConfig::none()
             .with_shadow_nodes(true)
             .with_threshold(2);
-        let recs = build_node_records(&g, &strat, 2);
+        let recs = build_node_records(&g, &strat, 2).expect("records");
         // hub out_deg 6 > 2 → ceil(6/2)=3 mirrors; others 1 each → 9 records
         assert_eq!(recs.len(), 9);
         let mirrors: Vec<&NodeRecord> = recs.iter().filter(|r| r.base == 0).collect();
@@ -480,7 +489,7 @@ mod tests {
         let strat = StrategyConfig::none()
             .with_shadow_nodes(true)
             .with_threshold(2);
-        let recs = build_node_records(&g, &strat, 2);
+        let recs = build_node_records(&g, &strat, 2).expect("records");
         // node 1 points at the hub, which has 3 mirrors → its single
         // out-edge expands to 3 targets
         let n1 = recs.iter().find(|r| r.base == 1).unwrap();
@@ -496,7 +505,7 @@ mod tests {
         let strat = StrategyConfig::none()
             .with_shadow_nodes(true)
             .with_threshold(2);
-        let recs = build_node_records(&g, &strat, 2);
+        let recs = build_node_records(&g, &strat, 2).expect("records");
         let total: usize = recs.iter().map(|r| r.out_targets.len()).sum();
         // 6 hub out-edges (targets unmirrored) + 1 edge into hub × 3 mirrors
         assert_eq!(total, 9);
@@ -513,7 +522,7 @@ mod tests {
         let strat = StrategyConfig::none()
             .with_shadow_nodes(true)
             .with_threshold(3);
-        let recs = build_node_records(&g, &strat, 1);
+        let recs = build_node_records(&g, &strat, 1).expect("records");
         assert_eq!(recs.len(), 4);
     }
 }

@@ -153,9 +153,9 @@ pub fn train(model: &mut GnnModel, dataset: &Dataset, cfg: &TrainConfig) -> Resu
 
 /// Evaluate on a split via the single-machine reference forward.
 /// Returns accuracy for single-label tasks and micro-F1 for multi-label.
-pub fn evaluate(model: &GnnModel, dataset: &Dataset, split: Split) -> f64 {
+pub fn evaluate(model: &GnnModel, dataset: &Dataset, split: Split) -> Result<f64> {
     let graph = &dataset.graph;
-    let logits = crate::infer::infer_reference(model, graph);
+    let logits = crate::infer::infer_reference(model, graph)?;
     let n = graph.n_nodes();
     let classes = model.classes();
     let mut flat = Matrix::zeros(n, classes);
@@ -170,10 +170,10 @@ pub fn evaluate(model: &GnnModel, dataset: &Dataset, split: Split) -> f64 {
                 .row_mut(v as usize)
                 .copy_from_slice(&graph.labels().multilabel_row(v));
         }
-        micro_f1(&flat, &targets, &mask)
+        Ok(micro_f1(&flat, &targets, &mask))
     } else {
         let labels: Vec<u32> = (0..n as u32).map(|v| graph.labels().class_of(v)).collect();
-        accuracy(&flat, &labels, &mask)
+        Ok(accuracy(&flat, &labels, &mask))
     }
 }
 
@@ -223,7 +223,7 @@ mod tests {
     fn sage_learns_the_planted_classes() {
         let ds = tiny_dataset(false);
         let mut m = GnnModel::sage(8, 12, 2, 4, false, PoolOp::Mean, 3);
-        let before = evaluate(&m, &ds, Split::Test);
+        let before = evaluate(&m, &ds, Split::Test).expect("eval");
         let stats = train(
             &mut m,
             &ds,
@@ -242,7 +242,7 @@ mod tests {
             stats.initial_loss(),
             stats.final_loss()
         );
-        let after = evaluate(&m, &ds, Split::Test);
+        let after = evaluate(&m, &ds, Split::Test).expect("eval");
         assert!(
             after > 0.6 && after > before,
             "test accuracy should beat chance (0.25): before {before} after {after}"
@@ -272,7 +272,7 @@ mod tests {
     fn multilabel_training_improves_f1() {
         let ds = tiny_dataset(true);
         let mut m = GnnModel::sage(8, 12, 2, 10, true, PoolOp::Mean, 6);
-        let before = evaluate(&m, &ds, Split::Test);
+        let before = evaluate(&m, &ds, Split::Test).expect("eval");
         train(
             &mut m,
             &ds,
@@ -285,7 +285,7 @@ mod tests {
             },
         )
         .unwrap();
-        let after = evaluate(&m, &ds, Split::Test);
+        let after = evaluate(&m, &ds, Split::Test).expect("eval");
         assert!(
             after > before,
             "micro-F1 should improve: {before} -> {after}"

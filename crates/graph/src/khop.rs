@@ -70,9 +70,10 @@ impl Subgraph {
                 let v_local = local[&v];
                 let nbrs = in_csr.neighbors(v);
                 let eids = in_csr.edge_ids(v);
-                let take: &[usize] = match fanout {
-                    Some(f) if nbrs.len() > f => {
-                        let r = rng.as_deref_mut().expect("rng");
+                let take: &[usize] = match (fanout, rng.as_deref_mut()) {
+                    // The entry assert pins `fanout.is_some() => rng.is_some()`,
+                    // so pairing the options here loses no cases.
+                    (Some(f), Some(r)) if nbrs.len() > f => {
                         scratch = r.sample_indices(nbrs.len(), f);
                         &scratch
                     }

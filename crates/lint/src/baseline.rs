@@ -1,0 +1,263 @@
+//! The ratcheting baseline: `lint/baseline.toml` records, per `(rule, file)`,
+//! how many violations were grandfathered in when the gate landed. The
+//! ratchet only turns one way — a check run fails if any pair exceeds its
+//! baselined count or appears without an entry, and *accepts* decreases, so
+//! the debt burns down PR by PR without ever growing back.
+//!
+//! The file is a deliberately tiny TOML subset (parsed here with zero
+//! dependencies): a header comment and a sequence of
+//!
+//! ```toml
+//! [[entry]]
+//! rule = "panic-in-lib"
+//! file = "crates/bench/src/fig7.rs"
+//! count = 4
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::report::Violation;
+
+/// `(rule, file) -> grandfathered count`, ordered for stable rendering.
+pub type Counts = BTreeMap<(String, String), u64>;
+
+/// Aggregate a violation list into baseline-shaped counts.
+pub fn counts_of(violations: &[Violation]) -> Counts {
+    let mut out = Counts::new();
+    for v in violations {
+        *out.entry((v.rule.clone(), v.file.clone())).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Render counts as the committed baseline file.
+pub fn render(counts: &Counts) -> String {
+    let mut s = String::from(
+        "# itlint ratcheting baseline — grandfathered violations per (rule, file).\n\
+         # Counts may only DECREASE: `itlint --check` fails if a pair exceeds its\n\
+         # entry (or appears without one) and prints a note when an entry can be\n\
+         # tightened. Regenerate with `itlint --write-baseline` after burning debt.\n",
+    );
+    for ((rule, file), count) in counts {
+        s.push_str(&format!(
+            "\n[[entry]]\nrule = \"{rule}\"\nfile = \"{file}\"\ncount = {count}\n"
+        ));
+    }
+    s
+}
+
+/// Parse the committed baseline. Errors carry the offending line number.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    let mut cur: Option<(Option<String>, Option<String>, Option<u64>)> = None;
+    let mut flush = |cur: &mut Option<(Option<String>, Option<String>, Option<u64>)>,
+                     line_no: usize|
+     -> Result<(), String> {
+        if let Some((rule, file, count)) = cur.take() {
+            match (rule, file, count) {
+                (Some(r), Some(f), Some(c)) => {
+                    if counts.insert((r.clone(), f.clone()), c).is_some() {
+                        return Err(format!(
+                            "baseline line {line_no}: duplicate entry for ({r}, {f})"
+                        ));
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "baseline line {line_no}: [[entry]] missing rule/file/count"
+                    ))
+                }
+            }
+        }
+        Ok(())
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[entry]]" {
+            flush(&mut cur, line_no)?;
+            cur = Some((None, None, None));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("baseline line {line_no}: expected `key = value`"));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let Some(entry) = cur.as_mut() else {
+            return Err(format!(
+                "baseline line {line_no}: `{key}` outside an [[entry]] table"
+            ));
+        };
+        match key {
+            "rule" => entry.0 = Some(unquote(value, line_no)?),
+            "file" => entry.1 = Some(unquote(value, line_no)?),
+            "count" => {
+                entry.2 = Some(value.parse::<u64>().map_err(|_| {
+                    format!("baseline line {line_no}: count is not an integer: `{value}`")
+                })?)
+            }
+            other => {
+                return Err(format!("baseline line {line_no}: unknown key `{other}`"));
+            }
+        }
+    }
+    flush(&mut cur, text.lines().count())?;
+    Ok(counts)
+}
+
+fn unquote(v: &str, line_no: usize) -> Result<String, String> {
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("baseline line {line_no}: expected a quoted string, got `{v}`"))
+}
+
+/// One `(rule, file)` whose current count differs from its baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    pub rule: String,
+    pub file: String,
+    pub current: u64,
+    pub baselined: u64,
+}
+
+/// Result of ratcheting current counts against the committed baseline.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Above baseline (or not baselined at all) — these fail the check.
+    pub regressions: Vec<Delta>,
+    /// Below baseline — the check passes, with a tightening note.
+    pub improvements: Vec<Delta>,
+}
+
+impl RatchetReport {
+    /// The check passes iff nothing regressed; improvements never fail it.
+    pub fn passes(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare `current` violation counts against `baseline`.
+pub fn ratchet(current: &Counts, baseline: &Counts) -> RatchetReport {
+    let mut report = RatchetReport::default();
+    for ((rule, file), &cur) in current {
+        let base = baseline
+            .get(&(rule.clone(), file.clone()))
+            .copied()
+            .unwrap_or(0);
+        if cur > base {
+            report.regressions.push(Delta {
+                rule: rule.clone(),
+                file: file.clone(),
+                current: cur,
+                baselined: base,
+            });
+        } else if cur < base {
+            report.improvements.push(Delta {
+                rule: rule.clone(),
+                file: file.clone(),
+                current: cur,
+                baselined: base,
+            });
+        }
+    }
+    // Entries whose violations vanished entirely also tighten the ratchet.
+    for ((rule, file), &base) in baseline {
+        if base > 0 && !current.contains_key(&(rule.clone(), file.clone())) {
+            report.improvements.push(Delta {
+                rule: rule.clone(),
+                file: file.clone(),
+                current: 0,
+                baselined: base,
+            });
+        }
+    }
+    report
+        .improvements
+        .sort_by(|a, b| (&a.file, &a.rule).cmp(&(&b.file, &b.rule)));
+    report
+        .regressions
+        .sort_by(|a, b| (&a.file, &a.rule).cmp(&(&b.file, &b.rule)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &str, file: &str) -> Violation {
+        Violation {
+            rule: rule.into(),
+            file: file.into(),
+            line: 1,
+            excerpt: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let counts = counts_of(&[
+            v("panic-in-lib", "crates/a/src/x.rs"),
+            v("panic-in-lib", "crates/a/src/x.rs"),
+            v("wallclock", "crates/b/src/y.rs"),
+        ]);
+        let parsed = parse(&render(&counts)).expect("round trip");
+        assert_eq!(parsed, counts);
+    }
+
+    #[test]
+    fn ratchet_rejects_increases_and_accepts_decreases() {
+        let mut baseline = Counts::new();
+        baseline.insert(("panic-in-lib".into(), "a.rs".into()), 2);
+        baseline.insert(("panic-in-lib".into(), "b.rs".into()), 3);
+
+        // Increase in a.rs: regression. Decrease in b.rs: improvement.
+        let current = counts_of(&[
+            v("panic-in-lib", "a.rs"),
+            v("panic-in-lib", "a.rs"),
+            v("panic-in-lib", "a.rs"),
+            v("panic-in-lib", "b.rs"),
+        ]);
+        let rep = ratchet(&current, &baseline);
+        assert_eq!(rep.regressions.len(), 1);
+        assert_eq!(rep.regressions[0].file, "a.rs");
+        assert_eq!(
+            (rep.regressions[0].current, rep.regressions[0].baselined),
+            (3, 2)
+        );
+        assert_eq!(rep.improvements.len(), 1);
+        assert_eq!(
+            (rep.improvements[0].current, rep.improvements[0].baselined),
+            (1, 3)
+        );
+    }
+
+    #[test]
+    fn unbaselined_violation_is_a_regression() {
+        let current = counts_of(&[v("env-read", "new.rs")]);
+        let rep = ratchet(&current, &Counts::new());
+        assert_eq!(rep.regressions.len(), 1);
+        assert_eq!(rep.regressions[0].baselined, 0);
+    }
+
+    #[test]
+    fn vanished_entry_is_an_improvement() {
+        let mut baseline = Counts::new();
+        baseline.insert(("panic-in-lib".into(), "gone.rs".into()), 5);
+        let rep = ratchet(&Counts::new(), &baseline);
+        assert!(rep.regressions.is_empty());
+        assert_eq!(rep.improvements.len(), 1);
+        assert_eq!(rep.improvements[0].current, 0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("count = 1").is_err());
+        assert!(parse("[[entry]]\nrule = \"r\"\ncount = 1").is_err());
+        assert!(parse("[[entry]]\nrule = \"r\"\nfile = \"f\"\ncount = x").is_err());
+        assert!(parse("[[entry]]\nrule = r\nfile = \"f\"\ncount = 1").is_err());
+    }
+}

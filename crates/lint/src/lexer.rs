@@ -1,0 +1,480 @@
+//! A minimal Rust *surface* lexer: just enough to blank out the regions of a
+//! source file where rule patterns must never match (comments, string/char
+//! literals, raw strings), while preserving byte offsets and line numbers, and
+//! to harvest `// itlint::allow(rule): reason` suppression directives from the
+//! comments it skips.
+//!
+//! The sanitized text has exactly the same length and line structure as the
+//! input: every skipped byte is replaced by a space (newlines are kept), so a
+//! byte offset in the sanitized view maps 1:1 to the original source. Rules
+//! match against the sanitized view and report lines from it; excerpts are
+//! taken from the original.
+
+/// One `// itlint::allow(rule): reason` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line the comment sits on. A trailing directive suppresses
+    /// matches of `rule` on its own line; a standalone comment line
+    /// suppresses the line below it.
+    pub line: u32,
+    /// True when nothing but whitespace precedes the `//` on its line.
+    pub standalone: bool,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// A suppression comment that *looks* like a directive but does not parse
+/// (unknown shape, missing reason). Surfaced as a violation of the
+/// `malformed-allow` meta-rule so typos never silently un-suppress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedAllow {
+    pub line: u32,
+    pub detail: String,
+}
+
+/// Output of [`lex`].
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Input with comments and string/char literal contents blanked to
+    /// spaces. Same byte length and newline positions as the input.
+    pub sanitized: String,
+    pub allows: Vec<AllowDirective>,
+    pub malformed_allows: Vec<MalformedAllow>,
+}
+
+/// Blank out comments and literals, collecting allow directives on the way.
+pub fn lex(src: &str) -> LexOutput {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+
+    // Push `n` bytes of blank, preserving newlines (and bumping `line`).
+    fn blank(out: &mut Vec<u8>, b: &[u8], from: usize, to: usize, line: &mut u32) {
+        for &c in &b[from..to] {
+            if c == b'\n' {
+                out.push(b'\n');
+                *line += 1;
+            } else {
+                out.push(b' ');
+            }
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let end = memchr_newline(b, i);
+            parse_allow_comment(src, i, end, line, &mut allows, &mut malformed);
+            blank(&mut out, b, i, end, &mut line);
+            i = end;
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            blank(&mut out, b, i, j, &mut line);
+            i = j;
+            continue;
+        }
+        // Raw / byte / raw-byte string literals: r"", r#""#, b"", br#""#.
+        if let Some(end) = raw_string_end(b, i) {
+            blank(&mut out, b, i, end, &mut line);
+            i = end;
+            continue;
+        }
+        // Plain string literal (and byte string b"...").
+        if c == b'"' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'"' && !prev_is_ident(b, i)) {
+            let start = if c == b'"' { i } else { i + 1 };
+            let mut j = start + 1;
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            blank(&mut out, b, i, j.min(b.len()), &mut line);
+            i = j.min(b.len());
+            continue;
+        }
+        // Char literal vs lifetime: `'x'` / `'\n'` are literals, `'a` in
+        // `&'a str` is not. A literal either escapes or closes within a
+        // couple of bytes.
+        if c == b'\'' && !prev_is_ident(b, i) {
+            if i + 1 < b.len() && b[i + 1] == b'\\' {
+                // Escaped char literal: skip to the closing quote.
+                let mut j = i + 2;
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                let j = (j + 1).min(b.len());
+                blank(&mut out, b, i, j, &mut line);
+                i = j;
+                continue;
+            }
+            // `'c'` with any single non-quote char (multi-byte UTF-8 chars
+            // close later; scan a short window for the quote).
+            let mut j = i + 1;
+            let window = (i + 6).min(b.len());
+            while j < window && b[j] != b'\'' && b[j] != b'\n' {
+                j += 1;
+            }
+            if j < window && b[j] == b'\'' && j > i + 1 {
+                blank(&mut out, b, i, j + 1, &mut line);
+                i = j + 1;
+                continue;
+            }
+            // Lifetime: fall through, emit verbatim.
+        }
+        if c == b'\n' {
+            line += 1;
+        }
+        out.push(c);
+        i += 1;
+    }
+
+    LexOutput {
+        // Only ASCII bytes were substituted, and always space-for-byte inside
+        // literals/comments, so the result is valid UTF-8 iff the input was;
+        // scanned files are rustc-accepted sources, hence valid UTF-8.
+        sanitized: String::from_utf8_lossy(&out).into_owned(),
+        allows,
+        malformed_allows: malformed,
+    }
+}
+
+fn memchr_newline(b: &[u8], from: usize) -> usize {
+    let mut j = from;
+    while j < b.len() && b[j] != b'\n' {
+        j += 1;
+    }
+    j
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// Detect `r"..."`, `r#"..."#`, `br##"..."##` starting at `i`; return the
+/// byte offset one past the closing delimiter.
+fn raw_string_end(b: &[u8], i: usize) -> Option<usize> {
+    if prev_is_ident(b, i) {
+        return None;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash marks.
+    while j < b.len() {
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < b.len() && b[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some(k);
+            }
+        }
+        j += 1;
+    }
+    Some(b.len())
+}
+
+/// Parse a line comment as a potential allow directive.
+fn parse_allow_comment(
+    src: &str,
+    start: usize,
+    end: usize,
+    line: u32,
+    allows: &mut Vec<AllowDirective>,
+    malformed: &mut Vec<MalformedAllow>,
+) {
+    let text = src[start..end].trim_start_matches('/').trim();
+    let Some(rest) = text.strip_prefix("itlint::allow") else {
+        return;
+    };
+    let standalone = src[..start]
+        .rfind('\n')
+        .map_or(&src[..start], |nl| &src[nl + 1..start])
+        .trim()
+        .is_empty();
+    let rest = rest.trim_start();
+    let parsed = (|| {
+        let rest = rest.strip_prefix('(')?;
+        let close = rest.find(')')?;
+        let rule = rest[..close].trim();
+        if rule.is_empty() || !rule.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'-') {
+            return None;
+        }
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':')?.trim();
+        if reason.is_empty() {
+            return None;
+        }
+        Some(AllowDirective {
+            line,
+            standalone,
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+        })
+    })();
+    match parsed {
+        Some(a) => allows.push(a),
+        None => malformed.push(MalformedAllow {
+            line,
+            detail: format!(
+                "expected `itlint::allow(rule-id): reason`, got `{}`",
+                text.chars().take(80).collect::<String>()
+            ),
+        }),
+    }
+}
+
+/// Per-line mask: `true` means the line is inside test-only code — a block
+/// introduced by a `#[cfg(test)]` attribute (on a `mod`, `fn`, `impl`, …) or
+/// by `mod tests { … }`. Violations on masked lines are skipped by every rule
+/// except the meta-rules.
+///
+/// Works on the *sanitized* text (attribute strings are already blanked, so
+/// `#[cfg(feature = "integration-test")]` cannot false-positive).
+pub fn test_mask(sanitized: &str) -> Vec<bool> {
+    let line_count = sanitized.split('\n').count();
+    let mut mask = vec![false; line_count + 2];
+    let b = sanitized.as_bytes();
+    let mut i = 0;
+    let mut line: usize = 1;
+    let mut depth: i32 = 0;
+    // Braces depth at which a test scope was entered; None = not in one.
+    let mut skip_entered_at: Option<i32> = None;
+    // A `#[cfg(test)]`-ish attribute (or `mod tests`) was seen and the next
+    // `{` at the current depth opens its body. Cleared by `;` (attribute on a
+    // `use`/field/extern item has no body).
+    let mut pending = false;
+    let mut pending_depth: i32 = 0;
+
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                line += 1;
+                if skip_entered_at.is_some() && line < mask.len() {
+                    mask[line] = true;
+                }
+                i += 1;
+            }
+            b'#' if i + 1 < b.len() && b[i + 1] == b'[' => {
+                // Attribute: find the matching `]` (brackets can nest).
+                let mut j = i + 2;
+                let mut bd = 1;
+                while j < b.len() && bd > 0 {
+                    match b[j] {
+                        b'[' => bd += 1,
+                        b']' => bd -= 1,
+                        b'\n' => line += 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let attr = &sanitized[i..j];
+                // `#[cfg(test)]`, `#[cfg(all(test, …))]` — but NOT
+                // `#[cfg(not(test))]`, which marks production-only code.
+                if attr.contains("cfg")
+                    && contains_word(attr, "test")
+                    && !contains_word(attr, "not")
+                {
+                    pending = true;
+                    pending_depth = depth;
+                }
+                i = j;
+            }
+            b'm' if is_word_at(b, i, b"mod") => {
+                // `mod tests` / `mod test` conventionally scopes unit tests
+                // even without the cfg attribute.
+                let mut j = i + 3;
+                while j < b.len() && (b[j] == b' ' || b[j] == b'\t') {
+                    j += 1;
+                }
+                if is_word_at(b, j, b"tests") || is_word_at(b, j, b"test") {
+                    pending = true;
+                    pending_depth = depth;
+                }
+                i += 3;
+            }
+            b'{' => {
+                depth += 1;
+                if pending && skip_entered_at.is_none() && pending_depth == depth - 1 {
+                    skip_entered_at = Some(depth);
+                    pending = false;
+                    if line < mask.len() {
+                        mask[line] = true;
+                    }
+                }
+                i += 1;
+            }
+            b'}' => {
+                if skip_entered_at == Some(depth) {
+                    skip_entered_at = None;
+                }
+                depth -= 1;
+                i += 1;
+            }
+            b';' => {
+                if pending && pending_depth == depth {
+                    pending = false;
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    mask
+}
+
+fn contains_word(hay: &str, word: &str) -> bool {
+    let b = hay.as_bytes();
+    let w = word.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let after = at + w.len();
+        let after_ok = after >= b.len() || !(b[after].is_ascii_alphanumeric() || b[after] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+fn is_word_at(b: &[u8], i: usize, word: &[u8]) -> bool {
+    if i + word.len() > b.len() || &b[i..i + word.len()] != word {
+        return false;
+    }
+    let before_ok = i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+    let after = i + word.len();
+    let after_ok = after >= b.len() || !(b[after].is_ascii_alphanumeric() || b[after] == b'_');
+    before_ok && after_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_and_block_comments() {
+        let out = lex("let x = 1; // Instant::now()\n/* panic!() */ let y = 2;");
+        assert!(!out.sanitized.contains("Instant"));
+        assert!(!out.sanitized.contains("panic"));
+        assert!(out.sanitized.contains("let y = 2;"));
+        assert_eq!(out.sanitized.len(), 54);
+    }
+
+    #[test]
+    fn blanks_strings_and_raw_strings() {
+        let src = r##"let s = "a.unwrap()"; let r = r#"panic!("x")"#; go();"##;
+        let out = lex(src);
+        assert!(!out.sanitized.contains("unwrap"));
+        assert!(!out.sanitized.contains("panic"));
+        assert!(out.sanitized.contains("go();"));
+        assert_eq!(out.sanitized.len(), src.len());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = '\"'; let d = '\\''; }");
+        assert!(out.sanitized.contains("'a>"));
+        assert!(!out.sanitized.contains('"'));
+    }
+
+    #[test]
+    fn parses_allow_directive() {
+        let out = lex("x(); // itlint::allow(panic-in-lib): provably infallible\n");
+        assert_eq!(
+            out.allows,
+            vec![AllowDirective {
+                line: 1,
+                standalone: false,
+                rule: "panic-in-lib".into(),
+                reason: "provably infallible".into()
+            }]
+        );
+        assert!(out.malformed_allows.is_empty());
+    }
+
+    #[test]
+    fn malformed_allow_is_reported() {
+        for bad in [
+            "// itlint::allow(panic-in-lib)",     // missing reason
+            "// itlint::allow(panic-in-lib):",    // empty reason
+            "// itlint::allow panic-in-lib: why", // missing parens
+            "// itlint::allow(bad rule): why",    // bad id chars
+        ] {
+            let out = lex(bad);
+            assert!(out.allows.is_empty(), "{bad}");
+            assert_eq!(out.malformed_allows.len(), 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let out = lex(src);
+        let mask = test_mask(&out.sanitized);
+        assert!(!mask[1]);
+        assert!(mask[4], "{mask:?}");
+        assert!(!mask[6]);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn lib() { real(); }\n";
+        let mask = test_mask(&lex(src).sanitized);
+        assert!(!mask[3]);
+    }
+
+    #[test]
+    fn cfg_test_on_fn_masks_only_that_fn() {
+        let src = "#[cfg(test)]\nfn helper() {\n    x.unwrap();\n}\nfn lib() {\n    y();\n}\n";
+        let mask = test_mask(&lex(src).sanitized);
+        assert!(mask[3]);
+        assert!(!mask[6]);
+    }
+}

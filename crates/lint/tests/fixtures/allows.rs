@@ -1,0 +1,10 @@
+fn suppressed(x: Option<u32>) -> u32 {
+    // itlint::allow(panic-in-lib): fixture — standalone directive covers the next line
+    let a = x.unwrap();
+    let b = x.expect("trailing"); // itlint::allow(panic-in-lib): fixture — trailing directive covers its own line
+    let c = x.unwrap();
+    // itlint::allow(panic-in-lib)
+    let d = x.unwrap();
+    // itlint::allow(no-such-rule): the rule id does not exist
+    a + b + c + d
+}

@@ -1,0 +1,5 @@
+fn hidden_input() -> Option<String> {
+    let a = std::env::var("INFERTURBO_SECRET").ok();
+    let _b = std::env::var_os("PATH");
+    a
+}

@@ -1,0 +1,28 @@
+//! Banned patterns inside comments, strings and raw strings are inert.
+//! Prose mention of x.unwrap() and panic!("nope") stays prose.
+
+fn clean() -> String {
+    let s = "call x.unwrap() or panic!() or Instant::now()";
+    let r = r#"SystemTime::now() and std::thread::spawn and env::var("X")"#;
+    let nested = r##"outer r#"inner .elapsed()"# still raw"##;
+    /* block comment: .expect("no") unreachable!() */
+    // line comment: for k in shards.keys() {}
+    let lifetime_not_char: &'static str = "x";
+    format!("{s}{r}{nested}{lifetime_not_char}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_here() {
+        let shards: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for k in shards.keys() {
+            let _ = k;
+        }
+        let t0 = std::time::Instant::now();
+        std::thread::spawn(|| ());
+        std::env::var("X").ok();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+        None::<u32>.unwrap();
+    }
+}

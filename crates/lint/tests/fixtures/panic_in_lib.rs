@@ -1,0 +1,23 @@
+fn library_path(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a > b {
+        panic!("impossible");
+    }
+    match a {
+        0 => unreachable!("zero handled upstream"),
+        1 => todo!("one"),
+        _ => a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        v.expect("fine in tests");
+        panic!("fine in tests");
+    }
+}

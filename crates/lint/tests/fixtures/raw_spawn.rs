@@ -1,0 +1,5 @@
+fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let b = std::thread::Builder::new();
+    drop((h, b));
+}

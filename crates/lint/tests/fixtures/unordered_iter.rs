@@ -1,0 +1,26 @@
+use std::collections::{BTreeMap, HashMap};
+
+struct State {
+    shards: HashMap<u64, u32>,
+    order: Vec<u32>,
+}
+
+fn touch(s: &mut State) -> u64 {
+    let mut sum = 0u64;
+    let mut local: HashMap<u64, u32> = HashMap::new();
+    local.insert(1, 2);
+    let ordered: BTreeMap<u64, u32> = BTreeMap::new();
+    for (k, v) in &local {
+        sum += k + u64::from(*v);
+    }
+    for k in s.shards.keys() {
+        sum += k;
+    }
+    for v in &s.order {
+        sum += u64::from(*v);
+    }
+    for (k, _) in &ordered {
+        sum += k;
+    }
+    sum
+}

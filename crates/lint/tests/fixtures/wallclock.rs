@@ -1,0 +1,7 @@
+use std::time::{Instant, SystemTime};
+
+fn measure() -> u128 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_nanos()
+}

@@ -399,6 +399,15 @@ enum ColsOut {
     Fused(Vec<FusedSlotShard>),
 }
 
+/// The emit plane chosen for a superstep fixes which shard plane every
+/// outbox carries; a mismatch is engine corruption surfaced as a typed
+/// internal error rather than an abort.
+fn plane_mismatch(step: usize) -> Error {
+    Error::Internal(format!(
+        "superstep-{step}: emit plane does not match the shard plane"
+    ))
+}
+
 /// Wire length of a materialized columnar row to `dst`: the shared
 /// [`row_payload_len`] framing plus the destination varint.
 fn row_wire_len(dim: usize, dst: u64) -> u64 {
@@ -816,27 +825,27 @@ impl<P: VertexProgram> PregelEngine<P> {
                             .iter_mut()
                             .map(|c| match c {
                                 ColsOut::Rows(v) => {
-                                    std::mem::replace(&mut v[w2], RowShard::new(dim))
+                                    Ok(std::mem::replace(&mut v[w2], RowShard::new(dim)))
                                 }
-                                _ => unreachable!("emit plane fixes the shard plane"),
+                                _ => Err(plane_mismatch(step)),
                             })
-                            .collect::<Vec<RowShard>>(),
+                            .collect::<Result<Vec<RowShard>>>()?,
                     ),
                     EmitPlane::Fused { dim, .. } => ColsOut::Fused(
                         cols_by_sender
                             .iter_mut()
                             .map(|c| match c {
                                 ColsOut::Fused(v) => {
-                                    std::mem::replace(&mut v[w2], FusedSlotShard::new(dim, 0))
+                                    Ok(std::mem::replace(&mut v[w2], FusedSlotShard::new(dim, 0)))
                                 }
-                                _ => unreachable!("emit plane fixes the shard plane"),
+                                _ => Err(plane_mismatch(step)),
                             })
-                            .collect::<Vec<FusedSlotShard>>(),
+                            .collect::<Result<Vec<FusedSlotShard>>>()?,
                     ),
                 };
-                (dest_sizes[w2], legacy, cols)
+                Ok((dest_sizes[w2], legacy, cols))
             })
-            .collect();
+            .collect::<Result<Vec<_>>>()?;
         let spill = self.config.spill.as_ref();
         let faults = self.config.faults.as_ref();
         let sealed: Vec<Result<_>> = par_map(seal_tasks, |w2, (n_slots, legacy, cols)| {
@@ -867,7 +876,7 @@ impl<P: VertexProgram> PregelEngine<P> {
                     let s = f.spilled_bytes();
                     (InboxCols::Fused(f), r, s, ColsOut::Fused(shards))
                 }
-                _ => unreachable!("emit plane fixes the shard plane"),
+                _ => return Err(plane_mismatch(step)),
             };
             Ok((arena, cols_in, resident, spilled, reclaimed))
         });
@@ -1119,7 +1128,7 @@ fn run_worker<P: VertexProgram>(
                             fused_dsts[w2].push(dst);
                         }
                     }
-                    _ => unreachable!("emit plane fixes the shard plane"),
+                    _ => return Err(plane_mismatch(step)),
                 }
             }
         } else {

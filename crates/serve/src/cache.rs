@@ -169,7 +169,11 @@ impl ResponseCache {
             return;
         }
         while self.rows.len() >= self.capacity {
-            let oldest = self.order.pop_front().expect("rows imply order entries");
+            // rows and order move in lockstep; if they ever diverge, stop
+            // evicting rather than loop on an empty queue.
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
             self.rows.remove(&oldest);
             self.unpin(oldest.1);
         }

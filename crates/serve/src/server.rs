@@ -101,6 +101,7 @@ pub struct ServeConfig {
 /// "pass" without testing anything (same contract as
 /// `FaultPlan::from_env`).
 fn overload_from_env() -> Option<(RateLimitConfig, Option<u64>)> {
+    // itlint::allow(env-read): documented fleet-drill arming knob, same contract as INFERTURBO_FAULTS
     let spec = std::env::var("INFERTURBO_OVERLOAD").ok()?;
     if spec.trim().is_empty() {
         return None;
@@ -111,15 +112,18 @@ fn overload_from_env() -> Option<(RateLimitConfig, Option<u64>)> {
     for part in spec.split(',') {
         let (key, value) = part
             .split_once(':')
+            // itlint::allow(panic-in-lib): a misarmed overload drill must abort at process start, not silently parse to nothing
             .unwrap_or_else(|| panic!("INFERTURBO_OVERLOAD: `{part}` is not `key:value`"));
         let value: u64 = value
             .trim()
             .parse()
+            // itlint::allow(panic-in-lib): a misarmed overload drill must abort at process start, not silently parse to nothing
             .unwrap_or_else(|_| panic!("INFERTURBO_OVERLOAD: `{value}` is not a u64"));
         match key.trim() {
             "bucket" => bucket = Some(value),
             "refill" => refill = Some(value),
             "deadline" => deadline = Some(value),
+            // itlint::allow(panic-in-lib): a misarmed overload drill must abort at process start, not silently parse to nothing
             other => panic!(
                 "INFERTURBO_OVERLOAD: unknown key `{other}` \
                  (expected bucket/refill/deadline)"
@@ -127,6 +131,7 @@ fn overload_from_env() -> Option<(RateLimitConfig, Option<u64>)> {
         }
     }
     let (Some(bucket), Some(refill)) = (bucket, refill) else {
+        // itlint::allow(panic-in-lib): a misarmed overload drill must abort at process start, not silently parse to nothing
         panic!("INFERTURBO_OVERLOAD: both `bucket` and `refill` are required");
     };
     Some((RateLimitConfig::degrade(bucket, refill), deadline))
@@ -929,19 +934,34 @@ impl<'a> GnnServer<'a> {
                 "flushed batch for model {} graph {} has no cached plan",
                 key.model, key.graph
             ));
-            let q = self.queues.get_mut(&key).expect("queue exists");
-            for req in group.requests {
-                self.stats.failed += 1;
-                q.reorder.push(
-                    req.seq,
-                    ScoreResponse {
-                        ticket: req.ticket,
-                        status: ScoreStatus::Failed(err.clone()),
-                    },
-                );
-            }
-            for resp in q.reorder.drain_ready() {
-                self.ready.insert(resp.ticket.0, resp);
+            if let Some(q) = self.queues.get_mut(&key) {
+                for req in group.requests {
+                    self.stats.failed += 1;
+                    q.reorder.push(
+                        req.seq,
+                        ScoreResponse {
+                            ticket: req.ticket,
+                            status: ScoreStatus::Failed(err.clone()),
+                        },
+                    );
+                }
+                for resp in q.reorder.drain_ready() {
+                    self.ready.insert(resp.ticket.0, resp);
+                }
+            } else {
+                // The queue vanished mid-flush too: no FIFO gate is left
+                // to order these responses, so fail them straight into the
+                // ready map instead of aborting the server.
+                for req in group.requests {
+                    self.stats.failed += 1;
+                    self.ready.insert(
+                        req.ticket.0,
+                        ScoreResponse {
+                            ticket: req.ticket,
+                            status: ScoreStatus::Failed(err.clone()),
+                        },
+                    );
+                }
             }
             return;
         };
@@ -988,7 +1008,26 @@ impl<'a> GnnServer<'a> {
                 }
             }
         }
-        let q = self.queues.get_mut(&key).expect("queue exists");
+        let Some(q) = self.queues.get_mut(&key) else {
+            // Same containment as above: a vanished queue costs this group
+            // its FIFO ordering, not the process. Fail the requests
+            // straight into the ready map.
+            let err = Error::Internal(format!(
+                "queue for model {} graph {} vanished mid-flush",
+                key.model, key.graph
+            ));
+            for req in group.requests {
+                self.stats.failed += 1;
+                self.ready.insert(
+                    req.ticket.0,
+                    ScoreResponse {
+                        ticket: req.ticket,
+                        status: ScoreStatus::Failed(err.clone()),
+                    },
+                );
+            }
+            return;
+        };
         match outcome {
             Ok(out) => {
                 self.failures.remove(&key);

@@ -453,10 +453,12 @@ impl Tape {
         }
         self.nodes[root.0].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
         for i in (0..=root.0).rev() {
-            if self.nodes[i].grad.is_none() || !self.nodes[i].requires_grad {
+            if !self.nodes[i].requires_grad {
                 continue;
             }
-            let gy = self.nodes[i].grad.clone().unwrap();
+            let Some(gy) = self.nodes[i].grad.clone() else {
+                continue;
+            };
             // Dispatch per-op; reads of input values borrow immutably, grad
             // accumulation happens through `accum` afterwards.
             match &self.nodes[i].op {

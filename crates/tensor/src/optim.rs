@@ -199,8 +199,6 @@ impl Optimizer for Adam {
                 let snapshot = p.clone();
                 p.axpy(-self.lr * decay, &snapshot);
             }
-            let m = self.m[*idx].as_ref().unwrap();
-            let v = self.v[*idx].as_ref().unwrap();
             for ((p_i, m_i), v_i) in p.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
                 let m_hat = m_i / bc1;
                 let v_hat = v_i / bc2;

@@ -45,7 +45,7 @@ fn main() {
     );
     println!(
         "test accuracy: {:.3}",
-        evaluate(&model, &dataset, Split::Test)
+        evaluate(&model, &dataset, Split::Test).expect("evaluation")
     );
 
     // 4. Export the layer-wise signature (weights + GAS annotations) and

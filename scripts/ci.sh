@@ -20,6 +20,13 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
+echo "== itlint --check (static gates vs lint/baseline.toml) =="
+# Workspace determinism/panic-freedom gates (crates/lint): wall-clock
+# reads, panics in library paths, hash-order iteration, ad-hoc threads,
+# env reads. Fails on any violation above the committed ratcheting
+# baseline; burn debt with `itlint --write-baseline` after fixing.
+cargo run -p inferturbo_lint --release --quiet -- --check
+
 echo "== cargo clippy --workspace --all-targets (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

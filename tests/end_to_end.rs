@@ -48,7 +48,7 @@ fn train_small(dataset: &Dataset) -> GnnModel {
 fn train_export_infer_pipeline() {
     let dataset = small_dataset();
     let model = train_small(&dataset);
-    let acc = evaluate(&model, &dataset, Split::Test);
+    let acc = evaluate(&model, &dataset, Split::Test).expect("eval");
     assert!(acc > 0.5, "2-class accuracy should beat chance: {acc}");
 
     // signature roundtrip through disk
@@ -58,8 +58,8 @@ fn train_export_infer_pipeline() {
     std::fs::remove_file(&path).ok();
 
     // the reloaded model must produce byte-identical logits
-    let a = infer_reference(&model, &dataset.graph);
-    let b = infer_reference(&reloaded, &dataset.graph);
+    let a = infer_reference(&model, &dataset.graph).expect("reference");
+    let b = infer_reference(&reloaded, &dataset.graph).expect("reference");
     assert_eq!(a, b, "signature must preserve the model exactly");
 }
 
@@ -67,7 +67,7 @@ fn train_export_infer_pipeline() {
 fn backends_agree_with_reference_after_training() {
     let dataset = small_dataset();
     let model = train_small(&dataset);
-    let want = infer_reference(&model, &dataset.graph);
+    let want = infer_reference(&model, &dataset.graph).expect("reference");
 
     let pregel = infer_pregel(
         &model,
@@ -215,7 +215,7 @@ fn multilabel_end_to_end() {
     // Learnability is asserted more strongly in inferturbo-core's unit
     // tests (micro-F1 > 0.5 on an easier config); here the claim is the
     // multilabel plumbing end to end.
-    let f1 = evaluate(&model, &dataset, Split::Test);
+    let f1 = evaluate(&model, &dataset, Split::Test).expect("eval");
     assert!(f1 > 0.25, "micro-F1 {f1}");
     // multilabel logits flow through the backends unchanged
     let out = infer_mapreduce(

@@ -41,7 +41,7 @@ proptest! {
             1 => GnnModel::gcn(5, 6, 2, 3, false, seed),
             _ => GnnModel::gat(5, 6, 2, 2, 3, false, seed),
         };
-        let want = infer_reference(&model, &g);
+        let want = infer_reference(&model, &g).expect("reference");
         let strat = StrategyConfig::all().with_threshold(threshold);
         let pregel = infer_pregel(&model, &g, ClusterSpec::pregel_cluster(workers), strat)
             .unwrap();
@@ -74,7 +74,7 @@ proptest! {
             ..GenConfig::default()
         });
         let strat = StrategyConfig::none().with_shadow_nodes(true).with_threshold(threshold);
-        let records = build_node_records(&g, &strat, 4);
+        let records = build_node_records(&g, &strat, 4).expect("records");
         let out_deg = g.out_degrees();
         // every original node appears as mirror 0
         let mirror0 = records.iter()
