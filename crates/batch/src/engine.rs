@@ -38,6 +38,7 @@ use inferturbo_common::hash::partition_of;
 use inferturbo_common::par::{par_map, par_map_workers};
 use inferturbo_common::rows::{row_payload_len, FusedAggregator, FusedKeyShard, RowBlock};
 use inferturbo_common::{Error, FxHashMap, Result};
+use inferturbo_obs::{Payload, RoundKind, Site, TraceHandle};
 
 /// Sender-side fold for same-key values (must be commutative/associative —
 /// the annotation contract). Returns `None` when the value was absorbed, or
@@ -386,6 +387,11 @@ pub struct BatchEngine {
     /// Reduce phases executed so far (addresses
     /// [`inferturbo_cluster::FaultSite::ReduceTask`]).
     reduce_rounds: usize,
+    /// Flight-recorder handle; disabled by default. Per-round records are
+    /// emitted at the phase barrier ([`BatchEngine::merge_phase`]) only —
+    /// never from inside worker tasks — so traces are thread-count
+    /// invariant.
+    trace: TraceHandle,
 }
 
 impl BatchEngine {
@@ -400,6 +406,7 @@ impl BatchEngine {
             max_task_retries: 3,
             map_rounds: 0,
             reduce_rounds: 0,
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -428,6 +435,15 @@ impl BatchEngine {
     /// Bound the per-task re-launch count for injected task failures.
     pub fn with_task_retries(mut self, max: u32) -> Self {
         self.max_task_retries = max;
+        self
+    }
+
+    /// Attach a trace handle: round/worker-phase events are emitted only
+    /// at the single-threaded merge barrier, so traces are thread-count
+    /// invariant. The caller scopes the handle's epoch (one engine run =
+    /// one epoch).
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -548,7 +564,7 @@ impl BatchEngine {
                 retries: task_retries,
             })
         });
-        Ok(self.merge_phase(name, 0, results)?.0)
+        Ok(self.merge_phase(name, RoundKind::Map, 0, results)?.0)
     }
 
     /// Reduce phase: group each worker's shuffle partition by key, run its
@@ -630,7 +646,7 @@ impl BatchEngine {
             })
         });
         let _ = data.pending_bytes; // consumed; bytes were charged above
-        Ok(self.merge_phase(name, 0, results)?.0)
+        Ok(self.merge_phase(name, RoundKind::Reduce, 0, results)?.0)
     }
 
     /// Map phase with a columnar output plane: like
@@ -705,7 +721,7 @@ impl BatchEngine {
                 retries: task_retries,
             })
         });
-        self.merge_phase(name, row_dim, results)
+        self.merge_phase(name, RoundKind::Map, row_dim, results)
     }
 
     /// Reduce phase over both planes: each worker's legacy partition and
@@ -836,7 +852,7 @@ impl BatchEngine {
                 retries: task_retries,
             })
         });
-        self.merge_phase(name, out_dim, results)
+        self.merge_phase(name, RoundKind::Reduce, out_dim, results)
     }
 
     /// Barrier: surface the first failure in ascending worker order, check
@@ -845,6 +861,7 @@ impl BatchEngine {
     fn merge_phase<V>(
         &mut self,
         name: String,
+        kind: RoundKind,
         row_dim: usize,
         results: Vec<Result<PhaseOut<V>>>,
     ) -> Result<(KeyedData<V>, KeyedRows)> {
@@ -853,6 +870,8 @@ impl BatchEngine {
         let mut routed: Vec<Vec<(u64, V)>> = (0..n).map(|_| Vec::new()).collect();
         let mut routed_bytes = vec![0u64; n];
         let mut rows = KeyedRows::empty(row_dim, n);
+        let mut round_bytes = MessagePlaneBytes::default();
+        let mut round_retries = 0u64;
         for (w, r) in results.into_iter().enumerate() {
             let o = r.map_err(|e| e.in_phase(&name))?;
             self.spec
@@ -861,6 +880,8 @@ impl BatchEngine {
             metrics.push(o.metrics);
             self.report.retries += o.retries;
             self.report.message_bytes.add(o.msg_bytes);
+            round_retries += o.retries;
+            round_bytes.add(o.msg_bytes);
             for (dst, mut recs) in o.routed.into_iter().enumerate() {
                 routed[dst].append(&mut recs);
                 routed_bytes[dst] += o.routed_bytes[dst];
@@ -874,6 +895,39 @@ impl BatchEngine {
                 out.counts.extend_from_slice(&bucket.counts);
                 out.rows.append(&bucket.rows);
             }
+        }
+        if self.trace.enabled() {
+            // Single-threaded barrier: the only place round telemetry is
+            // emitted, so the trace is identical for every thread budget.
+            let step = self.report.phases.len() as u64;
+            let records: u64 = metrics.iter().map(|m| m.records_out).sum();
+            for (w, m) in metrics.iter().enumerate() {
+                self.trace.emit(
+                    step,
+                    Site::Worker(w as u32),
+                    Payload::WorkerPhase {
+                        phase: name.clone(),
+                        records_in: m.records_in,
+                        records_out: m.records_out,
+                        bytes_in: m.bytes_in,
+                        bytes_out: m.bytes_out,
+                        flops: m.flops,
+                        mem_peak: m.mem_peak,
+                    },
+                );
+            }
+            self.trace.emit(
+                step,
+                Site::Engine,
+                Payload::Round {
+                    phase: name.clone(),
+                    kind,
+                    records,
+                    columnar_bytes: round_bytes.columnar,
+                    legacy_bytes: round_bytes.legacy,
+                    retries: round_retries,
+                },
+            );
         }
         self.report.push_phase(name, metrics);
         Ok((

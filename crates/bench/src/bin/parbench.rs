@@ -26,6 +26,7 @@ use inferturbo_core::models::{GnnModel, PoolOp};
 use inferturbo_core::session::{Backend, InferenceSession};
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::{generate, DegreeSkew, GenConfig};
+use inferturbo_obs::TraceHandle;
 use inferturbo_serve::{GnnServer, ScoreRequest, ServeConfig};
 use std::time::Instant;
 
@@ -132,6 +133,24 @@ fn main() {
         .recovery(RecoveryPolicy::new(1, 3))
         .plan()
         .expect("ckpt session plan");
+
+    // Traced workload: the same planned session with a recording
+    // TraceHandle attached, so every superstep barrier emits its
+    // WorkerPhase/Superstep events. The entry measures the flight
+    // recorder's *enabled*-path cost relative to engine/session_reuse_3k;
+    // every other engine entry runs with the disabled sink (a single
+    // Option check per barrier), which the acceptance gate pins at ≤2%
+    // of the untraced baseline.
+    let trace = TraceHandle::recording();
+    let traced_session = InferenceSession::builder()
+        .model(&model)
+        .graph(&g)
+        .pregel_spec(pregel_spec)
+        .strategy(StrategyConfig::all())
+        .backend(Backend::Pregel)
+        .trace(trace.clone())
+        .plan()
+        .expect("traced session plan"); // itlint::allow(panic-in-lib): bench setup, outside the measured region
 
     // Serving throughput workload: SERVE_BATCH coalescing requests per
     // iteration (graph features -> one group -> one batched run), so the
@@ -250,6 +269,23 @@ fn main() {
             Box::new(|| {
                 let out = ckpt_session.run().unwrap();
                 assert!(out.report.checkpoints > 0, "checkpoint path must engage");
+            }),
+        ),
+        (
+            // The traced session above: identical work to
+            // engine/session_reuse_3k plus barrier-time event recording
+            // (each run lands in its own epoch; the drain bounds sink
+            // memory across iterations). The assert pins that the flight
+            // recorder actually captured the run.
+            "engine/pregel_sage2_3k_traced",
+            true,
+            1.0,
+            Box::new(|| {
+                // itlint::allow(panic-in-lib): bench harness asserts its workload engaged
+                traced_session.run().unwrap();
+                let events = trace.take_events();
+                // itlint::allow(panic-in-lib): bench harness asserts its workload engaged
+                assert!(!events.is_empty(), "recording sink must capture events");
             }),
         ),
         (

@@ -11,6 +11,7 @@
 //! (per-byte / per-FLOP) regime the paper operates in stays visible.
 //! Ratios and shapes are the reproduction target, not absolute numbers.
 
+pub mod clock;
 pub mod ctx;
 pub mod report;
 pub mod workloads;
@@ -28,4 +29,5 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 
+pub use clock::WallClock;
 pub use ctx::ExpCtx;

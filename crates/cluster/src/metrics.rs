@@ -7,6 +7,8 @@
 //! the paper's tables report: total time, `cpu·min` resource usage, and the
 //! per-worker IO distributions behind Figs. 9–13.
 
+use inferturbo_obs::{Histogram, MetricsRegistry};
+
 use crate::spec::ClusterSpec;
 
 /// Measured activity of one worker during one phase.
@@ -280,6 +282,38 @@ impl RunReport {
             .max()
             .unwrap_or(0)
     }
+
+    /// Absorb this run into the unified metrics registry
+    /// ([`inferturbo_obs::MetricsRegistry`]) — the one renderer behind
+    /// the human, JSON-lines and Prometheus expositions.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.section("run");
+        r.counter("run.phases", self.phases.len() as u64);
+        r.gauge("run.total_wall_secs", self.total_wall_secs());
+        r.gauge("run.resource_cpu_min", self.resource_cpu_min());
+        r.counter("run.total_bytes", self.total_bytes());
+        r.counter("run.max_mem_peak_bytes", self.max_mem_peak());
+        r.section("messages");
+        r.counter("messages.columnar_bytes", self.message_bytes.columnar);
+        r.counter("messages.legacy_bytes", self.message_bytes.legacy);
+        r.counter("messages.spilled_bytes", self.spilled_bytes);
+        r.section("resilience");
+        r.counter("resilience.retries", self.retries);
+        r.counter("resilience.checkpoints", self.checkpoints);
+        r.counter("resilience.recovered_supersteps", self.recovered_supersteps);
+        r.section("phases");
+        let mut walls = Histogram::new();
+        for p in &self.phases {
+            walls.observe(p.wall_secs);
+        }
+        r.histogram("phases.wall_secs", walls);
+        for p in &self.phases {
+            r.counter("phase.bytes_out", p.bytes_out_total())
+                .label("phase", p.name.clone());
+        }
+        r
+    }
 }
 
 /// Whole-run per-worker aggregate.
@@ -436,6 +470,30 @@ mod tests {
         assert_eq!(totals[0].bytes_out, 30);
         assert_eq!(totals[1].bytes_in, 30);
         assert_eq!(run.total_bytes(), 30);
+    }
+
+    #[test]
+    fn run_report_absorbs_into_the_registry() {
+        let spec = ClusterSpec::test_spec(2);
+        let mut run = RunReport::new(spec);
+        let mut a = WorkerPhase::default();
+        a.send(10);
+        run.push_phase("superstep-0", vec![a, WorkerPhase::default()]);
+        run.spilled_bytes = 7;
+        run.retries = 1;
+        let text = run.metrics().render_text();
+        assert!(text.contains("run.phases = 1"), "{text}");
+        assert!(text.contains("messages.spilled_bytes = 7"), "{text}");
+        assert!(text.contains("resilience.retries = 1"), "{text}");
+        assert!(
+            text.contains("phase.bytes_out{phase=superstep-0} = 10"),
+            "{text}"
+        );
+        // Zero-traffic run: every value renders, nothing divides by zero.
+        let empty = RunReport::new(ClusterSpec::test_spec(1))
+            .metrics()
+            .render_text();
+        assert!(!empty.contains("NaN") && !empty.contains("inf"), "{empty}");
     }
 
     #[test]

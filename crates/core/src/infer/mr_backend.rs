@@ -25,6 +25,7 @@ use inferturbo_common::hash::partition_of;
 use inferturbo_common::rows::FusedAggregator;
 use inferturbo_common::{Error, FxHashMap, Result};
 use inferturbo_graph::Graph;
+use inferturbo_obs::TraceHandle;
 use std::sync::Arc;
 
 use super::InferenceOutput;
@@ -287,6 +288,7 @@ pub(crate) fn run_planned(
     bc_threshold: u64,
     features: Option<&[Vec<f32>]>,
     faults: Option<&FaultInjector>,
+    trace: TraceHandle,
 ) -> Result<InferenceOutput> {
     if strategy.columnar {
         run_planned_columnar(
@@ -298,6 +300,7 @@ pub(crate) fn run_planned(
             bc_threshold,
             features,
             faults,
+            trace,
         )
     } else {
         run_planned_legacy(
@@ -309,14 +312,21 @@ pub(crate) fn run_planned(
             bc_threshold,
             features,
             faults,
+            trace,
         )
     }
 }
 
 /// Build the round engine, arming the plan's shared-budget injector when
 /// one is set (left unset, the `INFERTURBO_FAULTS` fallback survives).
-fn engine_for(spec: ClusterSpec, faults: Option<&FaultInjector>) -> BatchEngine {
-    let mut eng = BatchEngine::new(spec).with_partition_fn(mr_partition);
+fn engine_for(
+    spec: ClusterSpec,
+    faults: Option<&FaultInjector>,
+    trace: TraceHandle,
+) -> BatchEngine {
+    let mut eng = BatchEngine::new(spec)
+        .with_partition_fn(mr_partition)
+        .with_trace(trace);
     if let Some(inj) = faults {
         eng = eng.with_fault_injector(inj.clone());
     }
@@ -334,10 +344,11 @@ fn run_planned_legacy(
     bc_threshold: u64,
     features: Option<&[Vec<f32>]>,
     faults: Option<&FaultInjector>,
+    trace: TraceHandle,
 ) -> Result<InferenceOutput> {
     let k = model.n_layers();
     let workers = spec.workers;
-    let mut eng = engine_for(spec, faults);
+    let mut eng = engine_for(spec, faults, trace);
     let inputs = eng.scatter_inputs(records.iter().collect());
 
     // --- Map: initial embeddings + layer-0 scatter ------------------------
@@ -551,10 +562,11 @@ fn run_planned_columnar(
     bc_threshold: u64,
     features: Option<&[Vec<f32>]>,
     faults: Option<&FaultInjector>,
+    trace: TraceHandle,
 ) -> Result<InferenceOutput> {
     let k = model.n_layers();
     let workers = spec.workers;
-    let mut eng = engine_for(spec, faults);
+    let mut eng = engine_for(spec, faults, trace);
     let inputs = eng.scatter_inputs(records.iter().collect());
 
     // Fused row aggregation stands in for the wire combiner: same

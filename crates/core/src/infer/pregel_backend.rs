@@ -31,6 +31,7 @@ use inferturbo_cluster::{ClusterSpec, FaultInjector, RecoveryPolicy};
 use inferturbo_common::rows::SpillPolicy;
 use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
+use inferturbo_obs::TraceHandle;
 use inferturbo_pregel::{
     Combiner, FusedAggregator, MessageLayout, Outbox, PregelConfig, PregelEngine, RowsIn,
     ScratchPool, VertexProgram,
@@ -281,6 +282,7 @@ pub(crate) fn run_planned<'g>(
     spill: Option<&SpillPolicy>,
     faults: Option<&FaultInjector>,
     recovery: Option<RecoveryPolicy>,
+    trace: TraceHandle,
 ) -> Result<(InferenceOutput, ScratchPool<GnnMessage>)> {
     let k = model.n_layers();
     let combiners: Vec<Option<WireCombiner>> = (0..k)
@@ -304,7 +306,8 @@ pub(crate) fn run_planned<'g>(
     // auto-arming survives and only an explicit recovery overrides.
     let mut config = PregelConfig::new(spec)
         .with_columnar(strategy.columnar)
-        .with_spill(spill.cloned());
+        .with_spill(spill.cloned())
+        .with_trace(trace);
     if let Some(inj) = faults {
         config = config
             .with_fault_injector(inj.clone())

@@ -36,6 +36,7 @@ use inferturbo_common::hash::partition_of;
 use inferturbo_common::rows::{row_payload_len, SpillPolicy};
 use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
+use inferturbo_obs::{MetricsRegistry, TraceHandle};
 use inferturbo_pregel::ScratchPool;
 use std::sync::Mutex;
 
@@ -76,6 +77,10 @@ pub struct InferencePlan<'a> {
     /// unless an explicit fault schedule is set, in which case the session
     /// controls both knobs and `None` means fail-fast.
     pub(crate) recovery: Option<RecoveryPolicy>,
+    /// Flight-recorder handle shared by every run of this plan. Each run
+    /// executes under its own trace epoch ([`TraceHandle::next_epoch`]),
+    /// so repeated runs append distinguishable event groups to one sink.
+    pub(crate) trace: TraceHandle,
     pub(crate) records: Vec<NodeRecord>,
     pub(crate) bc_threshold: u64,
     pub(crate) hubs: usize,
@@ -115,6 +120,7 @@ impl<'a> InferencePlan<'a> {
         workers: usize,
         fault_plan: Option<FaultPlan>,
         recovery: Option<RecoveryPolicy>,
+        trace: TraceHandle,
     ) -> Result<InferencePlan<'a>> {
         // Broadcast pays one payload per worker instead of one per
         // out-edge, so it only wins when out-degree exceeds the worker
@@ -176,6 +182,7 @@ impl<'a> InferencePlan<'a> {
             workers,
             faults: fault_plan.filter(|p| !p.is_empty()).map(|p| p.injector()),
             recovery,
+            trace,
             records,
             bc_threshold,
             hubs,
@@ -283,6 +290,9 @@ impl<'a> InferencePlan<'a> {
     }
 
     fn run_inner(&self, features: Option<&[Vec<f32>]>) -> Result<InferenceOutput> {
+        // Every run gets its own epoch so traces of repeated runs over one
+        // plan (the serving path) stay separable and byte-stable.
+        let trace = self.trace.next_epoch();
         match self.backend {
             Backend::Pregel => {
                 // Poison recovery: the pool is plain reusable buffers with no
@@ -306,6 +316,7 @@ impl<'a> InferencePlan<'a> {
                     self.spill.as_ref(),
                     self.faults.as_ref(),
                     self.recovery,
+                    trace,
                 )?;
                 *self
                     .scratch
@@ -322,6 +333,7 @@ impl<'a> InferencePlan<'a> {
                 self.bc_threshold,
                 features,
                 self.faults.as_ref(),
+                trace,
             ),
             Backend::Reference => Ok(InferenceOutput {
                 logits: reference_logits(self.model, self.graph, features),
@@ -360,45 +372,71 @@ pub struct PlanSummary {
     pub estimate: PlanEstimate,
 }
 
-impl std::fmt::Display for PlanSummary {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "plan: {:?} backend (requested {:?}), {} workers",
-            self.backend, self.requested, self.workers
-        )?;
-        writeln!(
-            f,
-            "  graph: {} nodes, {} edges -> {} records ({} mirrors, {} hubs, threshold {})",
-            self.n_nodes, self.n_edges, self.records, self.mirrors, self.hubs, self.hub_threshold
-        )?;
-        writeln!(
-            f,
-            "  memory: pregel peak/worker ~{} B vs budget {} B (mapreduce peak ~{} B)",
-            self.estimate.pregel_peak_worker_bytes,
-            self.memory_budget,
-            self.estimate.mapreduce_peak_worker_bytes
-        )?;
+impl PlanSummary {
+    /// Convert into the unified metrics registry (see
+    /// [`inferturbo_obs::MetricsRegistry`]). `Display` renders this; the
+    /// JSON-lines and Prometheus expositions come for free.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.section("plan");
+        reg.counter("plan.workers", self.workers as u64)
+            .label("backend", format!("{:?}", self.backend))
+            .label("requested", format!("{:?}", self.requested));
+        reg.section("graph");
+        reg.counter("graph.nodes", self.n_nodes as u64)
+            .counter("graph.edges", self.n_edges as u64)
+            .counter("graph.records", self.records as u64)
+            .counter("graph.mirrors", self.mirrors as u64)
+            .counter("graph.hubs", self.hubs as u64)
+            .counter("graph.hub_threshold", self.hub_threshold);
+        reg.section("memory");
+        reg.counter("memory.budget_bytes", self.memory_budget)
+            .counter(
+                "memory.pregel_peak_worker_bytes",
+                self.estimate.pregel_peak_worker_bytes,
+            )
+            .counter(
+                "memory.mapreduce_peak_worker_bytes",
+                self.estimate.mapreduce_peak_worker_bytes,
+            );
         if let Some(budget) = self.spill_budget {
-            writeln!(
-                f,
-                "  spill: resident window {} B/worker, ~{} B paged to disk at peak",
-                budget, self.estimate.pregel_spilled_worker_bytes
-            )?;
+            reg.section("spill");
+            reg.counter("spill.resident_window_bytes", budget).counter(
+                "spill.paged_at_peak_bytes",
+                self.estimate.pregel_spilled_worker_bytes,
+            );
         }
         for l in &self.estimate.layers {
-            writeln!(
-                f,
-                "  layer {}: dim {:>3} | predicted columnar {} B, legacy {} B, +mr self-state {} B",
-                l.layer, l.msg_dim, l.columnar_bytes, l.legacy_bytes, l.mapreduce_selfstate_bytes
-            )?;
+            reg.section(format!("layer {}", l.layer));
+            let tag = l.layer.to_string();
+            reg.counter("layer.msg_dim", l.msg_dim as u64)
+                .label("layer", tag.clone());
+            reg.counter("layer.columnar_bytes", l.columnar_bytes)
+                .label("layer", tag.clone());
+            reg.counter("layer.legacy_bytes", l.legacy_bytes)
+                .label("layer", tag.clone());
+            reg.counter(
+                "layer.mapreduce_selfstate_bytes",
+                l.mapreduce_selfstate_bytes,
+            )
+            .label("layer", tag);
         }
-        write!(
-            f,
-            "  totals: pregel ~{} B, mapreduce ~{} B",
+        reg.section("totals");
+        reg.counter(
+            "totals.pregel_total_bytes",
             self.estimate.pregel_total_bytes(),
-            self.estimate.mapreduce_total_bytes()
         )
+        .counter(
+            "totals.mapreduce_total_bytes",
+            self.estimate.mapreduce_total_bytes(),
+        );
+        reg
+    }
+}
+
+impl std::fmt::Display for PlanSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.metrics().render_text().trim_end())
     }
 }
 

@@ -82,6 +82,7 @@ use inferturbo_cluster::{ClusterSpec, FaultPlan, RecoveryPolicy};
 use inferturbo_common::rows::SpillPolicy;
 use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
+use inferturbo_obs::TraceHandle;
 use std::path::PathBuf;
 
 /// Which execution backend a session runs on.
@@ -122,6 +123,7 @@ impl InferenceSession {
             spill_budget: None,
             fault_plan: None,
             recovery: None,
+            trace: None,
         }
     }
 }
@@ -142,6 +144,7 @@ pub struct SessionBuilder<'a> {
     spill_budget: Option<u64>,
     fault_plan: Option<FaultPlan>,
     recovery: Option<RecoveryPolicy>,
+    trace: Option<TraceHandle>,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -239,6 +242,18 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Attach a flight-recorder handle (see [`inferturbo_obs`]): the
+    /// plan's engines emit structured events at their single-threaded
+    /// barriers, byte-identical for every thread budget and across
+    /// checkpoint-recovery replays. Unset, the handle is armed from the
+    /// `INFERTURBO_TRACE` environment variable (recording when set to a
+    /// non-empty value other than `0`, otherwise the zero-cost disabled
+    /// sink).
+    pub fn trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Stage 2 of the pipeline: validate the configuration and do the
     /// one-time planning work. See [`InferencePlan`] for what the plan
     /// owns and what repeated runs skip.
@@ -300,6 +315,7 @@ impl<'a> SessionBuilder<'a> {
             workers,
             self.fault_plan,
             self.recovery,
+            self.trace.unwrap_or_else(inferturbo_obs::arm::from_env),
         )
     }
 }

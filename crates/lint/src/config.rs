@@ -31,10 +31,15 @@ const UNORDERED_SCOPE: &[&str] = &[
 const SPAWN_EXEMPT: &[&str] = &["crates/common/src/par.rs"];
 
 /// Modules sanctioned to read the environment: the thread-budget resolver
-/// (`INFERTURBO_THREADS`) and the fault-schedule arming hook
-/// (`INFERTURBO_FAULTS`). Anything else uses an inline allow with a reason
-/// (e.g. the `INFERTURBO_OVERLOAD` knob in `crates/serve/src/server.rs`).
-const ENV_EXEMPT: &[&str] = &["crates/common/src/par.rs", "crates/cluster/src/fault.rs"];
+/// (`INFERTURBO_THREADS`), the fault-schedule arming hook
+/// (`INFERTURBO_FAULTS`) and the trace arming hook (`INFERTURBO_TRACE`).
+/// Anything else uses an inline allow with a reason (e.g. the
+/// `INFERTURBO_OVERLOAD` knob in `crates/serve/src/server.rs`).
+const ENV_EXEMPT: &[&str] = &[
+    "crates/common/src/par.rs",
+    "crates/cluster/src/fault.rs",
+    "crates/obs/src/arm.rs",
+];
 
 /// Does `rule` apply to the file at workspace-relative `rel_path`?
 pub fn rule_applies(rule: &str, rel_path: &str) -> bool {
@@ -144,6 +149,8 @@ mod tests {
         assert!(!rule_applies("raw-spawn", "crates/common/src/par.rs"));
         assert!(rule_applies("raw-spawn", "crates/common/src/rows.rs"));
         assert!(!rule_applies("env-read", "crates/cluster/src/fault.rs"));
+        assert!(!rule_applies("env-read", "crates/obs/src/arm.rs"));
+        assert!(rule_applies("env-read", "crates/obs/src/sink.rs"));
         assert!(rule_applies("env-read", "crates/serve/src/server.rs"));
         assert!(!rule_applies(
             "panic-in-lib",

@@ -97,6 +97,18 @@ fn env_read_fixture_flags_env_access_outside_sanctioned_modules() {
 }
 
 #[test]
+fn env_read_sanction_covers_only_the_obs_arming_module() {
+    // The `INFERTURBO_TRACE` arming hook is sanctioned; any other env
+    // read inside `crates/obs` still flags.
+    assert_eq!(hits("crates/obs/src/arm.rs", ENV_READ), vec![]);
+    let got = hits("crates/obs/src/sink.rs", ENV_READ);
+    assert_eq!(
+        got,
+        vec![("env-read".to_string(), 2), ("env-read".to_string(), 3)]
+    );
+}
+
+#[test]
 fn allow_directives_suppress_only_what_they_name() {
     let got = hits("crates/core/src/fixture.rs", ALLOWS);
     assert_eq!(

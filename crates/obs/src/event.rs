@@ -1,0 +1,436 @@
+//! The trace event model: logical time, emission sites, typed payloads.
+//!
+//! Every record a sink stores is keyed by [`LogicalTime`] (epoch × step)
+//! and a [`Site`] — *where* in the topology the event happened — plus a
+//! per-(time, site) sequence number assigned when the trace is sealed.
+//! There is deliberately no wall-clock field anywhere in this module: the
+//! whole point of the flight recorder is that its output is a pure
+//! function of the workload, so two runs of the same job produce the same
+//! bytes at every thread count and across fault-recovery replays.
+
+use std::fmt;
+
+/// Logical time: `epoch` is the outer counter (engine run index for
+/// sessions, server tick for serving), `step` the inner one (superstep for
+/// Pregel, phase round for MapReduce, 0 for serve-side events). Ordering
+/// is lexicographic — the sort key of a sealed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LogicalTime {
+    pub epoch: u64,
+    pub step: u64,
+}
+
+impl LogicalTime {
+    pub fn new(epoch: u64, step: u64) -> Self {
+        LogicalTime { epoch, step }
+    }
+}
+
+/// Where an event was emitted. The derived `Ord` (variant order, then
+/// payload) is the tiebreak between events sharing a [`LogicalTime`]:
+/// engine summaries sort before per-worker detail, recovery-plane events
+/// after both, and serve-side events last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Site {
+    /// The engine barrier (one summary per superstep / round).
+    Engine,
+    /// One simulated worker.
+    Worker(u32),
+    /// The recovery plane: checkpoints and replays. Durable — these
+    /// records survive a trace rewind, so stripping `site=recovery` lines
+    /// from a faulted trace yields the fault-free trace.
+    Recovery,
+    /// The serving loop (batcher flushes, engine runs, breaker moves).
+    Server,
+    /// One request ticket's lifecycle.
+    Ticket(u64),
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Site::Engine => write!(f, "engine"),
+            Site::Worker(w) => write!(f, "worker:{w}"),
+            Site::Recovery => write!(f, "recovery"),
+            Site::Server => write!(f, "server"),
+            Site::Ticket(t) => write!(f, "ticket:{t}"),
+        }
+    }
+}
+
+impl Site {
+    /// Parse the `Display` form back; used by the `itrace` loader.
+    pub fn parse(s: &str) -> Option<Site> {
+        match s {
+            "engine" => return Some(Site::Engine),
+            "recovery" => return Some(Site::Recovery),
+            "server" => return Some(Site::Server),
+            _ => {}
+        }
+        if let Some(w) = s.strip_prefix("worker:") {
+            return w.parse().ok().map(Site::Worker);
+        }
+        if let Some(t) = s.strip_prefix("ticket:") {
+            return t.parse().ok().map(Site::Ticket);
+        }
+        None
+    }
+}
+
+/// What happened. Each variant is one record kind with typed fields; the
+/// line format renders them as `k=v` pairs (values never contain spaces),
+/// so a trace is both byte-stable and trivially machine-parseable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// One sealed superstep, emitted at the Pregel barrier after the
+    /// memory-model check passed (a failed superstep emits nothing).
+    Superstep {
+        phase: String,
+        active: bool,
+        /// Rows/records delivered into next-superstep inboxes.
+        rows_sealed: u64,
+        /// Message volume this step, by wire plane.
+        columnar_bytes: u64,
+        legacy_bytes: u64,
+        /// Inbox bytes paged out under the spill budget at seal time.
+        spilled_bytes: u64,
+    },
+    /// One worker's side of a phase (Pregel superstep or MapReduce task).
+    WorkerPhase {
+        phase: String,
+        records_in: u64,
+        records_out: u64,
+        bytes_in: u64,
+        bytes_out: u64,
+        flops: f64,
+        mem_peak: u64,
+    },
+    /// One MapReduce phase barrier (map or reduce round).
+    Round {
+        phase: String,
+        kind: RoundKind,
+        records: u64,
+        columnar_bytes: u64,
+        legacy_bytes: u64,
+        retries: u64,
+    },
+    /// A superstep checkpoint was taken (recovery plane, durable).
+    Checkpoint { step: u64 },
+    /// A transient failure was absorbed: the engine rewound from
+    /// `failed_step` to the checkpoint at `resume_step` and replayed
+    /// (recovery plane, durable).
+    Retry { failed_step: u64, resume_step: u64 },
+    /// A scoring request entered the server (`tenant` absent = untenanted).
+    Submitted { tenant: Option<u64> },
+    /// Intake admission verdict for this ticket.
+    Admission { outcome: AdmissionOutcome },
+    /// Rate-limiter verdict for a tenanted ticket.
+    Limiter { outcome: LimiterOutcome },
+    /// The ticket joined its plan's micro-batch queue.
+    Enqueued { group_len: u64 },
+    /// Circuit-breaker action observed on this ticket's plan.
+    Breaker { action: BreakerAction },
+    /// One coalesced engine run on behalf of a flushed group.
+    EngineRun {
+        plan: u64,
+        batch: u64,
+        retries: u64,
+        ok: bool,
+    },
+    /// Response-cache probe on the degraded path.
+    Cache { hit: bool },
+    /// The ticket reached its terminal `ScoreStatus`.
+    Terminal { status: TerminalStatus },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundKind {
+    Map,
+    Reduce,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionOutcome {
+    Admitted,
+    Rejected,
+    Quarantined,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimiterOutcome {
+    Pass,
+    Throttled,
+    Degraded,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerAction {
+    FastFail,
+    Opened,
+    Closed,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminalStatus {
+    Served,
+    ServedStale,
+    Shed,
+    DeadlineExceeded,
+    Throttled,
+    Failed,
+}
+
+impl fmt::Display for RoundKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RoundKind::Map => "map",
+            RoundKind::Reduce => "reduce",
+        })
+    }
+}
+
+impl fmt::Display for AdmissionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AdmissionOutcome::Admitted => "admitted",
+            AdmissionOutcome::Rejected => "rejected",
+            AdmissionOutcome::Quarantined => "quarantined",
+        })
+    }
+}
+
+impl fmt::Display for LimiterOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LimiterOutcome::Pass => "pass",
+            LimiterOutcome::Throttled => "throttled",
+            LimiterOutcome::Degraded => "degraded",
+        })
+    }
+}
+
+impl fmt::Display for BreakerAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BreakerAction::FastFail => "fastfail",
+            BreakerAction::Opened => "opened",
+            BreakerAction::Closed => "closed",
+        })
+    }
+}
+
+impl fmt::Display for TerminalStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TerminalStatus::Served => "served",
+            TerminalStatus::ServedStale => "served_stale",
+            TerminalStatus::Shed => "shed",
+            TerminalStatus::DeadlineExceeded => "deadline_exceeded",
+            TerminalStatus::Throttled => "throttled",
+            TerminalStatus::Failed => "failed",
+        })
+    }
+}
+
+impl TerminalStatus {
+    pub fn parse(s: &str) -> Option<TerminalStatus> {
+        Some(match s {
+            "served" => TerminalStatus::Served,
+            "served_stale" => TerminalStatus::ServedStale,
+            "shed" => TerminalStatus::Shed,
+            "deadline_exceeded" => TerminalStatus::DeadlineExceeded,
+            "throttled" => TerminalStatus::Throttled,
+            "failed" => TerminalStatus::Failed,
+            _ => return None,
+        })
+    }
+}
+
+impl Payload {
+    /// Stable record-kind tag, the `kind=` field of the line format.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Superstep { .. } => "superstep",
+            Payload::WorkerPhase { .. } => "worker_phase",
+            Payload::Round { .. } => "round",
+            Payload::Checkpoint { .. } => "checkpoint",
+            Payload::Retry { .. } => "retry",
+            Payload::Submitted { .. } => "submitted",
+            Payload::Admission { .. } => "admission",
+            Payload::Limiter { .. } => "limiter",
+            Payload::Enqueued { .. } => "enqueued",
+            Payload::Breaker { .. } => "breaker",
+            Payload::EngineRun { .. } => "engine_run",
+            Payload::Cache { .. } => "cache",
+            Payload::Terminal { .. } => "terminal",
+        }
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Superstep {
+                phase,
+                active,
+                rows_sealed,
+                columnar_bytes,
+                legacy_bytes,
+                spilled_bytes,
+            } => write!(
+                f,
+                "phase={phase} active={} rows_sealed={rows_sealed} \
+                 columnar_bytes={columnar_bytes} legacy_bytes={legacy_bytes} \
+                 spilled_bytes={spilled_bytes}",
+                u8::from(*active)
+            ),
+            Payload::WorkerPhase {
+                phase,
+                records_in,
+                records_out,
+                bytes_in,
+                bytes_out,
+                flops,
+                mem_peak,
+            } => write!(
+                f,
+                "phase={phase} records_in={records_in} records_out={records_out} \
+                 bytes_in={bytes_in} bytes_out={bytes_out} flops={flops:.0} \
+                 mem_peak={mem_peak}"
+            ),
+            Payload::Round {
+                phase,
+                kind,
+                records,
+                columnar_bytes,
+                legacy_bytes,
+                retries,
+            } => write!(
+                f,
+                "phase={phase} round_kind={kind} records={records} \
+                 columnar_bytes={columnar_bytes} legacy_bytes={legacy_bytes} \
+                 retries={retries}"
+            ),
+            Payload::Checkpoint { step } => write!(f, "at_step={step}"),
+            Payload::Retry {
+                failed_step,
+                resume_step,
+            } => write!(f, "failed_step={failed_step} resume_step={resume_step}"),
+            Payload::Submitted { tenant } => match tenant {
+                Some(t) => write!(f, "tenant={t}"),
+                None => write!(f, "tenant=-"),
+            },
+            Payload::Admission { outcome } => write!(f, "outcome={outcome}"),
+            Payload::Limiter { outcome } => write!(f, "outcome={outcome}"),
+            Payload::Enqueued { group_len } => write!(f, "group_len={group_len}"),
+            Payload::Breaker { action } => write!(f, "action={action}"),
+            Payload::EngineRun {
+                plan,
+                batch,
+                retries,
+                ok,
+            } => write!(
+                f,
+                "plan={plan} batch={batch} retries={retries} ok={}",
+                u8::from(*ok)
+            ),
+            Payload::Cache { hit } => write!(f, "hit={}", u8::from(*hit)),
+            Payload::Terminal { status } => write!(f, "status={status}"),
+        }
+    }
+}
+
+/// One sealed trace record: the sort key plus the payload. `seq` is
+/// assigned at seal time — the rank of this record among records sharing
+/// its `(time, site)` group, in emission order (which is deterministic
+/// because all emission happens at single-threaded barriers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub time: LogicalTime,
+    pub site: Site,
+    pub seq: u32,
+    pub payload: Payload,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch={} step={} site={} seq={} kind={} {}",
+            self.time.epoch,
+            self.time.step,
+            self.site,
+            self.seq,
+            self.payload.kind(),
+            self.payload
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_order_puts_engine_before_workers_before_recovery() {
+        let mut sites = vec![
+            Site::Ticket(3),
+            Site::Recovery,
+            Site::Worker(1),
+            Site::Server,
+            Site::Engine,
+            Site::Worker(0),
+        ];
+        sites.sort();
+        assert_eq!(
+            sites,
+            vec![
+                Site::Engine,
+                Site::Worker(0),
+                Site::Worker(1),
+                Site::Recovery,
+                Site::Server,
+                Site::Ticket(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn site_display_round_trips() {
+        for s in [
+            Site::Engine,
+            Site::Worker(7),
+            Site::Recovery,
+            Site::Server,
+            Site::Ticket(42),
+        ] {
+            assert_eq!(Site::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(Site::parse("worker:x"), None);
+        assert_eq!(Site::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn event_line_is_stable() {
+        let e = Event {
+            time: LogicalTime::new(0, 2),
+            site: Site::Worker(1),
+            seq: 0,
+            payload: Payload::WorkerPhase {
+                phase: "superstep-2".to_string(),
+                records_in: 10,
+                records_out: 12,
+                bytes_in: 100,
+                bytes_out: 120,
+                flops: 512.0,
+                mem_peak: 4096,
+            },
+        };
+        assert_eq!(
+            e.to_string(),
+            "epoch=0 step=2 site=worker:1 seq=0 kind=worker_phase phase=superstep-2 \
+             records_in=10 records_out=12 bytes_in=100 bytes_out=120 flops=512 \
+             mem_peak=4096"
+        );
+    }
+}

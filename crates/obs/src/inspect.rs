@@ -1,0 +1,502 @@
+//! Trace loading and `itrace`-style rendering: per-superstep and
+//! per-tenant summaries plus a critical-path breakdown, computed from the
+//! canonical line format [`crate::sink::TraceHandle::render`] emits.
+
+use inferturbo_common::{Error, Result};
+
+use crate::event::{
+    AdmissionOutcome, BreakerAction, Event, LimiterOutcome, LogicalTime, Payload, RoundKind, Site,
+    TerminalStatus,
+};
+
+/// Parse one rendered trace back into events. The format round-trips:
+/// `parse_trace(render(events)) == events`.
+pub fn parse_trace(text: &str) -> Result<Vec<Event>> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(
+            parse_line(line)
+                .map_err(|e| Error::InvalidConfig(format!("trace line {}: {e}: {line}", i + 1)))?,
+        );
+    }
+    Ok(out)
+}
+
+struct Fields<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn of(line: &'a str) -> Self {
+        Fields {
+            pairs: line
+                .split_ascii_whitespace()
+                .filter_map(|tok| tok.split_once('='))
+                .collect(),
+        }
+    }
+
+    fn get(&self, key: &str) -> std::result::Result<&'a str, String> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("missing field {key}"))
+    }
+
+    fn u64(&self, key: &str) -> std::result::Result<u64, String> {
+        self.get(key)?
+            .parse()
+            .map_err(|_| format!("field {key} is not an integer"))
+    }
+
+    fn f64(&self, key: &str) -> std::result::Result<f64, String> {
+        self.get(key)?
+            .parse()
+            .map_err(|_| format!("field {key} is not a number"))
+    }
+
+    fn flag(&self, key: &str) -> std::result::Result<bool, String> {
+        Ok(self.u64(key)? != 0)
+    }
+
+    fn string(&self, key: &str) -> std::result::Result<String, String> {
+        Ok(self.get(key)?.to_string())
+    }
+}
+
+fn parse_line(line: &str) -> std::result::Result<Event, String> {
+    let f = Fields::of(line);
+    let time = LogicalTime::new(f.u64("epoch")?, f.u64("step")?);
+    let site = Site::parse(f.get("site")?).ok_or_else(|| "unknown site".to_string())?;
+    let seq = f.u64("seq")? as u32;
+    let payload = match f.get("kind")? {
+        "superstep" => Payload::Superstep {
+            phase: f.string("phase")?,
+            active: f.flag("active")?,
+            rows_sealed: f.u64("rows_sealed")?,
+            columnar_bytes: f.u64("columnar_bytes")?,
+            legacy_bytes: f.u64("legacy_bytes")?,
+            spilled_bytes: f.u64("spilled_bytes")?,
+        },
+        "worker_phase" => Payload::WorkerPhase {
+            phase: f.string("phase")?,
+            records_in: f.u64("records_in")?,
+            records_out: f.u64("records_out")?,
+            bytes_in: f.u64("bytes_in")?,
+            bytes_out: f.u64("bytes_out")?,
+            flops: f.f64("flops")?,
+            mem_peak: f.u64("mem_peak")?,
+        },
+        "round" => Payload::Round {
+            phase: f.string("phase")?,
+            kind: match f.get("round_kind")? {
+                "map" => RoundKind::Map,
+                "reduce" => RoundKind::Reduce,
+                other => return Err(format!("unknown round kind {other}")),
+            },
+            records: f.u64("records")?,
+            columnar_bytes: f.u64("columnar_bytes")?,
+            legacy_bytes: f.u64("legacy_bytes")?,
+            retries: f.u64("retries")?,
+        },
+        "checkpoint" => Payload::Checkpoint {
+            step: f.u64("at_step")?,
+        },
+        "retry" => Payload::Retry {
+            failed_step: f.u64("failed_step")?,
+            resume_step: f.u64("resume_step")?,
+        },
+        "submitted" => Payload::Submitted {
+            tenant: match f.get("tenant")? {
+                "-" => None,
+                t => Some(t.parse().map_err(|_| "bad tenant".to_string())?),
+            },
+        },
+        "admission" => Payload::Admission {
+            outcome: match f.get("outcome")? {
+                "admitted" => AdmissionOutcome::Admitted,
+                "rejected" => AdmissionOutcome::Rejected,
+                "quarantined" => AdmissionOutcome::Quarantined,
+                other => return Err(format!("unknown admission outcome {other}")),
+            },
+        },
+        "limiter" => Payload::Limiter {
+            outcome: match f.get("outcome")? {
+                "pass" => LimiterOutcome::Pass,
+                "throttled" => LimiterOutcome::Throttled,
+                "degraded" => LimiterOutcome::Degraded,
+                other => return Err(format!("unknown limiter outcome {other}")),
+            },
+        },
+        "enqueued" => Payload::Enqueued {
+            group_len: f.u64("group_len")?,
+        },
+        "breaker" => Payload::Breaker {
+            action: match f.get("action")? {
+                "fastfail" => BreakerAction::FastFail,
+                "opened" => BreakerAction::Opened,
+                "closed" => BreakerAction::Closed,
+                other => return Err(format!("unknown breaker action {other}")),
+            },
+        },
+        "engine_run" => Payload::EngineRun {
+            plan: f.u64("plan")?,
+            batch: f.u64("batch")?,
+            retries: f.u64("retries")?,
+            ok: f.flag("ok")?,
+        },
+        "cache" => Payload::Cache {
+            hit: f.flag("hit")?,
+        },
+        "terminal" => Payload::Terminal {
+            status: TerminalStatus::parse(f.get("status")?)
+                .ok_or_else(|| "unknown terminal status".to_string())?,
+        },
+        other => return Err(format!("unknown event kind {other}")),
+    };
+    Ok(Event {
+        time,
+        site,
+        seq,
+        payload,
+    })
+}
+
+/// Per-superstep engine summary: one row per `(epoch, step)` carrying the
+/// barrier totals, with recovery-plane annotations inline.
+pub fn render_superstep_summary(events: &[Event]) -> String {
+    let mut out = String::from("per-superstep:\n");
+    let mut rows = 0;
+    for e in events {
+        match &e.payload {
+            Payload::Superstep {
+                phase,
+                active,
+                rows_sealed,
+                columnar_bytes,
+                legacy_bytes,
+                spilled_bytes,
+            } => {
+                rows += 1;
+                out.push_str(&format!(
+                    "  e{} {phase}: rows_sealed={rows_sealed} columnar={columnar_bytes}B \
+                     legacy={legacy_bytes}B spilled={spilled_bytes}B active={}\n",
+                    e.time.epoch,
+                    u8::from(*active)
+                ));
+            }
+            Payload::Round {
+                phase,
+                kind,
+                records,
+                columnar_bytes,
+                legacy_bytes,
+                retries,
+            } => {
+                rows += 1;
+                out.push_str(&format!(
+                    "  e{} {phase} ({kind}): records={records} columnar={columnar_bytes}B \
+                     legacy={legacy_bytes}B retries={retries}\n",
+                    e.time.epoch
+                ));
+            }
+            Payload::Checkpoint { step } => {
+                rows += 1;
+                out.push_str(&format!(
+                    "  e{} [recovery] checkpoint at step {step}\n",
+                    e.time.epoch
+                ));
+            }
+            Payload::Retry {
+                failed_step,
+                resume_step,
+            } => {
+                rows += 1;
+                out.push_str(&format!(
+                    "  e{} [recovery] replay: step {failed_step} failed, resumed from \
+                     {resume_step}\n",
+                    e.time.epoch
+                ));
+            }
+            _ => {}
+        }
+    }
+    if rows == 0 {
+        out.push_str("  (no engine events)\n");
+    }
+    out
+}
+
+/// Per-tenant serving summary: request counts and terminal-status mix per
+/// tenant (`-` = untenanted traffic), in ascending tenant order.
+pub fn render_tenant_summary(events: &[Event]) -> String {
+    // tenant -> (submitted, served, stale, throttled, expired, shed, failed)
+    let mut tenants: Vec<(Option<u64>, [u64; 7])> = Vec::new();
+    // ticket -> tenant, from each ticket's submitted record.
+    let mut ticket_tenant: Vec<(u64, Option<u64>)> = Vec::new();
+    for e in events {
+        if let (Site::Ticket(t), Payload::Submitted { tenant }) = (e.site, &e.payload) {
+            ticket_tenant.push((t, *tenant));
+        }
+    }
+    ticket_tenant.sort();
+    let tenant_of = |ticket: u64| -> Option<u64> {
+        ticket_tenant
+            .binary_search_by_key(&ticket, |(t, _)| *t)
+            .ok()
+            .and_then(|i| ticket_tenant[i].1)
+    };
+    let mut bump = |tenant: Option<u64>, idx: usize| {
+        if let Some(row) = tenants.iter_mut().find(|(t, _)| *t == tenant) {
+            row.1[idx] += 1;
+        } else {
+            let mut counts = [0u64; 7];
+            counts[idx] += 1;
+            tenants.push((tenant, counts));
+        }
+    };
+    for e in events {
+        let Site::Ticket(ticket) = e.site else {
+            continue;
+        };
+        match &e.payload {
+            Payload::Submitted { tenant } => bump(*tenant, 0),
+            Payload::Terminal { status } => {
+                let idx = match status {
+                    TerminalStatus::Served => 1,
+                    TerminalStatus::ServedStale => 2,
+                    TerminalStatus::Throttled => 3,
+                    TerminalStatus::DeadlineExceeded => 4,
+                    TerminalStatus::Shed => 5,
+                    TerminalStatus::Failed => 6,
+                };
+                bump(tenant_of(ticket), idx);
+            }
+            _ => {}
+        }
+    }
+    tenants.sort_by_key(|(t, _)| *t);
+    let mut out = String::from("per-tenant:\n");
+    if tenants.is_empty() {
+        out.push_str("  (no serve events)\n");
+        return out;
+    }
+    for (tenant, c) in tenants {
+        let name = tenant.map_or("-".to_string(), |t| t.to_string());
+        out.push_str(&format!(
+            "  tenant {name}: submitted={} served={} stale={} throttled={} expired={} \
+             shed={} failed={}\n",
+            c[0], c[1], c[2], c[3], c[4], c[5], c[6]
+        ));
+    }
+    out
+}
+
+/// Critical-path breakdown: per superstep, the straggler worker — the one
+/// whose modelled cost (compute flops + dominant-direction communication
+/// bytes) is largest — dominates the barrier, exactly as in the
+/// `RunReport` cost model. Totals show how much of the logical wall is
+/// compute- vs communication-bound.
+pub fn render_critical_path(events: &[Event]) -> String {
+    struct StepCost {
+        epoch: u64,
+        phase: String,
+        worker: u32,
+        flops: f64,
+        comm_bytes: u64,
+    }
+    let mut steps: Vec<StepCost> = Vec::new();
+    for e in events {
+        let Site::Worker(w) = e.site else { continue };
+        let Payload::WorkerPhase {
+            phase,
+            bytes_in,
+            bytes_out,
+            flops,
+            ..
+        } = &e.payload
+        else {
+            continue;
+        };
+        let comm = (*bytes_in).max(*bytes_out);
+        let cost = *flops + comm as f64;
+        let existing = steps
+            .iter_mut()
+            .find(|s| s.epoch == e.time.epoch && s.phase == *phase);
+        match existing {
+            Some(s) => {
+                if cost > s.flops + s.comm_bytes as f64 {
+                    s.worker = w;
+                    s.flops = *flops;
+                    s.comm_bytes = comm;
+                }
+            }
+            None => steps.push(StepCost {
+                epoch: e.time.epoch,
+                phase: phase.clone(),
+                worker: w,
+                flops: *flops,
+                comm_bytes: comm,
+            }),
+        }
+    }
+    let mut out = String::from("critical path (straggler per phase):\n");
+    if steps.is_empty() {
+        out.push_str("  (no worker events)\n");
+        return out;
+    }
+    let mut total_flops = 0.0;
+    let mut total_comm = 0u64;
+    for s in &steps {
+        total_flops += s.flops;
+        total_comm += s.comm_bytes;
+        out.push_str(&format!(
+            "  e{} {}: worker {} (flops={:.0}, comm={}B)\n",
+            s.epoch, s.phase, s.worker, s.flops, s.comm_bytes
+        ));
+    }
+    let total = total_flops + total_comm as f64;
+    if total > 0.0 {
+        out.push_str(&format!(
+            "  total: flops={total_flops:.0} ({:.0}%) comm={total_comm}B ({:.0}%)\n",
+            100.0 * total_flops / total,
+            100.0 * total_comm as f64 / total
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceHandle;
+
+    fn sample_handle() -> TraceHandle {
+        let h = TraceHandle::recording();
+        h.emit(
+            0,
+            Site::Worker(0),
+            Payload::WorkerPhase {
+                phase: "superstep-0".to_string(),
+                records_in: 4,
+                records_out: 6,
+                bytes_in: 64,
+                bytes_out: 96,
+                flops: 128.0,
+                mem_peak: 512,
+            },
+        );
+        h.emit(
+            0,
+            Site::Worker(1),
+            Payload::WorkerPhase {
+                phase: "superstep-0".to_string(),
+                records_in: 2,
+                records_out: 3,
+                bytes_in: 32,
+                bytes_out: 48,
+                flops: 64.0,
+                mem_peak: 256,
+            },
+        );
+        h.emit(
+            0,
+            Site::Engine,
+            Payload::Superstep {
+                phase: "superstep-0".to_string(),
+                active: true,
+                rows_sealed: 6,
+                columnar_bytes: 160,
+                legacy_bytes: 0,
+                spilled_bytes: 0,
+            },
+        );
+        h.emit_durable(1, Site::Recovery, Payload::Checkpoint { step: 1 });
+        h.emit(3, Site::Ticket(7), Payload::Submitted { tenant: Some(42) });
+        h.emit(
+            3,
+            Site::Ticket(7),
+            Payload::Admission {
+                outcome: AdmissionOutcome::Admitted,
+            },
+        );
+        h.emit(
+            3,
+            Site::Server,
+            Payload::EngineRun {
+                plan: 1,
+                batch: 1,
+                retries: 0,
+                ok: true,
+            },
+        );
+        h.emit(
+            4,
+            Site::Ticket(7),
+            Payload::Terminal {
+                status: TerminalStatus::Served,
+            },
+        );
+        h.emit(4, Site::Ticket(8), Payload::Submitted { tenant: None });
+        h.emit(
+            4,
+            Site::Ticket(8),
+            Payload::Terminal {
+                status: TerminalStatus::DeadlineExceeded,
+            },
+        );
+        h
+    }
+
+    #[test]
+    fn trace_round_trips_through_render_and_parse() {
+        let h = sample_handle();
+        let rendered = h.render();
+        let parsed = parse_trace(&rendered).expect("parse");
+        assert_eq!(parsed, h.events());
+        // And re-rendering the parsed events gives the same bytes.
+        let rerendered: String = parsed.iter().map(|e| format!("{e}\n")).collect();
+        assert_eq!(rerendered, rendered);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_trace("epoch=0 step=0 site=engine seq=0 kind=nope").is_err());
+        assert!(parse_trace("not a trace line").is_err());
+        assert!(parse_trace("epoch=x step=0 site=engine seq=0 kind=cache hit=1").is_err());
+    }
+
+    #[test]
+    fn superstep_summary_includes_recovery_annotations() {
+        let s = render_superstep_summary(&sample_handle().events());
+        assert!(s.contains("superstep-0: rows_sealed=6"), "{s}");
+        assert!(s.contains("[recovery] checkpoint at step 1"), "{s}");
+    }
+
+    #[test]
+    fn tenant_summary_attributes_terminals_via_submit_records() {
+        let s = render_tenant_summary(&sample_handle().events());
+        assert!(s.contains("tenant -: submitted=1"), "{s}");
+        assert!(s.contains("tenant 42: submitted=1 served=1"), "{s}");
+        assert!(s.contains("expired=1"), "{s}");
+    }
+
+    #[test]
+    fn critical_path_picks_the_straggler_worker() {
+        let s = render_critical_path(&sample_handle().events());
+        assert!(s.contains("superstep-0: worker 0"), "{s}");
+        assert!(s.contains("total:"), "{s}");
+    }
+
+    #[test]
+    fn summaries_degrade_gracefully_on_empty_traces() {
+        assert!(render_superstep_summary(&[]).contains("(no engine events)"));
+        assert!(render_tenant_summary(&[]).contains("(no serve events)"));
+        assert!(render_critical_path(&[]).contains("(no worker events)"));
+    }
+}

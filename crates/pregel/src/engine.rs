@@ -57,6 +57,7 @@ use inferturbo_common::rows::{
     row_payload_len, FusedAggregator, FusedRows, FusedSlotShard, RowArena, RowShard, SpillPolicy,
 };
 use inferturbo_common::{Error, FxHashMap, Result};
+use inferturbo_obs::{Payload, Site, TraceHandle, TraceMark};
 
 /// Engine configuration.
 ///
@@ -112,6 +113,13 @@ pub struct PregelConfig {
     /// capacity, configuration) surface unchanged. Recovery is bit-exact:
     /// a recovered run is indistinguishable from a fault-free one.
     pub recovery: Option<RecoveryPolicy>,
+    /// Trace sink for the deterministic flight recorder. Disabled by
+    /// default (one branch per superstep). When enabled, the engine emits
+    /// per-worker phase accounting and one superstep summary at the seal
+    /// barrier — never from inside worker tasks — and marks/rewinds the
+    /// sink with each checkpoint/restore, so a recovered trace is
+    /// bit-identical to a fault-free one.
+    pub trace: TraceHandle,
 }
 
 impl PregelConfig {
@@ -127,6 +135,7 @@ impl PregelConfig {
             spill: None,
             faults,
             recovery,
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -188,6 +197,12 @@ impl PregelConfig {
     /// [`PregelConfig::recovery`].
     pub fn with_recovery(mut self, recovery: Option<RecoveryPolicy>) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Attach a trace handle (see [`PregelConfig::trace`]).
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -358,6 +373,10 @@ struct Checkpoint<P: VertexProgram> {
     inbox_bytes: Vec<u64>,
     bcast: FxHashMap<u64, P::Msg>,
     report: RunReport,
+    /// Trace position at snapshot time: restore rewinds the sink here so
+    /// replayed supersteps re-emit into a truncated trace (bit-identical
+    /// to never having failed).
+    trace_mark: TraceMark,
 }
 
 /// The columnar half of one worker's inbox for the next superstep.
@@ -631,6 +650,15 @@ impl<P: VertexProgram> PregelEngine<P> {
                 if !covered && (checkpoint.is_none() || policy.due(self.step)) {
                     checkpoint = Some(self.checkpoint());
                     self.report.checkpoints += 1;
+                    // Durable: checkpoint records live on the recovery
+                    // plane, outside the rewind window.
+                    self.config.trace.emit_durable(
+                        self.step as u64,
+                        Site::Recovery,
+                        Payload::Checkpoint {
+                            step: self.step as u64,
+                        },
+                    );
                 }
             }
             match self.superstep() {
@@ -648,6 +676,14 @@ impl<P: VertexProgram> PregelEngine<P> {
                     self.restore(ckpt);
                     self.report.retries += 1;
                     self.report.recovered_supersteps += (failed - ckpt.step + 1) as u64;
+                    self.config.trace.emit_durable(
+                        failed as u64,
+                        Site::Recovery,
+                        Payload::Retry {
+                            failed_step: failed as u64,
+                            resume_step: ckpt.step as u64,
+                        },
+                    );
                 }
             }
         }
@@ -671,6 +707,7 @@ impl<P: VertexProgram> PregelEngine<P> {
             inbox_bytes: self.inbox_bytes.clone(),
             bcast: self.bcast.clone(),
             report: self.report.clone(),
+            trace_mark: self.config.trace.mark(),
         }
     }
 
@@ -696,6 +733,7 @@ impl<P: VertexProgram> PregelEngine<P> {
         self.report.retries = retries;
         self.report.checkpoints = checkpoints;
         self.report.recovered_supersteps = recovered;
+        self.config.trace.rewind(ckpt.trace_mark);
     }
 
     /// Execute one superstep. Returns whether any vertex ran.
@@ -790,6 +828,7 @@ impl<P: VertexProgram> PregelEngine<P> {
         let mut next_inbox_bytes = vec![0u64; n_workers];
         let mut next_bcast: FxHashMap<u64, P::Msg> = FxHashMap::default();
         let mut any_active = false;
+        let mut step_msg_bytes = MessagePlaneBytes::default();
         for o in &mut outs {
             for w2 in 0..n_workers {
                 metrics[w2].bytes_in += o.recv_bytes[w2];
@@ -797,6 +836,7 @@ impl<P: VertexProgram> PregelEngine<P> {
                 next_inbox_bytes[w2] += o.inbox_bytes[w2];
             }
             any_active |= o.any_active;
+            step_msg_bytes.add(o.msg_bytes);
             self.report.message_bytes.add(o.msg_bytes);
             for (id, payload) in o.bcasts.drain(..) {
                 next_bcast.insert(id, payload);
@@ -890,8 +930,10 @@ impl<P: VertexProgram> PregelEngine<P> {
         let mut next_inbox = Vec::with_capacity(n_workers);
         let mut next_rows = Vec::new();
         let mut next_fused = Vec::new();
+        let mut step_spilled = 0u64;
         for (w2, (arena, cols, resident, spilled, reclaimed)) in sealed_ok.into_iter().enumerate() {
             next_inbox_bytes[w2] += resident;
+            step_spilled += spilled;
             self.report.spilled_bytes += spilled;
             next_inbox.push(arena);
             match cols {
@@ -943,6 +985,42 @@ impl<P: VertexProgram> PregelEngine<P> {
         };
         self.inbox_bytes = next_inbox_bytes;
         self.bcast = next_bcast;
+        // Flight recorder: emit at the barrier only, after every check
+        // passed — a failed superstep leaves no partial records (and a
+        // replayed one re-emits identical ones). Single-threaded here, in
+        // ascending worker order, so the trace is thread-count invariant.
+        if self.config.trace.enabled() {
+            let step64 = step as u64;
+            let mut rows_sealed = 0u64;
+            for (w, m) in metrics.iter().enumerate() {
+                rows_sealed += m.records_in;
+                self.config.trace.emit(
+                    step64,
+                    Site::Worker(w as u32),
+                    Payload::WorkerPhase {
+                        phase: phase_name.clone(),
+                        records_in: m.records_in,
+                        records_out: m.records_out,
+                        bytes_in: m.bytes_in,
+                        bytes_out: m.bytes_out,
+                        flops: m.flops,
+                        mem_peak: m.mem_peak,
+                    },
+                );
+            }
+            self.config.trace.emit(
+                step64,
+                Site::Engine,
+                Payload::Superstep {
+                    phase: phase_name.clone(),
+                    active: any_active,
+                    rows_sealed,
+                    columnar_bytes: step_msg_bytes.columnar,
+                    legacy_bytes: step_msg_bytes.legacy,
+                    spilled_bytes: step_spilled,
+                },
+            );
+        }
         self.report.push_phase(phase_name, metrics);
         self.step += 1;
         Ok(any_active)

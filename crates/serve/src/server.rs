@@ -13,6 +13,9 @@ use inferturbo_core::models::GnnModel;
 use inferturbo_core::session::{Backend, InferenceSession};
 use inferturbo_core::{InferencePlan, StrategyConfig};
 use inferturbo_graph::Graph;
+use inferturbo_obs::{
+    AdmissionOutcome, BreakerAction, LimiterOutcome, Payload, Site, TerminalStatus, TraceHandle,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -91,6 +94,13 @@ pub struct ServeConfig {
     /// keeps the `INFERTURBO_OVERLOAD` drill (which forces a tiny clamp)
     /// inert for deadline-free traffic.
     pub deadline_clamp: Option<u64>,
+    /// Flight-recorder handle for the request lifecycle (see
+    /// [`inferturbo_obs`]): every submit's path through admission, the
+    /// limiter, the batcher, the breaker, the engine and its terminal
+    /// `ScoreStatus` is emitted at `epoch = `the server's logical tick.
+    /// Default: armed from the `INFERTURBO_TRACE` environment variable
+    /// (disabled, zero-cost, unless set).
+    pub trace: TraceHandle,
 }
 
 /// Parse the `INFERTURBO_OVERLOAD` drill knob:
@@ -155,6 +165,7 @@ impl Default for ServeConfig {
             breaker: Some(BreakerConfig::default()),
             response_cache: 4096,
             deadline_clamp: None,
+            trace: inferturbo_obs::arm::from_env(),
         };
         // The CI overload drill: arm an aggressive limiter + deadline
         // clamp into every default-constructed server. Inert for the
@@ -489,11 +500,22 @@ impl<'a> GnnServer<'a> {
     /// admission rejections all fail fast.
     pub fn submit(&mut self, req: ScoreRequest) -> Result<Ticket> {
         let key = req.plan_key();
+        // Serve-plane events carry `epoch = tick, step = 0`; pre-ticket
+        // verdicts sit at `Site::Server`, per-ticket lifecycle at
+        // `Site::Ticket`.
+        let trace = self.cfg.trace.at_epoch(self.clock);
         // Quarantined plans fast-fail before any lookup or planning:
         // queueing more work onto a configuration that keeps failing only
         // manufactures more `Failed` responses.
         if self.quarantined.contains(&key) {
             self.stats.quarantine_rejections += 1;
+            trace.emit(
+                0,
+                Site::Server,
+                Payload::Admission {
+                    outcome: AdmissionOutcome::Quarantined,
+                },
+            );
             return Err(Error::InvalidConfig(format!(
                 "plan quarantined after {} consecutive failed runs \
                  (model {}, graph {}); a successful run of pending work \
@@ -561,6 +583,13 @@ impl<'a> GnnServer<'a> {
                 return match rl.policy {
                     OverflowPolicy::Reject => {
                         self.stats.overload.throttled += 1;
+                        trace.emit(
+                            0,
+                            Site::Server,
+                            Payload::Limiter {
+                                outcome: LimiterOutcome::Throttled,
+                            },
+                        );
                         Err(Error::Overloaded(format!(
                             "tenant {tenant} exceeded its rate limit \
                              ({} tokens, +{}/tick)",
@@ -568,7 +597,20 @@ impl<'a> GnnServer<'a> {
                         )))
                     }
                     OverflowPolicy::Degrade => {
-                        Ok(self.resolve_degraded(key, &req.features, &req.targets, n_nodes))
+                        trace.emit(
+                            0,
+                            Site::Server,
+                            Payload::Limiter {
+                                outcome: LimiterOutcome::Degraded,
+                            },
+                        );
+                        Ok(self.resolve_degraded(
+                            key,
+                            &req.features,
+                            &req.targets,
+                            n_nodes,
+                            req.tenant,
+                        ))
                     }
                 };
             }
@@ -585,11 +627,30 @@ impl<'a> GnnServer<'a> {
                 .is_some_and(|b| b.state(&bc, clock) == BreakerState::Open);
             if open {
                 self.stats.overload.breaker_rejections += 1;
+                trace.emit(
+                    0,
+                    Site::Server,
+                    Payload::Breaker {
+                        action: BreakerAction::FastFail,
+                    },
+                );
                 return match self.stale_lookup(&key, &req.features, &req.targets, n_nodes) {
                     Some(rows) => {
                         let ticket = self.tickets.issue();
                         self.stats.submitted += 1;
                         self.stats.overload.served_stale += 1;
+                        trace.emit(
+                            0,
+                            Site::Ticket(ticket.0),
+                            Payload::Submitted { tenant: req.tenant },
+                        );
+                        trace.emit(
+                            0,
+                            Site::Ticket(ticket.0),
+                            Payload::Terminal {
+                                status: TerminalStatus::ServedStale,
+                            },
+                        );
                         self.ready.insert(
                             ticket.0,
                             ScoreResponse {
@@ -645,14 +706,36 @@ impl<'a> GnnServer<'a> {
             let plan = builder.plan()?;
             let bytes = plan_residency(&plan);
             match self.admission.try_admit(key, bytes) {
-                Admission::Admitted => {}
+                Admission::Admitted => {
+                    trace.emit(
+                        0,
+                        Site::Server,
+                        Payload::Admission {
+                            outcome: AdmissionOutcome::Admitted,
+                        },
+                    );
+                }
                 Admission::AdmittedAfterShedding(shed) => {
+                    trace.emit(
+                        0,
+                        Site::Server,
+                        Payload::Admission {
+                            outcome: AdmissionOutcome::Admitted,
+                        },
+                    );
                     for k in &shed {
                         self.evict(k);
                     }
                 }
                 Admission::Rejected => {
                     self.stats.rejected += 1;
+                    trace.emit(
+                        0,
+                        Site::Server,
+                        Payload::Admission {
+                            outcome: AdmissionOutcome::Rejected,
+                        },
+                    );
                     return Err(Error::InvalidConfig(format!(
                         "admission denied: plan needs {bytes} B peak residency, fleet has \
                          {remaining} of {} B",
@@ -691,6 +774,18 @@ impl<'a> GnnServer<'a> {
             deadline: deadline.map(|d| (clock + d, d)),
         });
         let full = q.groups[gi].requests.len() >= self.cfg.max_batch;
+        trace.emit(
+            0,
+            Site::Ticket(ticket.0),
+            Payload::Submitted { tenant: req.tenant },
+        );
+        trace.emit(
+            0,
+            Site::Ticket(ticket.0),
+            Payload::Enqueued {
+                group_len: q.groups[gi].requests.len() as u64,
+            },
+        );
         self.pending += 1;
         self.stats.submitted += 1;
         self.stats.queue_depth_high_water = self.stats.queue_depth_high_water.max(self.pending);
@@ -817,6 +912,7 @@ impl<'a> GnnServer<'a> {
     /// they can never flush as zero-request batches.
     fn expire_deadlines(&mut self) {
         let clock = self.clock;
+        let trace = self.cfg.trace.at_epoch(clock);
         let keys = self.queue_order.clone();
         for key in keys {
             let Some(q) = self.queues.get_mut(&key) else {
@@ -829,6 +925,13 @@ impl<'a> GnnServer<'a> {
                     match req.deadline {
                         Some((expires_after, budget)) if clock > expires_after => {
                             expired += 1;
+                            trace.emit(
+                                0,
+                                Site::Ticket(req.ticket.0),
+                                Payload::Terminal {
+                                    status: TerminalStatus::DeadlineExceeded,
+                                },
+                            );
                             q.reorder.push(
                                 req.seq,
                                 ScoreResponse {
@@ -877,11 +980,20 @@ impl<'a> GnnServer<'a> {
                 Some(row) => rows.push(row.to_vec()),
                 None => {
                     self.stats.overload.cache_misses += 1;
+                    self.cfg.trace.at_epoch(self.clock).emit(
+                        0,
+                        Site::Server,
+                        Payload::Cache { hit: false },
+                    );
                     return None;
                 }
             }
         }
         self.stats.overload.cache_hits += 1;
+        self.cfg
+            .trace
+            .at_epoch(self.clock)
+            .emit(0, Site::Server, Payload::Cache { hit: true });
         Some(Arc::new(rows))
     }
 
@@ -897,19 +1009,27 @@ impl<'a> GnnServer<'a> {
         features: &Option<FeatureSnapshot>,
         targets: &[u32],
         n_nodes: usize,
+        tenant: Option<u64>,
     ) -> Ticket {
         let ticket = self.tickets.issue();
         self.stats.submitted += 1;
-        let status = match self.stale_lookup(&key, features, targets, n_nodes) {
+        let trace = self.cfg.trace.at_epoch(self.clock);
+        trace.emit(0, Site::Ticket(ticket.0), Payload::Submitted { tenant });
+        let (status, terminal) = match self.stale_lookup(&key, features, targets, n_nodes) {
             Some(rows) => {
                 self.stats.overload.served_stale += 1;
-                ScoreStatus::ServedStale(rows)
+                (ScoreStatus::ServedStale(rows), TerminalStatus::ServedStale)
             }
             None => {
                 self.stats.overload.throttled += 1;
-                ScoreStatus::Throttled
+                (ScoreStatus::Throttled, TerminalStatus::Throttled)
             }
         };
+        trace.emit(
+            0,
+            Site::Ticket(ticket.0),
+            Payload::Terminal { status: terminal },
+        );
         self.ready
             .insert(ticket.0, ScoreResponse { ticket, status });
         ticket
@@ -919,6 +1039,7 @@ impl<'a> GnnServer<'a> {
     /// per-request logits sliced from its output, responses released
     /// through the plan's FIFO gate.
     fn flush_group(&mut self, key: PlanKey, gi: usize) {
+        let trace = self.cfg.trace.at_epoch(self.clock);
         let Some(q) = self.queues.get_mut(&key) else {
             return;
         };
@@ -937,6 +1058,13 @@ impl<'a> GnnServer<'a> {
             if let Some(q) = self.queues.get_mut(&key) {
                 for req in group.requests {
                     self.stats.failed += 1;
+                    trace.emit(
+                        0,
+                        Site::Ticket(req.ticket.0),
+                        Payload::Terminal {
+                            status: TerminalStatus::Failed,
+                        },
+                    );
                     q.reorder.push(
                         req.seq,
                         ScoreResponse {
@@ -954,6 +1082,13 @@ impl<'a> GnnServer<'a> {
                 // ready map instead of aborting the server.
                 for req in group.requests {
                     self.stats.failed += 1;
+                    trace.emit(
+                        0,
+                        Site::Ticket(req.ticket.0),
+                        Payload::Terminal {
+                            status: TerminalStatus::Failed,
+                        },
+                    );
                     self.ready.insert(
                         req.ticket.0,
                         ScoreResponse {
@@ -987,6 +1122,18 @@ impl<'a> GnnServer<'a> {
                 other => break other,
             }
         };
+        trace.emit(
+            0,
+            Site::Server,
+            Payload::EngineRun {
+                // A compact, deterministic plan fingerprint for the trace
+                // (the full key does not fit one u64).
+                plan: (key.model << 32) ^ key.graph,
+                batch: group.requests.len() as u64,
+                retries: u64::from(self.cfg.max_run_retries - attempts_left),
+                ok: outcome.is_ok(),
+            },
+        );
         // Feed the run's outcome to the plan's circuit breaker (the soft,
         // failure-rate containment tier; see `crate::breaker`). A HalfOpen
         // breaker treats this run as its probe.
@@ -995,6 +1142,13 @@ impl<'a> GnnServer<'a> {
             let b = self.breakers.entry(key).or_default();
             if b.record(&bc, clock, outcome.is_ok()) {
                 self.stats.overload.breaker_opens += 1;
+                trace.emit(
+                    0,
+                    Site::Server,
+                    Payload::Breaker {
+                        action: BreakerAction::Opened,
+                    },
+                );
             }
         }
         // A successful run refreshes the degraded-mode response cache:
@@ -1018,6 +1172,13 @@ impl<'a> GnnServer<'a> {
             ));
             for req in group.requests {
                 self.stats.failed += 1;
+                trace.emit(
+                    0,
+                    Site::Ticket(req.ticket.0),
+                    Payload::Terminal {
+                        status: TerminalStatus::Failed,
+                    },
+                );
                 self.ready.insert(
                     req.ticket.0,
                     ScoreResponse {
@@ -1056,6 +1217,13 @@ impl<'a> GnnServer<'a> {
                         )
                     };
                     self.stats.served += 1;
+                    trace.emit(
+                        0,
+                        Site::Ticket(req.ticket.0),
+                        Payload::Terminal {
+                            status: TerminalStatus::Served,
+                        },
+                    );
                     q.reorder.push(
                         req.seq,
                         ScoreResponse {
@@ -1081,6 +1249,13 @@ impl<'a> GnnServer<'a> {
                 }
                 for req in group.requests {
                     self.stats.failed += 1;
+                    trace.emit(
+                        0,
+                        Site::Ticket(req.ticket.0),
+                        Payload::Terminal {
+                            status: TerminalStatus::Failed,
+                        },
+                    );
                     q.reorder.push(
                         req.seq,
                         ScoreResponse {
@@ -1107,21 +1282,28 @@ impl<'a> GnnServer<'a> {
         self.quarantined.remove(key);
         self.breakers.remove(key);
         let n_nodes = self.graphs.get(&key.graph).map_or(0, |g| g.n_nodes());
+        let trace = self.cfg.trace.at_epoch(self.clock);
         if let Some(mut q) = self.queues.remove(key) {
             for group in q.groups.drain(..) {
                 self.pending -= group.requests.len();
                 let features = group.features;
                 for req in group.requests {
-                    let status = match self.stale_lookup(key, &features, &req.targets, n_nodes) {
-                        Some(rows) => {
-                            self.stats.overload.served_stale += 1;
-                            ScoreStatus::ServedStale(rows)
-                        }
-                        None => {
-                            self.stats.shed += 1;
-                            ScoreStatus::Shed
-                        }
-                    };
+                    let (status, terminal) =
+                        match self.stale_lookup(key, &features, &req.targets, n_nodes) {
+                            Some(rows) => {
+                                self.stats.overload.served_stale += 1;
+                                (ScoreStatus::ServedStale(rows), TerminalStatus::ServedStale)
+                            }
+                            None => {
+                                self.stats.shed += 1;
+                                (ScoreStatus::Shed, TerminalStatus::Shed)
+                            }
+                        };
+                    trace.emit(
+                        0,
+                        Site::Ticket(req.ticket.0),
+                        Payload::Terminal { status: terminal },
+                    );
                     q.reorder.push(
                         req.seq,
                         ScoreResponse {

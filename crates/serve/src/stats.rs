@@ -8,6 +8,7 @@
 //! executed on the server's behalf.
 
 use inferturbo_cluster::{MessagePlaneBytes, OverloadCounters};
+use inferturbo_obs::MetricsRegistry;
 
 /// Counters accumulated by a [`GnnServer`](crate::GnnServer). Cheap to
 /// copy out; `Display` prints the one-page operator view.
@@ -71,59 +72,72 @@ impl ServerStats {
             self.served as f64 / self.batches as f64
         }
     }
+
+    /// Convert into the unified metrics registry (see
+    /// [`inferturbo_obs::MetricsRegistry`]). `Display` renders this; the
+    /// JSON-lines and Prometheus expositions come for free. All ratios are
+    /// denominator-guarded — a zero-traffic server renders `n/a`, never a
+    /// NaN.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.section("serve");
+        reg.counter("serve.submitted", self.submitted)
+            .counter("serve.served", self.served)
+            .counter("serve.rejected", self.rejected)
+            .counter("serve.shed", self.shed)
+            .counter("serve.failed", self.failed);
+        reg.section("batches");
+        reg.counter("batches.runs", self.batches)
+            .ratio(
+                "batches.coalescing",
+                self.served as f64,
+                self.batches as f64,
+            )
+            .counter(
+                "batches.queue_depth_high_water",
+                self.queue_depth_high_water as u64,
+            );
+        reg.section("plans");
+        reg.counter("plans.built", self.plans_built)
+            .counter("plans.cache_hits", self.plan_cache_hits);
+        reg.section("resilience");
+        reg.counter("resilience.run_retries", self.run_retries)
+            .counter("resilience.engine_retries", self.engine_retries)
+            .counter("resilience.checkpoints", self.checkpoints)
+            .counter("resilience.quarantined", self.quarantined)
+            .counter(
+                "resilience.quarantine_rejections",
+                self.quarantine_rejections,
+            );
+        reg.section("overload");
+        reg.counter(
+            "overload.deadline_exceeded",
+            self.overload.deadline_exceeded,
+        )
+        .counter("overload.throttled", self.overload.throttled)
+        .counter("overload.served_stale", self.overload.served_stale)
+        .counter("overload.breaker_opens", self.overload.breaker_opens)
+        .counter(
+            "overload.breaker_fast_fails",
+            self.overload.breaker_rejections,
+        )
+        .ratio(
+            "overload.cache_hit",
+            self.overload.cache_hits as f64,
+            (self.overload.cache_hits + self.overload.cache_misses) as f64,
+        );
+        reg.section("traffic");
+        reg.counter("traffic.columnar_bytes", self.message_bytes.columnar)
+            .counter("traffic.legacy_bytes", self.message_bytes.legacy)
+            .counter("traffic.spilled_bytes", self.spilled_bytes)
+            .gauge("traffic.modelled_run_secs", self.modelled_run_secs);
+        reg
+    }
 }
 
 impl std::fmt::Display for ServerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "serve: {} submitted -> {} served, {} rejected, {} shed, {} failed",
-            self.submitted, self.served, self.rejected, self.shed, self.failed
-        )?;
-        writeln!(
-            f,
-            "  batches: {} runs, coalescing {:.2} req/run, queue high-water {}",
-            self.batches,
-            self.coalescing_ratio(),
-            self.queue_depth_high_water
-        )?;
-        writeln!(
-            f,
-            "  plans: {} built, {} cache hits",
-            self.plans_built, self.plan_cache_hits
-        )?;
-        writeln!(
-            f,
-            "  resilience: {} run retries, {} engine retries, {} checkpoints; \
-             {} quarantined ({} submits rejected)",
-            self.run_retries,
-            self.engine_retries,
-            self.checkpoints,
-            self.quarantined,
-            self.quarantine_rejections
-        )?;
-        writeln!(
-            f,
-            "  overload: {} deadline-exceeded, {} throttled, {} served stale; \
-             breaker {} opens ({} fast-fails); response cache {:.2} hit ratio \
-             ({}/{})",
-            self.overload.deadline_exceeded,
-            self.overload.throttled,
-            self.overload.served_stale,
-            self.overload.breaker_opens,
-            self.overload.breaker_rejections,
-            self.overload.cache_hit_ratio(),
-            self.overload.cache_hits,
-            self.overload.cache_hits + self.overload.cache_misses
-        )?;
-        write!(
-            f,
-            "  traffic: columnar {} B, legacy {} B, spilled {} B; modelled run wall {:.2}s",
-            self.message_bytes.columnar,
-            self.message_bytes.legacy,
-            self.spilled_bytes,
-            self.modelled_run_secs
-        )
+        f.write_str(self.metrics().render_text().trim_end())
     }
 }
 
@@ -152,9 +166,12 @@ mod tests {
             ..ServerStats::default()
         };
         let text = s.to_string();
-        assert!(text.contains("10 submitted"), "{text}");
-        assert!(text.contains("coalescing 4.00 req/run"), "{text}");
-        assert!(text.contains("high-water 5"), "{text}");
+        assert!(text.contains("serve.submitted = 10"), "{text}");
+        assert!(text.contains("batches.coalescing = 4.00 (8/2)"), "{text}");
+        assert!(
+            text.contains("batches.queue_depth_high_water = 5"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -172,11 +189,12 @@ mod tests {
             ..ServerStats::default()
         };
         let text = s.to_string();
-        assert!(text.contains("4 deadline-exceeded"), "{text}");
-        assert!(text.contains("3 throttled"), "{text}");
-        assert!(text.contains("2 served stale"), "{text}");
-        assert!(text.contains("breaker 1 opens (5 fast-fails)"), "{text}");
-        assert!(text.contains("0.50 hit ratio (2/4)"), "{text}");
+        assert!(text.contains("overload.deadline_exceeded = 4"), "{text}");
+        assert!(text.contains("overload.throttled = 3"), "{text}");
+        assert!(text.contains("overload.served_stale = 2"), "{text}");
+        assert!(text.contains("overload.breaker_opens = 1"), "{text}");
+        assert!(text.contains("overload.breaker_fast_fails = 5"), "{text}");
+        assert!(text.contains("overload.cache_hit = 0.50 (2/4)"), "{text}");
     }
 
     #[test]
@@ -190,12 +208,24 @@ mod tests {
             ..ServerStats::default()
         };
         let text = s.to_string();
-        assert!(text.contains("2 run retries"), "{text}");
-        assert!(text.contains("5 engine retries"), "{text}");
-        assert!(text.contains("7 checkpoints"), "{text}");
+        assert!(text.contains("resilience.run_retries = 2"), "{text}");
+        assert!(text.contains("resilience.engine_retries = 5"), "{text}");
+        assert!(text.contains("resilience.checkpoints = 7"), "{text}");
+        assert!(text.contains("resilience.quarantined = 1"), "{text}");
         assert!(
-            text.contains("1 quarantined (3 submits rejected)"),
+            text.contains("resilience.quarantine_rejections = 3"),
             "{text}"
         );
+    }
+
+    /// The zero-traffic case the hand-rolled `Display` paths used to
+    /// mishandle: every ratio must render guarded, never a NaN.
+    #[test]
+    fn zero_traffic_display_renders_guarded_ratios() {
+        let text = ServerStats::default().to_string();
+        assert!(text.contains("batches.coalescing = n/a (0/0)"), "{text}");
+        assert!(text.contains("overload.cache_hit = n/a (0/0)"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(!text.contains("inf"), "{text}");
     }
 }

@@ -23,6 +23,7 @@ use inferturbo::core::strategy::StrategyConfig;
 use inferturbo::core::train::{train, TrainConfig};
 use inferturbo::graph::gen::DegreeSkew;
 use inferturbo::graph::Dataset;
+use inferturbo::obs::{inspect, TraceHandle};
 use inferturbo::serve::{
     AdmissionPolicy, FeatureSnapshot, GnnServer, RateLimitConfig, ScoreRequest, ServeConfig,
 };
@@ -57,6 +58,10 @@ fn main() {
         .expect("probe plan");
     let budget = probe.estimate().pregel_peak_worker_bytes * 3 / 2;
 
+    // The flight recorder: every request's path through admission, the
+    // limiter, the batcher and the engine lands in one deterministic
+    // trace, summarised per tenant in step 9.
+    let trace = TraceHandle::recording();
     let mut server = GnnServer::new(ServeConfig {
         max_batch: 8,
         max_wait: 2,
@@ -68,6 +73,7 @@ fn main() {
         // keeps two full refreshes of this 8k-node graph resident.
         rate_limit: Some(RateLimitConfig::degrade(4, 1)),
         response_cache: 16 * 1024,
+        trace: trace.clone(),
         ..ServeConfig::default()
     });
     server.register_model(1, &model).unwrap();
@@ -228,5 +234,14 @@ fn main() {
         server.admission().plans(),
         server.admission().resident_bytes(),
         server.admission().budget()
+    );
+
+    // 9. The per-tenant trace summary (the same view `itrace --tenants`
+    //    renders from a saved trace file): the untenanted replay traffic
+    //    and tenant 42's degraded burst, each tracked submit → terminal.
+    println!(
+        "
+{}",
+        inspect::render_tenant_summary(&trace.events())
     );
 }

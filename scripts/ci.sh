@@ -61,6 +61,15 @@ echo "== serving tests (forced overload knobs) =="
 INFERTURBO_OVERLOAD=bucket:1,refill:1,deadline:1 \
     cargo test -q --test serving
 
+echo "== serving + trace tests (flight recorder armed) =="
+# Re-runs the serving and trace-determinism suites with the flight
+# recorder armed fleet-wide (SessionBuilder / ServeConfig defaults read
+# INFERTURBO_TRACE via the sanctioned crates/obs arming hook). Recording
+# every superstep, round and ticket lifecycle must not perturb a single
+# served answer; tests that pass an explicit TraceHandle are unaffected
+# by design.
+INFERTURBO_TRACE=1 cargo test -q --test serving --test trace_determinism
+
 echo "== parbench --smoke (forced spill budget) =="
 cargo build --release -p inferturbo-bench
 # One short measurement per bench; never committed as the perf baseline

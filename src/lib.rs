@@ -18,13 +18,17 @@
 //!   full-graph inference drivers (the paper's contribution);
 //! - [`serve`] — the batching, admission-controlled serving layer over
 //!   inference sessions (plan caching, micro-batching, fleet-wide memory
-//!   admission).
+//!   admission);
+//! - [`obs`] — the deterministic flight recorder: structured event
+//!   tracing (byte-identical at every thread count and across recovery
+//!   replays) and the unified metrics registry behind every report.
 
 pub use inferturbo_batch as batch;
 pub use inferturbo_cluster as cluster;
 pub use inferturbo_common as common;
 pub use inferturbo_core as core;
 pub use inferturbo_graph as graph;
+pub use inferturbo_obs as obs;
 pub use inferturbo_pregel as pregel;
 pub use inferturbo_serve as serve;
 pub use inferturbo_tensor as tensor;

@@ -412,8 +412,8 @@ fn spill_budget_lifts_the_memory_cap_with_bit_identical_logits() {
         "spilling must shrink the predicted resident peak"
     );
     let summary = spilling.summary().to_string();
-    assert!(summary.contains("spill:"), "{summary}");
-    assert!(summary.contains("paged to disk"), "{summary}");
+    assert!(summary.contains("[spill]"), "{summary}");
+    assert!(summary.contains("spill.paged_at_peak_bytes"), "{summary}");
     for threads in [1usize, 2, PAR_THREADS] {
         let got = Parallelism::with(threads, || spilling.run().unwrap());
         assert_eq!(
