@@ -30,6 +30,9 @@
 //! legacy plane's ordering discipline — mapper-order concatenation, stable
 //! sort by key — so results stay independent of the thread budget.
 
+use inferturbo_cluster::transport::{
+    self, frame::EncodedKeyRecords, BucketRef, ConcatDest, ConcatExchange, Transport,
+};
 use inferturbo_cluster::{
     ClusterSpec, FaultInjector, FaultPlan, MessagePlaneBytes, RunReport, WorkerPhase,
 };
@@ -392,6 +395,11 @@ pub struct BatchEngine {
     /// never from inside worker tasks — so traces are thread-count
     /// invariant.
     trace: TraceHandle,
+    /// Who moves routed shuffle shards between mappers and reducers at the
+    /// phase barrier. Defaults to the `INFERTURBO_TRANSPORT` selection;
+    /// every backend is bit-identical (see the transport contract), the
+    /// choice only shows on [`RunReport::wire_bytes`].
+    transport: std::sync::Arc<dyn Transport>,
 }
 
 impl BatchEngine {
@@ -407,6 +415,7 @@ impl BatchEngine {
             map_rounds: 0,
             reduce_rounds: 0,
             trace: TraceHandle::disabled(),
+            transport: transport::from_env(),
         }
     }
 
@@ -444,6 +453,15 @@ impl BatchEngine {
     /// one epoch).
     pub fn with_trace(mut self, trace: TraceHandle) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Use an explicit shuffle transport, replacing the
+    /// `INFERTURBO_TRANSPORT` selection. Every backend is bit-identical
+    /// (see the [`transport`] module contract); the choice only shows on
+    /// [`RunReport::wire_bytes`].
+    pub fn with_transport(mut self, transport: std::sync::Arc<dyn Transport>) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -856,9 +874,12 @@ impl BatchEngine {
     }
 
     /// Barrier: surface the first failure in ascending worker order, check
-    /// the memory model, and concatenate routed shards — both planes — per
-    /// destination in mapper order (the serial delivery order).
-    fn merge_phase<V>(
+    /// the memory model, and hand the routed shards — both planes — to the
+    /// shuffle [`Transport`], which concatenates them per destination in
+    /// mapper order (the serial delivery order). Under a byte-moving
+    /// backend the typed legacy records cross the wire through the `V`
+    /// codec; the in-process backend concatenates them typed, in-engine.
+    fn merge_phase<V: Encode + Decode + Clone + Send>(
         &mut self,
         name: String,
         kind: RoundKind,
@@ -867,11 +888,11 @@ impl BatchEngine {
     ) -> Result<(KeyedData<V>, KeyedRows)> {
         let n = self.spec.workers;
         let mut metrics = Vec::with_capacity(n);
-        let mut routed: Vec<Vec<(u64, V)>> = (0..n).map(|_| Vec::new()).collect();
         let mut routed_bytes = vec![0u64; n];
-        let mut rows = KeyedRows::empty(row_dim, n);
         let mut round_bytes = MessagePlaneBytes::default();
         let mut round_retries = 0u64;
+        let mut routed_by_mapper: Vec<Vec<Vec<(u64, V)>>> = Vec::with_capacity(n);
+        let mut rows_by_mapper: Vec<Vec<RowBucket>> = Vec::with_capacity(n);
         for (w, r) in results.into_iter().enumerate() {
             let o = r.map_err(|e| e.in_phase(&name))?;
             self.spec
@@ -882,18 +903,85 @@ impl BatchEngine {
             self.report.message_bytes.add(o.msg_bytes);
             round_retries += o.retries;
             round_bytes.add(o.msg_bytes);
-            for (dst, mut recs) in o.routed.into_iter().enumerate() {
-                routed[dst].append(&mut recs);
-                routed_bytes[dst] += o.routed_bytes[dst];
+            for (dst, b) in o.routed_bytes.iter().enumerate() {
+                routed_bytes[dst] += b;
             }
-            for (dst, bucket) in o.routed_rows.into_iter().enumerate() {
-                if bucket.is_empty() {
-                    continue;
-                }
+            routed_by_mapper.push(o.routed);
+            rows_by_mapper.push(o.routed_rows);
+        }
+        let transport = std::sync::Arc::clone(&self.transport);
+        let needs_bytes = transport.needs_bytes();
+        let mut encoded_legacy: Vec<Option<Vec<EncodedKeyRecords>>> = if needs_bytes {
+            (0..n)
+                .map(|dst| {
+                    Some(
+                        routed_by_mapper
+                            .iter()
+                            .map(|m| {
+                                m.get(dst)
+                                    .map(|recs| {
+                                        recs.iter().map(|(k, v)| (*k, v.to_bytes())).collect()
+                                    })
+                                    .unwrap_or_default()
+                            })
+                            .collect(),
+                    )
+                })
+                .collect()
+        } else {
+            (0..n).map(|_| None).collect()
+        };
+        let mut dests = Vec::with_capacity(n);
+        for (dst, legacy) in encoded_legacy.iter_mut().enumerate() {
+            // Skip the row plane entirely when no mapper emitted rows for
+            // this destination — phases without row traffic move nothing.
+            // A phase with no row traffic leaves `routed_rows` empty
+            // rather than carrying n empty buckets — hence `get`.
+            let buckets: Vec<BucketRef<'_>> = rows_by_mapper
+                .iter()
+                .filter_map(|m| m.get(dst))
+                .filter(|b| !b.is_empty())
+                .map(|b| BucketRef {
+                    keys: &b.keys,
+                    counts: &b.counts,
+                    rows: &b.rows,
+                })
+                .collect();
+            dests.push(ConcatDest {
+                dim: row_dim,
+                buckets: (!buckets.is_empty()).then_some(buckets),
+                legacy: legacy.take(),
+            });
+        }
+        let exchanged = transport
+            .exchange_concat(ConcatExchange { dests })
+            .map_err(|e| e.in_phase(&name))?;
+        self.report.wire_bytes += exchanged.wire_bytes;
+        let mut routed: Vec<Vec<(u64, V)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut rows = KeyedRows::empty(row_dim, n);
+        for (dst, merged) in exchanged.dests.into_iter().enumerate() {
+            if let Some(b) = merged.bucket {
                 let out = &mut rows.per_worker[dst];
-                out.keys.extend_from_slice(&bucket.keys);
-                out.counts.extend_from_slice(&bucket.counts);
-                out.rows.append(&bucket.rows);
+                out.keys = b.keys;
+                out.counts = b.counts;
+                out.rows = b.rows;
+            }
+            if let Some(records) = merged.legacy {
+                let typed = &mut routed[dst];
+                typed.reserve(records.len());
+                for (k, bytes) in records {
+                    let v = V::from_bytes(&bytes).map_err(|e| e.in_phase(&name))?;
+                    typed.push((k, v));
+                }
+            }
+        }
+        if !needs_bytes {
+            // The typed legacy plane never left the engine: concatenate in
+            // ascending mapper order, exactly the serial delivery order.
+            for per_dest in routed_by_mapper {
+                for (dst, mut recs) in per_dest.into_iter().enumerate() {
+                    routed[dst].append(&mut recs);
+                }
             }
         }
         if self.trace.enabled() {

@@ -9,6 +9,7 @@
 //! `DIR/models/` (reused across experiments and runs).
 
 use inferturbo_bench::*;
+use inferturbo_common::Result;
 use std::time::Instant;
 
 fn main() {
@@ -37,7 +38,7 @@ fn main() {
          scale-down: graphs ~1000x smaller than the paper's; compare shapes and ratios.\n"
     );
 
-    type Runner = fn(&ExpCtx);
+    type Runner = fn(&ExpCtx) -> Result<()>;
     let all: Vec<(&str, Runner)> = vec![
         ("table1", table1::run),
         ("table2", table2::run),
@@ -69,10 +70,13 @@ fn main() {
     }
 }
 
-fn run_one(name: &str, f: fn(&ExpCtx), ctx: &ExpCtx) {
+fn run_one(name: &str, f: fn(&ExpCtx) -> Result<()>, ctx: &ExpCtx) {
     let start = Instant::now();
     println!("### {name} ###");
-    f(ctx);
+    if let Err(e) = f(ctx) {
+        eprintln!("experiment `{name}` failed: {e}");
+        std::process::exit(1);
+    }
     println!(
         "[{name} finished in {:.1}s]\n",
         start.elapsed().as_secs_f64()

@@ -19,8 +19,8 @@
 //! numbers; don't commit a smoke-mode JSON as the perf baseline.
 
 use inferturbo_bench::scaling;
-use inferturbo_cluster::{ClusterSpec, RecoveryPolicy};
-use inferturbo_common::{Parallelism, Xoshiro256};
+use inferturbo_cluster::{ClusterSpec, RecoveryPolicy, WorkerProcess};
+use inferturbo_common::{Error, Parallelism, Result, Xoshiro256};
 use inferturbo_core::infer::{infer_mapreduce, infer_pregel};
 use inferturbo_core::models::{GnnModel, PoolOp};
 use inferturbo_core::session::{Backend, InferenceSession};
@@ -31,18 +31,36 @@ use inferturbo_serve::{GnnServer, ScoreRequest, ServeConfig};
 use std::time::Instant;
 
 /// Ops/sec of `f`, measured over at least `secs` wall-clock (1 warmup run).
-fn ops_per_sec(mut f: impl FnMut(), secs: f64) -> f64 {
-    f();
+/// A workload error aborts the measurement instead of skewing the rate.
+fn ops_per_sec(mut f: impl FnMut() -> Result<()>, secs: f64) -> Result<f64> {
+    f()?;
     let t0 = Instant::now();
     let mut iters = 0u64;
     while t0.elapsed().as_secs_f64() < secs {
-        f();
+        f()?;
         iters += 1;
     }
-    iters as f64 / t0.elapsed().as_secs_f64()
+    Ok(iters as f64 / t0.elapsed().as_secs_f64())
+}
+
+/// A workload invariant the measurement is meaningless without (e.g. "the
+/// spill path engaged"): violations surface as values, never aborts.
+fn ensure(cond: bool, what: &str) -> Result<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(Error::InvalidConfig(what.into()))
+    }
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("parbench: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| {
         args.iter()
@@ -99,8 +117,7 @@ fn main() {
         .pregel_spec(pregel_spec)
         .strategy(StrategyConfig::all())
         .backend(Backend::Pregel)
-        .plan()
-        .expect("session plan");
+        .plan()?;
 
     // Out-of-core workload: the same planned session forced through the
     // disk path with a tiny per-worker budget, so the gate exercises the
@@ -117,8 +134,23 @@ fn main() {
         .backend(Backend::Pregel)
         .spill_budget(spill_budget)
         .spill_dir(std::env::temp_dir().join("inferturbo-parbench"))
-        .plan()
-        .expect("spill session plan");
+        .plan()?;
+
+    // Cross-process workload: the same planned session exchanging every
+    // sealed shard through spawned `itworker` children over pipes instead
+    // of in-process moves. Logits and traces are bit-identical to
+    // engine/session_reuse_3k (the transport_equivalence suite enforces
+    // it); the entry measures the frame-codec + pipe cost of the process
+    // transport. Requires the `itworker` binary next to this one (any
+    // workspace build produces both).
+    let xproc_session = InferenceSession::builder()
+        .model(&model)
+        .graph(&g)
+        .pregel_spec(pregel_spec)
+        .strategy(StrategyConfig::all())
+        .backend(Backend::Pregel)
+        .transport(std::sync::Arc::new(WorkerProcess::new()))
+        .plan()?;
 
     // Recovery workload: the same planned session with a checkpoint taken
     // at every superstep barrier (the most aggressive cadence), no faults
@@ -131,8 +163,7 @@ fn main() {
         .strategy(StrategyConfig::all())
         .backend(Backend::Pregel)
         .recovery(RecoveryPolicy::new(1, 3))
-        .plan()
-        .expect("ckpt session plan");
+        .plan()?;
 
     // Traced workload: the same planned session with a recording
     // TraceHandle attached, so every superstep barrier emits its
@@ -149,8 +180,7 @@ fn main() {
         .strategy(StrategyConfig::all())
         .backend(Backend::Pregel)
         .trace(trace.clone())
-        .plan()
-        .expect("traced session plan"); // itlint::allow(panic-in-lib): bench setup, outside the measured region
+        .plan()?;
 
     // Serving throughput workload: SERVE_BATCH coalescing requests per
     // iteration (graph features -> one group -> one batched run), so the
@@ -161,8 +191,8 @@ fn main() {
         max_wait: 0,
         ..ServeConfig::default()
     });
-    server.register_model(1, &model).unwrap();
-    server.register_graph(1, &g).unwrap();
+    server.register_model(1, &model)?;
+    server.register_graph(1, &g)?;
     let serve_req = ScoreRequest::new(1, 1)
         .with_workers(16)
         .with_backend(Backend::Pregel)
@@ -182,19 +212,20 @@ fn main() {
         deadline_clamp: None,
         ..ServeConfig::default()
     });
-    overload_server.register_model(1, &model).unwrap();
-    overload_server.register_graph(1, &g).unwrap();
+    overload_server.register_model(1, &model)?;
+    overload_server.register_graph(1, &g)?;
     // Prime the response cache with one fresh full-logits run so the
     // degraded path has rows to serve (outside the measured region).
-    overload_server
-        .submit(
-            ScoreRequest::new(1, 1)
-                .with_workers(16)
-                .with_backend(Backend::Pregel),
-        )
-        .unwrap();
+    overload_server.submit(
+        ScoreRequest::new(1, 1)
+            .with_workers(16)
+            .with_backend(Backend::Pregel),
+    )?;
     overload_server.tick();
-    assert_eq!(overload_server.drain_ready().len(), 1, "cache priming run");
+    ensure(
+        overload_server.drain_ready().len() == 1,
+        "cache priming run",
+    )?;
     let spike_req = ScoreRequest::new(1, 1)
         .with_workers(16)
         .with_backend(Backend::Pregel)
@@ -202,7 +233,7 @@ fn main() {
         .with_targets(vec![0, 1, 2]);
 
     // (name, is_engine, ops multiplier, workload)
-    type Bench<'a> = (&'a str, bool, f64, Box<dyn FnMut() + 'a>);
+    type Bench<'a> = (&'a str, bool, f64, Box<dyn FnMut() -> Result<()> + 'a>);
     let mut benches: Vec<Bench<'_>> = vec![
         (
             // Default configuration = columnar plane + fused
@@ -211,7 +242,8 @@ fn main() {
             true,
             1.0,
             Box::new(|| {
-                infer_pregel(&model, &g, pregel_spec, StrategyConfig::all()).unwrap();
+                infer_pregel(&model, &g, pregel_spec, StrategyConfig::all())?;
+                Ok(())
             }),
         ),
         (
@@ -227,8 +259,8 @@ fn main() {
                     &g,
                     pregel_spec,
                     StrategyConfig::all().with_partial_gather(false),
-                )
-                .unwrap();
+                )?;
+                Ok(())
             }),
         ),
         (
@@ -241,20 +273,36 @@ fn main() {
             true,
             1.0,
             Box::new(|| {
-                session.run().unwrap();
+                session.run()?;
+                Ok(())
+            }),
+        ),
+        (
+            // The cross-process session above: identical work to
+            // engine/session_reuse_3k, but every sealed shard round-trips
+            // through an `itworker` child over pipes. The gap between the
+            // two entries is the end-to-end cost of the frame codec plus
+            // the pipe writes/reads. The check pins that bytes really
+            // crossed the process boundary.
+            "engine/pregel_sage2_3k_xproc",
+            true,
+            1.0,
+            Box::new(|| {
+                let out = xproc_session.run()?;
+                ensure(out.report.wire_bytes > 0, "process transport must engage")
             }),
         ),
         (
             // The spill session above: identical work to
             // engine/session_reuse_3k plus the out-of-core write/read of
             // every columnar inbox — the measured cost of trading memory
-            // for disk. The assert pins that the disk path really ran.
+            // for disk. The check pins that the disk path really ran.
             "engine/pregel_sage2_3k_spill",
             true,
             1.0,
             Box::new(|| {
-                let out = spill_session.run().unwrap();
-                assert!(out.report.spilled_bytes > 0, "spill path must engage");
+                let out = spill_session.run()?;
+                ensure(out.report.spilled_bytes > 0, "spill path must engage")
             }),
         ),
         (
@@ -262,30 +310,28 @@ fn main() {
             // engine/session_reuse_3k plus a full worker-state snapshot at
             // every superstep barrier — the measured overhead of the
             // checkpoint/recovery contract at its most aggressive cadence.
-            // The assert pins that checkpoints were really taken.
+            // The check pins that checkpoints were really taken.
             "engine/pregel_sage2_3k_ckpt",
             true,
             1.0,
             Box::new(|| {
-                let out = ckpt_session.run().unwrap();
-                assert!(out.report.checkpoints > 0, "checkpoint path must engage");
+                let out = ckpt_session.run()?;
+                ensure(out.report.checkpoints > 0, "checkpoint path must engage")
             }),
         ),
         (
             // The traced session above: identical work to
             // engine/session_reuse_3k plus barrier-time event recording
             // (each run lands in its own epoch; the drain bounds sink
-            // memory across iterations). The assert pins that the flight
+            // memory across iterations). The check pins that the flight
             // recorder actually captured the run.
             "engine/pregel_sage2_3k_traced",
             true,
             1.0,
             Box::new(|| {
-                // itlint::allow(panic-in-lib): bench harness asserts its workload engaged
-                traced_session.run().unwrap();
+                traced_session.run()?;
                 let events = trace.take_events();
-                // itlint::allow(panic-in-lib): bench harness asserts its workload engaged
-                assert!(!events.is_empty(), "recording sink must capture events");
+                ensure(!events.is_empty(), "recording sink must capture events")
             }),
         ),
         (
@@ -300,10 +346,10 @@ fn main() {
             SERVE_BATCH as f64,
             Box::new(|| {
                 for _ in 0..SERVE_BATCH {
-                    server.submit(serve_req.clone()).unwrap();
+                    server.submit(serve_req.clone())?;
                 }
                 let done = server.drain_ready();
-                assert_eq!(done.len(), SERVE_BATCH, "batch must flush at max_batch");
+                ensure(done.len() == SERVE_BATCH, "batch must flush at max_batch")
             }),
         ),
         (
@@ -311,30 +357,28 @@ fn main() {
             // iteration is one spike tick — SPIKE rate-limited tenant
             // requests (mostly degraded to cached rows) plus one request
             // whose deadline always expires. Every request still reaches a
-            // terminal status; the asserts pin that the degraded path
+            // terminal status; the checks pin that the degraded path
             // actually engages (CI's `--smoke` run relies on them).
             "serve/overload_3k",
             true,
             (SPIKE + 1) as f64,
             Box::new(|| {
                 for _ in 0..SPIKE {
-                    overload_server.submit(spike_req.clone()).unwrap();
+                    overload_server.submit(spike_req.clone())?;
                 }
-                overload_server
-                    .submit(
-                        ScoreRequest::new(1, 1)
-                            .with_workers(16)
-                            .with_backend(Backend::Pregel)
-                            .with_deadline(0)
-                            .with_targets(vec![9]),
-                    )
-                    .unwrap();
+                overload_server.submit(
+                    ScoreRequest::new(1, 1)
+                        .with_workers(16)
+                        .with_backend(Backend::Pregel)
+                        .with_deadline(0)
+                        .with_targets(vec![9]),
+                )?;
                 overload_server.tick();
                 let done = overload_server.drain_ready();
-                assert_eq!(done.len(), SPIKE + 1, "overload resolves, it never drops");
+                ensure(done.len() == SPIKE + 1, "overload resolves, it never drops")?;
                 let o = &overload_server.stats().overload;
-                assert!(o.served_stale > 0, "degraded path must serve stale rows");
-                assert!(o.deadline_exceeded > 0, "deadline expiry must engage");
+                ensure(o.served_stale > 0, "degraded path must serve stale rows")?;
+                ensure(o.deadline_exceeded > 0, "deadline expiry must engage")
             }),
         ),
         (
@@ -342,7 +386,8 @@ fn main() {
             true,
             1.0,
             Box::new(|| {
-                infer_mapreduce(&model, &g, mr_spec, StrategyConfig::all()).unwrap();
+                infer_mapreduce(&model, &g, mr_spec, StrategyConfig::all())?;
+                Ok(())
             }),
         ),
         (
@@ -351,6 +396,7 @@ fn main() {
             1.0,
             Box::new(|| {
                 std::hint::black_box(a.matmul(&b));
+                Ok(())
             }),
         ),
         (
@@ -359,6 +405,7 @@ fn main() {
             1.0,
             Box::new(|| {
                 std::hint::black_box(msgs.segment_sum(&seg, 5_000));
+                Ok(())
             }),
         ),
         (
@@ -370,6 +417,7 @@ fn main() {
                     inferturbo_tensor::row_axpy(&mut axpy_acc, axpy_rows.row(r), 0.5);
                 }
                 std::hint::black_box(&mut axpy_acc);
+                Ok(())
             }),
         ),
     ];
@@ -382,8 +430,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut engine_speedups = Vec::new();
     for (name, is_engine, mult, f) in benches.iter_mut() {
-        let serial = Parallelism::with(1, || ops_per_sec(&mut *f, secs)) * *mult;
-        let parallel = Parallelism::with(threads, || ops_per_sec(&mut *f, secs)) * *mult;
+        let serial = Parallelism::with(1, || ops_per_sec(&mut *f, secs))? * *mult;
+        let parallel = Parallelism::with(threads, || ops_per_sec(&mut *f, secs))? * *mult;
         let speedup = parallel / serial;
         if *is_engine {
             engine_speedups.push(speedup);
@@ -410,10 +458,9 @@ fn main() {
     }
     json.push_str("  ]\n");
     json.push_str("}\n");
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("parbench: cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
+    std::fs::write(&out_path, &json)
+        .map_err(|e| Error::Io(format!("cannot write {out_path}: {e}")))?;
     println!("{json}");
     eprintln!("wrote {out_path}");
+    Ok(())
 }

@@ -1,6 +1,7 @@
 //! Shared experiment context: output directory, scale factor, model cache.
 
 use inferturbo_cluster::ClusterSpec;
+use inferturbo_common::Result;
 use inferturbo_core::models::GnnModel;
 use inferturbo_core::signature;
 use inferturbo_core::train::{train, TrainConfig};
@@ -66,28 +67,28 @@ impl ExpCtx {
         dataset: &Dataset,
         build: impl FnOnce() -> GnnModel,
         cfg: &TrainConfig,
-    ) -> GnnModel {
+    ) -> Result<GnnModel> {
         let path = self.out_dir.join("models").join(format!("{tag}.itsig"));
         if path.exists() {
             if let Ok(m) = signature::load(&path) {
-                return m;
+                return Ok(m);
             }
         }
         let mut model = build();
-        let stats = train(&mut model, dataset, cfg).expect("training failed");
+        let stats = train(&mut model, dataset, cfg)?;
         eprintln!(
             "  [train {tag}] loss {:.4} -> {:.4} over {} steps",
             stats.initial_loss(),
             stats.final_loss(),
             cfg.steps
         );
-        signature::save(&model, &path).expect("signature save failed");
-        model
+        signature::save(&model, &path)?;
+        Ok(model)
     }
 }
 
-/// Write a CSV file (header + rows) and return its path for the printout.
-pub fn write_csv(path: &Path, header: &str, rows: &[String]) {
+/// Write a CSV file (header + rows); I/O failures surface as `Error::Io`.
+pub fn write_csv(path: &Path, header: &str, rows: &[String]) -> Result<()> {
     let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
     body.push_str(header);
     body.push('\n');
@@ -95,5 +96,6 @@ pub fn write_csv(path: &Path, header: &str, rows: &[String]) {
         body.push_str(r);
         body.push('\n');
     }
-    std::fs::write(path, body).expect("csv write failed");
+    std::fs::write(path, body)?;
+    Ok(())
 }

@@ -8,12 +8,12 @@ use crate::workloads::{
     plan_session, strategy_graph, strategy_model, worker_busy_secs, STRATEGY_WORKERS,
 };
 use crate::ExpCtx;
-use inferturbo_common::stats;
+use inferturbo_common::{stats, Result};
 use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::DegreeSkew;
 
-pub fn run(ctx: &ExpCtx) {
+pub fn run(ctx: &ExpCtx) -> Result<()> {
     let d = strategy_graph(ctx, DegreeSkew::Out);
     let model = strategy_model(d.graph.node_feat_dim());
     let spec = ctx.mr_spec(STRATEGY_WORKERS);
@@ -36,9 +36,7 @@ pub fn run(ctx: &ExpCtx) {
     let mut csv = Vec::new();
     let mut base_var = None;
     for (name, strat) in configs {
-        let out = plan_session(&model, &d.graph, Backend::MapReduce, spec, strat)
-            .run()
-            .expect("run");
+        let out = plan_session(&model, &d.graph, Backend::MapReduce, spec, strat)?.run()?;
         let times = worker_busy_secs(&out.report);
         let var = stats::variance(&times);
         base_var.get_or_insert(var);
@@ -59,5 +57,5 @@ pub fn run(ctx: &ExpCtx) {
         &ctx.csv_path("fig10_variance.csv"),
         "strategy,variance",
         &csv,
-    );
+    )
 }

@@ -6,12 +6,12 @@ use crate::ctx::write_csv;
 use crate::report::{f, Table};
 use crate::workloads::{plan_session, strategy_graph, strategy_model, STRATEGY_WORKERS};
 use crate::ExpCtx;
-use inferturbo_common::stats;
+use inferturbo_common::{stats, Result};
 use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::DegreeSkew;
 
-pub fn run(ctx: &ExpCtx) {
+pub fn run(ctx: &ExpCtx) -> Result<()> {
     let d = strategy_graph(ctx, DegreeSkew::In);
     let model = strategy_model(d.graph.node_feat_dim());
     let spec = ctx.mr_spec(STRATEGY_WORKERS);
@@ -22,18 +22,16 @@ pub fn run(ctx: &ExpCtx) {
         Backend::MapReduce,
         spec,
         StrategyConfig::none(),
-    )
-    .run()
-    .expect("base run");
+    )?
+    .run()?;
     let pg = plan_session(
         &model,
         &d.graph,
         Backend::MapReduce,
         spec,
         StrategyConfig::none().with_partial_gather(true),
-    )
-    .run()
-    .expect("pg run");
+    )?
+    .run()?;
 
     let base_tot = base.report.worker_totals();
     let pg_tot = pg.report.worker_totals();
@@ -47,14 +45,14 @@ pub fn run(ctx: &ExpCtx) {
         &ctx.csv_path("fig11_io_partial_gather.csv"),
         "worker,original_input_records,base_input_bytes,partial_gather_input_bytes",
         &rows,
-    );
+    )?;
 
     let total_base: f64 = base_in.iter().sum();
     let total_pg: f64 = pg_in.iter().sum();
     // Tail: the 10% of workers with the largest BASE input bytes — compare
     // the same workers across configs.
     let mut order: Vec<usize> = (0..STRATEGY_WORKERS).collect();
-    order.sort_by(|&a, &b| base_in[b].partial_cmp(&base_in[a]).unwrap());
+    order.sort_by(|&a, &b| base_in[b].total_cmp(&base_in[a]));
     let tail_n = (STRATEGY_WORKERS / 10).max(1);
     let tail_base: f64 = order[..tail_n].iter().map(|&w| base_in[w]).sum();
     let tail_pg: f64 = order[..tail_n].iter().map(|&w| pg_in[w]).sum();
@@ -83,4 +81,5 @@ pub fn run(ctx: &ExpCtx) {
     ]);
     t.print();
     println!("paper reference: ~25% total reduction, ~73% for the tail workers.\n");
+    Ok(())
 }

@@ -9,12 +9,12 @@ use crate::ctx::write_csv;
 use crate::report::Table;
 use crate::workloads::{plan_session, strategy_graph, strategy_model, STRATEGY_WORKERS};
 use crate::ExpCtx;
-use inferturbo_common::stats;
+use inferturbo_common::{stats, Result};
 use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::DegreeSkew;
 
-pub fn run(ctx: &ExpCtx) {
+pub fn run(ctx: &ExpCtx) -> Result<()> {
     sweep(
         ctx,
         "Fig 12: broadcast threshold sweep (output bytes, out-skew)",
@@ -25,7 +25,7 @@ pub fn run(ctx: &ExpCtx) {
                 .with_broadcast(true)
                 .with_threshold(t),
         },
-    );
+    )
 }
 
 /// Shared sweep driver for Figs. 12/13 (same axes, different strategy).
@@ -34,7 +34,7 @@ pub fn sweep(
     title: &str,
     csv_name: &str,
     make_strategy: impl Fn(Option<u32>) -> StrategyConfig,
-) {
+) -> Result<()> {
     let d = strategy_graph(ctx, DegreeSkew::Out);
     let model = strategy_model(d.graph.node_feat_dim());
     let spec = ctx.mr_spec(STRATEGY_WORKERS);
@@ -65,9 +65,7 @@ pub fn sweep(
     let mut per_worker_series: Vec<(String, Vec<f64>)> = Vec::new();
     for thr in thresholds {
         let strat = make_strategy(thr);
-        let out = plan_session(&model, &d.graph, Backend::MapReduce, spec, strat)
-            .run()
-            .expect("run");
+        let out = plan_session(&model, &d.graph, Backend::MapReduce, spec, strat)?.run()?;
         let totals = out.report.worker_totals();
         let bytes_out: Vec<f64> = totals.iter().map(|t| t.bytes_out as f64).collect();
         let total: f64 = bytes_out.iter().sum();
@@ -76,8 +74,7 @@ pub fn sweep(
             None => "base".to_string(),
             Some(v) => v.to_string(),
         };
-        base_tail.get_or_insert(tail);
-        let red = 1.0 - tail / base_tail.unwrap();
+        let red = 1.0 - tail / *base_tail.get_or_insert(tail);
         t.rowv(vec![
             label.clone(),
             stats::human_bytes(total),
@@ -104,5 +101,5 @@ pub fn sweep(
     }
     t.print();
     println!("paper reference: tail reduced ~42% (broadcast) / ~53% (shadow) at the λ=0.1 threshold;\nlower thresholds help more but with overhead.\n");
-    write_csv(&ctx.csv_path(csv_name), &header, &csv);
+    write_csv(&ctx.csv_path(csv_name), &header, &csv)
 }

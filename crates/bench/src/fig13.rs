@@ -4,9 +4,10 @@
 
 use crate::fig12::sweep;
 use crate::ExpCtx;
+use inferturbo_common::Result;
 use inferturbo_core::strategy::StrategyConfig;
 
-pub fn run(ctx: &ExpCtx) {
+pub fn run(ctx: &ExpCtx) -> Result<()> {
     sweep(
         ctx,
         "Fig 13: shadow-nodes threshold sweep (output bytes, out-skew)",
@@ -17,5 +18,5 @@ pub fn run(ctx: &ExpCtx) {
                 .with_shadow_nodes(true)
                 .with_threshold(t),
         },
-    );
+    )
 }

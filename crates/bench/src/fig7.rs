@@ -6,15 +6,16 @@ use crate::ctx::write_csv;
 use crate::report::Table;
 use crate::table2::models_for;
 use crate::ExpCtx;
+use inferturbo_common::{Error, Result};
 use inferturbo_core::consistency::{audit_full_graph, audit_sampling};
 use inferturbo_core::models::GnnModel;
 use inferturbo_core::session::{Backend, InferenceSession};
 use inferturbo_graph::Split;
 
-pub fn run(ctx: &ExpCtx) {
+pub fn run(ctx: &ExpCtx) -> Result<()> {
     let d = crate::table2::mag_like(ctx);
     // Reuse the Table II trained SAGE (same cache tag).
-    let (_, model) = models_for(ctx, &d, &d.name).swap_remove(0);
+    let (_, model) = models_for(ctx, &d, &d.name)?.swap_remove(0);
     let mut targets = d.nodes_in(Split::Test);
     targets.truncate(if ctx.quick { 150 } else { 600 });
     let runs = 10;
@@ -25,8 +26,7 @@ pub fn run(ctx: &ExpCtx) {
     );
     let mut csv_rows = Vec::new();
     for fanout in [10usize, 50, 100, 1000] {
-        let rep = audit_sampling(&model, &d.graph, &targets, fanout, runs, ctx.seed)
-            .expect("sampling audit");
+        let rep = audit_sampling(&model, &d.graph, &targets, fanout, runs, ctx.seed)?;
         t.rowv(vec![
             format!("sampled nbr{fanout}"),
             rep.hist[0].to_string(),
@@ -47,17 +47,19 @@ pub fn run(ctx: &ExpCtx) {
         .model(&model)
         .graph(&d.graph)
         .backend(Backend::Reference)
-        .plan()
-        .expect("reference plan");
+        .plan()?;
     let full = audit_full_graph(3, targets.len(), |_| {
-        let logits = plan.run().expect("reference run").logits;
+        let logits = plan.run()?.logits;
         Ok(targets
             .iter()
             .map(|&v| GnnModel::predict_class(&logits[v as usize]))
             .collect())
-    })
-    .expect("full-graph audit");
-    assert!(full.is_consistent(), "full-graph inference must be stable");
+    })?;
+    if !full.is_consistent() {
+        return Err(Error::InvalidConfig(
+            "full-graph inference must be stable".into(),
+        ));
+    }
     t.rowv(vec![
         "ours (full-graph)".into(),
         full.hist[0].to_string(),
@@ -73,5 +75,5 @@ pub fn run(ctx: &ExpCtx) {
         &ctx.csv_path("fig7_consistency.csv"),
         "pipeline,classes1,classes2,classes3,classes4,classes5plus",
         &csv_rows,
-    );
+    )
 }

@@ -6,13 +6,14 @@ use crate::ctx::write_csv;
 use crate::report::{f, Table};
 use crate::workloads::plan_session;
 use crate::ExpCtx;
+use inferturbo_common::Result;
 use inferturbo_core::models::GnnModel;
 use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::DegreeSkew;
 use inferturbo_graph::Dataset;
 
-pub fn run(ctx: &ExpCtx) {
+pub fn run(ctx: &ExpCtx) -> Result<()> {
     // Paper scales: 1e8/1e9, 1e9/1e10, 1e10/1e11 — ours are 1e4× smaller.
     let scales: Vec<(usize, usize)> = if ctx.quick {
         vec![(2_000, 20_000), (20_000, 200_000), (200_000, 2_000_000)]
@@ -50,9 +51,8 @@ pub fn run(ctx: &ExpCtx) {
             Backend::MapReduce,
             spec,
             StrategyConfig::all(),
-        )
-        .run()
-        .expect("mr inference");
+        )?
+        .run()?;
         let wall = out.report.total_wall_secs();
         let res = out.report.resource_cpu_min();
         let (tr, rr) = match prev {
@@ -75,5 +75,5 @@ pub fn run(ctx: &ExpCtx) {
         &ctx.csv_path("fig8_scalability.csv"),
         "nodes,edges,time_s,resource_cpu_min",
         &csv,
-    );
+    )
 }

@@ -7,12 +7,12 @@ use crate::workloads::{
     plan_session, strategy_graph, strategy_model, worker_busy_secs, STRATEGY_WORKERS,
 };
 use crate::ExpCtx;
-use inferturbo_common::stats;
+use inferturbo_common::{stats, Result};
 use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
 use inferturbo_graph::gen::DegreeSkew;
 
-pub fn run(ctx: &ExpCtx) {
+pub fn run(ctx: &ExpCtx) -> Result<()> {
     let d = strategy_graph(ctx, DegreeSkew::In);
     let model = strategy_model(d.graph.node_feat_dim());
     let spec = ctx.mr_spec(STRATEGY_WORKERS);
@@ -23,18 +23,16 @@ pub fn run(ctx: &ExpCtx) {
         Backend::MapReduce,
         spec,
         StrategyConfig::none(),
-    )
-    .run()
-    .expect("base run");
+    )?
+    .run()?;
     let pg = plan_session(
         &model,
         &d.graph,
         Backend::MapReduce,
         spec,
         StrategyConfig::none().with_partial_gather(true),
-    )
-    .run()
-    .expect("partial-gather run");
+    )?
+    .run()?;
 
     let base_records: Vec<u64> = base
         .report
@@ -52,7 +50,7 @@ pub fn run(ctx: &ExpCtx) {
         &ctx.csv_path("fig9_partial_gather_latency.csv"),
         "worker,original_input_records,base_time_s,partial_gather_time_s",
         &rows,
-    );
+    )?;
 
     let mut t = Table::new(
         "Fig 9: worker latency spread, base vs partial-gather (in-skew)",
@@ -71,4 +69,5 @@ pub fn run(ctx: &ExpCtx) {
     }
     t.print();
     println!("shape check: partial-gather pulls the straggler tail toward the mean.\n");
+    Ok(())
 }

@@ -16,7 +16,7 @@ use crate::ctx::write_csv;
 use crate::report::{f, Table};
 use crate::ExpCtx;
 use inferturbo_cluster::ClusterSpec;
-use inferturbo_common::{Parallelism, Xoshiro256};
+use inferturbo_common::{Parallelism, Result, Xoshiro256};
 use inferturbo_core::models::{GnnModel, PoolOp};
 use inferturbo_core::session::{Backend, InferenceSession};
 use inferturbo_core::strategy::StrategyConfig;
@@ -47,18 +47,18 @@ fn spec(workers: usize, pregel: bool) -> ClusterSpec {
     s
 }
 
-/// Median-of-3 wall-clock seconds for `f` (after one warmup call).
-fn time_secs(mut f: impl FnMut()) -> f64 {
-    f();
-    let mut samples: Vec<f64> = (0..3)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
+/// Median-of-3 wall-clock seconds for `f` (after one warmup call). A
+/// workload error aborts the sweep instead of poisoning the medians.
+fn time_secs(mut f: impl FnMut() -> Result<()>) -> Result<f64> {
+    f()?;
+    let mut samples = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f()?;
+        samples.push(t0.elapsed().as_secs_f64());
+    }
     samples.sort_by(|a, b| a.total_cmp(b));
-    samples[1]
+    Ok(samples[1])
 }
 
 /// The thread budgets to sweep: 1, 2, 4, ... up to the host parallelism
@@ -79,7 +79,7 @@ pub fn thread_sweep() -> Vec<usize> {
     sweep
 }
 
-pub fn run(ctx: &ExpCtx) {
+pub fn run(ctx: &ExpCtx) -> Result<()> {
     let g = workload(ctx);
     let model = GnnModel::sage(16, 32, 2, 4, false, PoolOp::Mean, 1);
     let mut rng = Xoshiro256::seed_from_u64(ctx.seed);
@@ -117,27 +117,30 @@ pub fn run(ctx: &ExpCtx) {
             .strategy(StrategyConfig::all())
             .backend(backend)
             .plan()
-            .expect("plan")
     };
-    let pregel_plan = plan_for(Backend::Pregel);
-    let mr_plan = plan_for(Backend::MapReduce);
+    let pregel_plan = plan_for(Backend::Pregel)?;
+    let mr_plan = plan_for(Backend::MapReduce)?;
     for threads in thread_sweep() {
-        let secs: [f64; 4] = Parallelism::with(threads, || {
-            [
+        let secs: [f64; 4] = Parallelism::with(threads, || -> Result<[f64; 4]> {
+            Ok([
                 time_secs(|| {
-                    pregel_plan.run().unwrap();
-                }),
+                    pregel_plan.run()?;
+                    Ok(())
+                })?,
                 time_secs(|| {
-                    mr_plan.run().unwrap();
-                }),
+                    mr_plan.run()?;
+                    Ok(())
+                })?,
                 time_secs(|| {
                     std::hint::black_box(a.matmul(&b));
-                }),
+                    Ok(())
+                })?,
                 time_secs(|| {
                     std::hint::black_box(msgs.segment_sum(&seg, 5_000));
-                }),
-            ]
-        });
+                    Ok(())
+                })?,
+            ])
+        })?;
         let base = base.get_or_insert(secs);
         let sp: Vec<f64> = base.iter().zip(&secs).map(|(b, s)| b / s).collect();
         t.rowv(vec![
@@ -161,7 +164,7 @@ pub fn run(ctx: &ExpCtx) {
         &ctx.csv_path("scaling_threads.csv"),
         "threads,pregel_s,mapreduce_s,gemm_s,segsum_s,pregel_speedup,mapreduce_speedup,gemm_speedup,segsum_speedup",
         &csv_rows,
-    );
+    )?;
 
     // Shuffle volume by message plane — the paper's headline metric. With
     // fusion (partial-gather annotated) the columnar plane carries one
@@ -190,10 +193,9 @@ pub fn run(ctx: &ExpCtx) {
                 .strategy(strat)
                 .backend(backend)
                 .plan()
-                .expect("plan")
         };
-        let p = session(Backend::Pregel).run().unwrap();
-        let m = session(Backend::MapReduce).run().unwrap();
+        let p = session(Backend::Pregel)?.run()?;
+        let m = session(Backend::MapReduce)?.run()?;
         for (backend, report) in [("pregel", &p.report), ("mapreduce", &m.report)] {
             let b = report.message_bytes;
             mb.rowv(vec![
@@ -216,5 +218,5 @@ pub fn run(ctx: &ExpCtx) {
         &ctx.csv_path("scaling_message_bytes.csv"),
         "backend,config,columnar_bytes,legacy_bytes,total_bytes",
         &mb_csv,
-    );
+    )
 }

@@ -2,10 +2,11 @@
 
 use crate::report::Table;
 use crate::ExpCtx;
+use inferturbo_common::Result;
 use inferturbo_graph::gen::DegreeSkew;
 use inferturbo_graph::{Dataset, Split};
 
-pub fn run(ctx: &ExpCtx) {
+pub fn run(ctx: &ExpCtx) -> Result<()> {
     let datasets = vec![
         Dataset::ppi_like(ctx.seed),
         Dataset::products_like(ctx.seed),
@@ -48,4 +49,5 @@ pub fn run(ctx: &ExpCtx) {
         );
     }
     t.print();
+    Ok(())
 }

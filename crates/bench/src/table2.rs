@@ -10,6 +10,7 @@
 
 use crate::report::Table;
 use crate::ExpCtx;
+use inferturbo_common::Result;
 use inferturbo_core::baseline::predict_with_sampling;
 use inferturbo_core::models::{GnnModel, PoolOp};
 use inferturbo_core::session::{Backend, InferenceSession};
@@ -66,12 +67,12 @@ fn train_cfg(ctx: &ExpCtx) -> TrainConfig {
     }
 }
 
-pub fn models_for(ctx: &ExpCtx, d: &Dataset, tag_prefix: &str) -> Vec<(String, GnnModel)> {
+pub fn models_for(ctx: &ExpCtx, d: &Dataset, tag_prefix: &str) -> Result<Vec<(String, GnnModel)>> {
     let feat = d.graph.node_feat_dim();
     let classes = d.graph.labels().num_classes() as usize;
     let ml = d.graph.labels().is_multilabel();
     let cfg = train_cfg(ctx);
-    vec![
+    Ok(vec![
         (
             "SAGE".into(),
             ctx.trained_model(
@@ -79,7 +80,7 @@ pub fn models_for(ctx: &ExpCtx, d: &Dataset, tag_prefix: &str) -> Vec<(String, G
                 d,
                 || GnnModel::sage(feat, 64, 2, classes, ml, PoolOp::Mean, 1),
                 &cfg,
-            ),
+            )?,
         ),
         (
             "GAT".into(),
@@ -88,9 +89,9 @@ pub fn models_for(ctx: &ExpCtx, d: &Dataset, tag_prefix: &str) -> Vec<(String, G
                 d,
                 || GnnModel::gat(feat, 64, 4, 2, classes, ml, 2),
                 &cfg,
-            ),
+            )?,
         ),
-    ]
+    ])
 }
 
 /// The mag240m-like graph, shrunk 10x in quick mode.
@@ -98,7 +99,7 @@ pub fn mag_like(ctx: &ExpCtx) -> Dataset {
     Dataset::mag240m_like_scaled(ctx.seed, if ctx.quick { 10 } else { 1 })
 }
 
-pub fn run(ctx: &ExpCtx) {
+pub fn run(ctx: &ExpCtx) -> Result<()> {
     let datasets: Vec<(Dataset, bool)> = vec![
         (Dataset::ppi_like(ctx.seed), true), // true = run real Pregel backend
         (Dataset::products_like(ctx.seed), true),
@@ -110,11 +111,9 @@ pub fn run(ctx: &ExpCtx) {
     );
     for (d, use_backend) in &datasets {
         let eval = EvalSet::new(ctx, d);
-        for (mname, model) in models_for(ctx, d, &d.name) {
-            let pyg = predict_with_sampling(&model, &d.graph, &eval.targets, Some(50), 512, 101)
-                .expect("baseline run");
-            let dgl = predict_with_sampling(&model, &d.graph, &eval.targets, Some(50), 512, 202)
-                .expect("baseline run");
+        for (mname, model) in models_for(ctx, d, &d.name)? {
+            let pyg = predict_with_sampling(&model, &d.graph, &eval.targets, Some(50), 512, 101)?;
+            let dgl = predict_with_sampling(&model, &d.graph, &eval.targets, Some(50), 512, 202)?;
             let builder = InferenceSession::builder()
                 .model(&model)
                 .graph(&d.graph)
@@ -126,10 +125,8 @@ pub fn run(ctx: &ExpCtx) {
             } else {
                 builder.backend(Backend::Reference)
             }
-            .plan()
-            .expect("session plan")
-            .run()
-            .expect("session run")
+            .plan()?
+            .run()?
             .logits;
             let ours: Vec<Vec<f32>> = eval
                 .targets
@@ -146,4 +143,5 @@ pub fn run(ctx: &ExpCtx) {
         }
     }
     t.print();
+    Ok(())
 }

@@ -11,6 +11,7 @@ use crate::table2::models_for;
 use crate::workloads::plan_session;
 use crate::ExpCtx;
 use inferturbo_cluster::ClusterSpec;
+use inferturbo_common::Result;
 use inferturbo_core::baseline::{estimate_full_inference, BaselineConfig};
 use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
@@ -37,7 +38,7 @@ pub fn scaled_baseline(hops: usize, fanout: Option<usize>) -> BaselineConfig {
 /// "Ours" worker count for Tables III/IV (100 CPUs total).
 pub const OURS_WORKERS: usize = 50;
 
-pub fn run(ctx: &ExpCtx) {
+pub fn run(ctx: &ExpCtx) -> Result<()> {
     let d = crate::table2::mag_like(ctx);
     let mut t = Table::new(
         "Table III: time and resource on mag240m-like (full-graph job)",
@@ -49,7 +50,7 @@ pub fn run(ctx: &ExpCtx) {
             "speedup vs PyG",
         ],
     );
-    for (mname, model) in models_for(ctx, &d, &d.name) {
+    for (mname, model) in models_for(ctx, &d, &d.name)? {
         let base_cfg = scaled_baseline(model.n_layers(), None);
         let est = estimate_full_inference(&model, &d.graph, &base_cfg);
         let pyg_wall = est.wall_secs;
@@ -82,9 +83,8 @@ pub fn run(ctx: &ExpCtx) {
             Backend::MapReduce,
             mr_spec,
             StrategyConfig::all(),
-        )
-        .run()
-        .expect("mr inference");
+        )?
+        .run()?;
         let mr_wall = mr.report.total_wall_secs();
         t.rowv(vec![
             mname.clone(),
@@ -102,9 +102,8 @@ pub fn run(ctx: &ExpCtx) {
             Backend::Pregel,
             pg_spec,
             StrategyConfig::all(),
-        )
-        .run()
-        .expect("pregel inference");
+        )?
+        .run()?;
         let pg_wall = pregel.report.total_wall_secs();
         t.rowv(vec![
             mname,
@@ -115,4 +114,5 @@ pub fn run(ctx: &ExpCtx) {
         ]);
     }
     t.print();
+    Ok(())
 }

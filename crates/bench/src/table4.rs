@@ -6,12 +6,13 @@ use crate::report::{f, Table};
 use crate::table3::{scaled_baseline, OURS_WORKERS};
 use crate::workloads::plan_session;
 use crate::ExpCtx;
+use inferturbo_common::Result;
 use inferturbo_core::baseline::estimate_full_inference;
 use inferturbo_core::models::{GnnModel, PoolOp};
 use inferturbo_core::session::Backend;
 use inferturbo_core::strategy::StrategyConfig;
 
-pub fn run(ctx: &ExpCtx) {
+pub fn run(ctx: &ExpCtx) -> Result<()> {
     let d = crate::table2::mag_like(ctx);
     let feat = d.graph.node_feat_dim();
     let classes = d.graph.labels().num_classes() as usize;
@@ -54,9 +55,8 @@ pub fn run(ctx: &ExpCtx) {
             Backend::MapReduce,
             mr_spec,
             StrategyConfig::all(),
-        )
-        .run()
-        .expect("mr inference");
+        )?
+        .run()?;
         t.rowv(vec![
             "ours (On-MR)".into(),
             hops.to_string(),
@@ -67,4 +67,5 @@ pub fn run(ctx: &ExpCtx) {
     }
     t.print();
     println!("shape check: baseline time grows ~exponentially in hops; ours grows linearly.\n");
+    Ok(())
 }

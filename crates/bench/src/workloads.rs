@@ -2,6 +2,7 @@
 
 use crate::ExpCtx;
 use inferturbo_cluster::ClusterSpec;
+use inferturbo_common::Result;
 use inferturbo_core::models::{GnnModel, PoolOp};
 use inferturbo_core::plan::InferencePlan;
 use inferturbo_core::session::{Backend, InferenceSession};
@@ -42,7 +43,7 @@ pub fn plan_session<'a>(
     backend: Backend,
     spec: ClusterSpec,
     strategy: StrategyConfig,
-) -> InferencePlan<'a> {
+) -> Result<InferencePlan<'a>> {
     let builder = InferenceSession::builder()
         .model(model)
         .graph(graph)
@@ -52,5 +53,5 @@ pub fn plan_session<'a>(
         Backend::MapReduce => builder.mapreduce_spec(spec),
         _ => builder.pregel_spec(spec),
     };
-    builder.plan().expect("session plan")
+    builder.plan()
 }

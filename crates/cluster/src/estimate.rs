@@ -54,6 +54,34 @@ impl LayerEstimate {
     pub fn mapreduce_bytes(&self) -> u64 {
         self.pregel_bytes() + self.mapreduce_selfstate_bytes
     }
+
+    /// Predicted *wire* bytes for this layer on the Pregel backend under a
+    /// byte-moving transport (`Transport::needs_bytes()`): the share of the
+    /// shuffle whose sender and destination land on different workers.
+    /// Under uniform hash partitioning that is `(W-1)/W` of the plane
+    /// total; the remaining `1/W` is worker-local and never needs to leave
+    /// the worker on a multi-host deployment. The in-process transport
+    /// moves everything by reference and reports 0 — this predicts the
+    /// cross-worker floor, the number the
+    /// [`RunReport::wire_bytes`](crate::RunReport) counter converges
+    /// toward as framing overhead amortises.
+    pub fn pregel_wire_bytes(&self, workers: usize) -> u64 {
+        cross_worker_share(self.pregel_bytes(), workers)
+    }
+
+    /// Predicted wire bytes for this layer on the MapReduce backend (same
+    /// `(W-1)/W` cross-worker share, over the round shuffle including the
+    /// re-shipped self-states).
+    pub fn mapreduce_wire_bytes(&self, workers: usize) -> u64 {
+        cross_worker_share(self.mapreduce_bytes(), workers)
+    }
+}
+
+/// The `(W-1)/W` share of `bytes` that crosses a worker boundary under
+/// uniform hash partitioning. 0 for a single worker (everything is local).
+fn cross_worker_share(bytes: u64, workers: usize) -> u64 {
+    let w = workers.max(1) as u64;
+    bytes / w * (w - 1) + bytes % w * (w - 1) / w
 }
 
 /// A plan's predicted cost profile. Produced once at plan time; see the
@@ -101,6 +129,24 @@ impl PlanEstimate {
     /// per-worker memory budget — the auto-selection predicate.
     pub fn pregel_fits(&self, budget_bytes: u64) -> bool {
         self.pregel_peak_worker_bytes <= budget_bytes
+    }
+
+    /// Total predicted cross-worker wire bytes for a whole run on the
+    /// Pregel backend (see [`LayerEstimate::pregel_wire_bytes`]).
+    pub fn pregel_wire_bytes(&self, workers: usize) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.pregel_wire_bytes(workers))
+            .sum()
+    }
+
+    /// Total predicted cross-worker wire bytes for a whole run on the
+    /// MapReduce backend.
+    pub fn mapreduce_wire_bytes(&self, workers: usize) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.mapreduce_wire_bytes(workers))
+            .sum()
     }
 
     /// Modelled communication wall-clock lower bound for the whole run on
@@ -223,6 +269,22 @@ mod tests {
         assert_eq!(e.layers[0].mapreduce_bytes(), 3_000);
         assert_eq!(e.pregel_total_bytes(), 1_500);
         assert_eq!(e.mapreduce_total_bytes(), 4_500);
+    }
+
+    #[test]
+    fn wire_share_is_the_cross_worker_fraction() {
+        let e = estimate();
+        // One worker: every byte is local, nothing crosses the wire.
+        assert_eq!(e.pregel_wire_bytes(1), 0);
+        assert_eq!(e.mapreduce_wire_bytes(1), 0);
+        // Four workers: 3/4 of each layer's plane total crosses.
+        assert_eq!(e.layers[0].pregel_wire_bytes(4), 750);
+        assert_eq!(e.layers[0].mapreduce_wire_bytes(4), 2_250);
+        assert_eq!(e.pregel_wire_bytes(4), 750 + 375);
+        assert_eq!(e.mapreduce_wire_bytes(4), 2_250 + 1_125);
+        // The share never exceeds the total and grows with W.
+        assert!(e.pregel_wire_bytes(1_000) < e.pregel_total_bytes());
+        assert!(e.pregel_wire_bytes(1_000) > e.pregel_wire_bytes(4));
     }
 
     #[test]

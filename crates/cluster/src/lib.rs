@@ -52,8 +52,13 @@ pub mod estimate;
 pub mod fault;
 pub mod metrics;
 pub mod spec;
+pub mod transport;
 
 pub use estimate::{FleetEstimate, LayerEstimate, PlanEstimate};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, RecoveryPolicy};
 pub use metrics::{MessagePlaneBytes, OverloadCounters, PhaseReport, RunReport, WorkerPhase};
 pub use spec::ClusterSpec;
+pub use transport::{
+    BucketOut, BucketRef, ColsShards, ConcatDest, ConcatExchange, ConcatMerged, ConcatOut,
+    DestMerged, DestShards, Exchange, ExchangeOut, InProcess, MergedCols, Transport, WorkerProcess,
+};

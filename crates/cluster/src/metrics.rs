@@ -193,6 +193,13 @@ pub struct RunReport {
     /// Supersteps replayed from a checkpoint after a transient failure
     /// (each retry replays `failed - checkpointed + 1` supersteps).
     pub recovered_supersteps: u64,
+    /// Bytes the shuffle transport actually moved across a process
+    /// boundary (request + response frames, length prefixes included).
+    /// 0 under the in-process backend — unlike `message_bytes`, which
+    /// *models* the shuffle volume identically under every backend, this
+    /// plane measures real transport traffic and is the one report field
+    /// allowed to differ between backends.
+    pub wire_bytes: u64,
 }
 
 impl RunReport {
@@ -205,6 +212,7 @@ impl RunReport {
             retries: 0,
             checkpoints: 0,
             recovered_supersteps: 0,
+            wire_bytes: 0,
         }
     }
 
@@ -298,6 +306,7 @@ impl RunReport {
         r.counter("messages.columnar_bytes", self.message_bytes.columnar);
         r.counter("messages.legacy_bytes", self.message_bytes.legacy);
         r.counter("messages.spilled_bytes", self.spilled_bytes);
+        r.counter("messages.wire_bytes", self.wire_bytes);
         r.section("resilience");
         r.counter("resilience.retries", self.retries);
         r.counter("resilience.checkpoints", self.checkpoints);

@@ -1,0 +1,362 @@
+//! Property coverage for the transport wire framing: whatever shard set a
+//! parent encodes, the child-side serve path must hand back exactly what
+//! the in-process seal barrier would have produced — bit-for-bit, NaN
+//! payloads included — and hostile bytes must come back as typed errors,
+//! never as panics or hangs.
+//!
+//! The direct `u32` row-capacity boundary (`check_u32_row_capacity`) is
+//! unit-tested next to its definition in `inferturbo_common::rows`; here
+//! we pin the *wire* half of that story: a child that hits the ceiling
+//! mid-merge must deliver `Error::Capacity` to the parent intact, not a
+//! stringly `Internal`.
+
+use std::io::Cursor;
+
+use inferturbo_cluster::transport::frame::{
+    decode_concat_response, decode_exchange_response, encode_concat_request, encode_error,
+    encode_exchange_request, read_frame, serve_payload, write_frame, MergedWire, WirePlane,
+    STATUS_ERR, STATUS_OK,
+};
+use inferturbo_common::rows::{AggKind, FusedRows, FusedSlotShard, RowArena, RowBlock, RowShard};
+use inferturbo_common::Error;
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// Random f32 bit patterns — exercises NaN/inf through the codec, where a
+/// value-level comparison would hide a lossy round-trip.
+fn rand_f32(rng: &mut TestRng) -> f32 {
+    f32::from_bits(rng.next_u64() as u32)
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn rand_row_shards(
+    rng: &mut TestRng,
+    n_senders: usize,
+    dim: usize,
+    n_slots: usize,
+) -> Vec<RowShard> {
+    (0..n_senders)
+        .map(|_| {
+            let mut sh = RowShard::new(dim);
+            // Zero-row senders are a legal, common case (idle workers).
+            for _ in 0..rng.below(20) {
+                let slot = rng.below(n_slots as u64) as u32;
+                let row: Vec<f32> = (0..dim).map(|_| rand_f32(rng)).collect();
+                sh.push(slot, &row);
+            }
+            sh
+        })
+        .collect()
+}
+
+fn rand_fused_shards(
+    rng: &mut TestRng,
+    n_senders: usize,
+    dim: usize,
+    n_slots: usize,
+) -> Vec<FusedSlotShard> {
+    (0..n_senders)
+        .map(|_| {
+            // Distinct keys per shard, as a real sender-side spool produces
+            // (each slot folds locally into one partial row).
+            let mut keys: Vec<u32> = (0..n_slots as u32).collect();
+            for i in (1..keys.len()).rev() {
+                keys.swap(i, rng.below(i as u64 + 1) as usize);
+            }
+            keys.truncate(rng.below(n_slots as u64 + 1) as usize);
+            let counts: Vec<u32> = keys.iter().map(|_| 1 + rng.below(100) as u32).collect();
+            let mut rows = RowBlock::new(dim);
+            for _ in &keys {
+                let row: Vec<f32> = (0..dim).map(|_| rand_f32(rng)).collect();
+                rows.push_row(&row);
+            }
+            FusedSlotShard::from_wire(dim, keys, counts, rows).expect("consistent parts")
+        })
+        .collect()
+}
+
+/// One full request → serve → response cycle for a rows plane, compared
+/// bit-exactly against the in-process seal the child is specified to mirror.
+fn assert_rows_cycle(dim: usize, n_slots: usize, shards: &[RowShard]) {
+    let req = encode_exchange_request(n_slots, &WirePlane::Rows { dim, shards }, None);
+    let resp = serve_payload(&req);
+    let out = decode_exchange_response(&resp).expect("rows exchange must decode");
+    let (want_offsets, want_data) = RowArena::seal(dim, n_slots, shards, None)
+        .expect("reference seal")
+        .into_wire_parts()
+        .expect("resident arena");
+    match out.cols {
+        MergedWire::Rows {
+            dim: got_dim,
+            offsets,
+            data,
+        } => {
+            assert_eq!(got_dim, dim);
+            assert_eq!(offsets, want_offsets);
+            assert_eq!(bits(&data), bits(&want_data));
+        }
+        other => panic!("expected rows plane back, got {other:?}"),
+    }
+    assert!(out.legacy.is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rows-plane exchange: serve == in-process seal, bit-for-bit, for
+    /// arbitrary shard sets — including zero senders and zero-row senders.
+    #[test]
+    fn prop_rows_exchange_matches_in_process_seal(
+        seed in any::<u64>(),
+        dim in 1usize..8,
+        n_slots in 1usize..16,
+        n_senders in 0usize..5,
+    ) {
+        let mut rng = TestRng::new(seed);
+        let shards = rand_row_shards(&mut rng, n_senders, dim, n_slots);
+        assert_rows_cycle(dim, n_slots, &shards);
+        prop_assert!(true);
+    }
+
+    /// Fused-plane exchange: serve == in-process `FusedRows::merge` for
+    /// both aggregator kinds, bit-for-bit (copy-on-first fold order).
+    #[test]
+    fn prop_fused_exchange_matches_in_process_merge(
+        seed in any::<u64>(),
+        dim in 1usize..8,
+        n_slots in 1usize..12,
+        n_senders in 0usize..5,
+    ) {
+        let mut rng = TestRng::new(seed);
+        let kind = if rng.below(2) == 0 { AggKind::Sum } else { AggKind::Max };
+        let shards = rand_fused_shards(&mut rng, n_senders, dim, n_slots);
+        let req = encode_exchange_request(
+            n_slots,
+            &WirePlane::Fused { dim, kind, shards: &shards },
+            None,
+        );
+        let out = decode_exchange_response(&serve_payload(&req))
+            .expect("fused exchange must decode");
+        let (want_counts, want_acc) = FusedRows::merge(dim, n_slots, &shards, &kind, None)
+            .expect("reference merge")
+            .into_wire_parts()
+            .expect("resident rows");
+        match out.cols {
+            MergedWire::Fused { dim: got_dim, counts, acc } => {
+                prop_assert_eq!(got_dim, dim);
+                prop_assert_eq!(counts, want_counts);
+                prop_assert_eq!(bits(&acc), bits(&want_acc));
+            }
+            other => return Err(proptest::TestCaseError(format!(
+                "expected fused plane back, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Legacy-plane exchange: the child's merge is slot-major and stable —
+    /// within a slot, records keep (ascending sender, emission order),
+    /// exactly the in-process delivery order.
+    #[test]
+    fn prop_legacy_exchange_merge_is_slot_major_stable(
+        seed in any::<u64>(),
+        n_slots in 1usize..10,
+        n_senders in 0usize..5,
+    ) {
+        let mut rng = TestRng::new(seed);
+        let senders: Vec<Vec<(u32, Vec<u8>)>> = (0..n_senders)
+            .map(|s| {
+                (0..rng.below(12))
+                    .enumerate()
+                    .map(|(i, _)| {
+                        let slot = rng.below(n_slots as u64) as u32;
+                        // Tag each record with (sender, emission index) so a
+                        // reordering inside a slot is visible in the bytes.
+                        (slot, vec![s as u8, i as u8, rng.next_u64() as u8])
+                    })
+                    .collect()
+            })
+            .collect();
+        let req = encode_exchange_request(n_slots, &WirePlane::None, Some(&senders));
+        let out = decode_exchange_response(&serve_payload(&req))
+            .expect("legacy exchange must decode");
+        let mut want: Vec<(u32, Vec<u8>)> = senders.into_iter().flatten().collect();
+        want.sort_by_key(|&(slot, _)| slot); // stable: preserves sender/emission order
+        prop_assert!(matches!(out.cols, MergedWire::None));
+        prop_assert_eq!(out.legacy.unwrap_or_default(), want);
+    }
+
+    /// Concat round-trip: buckets and legacy key records come back
+    /// concatenated in ascending sender order, values bit-identical.
+    #[test]
+    fn prop_concat_round_trip(
+        seed in any::<u64>(),
+        dim in 1usize..8,
+        n_senders in 0usize..5,
+    ) {
+        let mut rng = TestRng::new(seed);
+        let senders: Vec<(Vec<u64>, Vec<u32>, RowBlock)> = (0..n_senders)
+            .map(|_| {
+                let n = rng.below(10) as usize;
+                let keys: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+                let counts: Vec<u32> = (0..n).map(|_| rng.below(1000) as u32).collect();
+                let mut rows = RowBlock::new(dim);
+                for _ in 0..n {
+                    let row: Vec<f32> = (0..dim).map(|_| rand_f32(&mut rng)).collect();
+                    rows.push_row(&row);
+                }
+                (keys, counts, rows)
+            })
+            .collect();
+        let borrowed: Vec<(&[u64], &[u32], &RowBlock)> = senders
+            .iter()
+            .map(|(k, c, r)| (k.as_slice(), c.as_slice(), r))
+            .collect();
+        let legacy: Vec<Vec<(u64, Vec<u8>)>> = (0..n_senders)
+            .map(|_| {
+                (0..rng.below(6))
+                    .map(|_| (rng.next_u64(), vec![rng.next_u64() as u8]))
+                    .collect()
+            })
+            .collect();
+        let req = encode_concat_request(dim, Some(&borrowed), Some(&legacy));
+        let out = decode_concat_response(&serve_payload(&req)).expect("concat must decode");
+
+        let (mut want_keys, mut want_counts, mut want_rows) =
+            (Vec::new(), Vec::new(), Vec::new());
+        for (k, c, r) in &senders {
+            want_keys.extend_from_slice(k);
+            want_counts.extend_from_slice(c);
+            want_rows.extend_from_slice(r.data());
+        }
+        let (keys, counts, data) = out.bucket.expect("bucket plane present");
+        prop_assert_eq!(keys, want_keys);
+        prop_assert_eq!(counts, want_counts);
+        prop_assert_eq!(bits(&data), bits(&want_rows));
+        let want_legacy: Vec<(u64, Vec<u8>)> = legacy.into_iter().flatten().collect();
+        prop_assert_eq!(out.legacy.unwrap_or_default(), want_legacy);
+    }
+
+    /// Frame I/O: any payload sequence written with `write_frame` reads
+    /// back verbatim, then yields a clean `None` at EOF.
+    #[test]
+    fn prop_frame_io_round_trips(
+        payloads in collection::vec(collection::vec(any::<u8>(), 0..200usize), 0..6usize),
+    ) {
+        let mut pipe = Vec::new();
+        for p in &payloads {
+            write_frame(&mut pipe, p).expect("vec write");
+        }
+        let mut r = Cursor::new(pipe);
+        for p in &payloads {
+            let got = read_frame(&mut r).expect("read");
+            prop_assert_eq!(got.as_ref(), Some(p));
+        }
+        prop_assert!(read_frame(&mut r).expect("eof read").is_none());
+    }
+
+    /// Hostile bytes: `serve_payload` never panics, always answers with a
+    /// well-formed status frame, and malformed payloads decode to typed
+    /// errors on the parent side — never a panic, never a silent `Ok`.
+    #[test]
+    fn prop_garbage_payloads_never_panic(
+        payload in collection::vec(any::<u8>(), 0..120usize),
+    ) {
+        let resp = serve_payload(&payload);
+        prop_assert!(!resp.is_empty());
+        prop_assert!(resp[0] == STATUS_OK || resp[0] == STATUS_ERR);
+        // Decoding the response (or the raw garbage itself) must be total.
+        let _ = decode_exchange_response(&resp);
+        let _ = decode_concat_response(&resp);
+        let _ = decode_exchange_response(&payload);
+        let _ = decode_concat_response(&payload);
+        prop_assert!(true);
+    }
+}
+
+/// Zero senders and an explicitly empty plane are the idle-worker steady
+/// state — they must round-trip, not error.
+#[test]
+fn empty_shard_sets_round_trip() {
+    assert_rows_cycle(4, 8, &[]);
+
+    // A sender that emitted nothing.
+    assert_rows_cycle(3, 5, &[RowShard::new(3)]);
+
+    let req = encode_exchange_request(0, &WirePlane::None, None);
+    let out = decode_exchange_response(&serve_payload(&req)).expect("empty exchange");
+    assert!(matches!(out.cols, MergedWire::None));
+    assert!(out.legacy.is_none());
+
+    let req = encode_concat_request(7, None, None);
+    let out = decode_concat_response(&serve_payload(&req)).expect("empty concat");
+    assert!(out.bucket.is_none());
+    assert!(out.legacy.is_none());
+}
+
+/// Maximum-width rows: a handful of very wide rows (the transpose of the
+/// usual many-narrow-rows shape) survive the codec bit-exactly, NaN and
+/// ±inf lanes included.
+#[test]
+fn max_width_rows_round_trip() {
+    let dim = 16_384;
+    let mut rng = TestRng::new(0xdead_beef);
+    let mut sh = RowShard::new(dim);
+    for slot in [1u32, 0] {
+        let mut row: Vec<f32> = (0..dim).map(|_| rand_f32(&mut rng)).collect();
+        row[0] = f32::NAN;
+        row[dim / 2] = f32::INFINITY;
+        row[dim - 1] = f32::NEG_INFINITY;
+        sh.push(slot, &row);
+    }
+    assert_rows_cycle(dim, 2, &[sh]);
+}
+
+/// A child that overflows the `u32` row-index space reports
+/// `Error::Capacity`; that variant must reach the parent **typed**, not
+/// flattened to `Internal`, so callers can distinguish "shard your graph"
+/// from "transport bug". (The boundary itself — `u32::MAX` rows OK, one
+/// more is `Capacity` — is unit-tested beside `check_u32_row_capacity`
+/// in `inferturbo_common::rows`; a >4-billion-row payload is not
+/// something a test can materialize.)
+#[test]
+fn u32_capacity_error_crosses_the_wire_typed() {
+    let e = Error::Capacity("row arena overflow: 4294967296 rows exceed u32 addressing".into());
+    let resp = encode_error(&e);
+    assert_eq!(resp[0], STATUS_ERR);
+    for decoded in [
+        decode_exchange_response(&resp).unwrap_err(),
+        decode_concat_response(&resp).unwrap_err(),
+    ] {
+        match decoded {
+            Error::Capacity(m) => assert!(m.contains("row arena overflow"), "{m}"),
+            other => panic!("capacity error degraded to {other:?}"),
+        }
+    }
+}
+
+/// Every tagged error kind survives the wire with its type; untagged
+/// variants degrade to `Internal` carrying the rendered message.
+#[test]
+fn tagged_error_kinds_round_trip() {
+    let round = |e: &Error| decode_exchange_response(&encode_error(e)).unwrap_err();
+    assert!(matches!(
+        round(&Error::Codec("bad varint".into())),
+        Error::Codec(m) if m == "bad varint"
+    ));
+    assert!(matches!(
+        round(&Error::Io("pipe closed".into())),
+        Error::Io(m) if m == "pipe closed"
+    ));
+    assert!(matches!(
+        round(&Error::Internal("merge bug".into())),
+        Error::Internal(m) if m == "merge bug"
+    ));
+    // Untagged variants degrade to Internal — but stay typed errors.
+    assert!(matches!(
+        round(&Error::DeadlineExceeded { deadline: 42 }),
+        Error::Internal(_)
+    ));
+}

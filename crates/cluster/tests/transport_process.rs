@@ -1,0 +1,247 @@
+//! The worker-process transport against a real spawned `itworker` child:
+//! merges must be bit-identical to the in-process backend, pipe failures
+//! must surface transient and heal on respawn.
+
+use inferturbo_cluster::transport::{
+    ColsShards, ConcatDest, ConcatExchange, DestShards, Exchange, InProcess, MergedCols, Transport,
+    WorkerProcess,
+};
+use inferturbo_common::rows::{AggKind, FusedSlotShard, RowBlock, RowShard};
+use std::path::PathBuf;
+
+fn process_transport() -> WorkerProcess {
+    WorkerProcess::with_bin(PathBuf::from(env!("CARGO_BIN_EXE_itworker")))
+}
+
+fn row_shards(dim: usize) -> Vec<RowShard> {
+    let mut a = RowShard::new(dim);
+    a.push(3, &[1.5, -2.25, 0.0]);
+    a.push(0, &[f32::MIN_POSITIVE, -0.0, 1e-38]);
+    a.push(3, &[8.0, 9.0, 10.0]);
+    let mut b = RowShard::new(dim);
+    b.push(1, &[0.1, 0.2, 0.3]);
+    b.push(3, &[-1.0, -2.0, -3.0]);
+    vec![a, b]
+}
+
+fn fused_shards(dim: usize, n_slots: usize, agg: &AggKind) -> Vec<FusedSlotShard> {
+    let mut a = FusedSlotShard::new(dim, n_slots);
+    a.accumulate(2, &[1.0, 2.0, 3.0], 1, agg);
+    a.accumulate(0, &[-4.0, 5.5, 0.25], 2, agg);
+    a.accumulate(2, &[7.0, -8.0, 9.0], 1, agg);
+    let mut b = FusedSlotShard::new(dim, n_slots);
+    b.accumulate(0, &[100.0, -100.0, 0.5], 3, agg);
+    vec![a, b]
+}
+
+fn exchange_for<'a>(
+    rows: &'a [RowShard],
+    fused: &'a [FusedSlotShard],
+    agg: &'a AggKind,
+    dim: usize,
+    n_slots: usize,
+) -> Exchange<'a> {
+    Exchange {
+        step: 0,
+        faults: None,
+        spill: None,
+        dests: vec![
+            DestShards {
+                n_slots,
+                cols: ColsShards::Rows { dim, shards: rows },
+                legacy: Some(vec![
+                    vec![(4, vec![1, 2]), (0, vec![3])],
+                    vec![(4, vec![4]), (2, vec![5, 6, 7])],
+                ]),
+            },
+            DestShards {
+                n_slots,
+                cols: ColsShards::Fused {
+                    dim,
+                    agg,
+                    shards: fused,
+                },
+                legacy: None,
+            },
+        ],
+    }
+}
+
+#[test]
+fn process_exchange_is_bit_identical_to_in_process() {
+    let (dim, n_slots) = (3, 5);
+    let rows = row_shards(dim);
+    let agg = AggKind::Sum;
+    let fused = fused_shards(dim, n_slots, &agg);
+
+    let proc = process_transport();
+    let mut via_proc = proc
+        .exchange(exchange_for(&rows, &fused, &agg, dim, n_slots))
+        .expect("process exchange");
+    let mut via_local = InProcess
+        .exchange(exchange_for(&rows, &fused, &agg, dim, n_slots))
+        .expect("in-process exchange");
+
+    assert!(
+        via_proc.wire_bytes > 0,
+        "bytes must actually cross the pipe"
+    );
+    assert_eq!(via_local.wire_bytes, 0);
+
+    let (pr, lr) = (&mut via_proc.dests[0], &mut via_local.dests[0]);
+    match (&mut pr.cols, &mut lr.cols) {
+        (MergedCols::Rows(p), MergedCols::Rows(l)) => {
+            for slot in 0..n_slots {
+                assert_eq!(p.count(slot), l.count(slot));
+                assert_eq!(p.rows(slot).unwrap(), l.rows(slot).unwrap());
+            }
+        }
+        _ => panic!("expected rows planes from both backends"),
+    }
+    assert_eq!(pr.legacy, lr.legacy, "legacy merge order must match");
+
+    let (pf, lf) = (&mut via_proc.dests[1], &mut via_local.dests[1]);
+    match (&mut pf.cols, &mut lf.cols) {
+        (MergedCols::Fused(p), MergedCols::Fused(l)) => {
+            for slot in 0..n_slots {
+                assert_eq!(p.count(slot), l.count(slot));
+                assert_eq!(p.row(slot).unwrap(), l.row(slot).unwrap());
+            }
+        }
+        _ => panic!("expected fused planes from both backends"),
+    }
+}
+
+#[test]
+fn process_concat_is_bit_identical_to_in_process() {
+    let dim = 2;
+    let mut r1 = RowBlock::new(dim);
+    r1.push_row(&[1.0, -2.0]);
+    r1.push_row(&[3.5, 4.5]);
+    let mut r2 = RowBlock::new(dim);
+    r2.push_row(&[-0.0, 0.0]);
+    let k1 = [11u64, 13];
+    let c1 = [2u32, 1];
+    let k2 = [17u64];
+    let c2 = [5u32];
+    let concat = |t: &dyn Transport| {
+        t.exchange_concat(ConcatExchange {
+            dests: vec![ConcatDest {
+                dim,
+                buckets: Some(vec![
+                    inferturbo_cluster::transport::BucketRef {
+                        keys: &k1,
+                        counts: &c1,
+                        rows: &r1,
+                    },
+                    inferturbo_cluster::transport::BucketRef {
+                        keys: &k2,
+                        counts: &c2,
+                        rows: &r2,
+                    },
+                ]),
+                legacy: Some(vec![vec![(11, vec![9])], vec![(17, vec![8, 7])]]),
+            }],
+        })
+        .expect("concat")
+    };
+    let proc = process_transport();
+    let p = concat(&proc);
+    let l = concat(&InProcess);
+    assert!(p.wire_bytes > 0);
+    let (pb, lb) = (
+        p.dests[0].bucket.as_ref().unwrap(),
+        l.dests[0].bucket.as_ref().unwrap(),
+    );
+    assert_eq!(pb.keys, lb.keys);
+    assert_eq!(pb.counts, lb.counts);
+    assert_eq!(pb.rows.data(), lb.rows.data());
+    assert_eq!(p.dests[0].legacy, l.dests[0].legacy);
+}
+
+#[test]
+fn children_are_pooled_and_reused_across_exchanges() {
+    let (dim, n_slots) = (3, 5);
+    let rows = row_shards(dim);
+    let agg = AggKind::Sum;
+    let fused = fused_shards(dim, n_slots, &agg);
+    let proc = process_transport();
+    // Several consecutive exchanges through the same transport must keep
+    // producing identical results (pooled children stay frame-aligned).
+    let first = proc
+        .exchange(exchange_for(&rows, &fused, &agg, dim, n_slots))
+        .expect("first exchange");
+    for _ in 0..3 {
+        let again = proc
+            .exchange(exchange_for(&rows, &fused, &agg, dim, n_slots))
+            .expect("repeat exchange");
+        assert_eq!(again.wire_bytes, first.wire_bytes);
+        assert_eq!(again.dests[0].legacy, first.dests[0].legacy);
+    }
+}
+
+#[test]
+fn a_missing_worker_binary_is_a_typed_error_not_a_hang() {
+    let proc = WorkerProcess::with_bin(PathBuf::from("/nonexistent/itworker"));
+    let rows = row_shards(3);
+    let err = proc
+        .exchange(Exchange {
+            step: 0,
+            faults: None,
+            spill: None,
+            dests: vec![DestShards {
+                n_slots: 5,
+                cols: ColsShards::Rows {
+                    dim: 3,
+                    shards: &rows,
+                },
+                legacy: None,
+            }],
+        })
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("spawn"),
+        "spawn failure should be reported: {err}"
+    );
+}
+
+#[test]
+fn custom_aggregators_without_wire_identity_merge_locally() {
+    // An aggregator whose wire_kind is None (the trait default) cannot
+    // ship — the transport must fall back to a local merge and still
+    // succeed without a worker binary.
+    #[derive(Debug)]
+    struct Weird;
+    impl inferturbo_common::rows::FusedAggregator for Weird {
+        fn identity(&self) -> f32 {
+            0.0
+        }
+        fn accumulate(&self, acc: &mut [f32], row: &[f32]) {
+            for (a, b) in acc.iter_mut().zip(row) {
+                *a = a.max(*b) + 1.0;
+            }
+        }
+    }
+    let (dim, n_slots) = (3, 5);
+    let agg = AggKind::Sum; // only used to build inputs
+    let fused = fused_shards(dim, n_slots, &agg);
+    let proc = WorkerProcess::with_bin(PathBuf::from("/nonexistent/itworker"));
+    let out = proc
+        .exchange(Exchange {
+            step: 0,
+            faults: None,
+            spill: None,
+            dests: vec![DestShards {
+                n_slots,
+                cols: ColsShards::Fused {
+                    dim,
+                    agg: &Weird,
+                    shards: &fused,
+                },
+                legacy: None,
+            }],
+        })
+        .expect("local fused fallback must not need a worker");
+    assert_eq!(out.wire_bytes, 0);
+    assert!(matches!(out.dests[0].cols, MergedCols::Fused(_)));
+}

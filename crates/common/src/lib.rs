@@ -23,4 +23,4 @@ pub use par::{
     par_chunks_mut, par_map, par_map_workers, Parallelism, ReorderBuffer, Ticket, TicketLine,
 };
 pub use rng::{SplitMix64, Xoshiro256};
-pub use rows::{FusedAggregator, MessageLayout, SpillPolicy, SpillableRows};
+pub use rows::{AggKind, FusedAggregator, MessageLayout, SpillPolicy, SpillableRows};

@@ -50,7 +50,7 @@
 //! `spilled_bytes()` reports what lives on disk — the two planes engines
 //! and plans report separately.
 
-use crate::codec::varint_len;
+use crate::codec::{varint_len, Decode, Encode, WireReader, WireWriter};
 use crate::{Error, FxHashMap, Result};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -286,6 +286,17 @@ impl SpillableRows {
         self.dim
     }
 
+    /// Unwrap a fully resident store's flat data; `None` when spilled.
+    /// The wire path sends resident data only — merged results cross a
+    /// process boundary *before* the parent-side spill decision, so a
+    /// spilled store here means a protocol bug, not a recoverable state.
+    pub fn into_resident(self) -> Option<Vec<f32>> {
+        match self.store {
+            RowStore::Resident(d) => Some(d),
+            RowStore::Spilled { .. } => None,
+        }
+    }
+
     /// Total rows in the store (resident + spilled).
     pub fn n_rows(&self) -> usize {
         self.n_rows
@@ -410,6 +421,87 @@ pub trait FusedAggregator: Send + Sync {
 
     /// Fold `row` into `acc` lane-wise. `acc.len() == row.len()`.
     fn accumulate(&self, acc: &mut [f32], row: &[f32]);
+
+    /// The wire-encodable description of this fold, if it has one.
+    ///
+    /// A fused exchange that crosses a process boundary cannot ship the
+    /// aggregator itself — only a closed set of lane-wise folds
+    /// ([`AggKind`]) travels on the wire, and the remote merge replays the
+    /// fold from that tag. Returning `Some(kind)` asserts that `kind`'s
+    /// fold is **bit-identical** to this aggregator's `accumulate` for
+    /// every input (each `AggKind` fold is a per-lane-independent
+    /// operation, so unrolling or vectorisation cannot change its bits).
+    /// The default `None` keeps custom aggregators working everywhere:
+    /// a transport that cannot encode the fold merges fused partials
+    /// locally instead (see `inferturbo_cluster::transport`).
+    fn wire_kind(&self) -> Option<AggKind> {
+        None
+    }
+}
+
+/// The closed set of lane-wise folds a fused exchange can name on the
+/// wire. Each variant is a per-lane-independent operation whose result is
+/// bit-identical to the engine-side kernels it stands in for:
+///
+/// - [`AggKind::Sum`]: `acc[i] += row[i]` — bit-equal to
+///   `row_axpy(acc, row, 1.0)` (multiplying by `1.0` is the identity on
+///   every IEEE-754 value the planes carry);
+/// - [`AggKind::Max`]: `if row[i] > acc[i] { acc[i] = row[i] }` — the
+///   exact tie/NaN-keeping comparison of `row_max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    Sum,
+    Max,
+}
+
+impl Encode for AggKind {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(match self {
+            AggKind::Sum => 0,
+            AggKind::Max => 1,
+        });
+    }
+}
+
+impl Decode for AggKind {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(AggKind::Sum),
+            1 => Ok(AggKind::Max),
+            tag => Err(Error::Codec(format!("unknown AggKind tag {tag}"))),
+        }
+    }
+}
+
+impl FusedAggregator for AggKind {
+    fn identity(&self) -> f32 {
+        match self {
+            AggKind::Sum => 0.0,
+            AggKind::Max => f32::NEG_INFINITY,
+        }
+    }
+
+    fn accumulate(&self, acc: &mut [f32], row: &[f32]) {
+        debug_assert_eq!(acc.len(), row.len());
+        match self {
+            AggKind::Sum => {
+                for (a, &b) in acc.iter_mut().zip(row) {
+                    *a += b;
+                }
+            }
+            AggKind::Max => {
+                for (a, &b) in acc.iter_mut().zip(row) {
+                    if b > *a {
+                        *a = b;
+                    }
+                }
+            }
+        }
+    }
+
+    fn wire_kind(&self) -> Option<AggKind> {
+        Some(*self)
+    }
 }
 
 /// A flat row-major spool of fixed-width rows — the storage unit of the
@@ -474,6 +566,21 @@ impl RowBlock {
         self.data.clear();
         self.dim = dim;
     }
+
+    /// Rebuild a block from its flat parts (the wire-decode path). `data`
+    /// must hold a whole number of `dim`-wide rows.
+    pub fn from_parts(dim: usize, data: Vec<f32>) -> Result<RowBlock> {
+        if dim == 0 && !data.is_empty() {
+            return Err(Error::Codec("row block with dim 0 carries data".into()));
+        }
+        if dim != 0 && !data.len().is_multiple_of(dim) {
+            return Err(Error::Codec(format!(
+                "row block data ({} floats) is not a multiple of dim {dim}",
+                data.len()
+            )));
+        }
+        Ok(RowBlock { dim, data })
+    }
 }
 
 /// One sender's columnar outbox shard for one destination worker:
@@ -512,6 +619,86 @@ impl RowShard {
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
     }
+}
+
+/// Wire framing for one sender's materialized shard: `varint dim`,
+/// `varint n`, `n` destination-slot varints, then `n·dim` raw-bit `f32`
+/// lanes. Row data round-trips through exact IEEE-754 little-endian bit
+/// patterns, so an encode→decode cycle is bit-identical.
+impl Encode for RowShard {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.rows.dim() as u64);
+        w.put_varint(self.slots.len() as u64);
+        for &s in &self.slots {
+            w.put_varint(s as u64);
+        }
+        for &x in self.rows.data() {
+            w.put_f32(x);
+        }
+    }
+}
+
+impl Decode for RowShard {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let dim = decode_dim(r)?;
+        let n = r.get_varint()? as usize;
+        let slots = decode_slots(r, n)?;
+        let data = decode_rows(r, n, dim)?;
+        Ok(RowShard {
+            slots,
+            rows: RowBlock::from_parts(dim, data)?,
+        })
+    }
+}
+
+/// Decode a row width, rejecting values that could not have been produced
+/// by an honest encoder (a frame cannot describe more lanes than it has
+/// bytes for).
+fn decode_dim(r: &mut WireReader<'_>) -> Result<usize> {
+    let dim = r.get_varint()? as usize;
+    if dim > u32::MAX as usize {
+        return Err(Error::Codec(format!("row dim {dim} exceeds u32 range")));
+    }
+    Ok(dim)
+}
+
+/// Decode `n` slot/key varints, validating `n` against the bytes actually
+/// present before allocating (each varint is at least one byte).
+fn decode_slots(r: &mut WireReader<'_>, n: usize) -> Result<Vec<u32>> {
+    if n > r.remaining() {
+        return Err(Error::Codec(format!(
+            "shard claims {n} records but only {} bytes remain",
+            r.remaining()
+        )));
+    }
+    let mut slots = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = r.get_varint()?;
+        if s > u32::MAX as u64 {
+            return Err(Error::Codec(format!("slot {s} exceeds u32 range")));
+        }
+        slots.push(s as u32);
+    }
+    Ok(slots)
+}
+
+/// Decode `n · dim` f32 lanes, validating the byte budget before
+/// allocating.
+fn decode_rows(r: &mut WireReader<'_>, n: usize, dim: usize) -> Result<Vec<f32>> {
+    let lanes = n
+        .checked_mul(dim)
+        .filter(|&l| l.checked_mul(4).is_some_and(|b| b <= r.remaining()))
+        .ok_or_else(|| {
+            Error::Codec(format!(
+                "shard claims {n}x{dim} rows but only {} bytes remain",
+                r.remaining()
+            ))
+        })?;
+    let mut data = Vec::with_capacity(lanes);
+    for _ in 0..lanes {
+        data.push(r.get_f32()?);
+    }
+    Ok(data)
 }
 
 /// A destination worker's sealed columnar inbox: every pending row in one
@@ -640,6 +827,55 @@ impl RowArena {
             offsets,
         })
     }
+
+    /// Rebuild an arena from wire parts: the sealed per-slot `offsets`
+    /// (length `n_slots + 1`, monotone, starting at 0) and the flat
+    /// scattered row data (`offsets.last() * dim` floats). Applies `spill`
+    /// exactly like [`RowArena::seal`] — the seal happened on the other
+    /// side of the wire, the residency decision happens here.
+    pub fn from_parts(
+        dim: usize,
+        offsets: Vec<u32>,
+        data: Vec<f32>,
+        spill: Option<&SpillPolicy>,
+    ) -> Result<Self> {
+        let total = match offsets.as_slice() {
+            [] => return Err(Error::Codec("row arena offsets are empty".into())),
+            [first, .., last] if *first == 0 => *last as usize,
+            [0] => 0,
+            _ => return Err(Error::Codec("row arena offsets do not start at 0".into())),
+        };
+        if offsets.windows(2).any(|w| w[1] < w[0]) {
+            return Err(Error::Codec("row arena offsets are not monotone".into()));
+        }
+        if data.len() != total * dim {
+            return Err(Error::Codec(format!(
+                "row arena data ({} floats) does not match {total} rows of dim {dim}",
+                data.len()
+            )));
+        }
+        let max_slot_rows = offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0);
+        Ok(RowArena {
+            dim,
+            data: SpillableRows::new(dim, data, spill, max_slot_rows)?,
+            offsets,
+        })
+    }
+
+    /// Split a freshly sealed, fully resident arena into its wire parts
+    /// (`offsets`, flat row data) for shipping back across a process
+    /// boundary. Fails on a spilled arena: the wire side seals without a
+    /// spill policy, residency is the receiving side's decision.
+    pub fn into_wire_parts(self) -> Result<(Vec<u32>, Vec<f32>)> {
+        let data = self.data.into_resident().ok_or_else(|| {
+            Error::Internal("cannot ship a spilled row arena over the wire".into())
+        })?;
+        Ok((self.offsets, data))
+    }
 }
 
 /// One sender's **fused** outbox shard for one destination worker: instead
@@ -700,6 +936,34 @@ impl FusedSlotShard {
         }
     }
 
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Rebuild a shard from decoded wire parts, **for merging only**: the
+    /// dense `slot → row` index is left empty, so
+    /// [`FusedSlotShard::accumulate`] / [`FusedSlotShard::reset`] must not
+    /// be called on the result. [`FusedRows::merge`] reads only
+    /// `keys`/`counts`/`rows`, which is exactly what the wire carries.
+    pub fn from_wire(dim: usize, keys: Vec<u32>, counts: Vec<u32>, rows: RowBlock) -> Result<Self> {
+        if keys.len() != counts.len() || keys.len() != rows.len() || rows.dim() != dim {
+            return Err(Error::Codec(format!(
+                "fused shard parts disagree: {} keys, {} counts, {} rows of dim {}",
+                keys.len(),
+                counts.len(),
+                rows.len(),
+                rows.dim()
+            )));
+        }
+        Ok(FusedSlotShard {
+            dim,
+            index: Vec::new(),
+            keys,
+            counts,
+            rows,
+        })
+    }
+
     /// Fold `row` (carrying `count` raw messages) into slot's accumulator.
     /// Returns `true` when this was the slot's first touch (callers track
     /// per-slot side data, e.g. the original destination id, on it).
@@ -723,6 +987,38 @@ impl FusedSlotShard {
             self.counts[at as usize] += count;
             false
         }
+    }
+}
+
+/// Wire framing for one sender's fused shard: `varint dim`, `varint n`,
+/// `n` first-touch key varints, `n` count varints, then `n·dim` raw-bit
+/// `f32` lanes. The dense `slot → row` index is *not* shipped — it is a
+/// sender-side accumulation structure; the receiver only merges. Decoding
+/// therefore yields a merge-only shard (see [`FusedSlotShard::from_wire`]).
+impl Encode for FusedSlotShard {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.dim as u64);
+        w.put_varint(self.keys.len() as u64);
+        for &k in &self.keys {
+            w.put_varint(k as u64);
+        }
+        for &c in &self.counts {
+            w.put_varint(c as u64);
+        }
+        for &x in self.rows.data() {
+            w.put_f32(x);
+        }
+    }
+}
+
+impl Decode for FusedSlotShard {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let dim = decode_dim(r)?;
+        let n = r.get_varint()? as usize;
+        let keys = decode_slots(r, n)?;
+        let counts = decode_slots(r, n)?;
+        let data = decode_rows(r, n, dim)?;
+        FusedSlotShard::from_wire(dim, keys, counts, RowBlock::from_parts(dim, data)?)
     }
 }
 
@@ -824,6 +1120,40 @@ impl FusedRows {
             acc: SpillableRows::new(dim, acc, spill, 1)?,
             counts,
         })
+    }
+
+    /// Rebuild a merged inbox from wire parts: per-slot message `counts`
+    /// and the dense accumulator rows (`counts.len() * dim` floats).
+    /// Applies `spill` exactly like [`FusedRows::merge`] — the fold
+    /// happened on the other side of the wire, residency is decided here.
+    pub fn from_parts(
+        dim: usize,
+        counts: Vec<u32>,
+        acc: Vec<f32>,
+        spill: Option<&SpillPolicy>,
+    ) -> Result<Self> {
+        if acc.len() != counts.len() * dim {
+            return Err(Error::Codec(format!(
+                "fused rows data ({} floats) does not match {} slots of dim {dim}",
+                acc.len(),
+                counts.len()
+            )));
+        }
+        Ok(FusedRows {
+            dim,
+            acc: SpillableRows::new(dim, acc, spill, 1)?,
+            counts,
+        })
+    }
+
+    /// Split a freshly merged, fully resident inbox into its wire parts
+    /// (`counts`, dense accumulator rows). Fails on a spilled store — see
+    /// [`RowArena::into_wire_parts`].
+    pub fn into_wire_parts(self) -> Result<(Vec<u32>, Vec<f32>)> {
+        let acc = self.acc.into_resident().ok_or_else(|| {
+            Error::Internal("cannot ship spilled fused rows over the wire".into())
+        })?;
+        Ok((self.counts, acc))
     }
 }
 
@@ -1241,5 +1571,189 @@ mod tests {
         assert_eq!(sh.keys, vec![1 << 40, 7]);
         assert_eq!(sh.counts, vec![3, 1]);
         assert_eq!(sh.rows.row(0), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_shard_wire_round_trip_is_bit_identical() {
+        let dim = 3;
+        let feats = odd_bits(5, dim);
+        let mut sh = RowShard::new(dim);
+        for (i, row) in feats.chunks(dim).enumerate() {
+            sh.push((i * 2) as u32, row);
+        }
+        let back = RowShard::from_bytes(&sh.to_bytes()).unwrap();
+        assert_eq!(back.slots, sh.slots);
+        assert_eq!(back.rows.dim(), dim);
+        let a: Vec<u32> = sh.rows.data().iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u32> = back.rows.data().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a, b);
+        // Empty shard — zero rows, the dim still survives the trip.
+        let empty = RowShard::from_bytes(&RowShard::new(7).to_bytes()).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.rows.dim(), 7);
+    }
+
+    #[test]
+    fn fused_shard_wire_round_trip_preserves_merge_inputs() {
+        let dim = 2;
+        let mut sh = FusedSlotShard::new(dim, 6);
+        sh.accumulate(4, &[1.0, -0.0], 1, &Sum);
+        sh.accumulate(0, &[2.0, 3.0], 2, &Sum);
+        sh.accumulate(4, &[0.5, 0.5], 1, &Sum);
+        let back = FusedSlotShard::from_bytes(&sh.to_bytes()).unwrap();
+        assert_eq!(back.keys, sh.keys);
+        assert_eq!(back.counts, sh.counts);
+        assert_eq!(back.dim(), dim);
+        let a: Vec<u32> = sh.rows.data().iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u32> = back.rows.data().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a, b);
+        // A decoded (merge-only) shard merges identically to the original.
+        let mut from_local = FusedRows::merge(dim, 6, &[sh], &Sum, None).unwrap();
+        let mut from_wire = FusedRows::merge(dim, 6, &[back], &Sum, None).unwrap();
+        for s in 0..6 {
+            assert_eq!(from_local.count(s), from_wire.count(s));
+            assert_eq!(from_local.row(s).unwrap(), from_wire.row(s).unwrap());
+        }
+    }
+
+    #[test]
+    fn shard_decode_rejects_lying_lengths() {
+        // A frame claiming more records than it has bytes must fail with a
+        // typed codec error before any allocation matches the claim.
+        let mut w = WireWriter::new();
+        w.put_varint(4); // dim
+        w.put_varint(1 << 40); // n: absurd
+        let err = RowShard::from_bytes(&w.into_bytes()).unwrap_err();
+        assert!(matches!(err, Error::Codec(_)), "{err:?}");
+        // Truncated row data: 2 rows claimed, bytes for less than one.
+        let mut w = WireWriter::new();
+        w.put_varint(4);
+        w.put_varint(2);
+        w.put_varint(0);
+        w.put_varint(1);
+        w.put_f32(1.0);
+        let err = RowShard::from_bytes(&w.into_bytes()).unwrap_err();
+        assert!(matches!(err, Error::Codec(_)), "{err:?}");
+        // Trailing garbage after a valid shard is rejected too.
+        let mut bytes = RowShard::new(2).to_bytes();
+        bytes.push(0);
+        assert!(RowShard::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn agg_kind_matches_hand_rolled_aggregators_bitwise() {
+        // AggKind::Sum must fold bit-identically to the test Sum above
+        // (same `+=` lane loop), and Max must keep acc on ties the way
+        // tensor::row_max does.
+        let rows: [&[f32]; 3] = [&[1.0, -0.0, 0.3], &[-2.0, 0.0, 0.7], &[0.5, -0.0, 0.1]];
+        let mut a = vec![AggKind::Sum.identity(); 3];
+        let mut b = vec![Sum.identity(); 3];
+        for r in rows {
+            AggKind::Sum.accumulate(&mut a, r);
+            Sum.accumulate(&mut b, r);
+        }
+        let ab: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+        let bb: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(ab, bb);
+        let mut m = vec![AggKind::Max.identity(); 2];
+        AggKind::Max.accumulate(&mut m, &[-0.0, 5.0]);
+        AggKind::Max.accumulate(&mut m, &[0.0, 5.0]); // tie: keep acc
+        assert_eq!(m[0].to_bits(), (-0.0f32).to_bits());
+        assert_eq!(m[1], 5.0);
+        // Wire round-trip of the kind tag itself.
+        for k in [AggKind::Sum, AggKind::Max] {
+            assert_eq!(AggKind::from_bytes(&k.to_bytes()).unwrap(), k);
+            assert_eq!(k.wire_kind(), Some(k));
+        }
+        assert!(AggKind::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn arena_wire_parts_round_trip_bit_identical() {
+        let dim = 2;
+        let feats = odd_bits(10, dim);
+        let mut sh = RowShard::new(dim);
+        for (i, row) in feats.chunks(dim).enumerate() {
+            sh.push((i % 3) as u32, row);
+        }
+        let mut direct = RowArena::seal(dim, 3, &[sh.clone()], None).unwrap();
+        let (offsets, data) = RowArena::seal(dim, 3, &[sh], None)
+            .unwrap()
+            .into_wire_parts()
+            .unwrap();
+        // Rebuild with a spill policy tight enough to force out-of-core:
+        // from_parts must apply residency like seal does.
+        let mut rebuilt = RowArena::from_parts(dim, offsets, data, Some(&tiny_spill(8))).unwrap();
+        assert!(rebuilt.spilled_bytes() > 0);
+        for s in 0..4 {
+            assert_eq!(direct.count(s), rebuilt.count(s));
+            let a: Vec<u32> = direct
+                .rows(s)
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let b: Vec<u32> = rebuilt
+                .rows(s)
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(a, b, "slot {s} diverged through wire parts");
+        }
+    }
+
+    #[test]
+    fn arena_from_parts_rejects_malformed_offsets() {
+        // Non-monotone offsets.
+        assert!(RowArena::from_parts(1, vec![0, 2, 1], vec![0.0; 2], None).is_err());
+        // Offsets not starting at zero.
+        assert!(RowArena::from_parts(1, vec![1, 2], vec![0.0; 2], None).is_err());
+        // Data length disagreeing with the last offset.
+        assert!(RowArena::from_parts(1, vec![0, 2], vec![0.0; 3], None).is_err());
+        // Empty offsets are meaningless even with no data.
+        assert!(RowArena::from_parts(1, vec![], vec![], None).is_err());
+        // Degenerate but valid: zero slots, zero rows.
+        assert!(RowArena::from_parts(1, vec![0], vec![], None).is_ok());
+    }
+
+    #[test]
+    fn fused_wire_parts_round_trip_bit_identical() {
+        let dim = 3;
+        let feats = odd_bits(12, dim);
+        let mut sh = FusedSlotShard::new(dim, 5);
+        for (i, row) in feats.chunks(dim).enumerate() {
+            sh.accumulate((i % 5) as u32, row, 1, &AggKind::Sum);
+        }
+        let mut direct = FusedRows::merge(dim, 5, &[sh], &AggKind::Sum, None).unwrap();
+        let (counts, acc) = direct.snapshot().into_wire_parts().unwrap();
+        let mut rebuilt = FusedRows::from_parts(dim, counts, acc, Some(&tiny_spill(8))).unwrap();
+        assert!(rebuilt.spilled_bytes() > 0);
+        for s in 0..5 {
+            assert_eq!(direct.count(s), rebuilt.count(s));
+            let a: Vec<u32> = direct.row(s).unwrap().iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = rebuilt
+                .row(s)
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(a, b, "slot {s} diverged through wire parts");
+        }
+        // Mismatched counts/data length is a typed codec error.
+        assert!(FusedRows::from_parts(3, vec![1, 1], vec![0.0; 5], None).is_err());
+    }
+
+    #[test]
+    fn spilled_stores_refuse_to_ship_as_wire_parts() {
+        let arena = {
+            let mut sh = RowShard::new(2);
+            for i in 0..10u32 {
+                sh.push(i % 3, &[i as f32, 0.5]);
+            }
+            RowArena::seal(2, 3, &[sh], Some(&tiny_spill(8))).unwrap()
+        };
+        assert!(arena.spilled_bytes() > 0);
+        assert!(arena.into_wire_parts().is_err());
     }
 }

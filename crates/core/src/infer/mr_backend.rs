@@ -19,7 +19,7 @@ use crate::models::{GnnModel, PoolOp};
 use crate::session::{Backend, InferenceSession};
 use crate::strategy::{base_of, mirror_of, NodeRecord, StrategyConfig, NODE_FLAG};
 use inferturbo_batch::{BatchEngine, CombineFn, KeyedData, PhaseCtx, RowSink, RowsView};
-use inferturbo_cluster::{ClusterSpec, FaultInjector};
+use inferturbo_cluster::{ClusterSpec, FaultInjector, Transport};
 use inferturbo_common::codec::{Decode, Encode, WireReader, WireWriter};
 use inferturbo_common::hash::partition_of;
 use inferturbo_common::rows::FusedAggregator;
@@ -289,6 +289,7 @@ pub(crate) fn run_planned(
     features: Option<&[Vec<f32>]>,
     faults: Option<&FaultInjector>,
     trace: TraceHandle,
+    transport: Option<&Arc<dyn Transport>>,
 ) -> Result<InferenceOutput> {
     if strategy.columnar {
         run_planned_columnar(
@@ -301,6 +302,7 @@ pub(crate) fn run_planned(
             features,
             faults,
             trace,
+            transport,
         )
     } else {
         run_planned_legacy(
@@ -313,6 +315,7 @@ pub(crate) fn run_planned(
             features,
             faults,
             trace,
+            transport,
         )
     }
 }
@@ -323,10 +326,14 @@ fn engine_for(
     spec: ClusterSpec,
     faults: Option<&FaultInjector>,
     trace: TraceHandle,
+    transport: Option<&Arc<dyn Transport>>,
 ) -> BatchEngine {
     let mut eng = BatchEngine::new(spec)
         .with_partition_fn(mr_partition)
         .with_trace(trace);
+    if let Some(t) = transport {
+        eng = eng.with_transport(Arc::clone(t));
+    }
     if let Some(inj) = faults {
         eng = eng.with_fault_injector(inj.clone());
     }
@@ -345,10 +352,11 @@ fn run_planned_legacy(
     features: Option<&[Vec<f32>]>,
     faults: Option<&FaultInjector>,
     trace: TraceHandle,
+    transport: Option<&Arc<dyn Transport>>,
 ) -> Result<InferenceOutput> {
     let k = model.n_layers();
     let workers = spec.workers;
-    let mut eng = engine_for(spec, faults, trace);
+    let mut eng = engine_for(spec, faults, trace, transport);
     let inputs = eng.scatter_inputs(records.iter().collect());
 
     // --- Map: initial embeddings + layer-0 scatter ------------------------
@@ -563,10 +571,11 @@ fn run_planned_columnar(
     features: Option<&[Vec<f32>]>,
     faults: Option<&FaultInjector>,
     trace: TraceHandle,
+    transport: Option<&Arc<dyn Transport>>,
 ) -> Result<InferenceOutput> {
     let k = model.n_layers();
     let workers = spec.workers;
-    let mut eng = engine_for(spec, faults, trace);
+    let mut eng = engine_for(spec, faults, trace, transport);
     let inputs = eng.scatter_inputs(records.iter().collect());
 
     // Fused row aggregation stands in for the wire combiner: same

@@ -27,7 +27,7 @@ use crate::models::gas_impl::{PoolRowAggregator, WireCombiner};
 use crate::models::GnnModel;
 use crate::session::{Backend, InferenceSession};
 use crate::strategy::{mirror_of, NodeRecord, StrategyConfig};
-use inferturbo_cluster::{ClusterSpec, FaultInjector, RecoveryPolicy};
+use inferturbo_cluster::{ClusterSpec, FaultInjector, RecoveryPolicy, Transport};
 use inferturbo_common::rows::SpillPolicy;
 use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
@@ -283,6 +283,7 @@ pub(crate) fn run_planned<'g>(
     faults: Option<&FaultInjector>,
     recovery: Option<RecoveryPolicy>,
     trace: TraceHandle,
+    transport: Option<&Arc<dyn Transport>>,
 ) -> Result<(InferenceOutput, ScratchPool<GnnMessage>)> {
     let k = model.n_layers();
     let combiners: Vec<Option<WireCombiner>> = (0..k)
@@ -308,6 +309,9 @@ pub(crate) fn run_planned<'g>(
         .with_columnar(strategy.columnar)
         .with_spill(spill.cloned())
         .with_trace(trace);
+    if let Some(t) = transport {
+        config = config.with_transport(Arc::clone(t));
+    }
     if let Some(inj) = faults {
         config = config
             .with_fault_injector(inj.clone())

@@ -46,6 +46,7 @@ pub mod train;
 
 pub use gas::{AggState, EdgeCtx, GasLayer, GnnMessage, LayerAnnotations, NodeCtx};
 pub use infer::{infer_mapreduce, infer_pregel, infer_reference, InferenceOutput};
+pub use inferturbo_cluster::{InProcess, Transport, WorkerProcess};
 pub use models::{GnnModel, LayerKind, PoolOp};
 pub use plan::{InferencePlan, PlanSummary};
 pub use session::{Backend, InferenceSession, SessionBuilder};

@@ -382,6 +382,17 @@ impl FusedAggregator for PoolRowAggregator {
             PoolOp::Max => row_max(acc, row),
         }
     }
+
+    /// All three pool ops are wire-transparent, so the process transport
+    /// can ship partial aggregates and fold them child-side: mean is a sum
+    /// on this plane (the engine-tracked count divides at `apply_node`),
+    /// and sum/max are plain commutative folds.
+    fn wire_kind(&self) -> Option<inferturbo_common::rows::AggKind> {
+        match self.op {
+            PoolOp::Sum | PoolOp::Mean => Some(inferturbo_common::rows::AggKind::Sum),
+            PoolOp::Max => Some(inferturbo_common::rows::AggKind::Max),
+        }
+    }
 }
 
 /// Wire-level partial-gather combiner: folds `Partial` messages heading to

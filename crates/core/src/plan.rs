@@ -30,6 +30,7 @@ use crate::session::Backend;
 use crate::strategy::{build_node_records, NodeRecord, StrategyConfig};
 use inferturbo_cluster::{
     ClusterSpec, FaultInjector, FaultPlan, LayerEstimate, PlanEstimate, RecoveryPolicy, RunReport,
+    Transport,
 };
 use inferturbo_common::codec::varint_len;
 use inferturbo_common::hash::partition_of;
@@ -81,6 +82,11 @@ pub struct InferencePlan<'a> {
     /// executes under its own trace epoch ([`TraceHandle::next_epoch`]),
     /// so repeated runs append distinguishable event groups to one sink.
     pub(crate) trace: TraceHandle,
+    /// Shuffle transport both backends exchange sealed shards through.
+    /// `None` defers to the engines' `INFERTURBO_TRANSPORT` environment
+    /// arming. Bit-identical by contract, so it never feeds the estimate
+    /// or backend auto-selection — only `RunReport::wire_bytes` differs.
+    pub(crate) transport: Option<std::sync::Arc<dyn Transport>>,
     pub(crate) records: Vec<NodeRecord>,
     pub(crate) bc_threshold: u64,
     pub(crate) hubs: usize,
@@ -121,6 +127,7 @@ impl<'a> InferencePlan<'a> {
         fault_plan: Option<FaultPlan>,
         recovery: Option<RecoveryPolicy>,
         trace: TraceHandle,
+        transport: Option<std::sync::Arc<dyn Transport>>,
     ) -> Result<InferencePlan<'a>> {
         // Broadcast pays one payload per worker instead of one per
         // out-edge, so it only wins when out-degree exceeds the worker
@@ -183,6 +190,7 @@ impl<'a> InferencePlan<'a> {
             faults: fault_plan.filter(|p| !p.is_empty()).map(|p| p.injector()),
             recovery,
             trace,
+            transport,
             records,
             bc_threshold,
             hubs,
@@ -317,6 +325,7 @@ impl<'a> InferencePlan<'a> {
                     self.faults.as_ref(),
                     self.recovery,
                     trace,
+                    self.transport.as_ref(),
                 )?;
                 *self
                     .scratch
@@ -334,6 +343,7 @@ impl<'a> InferencePlan<'a> {
                 features,
                 self.faults.as_ref(),
                 trace,
+                self.transport.as_ref(),
             ),
             Backend::Reference => Ok(InferenceOutput {
                 logits: reference_logits(self.model, self.graph, features),
@@ -429,6 +439,14 @@ impl PlanSummary {
         .counter(
             "totals.mapreduce_total_bytes",
             self.estimate.mapreduce_total_bytes(),
+        )
+        .counter(
+            "totals.pregel_wire_bytes",
+            self.estimate.pregel_wire_bytes(self.workers),
+        )
+        .counter(
+            "totals.mapreduce_wire_bytes",
+            self.estimate.mapreduce_wire_bytes(self.workers),
         );
         reg
     }

@@ -78,7 +78,7 @@
 use crate::models::GnnModel;
 use crate::plan::InferencePlan;
 use crate::strategy::StrategyConfig;
-use inferturbo_cluster::{ClusterSpec, FaultPlan, RecoveryPolicy};
+use inferturbo_cluster::{ClusterSpec, FaultPlan, RecoveryPolicy, Transport};
 use inferturbo_common::rows::SpillPolicy;
 use inferturbo_common::{Error, Result};
 use inferturbo_graph::Graph;
@@ -124,6 +124,7 @@ impl InferenceSession {
             fault_plan: None,
             recovery: None,
             trace: None,
+            transport: None,
         }
     }
 }
@@ -145,6 +146,7 @@ pub struct SessionBuilder<'a> {
     fault_plan: Option<FaultPlan>,
     recovery: Option<RecoveryPolicy>,
     trace: Option<TraceHandle>,
+    transport: Option<std::sync::Arc<dyn Transport>>,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -254,6 +256,19 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Pin the shuffle transport both backends exchange sealed shards
+    /// through: [`InProcess`](inferturbo_cluster::InProcess) (the
+    /// zero-copy default) or
+    /// [`WorkerProcess`](inferturbo_cluster::WorkerProcess) (spawned
+    /// worker children over pipes). Every backend is bit-identical —
+    /// logits, traces and modelled byte accounting do not depend on this
+    /// choice; only `RunReport::wire_bytes` does. Unset, the engines arm
+    /// from the `INFERTURBO_TRANSPORT` environment variable.
+    pub fn transport(mut self, transport: std::sync::Arc<dyn Transport>) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
     /// Stage 2 of the pipeline: validate the configuration and do the
     /// one-time planning work. See [`InferencePlan`] for what the plan
     /// owns and what repeated runs skip.
@@ -316,6 +331,7 @@ impl<'a> SessionBuilder<'a> {
             self.fault_plan,
             self.recovery,
             self.trace.unwrap_or_else(inferturbo_obs::arm::from_env),
+            self.transport,
         )
     }
 }

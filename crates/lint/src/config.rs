@@ -26,18 +26,28 @@ const UNORDERED_SCOPE: &[&str] = &[
     "crates/common/",
 ];
 
-/// The one module allowed to create threads: `inferturbo_common::par` owns
-/// the fork-join substrate and the global `Parallelism` budget.
-const SPAWN_EXEMPT: &[&str] = &["crates/common/src/par.rs"];
+/// The modules allowed to create concurrency: `inferturbo_common::par`
+/// owns the fork-join substrate and the global `Parallelism` budget, and
+/// `inferturbo_cluster::transport::spawn` owns the worker child processes
+/// the process transport pipes shards through (the rule also matches
+/// `Command::new` / `process::Command` — an ad-hoc subprocess is a thread
+/// the budget cannot see).
+const SPAWN_EXEMPT: &[&str] = &[
+    "crates/common/src/par.rs",
+    "crates/cluster/src/transport/spawn.rs",
+];
 
 /// Modules sanctioned to read the environment: the thread-budget resolver
 /// (`INFERTURBO_THREADS`), the fault-schedule arming hook
-/// (`INFERTURBO_FAULTS`) and the trace arming hook (`INFERTURBO_TRACE`).
-/// Anything else uses an inline allow with a reason (e.g. the
-/// `INFERTURBO_OVERLOAD` knob in `crates/serve/src/server.rs`).
+/// (`INFERTURBO_FAULTS`), the trace arming hook (`INFERTURBO_TRACE`) and
+/// the transport arming hook (`INFERTURBO_TRANSPORT` /
+/// `INFERTURBO_WORKER_BIN`). Anything else uses an inline allow with a
+/// reason (e.g. the `INFERTURBO_OVERLOAD` knob in
+/// `crates/serve/src/server.rs`).
 const ENV_EXEMPT: &[&str] = &[
     "crates/common/src/par.rs",
     "crates/cluster/src/fault.rs",
+    "crates/cluster/src/transport/env.rs",
     "crates/obs/src/arm.rs",
 ];
 
@@ -147,10 +157,26 @@ mod tests {
             "crates/tensor/src/matrix.rs"
         ));
         assert!(!rule_applies("raw-spawn", "crates/common/src/par.rs"));
+        assert!(!rule_applies(
+            "raw-spawn",
+            "crates/cluster/src/transport/spawn.rs"
+        ));
         assert!(rule_applies("raw-spawn", "crates/common/src/rows.rs"));
+        assert!(rule_applies(
+            "raw-spawn",
+            "crates/cluster/src/transport/mod.rs"
+        ));
         assert!(!rule_applies("env-read", "crates/cluster/src/fault.rs"));
+        assert!(!rule_applies(
+            "env-read",
+            "crates/cluster/src/transport/env.rs"
+        ));
         assert!(!rule_applies("env-read", "crates/obs/src/arm.rs"));
         assert!(rule_applies("env-read", "crates/obs/src/sink.rs"));
+        assert!(rule_applies(
+            "env-read",
+            "crates/cluster/src/transport/frame.rs"
+        ));
         assert!(rule_applies("env-read", "crates/serve/src/server.rs"));
         assert!(!rule_applies(
             "panic-in-lib",

@@ -37,8 +37,10 @@ pub const RULES: &[RuleDef] = &[
     },
     RuleDef {
         id: "raw-spawn",
-        summary: "std::thread::{spawn,scope,Builder} outside inferturbo_common::par — ad-hoc \
-                  threads bypass the global Parallelism budget and the determinism contract",
+        summary: "std::thread::{spawn,scope,Builder} or process::Command outside \
+                  inferturbo_common::par / inferturbo_cluster::transport::spawn — ad-hoc \
+                  threads and subprocesses bypass the global Parallelism budget and the \
+                  determinism contract",
     },
     RuleDef {
         id: "env-read",
@@ -220,11 +222,15 @@ fn match_rules(rel_path: &str, toks: &[Tok<'_>]) -> Vec<(&'static str, u32)> {
                 hits.push(("wallclock", toks[i + 1].line));
             }
         }
-        // raw-spawn: thread::spawn / thread::scope / thread::Builder.
+        // raw-spawn: thread::spawn / thread::scope / thread::Builder, plus
+        // process spawning — `Command::new` and the `process::Command`
+        // path form (which also catches `use std::process::Command`, a
+        // deliberate tripwire: importing the type outside the sanctioned
+        // module is already a design smell worth an explicit allow).
         if config::rule_applies("raw-spawn", rel_path)
-            && t(i) == "thread"
-            && t(i + 1) == "::"
-            && THREAD_PRIMS.contains(&t(i + 2))
+            && ((t(i) == "thread" && t(i + 1) == "::" && THREAD_PRIMS.contains(&t(i + 2)))
+                || (t(i) == "Command" && t(i + 1) == "::" && t(i + 2) == "new")
+                || (t(i) == "process" && t(i + 1) == "::" && t(i + 2) == "Command"))
         {
             hits.push(("raw-spawn", line));
         }
@@ -452,5 +458,33 @@ mod tests {
         let got = rules_of("crates/serve/src/x.rs", src);
         assert_eq!(got.len(), 2, "{got:?}");
         assert_eq!(rules_of("crates/common/src/par.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn process_spawns_are_raw_spawn_outside_the_transport_module() {
+        let src = "use std::process::Command;\n\
+                   fn f() {\n\
+                       let c = Command::new(\"true\");\n\
+                       drop(c);\n\
+                   }\n";
+        assert_eq!(
+            rules_of("crates/serve/src/x.rs", src),
+            vec![("raw-spawn".to_string(), 1), ("raw-spawn".to_string(), 3)]
+        );
+        // The sanctioned worker-spawn module is exempt.
+        assert_eq!(
+            rules_of("crates/cluster/src/transport/spawn.rs", src),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn transport_env_module_is_exempt_but_neighbours_are_not() {
+        let src = "fn f() { std::env::var(\"INFERTURBO_TRANSPORT\").ok(); }\n";
+        assert_eq!(rules_of("crates/cluster/src/transport/env.rs", src), vec![]);
+        assert_eq!(
+            rules_of("crates/cluster/src/transport/frame.rs", src),
+            vec![("env-read".to_string(), 1)]
+        );
     }
 }

@@ -1,0 +1,7 @@
+use std::process::Command;
+
+fn launch() {
+    let minion = Command::new("true");
+    let direct = std::process::Command::new("false");
+    drop((minion, direct));
+}

@@ -9,6 +9,7 @@ const WALLCLOCK: &str = include_str!("fixtures/wallclock.rs");
 const PANIC_IN_LIB: &str = include_str!("fixtures/panic_in_lib.rs");
 const UNORDERED_ITER: &str = include_str!("fixtures/unordered_iter.rs");
 const RAW_SPAWN: &str = include_str!("fixtures/raw_spawn.rs");
+const PROCESS_SPAWN: &str = include_str!("fixtures/process_spawn.rs");
 const ENV_READ: &str = include_str!("fixtures/env_read.rs");
 const ALLOWS: &str = include_str!("fixtures/allows.rs");
 const NO_FALSE_POSITIVES: &str = include_str!("fixtures/no_false_positives.rs");
@@ -87,6 +88,30 @@ fn raw_spawn_fixture_flags_thread_primitives() {
 }
 
 #[test]
+fn process_spawn_fixture_flags_commands_outside_the_transport_module() {
+    // Line 1 is the `use std::process::Command` import (the `process ::
+    // Command` path form), line 4 the bare `Command::new`, line 5 the
+    // fully-qualified call (both patterns hit it; deduped to one).
+    let got = hits("crates/serve/src/fixture.rs", PROCESS_SPAWN);
+    assert_eq!(
+        got,
+        vec![
+            ("raw-spawn".to_string(), 1),
+            ("raw-spawn".to_string(), 4),
+            ("raw-spawn".to_string(), 5),
+        ]
+    );
+    // The transport's worker-spawn module is the sanctioned home for
+    // subprocess creation; the thread sanction does NOT leak to it and
+    // vice versa.
+    assert_eq!(
+        hits("crates/cluster/src/transport/spawn.rs", PROCESS_SPAWN),
+        vec![]
+    );
+    assert_eq!(hits("crates/common/src/par.rs", PROCESS_SPAWN), vec![]);
+}
+
+#[test]
 fn env_read_fixture_flags_env_access_outside_sanctioned_modules() {
     let got = hits("crates/serve/src/fixture.rs", ENV_READ);
     assert_eq!(
@@ -94,6 +119,22 @@ fn env_read_fixture_flags_env_access_outside_sanctioned_modules() {
         vec![("env-read".to_string(), 2), ("env-read".to_string(), 3)]
     );
     assert_eq!(hits("crates/cluster/src/fault.rs", ENV_READ), vec![]);
+}
+
+#[test]
+fn env_read_sanction_covers_only_the_transport_arming_module() {
+    // `INFERTURBO_TRANSPORT` / `INFERTURBO_WORKER_BIN` arming is
+    // sanctioned in `transport/env.rs`; env reads anywhere else in the
+    // transport (or the cluster crate) still flag.
+    assert_eq!(
+        hits("crates/cluster/src/transport/env.rs", ENV_READ),
+        vec![]
+    );
+    let got = hits("crates/cluster/src/transport/frame.rs", ENV_READ);
+    assert_eq!(
+        got,
+        vec![("env-read".to_string(), 2), ("env-read".to_string(), 3)]
+    );
 }
 
 #[test]

@@ -95,6 +95,23 @@ pub enum Payload {
         /// Inbox bytes paged out under the spill budget at seal time.
         spilled_bytes: u64,
     },
+    /// One shuffle exchange through the transport layer, emitted at the
+    /// Pregel seal barrier just before the [`Payload::Superstep`] summary.
+    /// Carries only backend-invariant shuffle shape — shard/row/record
+    /// counts, never backend names or wire-byte totals — so traces stay
+    /// byte-identical between the in-process and worker-process backends.
+    Transport {
+        phase: String,
+        /// Destination workers that took part in the exchange.
+        dests: u64,
+        /// Columnar shards handed over (senders × destinations, both
+        /// planes).
+        shards: u64,
+        /// Rows carried by those shards.
+        rows: u64,
+        /// Typed legacy records routed through the exchange.
+        legacy_records: u64,
+    },
     /// One worker's side of a phase (Pregel superstep or MapReduce task).
     WorkerPhase {
         phase: String,
@@ -251,6 +268,7 @@ impl Payload {
     pub fn kind(&self) -> &'static str {
         match self {
             Payload::Superstep { .. } => "superstep",
+            Payload::Transport { .. } => "transport",
             Payload::WorkerPhase { .. } => "worker_phase",
             Payload::Round { .. } => "round",
             Payload::Checkpoint { .. } => "checkpoint",
@@ -283,6 +301,17 @@ impl fmt::Display for Payload {
                  columnar_bytes={columnar_bytes} legacy_bytes={legacy_bytes} \
                  spilled_bytes={spilled_bytes}",
                 u8::from(*active)
+            ),
+            Payload::Transport {
+                phase,
+                dests,
+                shards,
+                rows,
+                legacy_records,
+            } => write!(
+                f,
+                "phase={phase} dests={dests} shards={shards} rows={rows} \
+                 legacy_records={legacy_records}"
             ),
             Payload::WorkerPhase {
                 phase,

@@ -83,6 +83,13 @@ fn parse_line(line: &str) -> std::result::Result<Event, String> {
             legacy_bytes: f.u64("legacy_bytes")?,
             spilled_bytes: f.u64("spilled_bytes")?,
         },
+        "transport" => Payload::Transport {
+            phase: f.string("phase")?,
+            dests: f.u64("dests")?,
+            shards: f.u64("shards")?,
+            rows: f.u64("rows")?,
+            legacy_records: f.u64("legacy_records")?,
+        },
         "worker_phase" => Payload::WorkerPhase {
             phase: f.string("phase")?,
             records_in: f.u64("records_in")?,

@@ -46,6 +46,9 @@
 //! front-to-back reproduces the legacy per-message fold bit-for-bit.
 
 use crate::vertex::{ActivationPolicy, Outbox, RowsIn, VertexProgram};
+use inferturbo_cluster::transport::{
+    self, frame::EncodedRecords, ColsShards, DestShards, Exchange, MergedCols, Transport,
+};
 use inferturbo_cluster::{
     ClusterSpec, FaultInjector, FaultPlan, MessagePlaneBytes, RecoveryPolicy, RunReport,
     WorkerPhase,
@@ -120,6 +123,14 @@ pub struct PregelConfig {
     /// sink with each checkpoint/restore, so a recovered trace is
     /// bit-identical to a fault-free one.
     pub trace: TraceHandle,
+    /// Who moves sealed shards between workers at the superstep barrier.
+    /// Defaults to whatever `INFERTURBO_TRANSPORT` selects (the CI
+    /// cross-process leg sets `process` suite-wide; unset means the
+    /// zero-copy in-process backend). Every backend is bit-identical —
+    /// logits, traces and byte accounting other than
+    /// [`RunReport::wire_bytes`] do not depend on this choice — so unlike
+    /// `faults` there is no `unfaulted`-style escape hatch to pin it.
+    pub transport: std::sync::Arc<dyn Transport>,
 }
 
 impl PregelConfig {
@@ -136,6 +147,7 @@ impl PregelConfig {
             faults,
             recovery,
             trace: TraceHandle::disabled(),
+            transport: transport::from_env(),
         }
     }
 
@@ -203,6 +215,13 @@ impl PregelConfig {
     /// Attach a trace handle (see [`PregelConfig::trace`]).
     pub fn with_trace(mut self, trace: TraceHandle) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Use an explicit shuffle transport, replacing the
+    /// `INFERTURBO_TRANSPORT` selection (see [`PregelConfig::transport`]).
+    pub fn with_transport(mut self, transport: std::sync::Arc<dyn Transport>) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -341,6 +360,28 @@ impl<M> InboxArena<M> {
             let mut msgs = std::mem::ManuallyDrop::new(msgs);
             Vec::from_raw_parts(msgs.as_mut_ptr() as *mut M, msgs.len(), msgs.capacity())
         };
+        InboxArena { msgs, offsets }
+    }
+
+    /// Build the arena from records a byte-moving transport already merged
+    /// into slot-major delivery order ((sender ascending, emission order)
+    /// within a slot) — the same order [`InboxArena::seal`] produces, so
+    /// the messages land verbatim and only the offsets need counting.
+    fn from_merged(n_slots: usize, records: Vec<(u32, M)>) -> Self {
+        let total = records.len();
+        assert!(
+            total <= u32::MAX as usize,
+            "inbox arena overflow: {total} messages for one worker"
+        );
+        let mut offsets = vec![0u32; n_slots + 1];
+        for &(s, _) in &records {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n_slots {
+            offsets[i + 1] += offsets[i];
+        }
+        debug_assert!(records.windows(2).all(|w| w[0].0 <= w[1].0));
+        let msgs = records.into_iter().map(|(_, m)| m).collect();
         InboxArena { msgs, offsets }
     }
 }
@@ -888,38 +929,99 @@ impl<P: VertexProgram> PregelEngine<P> {
             .collect::<Result<Vec<_>>>()?;
         let spill = self.config.spill.as_ref();
         let faults = self.config.faults.as_ref();
-        let sealed: Vec<Result<_>> = par_map(seal_tasks, |w2, (n_slots, legacy, cols)| {
-            if let Some(inj) = faults {
-                if let Some(e) = inj.seal(w2, step) {
-                    return Err(e.in_phase(format!("seal superstep-{step}")));
-                }
-                if let Some(policy) = spill {
-                    if let Some(e) = inj.spill_write(w2, step, &policy.dir) {
-                        return Err(e.in_phase(format!("seal superstep-{step}")));
-                    }
-                }
-            }
-            let arena = InboxArena::seal(n_slots, legacy);
-            let (cols_in, resident, spilled, reclaimed) = match (cols, emit) {
-                (ColsOut::None, _) => (InboxCols::None, 0, 0, ColsOut::None),
+        let transport = std::sync::Arc::clone(&self.config.transport);
+        // A byte-moving backend carries the typed legacy plane as encoded
+        // records; the in-process backend leaves it typed and the engine
+        // seals it itself after the exchange.
+        let needs_bytes = transport.needs_bytes();
+        let mut encoded_legacy: Vec<Option<Vec<EncodedRecords>>> = if needs_bytes {
+            seal_tasks
+                .iter()
+                .map(|(_, legacy, _)| {
+                    Some(
+                        legacy
+                            .iter()
+                            .map(|sender| sender.iter().map(|(s, m)| (*s, m.to_bytes())).collect())
+                            .collect(),
+                    )
+                })
+                .collect()
+        } else {
+            (0..n_workers).map(|_| None).collect()
+        };
+        // Hand every destination's shards — columnar borrowed, legacy
+        // encoded when the backend moves bytes — to the transport, which
+        // fires the SealBarrier/SpillWrite fault sites per destination and
+        // merges in ascending sender order (see the transport contract).
+        let mut xfer_shards = 0u64;
+        let mut xfer_rows = 0u64;
+        let mut xfer_legacy = 0u64;
+        let mut dests = Vec::with_capacity(n_workers);
+        for (w2, (n_slots, legacy, cols)) in seal_tasks.iter().enumerate() {
+            xfer_legacy += legacy.iter().map(|s| s.len() as u64).sum::<u64>();
+            let cols_ref = match (cols, emit) {
+                (ColsOut::None, EmitPlane::Legacy) => ColsShards::None,
                 (ColsOut::Rows(shards), EmitPlane::Rows { dim }) => {
-                    let a = RowArena::seal(dim, n_slots, &shards, spill)
-                        .map_err(|e| e.in_phase(format!("seal superstep-{step}")))?;
-                    let r = a.resident_bytes();
-                    let s = a.spilled_bytes();
-                    (InboxCols::Rows(a), r, s, ColsOut::Rows(shards))
+                    xfer_shards += shards.len() as u64;
+                    xfer_rows += shards.iter().map(|s| s.len() as u64).sum::<u64>();
+                    ColsShards::Rows { dim, shards }
                 }
                 (ColsOut::Fused(shards), EmitPlane::Fused { dim, agg }) => {
-                    let f = FusedRows::merge(dim, n_slots, &shards, agg, spill)
-                        .map_err(|e| e.in_phase(format!("seal superstep-{step}")))?;
-                    let r = f.resident_bytes();
-                    let s = f.spilled_bytes();
-                    (InboxCols::Fused(f), r, s, ColsOut::Fused(shards))
+                    xfer_shards += shards.len() as u64;
+                    xfer_rows += shards.iter().map(|s| s.len() as u64).sum::<u64>();
+                    ColsShards::Fused { dim, agg, shards }
                 }
                 _ => return Err(plane_mismatch(step)),
             };
-            Ok((arena, cols_in, resident, spilled, reclaimed))
-        });
+            dests.push(DestShards {
+                n_slots: *n_slots,
+                cols: cols_ref,
+                legacy: encoded_legacy[w2].take(),
+            });
+        }
+        let exchanged = transport
+            .exchange(Exchange {
+                step,
+                faults,
+                spill,
+                dests,
+            })
+            .map_err(|e| e.in_phase(format!("seal superstep-{step}")))?;
+        self.report.wire_bytes += exchanged.wire_bytes;
+        // Build next-superstep inboxes from the merged planes: decode what
+        // came back over the wire, or seal the typed legacy shards the
+        // in-process exchange left untouched. Destinations stay
+        // independent, so this runs fork-join like the merge itself.
+        let merge_tasks: Vec<_> = seal_tasks.into_iter().zip(exchanged.dests).collect();
+        let sealed: Vec<Result<_>> = par_map(
+            merge_tasks,
+            |_w2, ((n_slots, legacy, reclaimed), merged)| {
+                let arena = if needs_bytes {
+                    let records = merged.legacy.unwrap_or_default();
+                    let mut typed: Vec<(u32, P::Msg)> = Vec::with_capacity(records.len());
+                    for (s, bytes) in records {
+                        let m = P::Msg::from_bytes(&bytes)
+                            .map_err(|e| e.in_phase(format!("seal superstep-{step}")))?;
+                        typed.push((s, m));
+                    }
+                    InboxArena::from_merged(n_slots, typed)
+                } else {
+                    InboxArena::seal(n_slots, legacy)
+                };
+                let (cols_in, resident, spilled) = match merged.cols {
+                    MergedCols::None => (InboxCols::None, 0, 0),
+                    MergedCols::Rows(a) => {
+                        let (r, s) = (a.resident_bytes(), a.spilled_bytes());
+                        (InboxCols::Rows(a), r, s)
+                    }
+                    MergedCols::Fused(f) => {
+                        let (r, s) = (f.resident_bytes(), f.spilled_bytes());
+                        (InboxCols::Fused(f), r, s)
+                    }
+                };
+                Ok((arena, cols_in, resident, spilled, reclaimed))
+            },
+        );
         // Surface seal failures in ascending destination order, like the
         // compute errors above.
         let mut sealed_ok = Vec::with_capacity(n_workers);
@@ -1008,6 +1110,20 @@ impl<P: VertexProgram> PregelEngine<P> {
                     },
                 );
             }
+            // Transport shape first, then the superstep summary. Only
+            // backend-invariant counts — never the backend name or wire
+            // bytes — so the trace stays byte-identical across backends.
+            self.config.trace.emit(
+                step64,
+                Site::Engine,
+                Payload::Transport {
+                    phase: phase_name.clone(),
+                    dests: n_workers as u64,
+                    shards: xfer_shards,
+                    rows: xfer_rows,
+                    legacy_records: xfer_legacy,
+                },
+            );
             self.config.trace.emit(
                 step64,
                 Site::Engine,

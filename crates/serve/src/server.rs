@@ -101,6 +101,14 @@ pub struct ServeConfig {
     /// Default: armed from the `INFERTURBO_TRACE` environment variable
     /// (disabled, zero-cost, unless set).
     pub trace: TraceHandle,
+    /// Shuffle transport armed into every plan the server builds (see
+    /// `inferturbo_cluster::transport`): in-process shard moves or spawned
+    /// worker processes over pipes. Backends are bit-identical, so this
+    /// choice never enters [`PlanKey`] — two servers on
+    /// different transports serve byte-identical responses from
+    /// interchangeable caches. `None` defers to the engines'
+    /// `INFERTURBO_TRANSPORT` environment arming.
+    pub transport: Option<std::sync::Arc<dyn inferturbo_cluster::Transport>>,
 }
 
 /// Parse the `INFERTURBO_OVERLOAD` drill knob:
@@ -166,6 +174,7 @@ impl Default for ServeConfig {
             response_cache: 4096,
             deadline_clamp: None,
             trace: inferturbo_obs::arm::from_env(),
+            transport: None,
         };
         // The CI overload drill: arm an aggressive limiter + deadline
         // clamp into every default-constructed server. Inert for the
@@ -702,6 +711,9 @@ impl<'a> GnnServer<'a> {
             }
             if let Some(rp) = self.cfg.recovery {
                 builder = builder.recovery(rp);
+            }
+            if let Some(t) = &self.cfg.transport {
+                builder = builder.transport(std::sync::Arc::clone(t));
             }
             let plan = builder.plan()?;
             let bytes = plan_residency(&plan);

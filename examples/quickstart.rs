@@ -60,12 +60,16 @@ fn main() {
     //    and — with Backend::Auto — the backend decision itself (Pregel
     //    while the predicted resident state fits worker memory, MapReduce
     //    beyond it: the paper's §IV-A trade-off, encoded).
+    //    The shuffle transport is a plug: `InProcess` (the default) moves
+    //    sealed shards by reference; `WorkerProcess` runs the same
+    //    exchange over spawned worker processes, bit-identically.
     let plan = InferenceSession::builder()
         .model(&model)
         .graph(&dataset.graph)
         .workers(32)
         .strategy(StrategyConfig::all())
         .backend(Backend::Auto)
+        .transport(std::sync::Arc::new(inferturbo::core::InProcess))
         .plan()
         .expect("inference plan");
     println!("\n{}\n", plan.summary());

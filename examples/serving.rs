@@ -74,6 +74,10 @@ fn main() {
         rate_limit: Some(RateLimitConfig::degrade(4, 1)),
         response_cache: 16 * 1024,
         trace: trace.clone(),
+        // Shuffle transport for every plan this server builds. Backends
+        // are bit-identical, so swapping in `WorkerProcess` here changes
+        // no response byte — only `RunReport::wire_bytes`.
+        transport: Some(std::sync::Arc::new(inferturbo::core::InProcess)),
         ..ServeConfig::default()
     });
     server.register_model(1, &model).unwrap();

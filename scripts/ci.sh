@@ -49,6 +49,18 @@ echo "== cargo test --workspace (forced fault schedule) =="
 # recovery policy are immune by design.
 INFERTURBO_FAULTS=worker:1@step:1 cargo test --workspace -q
 
+echo "== engine + determinism tests (spawned-worker-process transport) =="
+# Re-runs the engine determinism suites with the shuffle transport forced
+# to the spawned-worker-process backend (both engines default their
+# transport from INFERTURBO_TRANSPORT). Every inter-superstep/inter-round
+# exchange crosses a real process boundary over pipes; logits and traces
+# must stay bit-identical to the in-process default. The `itworker` child
+# binary was built by the workspace test legs above; tests that pin a
+# transport explicitly (e.g. transport_equivalence) are immune by design.
+INFERTURBO_TRANSPORT=process cargo test -q \
+    --test parallel_matches_serial --test columnar_fused \
+    --test end_to_end --test failure_injection
+
 echo "== serving tests (forced overload knobs) =="
 # Re-runs the serving suite with an aggressive Degrade-policy rate limit
 # and deadline clamp armed into every default-constructed ServeConfig
